@@ -1,0 +1,118 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "core/experiment.h"
+#include "data/fleet.h"
+#include "smartsim/generator.h"
+#include "smartsim/profiles.h"
+#include "util/strings.h"
+
+namespace wefr::benchx {
+
+/// Knobs shared by the reproduction benches. The defaults complete on a
+/// single core in minutes; the environment variables let a bigger box
+/// run closer to paper scale:
+///   WEFR_BENCH_DRIVES  — total fleet size spread over the six models
+///                        by the paper's population shares (default 3500)
+///   WEFR_BENCH_DAYS    — observation window length (default 220)
+///   WEFR_BENCH_TREES   — prediction-forest size (default 25; paper 100)
+///   WEFR_BENCH_AFR_SCALE — hazard inflation (default 30; 1 = paper AFRs)
+struct BenchScale {
+  std::size_t total_drives = 3500;
+  int num_days = 220;
+  std::size_t trees = 25;
+  /// 0 = auto: per-model scale targeting a failure fraction that
+  /// preserves the paper's AFR ordering while keeping the positive
+  /// class populated on a compressed window.
+  double afr_scale = 0.0;
+  double negative_keep = 0.06;
+};
+
+inline double env_or(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return fallback;
+  double out = fallback;
+  if (!util::parse_double(v, out)) return fallback;
+  return out;
+}
+
+inline BenchScale scale_from_env() {
+  BenchScale s;
+  s.total_drives = static_cast<std::size_t>(env_or("WEFR_BENCH_DRIVES", 3500));
+  s.num_days = static_cast<int>(env_or("WEFR_BENCH_DAYS", 220));
+  s.trees = static_cast<std::size_t>(env_or("WEFR_BENCH_TREES", 25));
+  s.afr_scale = env_or("WEFR_BENCH_AFR_SCALE", 0.0);
+  return s;
+}
+
+/// Effective hazard inflation for one model: explicit when the scale
+/// sets it, otherwise targets a per-model failure fraction in
+/// [7%, 28%] proportional to the model's AFR (ordering preserved).
+inline double afr_scale_for(const smartsim::DriveModelProfile& profile,
+                            const BenchScale& s) {
+  if (s.afr_scale > 0.0) return s.afr_scale;
+  const double frac =
+      std::clamp(0.22 * profile.target_afr / 3.29, 0.12, 0.28);
+  return frac * 100.0 * 365.0 /
+         (profile.target_afr * static_cast<double>(s.num_days));
+}
+
+/// Drives allotted to a model: population share of the total, floored
+/// at a fifth of the total so small-share models (MC2, 4.6%) still have
+/// enough failures for stable drive-level metrics.
+inline std::size_t drives_for(const smartsim::DriveModelProfile& profile,
+                              const BenchScale& s) {
+  const auto n = static_cast<std::size_t>(profile.population_share *
+                                          static_cast<double>(s.total_drives));
+  const std::size_t floor_n = std::max<std::size_t>(400, s.total_drives / 5);
+  return n < floor_n ? floor_n : n;
+}
+
+inline data::FleetData make_fleet(const std::string& model, const BenchScale& s,
+                                  std::uint64_t seed = 4242) {
+  const auto& profile = smartsim::profile_by_name(model);
+  smartsim::SimOptions opt;
+  opt.num_drives = drives_for(profile, s);
+  opt.num_days = s.num_days;
+  opt.seed = seed ^ std::hash<std::string>{}(model);
+  opt.afr_scale = afr_scale_for(profile, s);
+  return generate_fleet(profile, opt);
+}
+
+inline core::CompareConfig compare_config(const BenchScale& s) {
+  core::CompareConfig cfg;
+  cfg.exp.forest.num_trees = s.trees;
+  cfg.exp.forest.tree.max_depth = 13;
+  cfg.exp.forest.tree.min_samples_leaf = 4;
+  cfg.exp.negative_keep_prob = s.negative_keep;
+  cfg.percent_sweep = {0.3, 0.6, 1.0};
+  cfg.target_recall = 0.30;
+  // Bench fleets are orders of magnitude smaller than the paper's, so
+  // stabilize the survival curve with modest bucketing.
+  cfg.wefr.survival_bucket_width = 3;
+  cfg.wefr.survival_min_count = 8;
+  // Specialize a wear group only when it holds enough failures to learn
+  // from (paper-scale groups are orders of magnitude larger).
+  cfg.wefr.min_group_positives = 60;
+  return cfg;
+}
+
+/// Per-model fixed recall targets, matching Table VI's reported recalls.
+inline double paper_recall(const std::string& model) {
+  if (model == "MA1") return 0.37;
+  if (model == "MA2") return 0.32;
+  if (model == "MB1") return 0.34;
+  if (model == "MB2") return 0.32;
+  if (model == "MC1") return 0.18;
+  if (model == "MC2") return 0.19;
+  return 0.30;
+}
+
+inline std::string pct(double v, int digits = 0) { return util::format_percent(v, digits); }
+
+inline const char* kAllModels[6] = {"MA1", "MA2", "MB1", "MB2", "MC1", "MC2"};
+
+}  // namespace wefr::benchx

@@ -1,0 +1,50 @@
+// Reproduces Figure 1: the survival rate as a function of MWI_N per
+// drive model, with the Bayesian change points. Prints each curve as a
+// text series plus the detected change point, so the figure can be
+// re-plotted from this output.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/survival.h"
+
+using namespace wefr;
+
+int main() {
+  benchx::BenchScale scale = benchx::scale_from_env();
+  // No ML here — generation is cheap, so default to a much larger fleet
+  // for smooth curves (overridable via WEFR_BENCH_DRIVES).
+  scale.total_drives =
+      static_cast<std::size_t>(benchx::env_or("WEFR_BENCH_DRIVES", 20000));
+  std::printf("Figure 1 — survival rate vs MWI_N with Bayesian change points\n");
+  std::printf("Paper: change points between 20-45 for MA1/MA2/MC1, at ~72 for MC2,\n"
+              "none for MB1/MB2 (narrow wear range).\n\n");
+
+  for (const char* model : benchx::kAllModels) {
+    const auto fleet = benchx::make_fleet(model, scale);
+    const auto curve =
+        core::survival_vs_mwi(fleet, fleet.num_days - 1, /*min_count=*/15,
+                              /*bucket_width=*/2);
+    const auto cp = core::detect_wear_change_point(curve);
+
+    std::printf("== %s (%zu drives, %zu failed, %zu MWI_N values) ==\n", model,
+                fleet.drives.size(), fleet.num_failed(), curve.mwi.size());
+    if (cp.has_value()) {
+      std::printf("change point: MWI_N = %.0f (z = %.2f, posterior = %.3f)\n",
+                  cp->mwi_threshold, cp->zscore, cp->probability);
+    } else {
+      std::printf("change point: none detected\n");
+    }
+    // Text sparkline: one bucket per MWI_N value, '#' height ~ survival.
+    std::printf("  MWI_N  survival  n      curve\n");
+    for (std::size_t i = 0; i < curve.mwi.size(); ++i) {
+      const int bars = static_cast<int>(curve.rate[i] * 40.0 + 0.5);
+      std::printf("  %5.0f  %7.3f  %-6zu |%.*s%s\n", curve.mwi[i], curve.rate[i],
+                  curve.total[i], bars,
+                  "........................................",
+                  (cp.has_value() && curve.mwi[i] == cp->mwi_threshold) ? "  <== change point"
+                                                                        : "");
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Table III: the top-3 and last-3 learning features per drive
+// model under Random Forest feature-importance evaluation, illustrating
+// that trivial features exist on every model (motivating selection).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "core/ranker.h"
+#include "stats/ranking.h"
+#include "util/table.h"
+
+using namespace wefr;
+
+int main() {
+  const benchx::BenchScale scale = benchx::scale_from_env();
+  std::printf("Table III — top/last-3 features by Random Forest importance\n\n");
+
+  core::ExperimentConfig cfg;
+  cfg.negative_keep_prob = 0.1;
+
+  util::AsciiTable table;
+  table.set_header({"Model", "Top 1", "Top 2", "Top 3", "Last 3", "Last 2", "Last 1"});
+  for (const char* model : benchx::kAllModels) {
+    const auto fleet = benchx::make_fleet(model, scale);
+    const auto samples =
+        core::build_selection_samples(fleet, 0, fleet.num_days - 1, cfg);
+    core::RandomForestRanker ranker;
+    const auto scores = ranker.score(samples.x, samples.y);
+    const auto order = stats::order_by_score(scores);
+    const std::size_t nf = order.size();
+    auto cell = [&](std::size_t pos) {
+      return samples.feature_names[order[pos]] + " (" +
+             util::format_double(scores[order[pos]], 3) + ")";
+    };
+    table.add_row({model, cell(0), cell(1), cell(2), cell(nf - 3), cell(nf - 2),
+                   cell(nf - 1)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nShape check: each model's top features come from its failure signature\n"
+      "(paper: PLP for MA1, POH/TLR for MA2, ARS/RSC for MB1, REC/UCE for MB2,\n"
+      "OCE/UCE for MC1/MC2) while the last features score ~0 (trivial noise).\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces Table VI (Exp#1): precision / recall / F0.5 at a fixed
+// per-model recall for no feature selection, the five preliminary
+// selectors (fraction tuned on validation), and WEFR — per drive model
+// and pooled over all models.
+//
+// Heaviest bench: trains ~17 Random Forests per model. Tune
+// WEFR_BENCH_DRIVES / WEFR_BENCH_TREES for quicker or closer-to-paper
+// runs.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace wefr;
+
+int main() {
+  const benchx::BenchScale scale = benchx::scale_from_env();
+  std::printf("Table VI (Exp#1) — robust feature selection, fixed per-model recall\n\n");
+
+  core::CompareConfig cfg = benchx::compare_config(scale);
+
+  // method -> per-model eval; aggregate drive-level confusions pool the
+  // "All drive models" column like the paper.
+  std::vector<std::string> method_names;
+  std::map<std::string, std::vector<core::DriveLevelEval>> per_model;
+  std::map<std::string, ml::Confusion> pooled;
+
+  for (const char* model : benchx::kAllModels) {
+    const auto fleet = benchx::make_fleet(model, scale);
+    const auto phases = core::standard_phases(fleet.num_days);
+    cfg.target_recall = benchx::paper_recall(model);
+    const auto out = core::compare_methods(fleet, phases.back(), cfg);
+    std::printf("[%s] done: %zu drives, %zu failed; WEFR selected %zu/%zu features\n",
+                model, fleet.drives.size(), fleet.num_failed(),
+                out.wefr.all.selected.size(), fleet.num_features());
+    std::fflush(stdout);
+    if (method_names.empty()) {
+      for (const auto& m : out.methods) method_names.push_back(m.method);
+    }
+    for (const auto& m : out.methods) {
+      per_model[m.method].push_back(m.test);
+      auto& agg = pooled[m.method];
+      agg.tp += m.test.confusion.tp;
+      agg.fp += m.test.confusion.fp;
+      agg.tn += m.test.confusion.tn;
+      agg.fn += m.test.confusion.fn;
+    }
+  }
+
+  util::AsciiTable table;
+  {
+    std::vector<std::string> header = {"Method"};
+    for (const char* model : benchx::kAllModels) {
+      header.push_back(std::string(model) + " P");
+      header.push_back("R");
+      header.push_back("F0.5");
+    }
+    header.push_back("All P");
+    header.push_back("All R");
+    header.push_back("All F0.5");
+    table.set_header(header);
+  }
+  for (const auto& name : method_names) {
+    std::vector<std::string> row = {name};
+    for (const auto& eval : per_model[name]) {
+      row.push_back(benchx::pct(eval.precision));
+      row.push_back(benchx::pct(eval.recall));
+      row.push_back(benchx::pct(eval.f05));
+    }
+    const auto& agg = pooled[name];
+    row.push_back(benchx::pct(ml::precision(agg)));
+    row.push_back(benchx::pct(ml::recall(agg)));
+    row.push_back(benchx::pct(ml::f05(agg)));
+    table.add_row(row);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nShape check (paper): every selection method beats no-selection on\n"
+      "precision/F0.5 at fixed recall; no single selector wins everywhere;\n"
+      "WEFR matches or beats the best single selector overall.\n");
+  return 0;
+}

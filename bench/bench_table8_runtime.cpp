@@ -1,0 +1,68 @@
+// Reproduces Table VIII (Exp#4): runtime of each preliminary feature
+// selection approach and of WEFR on MC1's training samples, using
+// google-benchmark. The paper's claims are relative: Spearman is the
+// slowest single approach (rank transform per feature), and WEFR run
+// with its selectors in parallel costs about as much as the slowest
+// component (on this single-core box the sequential sum is reported
+// alongside for comparison).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "core/ensemble.h"
+#include "core/pipeline.h"
+#include "core/ranker.h"
+
+using namespace wefr;
+
+namespace {
+
+const data::Dataset& mc1_samples() {
+  static const data::Dataset samples = [] {
+    benchx::BenchScale scale = benchx::scale_from_env();
+    const auto fleet = benchx::make_fleet("MC1", scale);
+    core::ExperimentConfig cfg;
+    cfg.negative_keep_prob = 0.06;
+    return core::build_selection_samples(fleet, 0, fleet.num_days - 1, cfg);
+  }();
+  return samples;
+}
+
+void run_ranker(benchmark::State& state, std::size_t index) {
+  const auto& ds = mc1_samples();
+  const auto rankers = core::make_standard_rankers();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rankers[index]->score(ds.x, ds.y));
+  }
+  state.counters["samples"] = static_cast<double>(ds.size());
+  state.counters["features"] = static_cast<double>(ds.num_features());
+}
+
+void BM_Pearson(benchmark::State& s) { run_ranker(s, 0); }
+void BM_Spearman(benchmark::State& s) { run_ranker(s, 1); }
+void BM_JIndex(benchmark::State& s) { run_ranker(s, 2); }
+void BM_RandomForest(benchmark::State& s) { run_ranker(s, 3); }
+void BM_XGBoost(benchmark::State& s) { run_ranker(s, 4); }
+
+void BM_WEFR_Ensemble(benchmark::State& state) {
+  const auto& ds = mc1_samples();
+  const auto rankers = core::make_standard_rankers();
+  core::EnsembleOptions opt;
+  opt.num_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ensemble_rank(rankers, ds.x, ds.y, opt));
+  }
+}
+
+BENCHMARK(BM_Pearson)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Spearman)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_JIndex)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RandomForest)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_XGBoost)->Unit(benchmark::kMillisecond);
+// Arg = selector worker threads (1 = sequential, 5 = fully parallel).
+BENCHMARK(BM_WEFR_Ensemble)->Arg(1)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Compares the five preliminary feature-selection approaches and WEFR's
+// ensemble against the simulator's planted ground truth, for every
+// drive model. Because the generator knows which attributes actually
+// carry the failure signature, this example can score each selector's
+// top-k hit rate directly — something impossible on a real fleet.
+//
+//   ./examples/selector_comparison [drives_per_model=600]
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "core/ensemble.h"
+#include "core/pipeline.h"
+#include "core/ranker.h"
+#include "smartsim/generator.h"
+#include "stats/ranking.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace wefr;
+
+namespace {
+
+/// Ground-truth relevant feature names: both channels of the signature
+/// attributes, plus the wear features when the model has a wear regime.
+std::set<std::string> relevant_features(const smartsim::DriveModelProfile& profile) {
+  std::set<std::string> out;
+  for (auto attr : profile.signature_attrs) {
+    out.insert(std::string(smartsim::attr_name(attr)) + "_R");
+    out.insert(std::string(smartsim::attr_name(attr)) + "_N");
+  }
+  if (profile.wear_change_point > 0.0) {
+    out.insert("MWI_N");
+    out.insert("MWI_R");
+    out.insert("POH_R");
+  }
+  return out;
+}
+
+double hit_rate(const std::vector<std::size_t>& order,
+                const std::vector<std::string>& names,
+                const std::set<std::string>& relevant, std::size_t k) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k && i < order.size(); ++i) {
+    hits += relevant.count(names[order[i]]) > 0 ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(std::min(k, relevant.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t drives = argc > 1 ? std::stoul(argv[1]) : 600;
+  std::printf("selector-vs-ground-truth comparison (%zu drives per model)\n\n", drives);
+
+  core::ExperimentConfig cfg;
+  cfg.negative_keep_prob = 0.1;
+
+  util::AsciiTable table;
+  table.set_header({"Model", "Pearson", "Spearman", "J-index", "RandomForest", "XGBoost",
+                    "WEFR ensemble"});
+
+  for (const auto& profile : smartsim::standard_profiles()) {
+    smartsim::SimOptions sim;
+    sim.num_drives = drives;
+    sim.num_days = 220;
+    sim.seed = 99 + profile.population_share * 1000;
+    sim.afr_scale = 30.0;
+    const auto fleet = generate_fleet(profile, sim);
+    const auto samples =
+        core::build_selection_samples(fleet, 0, fleet.num_days - 1, cfg);
+    const auto relevant = relevant_features(profile);
+    const std::size_t k = relevant.size();
+
+    const auto rankers = core::make_standard_rankers();
+    std::vector<std::string> row = {profile.name};
+    for (const auto& ranker : rankers) {
+      const auto order = stats::order_by_score(ranker->score(samples.x, samples.y));
+      row.push_back(util::format_percent(
+          hit_rate(order, samples.feature_names, relevant, k)));
+    }
+    const auto ensemble = core::ensemble_rank(rankers, samples.x, samples.y);
+    row.push_back(util::format_percent(
+        hit_rate(ensemble.order, samples.feature_names, relevant, k)));
+    table.add_row(row);
+    std::printf("[%s] done (%zu relevant features planted)\n", profile.name.c_str(), k);
+    std::fflush(stdout);
+  }
+
+  std::printf("\ntop-k hit rate against planted ground truth (k = #relevant):\n");
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nReading: no single selector wins on every model; the ensemble\n"
+              "tracks the best of them — the paper's robustness argument.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Wear-out study: builds Figure-1-style survival curves, runs Bayesian
+// change-point detection, and shows how the top features differ between
+// the low- and high-wear groups — Section III-C of the paper as a
+// runnable walk-through.
+//
+//   ./examples/wearout_study [model=MC2] [drives=900]
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.h"
+#include "core/ranker.h"
+#include "core/survival.h"
+#include "smartsim/generator.h"
+#include "stats/ranking.h"
+
+using namespace wefr;
+
+int main(int argc, char** argv) {
+  const std::string model = argc > 1 ? argv[1] : "MC2";
+  const std::size_t drives = argc > 2 ? std::stoul(argv[2]) : 900;
+
+  smartsim::SimOptions sim;
+  sim.num_drives = drives;
+  sim.num_days = 220;
+  sim.seed = 13;
+  sim.afr_scale = 30.0;
+  const auto fleet = generate_fleet(smartsim::profile_by_name(model), sim);
+  std::printf("%s: %zu drives, %zu failed\n\n", model.c_str(), fleet.drives.size(),
+              fleet.num_failed());
+
+  // --- survival curve (Figure 1) ---
+  const auto curve = core::survival_vs_mwi(fleet, fleet.num_days - 1);
+  std::printf("survival rate vs MWI_N (%zu values):\n", curve.mwi.size());
+  for (std::size_t i = 0; i < curve.mwi.size(); ++i) {
+    const int bars = static_cast<int>(curve.rate[i] * 50.0 + 0.5);
+    std::printf("  %5.0f %6.3f |%.*s\n", curve.mwi[i], curve.rate[i], bars,
+                "##################################################");
+  }
+
+  // --- change point ---
+  const auto cp = core::detect_wear_change_point(curve);
+  if (!cp.has_value()) {
+    std::printf("\nno significant change point (like MB1/MB2 in the paper) — done.\n");
+    return 0;
+  }
+  std::printf("\nmost significant change point: MWI_N = %.0f (z = %.2f)\n",
+              cp->mwi_threshold, cp->zscore);
+  if (smartsim::profile_by_name(model).firmware_bug) {
+    std::printf("(%s plants a firmware bug among barely-worn drives, so survival\n"
+                " is non-monotone in MWI_N — the paper's MC2 story)\n",
+                model.c_str());
+  }
+
+  // --- per-group feature importance (Table V) ---
+  core::ExperimentConfig cfg;
+  cfg.negative_keep_prob = 0.12;
+  const auto samples = core::build_selection_samples(fleet, 0, fleet.num_days - 1, cfg);
+  const int mwi_col = fleet.feature_index("MWI_N");
+
+  for (const bool low : {true, false}) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const bool is_low =
+          samples.x(i, static_cast<std::size_t>(mwi_col)) <= cp->mwi_threshold;
+      if (is_low == low) idx.push_back(i);
+    }
+    std::printf("\n%s-MWI_N group: %zu samples", low ? "low" : "high", idx.size());
+    if (idx.size() < 200) {
+      std::printf(" (too small to rank)\n");
+      continue;
+    }
+    const auto group = data::subset(samples, idx);
+    std::printf(" (%zu positive)\n", group.num_positive());
+    core::RandomForestRanker ranker;
+    const auto scores = ranker.score(group.x, group.y);
+    const auto order = stats::order_by_score(scores);
+    for (std::size_t r = 0; r < 5 && r < order.size(); ++r) {
+      std::printf("  rank %zu: %-10s (importance %.3f)\n", r + 1,
+                  group.feature_names[order[r]].c_str(), scores[order[r]]);
+    }
+  }
+  std::printf("\nReading: wear features (MWI_N/POH_R) climb the ranking in the low\n"
+              "group — why WEFR re-selects features per wear group.\n");
+  return 0;
+}

@@ -1,0 +1,159 @@
+#include "changepoint/bayes_cpd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace wefr::changepoint {
+
+namespace {
+
+/// log(exp(a) + exp(b)) without overflow.
+double log_add(double a, double b) {
+  if (a == -INFINITY) return b;
+  if (b == -INFINITY) return a;
+  const double m = std::max(a, b);
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+/// Closed-form log marginal likelihood of a Gaussian segment with
+/// unknown mean and variance under a Normal-Gamma(mu0, kappa0, alpha0,
+/// beta0) prior, from the segment's sufficient statistics.
+class SegmentMarginal {
+ public:
+  SegmentMarginal(std::span<const double> y, double mu0, double kappa0, double alpha0,
+                  double beta0)
+      : mu0_(mu0), kappa0_(kappa0), alpha0_(alpha0), beta0_(beta0) {
+    prefix_sum_.resize(y.size() + 1, 0.0);
+    prefix_sum2_.resize(y.size() + 1, 0.0);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      prefix_sum_[i + 1] = prefix_sum_[i] + y[i];
+      prefix_sum2_[i + 1] = prefix_sum2_[i] + y[i] * y[i];
+    }
+  }
+
+  /// log P(y[a..b]) for inclusive 0-based indices.
+  double operator()(std::size_t a, std::size_t b) const {
+    const double n = static_cast<double>(b - a + 1);
+    const double sum = prefix_sum_[b + 1] - prefix_sum_[a];
+    const double sum2 = prefix_sum2_[b + 1] - prefix_sum2_[a];
+    const double mean = sum / n;
+    const double ss = std::max(0.0, sum2 - n * mean * mean);
+
+    const double kappa_n = kappa0_ + n;
+    const double alpha_n = alpha0_ + n / 2.0;
+    const double beta_n = beta0_ + 0.5 * ss +
+                          kappa0_ * n * (mean - mu0_) * (mean - mu0_) / (2.0 * kappa_n);
+    return std::lgamma(alpha_n) - std::lgamma(alpha0_) + alpha0_ * std::log(beta0_) -
+           alpha_n * std::log(beta_n) + 0.5 * (std::log(kappa0_) - std::log(kappa_n)) -
+           n / 2.0 * std::log(2.0 * M_PI);
+  }
+
+ private:
+  double mu0_, kappa0_, alpha0_, beta0_;
+  std::vector<double> prefix_sum_, prefix_sum2_;
+};
+
+}  // namespace
+
+std::vector<double> change_probabilities(std::span<const double> series,
+                                         const CpdOptions& opt) {
+  if (series.empty()) throw std::invalid_argument("change_probabilities: empty series");
+  if (opt.expected_run_length <= 1.0)
+    throw std::invalid_argument("change_probabilities: expected_run_length must exceed 1");
+
+  const std::size_t n = series.size();
+  if (n == 1) return {1.0};
+
+  // Scale-insensitive default: center the mean prior on the series and
+  // scale the variance prior to the series' own spread, so survival
+  // rates (in [0,1]) and raw sequences both work out of the box.
+  double mu0 = opt.prior_mean;
+  double beta0 = opt.prior_beta;
+  if (opt.prior_mean == 0.0) mu0 = stats::mean(series);
+  const double series_var = stats::variance(series);
+  if (opt.prior_beta <= 0.0 || opt.prior_beta == CpdOptions{}.prior_beta) {
+    beta0 = std::max(1e-8, 0.1 * series_var + 1e-6);
+  }
+  const SegmentMarginal log_ml(series, mu0, opt.prior_kappa, opt.prior_alpha, beta0);
+
+  // Geometric segment-length prior with hazard h = 1/expected_run_length:
+  // g(L) = h (1-h)^(L-1), survival G(L) = (1-h)^(L-1).
+  const double h = 1.0 / opt.expected_run_length;
+  const double log_h = std::log(h);
+  const double log_1mh = std::log1p(-h);
+  auto log_g = [&](std::size_t len) {
+    return log_h + static_cast<double>(len - 1) * log_1mh;
+  };
+  auto log_G = [&](std::size_t len) {  // P(length >= len)
+    return static_cast<double>(len - 1) * log_1mh;
+  };
+
+  // Backward recursion (Fearnhead 2006):
+  // Q[t] = P(y[t..n-1] | a segment starts at t).
+  std::vector<double> logQ(n + 1, 0.0);
+  for (std::size_t t = n; t-- > 0;) {
+    double acc = log_ml(t, n - 1) + log_G(n - t);  // final (censored) segment
+    for (std::size_t s = t; s + 1 < n; ++s) {
+      acc = log_add(acc, log_ml(t, s) + log_g(s - t + 1) + logQ[s + 1]);
+    }
+    logQ[t] = acc;
+  }
+
+  // Forward recursion: A[t] = P(y[0..t-1], a segment starts at t).
+  // A[0] = 1 (a segment trivially starts at 0).
+  std::vector<double> logA(n, -INFINITY);
+  logA[0] = 0.0;
+  for (std::size_t t = 1; t < n; ++t) {
+    double acc = -INFINITY;
+    for (std::size_t s = 0; s < t; ++s) {
+      acc = log_add(acc, logA[s] + log_ml(s, t - 1) + log_g(t - s));
+    }
+    logA[t] = acc;
+  }
+
+  // Posterior P(a segment starts at t | y) = A[t] * Q[t] / Q[0].
+  std::vector<double> out(n, 0.0);
+  out[0] = 1.0;
+  for (std::size_t t = 1; t < n; ++t) {
+    const double logp = logA[t] + logQ[t] - logQ[0];
+    out[t] = std::isfinite(logp) ? std::clamp(std::exp(logp), 0.0, 1.0) : 0.0;
+  }
+  return out;
+}
+
+std::vector<ChangePoint> significant_change_points(std::span<const double> series,
+                                                   const CpdOptions& opt) {
+  const auto probs = change_probabilities(series, opt);
+  // z-scores of the change probabilities, excluding the trivial t=0 mass
+  // from the statistics so it cannot drown the signal.
+  std::span<const double> body(probs.data() + 1, probs.size() - 1);
+  std::vector<ChangePoint> out;
+  if (body.empty()) return out;
+  const double m = stats::mean(body);
+  const double sd = stats::sample_stddev(body);
+  if (sd <= 0.0) return out;
+  for (std::size_t t = 1; t < probs.size(); ++t) {
+    const double z = (probs[t] - m) / sd;
+    if (std::abs(z) >= opt.z_threshold) {
+      out.push_back(ChangePoint{t, probs[t], z});
+    }
+  }
+  return out;
+}
+
+std::optional<ChangePoint> most_significant_change(std::span<const double> series,
+                                                   const CpdOptions& opt) {
+  const auto all = significant_change_points(series, opt);
+  if (all.empty()) return std::nullopt;
+  const auto best = std::max_element(all.begin(), all.end(),
+                                     [](const ChangePoint& a, const ChangePoint& b) {
+                                       return std::abs(a.zscore) < std::abs(b.zscore);
+                                     });
+  return *best;
+}
+
+}  // namespace wefr::changepoint

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace wefr::changepoint {
+
+/// Priors and hazard for the Bayesian change-point model.
+///
+/// The observation model is piecewise-constant Gaussian with unknown
+/// mean and variance per segment, under a Normal-Gamma conjugate prior;
+/// segment lengths follow a geometric distribution with expected length
+/// `expected_run_length` (constant hazard), the discrete-time analogue
+/// of Fearnhead's exact multiple-change-point model.
+struct CpdOptions {
+  double expected_run_length = 50.0;  ///< 1/hazard
+  /// Prior mean; the default 0.0 means "auto": center on the series mean.
+  double prior_mean = 0.0;
+  double prior_kappa = 1.0;   ///< pseudo-observations for the mean
+  double prior_alpha = 1.0;   ///< Gamma shape for the precision
+  /// Gamma rate for the precision; leaving the default auto-scales to
+  /// the series' own variance so [0,1] survival rates and raw-valued
+  /// sequences both work unconfigured.
+  double prior_beta = 0.01;
+  /// z-score magnitude for a change probability to count as significant
+  /// (the paper uses 2.5, i.e. a 98.76% confidence level).
+  double z_threshold = 2.5;
+};
+
+/// Posterior change probability at each position of `series`:
+/// `result[t]` = P(a new segment starts at t | the whole series),
+/// computed by the exact forward-backward recursions of Fearnhead 2006
+/// over a geometric segment-length prior with Normal-Gamma segment
+/// marginals (O(n^2) with O(1) segment likelihoods via prefix sums).
+/// `result[0]` is 1 by construction (a segment trivially starts at 0).
+/// Throws on an empty series.
+std::vector<double> change_probabilities(std::span<const double> series,
+                                         const CpdOptions& opt = {});
+
+/// A detected change point.
+struct ChangePoint {
+  std::size_t index = 0;      ///< position in the series where the new segment starts
+  double probability = 0.0;   ///< posterior change probability at that position
+  double zscore = 0.0;        ///< z-score of that probability among all positions
+};
+
+/// All significant change points: positions (excluding 0) whose change
+/// probability deviates from the mean of change probabilities by at
+/// least `opt.z_threshold` standard deviations, per the paper's rule.
+std::vector<ChangePoint> significant_change_points(std::span<const double> series,
+                                                   const CpdOptions& opt = {});
+
+/// The single most significant change point (maximum |z-score| among the
+/// significant ones), or nullopt when no position passes the z
+/// threshold — e.g. MB1/MB2 in the paper, whose MWI_N range is too
+/// small to exhibit a survival-rate regime shift.
+std::optional<ChangePoint> most_significant_change(std::span<const double> series,
+                                                   const CpdOptions& opt = {});
+
+}  // namespace wefr::changepoint

@@ -1,0 +1,112 @@
+#include "changepoint/online_cpd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wefr::changepoint {
+
+OnlineChangePointDetector::OnlineChangePointDetector(const CpdOptions& opt) : opt_(opt) {
+  if (opt_.expected_run_length <= 1.0)
+    throw std::invalid_argument("OnlineChangePointDetector: expected_run_length <= 1");
+  hazard_ = 1.0 / opt_.expected_run_length;
+  prior_mean_set_ = opt_.prior_mean != 0.0;
+  prior_mean_ = opt_.prior_mean;
+}
+
+double OnlineChangePointDetector::predictive_logpdf(const RunStats& s, double x) const {
+  const double df = 2.0 * s.alpha;
+  const double scale2 = s.beta * (s.kappa + 1.0) / (s.alpha * s.kappa);
+  const double z2 = (x - s.mu) * (x - s.mu) / scale2;
+  return std::lgamma((df + 1.0) / 2.0) - std::lgamma(df / 2.0) -
+         0.5 * std::log(df * M_PI * scale2) - (df + 1.0) / 2.0 * std::log1p(z2 / df);
+}
+
+OnlineChangePointDetector::RunStats OnlineChangePointDetector::updated(const RunStats& s,
+                                                                       double x) const {
+  RunStats out;
+  out.kappa = s.kappa + 1.0;
+  out.mu = (s.kappa * s.mu + x) / out.kappa;
+  out.alpha = s.alpha + 0.5;
+  out.beta = s.beta + s.kappa * (x - s.mu) * (x - s.mu) / (2.0 * out.kappa);
+  return out;
+}
+
+double OnlineChangePointDetector::observe(double x) {
+  if (!prior_mean_set_) {
+    prior_mean_ = x;  // auto-center on the first observation
+    prior_mean_set_ = true;
+  }
+  const RunStats prior{prior_mean_, opt_.prior_kappa, opt_.prior_alpha,
+                       std::max(opt_.prior_beta, 1e-8)};
+
+  if (time_ == 0) {
+    r_prob_ = {1.0};
+    r_stats_ = {updated(prior, x)};
+    last_change_prob_ = 1.0;
+    ++time_;
+    return last_change_prob_;
+  }
+
+  const std::size_t k = r_prob_.size();
+  std::vector<double> logs(k);
+  double max_log = -INFINITY;
+  for (std::size_t r = 0; r < k; ++r) {
+    logs[r] = predictive_logpdf(r_stats_[r], x);
+    max_log = std::max(max_log, logs[r]);
+  }
+
+  std::vector<double> next_prob(k + 1, 0.0);
+  double cp_mass = 0.0;
+  for (std::size_t r = 0; r < k; ++r) {
+    const double pred = std::exp(logs[r] - max_log);
+    const double joint = r_prob_[r] * pred;
+    next_prob[r + 1] = joint * (1.0 - hazard_);
+    cp_mass += joint * hazard_;
+  }
+  next_prob[0] = cp_mass;
+
+  double total = 0.0;
+  for (double p : next_prob) total += p;
+  if (total <= 0.0 || !std::isfinite(total)) {
+    // Degenerate step (e.g. zero-variance stream): fall back to the
+    // hazard-only transition.
+    std::fill(next_prob.begin(), next_prob.end(), 0.0);
+    next_prob[0] = hazard_;
+    for (std::size_t r = 0; r < k; ++r) next_prob[r + 1] = r_prob_[r] * (1.0 - hazard_);
+    total = 1.0;
+  }
+  for (double& p : next_prob) p /= total;
+
+  std::vector<RunStats> next_stats(k + 1, prior);
+  next_stats[0] = updated(prior, x);
+  for (std::size_t r = 0; r < k; ++r) next_stats[r + 1] = updated(r_stats_[r], x);
+
+  r_prob_ = std::move(next_prob);
+  r_stats_ = std::move(next_stats);
+  // Short-run posterior mass: the run began within the last few steps.
+  // Exclude the full-history run lengths when the stream is still short.
+  last_change_prob_ = 0.0;
+  const std::size_t window = std::min(kShortRunWindow + 1, r_prob_.size());
+  for (std::size_t r = 0; r < window; ++r) last_change_prob_ += r_prob_[r];
+  if (r_prob_.size() <= kShortRunWindow + 1) last_change_prob_ = 1.0;
+  ++time_;
+  return last_change_prob_;
+}
+
+std::size_t OnlineChangePointDetector::map_run_length() const {
+  if (r_prob_.empty()) return 0;
+  return static_cast<std::size_t>(
+      std::max_element(r_prob_.begin(), r_prob_.end()) - r_prob_.begin());
+}
+
+void OnlineChangePointDetector::reset() {
+  r_prob_.clear();
+  r_stats_.clear();
+  last_change_prob_ = 1.0;
+  time_ = 0;
+  prior_mean_set_ = opt_.prior_mean != 0.0;
+  prior_mean_ = opt_.prior_mean;
+}
+
+}  // namespace wefr::changepoint

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "changepoint/bayes_cpd.h"
+
+namespace wefr::changepoint {
+
+/// Streaming Bayesian change-point detector (Adams-MacKay BOCPD with a
+/// constant hazard and Normal-Gamma segment marginals) — the online
+/// counterpart of the retrospective `change_probabilities`. Feed
+/// observations one at a time; after each, the posterior run-length
+/// distribution is available and `change_probability()` gives
+/// P(run length <= 3 | data so far), i.e. "a new regime began within
+/// the last few observations". (Under a constant hazard the posterior
+/// P(run = 0) is identically the hazard — the change signal manifests
+/// as posterior mass migrating to short run lengths in the steps after
+/// the shift, so a short-run window is the meaningful detector.)
+///
+/// Use this in monitoring loops that cannot re-scan history (the
+/// retrospective detector remains the reference for Figure-1 analysis).
+/// The mean prior centers on the first observation when
+/// `opt.prior_mean == 0` (the auto convention of CpdOptions).
+class OnlineChangePointDetector {
+ public:
+  explicit OnlineChangePointDetector(const CpdOptions& opt = {});
+
+  /// Consumes one observation and returns P(run length <= 3) after it.
+  double observe(double x);
+
+  /// Width of the short-run window defining change_probability().
+  static constexpr std::size_t kShortRunWindow = 3;
+
+  /// Change probability after the most recent observation (1.0 before
+  /// any data, by the convention that a segment starts at t = 0).
+  double change_probability() const { return last_change_prob_; }
+
+  /// Posterior over run lengths 0..t after the last observation.
+  const std::vector<double>& run_length_distribution() const { return r_prob_; }
+
+  /// Maximum-a-posteriori run length (0 before any data).
+  std::size_t map_run_length() const;
+
+  /// Observations consumed so far.
+  std::size_t time() const { return time_; }
+
+  /// Forgets all state (fresh stream).
+  void reset();
+
+ private:
+  struct RunStats {
+    double mu, kappa, alpha, beta;
+  };
+  RunStats updated(const RunStats& s, double x) const;
+  double predictive_logpdf(const RunStats& s, double x) const;
+
+  CpdOptions opt_;
+  double hazard_;
+  std::vector<double> r_prob_;
+  std::vector<RunStats> r_stats_;
+  double last_change_prob_ = 1.0;
+  std::size_t time_ = 0;
+  bool prior_mean_set_ = false;
+  double prior_mean_ = 0.0;
+};
+
+}  // namespace wefr::changepoint

@@ -1,0 +1,66 @@
+#include "core/auto_select.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/complexity.h"
+
+namespace wefr::core {
+
+AutoSelectResult auto_select(const data::Matrix& x, std::span<const int> y,
+                             std::span<const std::size_t> order,
+                             const AutoSelectOptions& opt) {
+  if (order.empty()) throw std::invalid_argument("auto_select: empty feature order");
+  if (opt.alpha < 0.0 || opt.alpha > 1.0)
+    throw std::invalid_argument("auto_select: alpha outside [0,1]");
+
+  const std::size_t nf = order.size();
+
+  // Ensemble complexity F per feature (normalized across the features
+  // under consideration), evaluated on the columns in scan order.
+  std::vector<std::vector<double>> columns(nf);
+  for (std::size_t i = 0; i < nf; ++i) columns[i] = x.column(order[i]);
+  const auto f_measure = stats::ensemble_complexity(columns, y);
+
+  AutoSelectResult out;
+  out.complexity.resize(nf);
+  for (std::size_t i = 0; i < nf; ++i) {
+    const double xi = static_cast<double>(i + 1) / static_cast<double>(nf);
+    out.complexity[i] = opt.alpha * f_measure[i] + (1.0 - opt.alpha) * xi;
+  }
+
+  // Seed: the top log2(n) features are always selected.
+  const std::size_t seed =
+      std::min(nf, std::max<std::size_t>(
+                       1, static_cast<std::size_t>(std::log2(static_cast<double>(nf)))));
+
+  std::size_t count = seed;
+  if (opt.rule == AutoSelectOptions::Rule::kComplexityMeanCut) {
+    double total = 0.0;
+    for (double e : out.complexity) total += e;
+    const double mean_e = total / static_cast<double>(nf);
+    for (std::size_t i = seed; i < nf; ++i) {
+      if (out.complexity[i] >= mean_e) break;
+      ++count;
+    }
+  } else {
+    // Literal Algorithm-1 recurrences: E_p := E_p + e; E := E + E_p.
+    double ep = 0.0, e_total = 0.0;
+    for (std::size_t i = 0; i < seed; ++i) {
+      ep += out.complexity[i];
+      e_total += ep;
+    }
+    for (std::size_t i = seed; i < nf; ++i) {
+      ep += out.complexity[i];
+      if (ep >= e_total) break;
+      e_total += ep;
+      ++count;
+    }
+  }
+
+  out.count = count;
+  out.selected.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(count));
+  return out;
+}
+
+}  // namespace wefr::core

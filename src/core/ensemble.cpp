@@ -1,0 +1,97 @@
+#include "core/ensemble.h"
+
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "stats/kendall.h"
+#include "stats/ranking.h"
+#include "util/thread_pool.h"
+
+namespace wefr::core {
+
+EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> rankers,
+                             const data::Matrix& x, std::span<const int> y,
+                             const EnsembleOptions& opt) {
+  if (rankers.empty()) throw std::invalid_argument("ensemble_rank: no rankers");
+  if (x.rows() != y.size()) throw std::invalid_argument("ensemble_rank: shape mismatch");
+
+  const std::size_t k = rankers.size();
+  const std::size_t nf = x.cols();
+
+  EnsembleResult out;
+  out.ranker_names.resize(k);
+  out.rankings.resize(k);
+  out.scores.resize(k);
+
+  auto run_one = [&](std::size_t i) {
+    out.ranker_names[i] = rankers[i]->name();
+    out.scores[i] = rankers[i]->score(x, y);
+    if (out.scores[i].size() != nf)
+      throw std::runtime_error("ensemble_rank: ranker returned wrong score count");
+    out.rankings[i] = stats::ranking_from_scores(out.scores[i]);
+  };
+  if (opt.num_threads > 1 && k > 1) {
+    util::ThreadPool pool(std::min(opt.num_threads, k));
+    pool.parallel_for(k, run_one);
+  } else {
+    for (std::size_t i = 0; i < k; ++i) run_one(i);
+  }
+
+  // Pairwise Kendall-tau distances and per-ranker mean distance D-bar.
+  out.mean_distance.assign(k, 0.0);
+  if (k > 1) {
+    std::vector<std::vector<double>> dist(k, std::vector<double>(k, 0.0));
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = a + 1; b < k; ++b) {
+        const double d = static_cast<double>(
+            stats::kendall_tau_distance(out.rankings[a], out.rankings[b]));
+        dist[a][b] = dist[b][a] = d;
+      }
+    }
+    for (std::size_t a = 0; a < k; ++a) {
+      double sum = 0.0;
+      for (std::size_t b = 0; b < k; ++b) {
+        if (b != a) sum += dist[a][b];
+      }
+      out.mean_distance[a] = sum / static_cast<double>(k - 1);
+    }
+  }
+
+  // Outlier pruning: drop rankers whose D-bar is more than outlier_z
+  // standard deviations ABOVE the mean of D-bar (one-sided — a ranker
+  // unusually close to the others is agreement, not bias). Population
+  // stddev: with k = 5 rankers the maximum sample-stddev z-score is
+  // (k-1)/sqrt(k) = 1.79 < 1.96, i.e. the paper's rule could never fire.
+  out.discarded.assign(k, false);
+  if (k > 2) {
+    const double m = stats::mean(out.mean_distance);
+    const double sd = stats::stddev(out.mean_distance);
+    if (sd > 0.0) {
+      for (std::size_t a = 0; a < k; ++a) {
+        if (out.mean_distance[a] > m + opt.outlier_z * sd) out.discarded[a] = true;
+      }
+    }
+    // Guard: never discard everything.
+    bool any_kept = false;
+    for (std::size_t a = 0; a < k; ++a) any_kept = any_kept || !out.discarded[a];
+    if (!any_kept) out.discarded.assign(k, false);
+  }
+
+  // Final ranking: mean of surviving rankings per feature.
+  out.final_ranking.assign(nf, 0.0);
+  std::size_t kept = 0;
+  for (std::size_t a = 0; a < k; ++a) {
+    if (out.discarded[a]) continue;
+    ++kept;
+    for (std::size_t f = 0; f < nf; ++f) out.final_ranking[f] += out.rankings[a][f];
+  }
+  for (std::size_t f = 0; f < nf; ++f) out.final_ranking[f] /= static_cast<double>(kept);
+
+  // Most-important-first order (smaller mean rank first; ties by index).
+  std::vector<double> neg(nf);
+  for (std::size_t f = 0; f < nf; ++f) neg[f] = -out.final_ranking[f];
+  out.order = stats::order_by_score(neg);
+  return out;
+}
+
+}  // namespace wefr::core

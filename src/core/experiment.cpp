@@ -1,0 +1,210 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/ranking.h"
+
+namespace wefr::core {
+
+namespace {
+
+/// Day layout of a phase: train on [0, boundary], validate on
+/// (boundary, test_start), test on [test_start, test_end].
+struct DayLayout {
+  int train_end = 0;  ///< last training day
+  int val_start = 0;
+  int val_end = 0;
+};
+
+DayLayout layout_for(const PhaseSpec& phase, double train_frac) {
+  if (phase.test_start < 20)
+    throw std::invalid_argument("layout_for: test phase starts too early");
+  DayLayout out;
+  const int train_days = phase.test_start;  // days [0, test_start-1]
+  out.train_end = static_cast<int>(train_days * train_frac) - 1;
+  out.train_end = std::clamp(out.train_end, 1, phase.test_start - 2);
+  out.val_start = out.train_end + 1;
+  out.val_end = phase.test_start - 1;
+  return out;
+}
+
+std::vector<std::size_t> top_fraction(const std::vector<std::size_t>& order, double frac) {
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(frac * static_cast<double>(order.size()))));
+  return {order.begin(), order.begin() + static_cast<std::ptrdiff_t>(std::min(k, order.size()))};
+}
+
+}  // namespace
+
+std::vector<PhaseSpec> standard_phases(int num_days, int num_phases, int phase_len) {
+  if (num_phases < 1 || phase_len < 1)
+    throw std::invalid_argument("standard_phases: bad phase spec");
+  if (num_days < (num_phases + 2) * phase_len)
+    throw std::invalid_argument("standard_phases: window too short");
+  std::vector<PhaseSpec> out;
+  for (int p = num_phases; p >= 1; --p) {
+    PhaseSpec spec;
+    spec.test_end = num_days - 1 - (p - 1) * phase_len;
+    spec.test_start = spec.test_end - phase_len + 1;
+    out.push_back(spec);
+  }
+  return out;
+}
+
+CompareOutcome compare_methods(const data::FleetData& fleet, const PhaseSpec& phase,
+                               const CompareConfig& cfg) {
+  const DayLayout days = layout_for(phase, cfg.exp.train_frac);
+  CompareOutcome out;
+
+  // Selection operates on training-period samples of the base features.
+  const data::Dataset selection = build_selection_samples(fleet, 0, days.train_end, cfg.exp);
+  const std::size_t nf = fleet.num_features();
+
+  auto eval_bundle_on = [&](const WefrPredictor& pred, int lo, int hi,
+                            const std::vector<bool>* mask = nullptr) {
+    const auto scores = score_fleet(fleet, pred, lo, hi, cfg.exp);
+    return evaluate_fixed_recall(fleet, scores, lo, hi, cfg.exp.horizon_days,
+                                 cfg.target_recall, mask);
+  };
+
+  // --- no feature selection ---
+  {
+    const auto cols = data::all_feature_columns(fleet);
+    const WefrPredictor pred = train_predictor(fleet, cols, 0, days.train_end, cfg.exp);
+    MethodEval me;
+    me.method = "No feature selection";
+    me.selected_fraction = 1.0;
+    me.selected_count = nf;
+    me.test = eval_bundle_on(pred, phase.test_start, phase.test_end);
+    out.methods.push_back(std::move(me));
+  }
+
+  // --- five single selectors, fraction tuned on the validation period ---
+  const auto rankers = make_standard_rankers(cfg.wefr.ranker_seed);
+  for (const auto& ranker : rankers) {
+    const auto scores_vec = ranker->score(selection.x, selection.y);
+    const auto order = stats::order_by_score(scores_vec);
+
+    MethodEval me;
+    me.method = ranker->name();
+    double best_f05 = -1.0;
+    WefrPredictor best_pred;
+    for (double frac : cfg.percent_sweep) {
+      const auto cols = top_fraction(order, frac);
+      WefrPredictor pred = train_predictor(fleet, cols, 0, days.train_end, cfg.exp);
+      const DriveLevelEval val = eval_bundle_on(pred, days.val_start, days.val_end);
+      if (val.f05 > best_f05) {
+        best_f05 = val.f05;
+        me.selected_fraction = frac;
+        me.selected_count = cols.size();
+        best_pred = std::move(pred);
+      }
+    }
+    me.best_validation_f05 = best_f05;
+    me.test = eval_bundle_on(best_pred, phase.test_start, phase.test_end);
+    out.methods.push_back(std::move(me));
+  }
+
+  // --- WEFR ---
+  {
+    out.wefr = run_wefr(fleet, selection, days.train_end, cfg.wefr);
+    const WefrPredictor pred =
+        train_predictor(fleet, out.wefr, 0, days.train_end, cfg.exp);
+    MethodEval me;
+    me.method = "WEFR";
+    me.selected_count = out.wefr.all.selected.size();
+    me.selected_fraction =
+        static_cast<double>(me.selected_count) / static_cast<double>(nf);
+    me.test = eval_bundle_on(pred, phase.test_start, phase.test_end);
+    out.methods.push_back(std::move(me));
+  }
+  return out;
+}
+
+AutoSweepOutcome sweep_fixed_fractions(const data::FleetData& fleet, const PhaseSpec& phase,
+                                       const CompareConfig& cfg) {
+  const DayLayout days = layout_for(phase, cfg.exp.train_frac);
+  const data::Dataset selection = build_selection_samples(fleet, 0, days.train_end, cfg.exp);
+
+  // Fixed fractions cut the WEFR final ranking; updating is irrelevant
+  // to the count question, so both arms run without wear grouping.
+  WefrOptions wopt = cfg.wefr;
+  wopt.update_with_wearout = false;
+  const WefrResult sel = run_wefr(fleet, selection, days.train_end, wopt);
+  const auto& order = sel.all.ensemble.order;
+  const std::size_t nf = order.size();
+
+  auto eval_cols = [&](const std::vector<std::size_t>& cols) {
+    const WefrPredictor pred = train_predictor(fleet, cols, 0, days.train_end, cfg.exp);
+    const auto scores = score_fleet(fleet, pred, phase.test_start, phase.test_end, cfg.exp);
+    return evaluate_fixed_recall(fleet, scores, phase.test_start, phase.test_end,
+                                 cfg.exp.horizon_days, cfg.target_recall);
+  };
+
+  AutoSweepOutcome out;
+  for (double frac : cfg.percent_sweep) {
+    SweepPoint pt;
+    pt.fraction = frac;
+    const auto cols = top_fraction(order, frac);
+    pt.count = cols.size();
+    pt.test = eval_cols(cols);
+    out.fixed.push_back(std::move(pt));
+  }
+
+  out.wefr.count = sel.all.selected.size();
+  out.wefr.fraction = static_cast<double>(out.wefr.count) / static_cast<double>(nf);
+  out.wefr.test = eval_cols(sel.all.selected);
+  return out;
+}
+
+UpdateComparison compare_update(const data::FleetData& fleet, const PhaseSpec& phase,
+                                const CompareConfig& cfg) {
+  const DayLayout days = layout_for(phase, cfg.exp.train_frac);
+  const data::Dataset selection = build_selection_samples(fleet, 0, days.train_end, cfg.exp);
+
+  WefrOptions with = cfg.wefr;
+  with.update_with_wearout = true;
+  WefrOptions without = cfg.wefr;
+  without.update_with_wearout = false;
+
+  const WefrResult sel_with = run_wefr(fleet, selection, days.train_end, with);
+  const WefrResult sel_without = run_wefr(fleet, selection, days.train_end, without);
+
+  UpdateComparison out;
+  if (sel_with.change_point.has_value())
+    out.wear_threshold = sel_with.change_point->mwi_threshold;
+
+  // Low-group mask: drives whose MWI_N entering the test phase is at or
+  // below the detected threshold.
+  std::vector<bool> low_mask(fleet.drives.size(), false);
+  if (out.wear_threshold.has_value()) {
+    const int mwi_col = fleet.feature_index("MWI_N");
+    for (std::size_t di = 0; di < fleet.drives.size(); ++di) {
+      const auto& drive = fleet.drives[di];
+      if (drive.num_days() == 0 || drive.first_day > phase.test_start) continue;
+      const int day = std::min(phase.test_start, drive.last_day());
+      const std::size_t local = static_cast<std::size_t>(day - drive.first_day);
+      low_mask[di] =
+          drive.values(local, static_cast<std::size_t>(mwi_col)) <= *out.wear_threshold;
+    }
+  }
+
+  auto eval_pred = [&](const WefrResult& sel, const std::vector<bool>* mask) {
+    const WefrPredictor pred = train_predictor(fleet, sel, 0, days.train_end, cfg.exp);
+    const auto scores = score_fleet(fleet, pred, phase.test_start, phase.test_end, cfg.exp);
+    return evaluate_fixed_recall(fleet, scores, phase.test_start, phase.test_end,
+                                 cfg.exp.horizon_days, cfg.target_recall, mask);
+  };
+
+  out.no_update_all = eval_pred(sel_without, nullptr);
+  out.update_all = eval_pred(sel_with, nullptr);
+  if (out.wear_threshold.has_value()) {
+    out.no_update_low = eval_pred(sel_without, &low_mask);
+    out.update_low = eval_pred(sel_with, &low_mask);
+  }
+  return out;
+}
+
+}  // namespace wefr::core

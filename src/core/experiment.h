@@ -1,0 +1,96 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/wefr.h"
+#include "data/fleet.h"
+
+namespace wefr::core {
+
+/// One testing phase: train on days [0, test_start-1] (8:2 train:val by
+/// day), test on [test_start, test_end].
+struct PhaseSpec {
+  int test_start = 0;
+  int test_end = 0;
+};
+
+/// Shared configuration for the evaluation experiments (Section V).
+struct CompareConfig {
+  ExperimentConfig exp;
+  WefrOptions wefr;
+  /// Fixed selected-feature fractions tried for the single-selector
+  /// baselines (the paper sweeps 10%..100%; the default grid keeps the
+  /// bench runtimes sane and can be widened).
+  std::vector<double> percent_sweep = {0.2, 0.4, 0.6, 0.8, 1.0};
+  /// The fixed recall at which methods are compared (paper Table VI
+  /// fixes per-model recalls: 37/32/34/32/18/19%).
+  double target_recall = 0.30;
+};
+
+/// Result of one method in the Exp#1 comparison.
+struct MethodEval {
+  std::string method;
+  DriveLevelEval test;              ///< test-phase metrics at fixed recall
+  double selected_fraction = 1.0;   ///< fraction of base features used
+  std::size_t selected_count = 0;
+  double best_validation_f05 = 0.0; ///< for tuned baselines
+};
+
+/// Exp#1 outcome: per-method metrics plus the WEFR diagnostics.
+struct CompareOutcome {
+  std::vector<MethodEval> methods;  ///< no-selection, 5 baselines, WEFR
+  WefrResult wefr;
+};
+
+/// Runs the Exp#1 protocol on one fleet and test phase: no selection,
+/// the five preliminary selectors (selected fraction tuned on the
+/// validation period), and WEFR; each method trains the paper's Random
+/// Forest predictor and is evaluated drive-level at the fixed recall.
+CompareOutcome compare_methods(const data::FleetData& fleet, const PhaseSpec& phase,
+                               const CompareConfig& cfg);
+
+/// One point of the Exp#2 fixed-fraction sweep.
+struct SweepPoint {
+  double fraction = 0.0;
+  std::size_t count = 0;
+  DriveLevelEval test;
+};
+
+/// Exp#2 outcome: F0.5 for fixed fractions of the WEFR final ranking,
+/// plus the automated WEFR operating point.
+struct AutoSweepOutcome {
+  std::vector<SweepPoint> fixed;
+  SweepPoint wefr;  ///< fraction = the automatically determined one
+};
+
+/// Runs the Exp#2 protocol: sweep fixed fractions of WEFR's final
+/// ensemble ranking against WEFR's automatically selected count.
+AutoSweepOutcome sweep_fixed_fractions(const data::FleetData& fleet, const PhaseSpec& phase,
+                                       const CompareConfig& cfg);
+
+/// Exp#3 outcome: WEFR with and without wear-out updating, evaluated on
+/// all drives and on the low-MWI_N drives only.
+struct UpdateComparison {
+  std::optional<double> wear_threshold;  ///< nullopt when no change point
+  DriveLevelEval no_update_all;
+  DriveLevelEval no_update_low;
+  DriveLevelEval update_all;
+  DriveLevelEval update_low;
+};
+
+/// Runs the Exp#3 protocol. "Low" rows evaluate only drives whose
+/// MWI_N at the start of the test phase is at or below the detected
+/// change-point threshold.
+UpdateComparison compare_update(const data::FleetData& fleet, const PhaseSpec& phase,
+                                const CompareConfig& cfg);
+
+/// Standard phase layout used by the benches: the last `num_phases`
+/// months (30-day blocks) of the window are the test phases, mirroring
+/// the paper's last-three-months protocol.
+std::vector<PhaseSpec> standard_phases(int num_days, int num_phases = 1,
+                                       int phase_len = 30);
+
+}  // namespace wefr::core

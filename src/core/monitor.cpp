@@ -1,0 +1,103 @@
+#include "core/monitor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wefr::core {
+
+FleetMonitor::FleetMonitor(const data::FleetData& fleet, MonitorOptions options)
+    : fleet_(fleet), opt_(std::move(options)), alarmed_(fleet.drives.size(), false) {
+  if (opt_.check_interval_days < 1)
+    throw std::invalid_argument("FleetMonitor: check_interval_days < 1");
+  if (opt_.warmup_days < 30) throw std::invalid_argument("FleetMonitor: warmup too short");
+  if (opt_.alarm_threshold <= 0.0 || opt_.alarm_threshold > 1.0)
+    throw std::invalid_argument("FleetMonitor: alarm_threshold outside (0,1]");
+  if (opt_.target_recall < 0.0 || opt_.target_recall > 1.0)
+    throw std::invalid_argument("FleetMonitor: target_recall outside [0,1]");
+  if (opt_.validation_frac <= 0.0 || opt_.validation_frac >= 1.0)
+    throw std::invalid_argument("FleetMonitor: validation_frac outside (0,1)");
+  current_day_ = opt_.warmup_days;
+  next_check_day_ = opt_.warmup_days;
+  threshold_ = opt_.alarm_threshold;
+}
+
+void FleetMonitor::run_check(int day) {
+  // Select features on everything observed strictly before `day`.
+  const int train_end = day - 1;
+  const auto samples = build_selection_samples(fleet_, 0, train_end, opt_.experiment);
+  if (samples.num_positive() == 0) return;  // nothing to learn from yet
+  WefrResult sel = run_wefr(fleet_, samples, train_end, opt_.wefr);
+
+  UpdateEvent ev;
+  ev.day = day;
+  if (sel.change_point.has_value()) ev.wear_threshold = sel.change_point->mwi_threshold;
+  ev.selected_all = sel.all.selected_names;
+  if (sel.low.has_value()) ev.selected_low = sel.low->selected_names;
+  if (sel.high.has_value()) ev.selected_high = sel.high->selected_names;
+  ev.features_changed =
+      !selection_.has_value() ||
+      selection_->all.selected != sel.all.selected ||
+      selection_->change_point.has_value() != sel.change_point.has_value();
+  updates_.push_back(ev);
+
+  const bool need_retrain =
+      opt_.retrain_every_check || ev.features_changed || !predictor_.has_value();
+  selection_ = std::move(sel);
+  if (need_retrain) {
+    predictor_ = train_predictor(fleet_, *selection_, 0, train_end, opt_.experiment);
+  }
+
+  // Recalibrate the alarm threshold to the fixed-recall operating point
+  // on the trailing validation slice.
+  if (opt_.target_recall > 0.0 && predictor_.has_value()) {
+    const int val_days =
+        std::max(7, static_cast<int>(opt_.validation_frac * static_cast<double>(day)));
+    const int val_start = std::max(0, train_end - val_days + 1);
+    const auto scores =
+        score_fleet(fleet_, *predictor_, val_start, train_end, opt_.experiment);
+    const auto eval =
+        evaluate_fixed_recall(fleet_, scores, val_start, train_end,
+                              opt_.experiment.horizon_days, opt_.target_recall);
+    if (eval.confusion.total() > 0 && eval.threshold > 0.0) {
+      threshold_ = eval.threshold;
+    }
+  }
+}
+
+std::vector<Alarm> FleetMonitor::advance_to(int day) {
+  if (day < current_day_) throw std::invalid_argument("FleetMonitor::advance_to: rewind");
+  day = std::min(day, fleet_.num_days);
+
+  std::vector<Alarm> alarms;
+  while (current_day_ < day) {
+    if (current_day_ >= next_check_day_) {
+      run_check(current_day_);
+      next_check_day_ = current_day_ + opt_.check_interval_days;
+    }
+    // Score the interval until the next check (or the advance target).
+    const int until = std::min(day, next_check_day_) - 1;
+    if (predictor_.has_value()) {
+      const auto scores =
+          score_fleet(fleet_, *predictor_, current_day_, until, opt_.experiment);
+      for (const auto& ds : scores) {
+        if (alarmed_[ds.drive_index]) continue;
+        for (std::size_t i = 0; i < ds.scores.size(); ++i) {
+          if (ds.scores[i] < threshold_) continue;
+          alarmed_[ds.drive_index] = true;
+          alarms.push_back(Alarm{ds.drive_index, ds.first_day + static_cast<int>(i),
+                                 ds.scores[i]});
+          break;
+        }
+      }
+    }
+    current_day_ = until + 1;
+  }
+  std::sort(alarms.begin(), alarms.end(), [](const Alarm& a, const Alarm& b) {
+    return a.day != b.day ? a.day < b.day : a.drive_index < b.drive_index;
+  });
+  return alarms;
+}
+
+std::vector<Alarm> FleetMonitor::run_to_end() { return advance_to(fleet_.num_days); }
+
+}  // namespace wefr::core

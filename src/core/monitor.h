@@ -1,0 +1,104 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/wefr.h"
+#include "data/fleet.h"
+
+namespace wefr::core {
+
+/// Controls for the operational monitoring loop (Section IV-D: WEFR
+/// "periodically checks the change points of MWI_N (one week in our
+/// case) and updates the selected features").
+struct MonitorOptions {
+  /// Days between change-point re-checks / feature updates.
+  int check_interval_days = 7;
+  /// Days of history required before the first model is trained.
+  int warmup_days = 120;
+  /// Retrain the predictor on every check even when the selected
+  /// features did not change (tracks drift); when false, retraining
+  /// happens only on feature-set changes.
+  bool retrain_every_check = true;
+  /// Alarm when the predicted failure probability reaches this value.
+  /// With `target_recall` set this is only the starting value — each
+  /// check recalibrates it.
+  double alarm_threshold = 0.5;
+  /// When positive, the alarm threshold is recalibrated at every check
+  /// to the fixed-recall operating point measured on the validation
+  /// slice (the trailing `validation_frac` of the training window) —
+  /// the paper's "subject to a fixed recall" deployment policy.
+  double target_recall = 0.0;
+  double validation_frac = 0.2;
+  ExperimentConfig experiment;
+  WefrOptions wefr;
+};
+
+/// A decommission recommendation emitted by the monitor.
+struct Alarm {
+  std::size_t drive_index = 0;
+  int day = 0;          ///< day the alarm fired
+  double score = 0.0;   ///< predicted failure probability
+};
+
+/// One feature-update event (for audit logs / Exp#3-style analysis).
+struct UpdateEvent {
+  int day = 0;
+  std::optional<double> wear_threshold;
+  std::vector<std::string> selected_all;
+  std::vector<std::string> selected_low;
+  std::vector<std::string> selected_high;
+  bool features_changed = false;
+};
+
+/// The paper's deployment loop as a reusable component: feed it a fleet
+/// and step it through time; it re-checks the MWI_N change point on the
+/// configured cadence, re-selects features per wear group, retrains the
+/// wear-routed Random Forest, and emits first-alarm decommission
+/// recommendations. Each drive alarms at most once (the paper evaluates
+/// on the first prediction).
+///
+/// The monitor only ever reads fleet data up to the day it has been
+/// stepped to — no lookahead into future observations.
+class FleetMonitor {
+ public:
+  FleetMonitor(const data::FleetData& fleet, MonitorOptions options);
+
+  /// Advances the monitor to `day` (exclusive of future days), running
+  /// any scheduled checks and scoring the elapsed days. Returns the
+  /// alarms raised in the advanced interval, in day order. `day` must
+  /// not decrease across calls.
+  std::vector<Alarm> advance_to(int day);
+
+  /// Runs the whole observation window; convenience for offline replay.
+  std::vector<Alarm> run_to_end();
+
+  /// Update (re-selection) events seen so far.
+  const std::vector<UpdateEvent>& updates() const { return updates_; }
+
+  /// Latest WEFR selection (empty optional before the first check).
+  const std::optional<WefrResult>& selection() const { return selection_; }
+
+  /// Day the monitor has been advanced to.
+  int current_day() const { return current_day_; }
+
+  /// The alarm threshold currently in force (recalibrated when
+  /// `target_recall` is set).
+  double active_threshold() const { return threshold_; }
+
+ private:
+  void run_check(int day);
+
+  const data::FleetData& fleet_;
+  MonitorOptions opt_;
+  int current_day_ = 0;
+  int next_check_day_ = 0;
+  double threshold_ = 0.5;
+  std::optional<WefrResult> selection_;
+  std::optional<WefrPredictor> predictor_;
+  std::vector<UpdateEvent> updates_;
+  std::vector<bool> alarmed_;
+};
+
+}  // namespace wefr::core

@@ -1,0 +1,330 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "data/window_features.h"
+#include "util/rng.h"
+
+namespace wefr::core {
+
+namespace {
+
+data::SamplingOptions sampling_for(const ExperimentConfig& cfg, int day_lo, int day_hi,
+                                   bool downsample) {
+  data::SamplingOptions opt;
+  opt.horizon_days = cfg.horizon_days;
+  opt.day_lo = day_lo;
+  opt.day_hi = day_hi;
+  opt.negative_keep_prob = downsample ? cfg.negative_keep_prob : 1.0;
+  opt.expand_windows = cfg.expand_windows;
+  opt.window_config = cfg.windows;
+  return opt;
+}
+
+}  // namespace
+
+data::Dataset build_selection_samples(const data::FleetData& fleet, int day_lo, int day_hi,
+                                      const ExperimentConfig& cfg) {
+  util::Rng rng(cfg.seed ^ 0x5e1ec7104b15ULL);
+  data::SamplingOptions opt;
+  opt.horizon_days = cfg.horizon_days;
+  opt.day_lo = day_lo;
+  opt.day_hi = day_hi;
+  opt.negative_keep_prob = cfg.negative_keep_prob;
+  opt.expand_windows = false;  // selection operates on the original features
+  return data::build_samples(fleet, opt, &rng);
+}
+
+PredictorBundle train_bundle(const data::FleetData& fleet,
+                             std::span<const std::size_t> base_cols, int day_lo, int day_hi,
+                             const ExperimentConfig& cfg,
+                             const std::function<bool(std::size_t, int)>& sample_filter) {
+  if (base_cols.empty()) throw std::invalid_argument("train_bundle: no base features");
+  util::Rng rng(cfg.seed ^ (0x9e3779b9ULL + base_cols.size() * 131 + base_cols[0]));
+
+  data::SamplingOptions opt = sampling_for(cfg, day_lo, day_hi, /*downsample=*/true);
+  opt.keep = sample_filter;
+  data::Dataset train = data::build_samples(fleet, base_cols, opt, &rng);
+  if (train.size() == 0) throw std::runtime_error("train_bundle: no training samples");
+
+  PredictorBundle bundle;
+  bundle.base_cols.assign(base_cols.begin(), base_cols.end());
+  bundle.forest.fit(train.x, train.y, cfg.forest, rng);
+  return bundle;
+}
+
+WefrPredictor train_predictor(const data::FleetData& fleet,
+                              std::span<const std::size_t> base_cols, int day_lo, int day_hi,
+                              const ExperimentConfig& cfg) {
+  WefrPredictor pred;
+  pred.all = train_bundle(fleet, base_cols, day_lo, day_hi, cfg);
+  pred.mwi_col = fleet.feature_index("MWI_N");
+  return pred;
+}
+
+WefrPredictor train_predictor(const data::FleetData& fleet, const WefrResult& sel,
+                              int day_lo, int day_hi, const ExperimentConfig& cfg) {
+  WefrPredictor pred;
+  pred.mwi_col = fleet.feature_index("MWI_N");
+  pred.all = train_bundle(fleet, sel.all.selected, day_lo, day_hi, cfg);
+
+  if (!sel.change_point.has_value() || !sel.low.has_value() || !sel.high.has_value() ||
+      pred.mwi_col < 0) {
+    return pred;
+  }
+  const double thr = sel.change_point->mwi_threshold;
+  const std::size_t mwi = static_cast<std::size_t>(pred.mwi_col);
+
+  auto group_filter = [&fleet, mwi, thr](bool want_low) {
+    return [&fleet, mwi, thr, want_low](std::size_t drive_index, int day) {
+      const auto& drive = fleet.drives[drive_index];
+      const std::size_t local = static_cast<std::size_t>(day - drive.first_day);
+      const bool is_low = drive.values(local, mwi) <= thr;
+      return is_low == want_low;
+    };
+  };
+
+  // A wear group gets its own model only when its training slice holds
+  // enough positives to learn from; otherwise scoring falls back to the
+  // whole-model bundle for that group.
+  auto try_group = [&](const GroupSelection& gs,
+                       bool want_low) -> std::optional<PredictorBundle> {
+    // A group whose selection fell back to the whole-model feature set
+    // has too few positives to support a specialized model either —
+    // route it to the whole-model bundle (updating then degrades to
+    // no-updating for that group instead of hurting it).
+    if (gs.fallback) return std::nullopt;
+    try {
+      util::Rng rng(cfg.seed ^ (want_low ? 0xa5a5ULL : 0x5a5aULL));
+      data::SamplingOptions opt = sampling_for(cfg, day_lo, day_hi, /*downsample=*/true);
+      opt.keep = group_filter(want_low);
+      data::Dataset train = data::build_samples(fleet, gs.selected, opt, &rng);
+      // A specialized model must beat the whole-model bundle it replaces;
+      // starved groups (few positives) reliably do worse, so fall back.
+      if (train.size() < 400 || train.num_positive() < 25) return std::nullopt;
+      PredictorBundle bundle;
+      bundle.base_cols = gs.selected;
+      bundle.forest.fit(train.x, train.y, cfg.forest, rng);
+      return bundle;
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+  };
+
+  pred.low = try_group(*sel.low, /*want_low=*/true);
+  pred.high = try_group(*sel.high, /*want_low=*/false);
+  if (pred.low.has_value() || pred.high.has_value()) pred.wear_threshold = thr;
+  return pred;
+}
+
+std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
+                                        const WefrPredictor& predictor, int t0, int t1,
+                                        const ExperimentConfig& cfg) {
+  if (t0 > t1) throw std::invalid_argument("score_fleet: t0 > t1");
+  std::vector<DriveDayScores> out;
+
+  const bool routed = predictor.wear_threshold.has_value() && predictor.mwi_col >= 0;
+
+  int max_win = 1;
+  for (int w : cfg.windows.windows) max_win = std::max(max_win, w);
+
+  for (std::size_t di = 0; di < fleet.drives.size(); ++di) {
+    const auto& drive = fleet.drives[di];
+    if (drive.num_days() == 0) continue;
+    const int lo = std::max(t0, drive.first_day);
+    const int hi = std::min(t1, drive.last_day());
+    if (lo > hi) continue;
+
+    // Slice to the scored range plus trailing-window history, then
+    // expand once per needed bundle.
+    const std::size_t history =
+        cfg.expand_windows ? static_cast<std::size_t>(max_win - 1) : 0;
+    const std::size_t lo_local = static_cast<std::size_t>(lo - drive.first_day);
+    const std::size_t slice_begin = lo_local >= history ? lo_local - history : 0;
+    const std::size_t slice_count =
+        static_cast<std::size_t>(hi - drive.first_day) - slice_begin + 1;
+    const data::Matrix sliced = drive.values.slice_rows(slice_begin, slice_count);
+
+    auto expand_for = [&](const PredictorBundle& b) {
+      return cfg.expand_windows ? data::expand_series(sliced, b.base_cols, cfg.windows)
+                                : sliced.select_columns(b.base_cols);
+    };
+
+    const data::Matrix all_feats = expand_for(predictor.all);
+    data::Matrix low_feats, high_feats;
+    if (routed && predictor.low.has_value()) low_feats = expand_for(*predictor.low);
+    if (routed && predictor.high.has_value()) high_feats = expand_for(*predictor.high);
+
+    DriveDayScores ds;
+    ds.drive_index = di;
+    ds.first_day = lo;
+    ds.scores.reserve(static_cast<std::size_t>(hi - lo + 1));
+    for (int day = lo; day <= hi; ++day) {
+      const std::size_t local =
+          static_cast<std::size_t>(day - drive.first_day) - slice_begin;
+      double score;
+      if (routed) {
+        const double mwi = sliced(local, static_cast<std::size_t>(predictor.mwi_col));
+        const bool is_low = mwi <= *predictor.wear_threshold;
+        if (is_low && predictor.low.has_value()) {
+          score = predictor.low->forest.predict_proba(low_feats.row(local));
+        } else if (!is_low && predictor.high.has_value()) {
+          score = predictor.high->forest.predict_proba(high_feats.row(local));
+        } else {
+          score = predictor.all.forest.predict_proba(all_feats.row(local));
+        }
+      } else {
+        score = predictor.all.forest.predict_proba(all_feats.row(local));
+      }
+      ds.scores.push_back(score);
+    }
+    out.push_back(std::move(ds));
+  }
+  return out;
+}
+
+namespace {
+
+/// Per-drive alarm lookup: earliest day whose score reaches a threshold.
+struct AlarmIndex {
+  std::size_t drive_index = 0;
+  bool actual_positive = false;
+  int fail_day = -1;
+  std::vector<double> scores_desc;
+  std::vector<int> earliest_day;  ///< earliest day among the top-k scores
+
+  /// Earliest alarm day at threshold thr, or -1 when no score reaches it.
+  int alarm_day(double thr) const {
+    // Count scores >= thr in the descending array.
+    const auto it = std::lower_bound(scores_desc.begin(), scores_desc.end(), thr,
+                                     [](double s, double t) { return s >= t; });
+    const std::size_t k = static_cast<std::size_t>(it - scores_desc.begin());
+    return k == 0 ? -1 : earliest_day[k - 1];
+  }
+};
+
+}  // namespace
+
+DriveLevelEval evaluate_fixed_recall(const data::FleetData& fleet,
+                                     std::span<const DriveDayScores> scores, int t0, int t1,
+                                     int horizon, double target_recall,
+                                     const std::vector<bool>* drive_mask) {
+  if (target_recall < 0.0 || target_recall > 1.0)
+    throw std::invalid_argument("evaluate_fixed_recall: target outside [0,1]");
+
+  std::vector<AlarmIndex> drives;
+  std::vector<double> all_scores;
+  for (const auto& ds : scores) {
+    if (drive_mask != nullptr &&
+        (ds.drive_index >= drive_mask->size() || !(*drive_mask)[ds.drive_index]))
+      continue;
+    const auto& drive = fleet.drives[ds.drive_index];
+    AlarmIndex ai;
+    ai.drive_index = ds.drive_index;
+    ai.fail_day = drive.fail_day;
+    ai.actual_positive = drive.failed() && drive.fail_day > t0 &&
+                         drive.fail_day <= t1 + horizon;
+
+    std::vector<std::pair<double, int>> pairs;
+    pairs.reserve(ds.scores.size());
+    for (std::size_t i = 0; i < ds.scores.size(); ++i) {
+      pairs.emplace_back(ds.scores[i], ds.first_day + static_cast<int>(i));
+      all_scores.push_back(ds.scores[i]);
+    }
+    std::sort(pairs.begin(), pairs.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    ai.scores_desc.reserve(pairs.size());
+    ai.earliest_day.reserve(pairs.size());
+    int earliest = INT32_MAX;
+    for (const auto& [s, d] : pairs) {
+      earliest = std::min(earliest, d);
+      ai.scores_desc.push_back(s);
+      ai.earliest_day.push_back(earliest);
+    }
+    drives.push_back(std::move(ai));
+  }
+
+  DriveLevelEval best;
+  if (drives.empty() || all_scores.empty()) return best;
+
+  // Candidate thresholds: up to ~400 quantiles of all scores plus a
+  // sentinel above the maximum (predict nothing).
+  std::sort(all_scores.begin(), all_scores.end());
+  all_scores.erase(std::unique(all_scores.begin(), all_scores.end()), all_scores.end());
+  std::vector<double> candidates;
+  const std::size_t want = 400;
+  if (all_scores.size() <= want) {
+    candidates = all_scores;
+  } else {
+    for (std::size_t i = 0; i < want; ++i) {
+      const std::size_t j = i * (all_scores.size() - 1) / (want - 1);
+      candidates.push_back(all_scores[j]);
+    }
+    candidates.erase(std::unique(candidates.begin(), candidates.end()), candidates.end());
+  }
+  candidates.push_back(all_scores.back() + 1.0);
+
+  // Paper-style drive-level accounting: precision is over predicted
+  // drives (first alarm must be followed by the failure within the
+  // horizon), recall is over ALL actually-failing drives — a premature
+  // alarm therefore counts against both (fp and fn).
+  auto eval_at = [&](double thr) {
+    ml::Confusion c;
+    for (const auto& ai : drives) {
+      const int alarm = ai.alarm_day(thr);
+      const bool predicted = alarm >= 0;
+      const bool correct =
+          predicted && ai.fail_day > alarm && ai.fail_day <= alarm + horizon;
+      if (correct) ++c.tp;
+      if (predicted && !correct) ++c.fp;
+      if (ai.actual_positive && !correct) ++c.fn;
+      if (!predicted && !ai.actual_positive) ++c.tn;
+    }
+    return c;
+  };
+
+  // Fixed-recall semantics: among operating points reaching the target,
+  // take the one with the SMALLEST recall (the point just past the
+  // target — methods are then compared at matched recall, as in the
+  // paper's tables), breaking ties by precision then threshold. When the
+  // target is unreachable, fall back to the maximum-recall point.
+  bool have_target = false;
+  bool have_any = false;
+  for (double thr : candidates) {
+    const ml::Confusion c = eval_at(thr);
+    const double p = ml::precision(c);
+    const double r = ml::recall(c);
+    const bool meets = r >= target_recall;
+    bool better = false;
+    if (!have_any) {
+      better = true;
+    } else if (meets && !have_target) {
+      better = true;
+    } else if (meets == have_target) {
+      if (meets) {
+        better = r < best.recall ||
+                 (r == best.recall &&
+                  (p > best.precision ||
+                   (p == best.precision && thr > best.threshold)));
+      } else {
+        better = r > best.recall || (r == best.recall && p > best.precision);
+      }
+    }
+    if (better) {
+      best.confusion = c;
+      best.precision = p;
+      best.recall = r;
+      best.f05 = ml::f05(c);
+      best.threshold = thr;
+      best.achieved_recall = r;
+      have_any = true;
+      have_target = have_target || meets;
+    }
+  }
+  return best;
+}
+
+}  // namespace wefr::core

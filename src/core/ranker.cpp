@@ -1,0 +1,138 @@
+#include "core/ranker.h"
+
+#include <cmath>
+
+#include "ml/linear.h"
+#include "stats/correlation.h"
+#include "stats/information.h"
+#include "stats/jindex.h"
+#include "stats/ranking.h"
+
+namespace wefr::core {
+
+namespace {
+
+std::vector<double> labels_as_double(std::span<const int> y) {
+  std::vector<double> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) out[i] = static_cast<double>(y[i]);
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> FeatureRanker::ranking(const data::Matrix& x,
+                                           std::span<const int> y) const {
+  return stats::ranking_from_scores(score(x, y));
+}
+
+std::vector<double> PearsonRanker::score(const data::Matrix& x,
+                                         std::span<const int> y) const {
+  const auto yd = labels_as_double(y);
+  std::vector<double> out(x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    out[c] = std::abs(stats::pearson(x.column(c), yd));
+  }
+  return out;
+}
+
+std::vector<double> SpearmanRanker::score(const data::Matrix& x,
+                                          std::span<const int> y) const {
+  const auto yd = labels_as_double(y);
+  std::vector<double> out(x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    out[c] = std::abs(stats::spearman(x.column(c), yd));
+  }
+  return out;
+}
+
+std::vector<double> JIndexRanker::score(const data::Matrix& x,
+                                        std::span<const int> y) const {
+  std::vector<double> out(x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    out[c] = stats::youden_j_index(x.column(c), y);
+  }
+  return out;
+}
+
+ml::ForestOptions RandomForestRanker::default_options() {
+  ml::ForestOptions opt;
+  opt.num_trees = 32;
+  opt.tree.max_depth = 10;
+  opt.tree.min_samples_leaf = 5;
+  return opt;
+}
+
+std::vector<double> RandomForestRanker::score(const data::Matrix& x,
+                                              std::span<const int> y) const {
+  util::Rng rng(seed_);
+  ml::RandomForest forest;
+  forest.fit(x, y, opt_, rng);
+  if (use_permutation_) return forest.permutation_importance(x, y, rng);
+  return forest.impurity_importance();
+}
+
+ml::GbdtOptions XgboostRanker::default_options() {
+  ml::GbdtOptions opt;
+  opt.num_rounds = 30;
+  opt.max_depth = 4;
+  opt.learning_rate = 0.25;
+  opt.colsample = 0.7;
+  return opt;
+}
+
+std::vector<double> XgboostRanker::score(const data::Matrix& x,
+                                         std::span<const int> y) const {
+  util::Rng rng(seed_);
+  ml::Gbdt booster;
+  booster.fit(x, y, opt_, rng);
+  return booster.combined_importance();
+}
+
+std::vector<double> MutualInformationRanker::score(const data::Matrix& x,
+                                                   std::span<const int> y) const {
+  std::vector<double> out(x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    out[c] = stats::mutual_information(x.column(c), y, bins_);
+  }
+  return out;
+}
+
+std::vector<double> ChiSquareRanker::score(const data::Matrix& x,
+                                           std::span<const int> y) const {
+  std::vector<double> out(x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    out[c] = stats::chi_square_statistic(x.column(c), y, bins_);
+  }
+  return out;
+}
+
+std::vector<double> LogisticRanker::score(const data::Matrix& x,
+                                          std::span<const int> y) const {
+  util::Rng rng(seed_);
+  ml::LogisticRegression model;
+  model.fit(x, y, ml::LogisticOptions{}, rng);
+  std::vector<double> out(model.coefficients().size());
+  for (std::size_t f = 0; f < out.size(); ++f) out[f] = std::abs(model.coefficients()[f]);
+  return out;
+}
+
+std::vector<std::unique_ptr<FeatureRanker>> make_standard_rankers(std::uint64_t seed) {
+  std::vector<std::unique_ptr<FeatureRanker>> out;
+  out.push_back(std::make_unique<PearsonRanker>());
+  out.push_back(std::make_unique<SpearmanRanker>());
+  out.push_back(std::make_unique<JIndexRanker>());
+  out.push_back(std::make_unique<RandomForestRanker>(RandomForestRanker::default_options(),
+                                                     /*use_permutation=*/false, seed));
+  out.push_back(std::make_unique<XgboostRanker>(XgboostRanker::default_options(), seed + 4));
+  return out;
+}
+
+std::vector<std::unique_ptr<FeatureRanker>> make_extended_rankers(std::uint64_t seed) {
+  auto out = make_standard_rankers(seed);
+  out.push_back(std::make_unique<MutualInformationRanker>());
+  out.push_back(std::make_unique<ChiSquareRanker>());
+  out.push_back(std::make_unique<LogisticRanker>(seed + 12));
+  return out;
+}
+
+}  // namespace wefr::core

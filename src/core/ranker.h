@@ -1,0 +1,139 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/matrix.h"
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace wefr::core {
+
+/// A preliminary feature-selection approach: assigns every learning
+/// feature an importance score (higher = more important). WEFR runs
+/// five of these (Section II-C) and combines their rankings.
+class FeatureRanker {
+ public:
+  virtual ~FeatureRanker() = default;
+
+  /// Human-readable name ("Pearson", "XGBoost", ...).
+  virtual std::string name() const = 0;
+
+  /// Importance score per feature column of `x` against labels `y`.
+  virtual std::vector<double> score(const data::Matrix& x, std::span<const int> y) const = 0;
+
+  /// 1-based fractional ranking derived from score() (rank 1 = most
+  /// important; ties averaged).
+  std::vector<double> ranking(const data::Matrix& x, std::span<const int> y) const;
+};
+
+/// |Pearson correlation| between each feature and the target.
+class PearsonRanker final : public FeatureRanker {
+ public:
+  std::string name() const override { return "Pearson"; }
+  std::vector<double> score(const data::Matrix& x, std::span<const int> y) const override;
+};
+
+/// |Spearman correlation| between each feature and the target.
+class SpearmanRanker final : public FeatureRanker {
+ public:
+  std::string name() const override { return "Spearman"; }
+  std::vector<double> score(const data::Matrix& x, std::span<const int> y) const override;
+};
+
+/// Youden J-index of each feature as a single-threshold classifier.
+class JIndexRanker final : public FeatureRanker {
+ public:
+  std::string name() const override { return "J-index"; }
+  std::vector<double> score(const data::Matrix& x, std::span<const int> y) const override;
+};
+
+/// Random-Forest feature-importance evaluation. `use_permutation`
+/// selects Breiman's noise-injection (permutation) importance, the
+/// variant the paper describes; impurity importance is the faster
+/// default for repeated selection runs.
+class RandomForestRanker final : public FeatureRanker {
+ public:
+  explicit RandomForestRanker(ml::ForestOptions opt = default_options(),
+                              bool use_permutation = false, std::uint64_t seed = 7)
+      : opt_(opt), use_permutation_(use_permutation), seed_(seed) {}
+
+  std::string name() const override { return "RandomForest"; }
+  std::vector<double> score(const data::Matrix& x, std::span<const int> y) const override;
+
+  /// Lighter forest than the prediction model: selection only needs a
+  /// stable importance ordering, not a calibrated classifier.
+  static ml::ForestOptions default_options();
+
+ private:
+  ml::ForestOptions opt_;
+  bool use_permutation_;
+  std::uint64_t seed_;
+};
+
+/// XGBoost-style gradient-boosting importance (weight + gain combined).
+class XgboostRanker final : public FeatureRanker {
+ public:
+  explicit XgboostRanker(ml::GbdtOptions opt = default_options(), std::uint64_t seed = 11)
+      : opt_(opt), seed_(seed) {}
+
+  std::string name() const override { return "XGBoost"; }
+  std::vector<double> score(const data::Matrix& x, std::span<const int> y) const override;
+
+  static ml::GbdtOptions default_options();
+
+ private:
+  ml::GbdtOptions opt_;
+  std::uint64_t seed_;
+};
+
+/// Mutual information between the equal-frequency-binned feature and
+/// the target. Not one of the paper's five; WEFR's ensemble accepts any
+/// set of "common feature selection approaches", and this is a common
+/// one — see make_extended_rankers().
+class MutualInformationRanker final : public FeatureRanker {
+ public:
+  explicit MutualInformationRanker(int bins = 10) : bins_(bins) {}
+  std::string name() const override { return "MutualInfo"; }
+  std::vector<double> score(const data::Matrix& x, std::span<const int> y) const override;
+
+ private:
+  int bins_;
+};
+
+/// Chi-square statistic of independence between the binned feature and
+/// the target (extended set).
+class ChiSquareRanker final : public FeatureRanker {
+ public:
+  explicit ChiSquareRanker(int bins = 10) : bins_(bins) {}
+  std::string name() const override { return "ChiSquare"; }
+  std::vector<double> score(const data::Matrix& x, std::span<const int> y) const override;
+
+ private:
+  int bins_;
+};
+
+/// |standardized logistic-regression coefficient| per feature (extended
+/// set): a linear-model importance complementing the tree ensembles.
+class LogisticRanker final : public FeatureRanker {
+ public:
+  explicit LogisticRanker(std::uint64_t seed = 19) : seed_(seed) {}
+  std::string name() const override { return "Logistic"; }
+  std::vector<double> score(const data::Matrix& x, std::span<const int> y) const override;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// The paper's five preliminary approaches, in Section II-C order.
+std::vector<std::unique_ptr<FeatureRanker>> make_standard_rankers(std::uint64_t seed = 7);
+
+/// The five plus three further common approaches (mutual information,
+/// chi-square, logistic coefficients) — demonstrates that WEFR's
+/// ensemble is open to any preliminary selector set.
+std::vector<std::unique_ptr<FeatureRanker>> make_extended_rankers(std::uint64_t seed = 7);
+
+}  // namespace wefr::core

@@ -1,0 +1,77 @@
+#include "core/wefr.h"
+
+#include <stdexcept>
+
+namespace wefr::core {
+
+GroupSelection select_features_for(const data::Dataset& samples, const WefrOptions& opt,
+                                   const std::string& label) {
+  if (samples.size() == 0) throw std::invalid_argument("select_features_for: empty sample set");
+  GroupSelection out;
+  out.label = label;
+  out.num_samples = samples.size();
+  out.num_positives = samples.num_positive();
+
+  const auto rankers = make_standard_rankers(opt.ranker_seed);
+  out.ensemble = ensemble_rank(rankers, samples.x, samples.y, opt.ensemble);
+  out.selection = auto_select(samples.x, samples.y, out.ensemble.order, opt.auto_select);
+  out.selected = out.selection.selected;
+  out.selected_names.reserve(out.selected.size());
+  for (std::size_t c : out.selected) out.selected_names.push_back(samples.feature_names[c]);
+  return out;
+}
+
+WefrResult run_wefr(const data::FleetData& fleet, const data::Dataset& train,
+                    int train_day_end, const WefrOptions& opt) {
+  if (train.feature_names != fleet.feature_names)
+    throw std::invalid_argument(
+        "run_wefr: train dataset must carry the fleet's base features");
+
+  WefrResult out;
+  // Lines 1-8: ensemble ranking + automated selection on all samples.
+  out.all = select_features_for(train, opt, "all");
+
+  if (!opt.update_with_wearout) return out;
+
+  // Lines 9-15: change-point detection on the survival-rate curve and
+  // per-wear-group re-selection.
+  const int mwi_col = fleet.feature_index("MWI_N");
+  if (mwi_col < 0) return out;  // model without a wear indicator: nothing to update
+
+  out.survival = survival_vs_mwi(fleet, train_day_end, opt.survival_min_count,
+                                 opt.survival_bucket_width);
+  out.change_point = detect_wear_change_point(out.survival, opt.cpd);
+  if (!out.change_point.has_value()) return out;
+
+  const double thr = out.change_point->mwi_threshold;
+  std::vector<std::size_t> low_idx, high_idx;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    (train.x(i, static_cast<std::size_t>(mwi_col)) <= thr ? low_idx : high_idx).push_back(i);
+  }
+
+  auto select_group = [&](const std::vector<std::size_t>& idx,
+                          const std::string& label) -> GroupSelection {
+    GroupSelection gs;
+    if (!idx.empty()) {
+      const data::Dataset group = data::subset(train, idx);
+      if (group.num_positive() >= opt.min_group_positives) {
+        gs = select_features_for(group, opt, label);
+        return gs;
+      }
+      gs.num_samples = group.size();
+      gs.num_positives = group.num_positive();
+    }
+    // Too small to re-select robustly: inherit the whole-model features.
+    gs.label = label;
+    gs.fallback = true;
+    gs.selected = out.all.selected;
+    gs.selected_names = out.all.selected_names;
+    return gs;
+  };
+
+  out.low = select_group(low_idx, "low");
+  out.high = select_group(high_idx, "high");
+  return out;
+}
+
+}  // namespace wefr::core

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "changepoint/bayes_cpd.h"
+#include "core/auto_select.h"
+#include "core/ensemble.h"
+#include "core/survival.h"
+#include "data/dataset.h"
+#include "data/fleet.h"
+
+namespace wefr::core {
+
+/// Controls for the full WEFR algorithm (Algorithm 1 of the paper).
+struct WefrOptions {
+  EnsembleOptions ensemble;
+  AutoSelectOptions auto_select;
+  changepoint::CpdOptions cpd;
+  /// Lines 9-15 of Algorithm 1: detect the MWI_N change point and
+  /// re-select features per wear group. false = "WEFR (No update)".
+  bool update_with_wearout = true;
+  /// A wear group re-selects its own features only when it holds at
+  /// least this many positive samples; otherwise it inherits the
+  /// whole-model selection (robustness guard for tiny groups).
+  std::size_t min_group_positives = 30;
+  /// Seed for the stochastic rankers (Random Forest / XGBoost).
+  std::uint64_t ranker_seed = 7;
+  /// Survival-curve construction for change-point detection: minimum
+  /// drives per MWI_N bucket, and bucket width (1 = per integer value
+  /// as in the paper; wider stabilizes small fleets).
+  std::size_t survival_min_count = 5;
+  int survival_bucket_width = 1;
+};
+
+/// Feature selection for one population (whole model, or one wear group).
+struct GroupSelection {
+  std::string label;                       ///< "all", "low", or "high"
+  EnsembleResult ensemble;                 ///< preliminary rankings + pruning
+  AutoSelectResult selection;              ///< automated count choice
+  std::vector<std::size_t> selected;       ///< selected base-feature columns
+  std::vector<std::string> selected_names; ///< same, as names
+  std::size_t num_samples = 0;
+  std::size_t num_positives = 0;
+  /// True when this group fell back to the whole-model selection
+  /// because it had too few positives.
+  bool fallback = false;
+};
+
+/// Full WEFR output for one drive model.
+struct WefrResult {
+  GroupSelection all;                       ///< Lines 1-8 on the full population
+  SurvivalCurve survival;                   ///< survival-rate-vs-MWI_N curve
+  std::optional<WearChangePoint> change_point;
+  std::optional<GroupSelection> low;        ///< MWI_N <= threshold
+  std::optional<GroupSelection> high;       ///< MWI_N >  threshold
+};
+
+/// Runs the ensemble ranking + automated selection (Lines 1-8) on one
+/// sample population.
+GroupSelection select_features_for(const data::Dataset& samples, const WefrOptions& opt,
+                                   const std::string& label = "all");
+
+/// Runs full WEFR (Algorithm 1). `train` must be a base-feature sample
+/// set (no window expansion) whose feature names match `fleet`'s; the
+/// survival curve is computed from fleet state as of `train_day_end`
+/// (no test-period leakage). When a significant change point exists and
+/// updating is enabled, samples are grouped by their MWI_N value on the
+/// sample day and features are re-selected per group.
+WefrResult run_wefr(const data::FleetData& fleet, const data::Dataset& train,
+                    int train_day_end, const WefrOptions& opt = {});
+
+}  // namespace wefr::core

@@ -1,0 +1,102 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace wefr::data {
+
+namespace {
+constexpr int kMetaCols = 4;  // drive_id, day, failed, fail_day
+}
+
+void write_fleet_csv(const FleetData& fleet, std::ostream& os) {
+  os << "drive_id,day,failed,fail_day";
+  for (const auto& name : fleet.feature_names) os << ',' << name;
+  os << '\n';
+  os.precision(17);
+  for (const auto& drive : fleet.drives) {
+    for (std::size_t d = 0; d < drive.num_days(); ++d) {
+      os << drive.drive_id << ',' << (drive.first_day + static_cast<int>(d)) << ','
+         << (drive.failed() ? 1 : 0) << ',' << drive.fail_day;
+      for (double v : drive.values.row(d)) os << ',' << v;
+      os << '\n';
+    }
+  }
+}
+
+void write_fleet_csv(const FleetData& fleet, const std::string& path) {
+  std::ofstream ofs(path);
+  if (!ofs) throw std::runtime_error("write_fleet_csv: cannot open " + path);
+  write_fleet_csv(fleet, ofs);
+  if (!ofs) throw std::runtime_error("write_fleet_csv: write failed for " + path);
+}
+
+FleetData read_fleet_csv(std::istream& is, const std::string& model_name) {
+  FleetData fleet;
+  fleet.model_name = model_name;
+
+  std::string line;
+  if (!std::getline(is, line)) throw std::runtime_error("read_fleet_csv: empty input");
+  auto header = util::split(util::trim(line), ',');
+  if (header.size() < kMetaCols + 1)
+    throw std::runtime_error("read_fleet_csv: header too short");
+  if (header[0] != "drive_id" || header[1] != "day" || header[2] != "failed" ||
+      header[3] != "fail_day")
+    throw std::runtime_error("read_fleet_csv: unexpected header");
+  fleet.feature_names.assign(header.begin() + kMetaCols, header.end());
+  const std::size_t nf = fleet.feature_names.size();
+
+  DriveSeries* current = nullptr;
+  int max_day = -1;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    auto fields = util::split(trimmed, ',');
+    if (fields.size() != kMetaCols + nf)
+      throw std::runtime_error("read_fleet_csv: wrong field count at line " +
+                               std::to_string(line_no));
+    const std::string& id = fields[0];
+    double day_d, failed_d, fail_day_d;
+    if (!util::parse_double(fields[1], day_d) || !util::parse_double(fields[2], failed_d))
+      throw std::runtime_error("read_fleet_csv: bad day/failed at line " +
+                               std::to_string(line_no));
+    // fail_day may be -1 for healthy drives.
+    if (!util::parse_double(fields[3], fail_day_d))
+      throw std::runtime_error("read_fleet_csv: bad fail_day at line " + std::to_string(line_no));
+    const int day = static_cast<int>(day_d);
+
+    if (current == nullptr || current->drive_id != id) {
+      fleet.drives.emplace_back();
+      current = &fleet.drives.back();
+      current->drive_id = id;
+      current->first_day = day;
+      current->fail_day = static_cast<int>(fail_day_d);
+      current->values = Matrix(0, nf);
+    } else if (day != current->last_day() + 1) {
+      throw std::runtime_error("read_fleet_csv: non-contiguous days for drive " + id +
+                               " at line " + std::to_string(line_no));
+    }
+    std::vector<double> row(nf);
+    for (std::size_t i = 0; i < nf; ++i) {
+      if (!util::parse_double(fields[kMetaCols + i], row[i]))
+        throw std::runtime_error("read_fleet_csv: bad value at line " + std::to_string(line_no));
+    }
+    current->values.push_row(row);
+    max_day = std::max(max_day, day);
+  }
+  fleet.num_days = max_day + 1;
+  return fleet;
+}
+
+FleetData read_fleet_csv(const std::string& path, const std::string& model_name) {
+  std::ifstream ifs(path);
+  if (!ifs) throw std::runtime_error("read_fleet_csv: cannot open " + path);
+  return read_fleet_csv(ifs, model_name);
+}
+
+}  // namespace wefr::data

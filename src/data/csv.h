@@ -1,0 +1,25 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/fleet.h"
+
+namespace wefr::data {
+
+/// CSV serialization of fleets in the long format used by the released
+/// Alibaba dataset: one row per (drive, day) with columns
+///   drive_id, day, failed_within_dataset, fail_day, <feature...>
+///
+/// The format round-trips exactly through write/read (modulo double
+/// formatting at 17 significant digits).
+void write_fleet_csv(const FleetData& fleet, std::ostream& os);
+void write_fleet_csv(const FleetData& fleet, const std::string& path);
+
+/// Parses a fleet from the long CSV format. Rows for one drive must be
+/// contiguous and day-ordered (as produced by write_fleet_csv); throws
+/// std::runtime_error on malformed input.
+FleetData read_fleet_csv(std::istream& is, const std::string& model_name);
+FleetData read_fleet_csv(const std::string& path, const std::string& model_name);
+
+}  // namespace wefr::data

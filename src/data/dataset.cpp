@@ -1,0 +1,73 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace wefr::data {
+
+void Dataset::validate() const {
+  const std::size_t n = y.size();
+  if (x.rows() != n || drive_index.size() != n || day.size() != n)
+    throw std::logic_error("Dataset::validate: parallel array length mismatch");
+  if (feature_names.size() != x.cols())
+    throw std::logic_error("Dataset::validate: feature name count mismatch");
+  for (int v : y) {
+    if (v != 0 && v != 1) throw std::logic_error("Dataset::validate: label not in {0,1}");
+  }
+}
+
+Dataset subset(const Dataset& ds, std::span<const std::size_t> idx) {
+  Dataset out;
+  out.feature_names = ds.feature_names;
+  out.x = ds.x.select_rows(idx);
+  out.y.reserve(idx.size());
+  out.drive_index.reserve(idx.size());
+  out.day.reserve(idx.size());
+  for (std::size_t i : idx) {
+    if (i >= ds.size()) throw std::out_of_range("subset: row index");
+    out.y.push_back(ds.y[i]);
+    out.drive_index.push_back(ds.drive_index[i]);
+    out.day.push_back(ds.day[i]);
+  }
+  return out;
+}
+
+Dataset select_features(const Dataset& ds, std::span<const std::size_t> cols) {
+  Dataset out;
+  out.x = ds.x.select_columns(cols);
+  out.y = ds.y;
+  out.drive_index = ds.drive_index;
+  out.day = ds.day;
+  out.feature_names.reserve(cols.size());
+  for (std::size_t c : cols) out.feature_names.push_back(ds.feature_names[c]);
+  return out;
+}
+
+std::vector<std::size_t> indices_in_day_range(const Dataset& ds, int day_lo, int day_hi) {
+  std::vector<std::size_t> idx;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (ds.day[i] >= day_lo && ds.day[i] <= day_hi) idx.push_back(i);
+  }
+  return idx;
+}
+
+TimeSplit split_train_validation(const Dataset& ds, double train_frac) {
+  if (train_frac <= 0.0 || train_frac >= 1.0)
+    throw std::invalid_argument("split_train_validation: train_frac must be in (0,1)");
+  std::set<int> distinct(ds.day.begin(), ds.day.end());
+  TimeSplit out;
+  if (distinct.empty()) return out;
+  std::vector<int> days(distinct.begin(), distinct.end());
+  // Number of training days, at least one on each side when possible.
+  std::size_t n_train = static_cast<std::size_t>(days.size() * train_frac);
+  n_train = std::clamp<std::size_t>(n_train, 1, days.size() - 1);
+  const int boundary = days[n_train];  // first validation day
+  out.boundary_day = boundary;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    (ds.day[i] < boundary ? out.train : out.validation).push_back(i);
+  }
+  return out;
+}
+
+}  // namespace wefr::data

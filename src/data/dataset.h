@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace wefr::data {
+
+/// A supervised sample set: one row per (drive, day) observation.
+///
+/// `y[i]` is 1 when the drive of row `i` fails within the prediction
+/// horizon after `day[i]` (a positive sample in the paper's terms) and
+/// 0 otherwise. `drive_index` / `day` carry the provenance needed for
+/// drive-level "first alarm" evaluation and time-based splits.
+struct Dataset {
+  Matrix x;
+  std::vector<int> y;
+  std::vector<std::string> feature_names;
+  std::vector<std::int32_t> drive_index;
+  std::vector<std::int32_t> day;
+
+  std::size_t size() const { return y.size(); }
+  std::size_t num_features() const { return x.cols(); }
+
+  /// Count of positive samples.
+  std::size_t num_positive() const {
+    std::size_t n = 0;
+    for (int v : y) n += v != 0 ? 1 : 0;
+    return n;
+  }
+
+  /// Throws unless the parallel arrays are mutually consistent.
+  void validate() const;
+};
+
+/// Returns the row subset of `ds` given by `idx` (order preserved).
+Dataset subset(const Dataset& ds, std::span<const std::size_t> idx);
+
+/// Returns `ds` restricted to the feature columns in `cols`.
+Dataset select_features(const Dataset& ds, std::span<const std::size_t> cols);
+
+/// Row indices whose `day` lies in [day_lo, day_hi] inclusive.
+std::vector<std::size_t> indices_in_day_range(const Dataset& ds, int day_lo, int day_hi);
+
+/// Time-ordered train/validation split: the first `train_frac` of the
+/// distinct days (by count of days, as in the paper's 8:2 by-day split)
+/// go to train, the rest to validation.
+struct TimeSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> validation;
+  int boundary_day = 0;  ///< first validation day
+};
+TimeSplit split_train_validation(const Dataset& ds, double train_frac);
+
+}  // namespace wefr::data

@@ -1,0 +1,18 @@
+#include "data/fleet.h"
+
+namespace wefr::data {
+
+std::uint64_t FleetData::total_drive_days() const {
+  std::uint64_t total = 0;
+  for (const auto& d : drives) total += d.num_days();
+  return total;
+}
+
+double FleetData::afr_percent() const {
+  const std::uint64_t days = total_drive_days();
+  if (days == 0) return 0.0;
+  const double f = static_cast<double>(num_failed());
+  return f * 365.0 * 100.0 / static_cast<double>(days);
+}
+
+}  // namespace wefr::data

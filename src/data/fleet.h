@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace wefr::data {
+
+/// Daily SMART time series for one drive.
+///
+/// `values` is laid out day-major: `values(d, a)` is attribute (learning
+/// feature) `a` on observation day `first_day + d`. A drive that failed
+/// stops being observed after `fail_day` (the trouble-ticket timestamp).
+struct DriveSeries {
+  std::string drive_id;
+  int first_day = 0;              ///< fleet-global day index of the first sample
+  Matrix values;                  ///< rows = days observed, cols = features
+  int fail_day = -1;              ///< fleet-global failure day, or -1 if healthy
+
+  /// Number of observed days.
+  std::size_t num_days() const { return values.rows(); }
+  /// Fleet-global day index of the last observation.
+  int last_day() const { return first_day + static_cast<int>(num_days()) - 1; }
+  bool failed() const { return fail_day >= 0; }
+};
+
+/// A drive model's whole fleet over the observation window: the unit the
+/// paper operates on (feature selection is per drive model).
+struct FleetData {
+  std::string model_name;
+  std::vector<std::string> feature_names;  ///< e.g. "UCE_R", "MWI_N", ...
+  std::vector<DriveSeries> drives;
+  int num_days = 0;                        ///< length of the observation window
+
+  /// Index of a feature by exact name, or -1 when absent.
+  int feature_index(const std::string& name) const {
+    for (std::size_t i = 0; i < feature_names.size(); ++i) {
+      if (feature_names[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  std::size_t num_features() const { return feature_names.size(); }
+
+  /// Count of drives with a trouble ticket.
+  std::size_t num_failed() const {
+    std::size_t n = 0;
+    for (const auto& d : drives) n += d.failed() ? 1 : 0;
+    return n;
+  }
+
+  /// Annualized failure rate as defined in the paper:
+  /// AFR(%) = f * 365 * 100 / sum_i(drives operational on day i).
+  double afr_percent() const;
+
+  /// Total number of drive-days observed.
+  std::uint64_t total_drive_days() const;
+};
+
+}  // namespace wefr::data

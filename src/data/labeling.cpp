@@ -1,0 +1,79 @@
+#include "data/labeling.h"
+
+#include <stdexcept>
+
+namespace wefr::data {
+
+std::vector<std::size_t> all_feature_columns(const FleetData& fleet) {
+  std::vector<std::size_t> cols(fleet.num_features());
+  for (std::size_t i = 0; i < cols.size(); ++i) cols[i] = i;
+  return cols;
+}
+
+Dataset build_samples(const FleetData& fleet, std::span<const std::size_t> base_cols,
+                      const SamplingOptions& opt, util::Rng* rng) {
+  if (opt.horizon_days < 1) throw std::invalid_argument("build_samples: horizon_days < 1");
+  if (opt.negative_keep_prob < 1.0 && rng == nullptr)
+    throw std::invalid_argument("build_samples: negative downsampling requires an Rng");
+
+  const int day_hi = opt.day_hi < 0 ? fleet.num_days - 1 : opt.day_hi;
+
+  Dataset out;
+  std::vector<std::string> base_names;
+  base_names.reserve(base_cols.size());
+  for (std::size_t c : base_cols) {
+    if (c >= fleet.num_features()) throw std::out_of_range("build_samples: base column");
+    base_names.push_back(fleet.feature_names[c]);
+  }
+  out.feature_names = opt.expand_windows
+                          ? expanded_feature_names(base_names, opt.window_config)
+                          : base_names;
+  out.x = Matrix(0, out.feature_names.size());
+
+  int max_win = 1;
+  for (int w : opt.window_config.windows) max_win = std::max(max_win, w);
+
+  for (std::size_t di = 0; di < fleet.drives.size(); ++di) {
+    const DriveSeries& drive = fleet.drives[di];
+    if (drive.num_days() == 0) continue;
+
+    const int lo = std::max(opt.day_lo, drive.first_day);
+    const int hi = std::min(day_hi, drive.last_day());
+    if (lo > hi) continue;
+
+    // Expand only the needed day range (plus trailing-window history) —
+    // a big win when sampling a short window of a long series.
+    const std::size_t history = opt.expand_windows ? static_cast<std::size_t>(max_win - 1) : 0;
+    const std::size_t lo_local = static_cast<std::size_t>(lo - drive.first_day);
+    const std::size_t slice_begin = lo_local >= history ? lo_local - history : 0;
+    const std::size_t slice_count =
+        static_cast<std::size_t>(hi - drive.first_day) - slice_begin + 1;
+    const Matrix sliced = drive.values.slice_rows(slice_begin, slice_count);
+    const Matrix features = opt.expand_windows
+                                ? expand_series(sliced, base_cols, opt.window_config)
+                                : sliced.select_columns(base_cols);
+
+    for (int day = lo; day <= hi; ++day) {
+      if (opt.keep && !opt.keep(di, day)) continue;
+      const std::size_t local =
+          static_cast<std::size_t>(day - drive.first_day) - slice_begin;
+      const bool positive =
+          drive.failed() && drive.fail_day > day && drive.fail_day <= day + opt.horizon_days;
+      if (!positive && opt.negative_keep_prob < 1.0 && !rng->bernoulli(opt.negative_keep_prob))
+        continue;
+      out.x.push_row(features.row(local));
+      out.y.push_back(positive ? 1 : 0);
+      out.drive_index.push_back(static_cast<std::int32_t>(di));
+      out.day.push_back(day);
+    }
+  }
+  out.validate();
+  return out;
+}
+
+Dataset build_samples(const FleetData& fleet, const SamplingOptions& opt, util::Rng* rng) {
+  const auto cols = all_feature_columns(fleet);
+  return build_samples(fleet, cols, opt, rng);
+}
+
+}  // namespace wefr::data

@@ -1,0 +1,98 @@
+#include "data/preprocess.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+
+namespace wefr::data {
+
+std::size_t forward_fill(DriveSeries& drive, double fallback) {
+  std::size_t filled = 0;
+  const std::size_t days = drive.values.rows();
+  const std::size_t nf = drive.values.cols();
+  for (std::size_t f = 0; f < nf; ++f) {
+    // Find the first observed value for leading-NaN backfill.
+    double first_value = fallback;
+    bool any = false;
+    for (std::size_t d = 0; d < days; ++d) {
+      if (!std::isnan(drive.values(d, f))) {
+        first_value = drive.values(d, f);
+        any = true;
+        break;
+      }
+    }
+    double last = any ? first_value : fallback;
+    for (std::size_t d = 0; d < days; ++d) {
+      double& cell = drive.values(d, f);
+      if (std::isnan(cell)) {
+        cell = last;
+        ++filled;
+      } else {
+        last = cell;
+      }
+    }
+  }
+  return filled;
+}
+
+std::size_t forward_fill(FleetData& fleet, double fallback) {
+  std::size_t filled = 0;
+  for (auto& drive : fleet.drives) filled += forward_fill(drive, fallback);
+  return filled;
+}
+
+std::size_t count_missing(const FleetData& fleet) {
+  std::size_t missing = 0;
+  for (const auto& drive : fleet.drives) {
+    for (double v : drive.values.raw()) missing += std::isnan(v) ? 1 : 0;
+  }
+  return missing;
+}
+
+Standardizer Standardizer::fit(const Matrix& x) {
+  Standardizer s;
+  s.mean.resize(x.cols());
+  s.stddev.resize(x.cols());
+  for (std::size_t c = 0; c < x.cols(); ++c) {
+    const auto col = x.column(c);
+    s.mean[c] = stats::mean(col);
+    s.stddev[c] = stats::stddev(col);
+  }
+  return s;
+}
+
+Matrix Standardizer::transform(const Matrix& x) const {
+  if (x.cols() != mean.size()) throw std::invalid_argument("Standardizer: column mismatch");
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = stddev[c] > 0.0 ? (x(r, c) - mean[c]) / stddev[c] : 0.0;
+    }
+  }
+  return out;
+}
+
+std::vector<FeatureSummary> summarize_features(const Dataset& ds) {
+  std::vector<FeatureSummary> out;
+  out.reserve(ds.num_features());
+  for (std::size_t c = 0; c < ds.num_features(); ++c) {
+    const auto col = ds.x.column(c);
+    FeatureSummary s;
+    s.name = ds.feature_names[c];
+    if (!col.empty()) {
+      s.min = stats::min_value(col);
+      s.max = stats::max_value(col);
+      s.mean = stats::mean(col);
+      s.stddev = stats::stddev(col);
+      std::size_t zeros = 0;
+      for (double v : col) zeros += v == 0.0 ? 1 : 0;
+      s.fraction_zero = static_cast<double>(zeros) / static_cast<double>(col.size());
+      s.constant = s.min == s.max;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace wefr::data

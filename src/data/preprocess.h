@@ -1,0 +1,53 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/fleet.h"
+#include "data/matrix.h"
+
+namespace wefr::data {
+
+/// Missing values in real SMART dumps are encoded as NaN. These helpers
+/// make raw fleets usable by the (NaN-free) learning stack.
+
+/// Per-drive forward fill: each NaN takes the most recent non-NaN value
+/// of the same feature; leading NaNs take the first observed value;
+/// all-NaN columns become `fallback`. Returns the number of cells filled.
+std::size_t forward_fill(DriveSeries& drive, double fallback = 0.0);
+
+/// Applies forward_fill to every drive; returns total cells filled.
+std::size_t forward_fill(FleetData& fleet, double fallback = 0.0);
+
+/// Count of NaN cells in a fleet (data-quality check before training).
+std::size_t count_missing(const FleetData& fleet);
+
+/// Column-standardization parameters learned from a sample matrix.
+struct Standardizer {
+  std::vector<double> mean;
+  std::vector<double> stddev;  ///< 0 for constant columns
+
+  /// Learns mean/stddev per column of `x`.
+  static Standardizer fit(const Matrix& x);
+  /// Returns the standardized copy of `x` ((v - mean) / stddev; constant
+  /// columns map to 0). Throws on column-count mismatch.
+  Matrix transform(const Matrix& x) const;
+};
+
+/// Per-feature summary used by data-quality reports and the CLI.
+struct FeatureSummary {
+  std::string name;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double fraction_zero = 0.0;
+  bool constant = false;
+};
+
+/// Summarizes every feature of a sample set.
+std::vector<FeatureSummary> summarize_features(const Dataset& ds);
+
+}  // namespace wefr::data

@@ -1,0 +1,80 @@
+#include "data/window_features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wefr::data {
+
+namespace {
+constexpr std::size_t kStatsPerWindow = 6;  // max, min, mean, std, range, wma
+}
+
+std::size_t expansion_factor(const WindowFeatureConfig& cfg) {
+  return 1 + kStatsPerWindow * cfg.windows.size();
+}
+
+std::vector<std::string> expanded_feature_names(std::span<const std::string> base_names,
+                                                const WindowFeatureConfig& cfg) {
+  static const char* kStatNames[kStatsPerWindow] = {"max", "min", "mean", "std", "range", "wma"};
+  std::vector<std::string> out;
+  out.reserve(base_names.size() * expansion_factor(cfg));
+  for (const auto& base : base_names) {
+    out.push_back(base);
+    for (int w : cfg.windows) {
+      for (const char* stat : kStatNames) {
+        out.push_back(base + "__" + stat + std::to_string(w));
+      }
+    }
+  }
+  return out;
+}
+
+Matrix expand_series(const Matrix& series, std::span<const std::size_t> base_cols,
+                     const WindowFeatureConfig& cfg) {
+  for (int w : cfg.windows) {
+    if (w < 1) throw std::invalid_argument("expand_series: window must be >= 1");
+  }
+  const std::size_t days = series.rows();
+  const std::size_t factor = expansion_factor(cfg);
+  Matrix out(days, base_cols.size() * factor);
+
+  for (std::size_t b = 0; b < base_cols.size(); ++b) {
+    const std::size_t col = base_cols[b];
+    if (col >= series.cols()) throw std::out_of_range("expand_series: base column");
+    for (std::size_t d = 0; d < days; ++d) {
+      std::size_t o = b * factor;
+      const double v = series(d, col);
+      out(d, o++) = v;
+      for (int w : cfg.windows) {
+        // Trailing window [start, d], truncated at the series start.
+        const std::size_t start = d + 1 >= static_cast<std::size_t>(w) ? d + 1 - w : 0;
+        const std::size_t n = d - start + 1;
+        double mx = -INFINITY, mn = INFINITY, sum = 0.0, sum2 = 0.0;
+        double wma_num = 0.0, wma_den = 0.0;
+        for (std::size_t t = start; t <= d; ++t) {
+          const double x = series(t, col);
+          mx = std::max(mx, x);
+          mn = std::min(mn, x);
+          sum += x;
+          sum2 += x * x;
+          // Linear weights: most recent day gets the largest weight.
+          const double weight = static_cast<double>(t - start + 1);
+          wma_num += weight * x;
+          wma_den += weight;
+        }
+        const double mean = sum / static_cast<double>(n);
+        const double var = std::max(0.0, sum2 / static_cast<double>(n) - mean * mean);
+        out(d, o++) = mx;
+        out(d, o++) = mn;
+        out(d, o++) = mean;
+        out(d, o++) = std::sqrt(var);
+        out(d, o++) = mx - mn;
+        out(d, o++) = wma_num / wma_den;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace wefr::data

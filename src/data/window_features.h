@@ -1,0 +1,40 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/matrix.h"
+
+namespace wefr::data {
+
+/// Rolling-window statistical feature generation.
+///
+/// The paper generates, for each original (selected) feature, the
+/// maximum, minimum, mean, standard deviation, max-min range, and
+/// weighted moving average within 3-day and 7-day windows — i.e. each
+/// original feature expands into 1 + 6*2 = 13 learning features.
+///
+/// Windows are trailing (days d-w+1 .. d) and truncated at the start of
+/// a drive's series, so day 0 uses a window of one observation.
+struct WindowFeatureConfig {
+  std::vector<int> windows = {3, 7};
+};
+
+/// Names of the expanded features for the given base feature names, in
+/// the exact column order produced by `expand_series`:
+/// base, base__max3, base__min3, ..., base__wma3, base__max7, ..., base__wma7.
+std::vector<std::string> expanded_feature_names(std::span<const std::string> base_names,
+                                                const WindowFeatureConfig& cfg = {});
+
+/// Number of expanded columns per base feature (1 + 6 * #windows).
+std::size_t expansion_factor(const WindowFeatureConfig& cfg = {});
+
+/// Expands the day-major series `series` (rows = days, cols = all fleet
+/// features), restricted to the base columns `base_cols`, into the
+/// day-major expanded matrix (rows = days, cols = base_cols.size() *
+/// expansion_factor()).
+Matrix expand_series(const Matrix& series, std::span<const std::size_t> base_cols,
+                     const WindowFeatureConfig& cfg = {});
+
+}  // namespace wefr::data

@@ -1,0 +1,213 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace wefr::ml {
+
+namespace {
+
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+double structure_score(double g, double h, double lambda) {
+  return g * g / (h + lambda);
+}
+
+}  // namespace
+
+double Gbdt::Tree::predict(std::span<const double> row) const {
+  std::int32_t node = 0;
+  for (;;) {
+    const Node& nd = nodes[node];
+    if (nd.feature < 0) return nd.weight;
+    node = row[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left : nd.right;
+  }
+}
+
+void Gbdt::fit(const data::Matrix& x, std::span<const int> y, const GbdtOptions& opt,
+               util::Rng& rng) {
+  if (x.rows() == 0 || x.rows() != y.size())
+    throw std::invalid_argument("Gbdt::fit: shape mismatch or empty data");
+  if (opt.num_rounds == 0) throw std::invalid_argument("Gbdt::fit: num_rounds == 0");
+  if (opt.subsample <= 0.0 || opt.subsample > 1.0 || opt.colsample <= 0.0 ||
+      opt.colsample > 1.0)
+    throw std::invalid_argument("Gbdt::fit: subsample/colsample outside (0,1]");
+
+  const std::size_t n = x.rows();
+  num_features_ = x.cols();
+  trees_.clear();
+  split_count_.assign(num_features_, 0.0);
+  split_gain_.assign(num_features_, 0.0);
+
+  // Log-odds prior, clamped away from degenerate all-one-class inputs.
+  std::size_t pos = 0;
+  for (int v : y) pos += v != 0 ? 1 : 0;
+  const double p = std::clamp(static_cast<double>(pos) / static_cast<double>(n), 1e-6,
+                              1.0 - 1e-6);
+  base_score_ = std::log(p / (1.0 - p));
+
+  std::vector<double> score(n, base_score_);
+  std::vector<double> grad(n), hess(n);
+
+  const std::size_t cols_per_tree = std::max<std::size_t>(
+      1, static_cast<std::size_t>(opt.colsample * static_cast<double>(num_features_)));
+
+  for (std::size_t round = 0; round < opt.num_rounds; ++round) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double pr = sigmoid(score[i]);
+      grad[i] = pr - static_cast<double>(y[i]);
+      hess[i] = std::max(pr * (1.0 - pr), 1e-12);
+    }
+
+    std::vector<std::size_t> idx;
+    if (opt.subsample < 1.0) {
+      idx.reserve(static_cast<std::size_t>(opt.subsample * static_cast<double>(n)) + 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (rng.bernoulli(opt.subsample)) idx.push_back(i);
+      }
+      if (idx.empty()) idx.push_back(rng.uniform_index(n));
+    } else {
+      idx.resize(n);
+      std::iota(idx.begin(), idx.end(), 0);
+    }
+
+    std::vector<std::size_t> features;
+    if (cols_per_tree < num_features_) {
+      features = rng.sample_without_replacement(num_features_, cols_per_tree);
+    } else {
+      features.resize(num_features_);
+      std::iota(features.begin(), features.end(), 0);
+    }
+
+    Tree tree;
+    build_node(x, grad, hess, idx, 0, idx.size(), 0, features, opt, tree);
+    // Apply shrinkage by scaling leaf weights once.
+    for (auto& nd : tree.nodes) {
+      if (nd.feature < 0) nd.weight *= opt.learning_rate;
+    }
+    for (std::size_t i = 0; i < n; ++i) score[i] += tree.predict(x.row(i));
+    trees_.push_back(std::move(tree));
+  }
+}
+
+std::int32_t Gbdt::build_node(const data::Matrix& x, std::span<const double> grad,
+                              std::span<const double> hess, std::vector<std::size_t>& idx,
+                              std::size_t begin, std::size_t end, int depth,
+                              std::span<const std::size_t> features, const GbdtOptions& opt,
+                              Tree& tree) {
+  double g_sum = 0.0, h_sum = 0.0;
+  for (std::size_t i = begin; i < end; ++i) {
+    g_sum += grad[idx[i]];
+    h_sum += hess[idx[i]];
+  }
+
+  const std::int32_t me = static_cast<std::int32_t>(tree.nodes.size());
+  tree.nodes.emplace_back();
+  tree.nodes[me].weight = -g_sum / (h_sum + opt.reg_lambda);
+
+  if (depth >= opt.max_depth || end - begin < 2) return me;
+
+  const double parent_score = structure_score(g_sum, h_sum, opt.reg_lambda);
+
+  double best_gain = 0.0;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+  std::vector<std::pair<double, std::size_t>> scratch;
+  scratch.reserve(end - begin);
+
+  for (std::size_t f : features) {
+    scratch.clear();
+    for (std::size_t i = begin; i < end; ++i) scratch.emplace_back(x(idx[i], f), idx[i]);
+    std::sort(scratch.begin(), scratch.end());
+    if (scratch.front().first == scratch.back().first) continue;
+
+    double gl = 0.0, hl = 0.0;
+    for (std::size_t i = 0; i + 1 < scratch.size(); ++i) {
+      gl += grad[scratch[i].second];
+      hl += hess[scratch[i].second];
+      if (scratch[i].first == scratch[i + 1].first) continue;
+      const double gr = g_sum - gl, hr = h_sum - hl;
+      if (hl < opt.min_child_weight || hr < opt.min_child_weight) continue;
+      const double gain = 0.5 * (structure_score(gl, hl, opt.reg_lambda) +
+                                 structure_score(gr, hr, opt.reg_lambda) - parent_score) -
+                          opt.gamma;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = scratch[i].first + (scratch[i + 1].first - scratch[i].first) / 2.0;
+        if (best_threshold >= scratch[i + 1].first) best_threshold = scratch[i].first;
+      }
+    }
+  }
+
+  if (best_gain <= 0.0) return me;
+
+  const auto mid_it =
+      std::partition(idx.begin() + begin, idx.begin() + end,
+                     [&](std::size_t i) { return x(i, best_feature) <= best_threshold; });
+  const std::size_t mid = static_cast<std::size_t>(mid_it - idx.begin());
+  if (mid == begin || mid == end) return me;
+
+  split_count_[best_feature] += 1.0;
+  split_gain_[best_feature] += best_gain;
+
+  tree.nodes[me].feature = static_cast<std::int32_t>(best_feature);
+  tree.nodes[me].threshold = best_threshold;
+  const std::int32_t left =
+      build_node(x, grad, hess, idx, begin, mid, depth + 1, features, opt, tree);
+  tree.nodes[me].left = left;
+  const std::int32_t right =
+      build_node(x, grad, hess, idx, mid, end, depth + 1, features, opt, tree);
+  tree.nodes[me].right = right;
+  return me;
+}
+
+double Gbdt::raw_score(std::span<const double> row) const {
+  double s = base_score_;
+  for (const auto& tree : trees_) s += tree.predict(row);
+  return s;
+}
+
+double Gbdt::predict_proba(std::span<const double> row) const {
+  if (trees_.empty()) throw std::logic_error("Gbdt::predict_proba: not trained");
+  return sigmoid(raw_score(row));
+}
+
+std::vector<double> Gbdt::predict_proba(const data::Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_proba(x.row(r));
+  return out;
+}
+
+namespace {
+std::vector<double> normalized(std::vector<double> v) {
+  double total = 0.0;
+  for (double x : v) total += x;
+  if (total > 0.0) {
+    for (double& x : v) x /= total;
+  }
+  return v;
+}
+}  // namespace
+
+std::vector<double> Gbdt::weight_importance() const {
+  if (trees_.empty()) throw std::logic_error("Gbdt::weight_importance: not trained");
+  return normalized(split_count_);
+}
+
+std::vector<double> Gbdt::gain_importance() const {
+  if (trees_.empty()) throw std::logic_error("Gbdt::gain_importance: not trained");
+  return normalized(split_gain_);
+}
+
+std::vector<double> Gbdt::combined_importance() const {
+  const auto w = weight_importance();
+  const auto g = gain_importance();
+  std::vector<double> out(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) out[i] = (w[i] + g[i]) / 2.0;
+  return out;
+}
+
+}  // namespace wefr::ml

@@ -1,0 +1,96 @@
+#include "ml/linear.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace wefr::ml {
+
+namespace {
+double sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+}  // namespace
+
+void LogisticRegression::fit(const data::Matrix& x, std::span<const int> y,
+                             const LogisticOptions& opt, util::Rng& rng) {
+  if (x.rows() == 0 || x.rows() != y.size())
+    throw std::invalid_argument("LogisticRegression::fit: shape mismatch or empty");
+  if (opt.batch_size == 0 || opt.epochs == 0)
+    throw std::invalid_argument("LogisticRegression::fit: bad options");
+
+  const std::size_t n = x.rows();
+  const std::size_t nf = x.cols();
+
+  // Standardization statistics.
+  mean_.assign(nf, 0.0);
+  scale_.assign(nf, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = x.row(i);
+    for (std::size_t f = 0; f < nf; ++f) mean_[f] += row[f];
+  }
+  for (double& m : mean_) m /= static_cast<double>(n);
+  std::vector<double> var(nf, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = x.row(i);
+    for (std::size_t f = 0; f < nf; ++f) {
+      const double d = row[f] - mean_[f];
+      var[f] += d * d;
+    }
+  }
+  for (std::size_t f = 0; f < nf; ++f) {
+    const double sd = std::sqrt(var[f] / static_cast<double>(n));
+    scale_[f] = sd > 0.0 ? 1.0 / sd : 0.0;
+  }
+
+  weights_.assign(nf, 0.0);
+  bias_ = 0.0;
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> grad(nf);
+
+  for (std::size_t epoch = 0; epoch < opt.epochs; ++epoch) {
+    rng.shuffle(order);
+    const double lr = opt.learning_rate / (1.0 + opt.decay * static_cast<double>(epoch));
+    for (std::size_t start = 0; start < n; start += opt.batch_size) {
+      const std::size_t end = std::min(n, start + opt.batch_size);
+      std::fill(grad.begin(), grad.end(), 0.0);
+      double grad_bias = 0.0;
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t i = order[k];
+        auto row = x.row(i);
+        double z = bias_;
+        for (std::size_t f = 0; f < nf; ++f) {
+          z += weights_[f] * (row[f] - mean_[f]) * scale_[f];
+        }
+        const double err = sigmoid(z) - static_cast<double>(y[i]);
+        for (std::size_t f = 0; f < nf; ++f) {
+          grad[f] += err * (row[f] - mean_[f]) * scale_[f];
+        }
+        grad_bias += err;
+      }
+      const double inv_b = 1.0 / static_cast<double>(end - start);
+      for (std::size_t f = 0; f < nf; ++f) {
+        weights_[f] -= lr * (grad[f] * inv_b + opt.l2 * weights_[f]);
+      }
+      bias_ -= lr * grad_bias * inv_b;
+    }
+  }
+}
+
+double LogisticRegression::predict_proba(std::span<const double> row) const {
+  if (weights_.empty()) throw std::logic_error("LogisticRegression: not trained");
+  double z = bias_;
+  for (std::size_t f = 0; f < weights_.size(); ++f) {
+    z += weights_[f] * (row[f] - mean_[f]) * scale_[f];
+  }
+  return sigmoid(z);
+}
+
+std::vector<double> LogisticRegression::predict_proba(const data::Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict_proba(x.row(i));
+  return out;
+}
+
+}  // namespace wefr::ml

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/matrix.h"
+#include "util/rng.h"
+
+namespace wefr::ml {
+
+/// Training controls for L2-regularized logistic regression.
+struct LogisticOptions {
+  std::size_t epochs = 30;
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  std::size_t batch_size = 64;
+  /// Decay the step size as lr / (1 + decay * epoch).
+  double decay = 0.1;
+};
+
+/// L2-regularized logistic regression trained with mini-batch SGD.
+///
+/// Features are standardized internally (mean/stddev learned at fit
+/// time), so the learned |coefficients| are comparable across features —
+/// which is what makes this model usable as a linear feature-importance
+/// baseline alongside the tree ensembles.
+class LogisticRegression {
+ public:
+  /// Fits on (x, y); deterministic for a given Rng.
+  void fit(const data::Matrix& x, std::span<const int> y, const LogisticOptions& opt,
+           util::Rng& rng);
+
+  /// P(y = 1 | row) for a raw (unstandardized) feature row.
+  double predict_proba(std::span<const double> row) const;
+  std::vector<double> predict_proba(const data::Matrix& x) const;
+
+  /// Coefficients in standardized feature space (excludes the bias).
+  const std::vector<double>& coefficients() const { return weights_; }
+  double bias() const { return bias_; }
+  bool trained() const { return !weights_.empty(); }
+
+ private:
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  std::vector<double> mean_;
+  std::vector<double> scale_;  // 1/stddev, 0 for constant features
+};
+
+}  // namespace wefr::ml

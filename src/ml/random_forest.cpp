@@ -1,0 +1,203 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace wefr::ml {
+
+void RandomForest::fit(const data::Matrix& x, std::span<const int> y, const ForestOptions& opt,
+                       util::Rng& rng) {
+  if (x.rows() == 0 || x.rows() != y.size())
+    throw std::invalid_argument("RandomForest::fit: shape mismatch or empty data");
+  if (opt.num_trees == 0) throw std::invalid_argument("RandomForest::fit: num_trees == 0");
+
+  num_features_ = x.cols();
+  TreeOptions topt = opt.tree;
+  topt.max_features = opt.max_features == 0
+                          ? std::max<std::size_t>(
+                                1, static_cast<std::size_t>(std::sqrt(
+                                       static_cast<double>(x.cols()))))
+                          : std::min(opt.max_features, x.cols());
+
+  const std::size_t n = x.rows();
+  const std::size_t boot =
+      std::max<std::size_t>(1, static_cast<std::size_t>(opt.bootstrap_fraction *
+                                                        static_cast<double>(n)));
+
+  trees_.assign(opt.num_trees, DecisionTree{});
+  inbag_.assign(opt.num_trees, {});
+  // Pre-fork one stream per tree so threaded and sequential runs agree.
+  std::vector<util::Rng> streams;
+  streams.reserve(opt.num_trees);
+  for (std::size_t t = 0; t < opt.num_trees; ++t) streams.push_back(rng.fork());
+
+  auto fit_tree = [&](std::size_t t) {
+    util::Rng& local = streams[t];
+    std::vector<std::size_t> idx(boot);
+    for (auto& i : idx) i = local.uniform_index(n);
+    trees_[t].fit(x, y, idx, topt, local);
+    // Record the in-bag set (sorted, unique) for OOB importance.
+    std::sort(idx.begin(), idx.end());
+    idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
+    inbag_[t] = std::move(idx);
+  };
+
+  if (opt.num_threads > 1) {
+    util::ThreadPool pool(opt.num_threads);
+    pool.parallel_for(opt.num_trees, fit_tree);
+  } else {
+    for (std::size_t t = 0; t < opt.num_trees; ++t) fit_tree(t);
+  }
+}
+
+double RandomForest::predict_proba(std::span<const double> row) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest::predict_proba: not trained");
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.predict_proba(row);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict_proba(const data::Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_proba(x.row(r));
+  return out;
+}
+
+std::vector<double> RandomForest::impurity_importance() const {
+  if (trees_.empty()) throw std::logic_error("RandomForest::impurity_importance: not trained");
+  std::vector<double> imp(num_features_, 0.0);
+  for (const auto& tree : trees_) {
+    const auto& ti = tree.impurity_importance();
+    for (std::size_t f = 0; f < num_features_; ++f) imp[f] += ti[f];
+  }
+  double total = 0.0;
+  for (double v : imp) total += v;
+  if (total > 0.0) {
+    for (double& v : imp) v /= total;
+  }
+  return imp;
+}
+
+std::vector<double> RandomForest::permutation_importance(const data::Matrix& x,
+                                                         std::span<const int> y,
+                                                         util::Rng& rng, int repeats) const {
+  if (trees_.empty())
+    throw std::logic_error("RandomForest::permutation_importance: not trained");
+  if (x.cols() != num_features_ || x.rows() != y.size())
+    throw std::invalid_argument("RandomForest::permutation_importance: shape mismatch");
+  if (repeats < 1) throw std::invalid_argument("permutation_importance: repeats < 1");
+
+  const std::size_t n = x.rows();
+  auto accuracy_of = [&](const std::vector<double>& probs) {
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      correct += ((probs[i] >= 0.5 ? 1 : 0) == y[i]) ? 1 : 0;
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+  };
+
+  const double baseline = accuracy_of(predict_proba(x));
+  std::vector<double> imp(num_features_, 0.0);
+  std::vector<double> row(num_features_);
+  std::vector<std::size_t> perm(n);
+
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    double drop_sum = 0.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+      rng.shuffle(perm);
+      std::vector<double> probs(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        auto src = x.row(i);
+        std::copy(src.begin(), src.end(), row.begin());
+        row[f] = x(perm[i], f);
+        probs[i] = predict_proba(row);
+      }
+      drop_sum += baseline - accuracy_of(probs);
+    }
+    imp[f] = std::max(0.0, drop_sum / static_cast<double>(repeats));
+  }
+  return imp;
+}
+
+std::vector<double> RandomForest::oob_permutation_importance(const data::Matrix& x,
+                                                             std::span<const int> y,
+                                                             util::Rng& rng) const {
+  if (trees_.empty())
+    throw std::logic_error("RandomForest::oob_permutation_importance: not trained");
+  if (x.cols() != num_features_ || x.rows() != y.size())
+    throw std::invalid_argument("oob_permutation_importance: shape mismatch");
+  if (inbag_.size() != trees_.size())
+    throw std::logic_error("oob_permutation_importance: no in-bag records (loaded forest?)");
+
+  const std::size_t n = x.rows();
+  std::vector<double> imp(num_features_, 0.0);
+  std::vector<std::size_t> oob;
+  std::vector<double> row(num_features_);
+  std::size_t trees_with_oob = 0;
+
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    // OOB rows = complement of the sorted in-bag list.
+    oob.clear();
+    const auto& inbag = inbag_[t];
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      while (k < inbag.size() && inbag[k] < i) ++k;
+      if (k >= inbag.size() || inbag[k] != i) oob.push_back(i);
+    }
+    if (oob.empty()) continue;
+    ++trees_with_oob;
+
+    std::size_t base_correct = 0;
+    for (std::size_t i : oob) {
+      base_correct += ((trees_[t].predict_proba(x.row(i)) >= 0.5 ? 1 : 0) == y[i]) ? 1 : 0;
+    }
+    const double base_acc =
+        static_cast<double>(base_correct) / static_cast<double>(oob.size());
+
+    // Permute each feature among the OOB rows only.
+    std::vector<std::size_t> perm(oob.size());
+    for (std::size_t f = 0; f < num_features_; ++f) {
+      for (std::size_t i = 0; i < oob.size(); ++i) perm[i] = oob[i];
+      rng.shuffle(perm);
+      std::size_t correct = 0;
+      for (std::size_t i = 0; i < oob.size(); ++i) {
+        auto src = x.row(oob[i]);
+        std::copy(src.begin(), src.end(), row.begin());
+        row[f] = x(perm[i], f);
+        correct += ((trees_[t].predict_proba(row) >= 0.5 ? 1 : 0) == y[oob[i]]) ? 1 : 0;
+      }
+      imp[f] += base_acc - static_cast<double>(correct) / static_cast<double>(oob.size());
+    }
+  }
+  if (trees_with_oob > 0) {
+    for (double& v : imp) v = std::max(0.0, v / static_cast<double>(trees_with_oob));
+  }
+  return imp;
+}
+
+void RandomForest::save(std::ostream& os) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest::save: not trained");
+  os << "wefr-random-forest v1 " << trees_.size() << ' ' << num_features_ << '\n';
+  for (const auto& tree : trees_) tree.save(os);
+  if (!os) throw std::runtime_error("RandomForest::save: write failed");
+}
+
+void RandomForest::load(std::istream& is) {
+  std::string magic, version;
+  std::size_t n_trees = 0, n_features = 0;
+  if (!(is >> magic >> version >> n_trees >> n_features) || magic != "wefr-random-forest" ||
+      version != "v1" || n_trees == 0)
+    throw std::runtime_error("RandomForest::load: bad header");
+  std::vector<DecisionTree> trees(n_trees);
+  for (auto& tree : trees) tree.load(is);
+  trees_ = std::move(trees);
+  num_features_ = n_features;
+  inbag_.clear();  // OOB information is not serialized
+}
+
+}  // namespace wefr::ml

@@ -1,0 +1,199 @@
+#include "ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace wefr::ml {
+
+namespace {
+
+double gini(std::size_t pos, std::size_t n) {
+  if (n == 0) return 0.0;
+  const double p = static_cast<double>(pos) / static_cast<double>(n);
+  return 2.0 * p * (1.0 - p);
+}
+
+/// Best split of one feature over the node's samples.
+struct SplitCandidate {
+  bool valid = false;
+  double threshold = 0.0;
+  double impurity_decrease = -1.0;  // weighted by node fraction later
+  std::size_t left_count = 0;
+};
+
+SplitCandidate best_split_for_feature(const data::Matrix& x, std::span<const int> y,
+                                      std::span<const std::size_t> idx, std::size_t feature,
+                                      std::size_t node_pos, const TreeOptions& opt,
+                                      std::vector<std::pair<double, int>>& scratch) {
+  const std::size_t n = idx.size();
+  scratch.clear();
+  scratch.reserve(n);
+  for (std::size_t i : idx) scratch.emplace_back(x(i, feature), y[i]);
+  std::sort(scratch.begin(), scratch.end());
+
+  SplitCandidate best;
+  if (scratch.front().first == scratch.back().first) return best;  // constant feature
+
+  const double parent = gini(node_pos, n);
+  std::size_t pos_left = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    pos_left += scratch[i].second != 0 ? 1 : 0;
+    if (scratch[i].first == scratch[i + 1].first) continue;  // not a boundary
+    const std::size_t n_left = i + 1;
+    const std::size_t n_right = n - n_left;
+    if (n_left < opt.min_samples_leaf || n_right < opt.min_samples_leaf) continue;
+    const std::size_t pos_right = node_pos - pos_left;
+    const double child =
+        (static_cast<double>(n_left) * gini(pos_left, n_left) +
+         static_cast<double>(n_right) * gini(pos_right, n_right)) /
+        static_cast<double>(n);
+    const double decrease = parent - child;
+    if (decrease > best.impurity_decrease) {
+      best.valid = true;
+      best.impurity_decrease = decrease;
+      // Midpoint threshold; `x <= threshold` routes left.
+      best.threshold = scratch[i].first + (scratch[i + 1].first - scratch[i].first) / 2.0;
+      // Guard: midpoint can round to the upper value for adjacent doubles.
+      if (best.threshold >= scratch[i + 1].first) best.threshold = scratch[i].first;
+      best.left_count = n_left;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const data::Matrix& x, std::span<const int> y,
+                       std::span<const std::size_t> sample_idx, const TreeOptions& opt,
+                       util::Rng& rng) {
+  if (x.rows() != y.size()) throw std::invalid_argument("DecisionTree::fit: shape mismatch");
+  if (sample_idx.empty()) throw std::invalid_argument("DecisionTree::fit: no samples");
+  nodes_.clear();
+  importance_.assign(x.cols(), 0.0);
+  std::vector<std::size_t> idx(sample_idx.begin(), sample_idx.end());
+  nodes_.reserve(idx.size() / std::max<std::size_t>(1, opt.min_samples_leaf));
+  build(x, y, idx, 0, idx.size(), 0, opt, rng, idx.size());
+}
+
+void DecisionTree::fit(const data::Matrix& x, std::span<const int> y, const TreeOptions& opt,
+                       util::Rng& rng) {
+  std::vector<std::size_t> idx(x.rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  fit(x, y, idx, opt, rng);
+}
+
+std::int32_t DecisionTree::build(const data::Matrix& x, std::span<const int> y,
+                                 std::vector<std::size_t>& idx, std::size_t begin,
+                                 std::size_t end, int depth, const TreeOptions& opt,
+                                 util::Rng& rng, std::size_t n_total) {
+  const std::size_t n = end - begin;
+  std::size_t node_pos = 0;
+  for (std::size_t i = begin; i < end; ++i) node_pos += y[idx[i]] != 0 ? 1 : 0;
+
+  const std::int32_t me = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[me].prob = static_cast<double>(node_pos) / static_cast<double>(n);
+  nodes_[me].depth = depth;
+
+  const bool pure = node_pos == 0 || node_pos == n;
+  if (pure || depth >= opt.max_depth || n < opt.min_samples_split) return me;
+
+  // Candidate features: all, or a per-node random subset (forest mode).
+  const std::size_t nf = x.cols();
+  std::vector<std::size_t> features;
+  if (opt.max_features == 0 || opt.max_features >= nf) {
+    features.resize(nf);
+    std::iota(features.begin(), features.end(), 0);
+  } else {
+    features = rng.sample_without_replacement(nf, opt.max_features);
+  }
+
+  std::span<const std::size_t> node_idx(idx.data() + begin, n);
+  SplitCandidate best;
+  std::size_t best_feature = 0;
+  std::vector<std::pair<double, int>> scratch;
+  for (std::size_t f : features) {
+    const auto cand = best_split_for_feature(x, y, node_idx, f, node_pos, opt, scratch);
+    if (cand.valid && (!best.valid || cand.impurity_decrease > best.impurity_decrease)) {
+      best = cand;
+      best_feature = f;
+    }
+  }
+  if (!best.valid || best.impurity_decrease <= 0.0) return me;
+
+  // Partition [begin, end) by the chosen split.
+  const auto mid_it = std::partition(
+      idx.begin() + begin, idx.begin() + end,
+      [&](std::size_t i) { return x(i, best_feature) <= best.threshold; });
+  const std::size_t mid = static_cast<std::size_t>(mid_it - idx.begin());
+  if (mid == begin || mid == end) return me;  // numeric edge case: degenerate partition
+
+  importance_[best_feature] +=
+      best.impurity_decrease * static_cast<double>(n) / static_cast<double>(n_total);
+
+  nodes_[me].feature = static_cast<std::int32_t>(best_feature);
+  nodes_[me].threshold = best.threshold;
+  const std::int32_t left = build(x, y, idx, begin, mid, depth + 1, opt, rng, n_total);
+  nodes_[me].left = left;
+  const std::int32_t right = build(x, y, idx, mid, end, depth + 1, opt, rng, n_total);
+  nodes_[me].right = right;
+  return me;
+}
+
+double DecisionTree::predict_proba(std::span<const double> row) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree::predict_proba: not trained");
+  std::int32_t node = 0;
+  for (;;) {
+    const Node& nd = nodes_[node];
+    if (nd.feature < 0) return nd.prob;
+    node = row[static_cast<std::size_t>(nd.feature)] <= nd.threshold ? nd.left : nd.right;
+  }
+}
+
+int DecisionTree::depth() const {
+  int d = 0;
+  for (const auto& nd : nodes_) d = std::max(d, nd.depth);
+  return d;
+}
+
+void DecisionTree::save(std::ostream& os) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree::save: not trained");
+  os << "tree " << nodes_.size() << ' ' << importance_.size() << '\n';
+  os.precision(17);
+  for (const auto& nd : nodes_) {
+    os << nd.feature << ' ' << nd.threshold << ' ' << nd.left << ' ' << nd.right << ' '
+       << nd.prob << ' ' << nd.depth << '\n';
+  }
+  for (std::size_t f = 0; f < importance_.size(); ++f) {
+    os << importance_[f] << (f + 1 == importance_.size() ? '\n' : ' ');
+  }
+}
+
+void DecisionTree::load(std::istream& is) {
+  std::string tag;
+  std::size_t n_nodes = 0, n_features = 0;
+  if (!(is >> tag >> n_nodes >> n_features) || tag != "tree" || n_nodes == 0)
+    throw std::runtime_error("DecisionTree::load: bad header");
+  std::vector<Node> nodes(n_nodes);
+  for (auto& nd : nodes) {
+    if (!(is >> nd.feature >> nd.threshold >> nd.left >> nd.right >> nd.prob >> nd.depth))
+      throw std::runtime_error("DecisionTree::load: truncated node list");
+    const auto max_node = static_cast<std::int32_t>(n_nodes);
+    const bool leaf = nd.feature < 0;
+    if (!leaf && (nd.left < 0 || nd.left >= max_node || nd.right < 0 || nd.right >= max_node))
+      throw std::runtime_error("DecisionTree::load: child index out of range");
+  }
+  std::vector<double> importance(n_features);
+  for (auto& v : importance) {
+    if (!(is >> v)) throw std::runtime_error("DecisionTree::load: truncated importance");
+  }
+  nodes_ = std::move(nodes);
+  importance_ = std::move(importance);
+}
+
+}  // namespace wefr::ml

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "data/matrix.h"
+#include "util/rng.h"
+
+namespace wefr::ml {
+
+/// Training controls for a single CART classification tree.
+struct TreeOptions {
+  int max_depth = 13;             ///< paper setting for the RF predictor
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Number of features examined per split; 0 means all, otherwise a
+  /// random subset of this size is drawn per node (used by the forest).
+  std::size_t max_features = 0;
+};
+
+/// Binary CART classification tree (Gini impurity, axis-aligned splits,
+/// exact greedy split search). Produces calibrated leaf probabilities
+/// (positive-class fraction) and accumulates impurity-decrease feature
+/// importance during training.
+class DecisionTree {
+ public:
+  /// Fits the tree on rows `sample_idx` of `x` (indices may repeat — the
+  /// forest passes bootstrap samples). `rng` is consumed only when
+  /// `opt.max_features > 0`.
+  void fit(const data::Matrix& x, std::span<const int> y,
+           std::span<const std::size_t> sample_idx, const TreeOptions& opt, util::Rng& rng);
+
+  /// Convenience fit over all rows.
+  void fit(const data::Matrix& x, std::span<const int> y, const TreeOptions& opt,
+           util::Rng& rng);
+
+  /// Probability that `row` belongs to the positive class.
+  double predict_proba(std::span<const double> row) const;
+
+  /// Per-feature total weighted Gini decrease accumulated over the
+  /// tree's splits; length = number of training features. Unnormalized.
+  const std::vector<double>& impurity_importance() const { return importance_; }
+
+  /// Number of nodes (0 before fit).
+  std::size_t node_count() const { return nodes_.size(); }
+  /// Depth of the deepest leaf (0 for a single-leaf tree).
+  int depth() const;
+  bool trained() const { return !nodes_.empty(); }
+
+  /// Writes the tree as one line per node (see RandomForest::save).
+  void save(std::ostream& os) const;
+  /// Restores a tree written by save(); throws std::runtime_error on
+  /// malformed input.
+  void load(std::istream& is);
+
+ private:
+  struct Node {
+    // Leaf when feature < 0.
+    std::int32_t feature = -1;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    double prob = 0.0;
+    std::int32_t depth = 0;
+  };
+
+  std::int32_t build(const data::Matrix& x, std::span<const int> y,
+                     std::vector<std::size_t>& idx, std::size_t begin, std::size_t end,
+                     int depth, const TreeOptions& opt, util::Rng& rng,
+                     std::size_t n_total);
+
+  std::vector<Node> nodes_;
+  std::vector<double> importance_;
+};
+
+}  // namespace wefr::ml

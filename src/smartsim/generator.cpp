@@ -1,0 +1,321 @@
+#include "smartsim/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace wefr::smartsim {
+
+namespace {
+
+using util::Rng;
+
+enum class FailCause { kNone, kErrorSignature, kWearOut, kFirmwareBug };
+
+/// Everything decided about a drive before its day-by-day simulation.
+struct DrivePlan {
+  double mwi0 = 100.0;       ///< initial MWI_N
+  double wear_rate = 0.0;    ///< baseline MWI_N decrease per day
+  double workload = 1.0;     ///< IO intensity multiplier
+  double poh0 = 0.0;         ///< prior power-on hours (correlated with wear)
+  double final_mwi = 100.0;  ///< MWI_N at window end absent failure
+  FailCause cause = FailCause::kNone;
+  int fail_day = -1;
+  double lead = 40.0;        ///< acute degradation window (days)
+  double defect = 1.0;       ///< persistent defect rate multiplier
+};
+
+/// Healthy per-day event rate of an error-counter attribute.
+double base_rate(Attr a) {
+  switch (a) {
+    case Attr::RER: return 0.60;
+    case Attr::RSC: return 0.030;
+    case Attr::PFC: return 0.010;
+    case Attr::EFC: return 0.008;
+    case Attr::PLP: return 0.008;
+    case Attr::UPL: return 0.012;
+    case Attr::DEC: return 0.020;
+    case Attr::ETE: return 0.003;
+    case Attr::UCE: return 0.010;
+    case Attr::CMDT: return 0.006;
+    case Attr::REC: return 0.020;
+    case Attr::PSC: return 0.015;
+    case Attr::OCE: return 0.008;
+    case Attr::CEC: return 0.005;
+    default: return 0.01;
+  }
+}
+
+/// Scale converting a cumulative count into normalized-value loss.
+double norm_scale(Attr a) { return a == Attr::RER ? 0.02 : 0.5; }
+
+/// How strongly the acute pre-failure ramp loads on signature counters.
+double ramp_mult(FailCause cause) {
+  switch (cause) {
+    case FailCause::kErrorSignature: return 25.0;
+    case FailCause::kFirmwareBug: return 18.0;
+    // Worn-out drives carry only a faint generic error signature — the
+    // bulk of their 30-day predictability flows through the wear-specific
+    // channels (EFC/PFC, see kWearRampMult), which is what makes
+    // per-wear-group feature selection genuinely better (Exp#3).
+    case FailCause::kWearOut: return 5.0;
+    case FailCause::kNone: return 0.0;
+  }
+  return 0.0;
+}
+
+/// Wear-out failures announce themselves through program/erase fail
+/// counts — the physical end-of-life mechanism of NAND.
+constexpr double kWearRampMult = 22.0;
+
+/// Unstable features ramp only for failures early in the window
+/// (before kUnstableUntilFrac of it) — spurious train-time correlation.
+constexpr double kUnstableRampMult = 12.0;
+constexpr double kUnstableUntilFrac = 0.6;
+
+}  // namespace
+
+std::vector<std::string> feature_names_for(const DriveModelProfile& profile) {
+  std::vector<std::string> names;
+  names.reserve(profile.attributes.size() * 2);
+  for (Attr a : profile.attributes) {
+    names.emplace_back(std::string(attr_name(a)) + "_R");
+    names.emplace_back(std::string(attr_name(a)) + "_N");
+  }
+  return names;
+}
+
+data::FleetData generate_fleet(const DriveModelProfile& profile, const SimOptions& opt) {
+  if (opt.num_drives == 0) throw std::invalid_argument("generate_fleet: num_drives == 0");
+  if (opt.num_days < opt.min_fail_day + 10)
+    throw std::invalid_argument("generate_fleet: window too short for min_fail_day");
+  if (opt.afr_scale <= 0.0) throw std::invalid_argument("generate_fleet: afr_scale <= 0");
+
+  Rng rng(opt.seed);
+  const std::size_t n = opt.num_drives;
+  const int days = opt.num_days;
+
+  // ---- pass 1: per-drive latent draws and hazard shape ----
+  std::vector<DrivePlan> plans(n);
+  std::vector<double> hazard(n);
+  std::vector<double> wear_term(n, 0.0), bug_term(n, 0.0);
+  double hazard_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    DrivePlan& p = plans[i];
+    p.workload = std::exp(rng.normal(0.0, 0.3));
+    p.mwi0 = rng.uniform(profile.mwi_start_lo, profile.mwi_start_hi);
+    p.wear_rate = rng.uniform(profile.wear_rate_lo, profile.wear_rate_hi) * p.workload;
+    p.poh0 = (100.0 - p.mwi0) * 220.0 + std::abs(rng.normal(0.0, 1.0)) * 1500.0;
+    p.final_mwi = std::max(0.0, p.mwi0 - p.wear_rate * static_cast<double>(days - 1));
+
+    double g = 1.0;
+    if (profile.wear_change_point > 0.0 && p.final_mwi < profile.wear_change_point) {
+      // Discontinuous jump at the change point plus a ramp deeper into
+      // the low-wear regime — plants a crisp survival-rate change point.
+      wear_term[i] = profile.low_wear_hazard_mult *
+                     (0.4 + 0.6 * (profile.wear_change_point - p.final_mwi) /
+                                profile.wear_change_point);
+      g += wear_term[i];
+    }
+    if (profile.firmware_bug && p.final_mwi > profile.firmware_bug_mwi) {
+      bug_term[i] = profile.firmware_bug_hazard *
+                    (0.4 + 0.6 * (p.final_mwi - profile.firmware_bug_mwi) /
+                               (100.0 - profile.firmware_bug_mwi));
+      g += bug_term[i];
+    }
+    hazard[i] = g;
+    hazard_sum += g;
+  }
+
+  // ---- pass 2: plant failures matching the (scaled) AFR target ----
+  const double expected_failures = opt.afr_scale * profile.target_afr / 100.0 *
+                                   static_cast<double>(days) / 365.0 *
+                                   static_cast<double>(n);
+  const double scale = hazard_sum > 0.0 ? expected_failures / hazard_sum : 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    DrivePlan& p = plans[i];
+    const double pf = std::min(0.9, scale * hazard[i]);
+    if (!rng.bernoulli(pf)) continue;
+
+    // Failure cause ~ categorical over the hazard components.
+    const double total = 1.0 + wear_term[i] + bug_term[i];
+    const double u = rng.uniform(0.0, total);
+    if (u < wear_term[i]) {
+      p.cause = FailCause::kWearOut;
+    } else if (u < wear_term[i] + bug_term[i]) {
+      p.cause = FailCause::kFirmwareBug;
+    } else {
+      p.cause = FailCause::kErrorSignature;
+    }
+
+    p.lead = rng.uniform(opt.lead_lo, opt.lead_hi);
+    switch (p.cause) {
+      case FailCause::kWearOut: {
+        // Fail while worn below the change point (+ small margin).
+        const double thr = profile.wear_change_point + 3.0;
+        const int cross =
+            p.wear_rate > 0.0
+                ? static_cast<int>(std::ceil((p.mwi0 - thr) / p.wear_rate))
+                : days;
+        const int lo = std::max(opt.min_fail_day, std::max(0, cross));
+        p.fail_day = lo >= days - 1
+                         ? days - 1
+                         : static_cast<int>(rng.uniform_int(lo, days - 1));
+        p.defect = 1.0 + rng.gamma(2.0, 0.8);
+        break;
+      }
+      case FailCause::kFirmwareBug: {
+        // "Gradually fixed": concentrate failures early in the window.
+        const int hi = std::max(opt.min_fail_day + 1, (days * 3) / 5);
+        const double u2 = rng.uniform();
+        p.fail_day = opt.min_fail_day +
+                     static_cast<int>(u2 * u2 *
+                                      static_cast<double>(hi - opt.min_fail_day));
+        p.defect = 1.0 + rng.gamma(2.0, 1.5);
+        break;
+      }
+      case FailCause::kErrorSignature: {
+        p.fail_day = static_cast<int>(rng.uniform_int(opt.min_fail_day, days - 1));
+        p.defect = 1.0 + rng.gamma(2.0, 1.5);
+        break;
+      }
+      case FailCause::kNone: break;
+    }
+  }
+
+  // ---- pass 3: day-by-day attribute synthesis ----
+  data::FleetData fleet;
+  fleet.model_name = profile.name;
+  fleet.feature_names = feature_names_for(profile);
+  fleet.num_days = days;
+  fleet.drives.reserve(n);
+  const std::size_t nf = fleet.feature_names.size();
+  const std::size_t na = profile.attributes.size();
+
+  auto in_signature = [&](Attr a) {
+    return std::find(profile.signature_attrs.begin(), profile.signature_attrs.end(), a) !=
+           profile.signature_attrs.end();
+  };
+  auto in_unstable = [&](Attr a) {
+    return std::find(profile.unstable_attrs.begin(), profile.unstable_attrs.end(), a) !=
+           profile.unstable_attrs.end();
+  };
+  const int unstable_until = static_cast<int>(kUnstableUntilFrac * days);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const DrivePlan& p = plans[i];
+    Rng drng = rng.fork();
+
+    data::DriveSeries drive;
+    drive.drive_id = profile.name + "_" + std::to_string(i);
+    drive.first_day = 0;
+    drive.fail_day = p.cause == FailCause::kNone ? -1 : p.fail_day;
+    // Observed through the day before the trouble ticket.
+    const int last_obs = p.cause == FailCause::kNone ? days - 1 : p.fail_day - 1;
+    drive.values = data::Matrix(static_cast<std::size_t>(last_obs + 1), nf);
+
+    // Per-(drive, attribute) state.
+    std::vector<double> noise(na), counters(na, 0.0);
+    for (std::size_t a = 0; a < na; ++a) noise[a] = std::exp(drng.normal(0.0, 0.4));
+    double mwi = p.mwi0;
+    double reserve = 100.0;
+    double reserve_rate = 0.010 * std::exp(drng.normal(0.0, 0.3));
+    double temp_mean = drng.normal(35.0, 2.0);
+    double temp = temp_mean;
+    double volume_w = 0.0, volume_r = 0.0;
+    double cycles = std::floor(drng.uniform(5.0, 60.0));
+    double poh = p.poh0;
+
+    const bool fails = p.cause != FailCause::kNone;
+    const double rmult = ramp_mult(p.cause);
+
+    for (int t = 0; t <= last_obs; ++t) {
+      // Acute ramp d(t) over the lead window and slow prodrome e(t)
+      // over three lead windows.
+      double d_t = 0.0, e_t = 0.0;
+      if (fails) {
+        const double fd = static_cast<double>(p.fail_day);
+        d_t = std::clamp((static_cast<double>(t) - (fd - p.lead)) / p.lead, 0.0, 1.0);
+        e_t = std::clamp((static_cast<double>(t) - (fd - 3.0 * p.lead)) / (3.0 * p.lead),
+                         0.0, 1.0);
+      }
+
+      // Wear progresses, accelerating before a wear-out failure.
+      const double wear_accel = p.cause == FailCause::kWearOut ? 1.0 + 1.5 * d_t : 1.0;
+      mwi = std::max(0.0, mwi - p.wear_rate * wear_accel);
+      poh += 24.0;
+      if (drng.bernoulli(0.02)) cycles += 1.0;
+      temp = temp_mean + 0.9 * (temp - temp_mean) + drng.normal(0.0, 1.2);
+      volume_w += 180.0 * p.workload * std::exp(drng.normal(0.0, 0.2));
+      volume_r += 120.0 * p.workload * std::exp(drng.normal(0.0, 0.2));
+      {
+        double dep = reserve_rate;
+        if (fails && in_signature(Attr::ARS))
+          dep *= 1.0 + 3.0 * e_t + 20.0 * d_t * d_t;
+        reserve = std::max(0.0, reserve - dep);
+      }
+
+      auto out = drive.values.row(static_cast<std::size_t>(t));
+      for (std::size_t a = 0; a < na; ++a) {
+        const Attr attr = profile.attributes[a];
+        double raw = 0.0, norm = 0.0;
+        switch (attr_kind(attr)) {
+          case AttrKind::kErrorCounter: {
+            double rate = base_rate(attr) * noise[a];
+            if (fails && in_signature(attr)) {
+              rate *= 1.0 + (p.defect - 1.0) * std::pow(e_t, 1.5) + rmult * d_t * d_t;
+            }
+            if (p.cause == FailCause::kWearOut &&
+                (attr == Attr::EFC || attr == Attr::PFC)) {
+              // End-of-life program/erase failures.
+              rate *= 1.0 + (p.defect - 1.0) * std::pow(e_t, 1.5) +
+                      kWearRampMult * d_t * d_t;
+            }
+            if (fails && p.fail_day < unstable_until && in_unstable(attr)) {
+              // Spurious early-window correlation (train-only signal).
+              rate *= 1.0 + 2.0 * e_t + kUnstableRampMult * d_t * d_t;
+            }
+            counters[a] += static_cast<double>(drng.poisson(rate));
+            raw = counters[a];
+            norm = std::max(0.0, 100.0 - counters[a] * norm_scale(attr));
+            break;
+          }
+          case AttrKind::kHours:
+            raw = poh;
+            norm = std::max(1.0, 100.0 - poh / 2500.0);
+            break;
+          case AttrKind::kCycles:
+            raw = cycles;
+            norm = std::max(1.0, 100.0 - cycles / 2.0);
+            break;
+          case AttrKind::kWear:
+            // Raw channel: cumulative erase cycles behind the indicator,
+            // with block-placement measurement noise.
+            raw = (100.0 - mwi) * 30.0 * std::exp(drng.normal(0.0, 0.05));
+            norm = std::round(mwi);
+            break;
+          case AttrKind::kReserve:
+            raw = reserve * 16.0;
+            norm = std::round(reserve);
+            break;
+          case AttrKind::kTemperature:
+            raw = temp + (attr == Attr::AFT ? drng.normal(1.5, 0.5) : 0.0);
+            norm = 100.0 - raw;
+            break;
+          case AttrKind::kVolume:
+            raw = attr == Attr::TLW ? volume_w : volume_r;
+            norm = std::max(0.0, 100.0 - raw / 500000.0 * 100.0);
+            break;
+        }
+        out[2 * a] = raw;
+        out[2 * a + 1] = norm;
+      }
+    }
+    fleet.drives.push_back(std::move(drive));
+  }
+  return fleet;
+}
+
+}  // namespace wefr::smartsim

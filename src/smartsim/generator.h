@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+
+#include "data/fleet.h"
+#include "smartsim/profiles.h"
+
+namespace wefr::smartsim {
+
+/// Fleet-generation controls.
+///
+/// The paper's dataset spans ~500K drives over 24 months; at laptop
+/// scale we compress the window and inflate the hazard (`afr_scale`) so
+/// the positive class stays populated. The *relative* AFR ordering
+/// across drive models and the coupling between features and failures
+/// are preserved, which is what the reproduced tables and figures rest
+/// on.
+struct SimOptions {
+  std::size_t num_drives = 1000;
+  int num_days = 240;           ///< observation window length
+  std::uint64_t seed = 42;
+  double afr_scale = 1.0;       ///< hazard inflation factor
+  int min_fail_day = 45;        ///< earliest allowed trouble ticket
+  double lead_lo = 25.0;        ///< degradation lead window (days)
+  double lead_hi = 55.0;
+};
+
+/// Generates a synthetic fleet for one drive model.
+///
+/// Per drive the generator simulates a wear trajectory (MWI_N), a
+/// workload intensity, and every SMART attribute of the model's Table-I
+/// set as a coupled stochastic process (cumulative Poisson error
+/// counters, AR(1) temperatures, cumulative volumes, depleting reserve
+/// space). Failures are planted with three causes:
+///
+///  - error-signature failures (any wear level): the profile's
+///    `signature_attrs` ramp up over a lead window before the ticket;
+///  - wear-out failures (only when the profile has a change point):
+///    concentrated on drives worn below the change point, with the
+///    signature carried mostly by MWI_N/POH and accelerated wear;
+///  - firmware-bug failures (MC2): barely-worn drives failing early.
+///
+/// The per-drive failure probability is shaped by the profile's hazard
+/// terms and rescaled so the expected failure count matches
+/// `afr_scale * target_afr` over the window.
+data::FleetData generate_fleet(const DriveModelProfile& profile, const SimOptions& opt);
+
+/// Feature names for a profile, in generation order:
+/// for each attribute A of the profile, "A_R" then "A_N".
+std::vector<std::string> feature_names_for(const DriveModelProfile& profile);
+
+}  // namespace wefr::smartsim

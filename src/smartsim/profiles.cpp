@@ -1,0 +1,210 @@
+#include "smartsim/profiles.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wefr::smartsim {
+
+const char* attr_name(Attr a) {
+  switch (a) {
+    case Attr::RER: return "RER";
+    case Attr::RSC: return "RSC";
+    case Attr::POH: return "POH";
+    case Attr::PCC: return "PCC";
+    case Attr::PFC: return "PFC";
+    case Attr::EFC: return "EFC";
+    case Attr::MWI: return "MWI";
+    case Attr::PLP: return "PLP";
+    case Attr::UPL: return "UPL";
+    case Attr::ARS: return "ARS";
+    case Attr::DEC: return "DEC";
+    case Attr::ETE: return "ETE";
+    case Attr::UCE: return "UCE";
+    case Attr::CMDT: return "CMDT";
+    case Attr::ET: return "ET";
+    case Attr::AFT: return "AFT";
+    case Attr::REC: return "REC";
+    case Attr::PSC: return "PSC";
+    case Attr::OCE: return "OCE";
+    case Attr::CEC: return "CEC";
+    case Attr::TLW: return "TLW";
+    case Attr::TLR: return "TLR";
+  }
+  throw std::logic_error("attr_name: unknown attribute");
+}
+
+AttrKind attr_kind(Attr a) {
+  switch (a) {
+    case Attr::POH: return AttrKind::kHours;
+    case Attr::PCC: return AttrKind::kCycles;
+    case Attr::MWI: return AttrKind::kWear;
+    case Attr::ARS: return AttrKind::kReserve;
+    case Attr::ET:
+    case Attr::AFT: return AttrKind::kTemperature;
+    case Attr::TLW:
+    case Attr::TLR: return AttrKind::kVolume;
+    default: return AttrKind::kErrorCounter;
+  }
+}
+
+bool DriveModelProfile::has_attr(Attr a) const {
+  return std::find(attributes.begin(), attributes.end(), a) != attributes.end();
+}
+
+namespace {
+
+// Table I attribute sets. Ambiguous (blank) cells in the published table
+// are resolved to "present"; REC is additionally included for MB2 to
+// stay consistent with Table III (whose MB2 top feature is REC_N).
+std::vector<Attr> attrs_ma1() {
+  return {Attr::RSC, Attr::POH, Attr::PCC, Attr::PFC, Attr::EFC,  Attr::MWI,
+          Attr::PLP, Attr::UPL, Attr::ARS, Attr::ETE, Attr::UCE,  Attr::CMDT,
+          Attr::ET,  Attr::AFT, Attr::REC, Attr::PSC, Attr::OCE,  Attr::CEC};
+}
+std::vector<Attr> attrs_ma2() {
+  return {Attr::RSC, Attr::POH, Attr::PCC, Attr::PFC, Attr::EFC, Attr::MWI,
+          Attr::PLP, Attr::UPL, Attr::ARS, Attr::DEC, Attr::ETE, Attr::UCE,
+          Attr::ET,  Attr::AFT, Attr::PSC, Attr::CEC, Attr::TLW, Attr::TLR};
+}
+std::vector<Attr> attrs_mb1() {
+  return {Attr::RSC, Attr::POH, Attr::PCC, Attr::PFC, Attr::EFC, Attr::MWI,
+          Attr::ARS, Attr::DEC, Attr::ETE, Attr::UCE, Attr::ET,  Attr::AFT,
+          Attr::PSC, Attr::CEC, Attr::TLW, Attr::TLR};
+}
+std::vector<Attr> attrs_mb2() {
+  return {Attr::RSC, Attr::POH, Attr::PCC, Attr::PFC, Attr::EFC, Attr::MWI,
+          Attr::ARS, Attr::DEC, Attr::ETE, Attr::UCE, Attr::ET,  Attr::AFT,
+          Attr::REC, Attr::PSC, Attr::CEC};
+}
+std::vector<Attr> attrs_mc1() {
+  return {Attr::RER, Attr::RSC, Attr::POH, Attr::PCC, Attr::PFC,  Attr::EFC,
+          Attr::MWI, Attr::UPL, Attr::ARS, Attr::DEC, Attr::ETE,  Attr::UCE,
+          Attr::CMDT, Attr::ET, Attr::AFT, Attr::REC, Attr::PSC,  Attr::OCE,
+          Attr::CEC};
+}
+std::vector<Attr> attrs_mc2() {
+  return {Attr::RER, Attr::RSC, Attr::POH, Attr::PCC, Attr::PFC,  Attr::EFC,
+          Attr::MWI, Attr::UPL, Attr::ARS, Attr::DEC, Attr::ETE,  Attr::UCE,
+          Attr::CMDT, Attr::ET, Attr::AFT, Attr::REC, Attr::PSC,  Attr::OCE,
+          Attr::CEC};
+}
+
+std::vector<DriveModelProfile> make_profiles() {
+  std::vector<DriveModelProfile> out(6);
+
+  // MA1 (MLC): PLP-dominated failures; wide wear range with a regime
+  // shift around MWI_N ~ 35 (paper: change point between 20 and 45).
+  out[0].name = "MA1";
+  out[0].flash = "MLC";
+  out[0].population_share = 0.100;
+  out[0].target_afr = 2.36;
+  out[0].attributes = attrs_ma1();
+  out[0].signature_attrs = {Attr::PLP, Attr::REC, Attr::RSC};
+  out[0].unstable_attrs = {Attr::UCE, Attr::CMDT};
+  out[0].mwi_start_lo = 45.0;
+  out[0].mwi_start_hi = 100.0;
+  out[0].wear_rate_lo = 0.02;
+  out[0].wear_rate_hi = 0.30;
+  out[0].wear_change_point = 35.0;
+  out[0].low_wear_hazard_mult = 3.5;
+
+  // MA2 (MLC): usage-driven failures (POH/TLR/PLP); change point ~ 30.
+  out[1].name = "MA2";
+  out[1].flash = "MLC";
+  out[1].population_share = 0.257;
+  out[1].target_afr = 0.46;
+  out[1].attributes = attrs_ma2();
+  out[1].signature_attrs = {Attr::PLP, Attr::TLR, Attr::UCE};
+  out[1].unstable_attrs = {Attr::CEC, Attr::DEC};
+  out[1].mwi_start_lo = 50.0;
+  out[1].mwi_start_hi = 100.0;
+  out[1].wear_rate_lo = 0.02;
+  out[1].wear_rate_hi = 0.26;
+  out[1].wear_change_point = 30.0;
+  out[1].low_wear_hazard_mult = 3.5;
+
+  // MB1 (MLC): reserve/reallocation-driven failures; MWI_N stays in a
+  // narrow high band -> no change point (paper Figure 1).
+  out[2].name = "MB1";
+  out[2].flash = "MLC";
+  out[2].population_share = 0.089;
+  out[2].target_afr = 2.52;
+  out[2].attributes = attrs_mb1();
+  out[2].signature_attrs = {Attr::ARS, Attr::RSC, Attr::DEC};
+  out[2].unstable_attrs = {Attr::ETE, Attr::UCE};
+  out[2].mwi_start_lo = 97.0;
+  out[2].mwi_start_hi = 100.0;
+  out[2].wear_rate_lo = 0.0005;
+  out[2].wear_rate_hi = 0.004;
+  out[2].wear_change_point = 0.0;
+
+  // MB2 (MLC): reallocation-event/uncorrectable-error failures; narrow
+  // wear band -> no change point.
+  out[3].name = "MB2";
+  out[3].flash = "MLC";
+  out[3].population_share = 0.104;
+  out[3].target_afr = 0.71;
+  out[3].attributes = attrs_mb2();
+  out[3].signature_attrs = {Attr::REC, Attr::UCE, Attr::RSC};
+  out[3].unstable_attrs = {Attr::CEC, Attr::DEC};
+  out[3].mwi_start_lo = 97.0;
+  out[3].mwi_start_hi = 100.0;
+  out[3].wear_rate_lo = 0.0005;
+  out[3].wear_rate_hi = 0.004;
+  out[3].wear_change_point = 0.0;
+
+  // MC1 (TLC): offline-scan/uncorrectable-error failures; the largest
+  // population; change point ~ 25.
+  out[4].name = "MC1";
+  out[4].flash = "TLC";
+  out[4].population_share = 0.404;
+  out[4].target_afr = 3.29;
+  out[4].attributes = attrs_mc1();
+  out[4].signature_attrs = {Attr::OCE, Attr::UCE, Attr::CMDT};
+  out[4].unstable_attrs = {Attr::RER, Attr::UPL};
+  out[4].mwi_start_lo = 40.0;
+  out[4].mwi_start_hi = 100.0;
+  out[4].wear_rate_lo = 0.02;
+  out[4].wear_rate_hi = 0.32;
+  out[4].wear_change_point = 25.0;
+  out[4].low_wear_hazard_mult = 3.5;
+
+  // MC2 (TLC): like MC1 plus the firmware bug that elevates failures of
+  // barely-worn drives early in the window, putting the most significant
+  // change point at MWI_N ~ 72 and making the survival curve
+  // non-monotone (paper Figure 1).
+  out[5].name = "MC2";
+  out[5].flash = "TLC";
+  out[5].population_share = 0.046;
+  out[5].target_afr = 3.92;
+  out[5].attributes = attrs_mc2();
+  out[5].signature_attrs = {Attr::UCE, Attr::OCE, Attr::CMDT};
+  out[5].unstable_attrs = {Attr::RER, Attr::UPL};
+  out[5].mwi_start_lo = 55.0;
+  out[5].mwi_start_hi = 100.0;
+  out[5].wear_rate_lo = 0.02;
+  out[5].wear_rate_hi = 0.18;
+  out[5].wear_change_point = 30.0;
+  out[5].low_wear_hazard_mult = 2.5;
+  out[5].firmware_bug = true;
+  out[5].firmware_bug_mwi = 72.0;
+  out[5].firmware_bug_hazard = 5.0;
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<DriveModelProfile>& standard_profiles() {
+  static const std::vector<DriveModelProfile> profiles = make_profiles();
+  return profiles;
+}
+
+const DriveModelProfile& profile_by_name(const std::string& name) {
+  for (const auto& p : standard_profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::out_of_range("profile_by_name: unknown drive model " + name);
+}
+
+}  // namespace wefr::smartsim

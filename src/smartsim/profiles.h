@@ -1,0 +1,109 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wefr::smartsim {
+
+/// SMART attributes appearing in the Alibaba dataset (Table I of the
+/// paper). Each attribute contributes two learning features: the raw
+/// value ("_R") and the vendor-normalized value ("_N").
+enum class Attr {
+  RER,   ///< Raw Read Error Rate
+  RSC,   ///< Reallocated Sectors Count
+  POH,   ///< Power-On Hours
+  PCC,   ///< Power Cycle Count
+  PFC,   ///< Program Fail Count
+  EFC,   ///< Erase Fail Count
+  MWI,   ///< Media Wearout Indicator
+  PLP,   ///< Power Loss Protection Failure
+  UPL,   ///< Unexpected Power Loss Count
+  ARS,   ///< Available Reserved Space
+  DEC,   ///< Downshift Error Count
+  ETE,   ///< End-to-End Error
+  UCE,   ///< Reported Uncorrectable Errors
+  CMDT,  ///< Command Timeout
+  ET,    ///< Enclosure Temperature
+  AFT,   ///< Airflow Temperature
+  REC,   ///< Reallocated Event Count
+  PSC,   ///< Current Pending Sector Count
+  OCE,   ///< Offline Scan Uncorrectable Error
+  CEC,   ///< UDMA CRC Error Count
+  TLW,   ///< Total LBAs Written
+  TLR,   ///< Total LBAs Read
+};
+
+/// Short name used in feature names ("UCE" -> features "UCE_R"/"UCE_N").
+const char* attr_name(Attr a);
+
+/// How the simulator evolves an attribute's underlying process.
+enum class AttrKind {
+  kErrorCounter,  ///< cumulative event count (RSC, UCE, ...)
+  kHours,         ///< power-on hours
+  kCycles,        ///< power cycles
+  kWear,          ///< media wearout indicator
+  kReserve,       ///< available reserved space (depletes with realloc)
+  kTemperature,   ///< AR(1) environmental series
+  kVolume,        ///< cumulative LBAs written/read
+};
+
+AttrKind attr_kind(Attr a);
+
+/// A drive model's simulation profile: the published facts (attribute
+/// set, population share, AFR, flash type) plus the planted ground truth
+/// that makes the generated fleet reproduce the paper's qualitative
+/// findings (which features correlate with failure, and how importance
+/// shifts with wear-out).
+struct DriveModelProfile {
+  std::string name;               ///< "MA1" ... "MC2"
+  std::string flash;              ///< "MLC" or "TLC"
+  double population_share = 0.0;  ///< Table II "Total %"
+  double target_afr = 0.0;        ///< Table II AFR, percent/year
+
+  /// SMART attributes present on this model (Table I).
+  std::vector<Attr> attributes;
+
+  /// Ground truth: attributes whose processes carry the pre-failure
+  /// degradation signature for failures caused by media/controller
+  /// defects (the "error-signature" failure mode). Mirrors the top
+  /// features of Table III.
+  std::vector<Attr> signature_attrs;
+
+  /// Unstable attributes: correlated with failures only during the
+  /// early part of the window (e.g. a transient environmental or
+  /// firmware interaction that later disappears). They are the planted
+  /// analogue of the paper's "weakly correlated learning features
+  /// [that] bring noises into the failure prediction" — a model trained
+  /// without feature selection leans on them and loses precision in the
+  /// test period.
+  std::vector<Attr> unstable_attrs;
+
+  // ---- wear-out model ----
+  double mwi_start_lo = 88.0;  ///< initial MWI_N range
+  double mwi_start_hi = 100.0;
+  double wear_rate_lo = 0.0;   ///< per-day MWI_N decrease range
+  double wear_rate_hi = 0.0;
+
+  /// MWI_N value of the planted survival-rate regime shift; 0 = none
+  /// (MB1/MB2: wear range too small for a change point).
+  double wear_change_point = 0.0;
+  /// Hazard multiplier reached deep in the low-MWI regime.
+  double low_wear_hazard_mult = 0.0;
+
+  /// MC2-style firmware bug: extra failures among barely-worn drives
+  /// (high MWI_N), concentrated early in the window ("gradually fixed").
+  bool firmware_bug = false;
+  double firmware_bug_mwi = 0.0;     ///< bug affects final MWI_N above this
+  double firmware_bug_hazard = 0.0;  ///< hazard multiplier of the bug
+
+  bool has_attr(Attr a) const;
+};
+
+/// The six drive-model profiles of the paper (MA1, MA2, MB1, MB2, MC1,
+/// MC2) with planted ground truth chosen to reproduce Tables I-V.
+const std::vector<DriveModelProfile>& standard_profiles();
+
+/// Profile lookup by name; throws std::out_of_range on unknown names.
+const DriveModelProfile& profile_by_name(const std::string& name);
+
+}  // namespace wefr::smartsim

@@ -1,0 +1,41 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/ranking.h"
+
+namespace wefr::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("pearson: length mismatch");
+  if (x.empty()) throw std::invalid_argument("pearson: empty input");
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  const double r = sxy / std::sqrt(sxx * syy);
+  // Guard tiny floating-point overshoot.
+  return std::clamp(r, -1.0, 1.0);
+}
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("spearman: length mismatch");
+  const auto rx = fractional_ranks(x);
+  const auto ry = fractional_ranks(y);
+  return pearson(rx, ry);
+}
+
+}  // namespace wefr::stats

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <span>
+
+namespace wefr::stats {
+
+/// Pearson linear correlation coefficient in [-1, 1]. Returns 0 when
+/// either input is constant (no linear relationship measurable).
+/// Throws std::invalid_argument on length mismatch or empty input.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation: Pearson on fractional ranks (tie-aware).
+double spearman(std::span<const double> x, std::span<const double> y);
+
+}  // namespace wefr::stats

@@ -1,0 +1,64 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wefr::stats {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+namespace {
+double central_moment2(std::span<const double> xs, double denom_offset) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / (static_cast<double>(xs.size()) - denom_offset);
+}
+}  // namespace
+
+double variance(std::span<const double> xs) { return central_moment2(xs, 0.0); }
+double sample_variance(std::span<const double> xs) { return central_moment2(xs, 1.0); }
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+double sample_stddev(std::span<const double> xs) { return std::sqrt(sample_variance(xs)); }
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+std::vector<double> zscores(std::span<const double> xs) {
+  std::vector<double> out(xs.size(), 0.0);
+  const double sd = sample_stddev(xs);
+  if (sd <= 0.0) return out;
+  const double m = mean(xs);
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - m) / sd;
+  return out;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q outside [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace wefr::stats

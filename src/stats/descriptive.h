@@ -1,0 +1,38 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wefr::stats {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Population variance (divides by n); 0 for spans shorter than 2.
+double variance(std::span<const double> xs);
+
+/// Sample variance (divides by n-1); 0 for spans shorter than 2.
+double sample_variance(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Sample standard deviation.
+double sample_stddev(std::span<const double> xs);
+
+/// Minimum / maximum; throw std::invalid_argument on empty input.
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// z-scores of each element against the span's own mean/stddev (sample
+/// stddev). A constant sequence maps to all zeros.
+std::vector<double> zscores(std::span<const double> xs);
+
+/// Median (by copy + nth_element); throws on empty input.
+double median(std::span<const double> xs);
+
+/// Empirical quantile in [0,1] with linear interpolation; throws on
+/// empty input or q outside [0,1].
+double quantile(std::span<const double> xs, double q);
+
+}  // namespace wefr::stats

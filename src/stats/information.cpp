@@ -1,0 +1,97 @@
+#include "stats/information.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/ranking.h"
+
+namespace wefr::stats {
+
+namespace {
+
+/// Assigns each sample an equal-frequency bin id in [0, bins); ties are
+/// kept in the same bin (binning by rank, then dividing the rank range).
+std::vector<int> equal_frequency_bins(std::span<const double> x, int bins) {
+  const auto ranks = fractional_ranks(x);  // 1-based, ties averaged
+  const double n = static_cast<double>(x.size());
+  std::vector<int> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    int b = static_cast<int>((ranks[i] - 0.5) / n * static_cast<double>(bins));
+    out[i] = std::clamp(b, 0, bins - 1);
+  }
+  return out;
+}
+
+struct ContingencyTable {
+  std::vector<std::array<double, 2>> cell;  // [bin][class]
+  double class_total[2] = {0.0, 0.0};
+  double total = 0.0;
+};
+
+ContingencyTable build_table(std::span<const double> x, std::span<const int> y, int bins) {
+  if (x.size() != y.size()) throw std::invalid_argument("information: length mismatch");
+  if (bins < 2) throw std::invalid_argument("information: bins < 2");
+  ContingencyTable t;
+  t.cell.assign(static_cast<std::size_t>(bins), {0.0, 0.0});
+  if (x.empty()) return t;
+  const auto bin = equal_frequency_bins(x, bins);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const int c = y[i] != 0 ? 1 : 0;
+    t.cell[static_cast<std::size_t>(bin[i])][static_cast<std::size_t>(c)] += 1.0;
+    t.class_total[c] += 1.0;
+    t.total += 1.0;
+  }
+  return t;
+}
+
+}  // namespace
+
+double binary_entropy(std::span<const int> y) {
+  if (y.empty()) return 0.0;
+  double pos = 0.0;
+  for (int v : y) pos += v != 0 ? 1.0 : 0.0;
+  const double p = pos / static_cast<double>(y.size());
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -(p * std::log(p) + (1.0 - p) * std::log(1.0 - p));
+}
+
+double mutual_information(std::span<const double> x, std::span<const int> y, int bins) {
+  const ContingencyTable t = build_table(x, y, bins);
+  if (t.total == 0.0 || t.class_total[0] == 0.0 || t.class_total[1] == 0.0) return 0.0;
+
+  double mi = 0.0;
+  for (const auto& row : t.cell) {
+    const double bin_total = row[0] + row[1];
+    if (bin_total == 0.0) continue;
+    for (int c = 0; c < 2; ++c) {
+      const double joint = row[static_cast<std::size_t>(c)] / t.total;
+      if (joint <= 0.0) continue;
+      const double px = bin_total / t.total;
+      const double py = t.class_total[c] / t.total;
+      mi += joint * std::log(joint / (px * py));
+    }
+  }
+  return std::max(0.0, mi);
+}
+
+double chi_square_statistic(std::span<const double> x, std::span<const int> y, int bins) {
+  const ContingencyTable t = build_table(x, y, bins);
+  if (t.total == 0.0 || t.class_total[0] == 0.0 || t.class_total[1] == 0.0) return 0.0;
+
+  double chi2 = 0.0;
+  for (const auto& row : t.cell) {
+    const double bin_total = row[0] + row[1];
+    if (bin_total == 0.0) continue;
+    for (int c = 0; c < 2; ++c) {
+      const double expected = bin_total * t.class_total[c] / t.total;
+      const double diff = row[static_cast<std::size_t>(c)] - expected;
+      chi2 += diff * diff / expected;
+    }
+  }
+  return chi2;
+}
+
+}  // namespace wefr::stats

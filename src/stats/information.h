@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+
+namespace wefr::stats {
+
+/// Mutual information I(X; Y) in nats between a continuous feature `x`
+/// (discretized into `bins` equal-frequency bins) and a binary target
+/// `y`. 0 when the feature carries no information about the class;
+/// bounded above by the class entropy H(Y) <= ln 2.
+///
+/// Equal-frequency binning keeps heavy-tailed SMART counters (mostly 0,
+/// occasionally huge) from collapsing into a single bin. Returns 0 when
+/// either class is absent or the feature is constant. Throws on length
+/// mismatch or bins < 2.
+double mutual_information(std::span<const double> x, std::span<const int> y, int bins = 10);
+
+/// Pearson chi-square statistic of independence between the binned
+/// feature and the binary target, over the same equal-frequency bins.
+/// Larger = stronger dependence. Returns 0 for constant features or a
+/// single-class target.
+double chi_square_statistic(std::span<const double> x, std::span<const int> y,
+                            int bins = 10);
+
+/// Shannon entropy (nats) of a binary label vector.
+double binary_entropy(std::span<const int> y);
+
+}  // namespace wefr::stats

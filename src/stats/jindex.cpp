@@ -1,0 +1,38 @@
+#include "stats/jindex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/ranking.h"
+
+namespace wefr::stats {
+
+double youden_j_index(std::span<const double> x, std::span<const int> y) {
+  if (x.size() != y.size()) throw std::invalid_argument("youden_j_index: length mismatch");
+  std::size_t n_pos = 0, n_neg = 0;
+  for (int label : y) (label != 0 ? n_pos : n_neg) += 1;
+  if (n_pos == 0 || n_neg == 0) return 0.0;
+
+  const auto order = argsort_ascending(x);
+
+  // Sweep cut points between distinct values. With `pos_le` positives and
+  // `neg_le` negatives at or below the cut:
+  //   direction "high => positive":  TPR = 1 - pos_le/n_pos, TNR = neg_le/n_neg
+  //   direction "low  => positive":  TPR = pos_le/n_pos,     TNR = 1 - neg_le/n_neg
+  // J = TPR + TNR - 1 = +/- (neg_le/n_neg - pos_le/n_pos).
+  double best = 0.0;
+  std::size_t pos_le = 0, neg_le = 0;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (y[order[i]] != 0 ? pos_le : neg_le) += 1;
+    // Only evaluate at boundaries between distinct feature values.
+    if (i + 1 < order.size() && x[order[i + 1]] == x[order[i]]) continue;
+    const double j = static_cast<double>(neg_le) / static_cast<double>(n_neg) -
+                     static_cast<double>(pos_le) / static_cast<double>(n_pos);
+    best = std::max(best, std::abs(j));
+  }
+  return best;
+}
+
+}  // namespace wefr::stats

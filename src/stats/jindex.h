@@ -1,0 +1,18 @@
+#pragma once
+
+#include <span>
+
+namespace wefr::stats {
+
+/// Youden J-index of a single learning feature for a binary target:
+/// J = max over cut points of (sensitivity + specificity - 1), taking
+/// the better of the two threshold directions (feature high => positive,
+/// feature low => positive). J in [0, 1]; 0 means the feature cannot
+/// separate the classes at any single threshold, 1 means a perfect
+/// single-threshold classifier. Matches the J-index selector of
+/// Lu et al. (FAST'20) used as a preliminary ranker in WEFR.
+///
+/// Returns 0 when either class is absent. Throws on length mismatch.
+double youden_j_index(std::span<const double> x, std::span<const int> y);
+
+}  // namespace wefr::stats

@@ -1,0 +1,32 @@
+#include "stats/kendall.h"
+
+#include <stdexcept>
+
+namespace wefr::stats {
+
+std::size_t kendall_tau_distance(std::span<const double> rank_a,
+                                 std::span<const double> rank_b) {
+  if (rank_a.size() != rank_b.size())
+    throw std::invalid_argument("kendall_tau_distance: length mismatch");
+  const std::size_t n = rank_a.size();
+  std::size_t discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double da = rank_a[i] - rank_a[j];
+      const double db = rank_b[i] - rank_b[j];
+      // Strictly opposite orders only; ties are not discordant.
+      if (da * db < 0.0) ++discordant;
+    }
+  }
+  return discordant;
+}
+
+double kendall_tau_distance_normalized(std::span<const double> rank_a,
+                                       std::span<const double> rank_b) {
+  const std::size_t n = rank_a.size();
+  if (n < 2) return 0.0;
+  const double pairs = static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+  return static_cast<double>(kendall_tau_distance(rank_a, rank_b)) / pairs;
+}
+
+}  // namespace wefr::stats

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <span>
+
+namespace wefr::stats {
+
+/// Kendall-tau rank distance between two rankings, as used by WEFR's
+/// outlier pruning (Section IV-B): the number of discordant pairs, i.e.
+/// pairs of distinct features (i, j) whose relative order differs
+/// between ranking A and ranking B. Rankings are "rank position per
+/// feature" vectors (smaller = more important); fractional tied ranks
+/// are allowed, and a pair tied in either ranking counts as concordant
+/// (theta = 0), matching the paper's definition of "same order".
+///
+/// O(n^2); rankings here have tens of features, so this is plenty.
+std::size_t kendall_tau_distance(std::span<const double> rank_a,
+                                 std::span<const double> rank_b);
+
+/// Normalized distance in [0, 1]: distance / C(n, 2). Returns 0 for
+/// rankings with fewer than two items.
+double kendall_tau_distance_normalized(std::span<const double> rank_a,
+                                       std::span<const double> rank_b);
+
+}  // namespace wefr::stats

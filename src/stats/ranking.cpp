@@ -1,0 +1,50 @@
+#include "stats/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace wefr::stats {
+
+std::vector<std::size_t> argsort_ascending(std::span<const double> xs) {
+  std::vector<std::size_t> idx(xs.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  return idx;
+}
+
+std::vector<std::size_t> argsort_descending(std::span<const double> xs) {
+  std::vector<std::size_t> idx(xs.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&](std::size_t a, std::size_t b) { return xs[a] > xs[b]; });
+  return idx;
+}
+
+std::vector<double> fractional_ranks(std::span<const double> xs) {
+  const auto order = argsort_ascending(xs);
+  std::vector<double> ranks(xs.size(), 0.0);
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j + 1 < order.size() && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Positions i..j (0-based) share the averaged 1-based rank.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+std::vector<double> ranking_from_scores(std::span<const double> scores) {
+  // Rank 1 = highest score: fractional ranks of the negated scores.
+  std::vector<double> neg(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) neg[i] = -scores[i];
+  return fractional_ranks(neg);
+}
+
+std::vector<std::size_t> order_by_score(std::span<const double> scores) {
+  return argsort_descending(scores);
+}
+
+}  // namespace wefr::stats

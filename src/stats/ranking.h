@@ -1,0 +1,28 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wefr::stats {
+
+/// Indices that sort `xs` ascending (stable for ties).
+std::vector<std::size_t> argsort_ascending(std::span<const double> xs);
+
+/// Indices that sort `xs` descending (stable for ties).
+std::vector<std::size_t> argsort_descending(std::span<const double> xs);
+
+/// Fractional (mid) ranks of `xs`, 1-based, ties averaged — the rank
+/// transform used by the Spearman correlation.
+std::vector<double> fractional_ranks(std::span<const double> xs);
+
+/// Converts importance scores (higher = more important) into a ranking:
+/// `result[i]` is the 1-based rank position of feature i (1 = most
+/// important). Ties receive averaged (fractional) positions so that two
+/// selectors agreeing on a tie have identical rankings.
+std::vector<double> ranking_from_scores(std::span<const double> scores);
+
+/// The ordered list of feature indices, most important first, for the
+/// given scores (deterministic: ties broken by index).
+std::vector<std::size_t> order_by_score(std::span<const double> scores);
+
+}  // namespace wefr::stats

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <span>
+#include <vector>
+
+namespace wefr::util {
+
+/// Deterministic, seedable pseudo-random number generator.
+///
+/// Implements xoshiro256** seeded through splitmix64. Every stochastic
+/// component in the library (simulator, forests, bootstrap, shuffles)
+/// draws from an explicitly passed Rng so that experiments are exactly
+/// reproducible from a single seed.
+class Rng {
+ public:
+  /// Constructs a generator whose stream is fully determined by `seed`.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Returns the next raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// Returns a uniform double in [0, 1).
+  double uniform();
+
+  /// Returns a uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Returns a uniform integer in [0, n). `n` must be positive.
+  std::size_t uniform_index(std::size_t n);
+
+  /// Returns a uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Returns a standard normal variate (Box-Muller with caching).
+  double normal();
+
+  /// Returns a normal variate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Returns a Poisson variate with rate `lambda` (Knuth for small
+  /// lambda, normal approximation above 64).
+  std::uint64_t poisson(double lambda);
+
+  /// Returns an exponential variate with the given rate.
+  double exponential(double rate);
+
+  /// Returns a gamma variate (Marsaglia-Tsang) with given shape and scale.
+  double gamma(double shape, double scale);
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    if (items.size() < 2) return;
+    for (std::size_t i = items.size() - 1; i > 0; --i) {
+      std::size_t j = uniform_index(i + 1);
+      using std::swap;
+      swap(items[i], items[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    shuffle(std::span<T>(items));
+  }
+
+  /// Samples `k` distinct indices from [0, n) without replacement.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
+
+  /// Forks a statistically independent child generator; used to give each
+  /// worker thread or simulated drive its own stream.
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace wefr::util

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <chrono>
+
+namespace wefr::util {
+
+/// Monotonic wall-clock stopwatch used by the runtime experiment (Exp#4).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Elapsed time since construction or the last reset, in seconds.
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace wefr::util

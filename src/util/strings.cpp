@@ -1,0 +1,57 @@
+#include "util/strings.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace wefr::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  const char* ws = " \t\r\n\f\v";
+  const auto b = s.find_first_not_of(ws);
+  if (b == std::string_view::npos) return {};
+  const auto e = s.find_last_not_of(ws);
+  return s.substr(b, e - b + 1);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string format_percent(double v, int digits) {
+  return format_double(v * 100.0, digits) + "%";
+}
+
+bool parse_double(std::string_view s, double& out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end && std::isfinite(out);
+}
+
+}  // namespace wefr::util

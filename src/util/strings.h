@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wefr::util {
+
+/// Splits `s` on `delim`, keeping empty fields (CSV semantics).
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Formats `v` with `digits` digits after the decimal point.
+std::string format_double(double v, int digits);
+
+/// Formats `v` (in [0,1]) as a percentage like "63%" or "62.5%".
+std::string format_percent(double v, int digits = 0);
+
+/// True if `s` parses as a finite double; stores it into `out`.
+bool parse_double(std::string_view s, double& out);
+
+}  // namespace wefr::util

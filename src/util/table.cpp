@@ -1,0 +1,63 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wefr::util {
+
+void AsciiTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  if (row.empty()) throw std::invalid_argument("AsciiTable::add_row: empty row");
+  if (!header_.empty() && row.size() > header_.size())
+    throw std::invalid_argument("AsciiTable::add_row: row wider than header");
+  if (!header_.empty()) row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void AsciiTable::add_separator() { rows_.emplace_back(); }
+
+std::string AsciiTable::render() const {
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  if (cols == 0) return {};
+
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) width[i] = std::max(width[i], r[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t i = 0; i < cols; ++i) s += std::string(width[i] + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto line = [&](const std::vector<std::string>& r) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string{};
+      s += " " + cell + std::string(width[i] - cell.size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+
+  std::string out = rule();
+  if (!header_.empty()) {
+    out += line(header_);
+    out += rule();
+  }
+  // A trailing separator would double the closing rule — drop it.
+  std::size_t last = rows_.size();
+  while (last > 0 && rows_[last - 1].empty()) --last;
+  for (std::size_t i = 0; i < last; ++i) {
+    out += rows_[i].empty() ? rule() : line(rows_[i]);
+  }
+  out += rule();
+  return out;
+}
+
+}  // namespace wefr::util

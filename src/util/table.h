@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wefr::util {
+
+/// Minimal fixed-grid ASCII table used by the bench binaries to print
+/// paper-style tables (Table II, III, ..., VIII) to stdout.
+class AsciiTable {
+ public:
+  /// Sets the header row; defines the column count.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a body row. Rows shorter than the header are padded with
+  /// empty cells; longer rows throw.
+  void add_row(std::vector<std::string> row);
+
+  /// Inserts a horizontal separator after the last added row.
+  void add_separator();
+
+  /// Renders the table with column-aligned cells and ASCII rules.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  // Empty vector encodes a separator line.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wefr::util

@@ -1,0 +1,70 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace wefr::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  num_threads = std::max<std::size_t>(1, num_threads);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] {
+      for (;;) {
+        std::function<void()> task;
+        {
+          std::unique_lock<std::mutex> lock(mu_);
+          cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+          if (stopping_ && tasks_.empty()) return;
+          task = std::move(tasks_.front());
+          tasks_.pop();
+        }
+        task();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  const std::size_t chunks = std::min(n, workers_.size());
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    futs.push_back(submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+      }
+    }));
+  }
+  for (auto& f : futs) f.get();
+  if (error) std::rethrow_exception(error);
+}
+
+std::size_t default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 4 : hw;
+}
+
+}  // namespace wefr::util

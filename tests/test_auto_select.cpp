@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "core/auto_select.h"
+#include "util/rng.h"
+
+namespace wefr::core {
+namespace {
+
+using data::Matrix;
+
+/// `n_signal` informative features followed by `n_noise` pure-noise
+/// features; returns the matrix, labels and the natural scan order
+/// (signals first).
+struct Planted {
+  Matrix x;
+  std::vector<int> y;
+  std::vector<std::size_t> order;
+};
+
+Planted make_planted(std::size_t n, std::size_t n_signal, std::size_t n_noise,
+                     std::uint64_t seed) {
+  util::Rng rng(seed);
+  Planted p;
+  const std::size_t nf = n_signal + n_noise;
+  p.x = Matrix(n, nf);
+  p.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.y[i] = i % 3 == 0 ? 1 : 0;
+    for (std::size_t f = 0; f < n_signal; ++f) {
+      // Diminishing signal strength along the ranking.
+      const double shift = 6.0 / static_cast<double>(f + 1);
+      p.x(i, f) = rng.normal(p.y[i] * shift, 1.0);
+    }
+    for (std::size_t f = n_signal; f < nf; ++f) p.x(i, f) = rng.normal();
+  }
+  p.order.resize(nf);
+  for (std::size_t f = 0; f < nf; ++f) p.order[f] = f;
+  return p;
+}
+
+TEST(AutoSelect, SelectsSignalDropsNoise) {
+  const auto p = make_planted(900, 5, 15, 1);
+  const auto res = auto_select(p.x, p.y, p.order);
+  EXPECT_GE(res.count, 4u);
+  EXPECT_LE(res.count, 10u);  // well below all 20
+  // All selected are a prefix of the scan order.
+  for (std::size_t i = 0; i < res.count; ++i) EXPECT_EQ(res.selected[i], p.order[i]);
+}
+
+TEST(AutoSelect, SeedFeaturesAlwaysSelected) {
+  const auto p = make_planted(300, 1, 15, 2);
+  const auto res = auto_select(p.x, p.y, p.order);
+  // log2(16) = 4 seed features minimum.
+  EXPECT_GE(res.count, 4u);
+}
+
+TEST(AutoSelect, ComplexityVectorMatchesOrder) {
+  const auto p = make_planted(400, 3, 5, 3);
+  const auto res = auto_select(p.x, p.y, p.order);
+  ASSERT_EQ(res.complexity.size(), 8u);
+  for (double e : res.complexity) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+  }
+  // Signal features (scanned first) must be less complex than the mean
+  // of the noise tail.
+  double head = (res.complexity[0] + res.complexity[1] + res.complexity[2]) / 3.0;
+  double tail = 0.0;
+  for (std::size_t i = 3; i < 8; ++i) tail += res.complexity[i];
+  tail /= 5.0;
+  EXPECT_LT(head, tail);
+}
+
+TEST(AutoSelect, MoreSignalsSelectMore) {
+  const auto few = make_planted(900, 3, 17, 4);
+  const auto many = make_planted(900, 12, 8, 4);
+  const auto res_few = auto_select(few.x, few.y, few.order);
+  const auto res_many = auto_select(many.x, many.y, many.order);
+  EXPECT_GT(res_many.count, res_few.count);
+}
+
+TEST(AutoSelect, PaperLiteralRuleEitherStopsEarlyOrTakesAll) {
+  // The literal E_p/E recurrences are bimodal: E grows quadratically, so
+  // once a feature past the seed is accepted the loop rarely breaks
+  // again; conversely a large e right after the seed can stop the scan
+  // immediately. Either way the count is a valid prefix.
+  const auto p = make_planted(400, 3, 17, 5);
+  AutoSelectOptions opt;
+  opt.rule = AutoSelectOptions::Rule::kPaperLiteral;
+  const auto res = auto_select(p.x, p.y, p.order, opt);
+  EXPECT_GE(res.count, 4u);  // at least the log2(20) seed
+  EXPECT_LE(res.count, p.order.size());
+  for (std::size_t i = 0; i < res.count; ++i) EXPECT_EQ(res.selected[i], p.order[i]);
+}
+
+TEST(AutoSelect, AlphaZeroUsesOnlyScanFraction) {
+  const auto p = make_planted(300, 2, 8, 6);
+  AutoSelectOptions opt;
+  opt.alpha = 0.0;  // e = xi, linear: cut at the mean = ~half
+  const auto res = auto_select(p.x, p.y, p.order, opt);
+  EXPECT_GE(res.count, 4u);
+  EXPECT_LE(res.count, 6u);
+}
+
+TEST(AutoSelect, RejectsBadInput) {
+  const auto p = make_planted(50, 2, 2, 7);
+  const std::vector<std::size_t> empty;
+  EXPECT_THROW(auto_select(p.x, p.y, empty), std::invalid_argument);
+  AutoSelectOptions opt;
+  opt.alpha = 1.5;
+  EXPECT_THROW(auto_select(p.x, p.y, p.order, opt), std::invalid_argument);
+}
+
+TEST(AutoSelect, SingleFeature) {
+  const auto p = make_planted(100, 1, 0, 8);
+  const auto res = auto_select(p.x, p.y, p.order);
+  EXPECT_EQ(res.count, 1u);
+}
+
+// Property: the selected count is monotone-ish in the fraction of
+// informative features, across seeds.
+class AutoSelectFraction : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutoSelectFraction, FractionWithinPaperRange) {
+  const auto p = make_planted(800, 6, 14, 100 + GetParam());
+  const auto res = auto_select(p.x, p.y, p.order);
+  const double frac = static_cast<double>(res.count) / 20.0;
+  // The paper's automated fractions span 26%-63%.
+  EXPECT_GE(frac, 0.15);
+  EXPECT_LE(frac, 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutoSelectFraction, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace wefr::core

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "changepoint/bayes_cpd.h"
+#include "util/rng.h"
+
+namespace wefr::changepoint {
+namespace {
+
+std::vector<double> step_series(std::size_t n, std::size_t shift_at, double lo, double hi,
+                                double noise_sd, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = (i < shift_at ? lo : hi) + rng.normal(0.0, noise_sd);
+  }
+  return s;
+}
+
+TEST(ChangeProbabilities, FirstPositionIsOne) {
+  const std::vector<double> s = {1, 2, 3};
+  const auto p = change_probabilities(s);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+}
+
+TEST(ChangeProbabilities, SizesMatch) {
+  const auto s = step_series(60, 30, 0, 1, 0.05, 1);
+  EXPECT_EQ(change_probabilities(s).size(), s.size());
+}
+
+TEST(ChangeProbabilities, EmptyThrows) {
+  std::vector<double> s;
+  EXPECT_THROW(change_probabilities(s), std::invalid_argument);
+}
+
+TEST(ChangeProbabilities, BadRunLengthThrows) {
+  const std::vector<double> s = {1, 2};
+  CpdOptions opt;
+  opt.expected_run_length = 0.5;
+  EXPECT_THROW(change_probabilities(s, opt), std::invalid_argument);
+}
+
+TEST(ChangeProbabilities, PeakAtPlantedShift) {
+  const auto s = step_series(80, 40, 0.9, 0.3, 0.02, 2);
+  const auto p = change_probabilities(s);
+  // The change probability at the shift should dominate all others
+  // (excluding the trivial t = 0).
+  std::size_t argmax = 1;
+  for (std::size_t t = 2; t < p.size(); ++t) {
+    if (p[t] > p[argmax]) argmax = t;
+  }
+  EXPECT_NEAR(static_cast<double>(argmax), 40.0, 2.0);
+}
+
+TEST(ChangeProbabilities, ConstantSeriesNoDominantPeak) {
+  std::vector<double> s(50, 0.7);
+  const auto p = change_probabilities(s);
+  for (std::size_t t = 2; t < p.size(); ++t) EXPECT_LT(p[t], 0.5);
+}
+
+TEST(ChangeProbabilities, ScaleInvariantDefaults) {
+  // The auto-scaled priors must find the same change point whether the
+  // series lives in [0,1] (survival rates) or in the thousands.
+  const auto small = step_series(80, 40, 0.9, 0.3, 0.02, 42);
+  std::vector<double> big(small.size());
+  for (std::size_t i = 0; i < small.size(); ++i) big[i] = small[i] * 5000.0 + 100.0;
+  const auto cp_small = most_significant_change(small);
+  const auto cp_big = most_significant_change(big);
+  ASSERT_TRUE(cp_small.has_value());
+  ASSERT_TRUE(cp_big.has_value());
+  EXPECT_NEAR(static_cast<double>(cp_small->index), static_cast<double>(cp_big->index),
+              2.0);
+}
+
+TEST(ChangeProbabilities, SingleElementSeries) {
+  const std::vector<double> s = {0.5};
+  const auto p = change_probabilities(s);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+}
+
+TEST(MostSignificantChange, DetectsShift) {
+  const auto s = step_series(100, 55, 0.95, 0.40, 0.03, 3);
+  const auto cp = most_significant_change(s);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_NEAR(static_cast<double>(cp->index), 55.0, 3.0);
+  EXPECT_GE(std::abs(cp->zscore), 2.5);
+}
+
+TEST(MostSignificantChange, NoShiftOnNoise) {
+  util::Rng rng(4);
+  std::vector<double> s(60);
+  for (auto& v : s) v = rng.normal(0.5, 0.02);
+  const auto cp = most_significant_change(s);
+  // Pure noise: either nothing significant, or a weak spurious point —
+  // require that no *strong* change is claimed.
+  if (cp.has_value()) EXPECT_LT(cp->probability, 0.9);
+}
+
+TEST(MostSignificantChange, PicksStrongerOfTwoShifts) {
+  util::Rng rng(5);
+  std::vector<double> s(120);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    double mean = 0.9;
+    if (i >= 40) mean = 0.8;   // small shift
+    if (i >= 80) mean = 0.2;   // big shift
+    s[i] = mean + rng.normal(0.0, 0.02);
+  }
+  const auto cp = most_significant_change(s);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_NEAR(static_cast<double>(cp->index), 80.0, 3.0);
+}
+
+TEST(SignificantChangePoints, AllPassThreshold) {
+  const auto s = step_series(100, 50, 1.0, 0.0, 0.05, 6);
+  CpdOptions opt;
+  for (const auto& cp : significant_change_points(s, opt)) {
+    EXPECT_GE(std::abs(cp.zscore), opt.z_threshold);
+    EXPECT_GT(cp.index, 0u);
+  }
+}
+
+// Property sweep: detection works across shift positions and noise levels.
+struct ShiftCase {
+  std::size_t position;
+  double noise;
+};
+
+class ShiftDetection : public ::testing::TestWithParam<ShiftCase> {};
+
+TEST_P(ShiftDetection, FindsPlantedShift) {
+  const auto [pos, noise] = GetParam();
+  const auto s = step_series(100, pos, 0.9, 0.3, noise, 1000 + pos);
+  const auto cp = most_significant_change(s);
+  ASSERT_TRUE(cp.has_value()) << "pos=" << pos << " noise=" << noise;
+  EXPECT_NEAR(static_cast<double>(cp->index), static_cast<double>(pos), 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ShiftDetection,
+                         ::testing::Values(ShiftCase{20, 0.01}, ShiftCase{20, 0.05},
+                                           ShiftCase{50, 0.01}, ShiftCase{50, 0.05},
+                                           ShiftCase{75, 0.01}, ShiftCase{75, 0.05}));
+
+// Property: magnitude of the shift should not change the location found.
+class ShiftMagnitude : public ::testing::TestWithParam<double> {};
+
+TEST_P(ShiftMagnitude, LocationStable) {
+  const double drop = GetParam();
+  const auto s = step_series(90, 45, 0.9, 0.9 - drop, 0.02, 77);
+  const auto cp = most_significant_change(s);
+  ASSERT_TRUE(cp.has_value()) << "drop=" << drop;
+  EXPECT_NEAR(static_cast<double>(cp->index), 45.0, 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Drops, ShiftMagnitude, ::testing::Values(0.2, 0.4, 0.6));
+
+}  // namespace
+}  // namespace wefr::changepoint

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/complexity.h"
+#include "util/rng.h"
+
+namespace wefr::stats {
+namespace {
+
+TEST(Complexity, DisjointClassesAreEasy) {
+  const std::vector<double> x = {1, 2, 3, 10, 11, 12};
+  const std::vector<int> y = {0, 0, 0, 1, 1, 1};
+  const auto cm = feature_complexity(x, y);
+  EXPECT_GT(cm.fisher_ratio, 1.0);
+  EXPECT_DOUBLE_EQ(cm.overlap_volume, 0.0);
+  EXPECT_DOUBLE_EQ(cm.feature_efficiency, 1.0);
+}
+
+TEST(Complexity, IdenticalDistributionsAreHard) {
+  const std::vector<double> x = {1, 2, 3, 1, 2, 3};
+  const std::vector<int> y = {0, 0, 0, 1, 1, 1};
+  const auto cm = feature_complexity(x, y);
+  EXPECT_NEAR(cm.fisher_ratio, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cm.overlap_volume, 1.0);
+  EXPECT_DOUBLE_EQ(cm.feature_efficiency, 0.0);
+}
+
+TEST(Complexity, MissingClassIsMaximallyComplex) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<int> y = {0, 0, 0};
+  const auto cm = feature_complexity(x, y);
+  EXPECT_DOUBLE_EQ(cm.fisher_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(cm.overlap_volume, 1.0);
+  EXPECT_DOUBLE_EQ(cm.feature_efficiency, 0.0);
+}
+
+TEST(Complexity, ConstantFeature) {
+  const std::vector<double> x = {5, 5, 5, 5};
+  const std::vector<int> y = {0, 0, 1, 1};
+  const auto cm = feature_complexity(x, y);
+  EXPECT_DOUBLE_EQ(cm.fisher_ratio, 0.0);
+  EXPECT_DOUBLE_EQ(cm.overlap_volume, 1.0);
+  EXPECT_DOUBLE_EQ(cm.feature_efficiency, 0.0);
+}
+
+TEST(Complexity, ConstantButDistinctClassValues) {
+  // Each class constant at a different value: infinitely easy.
+  const std::vector<double> x = {1, 1, 9, 9};
+  const std::vector<int> y = {0, 0, 1, 1};
+  const auto cm = feature_complexity(x, y);
+  EXPECT_GT(cm.fisher_ratio, 1e6);
+  EXPECT_DOUBLE_EQ(cm.overlap_volume, 0.0);
+  EXPECT_DOUBLE_EQ(cm.feature_efficiency, 1.0);
+}
+
+TEST(Complexity, PartialOverlapBounds) {
+  const std::vector<double> x = {0, 2, 4, 6, 4, 6, 8, 10};
+  const std::vector<int> y = {0, 0, 0, 0, 1, 1, 1, 1};
+  const auto cm = feature_complexity(x, y);
+  EXPECT_GT(cm.overlap_volume, 0.0);
+  EXPECT_LT(cm.overlap_volume, 1.0);
+  EXPECT_GT(cm.feature_efficiency, 0.0);
+  EXPECT_LT(cm.feature_efficiency, 1.0);
+}
+
+TEST(Complexity, RejectsLengthMismatch) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<int> y = {0};
+  EXPECT_THROW(feature_complexity(x, y), std::invalid_argument);
+}
+
+TEST(ComplexityEnsemble, SeparableFeatureScoresLower) {
+  util::Rng rng(1);
+  const std::size_t n = 400;
+  std::vector<int> y(n);
+  std::vector<double> good(n), bad(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = i < n / 2 ? 0 : 1;
+    good[i] = y[i] == 0 ? rng.normal(0.0, 1.0) : rng.normal(6.0, 1.0);
+    bad[i] = rng.normal(0.0, 1.0);
+  }
+  const std::vector<std::vector<double>> cols = {good, bad};
+  const auto e = ensemble_complexity(cols, y);
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_LT(e[0], e[1]);
+}
+
+TEST(ComplexityEnsemble, OutputInUnitInterval) {
+  util::Rng rng(2);
+  const std::size_t n = 200;
+  std::vector<int> y(n);
+  std::vector<std::vector<double>> cols(5, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = rng.bernoulli(0.3) ? 1 : 0;
+    for (auto& c : cols) c[i] = rng.normal();
+  }
+  for (double e : ensemble_complexity(cols, y)) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+  }
+}
+
+// Property: the ensemble ranks a planted-signal feature easiest across
+// noise levels.
+class ComplexitySignalProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ComplexitySignalProperty, SignalBeatsNoise) {
+  const double shift = GetParam();
+  util::Rng rng(42);
+  const std::size_t n = 600;
+  std::vector<int> y(n);
+  std::vector<std::vector<double>> cols(4, std::vector<double>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = i % 4 == 0 ? 1 : 0;
+    cols[0][i] = rng.normal(y[i] * shift, 1.0);  // signal
+    for (std::size_t c = 1; c < 4; ++c) cols[c][i] = rng.normal();
+  }
+  const auto e = ensemble_complexity(cols, y);
+  for (std::size_t c = 1; c < 4; ++c) EXPECT_LT(e[0], e[c]) << "noise col " << c;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, ComplexitySignalProperty,
+                         ::testing::Values(3.0, 5.0, 8.0));
+
+}  // namespace
+}  // namespace wefr::stats

@@ -1,0 +1,378 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/csv.h"
+#include "data/dataset.h"
+#include "data/fleet.h"
+#include "data/labeling.h"
+#include "data/matrix.h"
+#include "util/rng.h"
+
+namespace wefr::data {
+namespace {
+
+// ---------- Matrix ----------
+
+TEST(Matrix, ConstructAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 7.0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, PushRowDefinesWidth) {
+  Matrix m;
+  const std::vector<double> r1 = {1, 2, 3};
+  m.push_row(r1);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  const std::vector<double> bad = {1, 2};
+  EXPECT_THROW(m.push_row(bad), std::invalid_argument);
+}
+
+TEST(Matrix, RowView) {
+  Matrix m(2, 2);
+  m(1, 0) = 5;
+  m(1, 1) = 6;
+  auto r = m.row(1);
+  EXPECT_DOUBLE_EQ(r[0], 5.0);
+  EXPECT_DOUBLE_EQ(r[1], 6.0);
+}
+
+TEST(Matrix, ColumnCopy) {
+  Matrix m(3, 2);
+  for (std::size_t i = 0; i < 3; ++i) m(i, 1) = static_cast<double>(i);
+  EXPECT_EQ(m.column(1), (std::vector<double>{0, 1, 2}));
+}
+
+TEST(Matrix, SelectColumns) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(0, 2) = 3;
+  m(1, 0) = 4;
+  m(1, 2) = 6;
+  const std::vector<std::size_t> cols = {2, 0};
+  const Matrix s = m.select_columns(cols);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 4.0);
+}
+
+TEST(Matrix, SelectRows) {
+  Matrix m(3, 1);
+  for (std::size_t i = 0; i < 3; ++i) m(i, 0) = static_cast<double>(i * 10);
+  const std::vector<std::size_t> rows = {2, 2, 0};
+  const Matrix s = m.select_rows(rows);
+  EXPECT_EQ(s.rows(), 3u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 20.0);
+  EXPECT_DOUBLE_EQ(s(2, 0), 0.0);
+}
+
+TEST(Matrix, SelectOutOfRangeThrows) {
+  Matrix m(2, 2);
+  const std::vector<std::size_t> bad = {5};
+  EXPECT_THROW(m.select_columns(bad), std::out_of_range);
+  EXPECT_THROW(m.select_rows(bad), std::out_of_range);
+}
+
+// ---------- FleetData ----------
+
+FleetData tiny_fleet() {
+  FleetData fleet;
+  fleet.model_name = "T";
+  fleet.feature_names = {"A_R", "MWI_N"};
+  fleet.num_days = 100;
+  for (int i = 0; i < 4; ++i) {
+    DriveSeries d;
+    d.drive_id = "t_" + std::to_string(i);
+    d.first_day = 0;
+    d.fail_day = i == 0 ? 60 : -1;  // one failure at day 60
+    const int last = i == 0 ? 59 : 99;
+    d.values = Matrix(static_cast<std::size_t>(last + 1), 2);
+    for (int t = 0; t <= last; ++t) {
+      d.values(static_cast<std::size_t>(t), 0) = t + i;
+      d.values(static_cast<std::size_t>(t), 1) = 100 - t * 0.1;
+    }
+    fleet.drives.push_back(std::move(d));
+  }
+  return fleet;
+}
+
+TEST(Fleet, FeatureIndex) {
+  const FleetData f = tiny_fleet();
+  EXPECT_EQ(f.feature_index("MWI_N"), 1);
+  EXPECT_EQ(f.feature_index("nope"), -1);
+}
+
+TEST(Fleet, CountsAndAfr) {
+  const FleetData f = tiny_fleet();
+  EXPECT_EQ(f.num_failed(), 1u);
+  EXPECT_EQ(f.total_drive_days(), 60u + 3u * 100u);
+  const double afr = f.afr_percent();
+  EXPECT_NEAR(afr, 1.0 * 365.0 * 100.0 / 360.0, 1e-9);
+}
+
+TEST(Fleet, DriveSeriesAccessors) {
+  const FleetData f = tiny_fleet();
+  EXPECT_TRUE(f.drives[0].failed());
+  EXPECT_FALSE(f.drives[1].failed());
+  EXPECT_EQ(f.drives[0].last_day(), 59);
+  EXPECT_EQ(f.drives[1].last_day(), 99);
+}
+
+// ---------- Dataset ----------
+
+TEST(Dataset, ValidateCatchesMismatch) {
+  Dataset ds;
+  ds.x = Matrix(2, 1);
+  ds.y = {0, 1};
+  ds.feature_names = {"f"};
+  ds.drive_index = {0, 1};
+  ds.day = {0};
+  EXPECT_THROW(ds.validate(), std::logic_error);
+}
+
+TEST(Dataset, SubsetPreservesOrder) {
+  Dataset ds;
+  ds.x = Matrix(3, 1);
+  for (std::size_t i = 0; i < 3; ++i) ds.x(i, 0) = static_cast<double>(i);
+  ds.y = {0, 1, 0};
+  ds.feature_names = {"f"};
+  ds.drive_index = {0, 1, 2};
+  ds.day = {10, 11, 12};
+  const std::vector<std::size_t> idx = {2, 0};
+  const Dataset s = subset(ds, idx);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.x(0, 0), 2.0);
+  EXPECT_EQ(s.day[1], 10);
+}
+
+TEST(Dataset, SelectFeatures) {
+  Dataset ds;
+  ds.x = Matrix(1, 3);
+  ds.x(0, 0) = 1;
+  ds.x(0, 1) = 2;
+  ds.x(0, 2) = 3;
+  ds.y = {1};
+  ds.feature_names = {"a", "b", "c"};
+  ds.drive_index = {0};
+  ds.day = {0};
+  const std::vector<std::size_t> cols = {2, 1};
+  const Dataset s = select_features(ds, cols);
+  EXPECT_EQ(s.feature_names, (std::vector<std::string>{"c", "b"}));
+  EXPECT_DOUBLE_EQ(s.x(0, 0), 3.0);
+}
+
+TEST(Dataset, TimeSplitRespectsBoundary) {
+  Dataset ds;
+  ds.x = Matrix(10, 1);
+  ds.feature_names = {"f"};
+  for (int i = 0; i < 10; ++i) {
+    ds.y.push_back(0);
+    ds.drive_index.push_back(0);
+    ds.day.push_back(i);
+  }
+  const TimeSplit split = split_train_validation(ds, 0.8);
+  EXPECT_EQ(split.train.size(), 8u);
+  EXPECT_EQ(split.validation.size(), 2u);
+  for (auto i : split.train) EXPECT_LT(ds.day[i], split.boundary_day);
+  for (auto i : split.validation) EXPECT_GE(ds.day[i], split.boundary_day);
+}
+
+TEST(Dataset, TimeSplitRejectsBadFraction) {
+  Dataset ds;
+  EXPECT_THROW(split_train_validation(ds, 0.0), std::invalid_argument);
+  EXPECT_THROW(split_train_validation(ds, 1.0), std::invalid_argument);
+}
+
+TEST(Dataset, IndicesInDayRange) {
+  Dataset ds;
+  ds.x = Matrix(5, 1);
+  ds.feature_names = {"f"};
+  for (int i = 0; i < 5; ++i) {
+    ds.y.push_back(0);
+    ds.drive_index.push_back(0);
+    ds.day.push_back(i * 10);
+  }
+  EXPECT_EQ(indices_in_day_range(ds, 10, 30), (std::vector<std::size_t>{1, 2, 3}));
+}
+
+// ---------- labeling ----------
+
+TEST(Labeling, PositiveWithinHorizon) {
+  const FleetData fleet = tiny_fleet();
+  SamplingOptions opt;
+  opt.horizon_days = 30;
+  const Dataset ds = build_samples(fleet, opt);
+  ds.validate();
+  // Drive 0 fails at day 60: days 30..59 are positive (60 - d <= 30).
+  std::size_t positives = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    if (ds.y[i] == 1) {
+      ++positives;
+      EXPECT_EQ(ds.drive_index[i], 0);
+      EXPECT_GE(ds.day[i], 30);
+      EXPECT_LE(ds.day[i], 59);
+    }
+  }
+  EXPECT_EQ(positives, 30u);
+}
+
+TEST(Labeling, DayRangeRestricts) {
+  const FleetData fleet = tiny_fleet();
+  SamplingOptions opt;
+  opt.day_lo = 90;
+  const Dataset ds = build_samples(fleet, opt);
+  // Only the three healthy drives have days 90..99.
+  EXPECT_EQ(ds.size(), 3u * 10u);
+  for (std::size_t i = 0; i < ds.size(); ++i) EXPECT_GE(ds.day[i], 90);
+}
+
+TEST(Labeling, NegativeDownsamplingKeepsPositives) {
+  const FleetData fleet = tiny_fleet();
+  SamplingOptions opt;
+  opt.negative_keep_prob = 0.1;
+  util::Rng rng(5);
+  const Dataset ds = build_samples(fleet, opt, &rng);
+  std::size_t positives = 0;
+  for (int v : ds.y) positives += v;
+  EXPECT_EQ(positives, 30u);  // all positives kept
+  EXPECT_LT(ds.size(), 200u); // negatives heavily downsampled (360 total)
+}
+
+TEST(Labeling, DownsamplingRequiresRng) {
+  const FleetData fleet = tiny_fleet();
+  SamplingOptions opt;
+  opt.negative_keep_prob = 0.5;
+  EXPECT_THROW(build_samples(fleet, opt, nullptr), std::invalid_argument);
+}
+
+TEST(Labeling, KeepFilterApplied) {
+  const FleetData fleet = tiny_fleet();
+  SamplingOptions opt;
+  opt.keep = [](std::size_t drive, int) { return drive != 0; };
+  const Dataset ds = build_samples(fleet, opt);
+  for (std::size_t i = 0; i < ds.size(); ++i) EXPECT_NE(ds.drive_index[i], 0);
+}
+
+TEST(Labeling, BaseColumnSubset) {
+  const FleetData fleet = tiny_fleet();
+  SamplingOptions opt;
+  const std::vector<std::size_t> cols = {1};
+  const Dataset ds = build_samples(fleet, cols, opt);
+  EXPECT_EQ(ds.feature_names, (std::vector<std::string>{"MWI_N"}));
+  EXPECT_EQ(ds.num_features(), 1u);
+}
+
+TEST(Labeling, WindowExpansionNames) {
+  const FleetData fleet = tiny_fleet();
+  SamplingOptions opt;
+  opt.expand_windows = true;
+  const Dataset ds = build_samples(fleet, opt);
+  EXPECT_EQ(ds.num_features(), 2u * 13u);
+  EXPECT_EQ(ds.feature_names[0], "A_R");
+  EXPECT_EQ(ds.feature_names[1], "A_R__max3");
+}
+
+// ---------- CSV round-trip ----------
+
+TEST(Csv, RoundTrip) {
+  const FleetData fleet = tiny_fleet();
+  std::stringstream ss;
+  write_fleet_csv(fleet, ss);
+  const FleetData back = read_fleet_csv(ss, "T");
+  EXPECT_EQ(back.model_name, "T");
+  EXPECT_EQ(back.feature_names, fleet.feature_names);
+  ASSERT_EQ(back.drives.size(), fleet.drives.size());
+  EXPECT_EQ(back.num_days, fleet.num_days);
+  for (std::size_t d = 0; d < fleet.drives.size(); ++d) {
+    EXPECT_EQ(back.drives[d].drive_id, fleet.drives[d].drive_id);
+    EXPECT_EQ(back.drives[d].fail_day, fleet.drives[d].fail_day);
+    ASSERT_EQ(back.drives[d].num_days(), fleet.drives[d].num_days());
+    for (std::size_t t = 0; t < fleet.drives[d].num_days(); ++t) {
+      for (std::size_t c = 0; c < fleet.feature_names.size(); ++c) {
+        EXPECT_DOUBLE_EQ(back.drives[d].values(t, c), fleet.drives[d].values(t, c));
+      }
+    }
+  }
+}
+
+TEST(Csv, RejectsEmptyInput) {
+  std::stringstream ss;
+  EXPECT_THROW(read_fleet_csv(ss, "x"), std::runtime_error);
+}
+
+TEST(Csv, RejectsBadHeader) {
+  std::stringstream ss("foo,bar,baz,qux,f1\n");
+  EXPECT_THROW(read_fleet_csv(ss, "x"), std::runtime_error);
+}
+
+TEST(Csv, RejectsWrongFieldCount) {
+  std::stringstream ss("drive_id,day,failed,fail_day,f1\nd0,0,0,-1\n");
+  EXPECT_THROW(read_fleet_csv(ss, "x"), std::runtime_error);
+}
+
+TEST(Matrix, SliceRowsCopiesBlock) {
+  Matrix m(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    m(r, 0) = static_cast<double>(r);
+    m(r, 1) = static_cast<double>(r) * 10.0;
+  }
+  const Matrix s = m.slice_rows(1, 2);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 20.0);
+  EXPECT_THROW(m.slice_rows(3, 2), std::out_of_range);
+  EXPECT_EQ(m.slice_rows(4, 0).rows(), 0u);
+}
+
+TEST(Labeling, SlicedExpansionMatchesFullExpansion) {
+  // Window features computed on a sampled sub-range must be identical to
+  // those computed with the whole history materialized (the slicing is a
+  // pure optimization).
+  const FleetData fleet = tiny_fleet();
+  SamplingOptions whole;
+  whole.expand_windows = true;
+  const Dataset full = build_samples(fleet, whole);
+
+  SamplingOptions ranged = whole;
+  ranged.day_lo = 50;
+  ranged.day_hi = 70;
+  const Dataset sub = build_samples(fleet, ranged);
+
+  // Match rows by (drive, day) and compare every expanded feature.
+  for (std::size_t i = 0; i < sub.size(); ++i) {
+    bool found = false;
+    for (std::size_t j = 0; j < full.size(); ++j) {
+      if (full.drive_index[j] != sub.drive_index[i] || full.day[j] != sub.day[i])
+        continue;
+      found = true;
+      for (std::size_t c = 0; c < sub.num_features(); ++c) {
+        ASSERT_DOUBLE_EQ(sub.x(i, c), full.x(j, c))
+            << "drive " << sub.drive_index[i] << " day " << sub.day[i] << " col " << c;
+      }
+      break;
+    }
+    ASSERT_TRUE(found);
+  }
+}
+
+TEST(Csv, RejectsNonContiguousDays) {
+  std::stringstream ss(
+      "drive_id,day,failed,fail_day,f1\n"
+      "d0,0,0,-1,1.0\n"
+      "d0,2,0,-1,1.0\n");
+  EXPECT_THROW(read_fleet_csv(ss, "x"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wefr::data

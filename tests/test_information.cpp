@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/information.h"
+#include "util/rng.h"
+
+namespace wefr::stats {
+namespace {
+
+TEST(BinaryEntropy, KnownValues) {
+  const std::vector<int> balanced = {0, 1, 0, 1};
+  EXPECT_NEAR(binary_entropy(balanced), std::log(2.0), 1e-12);
+  const std::vector<int> pure = {1, 1, 1};
+  EXPECT_DOUBLE_EQ(binary_entropy(pure), 0.0);
+  EXPECT_DOUBLE_EQ(binary_entropy(std::vector<int>{}), 0.0);
+}
+
+TEST(MutualInformation, PerfectPredictorReachesClassEntropy) {
+  std::vector<double> x;
+  std::vector<int> y;
+  for (int i = 0; i < 400; ++i) {
+    y.push_back(i % 2);
+    x.push_back(y.back() == 0 ? i * 0.001 : 100.0 + i * 0.001);
+  }
+  const double mi = mutual_information(x, y);
+  EXPECT_NEAR(mi, binary_entropy(y), 0.02);
+}
+
+TEST(MutualInformation, IndependentNearZero) {
+  util::Rng rng(1);
+  std::vector<double> x(5000);
+  std::vector<int> y(5000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_LT(mutual_information(x, y), 0.01);
+}
+
+TEST(MutualInformation, ConstantFeatureIsZero) {
+  const std::vector<double> x(100, 3.0);
+  std::vector<int> y(100);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = i % 2;
+  EXPECT_NEAR(mutual_information(x, y), 0.0, 1e-9);
+}
+
+TEST(MutualInformation, SingleClassIsZero) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<int> y = {0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(mutual_information(x, y), 0.0);
+}
+
+TEST(MutualInformation, MonotoneInSignalStrength) {
+  util::Rng rng(2);
+  auto mi_for_shift = [&](double shift) {
+    std::vector<double> x(3000);
+    std::vector<int> y(3000);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      y[i] = i % 3 == 0 ? 1 : 0;
+      x[i] = rng.normal(y[i] * shift, 1.0);
+    }
+    return mutual_information(x, y);
+  };
+  const double weak = mi_for_shift(0.5);
+  const double strong = mi_for_shift(3.0);
+  EXPECT_GT(strong, weak * 2.0);
+}
+
+TEST(MutualInformation, RejectsBadInput) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<int> y = {0};
+  EXPECT_THROW(mutual_information(x, y), std::invalid_argument);
+  const std::vector<int> y2 = {0, 1};
+  EXPECT_THROW(mutual_information(x, y2, 1), std::invalid_argument);
+}
+
+TEST(ChiSquare, DependentBeatsIndependent) {
+  util::Rng rng(3);
+  std::vector<double> signal(2000), noise(2000);
+  std::vector<int> y(2000);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    y[i] = i % 4 == 0 ? 1 : 0;
+    signal[i] = rng.normal(y[i] * 3.0, 1.0);
+    noise[i] = rng.normal();
+  }
+  EXPECT_GT(chi_square_statistic(signal, y), 10.0 * chi_square_statistic(noise, y));
+}
+
+TEST(ChiSquare, ConstantFeatureIsZero) {
+  const std::vector<double> x(50, 1.0);
+  std::vector<int> y(50);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = i % 2;
+  EXPECT_NEAR(chi_square_statistic(x, y), 0.0, 1e-9);
+}
+
+TEST(ChiSquare, NonNegative) {
+  util::Rng rng(4);
+  std::vector<double> x(500);
+  std::vector<int> y(500);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  EXPECT_GE(chi_square_statistic(x, y), 0.0);
+}
+
+// Property: MI is invariant under strictly monotone transforms (it uses
+// equal-frequency binning on ranks).
+class MiMonotoneInvariance : public ::testing::TestWithParam<int> {};
+
+TEST_P(MiMonotoneInvariance, InvariantUnderMonotoneMap) {
+  util::Rng rng(100 + GetParam());
+  std::vector<double> x(2000), x_exp(2000);
+  std::vector<int> y(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = i % 3 == 0 ? 1 : 0;
+    x[i] = rng.normal(y[i] * 2.0, 1.0);
+    x_exp[i] = std::exp(x[i] * 0.5);  // strictly monotone
+  }
+  EXPECT_NEAR(mutual_information(x, y), mutual_information(x_exp, y), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MiMonotoneInvariance, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace wefr::stats

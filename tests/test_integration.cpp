@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "smartsim/generator.h"
+
+namespace wefr::core {
+namespace {
+
+/// Integration tests run the full paper protocol end-to-end on a small
+/// simulated fleet. They use a lighter forest than the benches to stay
+/// fast, but exercise every stage: generation, selection, training,
+/// routing, drive-level evaluation.
+CompareConfig light_compare() {
+  CompareConfig cfg;
+  cfg.exp.forest.num_trees = 12;
+  cfg.exp.forest.tree.max_depth = 9;
+  cfg.exp.forest.tree.min_samples_leaf = 4;
+  cfg.exp.negative_keep_prob = 0.06;
+  cfg.percent_sweep = {0.4, 1.0};
+  cfg.target_recall = 0.3;
+  return cfg;
+}
+
+data::FleetData make_fleet(const std::string& model, std::uint64_t seed,
+                           std::size_t drives = 700) {
+  smartsim::SimOptions opt;
+  opt.num_drives = drives;
+  opt.num_days = 220;
+  opt.seed = seed;
+  opt.afr_scale = 30.0;
+  return generate_fleet(smartsim::profile_by_name(model), opt);
+}
+
+TEST(Integration, StandardPhasesLayout) {
+  const auto phases = standard_phases(220, 2, 30);
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0].test_start, 160);
+  EXPECT_EQ(phases[0].test_end, 189);
+  EXPECT_EQ(phases[1].test_start, 190);
+  EXPECT_EQ(phases[1].test_end, 219);
+  EXPECT_THROW(standard_phases(50, 3, 30), std::invalid_argument);
+}
+
+TEST(Integration, CompareMethodsProducesAllRows) {
+  const auto fleet = make_fleet("MC1", 61);
+  const auto phases = standard_phases(fleet.num_days);
+  const auto out = compare_methods(fleet, phases.back(), light_compare());
+  ASSERT_EQ(out.methods.size(), 7u);  // none + 5 selectors + WEFR
+  EXPECT_EQ(out.methods.front().method, "No feature selection");
+  EXPECT_EQ(out.methods.back().method, "WEFR");
+  for (const auto& m : out.methods) {
+    EXPECT_GE(m.test.precision, 0.0);
+    EXPECT_LE(m.test.precision, 1.0);
+    EXPECT_GE(m.selected_count, 1u);
+  }
+}
+
+TEST(Integration, WefrCompetitiveWithNoSelection) {
+  const auto fleet = make_fleet("MC1", 63, 900);
+  const auto phases = standard_phases(fleet.num_days);
+  const auto out = compare_methods(fleet, phases.back(), light_compare());
+  const auto& none = out.methods.front();
+  const auto& wefr = out.methods.back();
+  // The paper's headline: feature selection improves F0.5 over no
+  // selection. Allow slack for the small simulated fleet.
+  EXPECT_GE(wefr.test.f05, none.test.f05 - 0.05);
+  EXPECT_LT(wefr.selected_count, fleet.num_features());
+}
+
+TEST(Integration, SweepFixedFractionsCoversGrid) {
+  const auto fleet = make_fleet("MC1", 65);
+  const auto phases = standard_phases(fleet.num_days);
+  auto cfg = light_compare();
+  const auto out = sweep_fixed_fractions(fleet, phases.back(), cfg);
+  ASSERT_EQ(out.fixed.size(), cfg.percent_sweep.size());
+  for (std::size_t i = 0; i < out.fixed.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out.fixed[i].fraction, cfg.percent_sweep[i]);
+    EXPECT_GE(out.fixed[i].count, 1u);
+  }
+  EXPECT_GT(out.wefr.count, 0u);
+  EXPECT_LT(out.wefr.fraction, 1.0);
+}
+
+TEST(Integration, CompareUpdateOnWearModel) {
+  const auto fleet = make_fleet("MC1", 67, 1200);
+  const auto phases = standard_phases(fleet.num_days);
+  const auto out = compare_update(fleet, phases.back(), light_compare());
+  ASSERT_TRUE(out.wear_threshold.has_value());
+  // All four evaluations ran.
+  EXPECT_GT(out.update_all.confusion.total(), 0u);
+  EXPECT_GT(out.no_update_all.confusion.total(), 0u);
+  EXPECT_GT(out.update_low.confusion.total(), 0u);
+  EXPECT_GT(out.no_update_low.confusion.total(), 0u);
+}
+
+TEST(Integration, CompareUpdateOnNarrowWearModel) {
+  const auto fleet = make_fleet("MB1", 69, 1000);
+  const auto phases = standard_phases(fleet.num_days);
+  const auto out = compare_update(fleet, phases.back(), light_compare());
+  EXPECT_FALSE(out.wear_threshold.has_value());
+  // Without a change point the two arms collapse to the same pipeline.
+  EXPECT_EQ(out.update_all.confusion.tp, out.no_update_all.confusion.tp);
+  EXPECT_EQ(out.update_low.confusion.total(), 0u);
+}
+
+}  // namespace
+}  // namespace wefr::core

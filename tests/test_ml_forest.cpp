@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "data/matrix.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+
+namespace wefr::ml {
+namespace {
+
+using data::Matrix;
+
+void make_blobs(std::size_t n, std::size_t nf, Matrix& x, std::vector<int>& y,
+                util::Rng& rng, double gap = 4.0) {
+  x = Matrix(n, nf);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = i % 2 == 0 ? 0 : 1;
+    x(i, 0) = rng.normal(y[i] == 0 ? 0.0 : gap, 1.0);
+    for (std::size_t f = 1; f < nf; ++f) x(i, f) = rng.normal();
+  }
+}
+
+ForestOptions small_forest() {
+  ForestOptions opt;
+  opt.num_trees = 25;
+  opt.tree.max_depth = 8;
+  return opt;
+}
+
+TEST(RandomForest, LearnsSeparableData) {
+  util::Rng rng(1);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(500, 4, x, y, rng, 6.0);
+  RandomForest forest;
+  forest.fit(x, y, small_forest(), rng);
+  const auto probs = forest.predict_proba(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    correct += ((probs[i] >= 0.5 ? 1 : 0) == y[i]) ? 1 : 0;
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(x.rows()), 0.97);
+}
+
+TEST(RandomForest, ProbabilitiesInUnitInterval) {
+  util::Rng rng(2);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(200, 3, x, y, rng, 1.0);
+  RandomForest forest;
+  forest.fit(x, y, small_forest(), rng);
+  for (double p : forest.predict_proba(x)) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(RandomForest, DeterministicForSeed) {
+  Matrix x;
+  std::vector<int> y;
+  util::Rng data_rng(3);
+  make_blobs(300, 4, x, y, data_rng);
+  RandomForest f1, f2;
+  util::Rng r1(7), r2(7);
+  f1.fit(x, y, small_forest(), r1);
+  f2.fit(x, y, small_forest(), r2);
+  for (std::size_t i = 0; i < 30; ++i)
+    EXPECT_DOUBLE_EQ(f1.predict_proba(x.row(i)), f2.predict_proba(x.row(i)));
+}
+
+TEST(RandomForest, ThreadedMatchesSequential) {
+  Matrix x;
+  std::vector<int> y;
+  util::Rng data_rng(4);
+  make_blobs(300, 4, x, y, data_rng);
+  ForestOptions seq = small_forest();
+  ForestOptions par = small_forest();
+  par.num_threads = 4;
+  RandomForest fs, fp;
+  util::Rng r1(7), r2(7);
+  fs.fit(x, y, seq, r1);
+  fp.fit(x, y, par, r2);
+  for (std::size_t i = 0; i < 30; ++i)
+    EXPECT_DOUBLE_EQ(fs.predict_proba(x.row(i)), fp.predict_proba(x.row(i)));
+}
+
+TEST(RandomForest, ImpurityImportanceFindsSignal) {
+  util::Rng rng(5);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(600, 6, x, y, rng, 5.0);
+  RandomForest forest;
+  forest.fit(x, y, small_forest(), rng);
+  const auto imp = forest.impurity_importance();
+  ASSERT_EQ(imp.size(), 6u);
+  double total = 0.0;
+  for (double v : imp) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (std::size_t f = 1; f < 6; ++f) EXPECT_GT(imp[0], imp[f]);
+}
+
+TEST(RandomForest, PermutationImportanceFindsSignal) {
+  util::Rng rng(6);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(400, 4, x, y, rng, 5.0);
+  RandomForest forest;
+  forest.fit(x, y, small_forest(), rng);
+  const auto imp = forest.permutation_importance(x, y, rng);
+  ASSERT_EQ(imp.size(), 4u);
+  EXPECT_GT(imp[0], 0.2);
+  for (std::size_t f = 1; f < 4; ++f) EXPECT_LT(imp[f], imp[0] / 4.0);
+}
+
+TEST(RandomForest, FitRejectsBadInput) {
+  RandomForest forest;
+  util::Rng rng(7);
+  Matrix x(0, 0);
+  std::vector<int> y;
+  EXPECT_THROW(forest.fit(x, y, small_forest(), rng), std::invalid_argument);
+  Matrix x2(3, 1);
+  std::vector<int> y2 = {0, 1};
+  EXPECT_THROW(forest.fit(x2, y2, small_forest(), rng), std::invalid_argument);
+  ForestOptions zero = small_forest();
+  zero.num_trees = 0;
+  std::vector<int> y3 = {0, 1, 1};
+  EXPECT_THROW(forest.fit(x2, y3, zero, rng), std::invalid_argument);
+}
+
+TEST(RandomForest, PredictBeforeFitThrows) {
+  RandomForest forest;
+  const std::vector<double> row = {0.0};
+  EXPECT_THROW(forest.predict_proba(row), std::logic_error);
+  EXPECT_THROW(forest.impurity_importance(), std::logic_error);
+}
+
+TEST(RandomForest, BootstrapFractionShrinksTrees) {
+  util::Rng rng(8);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(400, 3, x, y, rng, 3.0);
+  ForestOptions opt = small_forest();
+  opt.bootstrap_fraction = 0.1;
+  RandomForest forest;
+  EXPECT_NO_THROW(forest.fit(x, y, opt, rng));
+  EXPECT_EQ(forest.num_trees(), opt.num_trees);
+}
+
+TEST(RandomForest, OobPermutationImportanceFindsSignal) {
+  util::Rng rng(9);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(400, 4, x, y, rng, 5.0);
+  RandomForest forest;
+  forest.fit(x, y, small_forest(), rng);
+  const auto imp = forest.oob_permutation_importance(x, y, rng);
+  ASSERT_EQ(imp.size(), 4u);
+  EXPECT_GT(imp[0], 0.1);
+  for (std::size_t f = 1; f < 4; ++f) EXPECT_LT(imp[f], imp[0] / 3.0);
+}
+
+TEST(RandomForest, OobImportanceRejectsShapeMismatch) {
+  util::Rng rng(10);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(100, 3, x, y, rng);
+  RandomForest forest;
+  forest.fit(x, y, small_forest(), rng);
+  Matrix wrong(100, 2);
+  EXPECT_THROW(forest.oob_permutation_importance(wrong, y, rng), std::invalid_argument);
+}
+
+TEST(RandomForest, SaveLoadRoundTrip) {
+  util::Rng rng(11);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(300, 4, x, y, rng, 4.0);
+  RandomForest forest;
+  forest.fit(x, y, small_forest(), rng);
+
+  std::stringstream ss;
+  forest.save(ss);
+  RandomForest back;
+  back.load(ss);
+  ASSERT_EQ(back.num_trees(), forest.num_trees());
+  ASSERT_EQ(back.num_features(), forest.num_features());
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(back.predict_proba(x.row(i)), forest.predict_proba(x.row(i)));
+  }
+  // Impurity importance is serialized with the trees.
+  EXPECT_EQ(back.impurity_importance(), forest.impurity_importance());
+  // OOB masks are not serialized: the OOB variant must refuse.
+  EXPECT_THROW(back.oob_permutation_importance(x, y, rng), std::logic_error);
+}
+
+TEST(RandomForest, LoadRejectsGarbage) {
+  RandomForest forest;
+  std::stringstream empty;
+  EXPECT_THROW(forest.load(empty), std::runtime_error);
+  std::stringstream wrong("not-a-forest v1 2 3\n");
+  EXPECT_THROW(forest.load(wrong), std::runtime_error);
+  std::stringstream truncated("wefr-random-forest v1 1 2\ntree 2 2\n0 1.5 1 2\n");
+  EXPECT_THROW(forest.load(truncated), std::runtime_error);
+}
+
+TEST(RandomForest, SaveBeforeFitThrows) {
+  RandomForest forest;
+  std::stringstream ss;
+  EXPECT_THROW(forest.save(ss), std::logic_error);
+}
+
+// Property: accuracy improves (or at least is high) as the class gap grows.
+class ForestGapProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(ForestGapProperty, AccuracyScalesWithGap) {
+  util::Rng rng(17);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(400, 3, x, y, rng, GetParam());
+  RandomForest forest;
+  forest.fit(x, y, small_forest(), rng);
+  const auto probs = forest.predict_proba(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    correct += ((probs[i] >= 0.5 ? 1 : 0) == y[i]) ? 1 : 0;
+  const double acc = static_cast<double>(correct) / static_cast<double>(x.rows());
+  EXPECT_GT(acc, GetParam() >= 4.0 ? 0.95 : 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, ForestGapProperty, ::testing::Values(2.0, 4.0, 8.0));
+
+}  // namespace
+}  // namespace wefr::ml

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/matrix.h"
+#include "ml/linear.h"
+#include "util/rng.h"
+
+namespace wefr::ml {
+namespace {
+
+using data::Matrix;
+
+void make_blobs(std::size_t n, std::size_t nf, Matrix& x, std::vector<int>& y,
+                util::Rng& rng, double gap = 4.0) {
+  x = Matrix(n, nf);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = i % 2 == 0 ? 0 : 1;
+    x(i, 0) = rng.normal(y[i] == 0 ? 0.0 : gap, 1.0);
+    for (std::size_t f = 1; f < nf; ++f) x(i, f) = rng.normal();
+  }
+}
+
+TEST(LogisticRegression, LearnsSeparableData) {
+  util::Rng rng(1);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(600, 3, x, y, rng, 5.0);
+  LogisticRegression model;
+  model.fit(x, y, LogisticOptions{}, rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    correct += ((model.predict_proba(x.row(i)) >= 0.5 ? 1 : 0) == y[i]) ? 1 : 0;
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(x.rows()), 0.97);
+}
+
+TEST(LogisticRegression, CoefficientsReflectSignal) {
+  util::Rng rng(2);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(800, 4, x, y, rng, 3.0);
+  LogisticRegression model;
+  model.fit(x, y, LogisticOptions{}, rng);
+  const auto& w = model.coefficients();
+  ASSERT_EQ(w.size(), 4u);
+  for (std::size_t f = 1; f < 4; ++f) EXPECT_GT(std::abs(w[0]), std::abs(w[f]) * 2.0);
+}
+
+TEST(LogisticRegression, HandlesUnscaledFeatures) {
+  // A signal feature living at a huge scale must still dominate: the
+  // internal standardization makes SGD scale-free.
+  util::Rng rng(3);
+  const std::size_t n = 800;
+  Matrix x(n, 2);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = i % 2;
+    x(i, 0) = rng.normal(y[i] * 4.0, 1.0) * 1e6;
+    x(i, 1) = rng.normal() * 1e-6;
+  }
+  LogisticRegression model;
+  model.fit(x, y, LogisticOptions{}, rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    correct += ((model.predict_proba(x.row(i)) >= 0.5 ? 1 : 0) == y[i]) ? 1 : 0;
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(n), 0.95);
+  EXPECT_GT(std::abs(model.coefficients()[0]), std::abs(model.coefficients()[1]));
+}
+
+TEST(LogisticRegression, ConstantFeatureGetsZeroWeight) {
+  util::Rng rng(4);
+  const std::size_t n = 300;
+  Matrix x(n, 2);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = i % 2;
+    x(i, 0) = 7.0;  // constant
+    x(i, 1) = rng.normal(y[i] * 4.0, 1.0);
+  }
+  LogisticRegression model;
+  model.fit(x, y, LogisticOptions{}, rng);
+  EXPECT_DOUBLE_EQ(model.coefficients()[0], 0.0);
+}
+
+TEST(LogisticRegression, ProbabilitiesBounded) {
+  util::Rng rng(5);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(200, 3, x, y, rng, 1.0);
+  LogisticRegression model;
+  model.fit(x, y, LogisticOptions{}, rng);
+  for (double p : model.predict_proba(x)) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LT(p, 1.0);
+  }
+}
+
+TEST(LogisticRegression, DeterministicForSeed) {
+  Matrix x;
+  std::vector<int> y;
+  util::Rng data_rng(6);
+  make_blobs(300, 3, x, y, data_rng);
+  LogisticRegression a, b;
+  util::Rng r1(9), r2(9);
+  a.fit(x, y, LogisticOptions{}, r1);
+  b.fit(x, y, LogisticOptions{}, r2);
+  EXPECT_EQ(a.coefficients(), b.coefficients());
+}
+
+TEST(LogisticRegression, RejectsBadInput) {
+  LogisticRegression model;
+  util::Rng rng(7);
+  Matrix x(0, 0);
+  std::vector<int> y;
+  EXPECT_THROW(model.fit(x, y, LogisticOptions{}, rng), std::invalid_argument);
+  const std::vector<double> row = {0.0};
+  EXPECT_THROW(model.predict_proba(row), std::logic_error);
+  Matrix x2(4, 1);
+  std::vector<int> y2 = {0, 1, 0, 1};
+  LogisticOptions bad;
+  bad.batch_size = 0;
+  EXPECT_THROW(model.fit(x2, y2, bad, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wefr::ml

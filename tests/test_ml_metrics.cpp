@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "ml/metrics.h"
+
+namespace wefr::ml {
+namespace {
+
+TEST(Metrics, PrecisionRecallBasics) {
+  Confusion c{.tp = 6, .fp = 2, .tn = 10, .fn = 4};
+  EXPECT_DOUBLE_EQ(precision(c), 0.75);
+  EXPECT_DOUBLE_EQ(recall(c), 0.6);
+  EXPECT_DOUBLE_EQ(accuracy(c), 16.0 / 22.0);
+}
+
+TEST(Metrics, EmptyDenominatorsAreZero) {
+  Confusion none{};
+  EXPECT_DOUBLE_EQ(precision(none), 0.0);
+  EXPECT_DOUBLE_EQ(recall(none), 0.0);
+  EXPECT_DOUBLE_EQ(f05(none), 0.0);
+  EXPECT_DOUBLE_EQ(accuracy(none), 0.0);
+}
+
+TEST(Metrics, FBetaIdentities) {
+  Confusion c{.tp = 6, .fp = 2, .tn = 10, .fn = 4};
+  const double p = precision(c), r = recall(c);
+  // F1 is the harmonic mean.
+  EXPECT_NEAR(fbeta(c, 1.0), 2 * p * r / (p + r), 1e-12);
+  // F0.5 weighs precision more: between F1 and precision here (p > r).
+  EXPECT_GT(f05(c), fbeta(c, 1.0));
+  EXPECT_LT(f05(c), p);
+  // Beta -> 0 approaches precision; beta -> inf approaches recall.
+  EXPECT_NEAR(fbeta(c, 1e-6), p, 1e-6);
+  EXPECT_NEAR(fbeta(c, 1e6), r, 1e-3);
+}
+
+TEST(Metrics, F05MatchesPaperFormula) {
+  Confusion c{.tp = 50, .fp = 50, .tn = 0, .fn = 50};
+  const double p = 0.5, r = 0.5;
+  EXPECT_NEAR(f05(c), (1 + 0.25) * p * r / (0.25 * p + r), 1e-12);
+}
+
+TEST(Metrics, ConfusionAtThreshold) {
+  const std::vector<double> scores = {0.9, 0.8, 0.4, 0.1};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  const Confusion c = confusion_at_threshold(scores, labels, 0.5);
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.tn, 1u);
+}
+
+TEST(Metrics, ConfusionThresholdInclusive) {
+  const std::vector<double> scores = {0.5};
+  const std::vector<int> labels = {1};
+  EXPECT_EQ(confusion_at_threshold(scores, labels, 0.5).tp, 1u);
+}
+
+TEST(Metrics, ThresholdForRecallExact) {
+  const std::vector<double> scores = {0.9, 0.7, 0.5, 0.3};
+  const std::vector<int> labels = {1, 1, 1, 1};
+  // Recall 0.5 needs 2 of 4 positives -> threshold 0.7.
+  EXPECT_DOUBLE_EQ(threshold_for_recall(scores, labels, 0.5), 0.7);
+  // Recall 1.0 needs all -> threshold 0.3.
+  EXPECT_DOUBLE_EQ(threshold_for_recall(scores, labels, 1.0), 0.3);
+}
+
+TEST(Metrics, ThresholdForRecallZeroTarget) {
+  const std::vector<double> scores = {0.9, 0.1};
+  const std::vector<int> labels = {1, 0};
+  const double thr = threshold_for_recall(scores, labels, 0.0);
+  EXPECT_GT(thr, 0.9);
+}
+
+TEST(Metrics, ThresholdForRecallAchievesTarget) {
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.6, 0.5, 0.4};
+  const std::vector<int> labels = {0, 1, 0, 1, 0, 1};
+  const double thr = threshold_for_recall(scores, labels, 0.66);
+  const Confusion c = confusion_at_threshold(scores, labels, thr);
+  EXPECT_GE(recall(c), 0.66);
+}
+
+TEST(Metrics, ThresholdForRecallNoPositives) {
+  const std::vector<double> scores = {0.9, 0.1};
+  const std::vector<int> labels = {0, 0};
+  EXPECT_DOUBLE_EQ(threshold_for_recall(scores, labels, 0.5), 0.0);
+}
+
+TEST(Metrics, PrSweepMonotoneRecall) {
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.6, 0.5};
+  const std::vector<int> labels = {1, 0, 1, 0, 1};
+  const auto sweep = pr_sweep(scores, labels);
+  ASSERT_FALSE(sweep.empty());
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].recall, sweep[i - 1].recall);
+    EXPECT_LT(sweep[i].threshold, sweep[i - 1].threshold);
+  }
+  EXPECT_DOUBLE_EQ(sweep.back().recall, 1.0);
+}
+
+TEST(Metrics, PrSweepMergesTiedScores) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5};
+  const std::vector<int> labels = {1, 0, 1};
+  const auto sweep = pr_sweep(scores, labels);
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_DOUBLE_EQ(sweep[0].recall, 1.0);
+  EXPECT_NEAR(sweep[0].precision, 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, LengthMismatchThrows) {
+  const std::vector<double> scores = {0.5};
+  const std::vector<int> labels = {1, 0};
+  EXPECT_THROW(confusion_at_threshold(scores, labels, 0.5), std::invalid_argument);
+  EXPECT_THROW(threshold_for_recall(scores, labels, 0.5), std::invalid_argument);
+  EXPECT_THROW(pr_sweep(scores, labels), std::invalid_argument);
+}
+
+// Property: at every sweep point, F0.5 is consistent with P and R.
+class SweepConsistency : public ::testing::TestWithParam<int> {};
+
+TEST_P(SweepConsistency, F05Identity) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  unsigned state = static_cast<unsigned>(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    state = state * 1664525u + 1013904223u;
+    scores.push_back((state >> 8) % 1000 / 1000.0);
+    labels.push_back((state >> 3) % 4 == 0 ? 1 : 0);
+  }
+  for (const auto& pt : pr_sweep(scores, labels)) {
+    const double b2 = 0.25;
+    const double denom = b2 * pt.precision + pt.recall;
+    const double expect = denom <= 0 ? 0.0 : (1 + b2) * pt.precision * pt.recall / denom;
+    EXPECT_NEAR(pt.f05, expect, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepConsistency, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace wefr::ml

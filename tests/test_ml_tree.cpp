@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "data/matrix.h"
+#include "ml/tree.h"
+#include "util/rng.h"
+
+namespace wefr::ml {
+namespace {
+
+using data::Matrix;
+
+/// Two well-separated Gaussian blobs on feature 0; feature 1 is noise.
+void make_blobs(std::size_t n, Matrix& x, std::vector<int>& y, util::Rng& rng,
+                double gap = 4.0) {
+  x = Matrix(n, 2);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = i % 2 == 0 ? 0 : 1;
+    x(i, 0) = rng.normal(y[i] == 0 ? 0.0 : gap, 1.0);
+    x(i, 1) = rng.normal();
+  }
+}
+
+TEST(DecisionTree, LearnsSeparableData) {
+  util::Rng rng(1);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(400, x, y, rng, 8.0);
+  DecisionTree tree;
+  tree.fit(x, y, TreeOptions{}, rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    correct += ((tree.predict_proba(x.row(i)) >= 0.5 ? 1 : 0) == y[i]) ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(x.rows()), 0.98);
+}
+
+TEST(DecisionTree, PureNodeIsSingleLeaf) {
+  util::Rng rng(2);
+  Matrix x(10, 1);
+  std::vector<int> y(10, 1);
+  for (std::size_t i = 0; i < 10; ++i) x(i, 0) = static_cast<double>(i);
+  DecisionTree tree;
+  tree.fit(x, y, TreeOptions{}, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict_proba(x.row(0)), 1.0);
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  util::Rng rng(3);
+  Matrix x(512, 1);
+  std::vector<int> y(512);
+  for (std::size_t i = 0; i < 512; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = static_cast<int>((i / 2) % 2);  // alternating pairs: hard to separate
+  }
+  TreeOptions opt;
+  opt.max_depth = 3;
+  DecisionTree tree;
+  tree.fit(x, y, opt, rng);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(DecisionTree, MinSamplesLeafHonored) {
+  util::Rng rng(4);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(100, x, y, rng);
+  TreeOptions opt;
+  opt.min_samples_leaf = 40;
+  DecisionTree tree;
+  tree.fit(x, y, opt, rng);
+  // With leaves of >= 40 of 100 samples, at most one split chain.
+  EXPECT_LE(tree.node_count(), 7u);
+}
+
+TEST(DecisionTree, ConstantFeaturesYieldLeaf) {
+  util::Rng rng(5);
+  Matrix x(20, 2, 1.0);
+  std::vector<int> y(20);
+  for (std::size_t i = 0; i < 20; ++i) y[i] = i % 2;
+  DecisionTree tree;
+  tree.fit(x, y, TreeOptions{}, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_NEAR(tree.predict_proba(x.row(0)), 0.5, 1e-12);
+}
+
+TEST(DecisionTree, ImportanceConcentratesOnSignal) {
+  util::Rng rng(6);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(600, x, y, rng, 6.0);
+  DecisionTree tree;
+  tree.fit(x, y, TreeOptions{}, rng);
+  const auto& imp = tree.impurity_importance();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[0], 10.0 * imp[1]);
+}
+
+TEST(DecisionTree, BootstrapIndicesWithRepeats) {
+  util::Rng rng(7);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(50, x, y, rng, 8.0);
+  std::vector<std::size_t> idx(50, 3);  // degenerate bootstrap: one sample
+  DecisionTree tree;
+  tree.fit(x, y, idx, TreeOptions{}, rng);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict_proba(x.row(3)), static_cast<double>(y[3]));
+}
+
+TEST(DecisionTree, ThrowsBeforeFitAndOnBadInput) {
+  DecisionTree tree;
+  const std::vector<double> row = {0.0};
+  EXPECT_THROW(tree.predict_proba(row), std::logic_error);
+  util::Rng rng(8);
+  Matrix x(2, 1);
+  std::vector<int> y = {0};
+  EXPECT_THROW(tree.fit(x, y, TreeOptions{}, rng), std::invalid_argument);
+}
+
+TEST(DecisionTree, DeterministicForSeed) {
+  util::Rng rng1(9), rng2(9);
+  Matrix x;
+  std::vector<int> y;
+  util::Rng data_rng(10);
+  make_blobs(200, x, y, data_rng);
+  TreeOptions opt;
+  opt.max_features = 1;  // makes the rng matter
+  DecisionTree t1, t2;
+  t1.fit(x, y, opt, rng1);
+  t2.fit(x, y, opt, rng2);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(t1.predict_proba(x.row(i)), t2.predict_proba(x.row(i)));
+  }
+}
+
+TEST(DecisionTree, XorNeedsDepthTwo) {
+  util::Rng rng(11);
+  const std::size_t n = 400;
+  Matrix x(n, 2);
+  std::vector<int> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int a = rng.bernoulli(0.5) ? 1 : 0;
+    const int b = rng.bernoulli(0.5) ? 1 : 0;
+    x(i, 0) = a + rng.normal(0, 0.1);
+    x(i, 1) = b + rng.normal(0, 0.1);
+    y[i] = a ^ b;
+  }
+  DecisionTree tree;
+  tree.fit(x, y, TreeOptions{}, rng);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    correct += ((tree.predict_proba(x.row(i)) >= 0.5 ? 1 : 0) == y[i]) ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(n), 0.95);
+  EXPECT_GE(tree.depth(), 2);
+}
+
+}  // namespace
+}  // namespace wefr::ml

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/monitor.h"
+#include "smartsim/generator.h"
+
+namespace wefr::core {
+namespace {
+
+const data::FleetData& monitor_fleet() {
+  static const data::FleetData fleet = [] {
+    smartsim::SimOptions opt;
+    opt.num_drives = 400;
+    opt.num_days = 220;
+    opt.seed = 71;
+    opt.afr_scale = 25.0;
+    return generate_fleet(smartsim::profile_by_name("MC1"), opt);
+  }();
+  return fleet;
+}
+
+MonitorOptions light_monitor() {
+  MonitorOptions opt;
+  opt.warmup_days = 150;
+  opt.check_interval_days = 30;
+  opt.experiment.forest.num_trees = 10;
+  opt.experiment.forest.tree.max_depth = 9;
+  opt.experiment.negative_keep_prob = 0.08;
+  // Training negatives are downsampled ~12x, which inflates predicted
+  // probabilities; a higher bar keeps alarms meaningful.
+  opt.alarm_threshold = 0.75;
+  return opt;
+}
+
+TEST(FleetMonitor, RejectsBadOptions) {
+  MonitorOptions opt = light_monitor();
+  opt.check_interval_days = 0;
+  EXPECT_THROW(FleetMonitor(monitor_fleet(), opt), std::invalid_argument);
+  opt = light_monitor();
+  opt.warmup_days = 5;
+  EXPECT_THROW(FleetMonitor(monitor_fleet(), opt), std::invalid_argument);
+  opt = light_monitor();
+  opt.alarm_threshold = 0.0;
+  EXPECT_THROW(FleetMonitor(monitor_fleet(), opt), std::invalid_argument);
+}
+
+TEST(FleetMonitor, RejectsRewind) {
+  FleetMonitor monitor(monitor_fleet(), light_monitor());
+  monitor.advance_to(170);
+  EXPECT_THROW(monitor.advance_to(160), std::invalid_argument);
+}
+
+TEST(FleetMonitor, RunsChecksOnCadence) {
+  FleetMonitor monitor(monitor_fleet(), light_monitor());
+  monitor.run_to_end();
+  // Warmup 150, interval 30, window 220: checks at 150, 180, 210.
+  ASSERT_EQ(monitor.updates().size(), 3u);
+  EXPECT_EQ(monitor.updates()[0].day, 150);
+  EXPECT_EQ(monitor.updates()[1].day, 180);
+  EXPECT_TRUE(monitor.updates()[0].features_changed);  // first selection
+  EXPECT_TRUE(monitor.selection().has_value());
+}
+
+TEST(FleetMonitor, AlarmsAreFirstAlarmPerDrive) {
+  FleetMonitor monitor(monitor_fleet(), light_monitor());
+  const auto alarms = monitor.run_to_end();
+  std::set<std::size_t> seen;
+  for (const auto& alarm : alarms) {
+    EXPECT_TRUE(seen.insert(alarm.drive_index).second)
+        << "drive " << alarm.drive_index << " alarmed twice";
+    EXPECT_GE(alarm.day, 150);
+    EXPECT_LT(alarm.day, 220);
+    EXPECT_GE(alarm.score, 0.5);
+  }
+}
+
+TEST(FleetMonitor, AlarmsCatchRealFailures) {
+  const auto& fleet = monitor_fleet();
+  FleetMonitor monitor(fleet, light_monitor());
+  const auto alarms = monitor.run_to_end();
+  ASSERT_GT(alarms.size(), 0u);
+  std::size_t eventually_fail = 0, within_horizon = 0;
+  for (const auto& alarm : alarms) {
+    const auto& drive = fleet.drives[alarm.drive_index];
+    if (drive.failed() && drive.fail_day > alarm.day) {
+      ++eventually_fail;
+      if (drive.fail_day <= alarm.day + 30) ++within_horizon;
+    }
+  }
+  // The degradation prodrome spans up to ~3 lead windows, so alarms may
+  // legitimately fire earlier than the 30-day horizon; require that most
+  // alarms are on genuinely dying drives and a solid share is within the
+  // paper's horizon.
+  const double n = static_cast<double>(alarms.size());
+  EXPECT_GT(static_cast<double>(eventually_fail) / n, 0.55);
+  EXPECT_GT(static_cast<double>(within_horizon) / n, 0.25);
+}
+
+TEST(FleetMonitor, IncrementalAdvanceMatchesSingleRun) {
+  FleetMonitor a(monitor_fleet(), light_monitor());
+  const auto one = a.run_to_end();
+
+  FleetMonitor b(monitor_fleet(), light_monitor());
+  std::vector<Alarm> parts;
+  for (int day = 160; day <= 230; day += 10) {
+    const auto chunk = b.advance_to(day);
+    parts.insert(parts.end(), chunk.begin(), chunk.end());
+  }
+  ASSERT_EQ(parts.size(), one.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(parts[i].drive_index, one[i].drive_index);
+    EXPECT_EQ(parts[i].day, one[i].day);
+  }
+}
+
+TEST(FleetMonitor, CalibratedThresholdAdjusts) {
+  MonitorOptions opt = light_monitor();
+  opt.target_recall = 0.3;
+  FleetMonitor monitor(monitor_fleet(), opt);
+  monitor.run_to_end();
+  // Calibration must have replaced the initial threshold with a
+  // validation-derived operating point in (0, 1].
+  EXPECT_NE(monitor.active_threshold(), 0.75);
+  EXPECT_GT(monitor.active_threshold(), 0.0);
+  EXPECT_LE(monitor.active_threshold(), 1.0);
+}
+
+TEST(FleetMonitor, RejectsBadCalibration) {
+  MonitorOptions opt = light_monitor();
+  opt.target_recall = 1.5;
+  EXPECT_THROW(FleetMonitor(monitor_fleet(), opt), std::invalid_argument);
+  opt = light_monitor();
+  opt.validation_frac = 1.0;
+  EXPECT_THROW(FleetMonitor(monitor_fleet(), opt), std::invalid_argument);
+}
+
+TEST(FleetMonitor, AdvanceClampsToWindow) {
+  FleetMonitor monitor(monitor_fleet(), light_monitor());
+  monitor.advance_to(100000);
+  EXPECT_EQ(monitor.current_day(), monitor_fleet().num_days);
+}
+
+}  // namespace
+}  // namespace wefr::core

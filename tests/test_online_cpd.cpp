@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "changepoint/online_cpd.h"
+#include "util/rng.h"
+
+namespace wefr::changepoint {
+namespace {
+
+std::vector<double> step_series(std::size_t n, std::size_t shift_at, double lo, double hi,
+                                double noise_sd, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = (i < shift_at ? lo : hi) + rng.normal(0.0, noise_sd);
+  }
+  return s;
+}
+
+TEST(OnlineCpd, FirstObservationIsChange) {
+  OnlineChangePointDetector det;
+  EXPECT_DOUBLE_EQ(det.observe(0.5), 1.0);
+  EXPECT_EQ(det.time(), 1u);
+}
+
+TEST(OnlineCpd, RunLengthGrowsOnStableStream) {
+  OnlineChangePointDetector det;
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) det.observe(rng.normal(1.0, 0.05));
+  // The MAP run length should track the stream length closely.
+  EXPECT_GT(det.map_run_length(), 35u);
+  EXPECT_LT(det.change_probability(), 0.2);
+}
+
+TEST(OnlineCpd, SpikesShortlyAfterPlantedShift) {
+  const auto series = step_series(80, 40, 1.0, 3.0, 0.05, 2);
+  OnlineChangePointDetector det;
+  double before = 0.0, after = 0.0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double cp = det.observe(series[i]);
+    if (i == 39) before = cp;
+    // The short-run mass spikes within a few observations of the shift.
+    if (i >= 40 && i <= 44) after = std::max(after, cp);
+  }
+  EXPECT_GT(after, 0.5);
+  EXPECT_GT(after, before * 5.0);
+}
+
+TEST(OnlineCpd, RunLengthResetsAfterShift) {
+  const auto series = step_series(100, 60, 0.0, 5.0, 0.05, 3);
+  OnlineChangePointDetector det;
+  for (double v : series) det.observe(v);
+  // 40 observations since the shift: MAP run length near 40, not 100.
+  EXPECT_LT(det.map_run_length(), 55u);
+  EXPECT_GT(det.map_run_length(), 25u);
+}
+
+TEST(OnlineCpd, RunLengthDistributionNormalized) {
+  OnlineChangePointDetector det;
+  util::Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    det.observe(rng.normal(0.0, 1.0));
+    double total = 0.0;
+    for (double p : det.run_length_distribution()) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(OnlineCpd, ResetForgetsState) {
+  OnlineChangePointDetector det;
+  for (int i = 0; i < 10; ++i) det.observe(static_cast<double>(i));
+  det.reset();
+  EXPECT_EQ(det.time(), 0u);
+  EXPECT_DOUBLE_EQ(det.observe(3.0), 1.0);
+}
+
+TEST(OnlineCpd, ConstantStreamDoesNotBlowUp) {
+  OnlineChangePointDetector det;
+  for (int i = 0; i < 60; ++i) {
+    const double cp = det.observe(2.0);
+    EXPECT_GE(cp, 0.0);
+    EXPECT_LE(cp, 1.0);
+  }
+}
+
+TEST(OnlineCpd, RejectsBadOptions) {
+  CpdOptions opt;
+  opt.expected_run_length = 0.5;
+  EXPECT_THROW(OnlineChangePointDetector{opt}, std::invalid_argument);
+}
+
+// Property: detection latency is small across shift magnitudes.
+class OnlineShift : public ::testing::TestWithParam<double> {};
+
+TEST_P(OnlineShift, DetectsWithinFewSteps) {
+  const double magnitude = GetParam();
+  const auto series = step_series(90, 45, 0.0, magnitude, 0.05, 7);
+  OnlineChangePointDetector det;
+  int detect_at = -1;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double cp = det.observe(series[i]);
+    if (i >= 45 && cp > 0.5 && detect_at < 0) detect_at = static_cast<int>(i);
+  }
+  ASSERT_GE(detect_at, 45);
+  EXPECT_LE(detect_at, 50) << "magnitude " << magnitude;
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, OnlineShift, ::testing::Values(1.0, 2.0, 4.0));
+
+}  // namespace
+}  // namespace wefr::changepoint

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/preprocess.h"
+
+namespace wefr::data {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+DriveSeries series_with_gaps() {
+  DriveSeries d;
+  d.drive_id = "g0";
+  d.first_day = 0;
+  d.values = Matrix(5, 2);
+  // col 0: 1, NaN, NaN, 4, NaN  -> 1, 1, 1, 4, 4
+  d.values(0, 0) = 1;
+  d.values(1, 0) = kNaN;
+  d.values(2, 0) = kNaN;
+  d.values(3, 0) = 4;
+  d.values(4, 0) = kNaN;
+  // col 1: NaN, 2, NaN, NaN, 5 -> 2, 2, 2, 2, 5 (leading backfill)
+  d.values(0, 1) = kNaN;
+  d.values(1, 1) = 2;
+  d.values(2, 1) = kNaN;
+  d.values(3, 1) = kNaN;
+  d.values(4, 1) = 5;
+  return d;
+}
+
+TEST(ForwardFill, FillsGapsAndLeading) {
+  DriveSeries d = series_with_gaps();
+  const std::size_t filled = forward_fill(d);
+  EXPECT_EQ(filled, 6u);
+  EXPECT_DOUBLE_EQ(d.values(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.values(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.values(4, 0), 4.0);
+  EXPECT_DOUBLE_EQ(d.values(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d.values(3, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d.values(4, 1), 5.0);
+}
+
+TEST(ForwardFill, AllNanColumnUsesFallback) {
+  DriveSeries d;
+  d.values = Matrix(3, 1, kNaN);
+  forward_fill(d, -7.0);
+  for (std::size_t t = 0; t < 3; ++t) EXPECT_DOUBLE_EQ(d.values(t, 0), -7.0);
+}
+
+TEST(ForwardFill, NoopOnCleanData) {
+  DriveSeries d;
+  d.values = Matrix(4, 2, 1.5);
+  EXPECT_EQ(forward_fill(d), 0u);
+}
+
+TEST(ForwardFill, FleetLevelCounts) {
+  FleetData fleet;
+  fleet.feature_names = {"a", "b"};
+  fleet.drives.push_back(series_with_gaps());
+  fleet.drives.push_back(series_with_gaps());
+  EXPECT_EQ(count_missing(fleet), 12u);
+  EXPECT_EQ(forward_fill(fleet), 12u);
+  EXPECT_EQ(count_missing(fleet), 0u);
+}
+
+TEST(Standardizer, TransformsToZeroMeanUnitVar) {
+  Matrix x(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    x(r, 0) = static_cast<double>(r) * 2.0 + 10.0;
+    x(r, 1) = 5.0;  // constant
+  }
+  const auto s = Standardizer::fit(x);
+  const Matrix z = s.transform(x);
+  double mean0 = 0.0, var0 = 0.0;
+  for (std::size_t r = 0; r < 4; ++r) mean0 += z(r, 0);
+  mean0 /= 4.0;
+  for (std::size_t r = 0; r < 4; ++r) var0 += (z(r, 0) - mean0) * (z(r, 0) - mean0);
+  var0 /= 4.0;
+  EXPECT_NEAR(mean0, 0.0, 1e-12);
+  EXPECT_NEAR(var0, 1.0, 1e-12);
+  for (std::size_t r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(z(r, 1), 0.0);
+}
+
+TEST(Standardizer, RejectsColumnMismatch) {
+  Matrix x(2, 2);
+  const auto s = Standardizer::fit(x);
+  Matrix wrong(2, 3);
+  EXPECT_THROW(s.transform(wrong), std::invalid_argument);
+}
+
+TEST(SummarizeFeatures, ReportsBasics) {
+  Dataset ds;
+  ds.feature_names = {"f0", "f1"};
+  ds.x = Matrix(4, 2);
+  ds.y = {0, 0, 1, 1};
+  ds.drive_index = {0, 0, 1, 1};
+  ds.day = {0, 1, 0, 1};
+  for (std::size_t r = 0; r < 4; ++r) {
+    ds.x(r, 0) = static_cast<double>(r);  // 0,1,2,3
+    ds.x(r, 1) = 2.0;                     // constant
+  }
+  const auto summary = summarize_features(ds);
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_DOUBLE_EQ(summary[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(summary[0].max, 3.0);
+  EXPECT_DOUBLE_EQ(summary[0].mean, 1.5);
+  EXPECT_DOUBLE_EQ(summary[0].fraction_zero, 0.25);
+  EXPECT_FALSE(summary[0].constant);
+  EXPECT_TRUE(summary[1].constant);
+}
+
+}  // namespace
+}  // namespace wefr::data

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "core/ensemble.h"
+#include "core/ranker.h"
+#include "util/rng.h"
+
+namespace wefr::core {
+namespace {
+
+using data::Matrix;
+
+/// Columns: 0 strong signal, 1 weak signal, 2-3 noise.
+void planted(std::size_t n, Matrix& x, std::vector<int>& y, util::Rng& rng) {
+  x = Matrix(n, 4);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = i % 3 == 0 ? 1 : 0;
+    x(i, 0) = rng.normal(y[i] * 5.0, 1.0);
+    x(i, 1) = rng.normal(y[i] * 1.0, 1.0);
+    x(i, 2) = rng.normal();
+    x(i, 3) = rng.normal(0.0, 3.0);
+  }
+}
+
+class AllRankers : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static std::vector<std::unique_ptr<FeatureRanker>> rankers_;
+  static void SetUpTestSuite() { rankers_ = make_standard_rankers(5); }
+  static void TearDownTestSuite() { rankers_.clear(); }
+};
+
+std::vector<std::unique_ptr<FeatureRanker>> AllRankers::rankers_;
+
+TEST_P(AllRankers, StrongSignalRankedFirst) {
+  util::Rng rng(101);
+  Matrix x;
+  std::vector<int> y;
+  planted(900, x, y, rng);
+  const auto& ranker = rankers_[GetParam()];
+  const auto scores = ranker->score(x, y);
+  ASSERT_EQ(scores.size(), 4u);
+  for (std::size_t f = 1; f < 4; ++f)
+    EXPECT_GT(scores[0], scores[f]) << ranker->name() << " feature " << f;
+}
+
+TEST_P(AllRankers, RankingHasTopRankOne) {
+  util::Rng rng(102);
+  Matrix x;
+  std::vector<int> y;
+  planted(600, x, y, rng);
+  const auto& ranker = rankers_[GetParam()];
+  const auto ranking = ranker->ranking(x, y);
+  ASSERT_EQ(ranking.size(), 4u);
+  EXPECT_DOUBLE_EQ(ranking[0], 1.0) << ranker->name();
+  for (double r : ranking) {
+    EXPECT_GE(r, 1.0);
+    EXPECT_LE(r, 4.0);
+  }
+}
+
+TEST_P(AllRankers, NoiseBeatenByWeakSignal) {
+  util::Rng rng(103);
+  Matrix x;
+  std::vector<int> y;
+  planted(3000, x, y, rng);
+  const auto& ranker = rankers_[GetParam()];
+  const auto scores = ranker->score(x, y);
+  EXPECT_GT(scores[1], scores[2]) << ranker->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(FiveApproaches, AllRankers, ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+TEST(Rankers, StandardSetNamesAndOrder) {
+  const auto rankers = make_standard_rankers();
+  ASSERT_EQ(rankers.size(), 5u);
+  EXPECT_EQ(rankers[0]->name(), "Pearson");
+  EXPECT_EQ(rankers[1]->name(), "Spearman");
+  EXPECT_EQ(rankers[2]->name(), "J-index");
+  EXPECT_EQ(rankers[3]->name(), "RandomForest");
+  EXPECT_EQ(rankers[4]->name(), "XGBoost");
+}
+
+TEST(Rankers, RandomForestPermutationVariant) {
+  util::Rng rng(104);
+  Matrix x;
+  std::vector<int> y;
+  planted(500, x, y, rng);
+  RandomForestRanker perm(RandomForestRanker::default_options(), /*use_permutation=*/true);
+  const auto scores = perm.score(x, y);
+  ASSERT_EQ(scores.size(), 4u);
+  for (std::size_t f = 1; f < 4; ++f) EXPECT_GE(scores[0], scores[f]);
+}
+
+TEST(Rankers, DeterministicScores) {
+  util::Rng rng(105);
+  Matrix x;
+  std::vector<int> y;
+  planted(400, x, y, rng);
+  const auto r1 = make_standard_rankers(9);
+  const auto r2 = make_standard_rankers(9);
+  for (std::size_t k = 0; k < r1.size(); ++k) {
+    EXPECT_EQ(r1[k]->score(x, y), r2[k]->score(x, y)) << r1[k]->name();
+  }
+}
+
+TEST(Rankers, ExtendedSetAddsThree) {
+  const auto rankers = make_extended_rankers();
+  ASSERT_EQ(rankers.size(), 8u);
+  EXPECT_EQ(rankers[5]->name(), "MutualInfo");
+  EXPECT_EQ(rankers[6]->name(), "ChiSquare");
+  EXPECT_EQ(rankers[7]->name(), "Logistic");
+}
+
+TEST(Rankers, ExtendedRankersFindStrongSignal) {
+  util::Rng rng(107);
+  Matrix x;
+  std::vector<int> y;
+  planted(1200, x, y, rng);
+  const auto rankers = make_extended_rankers();
+  for (std::size_t k = 5; k < rankers.size(); ++k) {
+    const auto scores = rankers[k]->score(x, y);
+    ASSERT_EQ(scores.size(), 4u) << rankers[k]->name();
+    for (std::size_t f = 1; f < 4; ++f)
+      EXPECT_GT(scores[0], scores[f]) << rankers[k]->name() << " feature " << f;
+  }
+}
+
+TEST(Rankers, EnsembleWorksWithExtendedSet) {
+  util::Rng rng(108);
+  Matrix x;
+  std::vector<int> y;
+  planted(800, x, y, rng);
+  const auto rankers = make_extended_rankers();
+  const auto res = ensemble_rank(rankers, x, y);
+  ASSERT_EQ(res.rankings.size(), 8u);
+  EXPECT_EQ(res.order[0], 0u);  // strong signal first
+}
+
+TEST(Rankers, ConstantFeatureScoresZeroForCorrelations) {
+  util::Rng rng(106);
+  Matrix x(100, 2);
+  std::vector<int> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    y[i] = i % 2;
+    x(i, 0) = 5.0;  // constant
+    x(i, 1) = rng.normal(y[i] * 3.0, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(PearsonRanker{}.score(x, y)[0], 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanRanker{}.score(x, y)[0], 0.0);
+  EXPECT_DOUBLE_EQ(JIndexRanker{}.score(x, y)[0], 0.0);
+}
+
+}  // namespace
+}  // namespace wefr::core

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "smartsim/generator.h"
+#include "smartsim/profiles.h"
+
+namespace wefr::smartsim {
+namespace {
+
+SimOptions small_sim() {
+  SimOptions opt;
+  opt.num_drives = 300;
+  opt.num_days = 200;
+  opt.seed = 1234;
+  opt.afr_scale = 20.0;  // keep failures populated at this scale
+  return opt;
+}
+
+TEST(Profiles, SixStandardModels) {
+  const auto& profiles = standard_profiles();
+  ASSERT_EQ(profiles.size(), 6u);
+  const std::vector<std::string> names = {"MA1", "MA2", "MB1", "MB2", "MC1", "MC2"};
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(profiles[i].name, names[i]);
+}
+
+TEST(Profiles, LookupByName) {
+  EXPECT_EQ(profile_by_name("MC1").name, "MC1");
+  EXPECT_THROW(profile_by_name("XX9"), std::out_of_range);
+}
+
+TEST(Profiles, TableTwoFacts) {
+  // TLC models have higher AFRs than MLC models in the paper.
+  EXPECT_EQ(profile_by_name("MC1").flash, "TLC");
+  EXPECT_EQ(profile_by_name("MA1").flash, "MLC");
+  EXPECT_GT(profile_by_name("MC2").target_afr, profile_by_name("MA1").target_afr);
+  // MC1 is the largest population.
+  for (const auto& p : standard_profiles()) {
+    if (p.name != "MC1") EXPECT_LT(p.population_share, profile_by_name("MC1").population_share);
+  }
+  double total_share = 0.0;
+  for (const auto& p : standard_profiles()) total_share += p.population_share;
+  EXPECT_NEAR(total_share, 1.0, 0.01);
+}
+
+TEST(Profiles, AttributeSetsFollowTableOne) {
+  // PLP exists only on vendor A; TLW/TLR only on MA2/MB1; RER only on C.
+  EXPECT_TRUE(profile_by_name("MA1").has_attr(Attr::PLP));
+  EXPECT_TRUE(profile_by_name("MA2").has_attr(Attr::PLP));
+  EXPECT_FALSE(profile_by_name("MB1").has_attr(Attr::PLP));
+  EXPECT_FALSE(profile_by_name("MC1").has_attr(Attr::PLP));
+  EXPECT_TRUE(profile_by_name("MA2").has_attr(Attr::TLR));
+  EXPECT_TRUE(profile_by_name("MB1").has_attr(Attr::TLW));
+  EXPECT_FALSE(profile_by_name("MC1").has_attr(Attr::TLW));
+  EXPECT_TRUE(profile_by_name("MC1").has_attr(Attr::RER));
+  EXPECT_FALSE(profile_by_name("MA1").has_attr(Attr::RER));
+  // Everyone has the universal attributes.
+  for (const auto& p : standard_profiles()) {
+    EXPECT_TRUE(p.has_attr(Attr::RSC)) << p.name;
+    EXPECT_TRUE(p.has_attr(Attr::POH)) << p.name;
+    EXPECT_TRUE(p.has_attr(Attr::MWI)) << p.name;
+    EXPECT_TRUE(p.has_attr(Attr::UCE)) << p.name;
+  }
+}
+
+TEST(Profiles, WearBehaviourMatchesFigureOne) {
+  // MB models: narrow wear band, no change point.
+  EXPECT_DOUBLE_EQ(profile_by_name("MB1").wear_change_point, 0.0);
+  EXPECT_DOUBLE_EQ(profile_by_name("MB2").wear_change_point, 0.0);
+  // MA/MC models: change point; MC2 has the firmware bug.
+  EXPECT_GT(profile_by_name("MA1").wear_change_point, 0.0);
+  EXPECT_GT(profile_by_name("MC1").wear_change_point, 0.0);
+  EXPECT_TRUE(profile_by_name("MC2").firmware_bug);
+  EXPECT_FALSE(profile_by_name("MC1").firmware_bug);
+}
+
+TEST(Generator, FeatureNamesAreRawNormalizedPairs) {
+  const auto& p = profile_by_name("MC1");
+  const auto names = feature_names_for(p);
+  ASSERT_EQ(names.size(), p.attributes.size() * 2);
+  EXPECT_EQ(names[0], std::string(attr_name(p.attributes[0])) + "_R");
+  EXPECT_EQ(names[1], std::string(attr_name(p.attributes[0])) + "_N");
+  const std::set<std::string> uniq(names.begin(), names.end());
+  EXPECT_EQ(uniq.size(), names.size());
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const auto& p = profile_by_name("MA1");
+  const auto f1 = generate_fleet(p, small_sim());
+  const auto f2 = generate_fleet(p, small_sim());
+  ASSERT_EQ(f1.drives.size(), f2.drives.size());
+  EXPECT_EQ(f1.num_failed(), f2.num_failed());
+  for (std::size_t d = 0; d < f1.drives.size(); ++d) {
+    ASSERT_EQ(f1.drives[d].num_days(), f2.drives[d].num_days());
+    EXPECT_DOUBLE_EQ(f1.drives[d].values(0, 0), f2.drives[d].values(0, 0));
+  }
+}
+
+TEST(Generator, BasicShapeInvariants) {
+  const auto& p = profile_by_name("MC1");
+  const auto fleet = generate_fleet(p, small_sim());
+  EXPECT_EQ(fleet.model_name, "MC1");
+  EXPECT_EQ(fleet.drives.size(), 300u);
+  EXPECT_EQ(fleet.num_days, 200);
+  const int mwi = fleet.feature_index("MWI_N");
+  ASSERT_GE(mwi, 0);
+  for (const auto& drive : fleet.drives) {
+    EXPECT_EQ(drive.first_day, 0);
+    if (drive.failed()) {
+      EXPECT_GE(drive.fail_day, 45);
+      EXPECT_EQ(drive.last_day(), drive.fail_day - 1);
+    } else {
+      EXPECT_EQ(drive.last_day(), 199);
+    }
+    // MWI_N is monotone non-increasing and within [0, 100].
+    double prev = 101.0;
+    for (std::size_t t = 0; t < drive.num_days(); ++t) {
+      const double v = drive.values(t, static_cast<std::size_t>(mwi));
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 100.0);
+      EXPECT_LE(v, prev + 1e-9);
+      prev = v;
+    }
+  }
+}
+
+TEST(Generator, ErrorCountersAreCumulative) {
+  const auto& p = profile_by_name("MC1");
+  const auto fleet = generate_fleet(p, small_sim());
+  const int uce = fleet.feature_index("UCE_R");
+  ASSERT_GE(uce, 0);
+  for (const auto& drive : fleet.drives) {
+    double prev = -1.0;
+    for (std::size_t t = 0; t < drive.num_days(); ++t) {
+      const double v = drive.values(t, static_cast<std::size_t>(uce));
+      EXPECT_GE(v, prev);
+      prev = v;
+    }
+  }
+}
+
+TEST(Generator, FailureCountTracksAfrTarget) {
+  SimOptions opt;
+  opt.num_drives = 2000;
+  opt.num_days = 200;
+  opt.seed = 9;
+  opt.afr_scale = 20.0;
+  const auto fleet = generate_fleet(profile_by_name("MC1"), opt);
+  const double expected = opt.afr_scale * 3.29 / 100.0 * 200.0 / 365.0 * 2000.0;
+  const double actual = static_cast<double>(fleet.num_failed());
+  EXPECT_GT(actual, expected * 0.7);
+  EXPECT_LT(actual, expected * 1.3);
+}
+
+TEST(Generator, AfrOrderingAcrossModels) {
+  // With a common scale, the relative AFR ordering must match Table II:
+  // MC2 > MC1 > MB1 ~ MA1 > MB2 > MA2.
+  SimOptions opt;
+  opt.num_drives = 3000;
+  opt.num_days = 200;
+  opt.seed = 11;
+  opt.afr_scale = 10.0;
+  const double afr_mc2 = generate_fleet(profile_by_name("MC2"), opt).afr_percent();
+  const double afr_ma2 = generate_fleet(profile_by_name("MA2"), opt).afr_percent();
+  const double afr_mc1 = generate_fleet(profile_by_name("MC1"), opt).afr_percent();
+  EXPECT_GT(afr_mc2, afr_mc1 * 0.9);
+  EXPECT_GT(afr_mc1, afr_ma2 * 2.0);
+}
+
+TEST(Generator, SignatureAttributesElevatedBeforeFailure) {
+  SimOptions opt = small_sim();
+  opt.num_drives = 800;
+  const auto fleet = generate_fleet(profile_by_name("MC1"), opt);
+  const int oce = fleet.feature_index("OCE_R");
+  ASSERT_GE(oce, 0);
+  // Mean final OCE count of failed drives >> healthy drives.
+  double failed_sum = 0.0, healthy_sum = 0.0;
+  std::size_t failed_n = 0, healthy_n = 0;
+  for (const auto& drive : fleet.drives) {
+    if (drive.num_days() == 0) continue;
+    const double final_count =
+        drive.values(drive.num_days() - 1, static_cast<std::size_t>(oce));
+    if (drive.failed()) {
+      failed_sum += final_count;
+      ++failed_n;
+    } else {
+      healthy_sum += final_count;
+      ++healthy_n;
+    }
+  }
+  ASSERT_GT(failed_n, 5u);
+  ASSERT_GT(healthy_n, 5u);
+  EXPECT_GT(failed_sum / failed_n, 2.0 * healthy_sum / healthy_n);
+}
+
+TEST(Generator, NonSignatureCounterUninformative) {
+  SimOptions opt = small_sim();
+  opt.num_drives = 800;
+  const auto fleet = generate_fleet(profile_by_name("MC1"), opt);
+  const int psc = fleet.feature_index("PSC_R");  // not in MC1's signature
+  ASSERT_GE(psc, 0);
+  double failed_sum = 0.0, healthy_sum = 0.0;
+  std::size_t failed_n = 0, healthy_n = 0;
+  for (const auto& drive : fleet.drives) {
+    if (drive.num_days() == 0) continue;
+    // Rate per day, to remove the truncation effect of early failures.
+    const double rate = drive.values(drive.num_days() - 1, static_cast<std::size_t>(psc)) /
+                        static_cast<double>(drive.num_days());
+    if (drive.failed()) {
+      failed_sum += rate;
+      ++failed_n;
+    } else {
+      healthy_sum += rate;
+      ++healthy_n;
+    }
+  }
+  ASSERT_GT(failed_n, 5u);
+  const double ratio = (failed_sum / failed_n) / std::max(1e-9, healthy_sum / healthy_n);
+  EXPECT_LT(ratio, 1.6);
+  EXPECT_GT(ratio, 0.4);
+}
+
+TEST(Generator, NarrowWearBandForMB) {
+  const auto fleet = generate_fleet(profile_by_name("MB1"), small_sim());
+  const int mwi = fleet.feature_index("MWI_N");
+  double mn = 101, mx = -1;
+  for (const auto& drive : fleet.drives) {
+    for (std::size_t t = 0; t < drive.num_days(); ++t) {
+      const double v = drive.values(t, static_cast<std::size_t>(mwi));
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+  }
+  EXPECT_GT(mn, 90.0);  // MB models barely wear
+}
+
+TEST(Generator, RejectsBadOptions) {
+  SimOptions opt = small_sim();
+  opt.num_drives = 0;
+  EXPECT_THROW(generate_fleet(profile_by_name("MA1"), opt), std::invalid_argument);
+  opt = small_sim();
+  opt.num_days = 20;
+  EXPECT_THROW(generate_fleet(profile_by_name("MA1"), opt), std::invalid_argument);
+  opt = small_sim();
+  opt.afr_scale = 0.0;
+  EXPECT_THROW(generate_fleet(profile_by_name("MA1"), opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wefr::smartsim

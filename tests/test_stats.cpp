@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/jindex.h"
+#include "stats/kendall.h"
+#include "stats/ranking.h"
+#include "util/rng.h"
+
+namespace wefr::stats {
+namespace {
+
+// ---------- descriptive ----------
+
+TEST(Descriptive, MeanBasics) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Descriptive, VarianceBothConventions) {
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_NEAR(sample_variance(xs), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, StddevOfConstant) {
+  const std::vector<double> xs = {3, 3, 3};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0.0);
+  EXPECT_DOUBLE_EQ(sample_stddev(xs), 0.0);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> xs = {3, -1, 7};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+  EXPECT_THROW(min_value(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Descriptive, ZscoresStandardize) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  const auto z = zscores(xs);
+  EXPECT_NEAR(mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(z[4], (5.0 - 3.0) / sample_stddev(xs), 1e-12);
+}
+
+TEST(Descriptive, ZscoresConstantAllZero) {
+  const std::vector<double> xs = {4, 4, 4};
+  for (double z : zscores(xs)) EXPECT_DOUBLE_EQ(z, 0.0);
+}
+
+TEST(Descriptive, MedianAndQuantiles) {
+  const std::vector<double> xs = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> xs = {0, 10};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 5.0);
+}
+
+// ---------- ranking ----------
+
+TEST(Ranking, ArgsortAscendingStable) {
+  const std::vector<double> xs = {3, 1, 2, 1};
+  const auto idx = argsort_ascending(xs);
+  EXPECT_EQ(idx, (std::vector<std::size_t>{1, 3, 2, 0}));
+}
+
+TEST(Ranking, ArgsortDescending) {
+  const std::vector<double> xs = {3, 1, 2};
+  EXPECT_EQ(argsort_descending(xs), (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST(Ranking, FractionalRanksNoTies) {
+  const std::vector<double> xs = {10, 30, 20};
+  EXPECT_EQ(fractional_ranks(xs), (std::vector<double>{1, 3, 2}));
+}
+
+TEST(Ranking, FractionalRanksAverageTies) {
+  const std::vector<double> xs = {5, 5, 1};
+  const auto r = fractional_ranks(xs);
+  EXPECT_DOUBLE_EQ(r[0], 2.5);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 1.0);
+}
+
+TEST(Ranking, RankingFromScoresTopIsRankOne) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5};
+  const auto r = ranking_from_scores(scores);
+  EXPECT_DOUBLE_EQ(r[1], 1.0);
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+  EXPECT_DOUBLE_EQ(r[0], 3.0);
+}
+
+TEST(Ranking, OrderByScoreDescending) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5};
+  EXPECT_EQ(order_by_score(scores), (std::vector<std::size_t>{1, 2, 0}));
+}
+
+// Property: fractional ranks sum to n(n+1)/2 regardless of ties.
+class RankSumProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSumProperty, RanksSumInvariant) {
+  util::Rng rng(GetParam());
+  std::vector<double> xs(50);
+  for (auto& x : xs) x = std::floor(rng.uniform(0, 10));  // many ties
+  const auto r = fractional_ranks(xs);
+  double sum = 0.0;
+  for (double v : r) sum += v;
+  EXPECT_NEAR(sum, 50.0 * 51.0 / 2.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RankSumProperty, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------- correlation ----------
+
+TEST(Correlation, PearsonPerfectLinear) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> yn = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, yn), -1.0, 1e-12);
+}
+
+TEST(Correlation, PearsonConstantIsZero) {
+  const std::vector<double> x = {1, 1, 1};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Correlation, PearsonRejectsMismatch) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1};
+  EXPECT_THROW(pearson(x, y), std::invalid_argument);
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinear) {
+  // y = x^3 is monotone: Spearman 1, Pearson < 1.
+  std::vector<double> x, y;
+  for (int i = -10; i <= 10; ++i) {
+    x.push_back(i);
+    y.push_back(static_cast<double>(i) * i * i);
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Correlation, SpearmanHandlesTies) {
+  const std::vector<double> x = {1, 1, 2, 2, 3};
+  const std::vector<double> y = {1, 2, 3, 3, 5};
+  EXPECT_GT(spearman(x, y), 0.8);
+}
+
+TEST(Correlation, IndependentNearZero) {
+  util::Rng rng(3);
+  std::vector<double> x(5000), y(5000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.05);
+  EXPECT_NEAR(spearman(x, y), 0.0, 0.05);
+}
+
+// ---------- Kendall tau rank distance ----------
+
+TEST(Kendall, IdenticalRankingsZeroDistance) {
+  const std::vector<double> r = {1, 2, 3, 4};
+  EXPECT_EQ(kendall_tau_distance(r, r), 0u);
+}
+
+TEST(Kendall, ReversedRankingsMaxDistance) {
+  const std::vector<double> a = {1, 2, 3, 4};
+  const std::vector<double> b = {4, 3, 2, 1};
+  EXPECT_EQ(kendall_tau_distance(a, b), 6u);  // C(4,2)
+  EXPECT_DOUBLE_EQ(kendall_tau_distance_normalized(a, b), 1.0);
+}
+
+TEST(Kendall, SingleSwap) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {2, 1, 3};
+  EXPECT_EQ(kendall_tau_distance(a, b), 1u);
+}
+
+TEST(Kendall, TiesNotDiscordant) {
+  const std::vector<double> a = {1.5, 1.5, 3};
+  const std::vector<double> b = {1, 2, 3};
+  EXPECT_EQ(kendall_tau_distance(a, b), 0u);
+}
+
+TEST(Kendall, Symmetry) {
+  const std::vector<double> a = {1, 3, 2, 5, 4};
+  const std::vector<double> b = {2, 1, 5, 3, 4};
+  EXPECT_EQ(kendall_tau_distance(a, b), kendall_tau_distance(b, a));
+}
+
+TEST(Kendall, RejectsMismatch) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> b = {1};
+  EXPECT_THROW(kendall_tau_distance(a, b), std::invalid_argument);
+}
+
+// Property: triangle inequality for permutation rankings.
+class KendallTriangle : public ::testing::TestWithParam<int> {};
+
+TEST_P(KendallTriangle, TriangleInequality) {
+  util::Rng rng(GetParam());
+  auto random_ranking = [&] {
+    std::vector<double> r(8);
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] = static_cast<double>(i + 1);
+    rng.shuffle(r);
+    return r;
+  };
+  const auto a = random_ranking(), b = random_ranking(), c = random_ranking();
+  EXPECT_LE(kendall_tau_distance(a, c),
+            kendall_tau_distance(a, b) + kendall_tau_distance(b, c));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KendallTriangle,
+                         ::testing::Values(10, 11, 12, 13, 14, 15, 16, 17, 18, 19));
+
+// ---------- Youden J-index ----------
+
+TEST(JIndex, PerfectSeparator) {
+  const std::vector<double> x = {1, 2, 3, 10, 11, 12};
+  const std::vector<int> y = {0, 0, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(youden_j_index(x, y), 1.0);
+}
+
+TEST(JIndex, PerfectSeparatorReversedDirection) {
+  const std::vector<double> x = {10, 11, 12, 1, 2, 3};
+  const std::vector<int> y = {0, 0, 0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(youden_j_index(x, y), 1.0);
+}
+
+TEST(JIndex, UselessFeatureNearZero) {
+  // Identical distribution in both classes.
+  const std::vector<double> x = {1, 2, 3, 1, 2, 3};
+  const std::vector<int> y = {0, 0, 0, 1, 1, 1};
+  EXPECT_NEAR(youden_j_index(x, y), 0.0, 1e-9);
+}
+
+TEST(JIndex, SingleClassIsZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<int> y = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(youden_j_index(x, y), 0.0);
+}
+
+TEST(JIndex, PartialOverlap) {
+  const std::vector<double> x = {1, 2, 3, 4, 3, 4, 5, 6};
+  const std::vector<int> y = {0, 0, 0, 0, 1, 1, 1, 1};
+  const double j = youden_j_index(x, y);
+  EXPECT_GT(j, 0.2);
+  EXPECT_LT(j, 1.0);
+}
+
+TEST(JIndex, BoundedInUnitInterval) {
+  util::Rng rng(77);
+  std::vector<double> x(200);
+  std::vector<int> y(200);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.bernoulli(0.3) ? 1 : 0;
+  }
+  const double j = youden_j_index(x, y);
+  EXPECT_GE(j, 0.0);
+  EXPECT_LE(j, 1.0);
+}
+
+}  // namespace
+}  // namespace wefr::stats

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/survival.h"
+#include "smartsim/generator.h"
+
+namespace wefr::core {
+namespace {
+
+using data::DriveSeries;
+using data::FleetData;
+using data::Matrix;
+
+/// A fleet whose drives sit at fixed MWI_N values, with failures planted
+/// so that survival drops sharply below MWI_N = 40.
+FleetData synthetic_survival_fleet() {
+  FleetData fleet;
+  fleet.model_name = "T";
+  fleet.feature_names = {"MWI_N"};
+  fleet.num_days = 100;
+  int id = 0;
+  for (int v = 10; v <= 90; ++v) {
+    const double fail_frac = v < 40 ? 0.5 : 0.05;
+    const int per_bucket = 20;
+    for (int k = 0; k < per_bucket; ++k) {
+      DriveSeries d;
+      d.drive_id = "t_" + std::to_string(id++);
+      d.first_day = 0;
+      const bool fails = k < static_cast<int>(fail_frac * per_bucket);
+      d.fail_day = fails ? 60 : -1;
+      const int last = fails ? 59 : 99;
+      d.values = Matrix(static_cast<std::size_t>(last + 1), 1, static_cast<double>(v));
+      fleet.drives.push_back(std::move(d));
+    }
+  }
+  return fleet;
+}
+
+TEST(Survival, CurveSortedAndBounded) {
+  const FleetData fleet = synthetic_survival_fleet();
+  const SurvivalCurve curve = survival_vs_mwi(fleet, 99);
+  ASSERT_FALSE(curve.empty());
+  for (std::size_t i = 1; i < curve.mwi.size(); ++i) EXPECT_GT(curve.mwi[i], curve.mwi[i - 1]);
+  for (double r : curve.rate) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(Survival, RatesMatchPlantedFractions) {
+  const FleetData fleet = synthetic_survival_fleet();
+  const SurvivalCurve curve = survival_vs_mwi(fleet, 99);
+  for (std::size_t i = 0; i < curve.mwi.size(); ++i) {
+    const double expected = curve.mwi[i] < 40 ? 0.5 : 0.95;
+    EXPECT_NEAR(curve.rate[i], expected, 1e-9) << "MWI " << curve.mwi[i];
+  }
+}
+
+TEST(Survival, AsOfDayBeforeFailuresSeesFullSurvival) {
+  const FleetData fleet = synthetic_survival_fleet();
+  const SurvivalCurve curve = survival_vs_mwi(fleet, 30);  // failures at day 60
+  for (double r : curve.rate) EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(Survival, MinCountDropsSparseBuckets) {
+  FleetData fleet = synthetic_survival_fleet();
+  // Add one lone drive at MWI 99.
+  DriveSeries d;
+  d.drive_id = "lone";
+  d.first_day = 0;
+  d.fail_day = -1;
+  d.values = Matrix(100, 1, 99.0);
+  fleet.drives.push_back(std::move(d));
+  const SurvivalCurve curve = survival_vs_mwi(fleet, 99, 5);
+  for (double v : curve.mwi) EXPECT_NE(v, 99.0);
+}
+
+TEST(Survival, BucketWidthGroupsValues) {
+  const FleetData fleet = synthetic_survival_fleet();
+  const SurvivalCurve fine = survival_vs_mwi(fleet, 99, 5, 1);
+  const SurvivalCurve coarse = survival_vs_mwi(fleet, 99, 5, 5);
+  EXPECT_GT(fine.mwi.size(), coarse.mwi.size());
+  // Bucket labels are lower edges aligned to the width.
+  for (double v : coarse.mwi) {
+    EXPECT_DOUBLE_EQ(std::fmod(v, 5.0), 0.0);
+  }
+  // Total drives are conserved across bucketing (no min_count filtering
+  // triggers here: every fine bucket already has 20 drives).
+  std::size_t fine_total = 0, coarse_total = 0;
+  for (auto n : fine.total) fine_total += n;
+  for (auto n : coarse.total) coarse_total += n;
+  EXPECT_EQ(fine_total, coarse_total);
+}
+
+TEST(Survival, BucketWidthRejectsZero) {
+  const FleetData fleet = synthetic_survival_fleet();
+  EXPECT_THROW(survival_vs_mwi(fleet, 99, 5, 0), std::invalid_argument);
+}
+
+TEST(Survival, MissingMwiThrows) {
+  FleetData fleet;
+  fleet.feature_names = {"UCE_R"};
+  EXPECT_THROW(survival_vs_mwi(fleet, 10), std::invalid_argument);
+}
+
+TEST(Survival, ChangePointFoundNearPlantedThreshold) {
+  const FleetData fleet = synthetic_survival_fleet();
+  const SurvivalCurve curve = survival_vs_mwi(fleet, 99);
+  const auto cp = detect_wear_change_point(curve);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_NEAR(cp->mwi_threshold, 40.0, 3.0);
+  EXPECT_GE(std::abs(cp->zscore), 2.5);
+}
+
+TEST(Survival, NoChangePointOnFlatCurve) {
+  FleetData fleet;
+  fleet.model_name = "flat";
+  fleet.feature_names = {"MWI_N"};
+  fleet.num_days = 50;
+  int id = 0;
+  for (int v = 95; v <= 100; ++v) {
+    for (int k = 0; k < 30; ++k) {
+      DriveSeries d;
+      d.drive_id = "f_" + std::to_string(id++);
+      d.first_day = 0;
+      d.fail_day = -1;
+      d.values = Matrix(50, 1, static_cast<double>(v));
+      fleet.drives.push_back(std::move(d));
+    }
+  }
+  const SurvivalCurve curve = survival_vs_mwi(fleet, 49);
+  // Narrow range (6 values < 8 minimum): no change point, like MB1/MB2.
+  EXPECT_FALSE(detect_wear_change_point(curve).has_value());
+}
+
+TEST(Survival, SimulatedMc1HasLowWearChangePoint) {
+  smartsim::SimOptions opt;
+  opt.num_drives = 2500;
+  opt.num_days = 220;
+  opt.seed = 21;
+  opt.afr_scale = 25.0;
+  const auto fleet = generate_fleet(smartsim::profile_by_name("MC1"), opt);
+  const SurvivalCurve curve = survival_vs_mwi(fleet, fleet.num_days - 1);
+  ASSERT_GT(curve.mwi.size(), 10u);
+  const auto cp = detect_wear_change_point(curve);
+  ASSERT_TRUE(cp.has_value());
+  // Planted regime shift at MWI ~ 25.
+  EXPECT_LT(cp->mwi_threshold, 45.0);
+}
+
+TEST(Survival, SimulatedMb1HasNoChangePoint) {
+  smartsim::SimOptions opt;
+  opt.num_drives = 1200;
+  opt.num_days = 220;
+  opt.seed = 22;
+  opt.afr_scale = 25.0;
+  const auto fleet = generate_fleet(smartsim::profile_by_name("MB1"), opt);
+  const SurvivalCurve curve = survival_vs_mwi(fleet, fleet.num_days - 1);
+  EXPECT_FALSE(detect_wear_change_point(curve).has_value());
+}
+
+}  // namespace
+}  // namespace wefr::core

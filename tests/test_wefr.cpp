@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.h"
+#include "core/wefr.h"
+#include "smartsim/generator.h"
+
+namespace wefr::core {
+namespace {
+
+data::FleetData mc1_fleet(std::uint64_t seed = 31, std::size_t drives = 800) {
+  smartsim::SimOptions opt;
+  opt.num_drives = drives;
+  opt.num_days = 220;
+  opt.seed = seed;
+  opt.afr_scale = 30.0;
+  return generate_fleet(smartsim::profile_by_name("MC1"), opt);
+}
+
+ExperimentConfig light_cfg() {
+  ExperimentConfig cfg;
+  cfg.forest.num_trees = 15;
+  cfg.forest.tree.max_depth = 9;
+  cfg.negative_keep_prob = 0.08;
+  return cfg;
+}
+
+TEST(Wefr, SelectionIsPrefixOfFinalRanking) {
+  const auto fleet = mc1_fleet();
+  const auto train = build_selection_samples(fleet, 0, 150, light_cfg());
+  WefrOptions opt;
+  opt.update_with_wearout = false;
+  const auto res = run_wefr(fleet, train, 150, opt);
+  ASSERT_GT(res.all.selected.size(), 0u);
+  ASSERT_LE(res.all.selected.size(), fleet.num_features());
+  for (std::size_t i = 0; i < res.all.selected.size(); ++i) {
+    EXPECT_EQ(res.all.selected[i], res.all.ensemble.order[i]);
+  }
+}
+
+TEST(Wefr, SelectsPlantedSignatureFeatures) {
+  const auto fleet = mc1_fleet();
+  const auto train = build_selection_samples(fleet, 0, 150, light_cfg());
+  WefrOptions opt;
+  opt.update_with_wearout = false;
+  const auto res = run_wefr(fleet, train, 150, opt);
+  // MC1's planted signature: OCE, UCE, CMDT. At least two of the three
+  // raw channels must be selected.
+  int hits = 0;
+  for (const auto& name : res.all.selected_names) {
+    if (name == "OCE_R" || name == "UCE_R" || name == "CMDT_R") ++hits;
+  }
+  EXPECT_GE(hits, 2) << "selected: " << ::testing::PrintToString(res.all.selected_names);
+}
+
+TEST(Wefr, SelectsStrictSubset) {
+  const auto fleet = mc1_fleet();
+  const auto train = build_selection_samples(fleet, 0, 150, light_cfg());
+  WefrOptions opt;
+  opt.update_with_wearout = false;
+  const auto res = run_wefr(fleet, train, 150, opt);
+  EXPECT_LT(res.all.selected.size(), fleet.num_features());
+  EXPECT_GE(res.all.selected.size(), 4u);  // at least the log2 seed
+}
+
+TEST(Wefr, UpdateProducesWearGroups) {
+  const auto fleet = mc1_fleet(33, 1400);
+  const auto train = build_selection_samples(fleet, 0, 150, light_cfg());
+  WefrOptions opt;
+  opt.update_with_wearout = true;
+  const auto res = run_wefr(fleet, train, 150, opt);
+  ASSERT_TRUE(res.change_point.has_value());
+  ASSERT_TRUE(res.low.has_value());
+  ASSERT_TRUE(res.high.has_value());
+  EXPECT_EQ(res.low->label, "low");
+  EXPECT_EQ(res.high->label, "high");
+  EXPECT_FALSE(res.survival.empty());
+}
+
+TEST(Wefr, NoUpdateSkipsGroups) {
+  const auto fleet = mc1_fleet();
+  const auto train = build_selection_samples(fleet, 0, 150, light_cfg());
+  WefrOptions opt;
+  opt.update_with_wearout = false;
+  const auto res = run_wefr(fleet, train, 150, opt);
+  EXPECT_FALSE(res.change_point.has_value());
+  EXPECT_FALSE(res.low.has_value());
+  EXPECT_FALSE(res.high.has_value());
+}
+
+TEST(Wefr, NoChangePointOnNarrowWearModel) {
+  smartsim::SimOptions sopt;
+  sopt.num_drives = 1000;
+  sopt.num_days = 220;
+  sopt.seed = 35;
+  sopt.afr_scale = 25.0;
+  const auto fleet = generate_fleet(smartsim::profile_by_name("MB1"), sopt);
+  const auto train = build_selection_samples(fleet, 0, 150, light_cfg());
+  WefrOptions opt;
+  const auto res = run_wefr(fleet, train, 150, opt);
+  EXPECT_FALSE(res.change_point.has_value());
+  EXPECT_FALSE(res.low.has_value());
+}
+
+TEST(Wefr, GroupFallbackWhenTooFewPositives) {
+  const auto fleet = mc1_fleet(37, 800);
+  const auto train = build_selection_samples(fleet, 0, 150, light_cfg());
+  WefrOptions opt;
+  opt.min_group_positives = 1000000;  // force fallback
+  const auto res = run_wefr(fleet, train, 150, opt);
+  if (res.change_point.has_value()) {
+    EXPECT_TRUE(res.low->fallback);
+    EXPECT_EQ(res.low->selected, res.all.selected);
+  }
+}
+
+TEST(Wefr, RejectsMismatchedDataset) {
+  const auto fleet = mc1_fleet(39, 300);
+  data::Dataset bad;
+  bad.feature_names = {"wrong"};
+  EXPECT_THROW(run_wefr(fleet, bad, 100, WefrOptions{}), std::invalid_argument);
+}
+
+TEST(Wefr, SelectFeaturesForRejectsEmpty) {
+  data::Dataset empty;
+  EXPECT_THROW(select_features_for(empty, WefrOptions{}), std::invalid_argument);
+}
+
+TEST(Wefr, DeterministicAcrossRuns) {
+  const auto fleet = mc1_fleet(41, 600);
+  const auto train = build_selection_samples(fleet, 0, 150, light_cfg());
+  WefrOptions opt;
+  opt.update_with_wearout = false;
+  const auto a = run_wefr(fleet, train, 150, opt);
+  const auto b = run_wefr(fleet, train, 150, opt);
+  EXPECT_EQ(a.all.selected, b.all.selected);
+}
+
+}  // namespace
+}  // namespace wefr::core

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/window_features.h"
+#include "util/rng.h"
+
+namespace wefr::data {
+namespace {
+
+Matrix make_series(const std::vector<double>& vals) {
+  Matrix m(vals.size(), 1);
+  for (std::size_t i = 0; i < vals.size(); ++i) m(i, 0) = vals[i];
+  return m;
+}
+
+TEST(WindowFeatures, ExpansionFactorDefault) {
+  EXPECT_EQ(expansion_factor(), 13u);  // 1 + 6 stats * 2 windows
+}
+
+TEST(WindowFeatures, NamesLayout) {
+  const std::vector<std::string> base = {"X"};
+  const auto names = expanded_feature_names(base);
+  ASSERT_EQ(names.size(), 13u);
+  EXPECT_EQ(names[0], "X");
+  EXPECT_EQ(names[1], "X__max3");
+  EXPECT_EQ(names[6], "X__wma3");
+  EXPECT_EQ(names[7], "X__max7");
+  EXPECT_EQ(names[12], "X__wma7");
+}
+
+TEST(WindowFeatures, TrailingWindowStats) {
+  const Matrix series = make_series({1, 2, 3, 4, 5});
+  const std::vector<std::size_t> cols = {0};
+  const Matrix out = expand_series(series, cols);
+  ASSERT_EQ(out.rows(), 5u);
+  ASSERT_EQ(out.cols(), 13u);
+
+  // Day 4, 3-day window = {3,4,5}.
+  EXPECT_DOUBLE_EQ(out(4, 0), 5.0);   // identity
+  EXPECT_DOUBLE_EQ(out(4, 1), 5.0);   // max3
+  EXPECT_DOUBLE_EQ(out(4, 2), 3.0);   // min3
+  EXPECT_DOUBLE_EQ(out(4, 3), 4.0);   // mean3
+  EXPECT_NEAR(out(4, 4), std::sqrt(2.0 / 3.0), 1e-12);  // std3 (population)
+  EXPECT_DOUBLE_EQ(out(4, 5), 2.0);   // range3
+  // wma3 with weights 1,2,3 over {3,4,5} = (3+8+15)/6.
+  EXPECT_NEAR(out(4, 6), 26.0 / 6.0, 1e-12);
+}
+
+TEST(WindowFeatures, TruncatedAtSeriesStart) {
+  const Matrix series = make_series({7, 9});
+  const std::vector<std::size_t> cols = {0};
+  const Matrix out = expand_series(series, cols);
+  // Day 0: window of one observation -> all stats collapse to the value.
+  EXPECT_DOUBLE_EQ(out(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(out(0, 2), 7.0);
+  EXPECT_DOUBLE_EQ(out(0, 3), 7.0);
+  EXPECT_DOUBLE_EQ(out(0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(out(0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(out(0, 6), 7.0);
+  // Day 1: 7-day window truncated to {7,9}.
+  EXPECT_DOUBLE_EQ(out(1, 7), 9.0);
+  EXPECT_DOUBLE_EQ(out(1, 8), 7.0);
+  EXPECT_DOUBLE_EQ(out(1, 9), 8.0);
+}
+
+TEST(WindowFeatures, ConstantSeriesHasZeroSpread) {
+  const Matrix series = make_series(std::vector<double>(10, 4.0));
+  const std::vector<std::size_t> cols = {0};
+  const Matrix out = expand_series(series, cols);
+  for (std::size_t d = 0; d < 10; ++d) {
+    EXPECT_DOUBLE_EQ(out(d, 4), 0.0);  // std3
+    EXPECT_DOUBLE_EQ(out(d, 5), 0.0);  // range3
+    EXPECT_DOUBLE_EQ(out(d, 6), 4.0);  // wma3
+  }
+}
+
+TEST(WindowFeatures, MultipleBaseColumns) {
+  Matrix series(3, 3);
+  for (std::size_t d = 0; d < 3; ++d) {
+    series(d, 0) = static_cast<double>(d);
+    series(d, 1) = 10.0 * static_cast<double>(d);
+    series(d, 2) = -1.0;
+  }
+  const std::vector<std::size_t> cols = {2, 0};
+  const Matrix out = expand_series(series, cols);
+  EXPECT_EQ(out.cols(), 26u);
+  EXPECT_DOUBLE_EQ(out(2, 0), -1.0);  // first base col = col 2
+  EXPECT_DOUBLE_EQ(out(2, 13), 2.0);  // second base col = col 0
+}
+
+TEST(WindowFeatures, RejectsBadWindow) {
+  const Matrix series = make_series({1, 2});
+  const std::vector<std::size_t> cols = {0};
+  WindowFeatureConfig cfg;
+  cfg.windows = {0};
+  EXPECT_THROW(expand_series(series, cols, cfg), std::invalid_argument);
+}
+
+TEST(WindowFeatures, RejectsBadColumn) {
+  const Matrix series = make_series({1, 2});
+  const std::vector<std::size_t> cols = {3};
+  EXPECT_THROW(expand_series(series, cols), std::out_of_range);
+}
+
+// Property: max >= mean >= min and range = max - min on random series.
+class WindowStatsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowStatsProperty, OrderingInvariants) {
+  util::Rng rng(GetParam());
+  std::vector<double> vals(40);
+  for (auto& v : vals) v = rng.normal(0, 5);
+  const Matrix series = make_series(vals);
+  const std::vector<std::size_t> cols = {0};
+  const Matrix out = expand_series(series, cols);
+  for (std::size_t d = 0; d < out.rows(); ++d) {
+    for (std::size_t w = 0; w < 2; ++w) {
+      const std::size_t o = 1 + w * 6;
+      const double mx = out(d, o), mn = out(d, o + 1), mean = out(d, o + 2);
+      const double range = out(d, o + 4), wma = out(d, o + 5);
+      EXPECT_GE(mx, mean - 1e-12);
+      EXPECT_GE(mean, mn - 1e-12);
+      EXPECT_NEAR(range, mx - mn, 1e-12);
+      EXPECT_GE(mx, wma - 1e-12);
+      EXPECT_GE(wma, mn - 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WindowStatsProperty, ::testing::Range(100, 110));
+
+}  // namespace
+}  // namespace wefr::data

@@ -1,0 +1,129 @@
+// wefr_select — run WEFR feature selection over a SMART-log fleet CSV.
+//
+//   wefr_select --in fleet.csv --model MC1 [--train-end DAY]
+//               [--horizon 30] [--no-update] [--save-model model.txt]
+//
+// Prints the ensemble diagnostics (per-ranker outlier status), the final
+// selection per wear group, and optionally trains and serializes the
+// paper's Random Forest predictor over the selected features.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "core/pipeline.h"
+#include "core/wefr.h"
+#include "data/csv.h"
+#include "util/strings.h"
+
+using namespace wefr;
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: wefr_select --in FILE [--model NAME] [--train-end DAY]\n"
+               "                   [--horizon N] [--no-update] [--save-model FILE]\n");
+}
+
+void print_group(const core::GroupSelection& g) {
+  std::printf("  [%s] %zu features (%zu samples, %zu positive%s):",
+              g.label.c_str(), g.selected_names.size(), g.num_samples, g.num_positives,
+              g.fallback ? "; fallback to whole-model set" : "");
+  for (const auto& name : g.selected_names) std::printf(" %s", name.c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string in_path, model = "fleet", save_model;
+  int train_end = -1;
+  core::ExperimentConfig cfg;
+  core::WefrOptions wopt;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    double v = 0.0;
+    if (arg == "--in") {
+      in_path = next();
+    } else if (arg == "--model") {
+      model = next();
+    } else if (arg == "--train-end" && util::parse_double(next(), v)) {
+      train_end = static_cast<int>(v);
+    } else if (arg == "--horizon" && util::parse_double(next(), v)) {
+      cfg.horizon_days = static_cast<int>(v);
+    } else if (arg == "--no-update") {
+      wopt.update_with_wearout = false;
+    } else if (arg == "--save-model") {
+      save_model = next();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown or malformed argument: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (in_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const auto fleet = data::read_fleet_csv(in_path, model);
+    if (train_end < 0) train_end = fleet.num_days - 1;
+    std::printf("fleet %s: %zu drives, %zu failed, %d days, %zu features; "
+                "selecting on days 0-%d\n",
+                fleet.model_name.c_str(), fleet.drives.size(), fleet.num_failed(),
+                fleet.num_days, fleet.num_features(), train_end);
+
+    cfg.negative_keep_prob = 0.15;
+    const auto samples = core::build_selection_samples(fleet, 0, train_end, cfg);
+    std::printf("selection samples: %zu (%zu positive)\n", samples.size(),
+                samples.num_positive());
+
+    const auto result = core::run_wefr(fleet, samples, train_end, wopt);
+
+    std::printf("\npreliminary rankings (Kendall-tau mean distance; * = discarded):\n");
+    const auto& ens = result.all.ensemble;
+    for (std::size_t k = 0; k < ens.ranker_names.size(); ++k) {
+      std::printf("  %-13s D-bar = %7.1f %s\n", ens.ranker_names[k].c_str(),
+                  ens.mean_distance[k], ens.discarded[k] ? "*" : "");
+    }
+
+    std::printf("\nselection:\n");
+    print_group(result.all);
+    if (result.change_point.has_value()) {
+      std::printf("  wear-out change point: MWI_N = %.0f (z = %.2f)\n",
+                  result.change_point->mwi_threshold, result.change_point->zscore);
+      if (result.low.has_value()) print_group(*result.low);
+      if (result.high.has_value()) print_group(*result.high);
+    } else {
+      std::printf("  no wear-out change point detected\n");
+    }
+
+    if (!save_model.empty()) {
+      std::printf("\ntraining Random Forest (%zu trees, depth %d) on selected "
+                  "features...\n",
+                  cfg.forest.num_trees, cfg.forest.tree.max_depth);
+      const auto predictor = core::train_predictor(fleet, result, 0, train_end, cfg);
+      std::ofstream ofs(save_model);
+      if (!ofs) throw std::runtime_error("cannot open " + save_model);
+      predictor.all.forest.save(ofs);
+      std::printf("saved whole-model forest to %s\n", save_model.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
