@@ -1,0 +1,171 @@
+// Hot-path benchmark for the PR-1 performance work: histogram vs exact
+// split finding when fitting the prediction forest, parallel vs serial
+// fleet scoring, and the precision cost (if any) of the quantized
+// splitter at the paper's fixed-recall operating point.
+//
+// Prints a human-readable report and writes machine-readable
+// BENCH_hotpath.json into the working directory. Honors the usual
+// WEFR_BENCH_* knobs (see bench_common.h).
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <string>
+
+#include "bench_common.h"
+#include "core/pipeline.h"
+#include "ml/random_forest.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+using namespace wefr;
+
+namespace {
+
+double time_forest_fit(const data::Dataset& ds, ml::ForestOptions opt,
+                       ml::SplitMethod method, ml::RandomForest& forest) {
+  opt.tree.split_method = method;
+  util::Rng rng(1234);
+  util::Stopwatch sw;
+  forest.fit(ds.x, ds.y, opt, rng);
+  return sw.seconds();
+}
+
+double precision_with(const data::FleetData& fleet, const core::ExperimentConfig& cfg,
+                      int test_start, int test_end, double target_recall) {
+  std::vector<std::size_t> all_cols(fleet.num_features());
+  std::iota(all_cols.begin(), all_cols.end(), std::size_t{0});
+  const auto predictor =
+      core::train_predictor(fleet, all_cols, 0, test_start - 1, cfg);
+  const auto scores = core::score_fleet(fleet, predictor, test_start, test_end, cfg);
+  const auto eval = core::evaluate_fixed_recall(fleet, scores, test_start, test_end,
+                                                cfg.horizon_days, target_recall);
+  return eval.precision;
+}
+
+}  // namespace
+
+int main() {
+  const benchx::BenchScale scale = benchx::scale_from_env();
+  const std::string model = "MC1";
+  const double target_recall = benchx::paper_recall(model);
+  const std::size_t hw_threads = util::default_thread_count();
+
+  std::printf("Hot-path bench — model %s, %zu drives, %d days, %zu trees, %zu hw threads\n\n",
+              model.c_str(), scale.total_drives, scale.num_days, scale.trees, hw_threads);
+
+  const auto fleet = benchx::make_fleet(model, scale);
+  const auto phases = core::standard_phases(fleet.num_days);
+  const auto& phase = phases.back();
+
+  core::ExperimentConfig cfg = benchx::compare_config(scale).exp;
+
+  // --- 1. Forest fit: exact vs histogram on the selection sample set.
+  const auto ds = core::build_selection_samples(fleet, 0, phase.test_start - 1, cfg);
+  std::printf("fit benchmark: %zu samples x %zu base features, %zu trees\n", ds.size(),
+              ds.num_features(), cfg.forest.num_trees);
+  std::fflush(stdout);
+
+  ml::RandomForest forest_exact, forest_hist;
+  const double fit_exact_s =
+      time_forest_fit(ds, cfg.forest, ml::SplitMethod::kExact, forest_exact);
+  std::printf("  exact:     %8.3f s\n", fit_exact_s);
+  std::fflush(stdout);
+  const double fit_hist_s =
+      time_forest_fit(ds, cfg.forest, ml::SplitMethod::kHistogram, forest_hist);
+  const double fit_speedup = fit_hist_s > 0.0 ? fit_exact_s / fit_hist_s : 0.0;
+  std::printf("  histogram: %8.3f s   (speedup %.2fx)\n\n", fit_hist_s, fit_speedup);
+  std::fflush(stdout);
+
+  // --- 2. End-to-end precision at the paper's fixed recall, both
+  // splitters. Drive-level precision at a fixed recall is a discrete
+  // count ratio (one borderline drive moves it by whole points), so
+  // average over several fleet seeds rather than judging a single draw.
+  const std::uint64_t quality_seeds[] = {4242, 777, 31337, 99, 2026};
+  double prec_exact = 0.0, prec_hist = 0.0;
+  core::ExperimentConfig cfg_quality = cfg;
+  cfg_quality.num_threads = hw_threads;  // speeds the bench; results unchanged
+  for (const std::uint64_t seed : quality_seeds) {
+    const auto qfleet = benchx::make_fleet(model, scale, seed);
+    cfg_quality.forest.tree.split_method = ml::SplitMethod::kExact;
+    const double pe = precision_with(qfleet, cfg_quality, phase.test_start,
+                                     phase.test_end, target_recall);
+    cfg_quality.forest.tree.split_method = ml::SplitMethod::kHistogram;
+    const double ph = precision_with(qfleet, cfg_quality, phase.test_start,
+                                     phase.test_end, target_recall);
+    std::printf("  seed %-6llu precision @ recall>=%.2f:  exact %s, histogram %s\n",
+                static_cast<unsigned long long>(seed), target_recall,
+                benchx::pct(pe, 1).c_str(), benchx::pct(ph, 1).c_str());
+    std::fflush(stdout);
+    prec_exact += pe;
+    prec_hist += ph;
+  }
+  prec_exact /= static_cast<double>(std::size(quality_seeds));
+  prec_hist /= static_cast<double>(std::size(quality_seeds));
+  std::printf("precision @ recall>=%.2f (mean of %zu seeds):  exact %s, histogram %s"
+              " (diff %+.2f pts)\n\n",
+              target_recall, std::size(quality_seeds), benchx::pct(prec_exact, 1).c_str(),
+              benchx::pct(prec_hist, 1).c_str(), (prec_hist - prec_exact) * 100.0);
+  std::fflush(stdout);
+
+  // --- 3. Fleet scoring: serial vs ThreadPool fan-out (same predictor).
+  core::ExperimentConfig cfg_score = cfg;
+  cfg_score.forest.tree.split_method = ml::SplitMethod::kHistogram;
+  cfg_score.num_threads = hw_threads;
+  std::vector<std::size_t> all_cols(fleet.num_features());
+  std::iota(all_cols.begin(), all_cols.end(), std::size_t{0});
+  const auto predictor =
+      core::train_predictor(fleet, all_cols, 0, phase.test_start - 1, cfg_score);
+
+  cfg_score.num_threads = 1;
+  util::Stopwatch sw;
+  const auto serial =
+      core::score_fleet(fleet, predictor, phase.test_start, phase.test_end, cfg_score);
+  const double score_serial_s = sw.seconds();
+
+  cfg_score.num_threads = hw_threads;
+  sw.reset();
+  const auto parallel =
+      core::score_fleet(fleet, predictor, phase.test_start, phase.test_end, cfg_score);
+  const double score_parallel_s = sw.seconds();
+  const double score_speedup =
+      score_parallel_s > 0.0 ? score_serial_s / score_parallel_s : 0.0;
+
+  bool identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = serial[i].drive_index == parallel[i].drive_index &&
+                serial[i].first_day == parallel[i].first_day &&
+                serial[i].scores == parallel[i].scores;
+  }
+  std::printf("score_fleet over %zu drives:\n  serial (1 thread):    %8.3f s\n"
+              "  parallel (%zu threads): %8.3f s   (speedup %.2fx, outputs %s)\n\n",
+              serial.size(), score_serial_s, hw_threads, score_parallel_s, score_speedup,
+              identical ? "identical" : "DIFFER");
+
+  // --- machine-readable summary.
+  {
+    std::ofstream js("BENCH_hotpath.json");
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof(buf),
+        "{\n"
+        "  \"model\": \"%s\",\n"
+        "  \"scale\": {\"drives\": %zu, \"days\": %d, \"trees\": %zu},\n"
+        "  \"fit\": {\"samples\": %zu, \"features\": %zu,\n"
+        "          \"exact_seconds\": %.4f, \"histogram_seconds\": %.4f,\n"
+        "          \"speedup\": %.3f},\n"
+        "  \"quality\": {\"target_recall\": %.3f, \"precision_exact\": %.5f,\n"
+        "              \"precision_histogram\": %.5f, \"precision_diff\": %.5f},\n"
+        "  \"score\": {\"drives\": %zu, \"threads\": %zu,\n"
+        "            \"serial_seconds\": %.4f, \"parallel_seconds\": %.4f,\n"
+        "            \"speedup\": %.3f, \"outputs_identical\": %s}\n"
+        "}\n",
+        model.c_str(), scale.total_drives, scale.num_days, scale.trees, ds.size(),
+        ds.num_features(), fit_exact_s, fit_hist_s, fit_speedup, target_recall, prec_exact,
+        prec_hist, prec_hist - prec_exact, serial.size(), hw_threads, score_serial_s,
+        score_parallel_s, score_speedup, identical ? "true" : "false");
+    js << buf;
+  }
+  std::printf("wrote BENCH_hotpath.json\n");
+  return identical ? 0 : 1;
+}

@@ -7,10 +7,19 @@
 
 #include "data/window_features.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace wefr::core {
 
 namespace {
+
+/// Forest options with the experiment-level thread knob applied when the
+/// forest's own knob is unset.
+ml::ForestOptions forest_options_for(const ExperimentConfig& cfg) {
+  ml::ForestOptions opt = cfg.forest;
+  if (opt.num_threads == 0) opt.num_threads = cfg.num_threads;
+  return opt;
+}
 
 data::SamplingOptions sampling_for(const ExperimentConfig& cfg, int day_lo, int day_hi,
                                    bool downsample) {
@@ -52,7 +61,7 @@ PredictorBundle train_bundle(const data::FleetData& fleet,
 
   PredictorBundle bundle;
   bundle.base_cols.assign(base_cols.begin(), base_cols.end());
-  bundle.forest.fit(train.x, train.y, cfg.forest, rng);
+  bundle.forest.fit(train.x, train.y, forest_options_for(cfg), rng);
   return bundle;
 }
 
@@ -107,7 +116,7 @@ WefrPredictor train_predictor(const data::FleetData& fleet, const WefrResult& se
       if (train.size() < 400 || train.num_positive() < 25) return std::nullopt;
       PredictorBundle bundle;
       bundle.base_cols = gs.selected;
-      bundle.forest.fit(train.x, train.y, cfg.forest, rng);
+      bundle.forest.fit(train.x, train.y, forest_options_for(cfg), rng);
       return bundle;
     } catch (const std::exception&) {
       return std::nullopt;
@@ -124,19 +133,29 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
                                         const WefrPredictor& predictor, int t0, int t1,
                                         const ExperimentConfig& cfg) {
   if (t0 > t1) throw std::invalid_argument("score_fleet: t0 > t1");
-  std::vector<DriveDayScores> out;
 
   const bool routed = predictor.wear_threshold.has_value() && predictor.mwi_col >= 0;
 
   int max_win = 1;
   for (int w : cfg.windows.windows) max_win = std::max(max_win, w);
 
+  // Collect drives with observations in [t0, t1] first so the parallel
+  // fan-out below writes each drive's scores into a fixed slot — output
+  // order (and every value) matches the sequential run.
+  std::vector<std::size_t> eligible;
   for (std::size_t di = 0; di < fleet.drives.size(); ++di) {
     const auto& drive = fleet.drives[di];
     if (drive.num_days() == 0) continue;
+    if (std::max(t0, drive.first_day) > std::min(t1, drive.last_day())) continue;
+    eligible.push_back(di);
+  }
+
+  std::vector<DriveDayScores> out(eligible.size());
+  auto score_drive = [&](std::size_t slot) {
+    const std::size_t di = eligible[slot];
+    const auto& drive = fleet.drives[di];
     const int lo = std::max(t0, drive.first_day);
     const int hi = std::min(t1, drive.last_day());
-    if (lo > hi) continue;
 
     // Slice to the scored range plus trailing-window history, then
     // expand once per needed bundle.
@@ -158,7 +177,7 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
     if (routed && predictor.low.has_value()) low_feats = expand_for(*predictor.low);
     if (routed && predictor.high.has_value()) high_feats = expand_for(*predictor.high);
 
-    DriveDayScores ds;
+    DriveDayScores& ds = out[slot];
     ds.drive_index = di;
     ds.first_day = lo;
     ds.scores.reserve(static_cast<std::size_t>(hi - lo + 1));
@@ -181,7 +200,13 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
       }
       ds.scores.push_back(score);
     }
-    out.push_back(std::move(ds));
+  };
+
+  if (cfg.num_threads > 1 && eligible.size() > 1) {
+    util::ThreadPool pool(cfg.num_threads);
+    pool.parallel_for(eligible.size(), score_drive);
+  } else {
+    for (std::size_t slot = 0; slot < eligible.size(); ++slot) score_drive(slot);
   }
   return out;
 }

@@ -27,6 +27,10 @@ struct ExperimentConfig {
   data::WindowFeatureConfig windows;
   bool expand_windows = true;
   std::uint64_t seed = 99;
+  /// Worker threads for fleet scoring (per-drive fan-out) and, when
+  /// `forest.num_threads` is left at 0, for forest fitting too.
+  /// 0 or 1 = sequential; results are identical either way.
+  std::size_t num_threads = 0;
 
   ExperimentConfig() {
     forest.num_trees = 100;
@@ -81,7 +85,9 @@ struct DriveDayScores {
 
 /// Scores every drive-day in [t0, t1] (drives without observations in
 /// the window are omitted). Routing between wear-group bundles happens
-/// per day on the drive's MWI_N value.
+/// per day on the drive's MWI_N value. Per-drive work is independent,
+/// so `cfg.num_threads > 1` fans drives out over a ThreadPool; output
+/// order and values are identical to the sequential run.
 std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
                                         const WefrPredictor& predictor, int t0, int t1,
                                         const ExperimentConfig& cfg);

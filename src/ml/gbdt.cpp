@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ml/quantize.h"
+
 namespace wefr::ml {
 
 namespace {
@@ -16,6 +18,23 @@ double structure_score(double g, double h, double lambda) {
 }
 
 }  // namespace
+
+/// Per-fit state shared by every round's tree build: gradients, the
+/// optional quantized codes, and scratch buffers hoisted out of the
+/// per-node hot path.
+struct Gbdt::BuildContext {
+  const data::Matrix& x;
+  const GbdtOptions& opt;
+  std::span<const double> grad;
+  std::span<const double> hess;
+  /// Non-null selects histogram split finding.
+  const QuantizedDataset* quantized = nullptr;
+
+  std::vector<std::pair<double, std::size_t>> sorted;  ///< exact: (value, row)
+  std::vector<double> bin_grad;                        ///< histogram: grad sum per bin
+  std::vector<double> bin_hess;                        ///< histogram: hess sum per bin
+  std::vector<std::size_t> bin_count;                  ///< histogram: rows per bin
+};
 
 double Gbdt::Tree::predict(std::span<const double> row) const {
   std::int32_t node = 0;
@@ -54,6 +73,24 @@ void Gbdt::fit(const data::Matrix& x, std::span<const int> y, const GbdtOptions&
   const std::size_t cols_per_tree = std::max<std::size_t>(
       1, static_cast<std::size_t>(opt.colsample * static_cast<double>(num_features_)));
 
+  // Quantize once per fit; all rounds share the codes (gradients change
+  // per round, bin memberships do not).
+  const bool histogram =
+      opt.split_method == SplitMethod::kHistogram ||
+      (opt.split_method == SplitMethod::kAuto && n >= opt.histogram_cutoff);
+  QuantizedDataset quantized;
+  if (histogram) quantized.build(x, opt.max_bins);
+
+  BuildContext ctx{x, opt, grad, hess, histogram ? &quantized : nullptr, {}, {}, {}, {}};
+  if (histogram) {
+    std::size_t most_bins = 0;
+    for (std::size_t f = 0; f < num_features_; ++f)
+      most_bins = std::max(most_bins, quantized.num_bins(f));
+    ctx.bin_grad.resize(most_bins);
+    ctx.bin_hess.resize(most_bins);
+    ctx.bin_count.resize(most_bins);
+  }
+
   for (std::size_t round = 0; round < opt.num_rounds; ++round) {
     for (std::size_t i = 0; i < n; ++i) {
       const double pr = sigmoid(score[i]);
@@ -82,7 +119,7 @@ void Gbdt::fit(const data::Matrix& x, std::span<const int> y, const GbdtOptions&
     }
 
     Tree tree;
-    build_node(x, grad, hess, idx, 0, idx.size(), 0, features, opt, tree);
+    build_node(ctx, idx, 0, idx.size(), 0, features, tree);
     // Apply shrinkage by scaling leaf weights once.
     for (auto& nd : tree.nodes) {
       if (nd.feature < 0) nd.weight *= opt.learning_rate;
@@ -92,11 +129,14 @@ void Gbdt::fit(const data::Matrix& x, std::span<const int> y, const GbdtOptions&
   }
 }
 
-std::int32_t Gbdt::build_node(const data::Matrix& x, std::span<const double> grad,
-                              std::span<const double> hess, std::vector<std::size_t>& idx,
+std::int32_t Gbdt::build_node(BuildContext& ctx, std::vector<std::size_t>& idx,
                               std::size_t begin, std::size_t end, int depth,
-                              std::span<const std::size_t> features, const GbdtOptions& opt,
-                              Tree& tree) {
+                              std::span<const std::size_t> features, Tree& tree) {
+  const data::Matrix& x = ctx.x;
+  const GbdtOptions& opt = ctx.opt;
+  std::span<const double> grad = ctx.grad;
+  std::span<const double> hess = ctx.hess;
+
   double g_sum = 0.0, h_sum = 0.0;
   for (std::size_t i = begin; i < end; ++i) {
     g_sum += grad[idx[i]];
@@ -114,30 +154,81 @@ std::int32_t Gbdt::build_node(const data::Matrix& x, std::span<const double> gra
   double best_gain = 0.0;
   std::size_t best_feature = 0;
   double best_threshold = 0.0;
-  std::vector<std::pair<double, std::size_t>> scratch;
-  scratch.reserve(end - begin);
 
-  for (std::size_t f : features) {
-    scratch.clear();
-    for (std::size_t i = begin; i < end; ++i) scratch.emplace_back(x(idx[i], f), idx[i]);
-    std::sort(scratch.begin(), scratch.end());
-    if (scratch.front().first == scratch.back().first) continue;
+  // Histogram search on large nodes; small nodes fall back to the exact
+  // sort (cheap there, and global bin edges are too coarse for them).
+  const bool use_histogram =
+      ctx.quantized != nullptr &&
+      (opt.exact_node_cutoff == 0 || end - begin >= opt.exact_node_cutoff);
+  if (use_histogram) {
+    const QuantizedDataset& q = *ctx.quantized;
+    for (std::size_t f : features) {
+      const std::size_t bins = q.num_bins(f);
+      if (bins < 2) continue;
+      const std::uint8_t* codes = q.codes(f).data();
+      std::fill(ctx.bin_grad.begin(), ctx.bin_grad.begin() + static_cast<std::ptrdiff_t>(bins),
+                0.0);
+      std::fill(ctx.bin_hess.begin(), ctx.bin_hess.begin() + static_cast<std::ptrdiff_t>(bins),
+                0.0);
+      std::fill(ctx.bin_count.begin(),
+                ctx.bin_count.begin() + static_cast<std::ptrdiff_t>(bins), 0);
+      for (std::size_t i = begin; i < end; ++i) {
+        const std::size_t row = idx[i];
+        const std::uint8_t b = codes[row];
+        ctx.bin_grad[b] += grad[row];
+        ctx.bin_hess[b] += hess[row];
+        ++ctx.bin_count[b];
+      }
+      // Boundaries between consecutive node-occupied bins, mirroring the
+      // CART histogram scan.
+      double gl = 0.0, hl = 0.0;
+      std::size_t prev = bins;
+      for (std::size_t b = 0; b < bins; ++b) {
+        if (ctx.bin_count[b] == 0) continue;
+        if (prev != bins) {
+          const double gr = g_sum - gl, hr = h_sum - hl;
+          if (hl >= opt.min_child_weight && hr >= opt.min_child_weight) {
+            const double gain =
+                0.5 * (structure_score(gl, hl, opt.reg_lambda) +
+                       structure_score(gr, hr, opt.reg_lambda) - parent_score) -
+                opt.gamma;
+            if (gain > best_gain) {
+              best_gain = gain;
+              best_feature = f;
+              best_threshold = q.threshold_between(f, prev, b);
+            }
+          }
+        }
+        gl += ctx.bin_grad[b];
+        hl += ctx.bin_hess[b];
+        prev = b;
+      }
+    }
+  } else {
+    auto& scratch = ctx.sorted;
+    scratch.reserve(end - begin);
+    for (std::size_t f : features) {
+      scratch.clear();
+      for (std::size_t i = begin; i < end; ++i) scratch.emplace_back(x(idx[i], f), idx[i]);
+      std::sort(scratch.begin(), scratch.end());
+      if (scratch.front().first == scratch.back().first) continue;
 
-    double gl = 0.0, hl = 0.0;
-    for (std::size_t i = 0; i + 1 < scratch.size(); ++i) {
-      gl += grad[scratch[i].second];
-      hl += hess[scratch[i].second];
-      if (scratch[i].first == scratch[i + 1].first) continue;
-      const double gr = g_sum - gl, hr = h_sum - hl;
-      if (hl < opt.min_child_weight || hr < opt.min_child_weight) continue;
-      const double gain = 0.5 * (structure_score(gl, hl, opt.reg_lambda) +
-                                 structure_score(gr, hr, opt.reg_lambda) - parent_score) -
-                          opt.gamma;
-      if (gain > best_gain) {
-        best_gain = gain;
-        best_feature = f;
-        best_threshold = scratch[i].first + (scratch[i + 1].first - scratch[i].first) / 2.0;
-        if (best_threshold >= scratch[i + 1].first) best_threshold = scratch[i].first;
+      double gl = 0.0, hl = 0.0;
+      for (std::size_t i = 0; i + 1 < scratch.size(); ++i) {
+        gl += grad[scratch[i].second];
+        hl += hess[scratch[i].second];
+        if (scratch[i].first == scratch[i + 1].first) continue;
+        const double gr = g_sum - gl, hr = h_sum - hl;
+        if (hl < opt.min_child_weight || hr < opt.min_child_weight) continue;
+        const double gain = 0.5 * (structure_score(gl, hl, opt.reg_lambda) +
+                                   structure_score(gr, hr, opt.reg_lambda) - parent_score) -
+                            opt.gamma;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = f;
+          best_threshold = scratch[i].first + (scratch[i + 1].first - scratch[i].first) / 2.0;
+          if (best_threshold >= scratch[i + 1].first) best_threshold = scratch[i].first;
+        }
       }
     }
   }
@@ -145,7 +236,8 @@ std::int32_t Gbdt::build_node(const data::Matrix& x, std::span<const double> gra
   if (best_gain <= 0.0) return me;
 
   const auto mid_it =
-      std::partition(idx.begin() + begin, idx.begin() + end,
+      std::partition(idx.begin() + static_cast<std::ptrdiff_t>(begin),
+                     idx.begin() + static_cast<std::ptrdiff_t>(end),
                      [&](std::size_t i) { return x(i, best_feature) <= best_threshold; });
   const std::size_t mid = static_cast<std::size_t>(mid_it - idx.begin());
   if (mid == begin || mid == end) return me;
@@ -155,11 +247,9 @@ std::int32_t Gbdt::build_node(const data::Matrix& x, std::span<const double> gra
 
   tree.nodes[me].feature = static_cast<std::int32_t>(best_feature);
   tree.nodes[me].threshold = best_threshold;
-  const std::int32_t left =
-      build_node(x, grad, hess, idx, begin, mid, depth + 1, features, opt, tree);
+  const std::int32_t left = build_node(ctx, idx, begin, mid, depth + 1, features, tree);
   tree.nodes[me].left = left;
-  const std::int32_t right =
-      build_node(x, grad, hess, idx, mid, end, depth + 1, features, opt, tree);
+  const std::int32_t right = build_node(ctx, idx, mid, end, depth + 1, features, tree);
   tree.nodes[me].right = right;
   return me;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/matrix.h"
+#include "ml/tree.h"
 #include "util/rng.h"
 
 namespace wefr::ml {
@@ -22,6 +23,17 @@ struct GbdtOptions {
   double subsample = 1.0;
   /// Feature subsample per tree in (0, 1]; 1 disables subsampling.
   double colsample = 1.0;
+  /// Split-search strategy, shared with the CART tree (ml::SplitMethod):
+  /// histogram accumulates per-bin gradient/hessian sums over codes
+  /// quantized once per fit instead of sorting each node.
+  SplitMethod split_method = SplitMethod::kAuto;
+  /// Histogram bin budget per feature (clamped to [2, 256]).
+  std::size_t max_bins = 256;
+  /// kAuto switches to histogram at this many training rows.
+  std::size_t histogram_cutoff = 2048;
+  /// In histogram mode, nodes with fewer rows than this fall back to the
+  /// exact sort-based search (see TreeOptions::exact_node_cutoff).
+  std::size_t exact_node_cutoff = 512;
 };
 
 /// Gradient-boosted decision trees for binary classification.
@@ -66,11 +78,13 @@ class Gbdt {
     double predict(std::span<const double> row) const;
   };
 
-  std::int32_t build_node(const data::Matrix& x, std::span<const double> grad,
-                          std::span<const double> hess, std::vector<std::size_t>& idx,
+  /// Buffers reused across every node and round of one fit (defined in
+  /// gbdt.cpp).
+  struct BuildContext;
+
+  std::int32_t build_node(BuildContext& ctx, std::vector<std::size_t>& idx,
                           std::size_t begin, std::size_t end, int depth,
-                          std::span<const std::size_t> features, const GbdtOptions& opt,
-                          Tree& tree);
+                          std::span<const std::size_t> features, Tree& tree);
 
   double raw_score(std::span<const double> row) const;
 

@@ -111,4 +111,20 @@ std::vector<PrPoint> pr_sweep(std::span<const double> scores, std::span<const in
   return out;
 }
 
+double auc(std::span<const double> scores, std::span<const int> labels) {
+  if (scores.size() != labels.size()) throw std::invalid_argument("auc: length mismatch");
+  std::size_t n_pos = 0;
+  for (int v : labels) n_pos += v != 0 ? 1 : 0;
+  const std::size_t n_neg = labels.size() - n_pos;
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+
+  const auto ranks = stats::fractional_ranks(scores);  // ascending, ties averaged
+  double rank_sum = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] != 0) rank_sum += ranks[i];
+  }
+  const double np = static_cast<double>(n_pos);
+  return (rank_sum - np * (np + 1.0) / 2.0) / (np * static_cast<double>(n_neg));
+}
+
 }  // namespace wefr::ml

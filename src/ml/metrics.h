@@ -51,4 +51,9 @@ struct PrPoint {
 /// thresholds, so recall is non-decreasing along the result).
 std::vector<PrPoint> pr_sweep(std::span<const double> scores, std::span<const int> labels);
 
+/// Area under the ROC curve via the rank-sum (Mann-Whitney) identity,
+/// ties handled by average ranks. Returns 0.5 when either class is
+/// empty.
+double auc(std::span<const double> scores, std::span<const int> labels);
+
 }  // namespace wefr::ml

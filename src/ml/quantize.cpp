@@ -1,0 +1,73 @@
+#include "ml/quantize.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wefr::ml {
+
+void QuantizedDataset::build(const data::Matrix& x, std::size_t max_bins) {
+  if (x.rows() == 0 || x.cols() == 0)
+    throw std::invalid_argument("QuantizedDataset::build: empty matrix");
+  max_bins = std::clamp<std::size_t>(max_bins, 2, 256);
+
+  rows_ = x.rows();
+  cols_ = x.cols();
+  codes_.assign(rows_ * cols_, 0);
+  lower_.assign(cols_, {});
+  upper_.assign(cols_, {});
+
+  std::vector<double> sorted(rows_);
+  for (std::size_t f = 0; f < cols_; ++f) {
+    for (std::size_t r = 0; r < rows_; ++r) sorted[r] = x(r, f);
+    std::sort(sorted.begin(), sorted.end());
+
+    auto& lo = lower_[f];
+    auto& hi = upper_[f];
+
+    std::size_t uniques = 1;
+    for (std::size_t r = 1; r < rows_; ++r) {
+      if (sorted[r] != sorted[r - 1]) ++uniques;
+    }
+
+    if (uniques <= max_bins) {
+      // One bin per distinct value: histogram splits reproduce the
+      // exact splitter bit-for-bit on this feature.
+      lo.reserve(uniques);
+      hi.reserve(uniques);
+      for (std::size_t r = 0; r < rows_; ++r) {
+        if (r == 0 || sorted[r] != sorted[r - 1]) {
+          lo.push_back(sorted[r]);
+          hi.push_back(sorted[r]);
+        }
+      }
+    } else {
+      // Equal-frequency bins: close a bin once it holds ~rows/max_bins
+      // values and the next value differs (ties never straddle bins).
+      const std::size_t target = (rows_ + max_bins - 1) / max_bins;
+      std::size_t bin_start = 0;
+      for (std::size_t r = 0; r < rows_; ++r) {
+        const bool last = r + 1 == rows_;
+        const bool boundary = !last && sorted[r] != sorted[r + 1];
+        const bool full = r + 1 - bin_start >= target;
+        const bool budget_left = lo.size() + 1 < max_bins;
+        if (last || (boundary && full && budget_left)) {
+          lo.push_back(sorted[bin_start]);
+          hi.push_back(sorted[r]);
+          bin_start = r + 1;
+        }
+      }
+      // Budget exhaustion folds the tail into the final bin above.
+    }
+
+    // Code every row by binary search over the bin upper edges.
+    std::uint8_t* col = codes_.data() + f * rows_;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double v = x(r, f);
+      const auto it = std::lower_bound(hi.begin(), hi.end(), v);
+      col[r] = static_cast<std::uint8_t>(it == hi.end() ? hi.size() - 1
+                                                        : static_cast<std::size_t>(it - hi.begin()));
+    }
+  }
+}
+
+}  // namespace wefr::ml

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "ml/quantize.h"
+
 namespace wefr::ml {
 
 void RandomForest::fit(const data::Matrix& x, std::span<const int> y, const ForestOptions& opt,
@@ -28,6 +30,15 @@ void RandomForest::fit(const data::Matrix& x, std::span<const int> y, const Fore
       std::max<std::size_t>(1, static_cast<std::size_t>(opt.bootstrap_fraction *
                                                         static_cast<double>(n)));
 
+  // Quantize once per fit and share across trees: bootstrap indices
+  // address the same rows, so the codes are tree-independent.
+  const bool histogram =
+      topt.split_method == SplitMethod::kHistogram ||
+      (topt.split_method == SplitMethod::kAuto && boot >= topt.histogram_cutoff);
+  QuantizedDataset quantized;
+  if (histogram) quantized.build(x, topt.max_bins);
+  const QuantizedDataset* q = histogram ? &quantized : nullptr;
+
   trees_.assign(opt.num_trees, DecisionTree{});
   inbag_.assign(opt.num_trees, {});
   // Pre-fork one stream per tree so threaded and sequential runs agree.
@@ -39,7 +50,7 @@ void RandomForest::fit(const data::Matrix& x, std::span<const int> y, const Fore
     util::Rng& local = streams[t];
     std::vector<std::size_t> idx(boot);
     for (auto& i : idx) i = local.uniform_index(n);
-    trees_[t].fit(x, y, idx, topt, local);
+    trees_[t].fit(x, y, idx, topt, local, q);
     // Record the in-bag set (sorted, unique) for OOB importance.
     std::sort(idx.begin(), idx.end());
     idx.erase(std::unique(idx.begin(), idx.end()), idx.end());
@@ -61,9 +72,24 @@ double RandomForest::predict_proba(std::span<const double> row) const {
   return sum / static_cast<double>(trees_.size());
 }
 
-std::vector<double> RandomForest::predict_proba(const data::Matrix& x) const {
+std::vector<double> RandomForest::predict_proba(const data::Matrix& x,
+                                                std::size_t num_threads) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest::predict_proba: not trained");
   std::vector<double> out(x.rows());
-  for (std::size_t r = 0; r < x.rows(); ++r) out[r] = predict_proba(x.row(r));
+  auto score_rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) out[r] = predict_proba(x.row(r));
+  };
+  if (num_threads > 1 && x.rows() > 1) {
+    // Block per task so each iteration amortizes the pool's dispatch.
+    const std::size_t block = 256;
+    const std::size_t num_blocks = (x.rows() + block - 1) / block;
+    util::ThreadPool pool(num_threads);
+    pool.parallel_for(num_blocks, [&](std::size_t b) {
+      score_rows(b * block, std::min(x.rows(), (b + 1) * block));
+    });
+  } else {
+    score_rows(0, x.rows());
+  }
   return out;
 }
 
@@ -84,7 +110,8 @@ std::vector<double> RandomForest::impurity_importance() const {
 
 std::vector<double> RandomForest::permutation_importance(const data::Matrix& x,
                                                          std::span<const int> y,
-                                                         util::Rng& rng, int repeats) const {
+                                                         util::Rng& rng, int repeats,
+                                                         std::size_t num_threads) const {
   if (trees_.empty())
     throw std::logic_error("RandomForest::permutation_importance: not trained");
   if (x.cols() != num_features_ || x.rows() != y.size())
@@ -100,17 +127,24 @@ std::vector<double> RandomForest::permutation_importance(const data::Matrix& x,
     return static_cast<double>(correct) / static_cast<double>(n);
   };
 
-  const double baseline = accuracy_of(predict_proba(x));
-  std::vector<double> imp(num_features_, 0.0);
-  std::vector<double> row(num_features_);
-  std::vector<std::size_t> perm(n);
+  const double baseline = accuracy_of(predict_proba(x, num_threads));
 
-  for (std::size_t f = 0; f < num_features_; ++f) {
+  // One stream per feature, pre-forked so the parallel fan-out below
+  // produces the same shuffles as a serial pass.
+  std::vector<util::Rng> streams;
+  streams.reserve(num_features_);
+  for (std::size_t f = 0; f < num_features_; ++f) streams.push_back(rng.fork());
+
+  std::vector<double> imp(num_features_, 0.0);
+  auto score_feature = [&](std::size_t f) {
+    util::Rng& local = streams[f];
+    std::vector<double> row(num_features_);
+    std::vector<double> probs(n);
+    std::vector<std::size_t> perm(n);
     double drop_sum = 0.0;
     for (int rep = 0; rep < repeats; ++rep) {
       for (std::size_t i = 0; i < n; ++i) perm[i] = i;
-      rng.shuffle(perm);
-      std::vector<double> probs(n);
+      local.shuffle(perm);
       for (std::size_t i = 0; i < n; ++i) {
         auto src = x.row(i);
         std::copy(src.begin(), src.end(), row.begin());
@@ -120,13 +154,21 @@ std::vector<double> RandomForest::permutation_importance(const data::Matrix& x,
       drop_sum += baseline - accuracy_of(probs);
     }
     imp[f] = std::max(0.0, drop_sum / static_cast<double>(repeats));
+  };
+
+  if (num_threads > 1 && num_features_ > 1) {
+    util::ThreadPool pool(num_threads);
+    pool.parallel_for(num_features_, score_feature);
+  } else {
+    for (std::size_t f = 0; f < num_features_; ++f) score_feature(f);
   }
   return imp;
 }
 
 std::vector<double> RandomForest::oob_permutation_importance(const data::Matrix& x,
                                                              std::span<const int> y,
-                                                             util::Rng& rng) const {
+                                                             util::Rng& rng,
+                                                             std::size_t num_threads) const {
   if (trees_.empty())
     throw std::logic_error("RandomForest::oob_permutation_importance: not trained");
   if (x.cols() != num_features_ || x.rows() != y.size())
@@ -135,45 +177,63 @@ std::vector<double> RandomForest::oob_permutation_importance(const data::Matrix&
     throw std::logic_error("oob_permutation_importance: no in-bag records (loaded forest?)");
 
   const std::size_t n = x.rows();
-  std::vector<double> imp(num_features_, 0.0);
-  std::vector<std::size_t> oob;
-  std::vector<double> row(num_features_);
-  std::size_t trees_with_oob = 0;
 
+  // OOB rows (complement of the sorted in-bag list) and baseline OOB
+  // accuracy per tree, computed once and shared by every feature.
+  std::vector<std::vector<std::size_t>> oob(trees_.size());
+  std::vector<double> base_acc(trees_.size(), 0.0);
+  std::size_t trees_with_oob = 0;
   for (std::size_t t = 0; t < trees_.size(); ++t) {
-    // OOB rows = complement of the sorted in-bag list.
-    oob.clear();
     const auto& inbag = inbag_[t];
     std::size_t k = 0;
     for (std::size_t i = 0; i < n; ++i) {
       while (k < inbag.size() && inbag[k] < i) ++k;
-      if (k >= inbag.size() || inbag[k] != i) oob.push_back(i);
+      if (k >= inbag.size() || inbag[k] != i) oob[t].push_back(i);
     }
-    if (oob.empty()) continue;
+    if (oob[t].empty()) continue;
     ++trees_with_oob;
-
-    std::size_t base_correct = 0;
-    for (std::size_t i : oob) {
-      base_correct += ((trees_[t].predict_proba(x.row(i)) >= 0.5 ? 1 : 0) == y[i]) ? 1 : 0;
+    std::size_t correct = 0;
+    for (std::size_t i : oob[t]) {
+      correct += ((trees_[t].predict_proba(x.row(i)) >= 0.5 ? 1 : 0) == y[i]) ? 1 : 0;
     }
-    const double base_acc =
-        static_cast<double>(base_correct) / static_cast<double>(oob.size());
+    base_acc[t] = static_cast<double>(correct) / static_cast<double>(oob[t].size());
+  }
 
-    // Permute each feature among the OOB rows only.
-    std::vector<std::size_t> perm(oob.size());
-    for (std::size_t f = 0; f < num_features_; ++f) {
-      for (std::size_t i = 0; i < oob.size(); ++i) perm[i] = oob[i];
-      rng.shuffle(perm);
+  std::vector<util::Rng> streams;
+  streams.reserve(num_features_);
+  for (std::size_t f = 0; f < num_features_; ++f) streams.push_back(rng.fork());
+
+  std::vector<double> imp(num_features_, 0.0);
+  auto score_feature = [&](std::size_t f) {
+    util::Rng& local = streams[f];
+    std::vector<double> row(num_features_);
+    std::vector<std::size_t> perm;
+    double drop_sum = 0.0;
+    for (std::size_t t = 0; t < trees_.size(); ++t) {
+      if (oob[t].empty()) continue;
+      perm.assign(oob[t].begin(), oob[t].end());
+      local.shuffle(perm);
       std::size_t correct = 0;
-      for (std::size_t i = 0; i < oob.size(); ++i) {
-        auto src = x.row(oob[i]);
+      for (std::size_t i = 0; i < oob[t].size(); ++i) {
+        auto src = x.row(oob[t][i]);
         std::copy(src.begin(), src.end(), row.begin());
         row[f] = x(perm[i], f);
-        correct += ((trees_[t].predict_proba(row) >= 0.5 ? 1 : 0) == y[oob[i]]) ? 1 : 0;
+        correct +=
+            ((trees_[t].predict_proba(row) >= 0.5 ? 1 : 0) == y[oob[t][i]]) ? 1 : 0;
       }
-      imp[f] += base_acc - static_cast<double>(correct) / static_cast<double>(oob.size());
+      drop_sum +=
+          base_acc[t] - static_cast<double>(correct) / static_cast<double>(oob[t].size());
     }
+    imp[f] = drop_sum;
+  };
+
+  if (num_threads > 1 && num_features_ > 1) {
+    util::ThreadPool pool(num_threads);
+    pool.parallel_for(num_features_, score_feature);
+  } else {
+    for (std::size_t f = 0; f < num_features_; ++f) score_feature(f);
   }
+
   if (trees_with_oob > 0) {
     for (double& v : imp) v = std::max(0.0, v / static_cast<double>(trees_with_oob));
   }

@@ -34,15 +34,19 @@ class RandomForest {
  public:
   /// Fits `opt.num_trees` trees on bootstrap resamples of (x, y).
   /// Deterministic for a given seed, including in threaded mode (each
-  /// tree gets its own pre-forked stream).
+  /// tree gets its own pre-forked stream). When histogram splitting is
+  /// in effect (see TreeOptions::split_method) the dataset is quantized
+  /// once here and shared read-only by every tree.
   void fit(const data::Matrix& x, std::span<const int> y, const ForestOptions& opt,
            util::Rng& rng);
 
   /// Mean positive-class probability across trees for a single row.
   double predict_proba(std::span<const double> row) const;
 
-  /// Probabilities for every row of `x`.
-  std::vector<double> predict_proba(const data::Matrix& x) const;
+  /// Probabilities for every row of `x`. `num_threads > 1` fans the rows
+  /// out over a ThreadPool; results are identical to the serial path.
+  std::vector<double> predict_proba(const data::Matrix& x,
+                                    std::size_t num_threads = 0) const;
 
   /// Normalized mean impurity-decrease importance (sums to 1 unless all
   /// zero). Length = number of training features.
@@ -51,19 +55,24 @@ class RandomForest {
   /// Permutation importance on an evaluation set: the decrease of
   /// accuracy (at the 0.5 probability cut) after shuffling each feature
   /// column, averaged over `repeats` shuffles. Negative values are
-  /// floored at 0.
+  /// floored at 0. Each feature draws from its own stream pre-forked
+  /// off `rng`, so results do not depend on `num_threads` (features fan
+  /// out over a ThreadPool when it is > 1).
   std::vector<double> permutation_importance(const data::Matrix& x, std::span<const int> y,
-                                             util::Rng& rng, int repeats = 1) const;
+                                             util::Rng& rng, int repeats = 1,
+                                             std::size_t num_threads = 0) const;
 
   /// Breiman's original out-of-bag permutation importance: for each
   /// tree, the accuracy drop on its own OOB samples after permuting a
   /// feature, averaged over trees. Requires the forest to have been fit
   /// on (x, y) with the same row order (OOB masks are recorded at fit
   /// time). More faithful to [Breiman 2001] than the evaluation-set
-  /// variant and needs no held-out data.
+  /// variant and needs no held-out data. Parallelizes over features
+  /// like permutation_importance (per-feature pre-forked streams, so
+  /// results do not depend on `num_threads`).
   std::vector<double> oob_permutation_importance(const data::Matrix& x,
-                                                 std::span<const int> y,
-                                                 util::Rng& rng) const;
+                                                 std::span<const int> y, util::Rng& rng,
+                                                 std::size_t num_threads = 0) const;
 
   /// Serializes the fitted forest to a line-oriented text format
   /// (version-tagged; raw doubles at full precision). Throws when not

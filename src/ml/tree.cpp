@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "ml/quantize.h"
+
 namespace wefr::ml {
 
 namespace {
@@ -26,10 +28,37 @@ struct SplitCandidate {
   std::size_t left_count = 0;
 };
 
-SplitCandidate best_split_for_feature(const data::Matrix& x, std::span<const int> y,
-                                      std::span<const std::size_t> idx, std::size_t feature,
-                                      std::size_t node_pos, const TreeOptions& opt,
-                                      std::vector<std::pair<double, int>>& scratch) {
+}  // namespace
+
+/// Everything one fit's recursion shares: the training data, the
+/// resolved options, and scratch buffers that would otherwise be
+/// reallocated at every node (candidate features, the exact splitter's
+/// sort scratch, the histogram accumulators).
+struct DecisionTree::BuildContext {
+  const data::Matrix& x;
+  std::span<const int> y;
+  const TreeOptions& opt;
+  util::Rng& rng;
+  std::size_t n_total = 0;
+  /// Non-null selects histogram split finding.
+  const QuantizedDataset* quantized = nullptr;
+
+  std::vector<std::size_t> features;
+  std::vector<std::pair<double, int>> sorted;  ///< exact: (value, label)
+  std::vector<std::size_t> bin_count;          ///< histogram: samples per bin
+  std::vector<std::size_t> bin_pos;            ///< histogram: positives per bin
+};
+
+namespace {
+
+SplitCandidate best_split_exact(const DecisionTree::BuildContext& ctx_const,
+                                std::vector<std::pair<double, int>>& scratch,
+                                std::span<const std::size_t> idx, std::size_t feature,
+                                std::size_t node_pos) {
+  const data::Matrix& x = ctx_const.x;
+  std::span<const int> y = ctx_const.y;
+  const TreeOptions& opt = ctx_const.opt;
+
   const std::size_t n = idx.size();
   scratch.clear();
   scratch.reserve(n);
@@ -66,18 +95,114 @@ SplitCandidate best_split_for_feature(const data::Matrix& x, std::span<const int
   return best;
 }
 
+SplitCandidate best_split_histogram(DecisionTree::BuildContext& ctx,
+                                    std::span<const std::size_t> idx, std::size_t feature,
+                                    std::size_t node_pos) {
+  const QuantizedDataset& q = *ctx.quantized;
+  const TreeOptions& opt = ctx.opt;
+  const std::size_t bins = q.num_bins(feature);
+
+  SplitCandidate best;
+  if (bins < 2) return best;  // constant feature
+
+  const std::uint8_t* codes = q.codes(feature).data();
+  auto& cnt = ctx.bin_count;
+  auto& pos = ctx.bin_pos;
+  std::fill(cnt.begin(), cnt.begin() + static_cast<std::ptrdiff_t>(bins), 0);
+  std::fill(pos.begin(), pos.begin() + static_cast<std::ptrdiff_t>(bins), 0);
+  for (std::size_t i : idx) {
+    const std::uint8_t b = codes[i];
+    ++cnt[b];
+    pos[b] += ctx.y[i] != 0 ? 1 : 0;
+  }
+
+  const std::size_t n = idx.size();
+  const double parent = gini(node_pos, n);
+  // Scan boundaries between consecutive *node-occupied* bins so the
+  // threshold is the midpoint of the node's adjacent raw values — the
+  // exact splitter's choice whenever bins hold single distinct values.
+  std::size_t n_left = 0, pos_left = 0;
+  std::size_t prev = bins;  // sentinel: no occupied bin seen yet
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (cnt[b] == 0) continue;
+    if (prev != bins) {
+      const std::size_t n_right = n - n_left;
+      if (n_left >= opt.min_samples_leaf && n_right >= opt.min_samples_leaf) {
+        const std::size_t pos_right = node_pos - pos_left;
+        const double child =
+            (static_cast<double>(n_left) * gini(pos_left, n_left) +
+             static_cast<double>(n_right) * gini(pos_right, n_right)) /
+            static_cast<double>(n);
+        const double decrease = parent - child;
+        if (decrease > best.impurity_decrease) {
+          best.valid = true;
+          best.impurity_decrease = decrease;
+          best.threshold = q.threshold_between(feature, prev, b);
+          best.left_count = n_left;
+        }
+      }
+    }
+    n_left += cnt[b];
+    pos_left += pos[b];
+    prev = b;
+  }
+  return best;
+}
+
 }  // namespace
 
 void DecisionTree::fit(const data::Matrix& x, std::span<const int> y,
                        std::span<const std::size_t> sample_idx, const TreeOptions& opt,
-                       util::Rng& rng) {
+                       util::Rng& rng, const QuantizedDataset* quantized) {
   if (x.rows() != y.size()) throw std::invalid_argument("DecisionTree::fit: shape mismatch");
   if (sample_idx.empty()) throw std::invalid_argument("DecisionTree::fit: no samples");
+
+  bool histogram = false;
+  switch (opt.split_method) {
+    case SplitMethod::kExact:
+      histogram = false;
+      break;
+    case SplitMethod::kHistogram:
+      histogram = true;
+      break;
+    case SplitMethod::kAuto:
+      histogram = quantized != nullptr || sample_idx.size() >= opt.histogram_cutoff;
+      break;
+  }
+
+  QuantizedDataset local;
+  const QuantizedDataset* q = nullptr;
+  if (histogram) {
+    if (quantized != nullptr) {
+      if (quantized->rows() != x.rows() || quantized->cols() != x.cols())
+        throw std::invalid_argument("DecisionTree::fit: quantized shape mismatch");
+      q = quantized;
+    } else {
+      local.build(x, opt.max_bins);
+      q = &local;
+    }
+  }
+
   nodes_.clear();
   importance_.assign(x.cols(), 0.0);
   std::vector<std::size_t> idx(sample_idx.begin(), sample_idx.end());
-  nodes_.reserve(idx.size() / std::max<std::size_t>(1, opt.min_samples_leaf));
-  build(x, y, idx, 0, idx.size(), 0, opt, rng, idx.size());
+  // Worst case: every leaf holds min_samples_leaf samples, so there are
+  // at most n/leaf leaves and 2*(n/leaf) - 1 nodes; the depth limit
+  // bounds the count independently at 2^(depth+1) - 1.
+  const std::size_t by_leaf =
+      2 * (idx.size() / std::max<std::size_t>(1, opt.min_samples_leaf)) + 1;
+  const std::size_t by_depth =
+      opt.max_depth < 30 ? (std::size_t{2} << opt.max_depth) - 1 : by_leaf;
+  nodes_.reserve(std::min(by_leaf, by_depth));
+
+  BuildContext ctx{x, y, opt, rng, idx.size(), q, {}, {}, {}, {}};
+  if (q != nullptr) {
+    std::size_t most_bins = 0;
+    for (std::size_t f = 0; f < x.cols(); ++f) most_bins = std::max(most_bins, q->num_bins(f));
+    ctx.bin_count.resize(most_bins);
+    ctx.bin_pos.resize(most_bins);
+  }
+  build(ctx, idx, 0, idx.size(), 0);
 }
 
 void DecisionTree::fit(const data::Matrix& x, std::span<const int> y, const TreeOptions& opt,
@@ -87,10 +212,12 @@ void DecisionTree::fit(const data::Matrix& x, std::span<const int> y, const Tree
   fit(x, y, idx, opt, rng);
 }
 
-std::int32_t DecisionTree::build(const data::Matrix& x, std::span<const int> y,
-                                 std::vector<std::size_t>& idx, std::size_t begin,
-                                 std::size_t end, int depth, const TreeOptions& opt,
-                                 util::Rng& rng, std::size_t n_total) {
+std::int32_t DecisionTree::build(BuildContext& ctx, std::vector<std::size_t>& idx,
+                                 std::size_t begin, std::size_t end, int depth) {
+  const data::Matrix& x = ctx.x;
+  std::span<const int> y = ctx.y;
+  const TreeOptions& opt = ctx.opt;
+
   const std::size_t n = end - begin;
   std::size_t node_pos = 0;
   for (std::size_t i = begin; i < end; ++i) node_pos += y[idx[i]] != 0 ? 1 : 0;
@@ -104,21 +231,28 @@ std::int32_t DecisionTree::build(const data::Matrix& x, std::span<const int> y,
   if (pure || depth >= opt.max_depth || n < opt.min_samples_split) return me;
 
   // Candidate features: all, or a per-node random subset (forest mode).
+  // `ctx.features` is only consumed before the recursive calls below, so
+  // one buffer serves the whole fit.
   const std::size_t nf = x.cols();
-  std::vector<std::size_t> features;
+  std::vector<std::size_t>& features = ctx.features;
   if (opt.max_features == 0 || opt.max_features >= nf) {
     features.resize(nf);
     std::iota(features.begin(), features.end(), 0);
   } else {
-    features = rng.sample_without_replacement(nf, opt.max_features);
+    ctx.rng.sample_without_replacement(nf, opt.max_features, features);
   }
 
   std::span<const std::size_t> node_idx(idx.data() + begin, n);
+  // Histogram search on large nodes; small nodes fall back to the exact
+  // sort (cheap there, and global bin edges are too coarse for them).
+  const bool use_histogram =
+      ctx.quantized != nullptr && (opt.exact_node_cutoff == 0 || n >= opt.exact_node_cutoff);
   SplitCandidate best;
   std::size_t best_feature = 0;
-  std::vector<std::pair<double, int>> scratch;
   for (std::size_t f : features) {
-    const auto cand = best_split_for_feature(x, y, node_idx, f, node_pos, opt, scratch);
+    const SplitCandidate cand =
+        use_histogram ? best_split_histogram(ctx, node_idx, f, node_pos)
+                      : best_split_exact(ctx, ctx.sorted, node_idx, f, node_pos);
     if (cand.valid && (!best.valid || cand.impurity_decrease > best.impurity_decrease)) {
       best = cand;
       best_feature = f;
@@ -128,19 +262,20 @@ std::int32_t DecisionTree::build(const data::Matrix& x, std::span<const int> y,
 
   // Partition [begin, end) by the chosen split.
   const auto mid_it = std::partition(
-      idx.begin() + begin, idx.begin() + end,
+      idx.begin() + static_cast<std::ptrdiff_t>(begin),
+      idx.begin() + static_cast<std::ptrdiff_t>(end),
       [&](std::size_t i) { return x(i, best_feature) <= best.threshold; });
   const std::size_t mid = static_cast<std::size_t>(mid_it - idx.begin());
   if (mid == begin || mid == end) return me;  // numeric edge case: degenerate partition
 
   importance_[best_feature] +=
-      best.impurity_decrease * static_cast<double>(n) / static_cast<double>(n_total);
+      best.impurity_decrease * static_cast<double>(n) / static_cast<double>(ctx.n_total);
 
   nodes_[me].feature = static_cast<std::int32_t>(best_feature);
   nodes_[me].threshold = best.threshold;
-  const std::int32_t left = build(x, y, idx, begin, mid, depth + 1, opt, rng, n_total);
+  const std::int32_t left = build(ctx, idx, begin, mid, depth + 1);
   nodes_[me].left = left;
-  const std::int32_t right = build(x, y, idx, mid, end, depth + 1, opt, rng, n_total);
+  const std::int32_t right = build(ctx, idx, mid, end, depth + 1);
   nodes_[me].right = right;
   return me;
 }

@@ -10,6 +10,20 @@
 
 namespace wefr::ml {
 
+class QuantizedDataset;
+
+/// How a tree searches for split thresholds.
+enum class SplitMethod {
+  /// Per fit, pick histogram when the sample count reaches
+  /// `TreeOptions::histogram_cutoff`, exact below it.
+  kAuto,
+  /// Sort every candidate feature's node values — O(F n log n) per node.
+  kExact,
+  /// Accumulate per-bin histograms over quantized codes — O(F (n + bins))
+  /// per node, no per-node sorting.
+  kHistogram,
+};
+
 /// Training controls for a single CART classification tree.
 struct TreeOptions {
   int max_depth = 13;             ///< paper setting for the RF predictor
@@ -18,19 +32,35 @@ struct TreeOptions {
   /// Number of features examined per split; 0 means all, otherwise a
   /// random subset of this size is drawn per node (used by the forest).
   std::size_t max_features = 0;
+  /// Split-search strategy; kAuto keeps small fits bit-identical to the
+  /// historical exact behaviour while large fits get histogram speed.
+  SplitMethod split_method = SplitMethod::kAuto;
+  /// Histogram bin budget per feature (clamped to [2, 256]).
+  std::size_t max_bins = 256;
+  /// kAuto switches to histogram at this many fit samples.
+  std::size_t histogram_cutoff = 2048;
+  /// In histogram mode, nodes with fewer samples than this fall back to
+  /// the exact sort-based search: sorting is cheap on small nodes and
+  /// recovers the fine-grained thresholds global bins cannot offer deep
+  /// in the tree. 0 disables the fallback.
+  std::size_t exact_node_cutoff = 512;
 };
 
 /// Binary CART classification tree (Gini impurity, axis-aligned splits,
-/// exact greedy split search). Produces calibrated leaf probabilities
-/// (positive-class fraction) and accumulates impurity-decrease feature
-/// importance during training.
+/// exact greedy or histogram split search). Produces calibrated leaf
+/// probabilities (positive-class fraction) and accumulates
+/// impurity-decrease feature importance during training.
 class DecisionTree {
  public:
   /// Fits the tree on rows `sample_idx` of `x` (indices may repeat — the
   /// forest passes bootstrap samples). `rng` is consumed only when
-  /// `opt.max_features > 0`.
+  /// `opt.max_features > 0`. When histogram splitting is in effect a
+  /// caller that already quantized `x` (the forest quantizes once and
+  /// shares across trees) passes it as `quantized`; otherwise the tree
+  /// quantizes locally.
   void fit(const data::Matrix& x, std::span<const int> y,
-           std::span<const std::size_t> sample_idx, const TreeOptions& opt, util::Rng& rng);
+           std::span<const std::size_t> sample_idx, const TreeOptions& opt, util::Rng& rng,
+           const QuantizedDataset* quantized = nullptr);
 
   /// Convenience fit over all rows.
   void fit(const data::Matrix& x, std::span<const int> y, const TreeOptions& opt,
@@ -55,6 +85,10 @@ class DecisionTree {
   /// malformed input.
   void load(std::istream& is);
 
+  /// Buffers reused across every node of one fit (defined in tree.cpp;
+  /// public so the file-local split helpers can name it).
+  struct BuildContext;
+
  private:
   struct Node {
     // Leaf when feature < 0.
@@ -66,10 +100,8 @@ class DecisionTree {
     std::int32_t depth = 0;
   };
 
-  std::int32_t build(const data::Matrix& x, std::span<const int> y,
-                     std::vector<std::size_t>& idx, std::size_t begin, std::size_t end,
-                     int depth, const TreeOptions& opt, util::Rng& rng,
-                     std::size_t n_total);
+  std::int32_t build(BuildContext& ctx, std::vector<std::size_t>& idx, std::size_t begin,
+                     std::size_t end, int depth);
 
   std::vector<Node> nodes_;
   std::vector<double> importance_;

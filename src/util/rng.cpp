@@ -136,16 +136,22 @@ double Rng::gamma(double shape, double scale) {
 }
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> out;
+  sample_without_replacement(n, k, out);
+  return out;
+}
+
+void Rng::sample_without_replacement(std::size_t n, std::size_t k,
+                                     std::vector<std::size_t>& out) {
   if (k > n) throw std::invalid_argument("Rng::sample_without_replacement: k > n");
   // Partial Fisher-Yates over an index vector; O(n) setup, fine for our sizes.
-  std::vector<std::size_t> idx(n);
-  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
   for (std::size_t i = 0; i < k; ++i) {
     std::size_t j = i + uniform_index(n - i);
-    std::swap(idx[i], idx[j]);
+    std::swap(out[i], out[j]);
   }
-  idx.resize(k);
-  return idx;
+  out.resize(k);
 }
 
 Rng Rng::fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }

@@ -71,6 +71,11 @@ class Rng {
   /// Samples `k` distinct indices from [0, n) without replacement.
   std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k);
 
+  /// Allocation-reusing variant: fills `out` with the sample (resized to
+  /// `k`). Draws the same stream as the returning overload.
+  void sample_without_replacement(std::size_t n, std::size_t k,
+                                  std::vector<std::size_t>& out);
+
   /// Forks a statistically independent child generator; used to give each
   /// worker thread or simulated drive its own stream.
   Rng fork();

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "data/matrix.h"
+#include "ml/metrics.h"
 #include "ml/random_forest.h"
 #include "util/rng.h"
 
@@ -229,6 +230,126 @@ TEST_P(ForestGapProperty, AccuracyScalesWithGap) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Gaps, ForestGapProperty, ::testing::Values(2.0, 4.0, 8.0));
+
+// ---------- histogram splitting / parallel inference ----------
+
+/// Coarse features (few distinct values) make the quantizer lossless,
+/// so the histogram forest must equal the exact forest bit-for-bit.
+void make_grid(std::size_t n, Matrix& x, std::vector<int>& y, util::Rng& rng) {
+  x = Matrix(n, 3);
+  y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int a = static_cast<int>(rng.uniform_index(10));
+    x(i, 0) = static_cast<double>(a);
+    x(i, 1) = static_cast<double>(rng.uniform_index(6));
+    x(i, 2) = static_cast<double>(rng.uniform_index(4));
+    y[i] = a >= 5 ? 1 : 0;
+  }
+}
+
+TEST(RandomForest, HistogramMatchesExactOnCoarseData) {
+  util::Rng data_rng(20);
+  Matrix x;
+  std::vector<int> y;
+  make_grid(600, x, y, data_rng);
+
+  ForestOptions exact = small_forest();
+  exact.tree.split_method = SplitMethod::kExact;
+  ForestOptions hist = small_forest();
+  hist.tree.split_method = SplitMethod::kHistogram;
+  RandomForest fe, fh;
+  util::Rng r1(11), r2(11);
+  fe.fit(x, y, exact, r1);
+  fh.fit(x, y, hist, r2);
+
+  std::stringstream se, sh;
+  fe.save(se);
+  fh.save(sh);
+  EXPECT_EQ(se.str(), sh.str());
+}
+
+TEST(RandomForest, HistogramCloseToExactOnContinuousData) {
+  util::Rng data_rng(21);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(3000, 4, x, y, data_rng, 2.0);
+
+  ForestOptions exact = small_forest();
+  exact.tree.split_method = SplitMethod::kExact;
+  ForestOptions hist = small_forest();
+  hist.tree.split_method = SplitMethod::kHistogram;
+  hist.tree.max_bins = 64;
+  RandomForest fe, fh;
+  util::Rng r1(13), r2(13);
+  fe.fit(x, y, exact, r1);
+  fh.fit(x, y, hist, r2);
+
+  const double auc_e = auc(fe.predict_proba(x), y);
+  const double auc_h = auc(fh.predict_proba(x), y);
+  EXPECT_GT(auc_h, 0.85);
+  EXPECT_NEAR(auc_e, auc_h, 0.02);
+}
+
+TEST(RandomForest, ParallelPredictMatchesSerial) {
+  util::Rng rng(22);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(700, 4, x, y, rng, 3.0);
+  RandomForest forest;
+  forest.fit(x, y, small_forest(), rng);
+  const auto serial = forest.predict_proba(x);
+  const auto parallel = forest.predict_proba(x, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    EXPECT_DOUBLE_EQ(serial[i], parallel[i]);
+}
+
+TEST(RandomForest, ParallelPermutationImportanceMatchesSerial) {
+  util::Rng rng(23);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(300, 5, x, y, rng, 4.0);
+  RandomForest forest;
+  forest.fit(x, y, small_forest(), rng);
+  util::Rng r1(31), r2(31);
+  const auto serial = forest.permutation_importance(x, y, r1, 2, 1);
+  const auto parallel = forest.permutation_importance(x, y, r2, 2, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t f = 0; f < serial.size(); ++f)
+    EXPECT_DOUBLE_EQ(serial[f], parallel[f]);
+}
+
+TEST(RandomForest, ParallelOobImportanceMatchesSerial) {
+  util::Rng rng(24);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(300, 5, x, y, rng, 4.0);
+  RandomForest forest;
+  forest.fit(x, y, small_forest(), rng);
+  util::Rng r1(37), r2(37);
+  const auto serial = forest.oob_permutation_importance(x, y, r1, 1);
+  const auto parallel = forest.oob_permutation_importance(x, y, r2, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t f = 0; f < serial.size(); ++f)
+    EXPECT_DOUBLE_EQ(serial[f], parallel[f]);
+}
+
+TEST(RandomForest, ThreadedHistogramFitMatchesSequential) {
+  util::Rng data_rng(25);
+  Matrix x;
+  std::vector<int> y;
+  make_grid(500, x, y, data_rng);
+  ForestOptions seq = small_forest();
+  seq.tree.split_method = SplitMethod::kHistogram;
+  ForestOptions par = seq;
+  par.num_threads = 4;
+  RandomForest fs, fp;
+  util::Rng r1(41), r2(41);
+  fs.fit(x, y, seq, r1);
+  fp.fit(x, y, par, r2);
+  for (std::size_t i = 0; i < 30; ++i)
+    EXPECT_DOUBLE_EQ(fs.predict_proba(x.row(i)), fp.predict_proba(x.row(i)));
+}
 
 }  // namespace
 }  // namespace wefr::ml

@@ -2,6 +2,7 @@
 
 #include "data/matrix.h"
 #include "ml/gbdt.h"
+#include "ml/metrics.h"
 #include "util/rng.h"
 
 namespace wefr::ml {
@@ -154,6 +155,58 @@ TEST(Gbdt, RejectsBadOptions) {
   opt.num_rounds = 0;
   EXPECT_THROW(model.fit(x, y, opt, rng), std::invalid_argument);
   EXPECT_THROW(model.predict_proba(x.row(0)), std::logic_error);
+}
+
+// ---------- histogram split search ----------
+
+TEST(Gbdt, HistogramLearnsSeparableData) {
+  util::Rng rng(10);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(500, 4, x, y, rng, 5.0);
+  GbdtOptions opt = small_gbdt();
+  opt.split_method = SplitMethod::kHistogram;
+  Gbdt model;
+  model.fit(x, y, opt, rng);
+  const auto probs = model.predict_proba(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    correct += ((probs[i] >= 0.5 ? 1 : 0) == y[i]) ? 1 : 0;
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(x.rows()), 0.97);
+}
+
+TEST(Gbdt, HistogramCloseToExactOnContinuousData) {
+  util::Rng data_rng(11);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(3000, 4, x, y, data_rng, 2.0);
+  GbdtOptions exact = small_gbdt();
+  exact.split_method = SplitMethod::kExact;
+  GbdtOptions hist = small_gbdt();
+  hist.split_method = SplitMethod::kHistogram;
+  hist.max_bins = 64;
+  Gbdt me, mh;
+  util::Rng r1(13), r2(13);
+  me.fit(x, y, exact, r1);
+  mh.fit(x, y, hist, r2);
+  const double auc_e = auc(me.predict_proba(x), y);
+  const double auc_h = auc(mh.predict_proba(x), y);
+  EXPECT_GT(auc_h, 0.85);
+  EXPECT_NEAR(auc_e, auc_h, 0.02);
+}
+
+TEST(Gbdt, HistogramImportanceFindsSignal) {
+  util::Rng rng(12);
+  Matrix x;
+  std::vector<int> y;
+  make_blobs(600, 5, x, y, rng, 5.0);
+  GbdtOptions opt = small_gbdt();
+  opt.split_method = SplitMethod::kHistogram;
+  Gbdt model;
+  model.fit(x, y, opt, rng);
+  const auto gain = model.gain_importance();
+  ASSERT_EQ(gain.size(), 5u);
+  for (std::size_t f = 1; f < 5; ++f) EXPECT_GT(gain[0], gain[f]);
 }
 
 }  // namespace

@@ -167,5 +167,48 @@ TEST(Pipeline, ScoreFleetRejectsBadWindow) {
   EXPECT_THROW(score_fleet(fleet, pred, 10, 5, light_cfg()), std::invalid_argument);
 }
 
+TEST(Pipeline, ParallelScoreFleetMatchesSerial) {
+  const auto& fleet = shared_fleet();
+  auto cfg = light_cfg();
+  const std::vector<std::size_t> cols = {0, 1, 2, 3};
+  const auto pred = train_predictor(fleet, cols, 0, 159, cfg);
+
+  cfg.num_threads = 1;
+  const auto serial = score_fleet(fleet, pred, 160, 219, cfg);
+  cfg.num_threads = 4;
+  const auto parallel = score_fleet(fleet, pred, 160, 219, cfg);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].drive_index, parallel[i].drive_index);
+    EXPECT_EQ(serial[i].first_day, parallel[i].first_day);
+    ASSERT_EQ(serial[i].scores.size(), parallel[i].scores.size());
+    for (std::size_t d = 0; d < serial[i].scores.size(); ++d)
+      EXPECT_DOUBLE_EQ(serial[i].scores[d], parallel[i].scores[d]);
+  }
+}
+
+TEST(Pipeline, ThreadedTrainingMatchesSerial) {
+  // ExperimentConfig::num_threads flows into the forest fit when
+  // forest.num_threads is 0; per-tree pre-forked streams keep the
+  // model identical either way.
+  const auto& fleet = shared_fleet();
+  auto serial_cfg = light_cfg();
+  serial_cfg.num_threads = 1;
+  auto par_cfg = light_cfg();
+  par_cfg.num_threads = 4;
+  const std::vector<std::size_t> cols = {0, 1, 2, 3, 4};
+  const auto ps = train_predictor(fleet, cols, 0, 159, serial_cfg);
+  const auto pp = train_predictor(fleet, cols, 0, 159, par_cfg);
+  const auto ss = score_fleet(fleet, ps, 200, 219, serial_cfg);
+  const auto sp = score_fleet(fleet, pp, 200, 219, par_cfg);
+  ASSERT_EQ(ss.size(), sp.size());
+  for (std::size_t i = 0; i < ss.size(); ++i) {
+    ASSERT_EQ(ss[i].scores.size(), sp[i].scores.size());
+    for (std::size_t d = 0; d < ss[i].scores.size(); ++d)
+      EXPECT_DOUBLE_EQ(ss[i].scores[d], sp[i].scores[d]);
+  }
+}
+
 }  // namespace
 }  // namespace wefr::core

@@ -229,6 +229,53 @@ TEST(ThreadPool, ManyTasksComplete) {
   EXPECT_EQ(count.load(), 500);
 }
 
+TEST(ThreadPool, ParallelForZeroIterationsIsNoop) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  EXPECT_NO_THROW(pool.parallel_for(0, [&](std::size_t) { calls.fetch_add(1); }));
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstErrorOnly) {
+  ThreadPool pool(4);
+  std::atomic<int> throws{0};
+  try {
+    pool.parallel_for(64, [&](std::size_t i) {
+      if (i % 8 == 0) {
+        throws.fetch_add(1);
+        throw std::runtime_error("iteration " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("iteration"), std::string::npos);
+  }
+  EXPECT_GE(throws.load(), 1);
+}
+
+TEST(ThreadPool, UsableAfterParallelForException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(8, [](std::size_t i) {
+        if (i == 2) throw std::logic_error("boom");
+      }),
+      std::logic_error);
+  // The pool must have drained the failed run and still accept work.
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  auto f = pool.submit([] { return 5; });
+  EXPECT_EQ(f.get(), 5);
+}
+
+TEST(ThreadPool, ParallelForManyMoreIterationsThanWorkers) {
+  ThreadPool pool(2);
+  const std::size_t n = 20000;
+  std::vector<std::atomic<std::uint8_t>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1u) << "index " << i;
+}
+
 // ---------- strings ----------
 
 TEST(Strings, SplitKeepsEmptyFields) {
