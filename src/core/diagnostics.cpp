@@ -1,0 +1,18 @@
+#include "core/diagnostics.h"
+
+#include <sstream>
+
+namespace wefr::core {
+
+std::string PipelineDiagnostics::summary() const {
+  if (events.empty()) return "clean";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) os << "; ";
+    os << events[i].stage << '/' << events[i].code;
+    if (!events[i].detail.empty()) os << ": " << events[i].detail;
+  }
+  return os.str();
+}
+
+}  // namespace wefr::core

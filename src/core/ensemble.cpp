@@ -1,5 +1,6 @@
 #include "core/ensemble.h"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "stats/descriptive.h"
@@ -11,24 +12,49 @@ namespace wefr::core {
 
 EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> rankers,
                              const data::Matrix& x, std::span<const int> y,
-                             const EnsembleOptions& opt) {
+                             const EnsembleOptions& opt, PipelineDiagnostics* diag) {
   if (rankers.empty()) throw std::invalid_argument("ensemble_rank: no rankers");
   if (x.rows() != y.size()) throw std::invalid_argument("ensemble_rank: shape mismatch");
 
   const std::size_t k = rankers.size();
   const std::size_t nf = x.cols();
+  const double neutral_rank = (static_cast<double>(nf) + 1.0) / 2.0;
 
   EnsembleResult out;
   out.ranker_names.resize(k);
   out.rankings.resize(k);
   out.scores.resize(k);
+  out.failed.assign(k, false);
+
+  // Collected per ranker inside the (possibly parallel) loop and folded
+  // into the diagnostics afterwards, so `diag` is never touched
+  // concurrently.
+  std::vector<std::string> failure_reason(k);
+  std::vector<std::size_t> sanitized(k, 0);
 
   auto run_one = [&](std::size_t i) {
     out.ranker_names[i] = rankers[i]->name();
-    out.scores[i] = rankers[i]->score(x, y);
-    if (out.scores[i].size() != nf)
-      throw std::runtime_error("ensemble_rank: ranker returned wrong score count");
-    out.rankings[i] = stats::ranking_from_scores(out.scores[i]);
+    try {
+      out.scores[i] = rankers[i]->score(x, y);
+      if (out.scores[i].size() != nf)
+        throw std::runtime_error("returned " + std::to_string(out.scores[i].size()) +
+                                 " scores for " + std::to_string(nf) + " features");
+      // Degenerate inputs can yield NaN/inf importances (zero-variance
+      // columns, vanishing denominators); zero them so the fractional
+      // ranking stays well ordered.
+      for (double& s : out.scores[i]) {
+        if (!std::isfinite(s)) {
+          s = 0.0;
+          ++sanitized[i];
+        }
+      }
+      out.rankings[i] = stats::ranking_from_scores(out.scores[i]);
+    } catch (const std::exception& e) {
+      out.failed[i] = true;
+      failure_reason[i] = e.what();
+      out.scores[i].assign(nf, 0.0);
+      out.rankings[i].assign(nf, neutral_rank);
+    }
   };
   if (opt.num_threads > 1 && k > 1) {
     util::ThreadPool pool(std::min(opt.num_threads, k));
@@ -37,23 +63,45 @@ EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> ran
     for (std::size_t i = 0; i < k; ++i) run_one(i);
   }
 
-  // Pairwise Kendall-tau distances and per-ranker mean distance D-bar.
+  for (std::size_t i = 0; i < k; ++i) {
+    out.sanitized_scores += sanitized[i];
+    if (out.failed[i] && diag != nullptr) {
+      ++diag->rankers_failed;
+      diag->note("ensemble", "ranker_failed",
+                 out.ranker_names[i] + ": " + failure_reason[i]);
+    }
+  }
+  if (out.sanitized_scores > 0 && diag != nullptr) {
+    diag->scores_sanitized += out.sanitized_scores;
+    diag->note("ensemble", "scores_sanitized",
+               std::to_string(out.sanitized_scores) + " non-finite importances -> 0");
+  }
+
+  std::vector<std::size_t> live;  // rankers that actually produced a ranking
+  for (std::size_t a = 0; a < k; ++a) {
+    if (!out.failed[a]) live.push_back(a);
+  }
+
+  // Pairwise Kendall-tau distances and per-ranker mean distance D-bar,
+  // over the live rankers only (a failed ranker's neutral ranking would
+  // otherwise drag the distance statistics).
   out.mean_distance.assign(k, 0.0);
-  if (k > 1) {
+  if (live.size() > 1) {
     std::vector<std::vector<double>> dist(k, std::vector<double>(k, 0.0));
-    for (std::size_t a = 0; a < k; ++a) {
-      for (std::size_t b = a + 1; b < k; ++b) {
+    for (std::size_t ia = 0; ia < live.size(); ++ia) {
+      for (std::size_t ib = ia + 1; ib < live.size(); ++ib) {
+        const std::size_t a = live[ia], b = live[ib];
         const double d = static_cast<double>(
             stats::kendall_tau_distance(out.rankings[a], out.rankings[b]));
         dist[a][b] = dist[b][a] = d;
       }
     }
-    for (std::size_t a = 0; a < k; ++a) {
+    for (std::size_t a : live) {
       double sum = 0.0;
-      for (std::size_t b = 0; b < k; ++b) {
+      for (std::size_t b : live) {
         if (b != a) sum += dist[a][b];
       }
-      out.mean_distance[a] = sum / static_cast<double>(k - 1);
+      out.mean_distance[a] = sum / static_cast<double>(live.size() - 1);
     }
   }
 
@@ -63,21 +111,32 @@ EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> ran
   // stddev: with k = 5 rankers the maximum sample-stddev z-score is
   // (k-1)/sqrt(k) = 1.79 < 1.96, i.e. the paper's rule could never fire.
   out.discarded.assign(k, false);
-  if (k > 2) {
-    const double m = stats::mean(out.mean_distance);
-    const double sd = stats::stddev(out.mean_distance);
+  for (std::size_t a = 0; a < k; ++a) out.discarded[a] = out.failed[a];
+  if (live.size() > 2) {
+    std::vector<double> live_dbar;
+    for (std::size_t a : live) live_dbar.push_back(out.mean_distance[a]);
+    const double m = stats::mean(live_dbar);
+    const double sd = stats::stddev(live_dbar);
     if (sd > 0.0) {
-      for (std::size_t a = 0; a < k; ++a) {
-        if (out.mean_distance[a] > m + opt.outlier_z * sd) out.discarded[a] = true;
+      for (std::size_t a : live) {
+        if (out.mean_distance[a] > m + opt.outlier_z * sd) {
+          out.discarded[a] = true;
+          if (diag != nullptr)
+            diag->note("ensemble", "ranker_outlier", out.ranker_names[a]);
+        }
       }
     }
-    // Guard: never discard everything.
+    // Guard: never discard every live ranking.
     bool any_kept = false;
-    for (std::size_t a = 0; a < k; ++a) any_kept = any_kept || !out.discarded[a];
-    if (!any_kept) out.discarded.assign(k, false);
+    for (std::size_t a : live) any_kept = any_kept || !out.discarded[a];
+    if (!any_kept) {
+      for (std::size_t a : live) out.discarded[a] = false;
+    }
   }
 
-  // Final ranking: mean of surviving rankings per feature.
+  // Final ranking: mean of surviving rankings per feature. When every
+  // ranker failed there is nothing to average — fall back to the
+  // neutral ranking (identity order), tagged in the diagnostics.
   out.final_ranking.assign(nf, 0.0);
   std::size_t kept = 0;
   for (std::size_t a = 0; a < k; ++a) {
@@ -85,7 +144,13 @@ EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> ran
     ++kept;
     for (std::size_t f = 0; f < nf; ++f) out.final_ranking[f] += out.rankings[a][f];
   }
-  for (std::size_t f = 0; f < nf; ++f) out.final_ranking[f] /= static_cast<double>(kept);
+  if (kept == 0) {
+    out.final_ranking.assign(nf, neutral_rank);
+    if (diag != nullptr)
+      diag->note("ensemble", "all_rankers_failed", "neutral final ranking");
+  } else {
+    for (std::size_t f = 0; f < nf; ++f) out.final_ranking[f] /= static_cast<double>(kept);
+  }
 
   // Most-important-first order (smaller mean rank first; ties by index).
   std::vector<double> neg(nf);

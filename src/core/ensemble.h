@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/diagnostics.h"
 #include "core/ranker.h"
 #include "data/matrix.h"
 
@@ -30,6 +31,12 @@ struct EnsembleResult {
   std::vector<double> mean_distance;
   /// True for rankers discarded as outliers.
   std::vector<bool> discarded;
+  /// True for rankers that threw on degenerate input (constant
+  /// features, single-class labels); they contribute a neutral ranking
+  /// and are excluded from the distance statistics and the average.
+  std::vector<bool> failed;
+  /// Count of non-finite ranker scores replaced by 0 before ranking.
+  std::size_t sanitized_scores = 0;
   /// Final ranking per feature: mean of the surviving rankings
   /// (smaller = more important).
   std::vector<double> final_ranking;
@@ -45,8 +52,14 @@ struct EnsembleResult {
 /// At least one ranking always survives: if the rule would discard all
 /// (impossible with a one-sided test, but guarded anyway) the pruning
 /// step is skipped.
+///
+/// Degraded inputs never throw past this function: a ranker that throws
+/// is recorded as failed (neutral ranking, excluded from the average),
+/// non-finite scores are zeroed, and when every ranker fails the final
+/// ranking is neutral. Each fallback is noted in `diag` when given.
 EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> rankers,
                              const data::Matrix& x, std::span<const int> y,
-                             const EnsembleOptions& opt = {});
+                             const EnsembleOptions& opt = {},
+                             PipelineDiagnostics* diag = nullptr);
 
 }  // namespace wefr::core

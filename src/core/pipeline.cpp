@@ -91,8 +91,12 @@ WefrPredictor train_predictor(const data::FleetData& fleet, const WefrResult& se
     return [&fleet, mwi, thr, want_low](std::size_t drive_index, int day) {
       const auto& drive = fleet.drives[drive_index];
       const std::size_t local = static_cast<std::size_t>(day - drive.first_day);
-      const bool is_low = drive.values(local, mwi) <= thr;
-      return is_low == want_low;
+      const double v = drive.values(local, mwi);
+      // A NaN wear indicator belongs to neither group (it would land in
+      // "high" via NaN <= thr == false); such days train only the
+      // whole-model bundle.
+      if (std::isnan(v)) return false;
+      return (v <= thr) == want_low;
     };
   };
 
@@ -131,7 +135,8 @@ WefrPredictor train_predictor(const data::FleetData& fleet, const WefrResult& se
 
 std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
                                         const WefrPredictor& predictor, int t0, int t1,
-                                        const ExperimentConfig& cfg) {
+                                        const ExperimentConfig& cfg,
+                                        PipelineDiagnostics* diag) {
   if (t0 > t1) throw std::invalid_argument("score_fleet: t0 > t1");
 
   const bool routed = predictor.wear_threshold.has_value() && predictor.mwi_col >= 0;
@@ -151,6 +156,9 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
   }
 
   std::vector<DriveDayScores> out(eligible.size());
+  // Per-slot tallies folded into `diag` after the (possibly parallel)
+  // loop, so the sink is never written concurrently.
+  std::vector<std::size_t> rerouted(eligible.size(), 0);
   auto score_drive = [&](std::size_t slot) {
     const std::size_t di = eligible[slot];
     const auto& drive = fleet.drives[di];
@@ -187,6 +195,13 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
       double score;
       if (routed) {
         const double mwi = sliced(local, static_cast<std::size_t>(predictor.mwi_col));
+        if (std::isnan(mwi)) {
+          // Unroutable wear indicator: score with the whole-model bundle
+          // rather than silently landing in the high-wear group.
+          ++rerouted[slot];
+          ds.scores.push_back(predictor.all.forest.predict_proba(all_feats.row(local)));
+          continue;
+        }
         const bool is_low = mwi <= *predictor.wear_threshold;
         if (is_low && predictor.low.has_value()) {
           score = predictor.low->forest.predict_proba(low_feats.row(local));
@@ -207,6 +222,15 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
     pool.parallel_for(eligible.size(), score_drive);
   } else {
     for (std::size_t slot = 0; slot < eligible.size(); ++slot) score_drive(slot);
+  }
+  if (diag != nullptr) {
+    std::size_t total_rerouted = 0;
+    for (std::size_t n : rerouted) total_rerouted += n;
+    if (total_rerouted > 0) {
+      diag->score_days_rerouted += total_rerouted;
+      diag->note("score", "days_rerouted_nan_mwi",
+                 std::to_string(total_rerouted) + " drive-days -> whole-model bundle");
+    }
   }
   return out;
 }

@@ -85,12 +85,16 @@ struct DriveDayScores {
 
 /// Scores every drive-day in [t0, t1] (drives without observations in
 /// the window are omitted). Routing between wear-group bundles happens
-/// per day on the drive's MWI_N value. Per-drive work is independent,
-/// so `cfg.num_threads > 1` fans drives out over a ThreadPool; output
-/// order and values are identical to the sequential run.
+/// per day on the drive's MWI_N value; a day whose MWI_N is NaN cannot
+/// be routed and scores against the whole-model bundle instead (tallied
+/// as `score_days_rerouted` in `diag` when given). Per-drive work is
+/// independent, so `cfg.num_threads > 1` fans drives out over a
+/// ThreadPool; output order and values are identical to the sequential
+/// run.
 std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
                                         const WefrPredictor& predictor, int t0, int t1,
-                                        const ExperimentConfig& cfg);
+                                        const ExperimentConfig& cfg,
+                                        PipelineDiagnostics* diag = nullptr);
 
 /// Drive-level evaluation result at one operating point.
 struct DriveLevelEval {

@@ -16,19 +16,25 @@ SurvivalCurve survival_vs_mwi(const data::FleetData& fleet, int as_of_day,
 
   // bucket lower edge -> (total, failed)
   std::map<int, std::pair<std::size_t, std::size_t>> buckets;
+  SurvivalCurve curve;
   for (const auto& drive : fleet.drives) {
     if (drive.first_day > as_of_day || drive.num_days() == 0) continue;
     const int last = std::min(as_of_day, drive.last_day());
     const std::size_t local = static_cast<std::size_t>(last - drive.first_day);
-    const int raw = static_cast<int>(
-        std::lround(drive.values(local, static_cast<std::size_t>(mwi_col))));
+    const double mwi_value = drive.values(local, static_cast<std::size_t>(mwi_col));
+    if (std::isnan(mwi_value)) {
+      // Unrepaired missing wear indicator: the drive cannot be placed
+      // on the curve (lround(NaN) is undefined behavior anyway).
+      ++curve.drives_skipped_nan;
+      continue;
+    }
+    const int raw = static_cast<int>(std::lround(mwi_value));
     const int v = raw / bucket_width * bucket_width;
     auto& [total, failed] = buckets[v];
     ++total;
     if (drive.failed() && drive.fail_day <= as_of_day) ++failed;
   }
 
-  SurvivalCurve curve;
   for (const auto& [v, counts] : buckets) {
     const auto [total, failed] = counts;
     if (total < min_count) continue;

@@ -17,6 +17,9 @@ struct SurvivalCurve {
   std::vector<double> mwi;           ///< distinct MWI_N values, ascending
   std::vector<double> rate;          ///< survival rate per value
   std::vector<std::size_t> total;    ///< drives per value
+  /// Drives excluded because their last-observed MWI_N was NaN
+  /// (unrepaired missing data) — a degraded-mode tally, not an error.
+  std::size_t drives_skipped_nan = 0;
 
   bool empty() const { return mwi.empty(); }
 };

@@ -6,6 +6,7 @@
 
 #include "changepoint/bayes_cpd.h"
 #include "core/auto_select.h"
+#include "core/diagnostics.h"
 #include "core/ensemble.h"
 #include "core/survival.h"
 #include "data/dataset.h"
@@ -46,6 +47,10 @@ struct GroupSelection {
   /// True when this group fell back to the whole-model selection
   /// because it had too few positives.
   bool fallback = false;
+  /// True when the sample population was too degenerate to rank at all
+  /// (empty, or single-class labels): the selection keeps every feature
+  /// and the reason is recorded in the PipelineDiagnostics.
+  bool degraded = false;
 };
 
 /// Full WEFR output for one drive model.
@@ -59,8 +64,16 @@ struct WefrResult {
 
 /// Runs the ensemble ranking + automated selection (Lines 1-8) on one
 /// sample population.
+///
+/// Total on degenerate populations: an empty or single-class sample set
+/// cannot be ranked, so the selection degrades to "keep every feature"
+/// with `degraded` set and the reason noted in `diag`. Passing a `diag`
+/// sink opts into full degraded-mode semantics; without one an empty
+/// sample set still throws std::invalid_argument (the historical
+/// strict contract for programmatic callers).
 GroupSelection select_features_for(const data::Dataset& samples, const WefrOptions& opt,
-                                   const std::string& label = "all");
+                                   const std::string& label = "all",
+                                   PipelineDiagnostics* diag = nullptr);
 
 /// Runs full WEFR (Algorithm 1). `train` must be a base-feature sample
 /// set (no window expansion) whose feature names match `fleet`'s; the
@@ -68,7 +81,14 @@ GroupSelection select_features_for(const data::Dataset& samples, const WefrOptio
 /// (no test-period leakage). When a significant change point exists and
 /// updating is enabled, samples are grouped by their MWI_N value on the
 /// sample day and features are re-selected per group.
+///
+/// Every stage is total on degenerate inputs (constant features,
+/// single-class labels, all-NaN wear indicators, populations too small
+/// for change-point detection): the affected stage substitutes a tagged
+/// fallback — neutral ranking, keep-everything selection, skipped
+/// wear-out split — and records it in `diag` when given.
 WefrResult run_wefr(const data::FleetData& fleet, const data::Dataset& train,
-                    int train_day_end, const WefrOptions& opt = {});
+                    int train_day_end, const WefrOptions& opt = {},
+                    PipelineDiagnostics* diag = nullptr);
 
 }  // namespace wefr::core

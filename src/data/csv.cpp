@@ -1,16 +1,28 @@
 #include "data/csv.h"
 
+#include <algorithm>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
+#include "data/preprocess.h"
 #include "util/strings.h"
 
 namespace wefr::data {
 
 namespace {
 constexpr int kMetaCols = 4;  // drive_id, day, failed, fail_day
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+bool is_nan_token(std::string_view s) {
+  if (s.size() != 3) return false;
+  auto lower = [](char c) { return static_cast<char>(c | 0x20); };
+  return lower(s[0]) == 'n' && lower(s[1]) == 'a' && lower(s[2]) == 'n';
 }
+}  // namespace
 
 void write_fleet_csv(const FleetData& fleet, std::ostream& os) {
   os << "drive_id,day,failed,fail_day";
@@ -34,20 +46,63 @@ void write_fleet_csv(const FleetData& fleet, const std::string& path) {
   if (!ofs) throw std::runtime_error("write_fleet_csv: write failed for " + path);
 }
 
-FleetData read_fleet_csv(std::istream& is, const std::string& model_name) {
+namespace {
+
+/// Shared parser behind every read_fleet_csv overload. In strict mode
+/// anomalies throw (identical messages to the historical parser); in
+/// the tolerant modes they are tallied into `rep` and the parse keeps
+/// going, so the function is total on arbitrary row corruption.
+FleetData parse_fleet_csv(std::istream& is, const std::string& model_name,
+                          const ReadOptions& opt, IngestReport& rep) {
+  const bool strict = opt.policy == ParsePolicy::kStrict;
+  const bool skip_drive = opt.policy == ParsePolicy::kSkipDrive;
+
   FleetData fleet;
   fleet.model_name = model_name;
 
+  auto tally = [&rep](RowError e) {
+    ++rep.error_counts[static_cast<std::size_t>(e)];
+  };
+  auto fatal = [&](RowError e, const std::string& msg) -> FleetData {
+    if (strict) throw std::runtime_error(msg);
+    tally(e);
+    rep.fatal = true;
+    rep.fatal_detail = msg;
+    { FleetData empty; empty.model_name = model_name; return empty; }
+  };
+
   std::string line;
-  if (!std::getline(is, line)) throw std::runtime_error("read_fleet_csv: empty input");
+  if (!std::getline(is, line))
+    return fatal(RowError::kEmptyInput, "read_fleet_csv: empty input");
   auto header = util::split(util::trim(line), ',');
   if (header.size() < kMetaCols + 1)
-    throw std::runtime_error("read_fleet_csv: header too short");
+    return fatal(RowError::kBadHeader, "read_fleet_csv: header too short");
   if (header[0] != "drive_id" || header[1] != "day" || header[2] != "failed" ||
       header[3] != "fail_day")
-    throw std::runtime_error("read_fleet_csv: unexpected header");
+    return fatal(RowError::kBadHeader, "read_fleet_csv: unexpected header");
   fleet.feature_names.assign(header.begin() + kMetaCols, header.end());
   const std::size_t nf = fleet.feature_names.size();
+
+  std::unordered_set<std::string> seen_ids;      // every drive id started
+  std::unordered_set<std::string> poisoned_ids;  // kSkipDrive casualties
+  std::unordered_set<std::string> flagged_ids;   // ids in quarantined_drive_ids
+  std::vector<std::size_t> ok_rows_per_drive;    // parallel to fleet.drives
+
+  auto flag_drive = [&](const std::string& id) {
+    if (id.empty() || flagged_ids.count(id) > 0) return;
+    flagged_ids.insert(id);
+    if (rep.quarantined_drive_ids.size() < opt.max_quarantined_ids)
+      rep.quarantined_drive_ids.push_back(id);
+  };
+
+  /// Quarantines one row; in kSkipDrive mode the whole drive goes with
+  /// it (rows already parsed are reclaimed during the final sweep).
+  auto quarantine_row = [&](RowError e, const std::string& id) {
+    tally(e);
+    ++rep.rows_quarantined;
+    flag_drive(id);
+    if (skip_drive && !id.empty()) poisoned_ids.insert(id);
+  };
 
   DriveSeries* current = nullptr;
   int max_day = -1;
@@ -56,47 +111,182 @@ FleetData read_fleet_csv(std::istream& is, const std::string& model_name) {
     ++line_no;
     const auto trimmed = util::trim(line);
     if (trimmed.empty()) continue;
+    ++rep.rows_total;
     auto fields = util::split(trimmed, ',');
-    if (fields.size() != kMetaCols + nf)
-      throw std::runtime_error("read_fleet_csv: wrong field count at line " +
-                               std::to_string(line_no));
-    const std::string& id = fields[0];
+    const std::string row_id = fields.empty() ? std::string() : fields[0];
+
+    if (!row_id.empty() && poisoned_ids.count(row_id) > 0) {
+      ++rep.rows_quarantined;  // rest of an already-poisoned drive
+      continue;
+    }
+    if (fields.size() != kMetaCols + nf) {
+      if (strict)
+        throw std::runtime_error("read_fleet_csv: wrong field count at line " +
+                                 std::to_string(line_no));
+      quarantine_row(RowError::kWrongFieldCount, row_id);
+      continue;
+    }
     double day_d, failed_d, fail_day_d;
-    if (!util::parse_double(fields[1], day_d) || !util::parse_double(fields[2], failed_d))
-      throw std::runtime_error("read_fleet_csv: bad day/failed at line " +
-                               std::to_string(line_no));
     // fail_day may be -1 for healthy drives.
-    if (!util::parse_double(fields[3], fail_day_d))
-      throw std::runtime_error("read_fleet_csv: bad fail_day at line " + std::to_string(line_no));
+    if (!util::parse_double(fields[1], day_d) || !util::parse_double(fields[2], failed_d) ||
+        !util::parse_double(fields[3], fail_day_d)) {
+      if (strict)
+        throw std::runtime_error("read_fleet_csv: bad day/failed/fail_day at line " +
+                                 std::to_string(line_no));
+      quarantine_row(RowError::kBadMetaField, row_id);
+      continue;
+    }
     const int day = static_cast<int>(day_d);
 
-    if (current == nullptr || current->drive_id != id) {
+    if (current == nullptr || current->drive_id != row_id) {
+      if (seen_ids.count(row_id) > 0) {
+        // A drive restarting after other drives: its rows are no longer
+        // contiguous, so its series cannot be trusted.
+        if (strict)
+          throw std::runtime_error("read_fleet_csv: drive " + row_id +
+                                   " reappears at line " + std::to_string(line_no));
+        quarantine_row(RowError::kReappearingDrive, row_id);
+        continue;
+      }
+      seen_ids.insert(row_id);
       fleet.drives.emplace_back();
+      ok_rows_per_drive.push_back(0);
       current = &fleet.drives.back();
-      current->drive_id = id;
+      current->drive_id = row_id;
       current->first_day = day;
       current->fail_day = static_cast<int>(fail_day_d);
       current->values = Matrix(0, nf);
     } else if (day != current->last_day() + 1) {
-      throw std::runtime_error("read_fleet_csv: non-contiguous days for drive " + id +
-                               " at line " + std::to_string(line_no));
+      if (strict)
+        throw std::runtime_error("read_fleet_csv: non-contiguous days for drive " +
+                                 row_id + " at line " + std::to_string(line_no));
+      const int gap = day - current->last_day() - 1;
+      if (gap > 0 && gap <= opt.max_gap_days) {
+        // A short observation gap: bridge it with all-NaN days so the
+        // series stays contiguous; forward_fill repairs them later.
+        const std::vector<double> nan_row(nf, kNaN);
+        for (int g = 0; g < gap; ++g) current->values.push_row(nan_row);
+        rep.gap_days_bridged += static_cast<std::size_t>(gap);
+      } else {
+        // Duplicate, out-of-order, or an implausibly large jump.
+        quarantine_row(RowError::kNonContiguousDay, row_id);
+        if (poisoned_ids.count(row_id) > 0) current = nullptr;
+        continue;
+      }
     }
+
     std::vector<double> row(nf);
     for (std::size_t i = 0; i < nf; ++i) {
-      if (!util::parse_double(fields[kMetaCols + i], row[i]))
-        throw std::runtime_error("read_fleet_csv: bad value at line " + std::to_string(line_no));
+      const std::string_view field = util::trim(fields[kMetaCols + i]);
+      if (util::parse_double(field, row[i])) continue;
+      if (strict) {
+        throw std::runtime_error("read_fleet_csv: bad value at line " +
+                                 std::to_string(line_no));
+      }
+      // Cell-level recovery: the row survives with a NaN hole.
+      row[i] = kNaN;
+      ++rep.cells_recovered;
+      tally(field.empty() || is_nan_token(field) ? RowError::kMissingValue
+                                                 : RowError::kBadValue);
     }
     current->values.push_row(row);
+    ++rep.rows_ok;
+    ++ok_rows_per_drive[fleet.drives.size() - 1];
     max_day = std::max(max_day, day);
   }
+
+  if (is.bad()) {
+    if (strict) throw std::runtime_error("read_fleet_csv: stream read failed");
+    tally(RowError::kIoFailure);
+  }
+
+  // Final sweep: drop poisoned drives (kSkipDrive) and reclaim their
+  // already-accepted rows into the quarantine tallies.
+  if (!poisoned_ids.empty()) {
+    std::vector<DriveSeries> kept;
+    kept.reserve(fleet.drives.size());
+    for (std::size_t i = 0; i < fleet.drives.size(); ++i) {
+      if (poisoned_ids.count(fleet.drives[i].drive_id) > 0) {
+        rep.rows_ok -= ok_rows_per_drive[i];
+        rep.rows_quarantined += ok_rows_per_drive[i];
+        ++rep.drives_quarantined;
+      } else {
+        kept.push_back(std::move(fleet.drives[i]));
+      }
+    }
+    fleet.drives = std::move(kept);
+    max_day = -1;
+    for (const auto& d : fleet.drives)
+      if (d.num_days() > 0) max_day = std::max(max_day, d.last_day());
+  }
+
   fleet.num_days = max_day + 1;
   return fleet;
+}
+
+}  // namespace
+
+FleetData read_fleet_csv(std::istream& is, const std::string& model_name,
+                         const ReadOptions& opt, IngestReport* report) {
+  IngestReport local;
+  IngestReport& rep = report != nullptr ? *report : local;
+  rep = IngestReport{};
+  return parse_fleet_csv(is, model_name, opt, rep);
+}
+
+FleetData read_fleet_csv(std::istream& is, const std::string& model_name) {
+  return read_fleet_csv(is, model_name, ReadOptions{});
+}
+
+FleetData read_fleet_csv(const std::string& path, const std::string& model_name,
+                         const ReadOptions& opt, IngestReport* report) {
+  IngestReport local;
+  IngestReport& rep = report != nullptr ? *report : local;
+
+  const std::size_t attempts = std::max<std::size_t>(1, opt.max_io_attempts);
+  std::string open_error;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) ++rep.io_retries;
+    std::ifstream ifs(path);
+    if (!ifs) {
+      open_error = "read_fleet_csv: cannot open " + path;
+      continue;
+    }
+    IngestReport pass;
+    pass.io_retries = rep.io_retries;
+    FleetData fleet = parse_fleet_csv(ifs, model_name, opt, pass);
+    // A stream that went bad mid-read is a transient fault worth another
+    // attempt (tolerant modes only; strict throws inside the parser).
+    if (pass.errors(RowError::kIoFailure) > 0 && attempt + 1 < attempts) {
+      rep.io_retries = pass.io_retries;
+      continue;
+    }
+    rep = pass;
+    return fleet;
+  }
+
+  if (opt.policy == ParsePolicy::kStrict)
+    throw std::runtime_error(open_error + " after " + std::to_string(attempts) +
+                             " attempts");
+  ++rep.error_counts[static_cast<std::size_t>(RowError::kIoFailure)];
+  rep.fatal = true;
+  rep.fatal_detail = open_error;
+  { FleetData empty; empty.model_name = model_name; return empty; }
 }
 
 FleetData read_fleet_csv(const std::string& path, const std::string& model_name) {
   std::ifstream ifs(path);
   if (!ifs) throw std::runtime_error("read_fleet_csv: cannot open " + path);
   return read_fleet_csv(ifs, model_name);
+}
+
+FleetData load_fleet_csv(const std::string& path, const std::string& model_name,
+                         const ReadOptions& opt, IngestReport* report) {
+  IngestReport local;
+  IngestReport& rep = report != nullptr ? *report : local;
+  FleetData fleet = read_fleet_csv(path, model_name, opt, &rep);
+  if (!rep.fatal) forward_fill(fleet, 0.0, &rep.fill);
+  return fleet;
 }
 
 }  // namespace wefr::data

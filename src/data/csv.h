@@ -4,6 +4,7 @@
 #include <string>
 
 #include "data/fleet.h"
+#include "data/ingest.h"
 
 namespace wefr::data {
 
@@ -12,7 +13,9 @@ namespace wefr::data {
 ///   drive_id, day, failed_within_dataset, fail_day, <feature...>
 ///
 /// The format round-trips exactly through write/read (modulo double
-/// formatting at 17 significant digits).
+/// formatting at 17 significant digits). NaN cells serialize as "nan";
+/// reading those back requires ParsePolicy::kRecover (strict mode only
+/// accepts finite values).
 void write_fleet_csv(const FleetData& fleet, std::ostream& os);
 void write_fleet_csv(const FleetData& fleet, const std::string& path);
 
@@ -21,5 +24,30 @@ void write_fleet_csv(const FleetData& fleet, const std::string& path);
 /// std::runtime_error on malformed input.
 FleetData read_fleet_csv(std::istream& is, const std::string& model_name);
 FleetData read_fleet_csv(const std::string& path, const std::string& model_name);
+
+/// Policy-aware parse. Under ParsePolicy::kStrict this behaves exactly
+/// like the two-argument overloads. Under kRecover / kSkipDrive it is
+/// total on arbitrary row-level corruption: malformed rows (or, for
+/// kSkipDrive, their whole drives) are quarantined and tallied into
+/// `report`, unparseable feature cells become NaN, and unusable input
+/// (no header) yields an empty fleet with `report->fatal` set instead
+/// of a throw. `report` may be null when the caller only wants the
+/// tolerant behavior.
+FleetData read_fleet_csv(std::istream& is, const std::string& model_name,
+                         const ReadOptions& opt, IngestReport* report = nullptr);
+
+/// Path variant with bounded-retry I/O: opening or reading the file is
+/// attempted up to `opt.max_io_attempts` times before the failure is
+/// reported (thrown in strict mode; `report->fatal` otherwise).
+/// Retries performed are counted in `report->io_retries`.
+FleetData read_fleet_csv(const std::string& path, const std::string& model_name,
+                         const ReadOptions& opt, IngestReport* report = nullptr);
+
+/// Convenience one-call ingestion: policy-aware read (with retry I/O)
+/// followed by forward_fill of the surviving fleet; the fill counters
+/// land in `report->fill`. This is the entry point production loaders
+/// should use on real, noisy SMART dumps.
+FleetData load_fleet_csv(const std::string& path, const std::string& model_name,
+                         const ReadOptions& opt, IngestReport* report = nullptr);
 
 }  // namespace wefr::data

@@ -1,0 +1,53 @@
+#include "data/ingest.h"
+
+#include <sstream>
+
+namespace wefr::data {
+
+const char* to_string(RowError e) {
+  switch (e) {
+    case RowError::kEmptyInput: return "empty_input";
+    case RowError::kBadHeader: return "bad_header";
+    case RowError::kWrongFieldCount: return "wrong_field_count";
+    case RowError::kBadMetaField: return "bad_meta_field";
+    case RowError::kBadValue: return "bad_value";
+    case RowError::kMissingValue: return "missing_value";
+    case RowError::kNonContiguousDay: return "non_contiguous_day";
+    case RowError::kReappearingDrive: return "reappearing_drive";
+    case RowError::kIoFailure: return "io_failure";
+    case RowError::kCount: break;
+  }
+  return "unknown";
+}
+
+std::string IngestReport::summary() const {
+  std::ostringstream os;
+  if (fatal) {
+    os << "FATAL: " << fatal_detail;
+    return os.str();
+  }
+  os << "rows " << rows_ok << '/' << rows_total << " ok";
+  if (rows_quarantined > 0) os << ", " << rows_quarantined << " quarantined";
+  if (drives_quarantined > 0) os << ", " << drives_quarantined << " drives dropped";
+  if (cells_recovered > 0) os << ", " << cells_recovered << " cells -> NaN";
+  if (gap_days_bridged > 0) os << ", " << gap_days_bridged << " gap days bridged";
+  if (io_retries > 0) os << ", " << io_retries << " I/O retries";
+  bool first = true;
+  for (std::size_t i = 0; i < error_counts.size(); ++i) {
+    if (error_counts[i] == 0) continue;
+    os << (first ? " (" : ", ") << to_string(static_cast<RowError>(i)) << " x"
+       << error_counts[i];
+    first = false;
+  }
+  if (!first) os << ')';
+  if (fill.cells_filled > 0 || fill.all_nan_columns > 0) {
+    os << "; fill: " << fill.cells_filled << " cells ("
+       << fill.leading_backfilled << " leading), " << fill.all_nan_columns
+       << " all-NaN columns";
+    if (fill.cells_left_missing > 0)
+      os << ", " << fill.cells_left_missing << " left missing";
+  }
+  return os.str();
+}
+
+}  // namespace wefr::data

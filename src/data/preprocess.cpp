@@ -7,27 +7,43 @@
 
 namespace wefr::data {
 
-std::size_t forward_fill(DriveSeries& drive, double fallback) {
+std::size_t forward_fill(DriveSeries& drive, double fallback, FillStats* stats) {
   std::size_t filled = 0;
   const std::size_t days = drive.values.rows();
   const std::size_t nf = drive.values.cols();
   for (std::size_t f = 0; f < nf; ++f) {
     // Find the first observed value for leading-NaN backfill.
-    double first_value = fallback;
-    bool any = false;
+    std::size_t first_obs = days;
     for (std::size_t d = 0; d < days; ++d) {
       if (!std::isnan(drive.values(d, f))) {
-        first_value = drive.values(d, f);
-        any = true;
+        first_obs = d;
         break;
       }
     }
-    double last = any ? first_value : fallback;
+    if (first_obs == days) {
+      // No observation at all. A NaN fallback leaves the column missing
+      // and fills nothing — the returned count must agree with the
+      // change in count_missing(), so these cells are never counted.
+      if (stats != nullptr && days > 0) ++stats->all_nan_columns;
+      if (std::isnan(fallback)) {
+        if (stats != nullptr) stats->cells_left_missing += days;
+      } else {
+        for (std::size_t d = 0; d < days; ++d) drive.values(d, f) = fallback;
+        filled += days;
+        if (stats != nullptr) stats->cells_filled += days;
+      }
+      continue;
+    }
+    double last = drive.values(first_obs, f);
     for (std::size_t d = 0; d < days; ++d) {
       double& cell = drive.values(d, f);
       if (std::isnan(cell)) {
-        cell = last;
+        cell = last;  // before first_obs this backfills the first value
         ++filled;
+        if (stats != nullptr) {
+          ++stats->cells_filled;
+          if (d < first_obs) ++stats->leading_backfilled;
+        }
       } else {
         last = cell;
       }
@@ -36,9 +52,9 @@ std::size_t forward_fill(DriveSeries& drive, double fallback) {
   return filled;
 }
 
-std::size_t forward_fill(FleetData& fleet, double fallback) {
+std::size_t forward_fill(FleetData& fleet, double fallback, FillStats* stats) {
   std::size_t filled = 0;
-  for (auto& drive : fleet.drives) filled += forward_fill(drive, fallback);
+  for (auto& drive : fleet.drives) filled += forward_fill(drive, fallback, stats);
   return filled;
 }
 

@@ -6,6 +6,7 @@
 
 #include "data/dataset.h"
 #include "data/fleet.h"
+#include "data/ingest.h"
 #include "data/matrix.h"
 
 namespace wefr::data {
@@ -15,11 +16,18 @@ namespace wefr::data {
 
 /// Per-drive forward fill: each NaN takes the most recent non-NaN value
 /// of the same feature; leading NaNs take the first observed value;
-/// all-NaN columns become `fallback`. Returns the number of cells filled.
-std::size_t forward_fill(DriveSeries& drive, double fallback = 0.0);
+/// all-NaN columns become `fallback`. Returns the number of cells that
+/// actually received a value — when `fallback` is itself NaN, all-NaN
+/// columns are left missing and are NOT counted, so the return value
+/// always equals the drop in count_missing(). `stats`, when given,
+/// accumulates the full FillStats breakdown (leading backfills, all-NaN
+/// columns, cells left missing).
+std::size_t forward_fill(DriveSeries& drive, double fallback = 0.0,
+                         FillStats* stats = nullptr);
 
 /// Applies forward_fill to every drive; returns total cells filled.
-std::size_t forward_fill(FleetData& fleet, double fallback = 0.0);
+std::size_t forward_fill(FleetData& fleet, double fallback = 0.0,
+                         FillStats* stats = nullptr);
 
 /// Count of NaN cells in a fleet (data-quality check before training).
 std::size_t count_missing(const FleetData& fleet);

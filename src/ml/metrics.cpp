@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "stats/ranking.h"
@@ -61,7 +62,7 @@ double threshold_for_recall(std::span<const double> scores, std::span<const int>
     throw std::invalid_argument("threshold_for_recall: target outside [0,1]");
   std::size_t n_pos = 0;
   for (int v : labels) n_pos += v != 0 ? 1 : 0;
-  if (n_pos == 0) return 0.0;
+  if (n_pos == 0) return std::numeric_limits<double>::quiet_NaN();
 
   if (target_recall == 0.0) {
     // Any threshold above the max score yields recall 0.
@@ -116,7 +117,7 @@ double auc(std::span<const double> scores, std::span<const int> labels) {
   std::size_t n_pos = 0;
   for (int v : labels) n_pos += v != 0 ? 1 : 0;
   const std::size_t n_neg = labels.size() - n_pos;
-  if (n_pos == 0 || n_neg == 0) return 0.5;
+  if (n_pos == 0 || n_neg == 0) return std::numeric_limits<double>::quiet_NaN();
 
   const auto ranks = stats::fractional_ranks(scores);  // ascending, ties averaged
   double rank_sum = 0.0;

@@ -35,7 +35,9 @@ Confusion confusion_at_threshold(std::span<const double> scores, std::span<const
 /// Largest threshold whose recall is still >= `target_recall` — the
 /// precision-maximizing operating point at a fixed recall, matching the
 /// paper's "subject to a fixed recall" comparisons. Returns 0 when even
-/// threshold 0 misses the target (predict-everything fallback).
+/// threshold 0 misses the target (predict-everything fallback), and NaN
+/// when the labels hold no positives at all — recall is undefined there,
+/// and a silent 0 would mean "alarm on every drive".
 double threshold_for_recall(std::span<const double> scores, std::span<const int> labels,
                             double target_recall);
 
@@ -52,8 +54,10 @@ struct PrPoint {
 std::vector<PrPoint> pr_sweep(std::span<const double> scores, std::span<const int> labels);
 
 /// Area under the ROC curve via the rank-sum (Mann-Whitney) identity,
-/// ties handled by average ranks. Returns 0.5 when either class is
-/// empty.
+/// ties handled by average ranks. Returns NaN when either class is
+/// empty (including empty input): the ROC curve is undefined without
+/// both classes, and a silent 0.5 reads as "coin-flip classifier"
+/// rather than "unanswerable question".
 double auc(std::span<const double> scores, std::span<const int> labels);
 
 }  // namespace wefr::ml

@@ -1,0 +1,235 @@
+#include "smartsim/faultsim.h"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace wefr::smartsim {
+
+namespace {
+
+/// Meta columns of the fleet CSV layout (drive_id,day,failed,fail_day).
+constexpr std::size_t kMetaCols = 4;
+
+std::string render_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+/// Remembered freeze state for one stuck drive: which feature field is
+/// stuck and at what printed value.
+struct StuckState {
+  std::size_t field = 0;
+  std::string value;
+};
+
+}  // namespace
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTruncateRow: return "truncate";
+    case FaultKind::kNanBurst: return "nan_burst";
+    case FaultKind::kStuckSensor: return "stuck";
+    case FaultKind::kDuplicateRow: return "duplicate";
+    case FaultKind::kOutOfOrderDay: return "out_of_order";
+    case FaultKind::kBitFlip: return "bitflip";
+    case FaultKind::kCount: break;
+  }
+  return "unknown";
+}
+
+std::size_t FaultLog::total_applied() const {
+  std::size_t n = 0;
+  for (std::size_t c : applied) n += c;
+  return n;
+}
+
+bool FaultLog::strict_rejectable() const {
+  // Structural faults always break strict parsing; bit flips only when
+  // they produced a non-finite value. Stuck sensors never do.
+  return applied_to(FaultKind::kTruncateRow) > 0 ||
+         applied_to(FaultKind::kNanBurst) > 0 ||
+         applied_to(FaultKind::kDuplicateRow) > 0 ||
+         applied_to(FaultKind::kOutOfOrderDay) > 0 || nonfinite_flips > 0;
+}
+
+std::string FaultLog::summary() const {
+  std::ostringstream os;
+  os << "faults applied: " << total_applied() << " on " << rows_touched << " rows";
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    if (applied[k] == 0) continue;
+    os << ", " << to_string(static_cast<FaultKind>(k)) << "=" << applied[k];
+  }
+  if (nonfinite_flips > 0) os << ", nonfinite_flips=" << nonfinite_flips;
+  return os.str();
+}
+
+std::string corrupt_csv(const std::string& csv, const FaultPlan& plan, FaultLog* log) {
+  FaultLog local;
+  FaultLog& fl = log != nullptr ? *log : local;
+  fl = FaultLog{};
+
+  util::Rng rng(plan.seed);
+  std::unordered_map<std::string, StuckState> stuck;  // drive_id -> freeze
+
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (first) {
+      // The header is never corrupted; see FaultPlan.
+      first = false;
+      out.push_back(std::move(line));
+      continue;
+    }
+    if (util::trim(line).empty()) {
+      out.push_back(std::move(line));
+      continue;
+    }
+
+    auto fields = util::split(line, ',');
+    const std::size_t nf = fields.size() > kMetaCols ? fields.size() - kMetaCols : 0;
+    bool touched = false;
+    bool truncated = false;
+    bool duplicate = false;
+    bool swap_prev = false;
+
+    auto tally = [&](FaultKind k) {
+      ++fl.applied[static_cast<std::size_t>(k)];
+      touched = true;
+    };
+
+    // A drive already frozen stays frozen on every later row — that is
+    // the point of a stuck sensor — independent of this row's rolls.
+    if (nf > 0) {
+      if (auto it = stuck.find(fields[0]); it != stuck.end()) {
+        fields[kMetaCols + it->second.field] = it->second.value;
+      }
+    }
+
+    for (const FaultSpec& spec : plan.faults) {
+      if (!rng.bernoulli(spec.rate)) continue;
+      switch (spec.kind) {
+        case FaultKind::kStuckSensor: {
+          if (nf == 0 || stuck.count(fields[0]) > 0) break;
+          StuckState st;
+          st.field = rng.uniform_index(nf);
+          st.value = fields[kMetaCols + st.field];
+          stuck.emplace(fields[0], std::move(st));
+          tally(FaultKind::kStuckSensor);
+          break;
+        }
+        case FaultKind::kBitFlip: {
+          if (nf == 0) break;
+          const std::size_t f = kMetaCols + rng.uniform_index(nf);
+          double v = 0.0;
+          if (!util::parse_double(fields[f], v)) break;  // already broken
+          std::uint64_t bits = 0;
+          std::memcpy(&bits, &v, sizeof(bits));
+          bits ^= std::uint64_t{1} << rng.uniform_index(64);
+          std::memcpy(&v, &bits, sizeof(v));
+          fields[f] = render_double(v);
+          double back = 0.0;
+          if (!util::parse_double(fields[f], back)) ++fl.nonfinite_flips;
+          tally(FaultKind::kBitFlip);
+          break;
+        }
+        case FaultKind::kNanBurst: {
+          if (nf == 0) break;
+          const std::size_t start = rng.uniform_index(nf);
+          const std::size_t len = 1 + rng.uniform_index(nf - start);
+          for (std::size_t f = start; f < start + len; ++f)
+            fields[kMetaCols + f] = "nan";
+          tally(FaultKind::kNanBurst);
+          break;
+        }
+        case FaultKind::kTruncateRow: {
+          if (fields.size() < 2) break;
+          truncated = true;
+          tally(FaultKind::kTruncateRow);
+          break;
+        }
+        case FaultKind::kDuplicateRow: {
+          duplicate = true;
+          tally(FaultKind::kDuplicateRow);
+          break;
+        }
+        case FaultKind::kOutOfOrderDay: {
+          // Swap with the previously emitted data row (reordered
+          // delivery). Needs at least one prior data row.
+          if (out.size() < 2) break;
+          swap_prev = true;
+          tally(FaultKind::kOutOfOrderDay);
+          break;
+        }
+        case FaultKind::kCount: break;
+      }
+    }
+
+    if (truncated) {
+      // Cut at a field boundary so the row has the WRONG field count —
+      // guaranteed structurally invalid, never accidentally parseable.
+      const std::size_t keep = 1 + rng.uniform_index(fields.size() - 1);
+      fields.resize(keep);
+    }
+
+    fl.rows_touched += touched ? 1 : 0;
+    std::string rendered = util::join(fields, ",");
+    if (swap_prev) {
+      out.push_back(std::move(out.back()));
+      out[out.size() - 2] = rendered;
+    } else {
+      out.push_back(rendered);
+    }
+    if (duplicate) out.push_back(std::move(rendered));
+  }
+
+  std::string joined = util::join(out, "\n");
+  joined.push_back('\n');
+  return joined;
+}
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  FaultPlan plan;
+  const std::string_view trimmed = util::trim(spec);
+  if (trimmed.empty() || trimmed == "none") return plan;
+
+  for (const std::string& token : util::split(trimmed, ',')) {
+    const auto colon = token.find(':');
+    if (colon == std::string::npos)
+      throw std::invalid_argument("fault spec needs name:rate, got '" + token + "'");
+    const std::string name{util::trim(token.substr(0, colon))};
+    double rate = 0.0;
+    if (!util::parse_double(util::trim(token.substr(colon + 1)), rate) || rate < 0.0 ||
+        rate > 1.0)
+      throw std::invalid_argument("fault rate outside [0,1] in '" + token + "'");
+
+    if (name == "mix") {
+      for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+        plan.faults.push_back(
+            {static_cast<FaultKind>(k), rate / static_cast<double>(kFaultKindCount)});
+      }
+      continue;
+    }
+    bool found = false;
+    for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+      if (name == to_string(static_cast<FaultKind>(k))) {
+        plan.faults.push_back({static_cast<FaultKind>(k), rate});
+        found = true;
+        break;
+      }
+    }
+    if (!found) throw std::invalid_argument("unknown fault kind '" + name + "'");
+  }
+  return plan;
+}
+
+}  // namespace wefr::smartsim

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wefr::smartsim {
+
+/// One corruption class injectable into fleet CSV text. Each models a
+/// failure actually seen in telemetry collection pipelines:
+///
+///  - kTruncateRow: a row cut mid-transmission at a field boundary
+///    (always structurally invalid — strict parsing must reject it);
+///  - kNanBurst: a contiguous run of feature cells replaced by "nan"
+///    (a collector that lost sensor contact for part of a poll);
+///  - kStuckSensor: one feature column frozen at its current value for
+///    the rest of the drive's life. The result is VALID CSV — no parse
+///    policy can reject it; it must be survived downstream (constant
+///    columns rank neutrally);
+///  - kDuplicateRow: the same drive-day reported twice (at-least-once
+///    delivery from a message queue);
+///  - kOutOfOrderDay: two adjacent rows swapped (reordered delivery);
+///  - kBitFlip: one bit of a numeric cell flipped. Usually yields a
+///    plausible-but-wrong finite value (valid CSV); exponent-bit flips
+///    can yield inf/nan, which strict parsing rejects — those are
+///    counted separately in FaultLog::nonfinite_flips.
+enum class FaultKind : std::size_t {
+  kTruncateRow = 0,
+  kNanBurst,
+  kStuckSensor,
+  kDuplicateRow,
+  kOutOfOrderDay,
+  kBitFlip,
+  kCount,
+};
+
+inline constexpr std::size_t kFaultKindCount =
+    static_cast<std::size_t>(FaultKind::kCount);
+
+/// Stable snake_case name ("truncate", "nan_burst", "stuck",
+/// "duplicate", "out_of_order", "bitflip") — the same spelling
+/// parse_fault_plan() accepts.
+const char* to_string(FaultKind kind);
+
+/// One corruption class with its per-row firing probability.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kNanBurst;
+  double rate = 0.0;  ///< per data row, in [0, 1]
+};
+
+/// A composable corruption mix. Every data row rolls each spec
+/// independently; the header line is never corrupted (a broken header
+/// is a different failure class — fatal, not row-recoverable — and has
+/// its own dedicated tests).
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+  std::uint64_t seed = 0x5eedfau;
+
+  bool empty() const { return faults.empty(); }
+};
+
+/// What corrupt_csv actually did — consumed by chaos tests to assert
+/// the corruption was exercised, and to decide whether strict parsing
+/// is expected to reject the output.
+struct FaultLog {
+  /// Rows each fault kind fired on, indexed by FaultKind.
+  std::array<std::size_t, kFaultKindCount> applied{};
+  /// Data rows with at least one fault applied.
+  std::size_t rows_touched = 0;
+  /// Bit flips that produced a non-finite value (these make the CSV
+  /// strict-rejectable; finite flips do not).
+  std::size_t nonfinite_flips = 0;
+
+  std::size_t applied_to(FaultKind kind) const {
+    return applied[static_cast<std::size_t>(kind)];
+  }
+  std::size_t total_applied() const;
+  /// True when at least one applied fault makes the text structurally
+  /// invalid, i.e. strict parsing is guaranteed to throw on it.
+  bool strict_rejectable() const;
+  std::string summary() const;
+};
+
+/// Applies the plan to fleet CSV text (as produced by write_fleet_csv)
+/// and returns the corrupted text. Deterministic in `plan.seed`.
+/// Corruption is purely textual — the function never parses the fleet,
+/// so it happily operates on already-broken input (faults compose).
+std::string corrupt_csv(const std::string& csv, const FaultPlan& plan,
+                        FaultLog* log = nullptr);
+
+/// Parses a command-line fault spec: a comma-separated list of
+/// `name:rate` pairs, e.g. "nan_burst:0.05,truncate:0.02". Names are
+/// the to_string(FaultKind) spellings, plus the shorthand "mix:R"
+/// which expands to every kind at rate R / kFaultKindCount (a blended
+/// ~R corruption level). "" and "none" yield an empty plan. Throws
+/// std::invalid_argument on unknown names or unparseable rates.
+FaultPlan parse_fault_plan(const std::string& spec);
+
+}  // namespace wefr::smartsim

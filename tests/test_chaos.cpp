@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/pipeline.h"
+#include "core/wefr.h"
+#include "data/csv.h"
+#include "data/preprocess.h"
+#include "smartsim/faultsim.h"
+#include "smartsim/generator.h"
+#include "smartsim/profiles.h"
+
+namespace wefr::core {
+namespace {
+
+/// Chaos suite (ctest label: chaos): serialize a simulated fleet,
+/// corrupt it with every fault class the harness knows, and assert the
+/// WHOLE pipeline — tolerant ingestion, forward fill, WEFR selection,
+/// predictor training, fleet scoring — completes with sane output and
+/// an honest diagnostics trail. Strict parsing must keep rejecting
+/// every structurally corrupted input loudly.
+
+smartsim::SimOptions small_sim(std::uint64_t seed) {
+  smartsim::SimOptions opt;
+  opt.num_drives = 120;
+  opt.num_days = 100;
+  opt.seed = seed;
+  opt.afr_scale = 40.0;  // keep the positive class populated at this scale
+  return opt;
+}
+
+/// Light experiment config so each corruption class stays cheap.
+ExperimentConfig light_cfg() {
+  ExperimentConfig cfg;
+  cfg.forest.num_trees = 8;
+  cfg.forest.tree.max_depth = 7;
+  cfg.negative_keep_prob = 0.2;
+  return cfg;
+}
+
+std::string corrupted_csv(const smartsim::FaultPlan& plan, std::uint64_t seed,
+                          smartsim::FaultLog& log) {
+  const auto fleet = generate_fleet(smartsim::standard_profiles()[0], small_sim(seed));
+  std::ostringstream os;
+  data::write_fleet_csv(fleet, os);
+  return corrupt_csv(os.str(), plan, &log);
+}
+
+/// Runs the full degraded-mode pipeline on corrupted CSV text and
+/// checks the invariants every corruption class must uphold.
+void run_pipeline_survives(const std::string& bad, const smartsim::FaultLog& log,
+                           const char* what) {
+  SCOPED_TRACE(what);
+
+  // 1. Tolerant ingestion must complete and keep most of the fleet.
+  data::ReadOptions ropt;
+  ropt.policy = data::ParsePolicy::kRecover;
+  data::IngestReport rep;
+  std::istringstream is(bad);
+  data::FleetData fleet = data::read_fleet_csv(is, "chaos", ropt, &rep);
+  ASSERT_FALSE(rep.fatal) << rep.fatal_detail;
+  ASSERT_FALSE(fleet.drives.empty());
+  EXPECT_EQ(rep.rows_ok + rep.rows_quarantined, rep.rows_total) << rep.summary();
+
+  // 2. The diagnostics must enumerate what ingestion dropped/repaired:
+  // any fault that actually fired leaves a non-clean report (stuck
+  // sensors and finite bit flips excepted — they are valid CSV).
+  if (log.strict_rejectable()) {
+    EXPECT_GT(rep.rows_quarantined + rep.cells_recovered, 0u) << rep.summary();
+  }
+
+  // 3. Forward fill leaves a NaN-free fleet for the learning stack
+  // (modulo drives that are all-NaN in a column; fallback 0 covers
+  // those too).
+  data::forward_fill(fleet, 0.0, &rep.fill);
+  EXPECT_EQ(data::count_missing(fleet), 0u);
+
+  // 4. Selection + training + scoring must complete without throwing,
+  // whatever the corruption did to the class balance or the wear curve.
+  const ExperimentConfig cfg = light_cfg();
+  const int day_hi = (fleet.num_days * 2) / 3;
+  const data::Dataset train = build_selection_samples(fleet, 0, day_hi, cfg);
+  PipelineDiagnostics diag;
+  WefrOptions wopt;
+  wopt.min_group_positives = 10;
+  const WefrResult sel = run_wefr(fleet, train, day_hi, wopt, &diag);
+  ASSERT_FALSE(sel.all.selected.empty());
+
+  const WefrPredictor pred = train_predictor(fleet, sel, 0, day_hi, cfg);
+  const auto scores =
+      score_fleet(fleet, pred, day_hi + 1, fleet.num_days - 1, cfg, &diag);
+  ASSERT_FALSE(scores.empty());
+  for (const auto& ds : scores) {
+    for (double s : ds.scores) {
+      EXPECT_TRUE(std::isfinite(s));
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+TEST(Chaos, EveryCorruptionClassSurvivedInRecoverMode) {
+  for (std::size_t k = 0; k < smartsim::kFaultKindCount; ++k) {
+    const auto kind = static_cast<smartsim::FaultKind>(k);
+    smartsim::FaultPlan plan;
+    plan.faults.push_back({kind, 0.05});
+    plan.seed = 1000 + k;
+    smartsim::FaultLog log;
+    const std::string bad = corrupted_csv(plan, 21 + k, log);
+    ASSERT_GT(log.applied_to(kind), 0u) << to_string(kind);
+    run_pipeline_survives(bad, log, to_string(kind));
+  }
+}
+
+TEST(Chaos, CombinedTenPercentMixSurvived) {
+  const smartsim::FaultPlan plan = smartsim::parse_fault_plan("mix:0.1");
+  smartsim::FaultLog log;
+  const std::string bad = corrupted_csv(plan, 33, log);
+  EXPECT_GT(log.total_applied(), 0u);
+  run_pipeline_survives(bad, log, "mix:0.1");
+}
+
+TEST(Chaos, StrictModeStillRejectsStructuralCorruption) {
+  // Strict parsing must throw on every corruption class that breaks the
+  // format. Stuck sensors are valid CSV by design; bit flips only break
+  // it when a flip went non-finite — assert conditionally on the log.
+  for (std::size_t k = 0; k < smartsim::kFaultKindCount; ++k) {
+    const auto kind = static_cast<smartsim::FaultKind>(k);
+    smartsim::FaultPlan plan;
+    plan.faults.push_back({kind, 0.05});
+    plan.seed = 2000 + k;
+    smartsim::FaultLog log;
+    const std::string bad = corrupted_csv(plan, 43 + k, log);
+    ASSERT_GT(log.applied_to(kind), 0u) << to_string(kind);
+
+    std::istringstream is(bad);
+    if (log.strict_rejectable()) {
+      EXPECT_THROW(data::read_fleet_csv(is, "chaos"), std::runtime_error)
+          << to_string(kind);
+    } else {
+      EXPECT_NO_THROW(data::read_fleet_csv(is, "chaos")) << to_string(kind);
+    }
+  }
+}
+
+TEST(Chaos, SkipDrivePolicySurvivesMix) {
+  const smartsim::FaultPlan plan = smartsim::parse_fault_plan("truncate:0.02");
+  smartsim::FaultLog log;
+  const std::string bad = corrupted_csv(plan, 55, log);
+  ASSERT_GT(log.total_applied(), 0u);
+
+  data::ReadOptions ropt;
+  ropt.policy = data::ParsePolicy::kSkipDrive;
+  data::IngestReport rep;
+  std::istringstream is(bad);
+  const data::FleetData fleet = data::read_fleet_csv(is, "chaos", ropt, &rep);
+  ASSERT_FALSE(rep.fatal);
+  EXPECT_GT(rep.drives_quarantined, 0u);
+  EXPECT_FALSE(fleet.drives.empty());
+  // Quarantine accounting stays exact under whole-drive reclaim.
+  EXPECT_EQ(rep.rows_ok + rep.rows_quarantined, rep.rows_total) << rep.summary();
+}
+
+TEST(Chaos, SingleClassPopulationDegradesNotThrows) {
+  // A fleet with zero failures: selection cannot rank, scoring must
+  // still work end-to-end off the degraded keep-everything selection.
+  auto fleet = generate_fleet(smartsim::standard_profiles()[0], small_sim(71));
+  for (auto& drive : fleet.drives) drive.fail_day = -1;  // nobody fails
+  const ExperimentConfig cfg = light_cfg();
+  const int day_hi = (fleet.num_days * 2) / 3;
+  const data::Dataset train = build_selection_samples(fleet, 0, day_hi, cfg);
+  ASSERT_EQ(train.num_positive(), 0u);
+
+  PipelineDiagnostics diag;
+  const WefrResult sel = run_wefr(fleet, train, day_hi, WefrOptions{}, &diag);
+  EXPECT_TRUE(sel.all.degraded);
+  EXPECT_EQ(sel.all.selected.size(), fleet.num_features());
+  EXPECT_TRUE(diag.selection_degraded);
+  EXPECT_TRUE(diag.wearout_skipped);
+  EXPECT_TRUE(diag.has("single_class")) << diag.summary();
+  EXPECT_FALSE(sel.low.has_value());
+}
+
+TEST(Chaos, DiagnosticsSummaryIsReadable) {
+  PipelineDiagnostics diag;
+  EXPECT_EQ(diag.summary(), "clean");
+  diag.note("selection:all", "single_class", "no positive samples");
+  EXPECT_NE(diag.summary().find("single_class"), std::string::npos);
+  EXPECT_TRUE(diag.has("single_class"));
+  EXPECT_EQ(diag.count_stage("selection"), 1u);
+}
+
+}  // namespace
+}  // namespace wefr::core

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
 #include "core/ensemble.h"
 #include "util/rng.h"
 
@@ -122,6 +126,66 @@ TEST(Ensemble, EndToEndWithRealRankers) {
   EXPECT_EQ(res.order[1], 1u);
   EXPECT_EQ(res.rankings.size(), 5u);
   EXPECT_EQ(res.scores.size(), 5u);
+}
+
+/// A ranker that always throws — simulates a numerically exploding
+/// learner on degenerate input.
+class FailingRanker final : public FeatureRanker {
+ public:
+  std::string name() const override { return "boom"; }
+  std::vector<double> score(const data::Matrix&, std::span<const int>) const override {
+    throw std::runtime_error("synthetic ranker failure");
+  }
+};
+
+TEST(Ensemble, FailedRankerIsolatedFromFinalRanking) {
+  std::vector<std::unique_ptr<FeatureRanker>> rankers;
+  const std::vector<double> agree = {3, 2, 1};
+  rankers.push_back(std::make_unique<FixedRanker>("a", agree));
+  rankers.push_back(std::make_unique<FixedRanker>("b", agree));
+  rankers.push_back(std::make_unique<FailingRanker>());
+  const auto x = dummy_x(3, 3);
+  const std::vector<int> y(3, 0);
+  PipelineDiagnostics diag;
+  const auto res = ensemble_rank(rankers, x, y, EnsembleOptions{}, &diag);
+  EXPECT_TRUE(res.failed[2]);
+  EXPECT_TRUE(res.discarded[2]);
+  EXPECT_FALSE(res.failed[0]);
+  // The survivors alone define the order, untouched by the failure.
+  EXPECT_EQ(res.order, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(diag.rankers_failed, 1u);
+  EXPECT_TRUE(diag.has("ranker_failed")) << diag.summary();
+}
+
+TEST(Ensemble, AllRankersFailedYieldsNeutralRanking) {
+  std::vector<std::unique_ptr<FeatureRanker>> rankers;
+  rankers.push_back(std::make_unique<FailingRanker>());
+  rankers.push_back(std::make_unique<FailingRanker>());
+  const auto x = dummy_x(3, 4);
+  const std::vector<int> y(3, 0);
+  PipelineDiagnostics diag;
+  const auto res = ensemble_rank(rankers, x, y, EnsembleOptions{}, &diag);
+  // Neutral ranking: every feature tied, order falls back to identity.
+  EXPECT_EQ(res.order, (std::vector<std::size_t>{0, 1, 2, 3}));
+  for (double r : res.final_ranking) EXPECT_DOUBLE_EQ(r, 2.5);
+  EXPECT_TRUE(diag.has("all_rankers_failed")) << diag.summary();
+}
+
+TEST(Ensemble, NonFiniteScoresSanitized) {
+  std::vector<std::unique_ptr<FeatureRanker>> rankers;
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  rankers.push_back(
+      std::make_unique<FixedRanker>("a", std::vector<double>{3, nan, 1}));
+  rankers.push_back(std::make_unique<FixedRanker>("b", std::vector<double>{3, 2, 1}));
+  const auto x = dummy_x(3, 3);
+  const std::vector<int> y(3, 0);
+  PipelineDiagnostics diag;
+  const auto res = ensemble_rank(rankers, x, y, EnsembleOptions{}, &diag);
+  EXPECT_EQ(res.sanitized_scores, 1u);
+  EXPECT_EQ(diag.scores_sanitized, 1u);
+  EXPECT_DOUBLE_EQ(res.scores[0][1], 0.0);
+  // Orderings stay finite and usable.
+  for (double r : res.final_ranking) EXPECT_TRUE(std::isfinite(r));
 }
 
 TEST(Ensemble, RejectsEmptyAndMismatch) {

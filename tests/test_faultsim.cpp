@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "data/csv.h"
+#include "smartsim/faultsim.h"
+#include "smartsim/generator.h"
+#include "smartsim/profiles.h"
+#include "util/strings.h"
+
+namespace wefr::smartsim {
+namespace {
+
+std::string small_fleet_csv(std::uint64_t seed = 3) {
+  SimOptions opt;
+  opt.num_drives = 40;
+  opt.num_days = 60;
+  opt.seed = seed;
+  const auto fleet = generate_fleet(standard_profiles()[0], opt);
+  std::ostringstream os;
+  data::write_fleet_csv(fleet, os);
+  return os.str();
+}
+
+FaultPlan one_fault(FaultKind kind, double rate, std::uint64_t seed = 11) {
+  FaultPlan plan;
+  plan.faults.push_back({kind, rate});
+  plan.seed = seed;
+  return plan;
+}
+
+TEST(FaultSim, EmptyPlanIsIdentity) {
+  const std::string csv = small_fleet_csv();
+  FaultLog log;
+  EXPECT_EQ(corrupt_csv(csv, FaultPlan{}, &log), csv);
+  EXPECT_EQ(log.total_applied(), 0u);
+  EXPECT_EQ(log.rows_touched, 0u);
+}
+
+TEST(FaultSim, DeterministicInSeed) {
+  const std::string csv = small_fleet_csv();
+  const FaultPlan plan = one_fault(FaultKind::kBitFlip, 0.2, 77);
+  EXPECT_EQ(corrupt_csv(csv, plan, nullptr), corrupt_csv(csv, plan, nullptr));
+  FaultPlan other = plan;
+  other.seed = 78;
+  EXPECT_NE(corrupt_csv(csv, plan, nullptr), corrupt_csv(csv, other, nullptr));
+}
+
+TEST(FaultSim, HeaderLineNeverCorrupted) {
+  const std::string csv = small_fleet_csv();
+  const std::string header = csv.substr(0, csv.find('\n'));
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    const std::string bad =
+        corrupt_csv(csv, one_fault(static_cast<FaultKind>(k), 1.0), nullptr);
+    EXPECT_EQ(bad.substr(0, bad.find('\n')), header)
+        << to_string(static_cast<FaultKind>(k));
+  }
+}
+
+TEST(FaultSim, EveryKindFiresAtHighRate) {
+  const std::string csv = small_fleet_csv();
+  for (std::size_t k = 0; k < kFaultKindCount; ++k) {
+    const auto kind = static_cast<FaultKind>(k);
+    FaultLog log;
+    corrupt_csv(csv, one_fault(kind, 0.5), &log);
+    EXPECT_GT(log.applied_to(kind), 0u) << to_string(kind);
+    EXPECT_GT(log.rows_touched, 0u) << to_string(kind);
+  }
+}
+
+TEST(FaultSim, TruncateAlwaysStrictRejectable) {
+  const std::string csv = small_fleet_csv();
+  FaultLog log;
+  const std::string bad = corrupt_csv(csv, one_fault(FaultKind::kTruncateRow, 0.1), &log);
+  ASSERT_GT(log.applied_to(FaultKind::kTruncateRow), 0u);
+  EXPECT_TRUE(log.strict_rejectable());
+  std::istringstream is(bad);
+  EXPECT_THROW(data::read_fleet_csv(is, "M"), std::runtime_error);
+}
+
+TEST(FaultSim, StuckSensorStaysValidCsv) {
+  const std::string csv = small_fleet_csv();
+  FaultLog log;
+  const std::string stuck =
+      corrupt_csv(csv, one_fault(FaultKind::kStuckSensor, 0.3), &log);
+  ASSERT_GT(log.applied_to(FaultKind::kStuckSensor), 0u);
+  EXPECT_FALSE(log.strict_rejectable());
+  // Strict parsing must ACCEPT a stuck sensor — it is semantically
+  // plausible telemetry; only downstream stages can notice it.
+  std::istringstream is(stuck);
+  const data::FleetData fleet = data::read_fleet_csv(is, "M");
+  EXPECT_FALSE(fleet.drives.empty());
+}
+
+TEST(FaultSim, NanBurstRecoveredAsMissingCells) {
+  const std::string csv = small_fleet_csv();
+  FaultLog log;
+  const std::string bad = corrupt_csv(csv, one_fault(FaultKind::kNanBurst, 0.1), &log);
+  ASSERT_GT(log.applied_to(FaultKind::kNanBurst), 0u);
+
+  std::istringstream strict_is(bad);
+  EXPECT_THROW(data::read_fleet_csv(strict_is, "M"), std::runtime_error);
+
+  data::ReadOptions opt;
+  opt.policy = data::ParsePolicy::kRecover;
+  data::IngestReport rep;
+  std::istringstream is(bad);
+  data::read_fleet_csv(is, "M", opt, &rep);
+  EXPECT_GT(rep.cells_recovered, 0u);
+  EXPECT_GT(rep.errors(data::RowError::kMissingValue), 0u);
+}
+
+TEST(FaultSim, DuplicateAndOutOfOrderQuarantinedInRecover) {
+  const std::string csv = small_fleet_csv();
+  for (const auto kind : {FaultKind::kDuplicateRow, FaultKind::kOutOfOrderDay}) {
+    FaultLog log;
+    const std::string bad = corrupt_csv(csv, one_fault(kind, 0.05), &log);
+    ASSERT_GT(log.applied_to(kind), 0u) << to_string(kind);
+
+    std::istringstream strict_is(bad);
+    EXPECT_THROW(data::read_fleet_csv(strict_is, "M"), std::runtime_error)
+        << to_string(kind);
+
+    data::ReadOptions opt;
+    opt.policy = data::ParsePolicy::kRecover;
+    data::IngestReport rep;
+    std::istringstream is(bad);
+    const data::FleetData fleet = data::read_fleet_csv(is, "M", opt, &rep);
+    EXPECT_FALSE(fleet.drives.empty()) << to_string(kind);
+    EXPECT_GT(rep.rows_quarantined, 0u) << to_string(kind);
+  }
+}
+
+TEST(FaultSim, BitFlipLogsNonFiniteFlips) {
+  const std::string csv = small_fleet_csv();
+  FaultLog log;
+  const std::string bad = corrupt_csv(csv, one_fault(FaultKind::kBitFlip, 1.0), &log);
+  ASSERT_GT(log.applied_to(FaultKind::kBitFlip), 0u);
+  // At rate 1.0 over thousands of cells, exponent-bit flips to inf/nan
+  // are statistically certain; the log must notice them (they decide
+  // whether strict parsing is expected to reject the file).
+  EXPECT_GT(log.nonfinite_flips, 0u);
+  EXPECT_TRUE(log.strict_rejectable());
+
+  data::ReadOptions opt;
+  opt.policy = data::ParsePolicy::kRecover;
+  data::IngestReport rep;
+  std::istringstream is(bad);
+  data::read_fleet_csv(is, "M", opt, &rep);
+  EXPECT_GE(rep.cells_recovered, log.nonfinite_flips);
+}
+
+TEST(FaultSim, LogSummaryNamesKinds) {
+  const std::string csv = small_fleet_csv();
+  FaultLog log;
+  corrupt_csv(csv, one_fault(FaultKind::kNanBurst, 0.2), &log);
+  EXPECT_NE(log.summary().find("nan_burst"), std::string::npos) << log.summary();
+}
+
+TEST(FaultSim, ParsePlanRoundTrip) {
+  const FaultPlan plan = parse_fault_plan("nan_burst:0.05,truncate:0.02");
+  ASSERT_EQ(plan.faults.size(), 2u);
+  EXPECT_EQ(plan.faults[0].kind, FaultKind::kNanBurst);
+  EXPECT_DOUBLE_EQ(plan.faults[0].rate, 0.05);
+  EXPECT_EQ(plan.faults[1].kind, FaultKind::kTruncateRow);
+  EXPECT_DOUBLE_EQ(plan.faults[1].rate, 0.02);
+}
+
+TEST(FaultSim, ParsePlanMixExpandsAllKinds) {
+  const FaultPlan plan = parse_fault_plan("mix:0.12");
+  ASSERT_EQ(plan.faults.size(), kFaultKindCount);
+  double total = 0.0;
+  for (const auto& f : plan.faults) total += f.rate;
+  EXPECT_NEAR(total, 0.12, 1e-12);
+}
+
+TEST(FaultSim, ParsePlanRejectsGarbage) {
+  EXPECT_THROW(parse_fault_plan("gremlins:0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("nan_burst"), std::invalid_argument);
+  EXPECT_THROW(parse_fault_plan("nan_burst:2.0"), std::invalid_argument);
+  EXPECT_TRUE(parse_fault_plan("").empty());
+  EXPECT_TRUE(parse_fault_plan("none").empty());
+}
+
+}  // namespace
+}  // namespace wefr::smartsim

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "ml/metrics.h"
 
 namespace wefr::ml {
@@ -80,9 +82,20 @@ TEST(Metrics, ThresholdForRecallAchievesTarget) {
 }
 
 TEST(Metrics, ThresholdForRecallNoPositives) {
+  // Recall is undefined without positives; a NaN threshold is the
+  // diagnostic answer (a silent 0 would alarm on every drive).
   const std::vector<double> scores = {0.9, 0.1};
   const std::vector<int> labels = {0, 0};
-  EXPECT_DOUBLE_EQ(threshold_for_recall(scores, labels, 0.5), 0.0);
+  EXPECT_TRUE(std::isnan(threshold_for_recall(scores, labels, 0.5)));
+}
+
+TEST(Metrics, AucSingleClassIsNan) {
+  const std::vector<double> scores = {0.9, 0.1, 0.4};
+  const std::vector<int> all_neg = {0, 0, 0};
+  const std::vector<int> all_pos = {1, 1, 1};
+  EXPECT_TRUE(std::isnan(auc(scores, all_neg)));
+  EXPECT_TRUE(std::isnan(auc(scores, all_pos)));
+  EXPECT_TRUE(std::isnan(auc({}, {})));
 }
 
 TEST(Metrics, PrSweepMonotoneRecall) {

@@ -48,6 +48,54 @@ TEST(ForwardFill, AllNanColumnUsesFallback) {
   for (std::size_t t = 0; t < 3; ++t) EXPECT_DOUBLE_EQ(d.values(t, 0), -7.0);
 }
 
+TEST(ForwardFill, NanFallbackAgreesWithCountMissing) {
+  // The historical bug class: an all-NaN column "filled" with a NaN
+  // fallback was counted as repaired while count_missing() still saw
+  // every cell. The contract now: the return value always equals the
+  // drop in count_missing().
+  FleetData fleet;
+  fleet.feature_names = {"a", "b"};
+  DriveSeries d;
+  d.values = Matrix(3, 2, kNaN);
+  d.values(0, 0) = 1.0;  // col 0 recoverable, col 1 all-NaN
+  fleet.drives.push_back(d);
+
+  const std::size_t before = count_missing(fleet);
+  FillStats stats;
+  const std::size_t filled = forward_fill(fleet, kNaN, &stats);
+  const std::size_t after = count_missing(fleet);
+  EXPECT_EQ(filled, before - after);
+  EXPECT_EQ(stats.cells_filled, filled);
+  EXPECT_EQ(stats.cells_left_missing, 3u);  // the all-NaN column stays
+  EXPECT_EQ(stats.all_nan_columns, 1u);
+  EXPECT_EQ(after, 3u);
+}
+
+TEST(ForwardFill, FillStatsBreakdown) {
+  DriveSeries d = series_with_gaps();
+  FillStats stats;
+  const std::size_t filled = forward_fill(d, 0.0, &stats);
+  EXPECT_EQ(filled, 6u);
+  EXPECT_EQ(stats.cells_filled, 6u);
+  EXPECT_EQ(stats.leading_backfilled, 1u);  // col 1 day 0
+  EXPECT_EQ(stats.all_nan_columns, 0u);
+  EXPECT_EQ(stats.cells_left_missing, 0u);
+}
+
+TEST(ForwardFill, FillStatsMerge) {
+  FillStats a, b;
+  a.cells_filled = 2;
+  a.all_nan_columns = 1;
+  b.cells_filled = 3;
+  b.leading_backfilled = 1;
+  b.cells_left_missing = 4;
+  a.merge(b);
+  EXPECT_EQ(a.cells_filled, 5u);
+  EXPECT_EQ(a.leading_backfilled, 1u);
+  EXPECT_EQ(a.all_nan_columns, 1u);
+  EXPECT_EQ(a.cells_left_missing, 4u);
+}
+
 TEST(ForwardFill, NoopOnCleanData) {
   DriveSeries d;
   d.values = Matrix(4, 2, 1.5);

@@ -127,6 +127,47 @@ TEST(Wefr, SelectFeaturesForRejectsEmpty) {
   EXPECT_THROW(select_features_for(empty, WefrOptions{}), std::invalid_argument);
 }
 
+TEST(Wefr, SelectFeaturesForEmptyDegradesWithDiagSink) {
+  // Passing a diagnostics sink opts into total degraded-mode semantics:
+  // the empty population yields a tagged keep-everything selection
+  // instead of a throw.
+  data::Dataset empty;
+  empty.feature_names = {"f0", "f1", "f2"};
+  PipelineDiagnostics diag;
+  const auto sel = select_features_for(empty, WefrOptions{}, "all", &diag);
+  EXPECT_TRUE(sel.degraded);
+  EXPECT_EQ(sel.selected.size(), 3u);
+  EXPECT_EQ(sel.selected_names, empty.feature_names);
+  EXPECT_TRUE(diag.selection_degraded);
+  EXPECT_TRUE(diag.has("empty_population")) << diag.summary();
+}
+
+TEST(Wefr, SingleClassDegradesEvenWithoutDiagSink) {
+  // Single-class populations never threw historically; they must not
+  // start now — with or without a sink they degrade to keep-everything.
+  data::Dataset ds;
+  ds.feature_names = {"f0", "f1"};
+  ds.x = data::Matrix(4, 2);
+  ds.y = {0, 0, 0, 0};
+  const auto sel = select_features_for(ds, WefrOptions{});
+  EXPECT_TRUE(sel.degraded);
+  EXPECT_EQ(sel.selected.size(), 2u);
+}
+
+TEST(Wefr, CleanRunLeavesDiagnosticsClean) {
+  const auto fleet = mc1_fleet(43, 600);
+  const auto train = build_selection_samples(fleet, 0, 150, light_cfg());
+  WefrOptions opt;
+  opt.update_with_wearout = false;
+  PipelineDiagnostics diag;
+  const auto with_diag = run_wefr(fleet, train, 150, opt, &diag);
+  const auto without = run_wefr(fleet, train, 150, opt);
+  // Diagnostics are observation only: identical selection either way.
+  EXPECT_EQ(with_diag.all.selected, without.all.selected);
+  EXPECT_FALSE(diag.selection_degraded);
+  EXPECT_FALSE(with_diag.all.degraded);
+}
+
 TEST(Wefr, DeterministicAcrossRuns) {
   const auto fleet = mc1_fleet(41, 600);
   const auto train = build_selection_samples(fleet, 0, 150, light_cfg());

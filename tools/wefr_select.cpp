@@ -2,10 +2,16 @@
 //
 //   wefr_select --in fleet.csv --model MC1 [--train-end DAY]
 //               [--horizon 30] [--no-update] [--save-model model.txt]
+//               [--policy strict|recover|skip-drive]
 //
 // Prints the ensemble diagnostics (per-ranker outlier status), the final
 // selection per wear group, and optionally trains and serializes the
 // paper's Random Forest predictor over the selected features.
+//
+// --policy recover (or skip-drive) switches ingestion to the tolerant
+// parser: malformed rows are quarantined instead of fatal, the ingest
+// report is printed, and the pipeline runs in degraded mode with its
+// diagnostics echoed at the end.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -23,13 +29,15 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: wefr_select --in FILE [--model NAME] [--train-end DAY]\n"
-               "                   [--horizon N] [--no-update] [--save-model FILE]\n");
+               "                   [--horizon N] [--no-update] [--save-model FILE]\n"
+               "                   [--policy strict|recover|skip-drive]\n");
 }
 
 void print_group(const core::GroupSelection& g) {
-  std::printf("  [%s] %zu features (%zu samples, %zu positive%s):",
+  std::printf("  [%s] %zu features (%zu samples, %zu positive%s%s):",
               g.label.c_str(), g.selected_names.size(), g.num_samples, g.num_positives,
-              g.fallback ? "; fallback to whole-model set" : "");
+              g.fallback ? "; fallback to whole-model set" : "",
+              g.degraded ? "; DEGRADED keep-everything selection" : "");
   for (const auto& name : g.selected_names) std::printf(" %s", name.c_str());
   std::printf("\n");
 }
@@ -41,6 +49,7 @@ int main(int argc, char** argv) {
   int train_end = -1;
   core::ExperimentConfig cfg;
   core::WefrOptions wopt;
+  data::ReadOptions ropt;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -64,6 +73,19 @@ int main(int argc, char** argv) {
       wopt.update_with_wearout = false;
     } else if (arg == "--save-model") {
       save_model = next();
+    } else if (arg == "--policy") {
+      const std::string p = next();
+      if (p == "strict") {
+        ropt.policy = data::ParsePolicy::kStrict;
+      } else if (p == "recover") {
+        ropt.policy = data::ParsePolicy::kRecover;
+      } else if (p == "skip-drive") {
+        ropt.policy = data::ParsePolicy::kSkipDrive;
+      } else {
+        std::fprintf(stderr, "unknown policy: %s\n", p.c_str());
+        usage();
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -79,7 +101,15 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const auto fleet = data::read_fleet_csv(in_path, model);
+    data::IngestReport report;
+    const auto fleet = data::load_fleet_csv(in_path, model, ropt, &report);
+    if (ropt.policy != data::ParsePolicy::kStrict || !report.clean()) {
+      std::printf("ingest: %s\n", report.summary().c_str());
+    }
+    if (report.fatal) {
+      std::fprintf(stderr, "error: unusable input: %s\n", report.fatal_detail.c_str());
+      return 1;
+    }
     if (train_end < 0) train_end = fleet.num_days - 1;
     std::printf("fleet %s: %zu drives, %zu failed, %d days, %zu features; "
                 "selecting on days 0-%d\n",
@@ -91,7 +121,8 @@ int main(int argc, char** argv) {
     std::printf("selection samples: %zu (%zu positive)\n", samples.size(),
                 samples.num_positive());
 
-    const auto result = core::run_wefr(fleet, samples, train_end, wopt);
+    core::PipelineDiagnostics diag;
+    const auto result = core::run_wefr(fleet, samples, train_end, wopt, &diag);
 
     std::printf("\npreliminary rankings (Kendall-tau mean distance; * = discarded):\n");
     const auto& ens = result.all.ensemble;
@@ -109,6 +140,9 @@ int main(int argc, char** argv) {
       if (result.high.has_value()) print_group(*result.high);
     } else {
       std::printf("  no wear-out change point detected\n");
+    }
+    if (!diag.empty()) {
+      std::printf("\npipeline diagnostics: %s\n", diag.summary().c_str());
     }
 
     if (!save_model.empty()) {

@@ -1,16 +1,24 @@
 // wefr_simulate — emit a synthetic SMART-log fleet as CSV.
 //
-//   wefr_simulate --model MC1 --drives 1000 --days 220 --seed 42 \
+//   wefr_simulate --model MC1 --drives 1000 --days 220 --seed 42
 //                 --afr-scale 15 --out mc1.csv
 //
 // The CSV is the long format read back by wefr_select / read_fleet_csv:
 //   drive_id,day,failed,fail_day,<feature...>
+//
+// --faults injects seeded corruption into the emitted CSV (testing the
+// tolerant ingestion path): a comma-separated name:rate list over
+// truncate, nan_burst, stuck, duplicate, out_of_order, bitflip, or
+// "mix:R" for a blend of all six.
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "data/csv.h"
+#include "smartsim/faultsim.h"
 #include "smartsim/generator.h"
 #include "util/strings.h"
 
@@ -22,7 +30,10 @@ void usage() {
   std::fprintf(stderr,
                "usage: wefr_simulate [--model NAME] [--drives N] [--days N]\n"
                "                     [--seed N] [--afr-scale X] [--out FILE]\n"
-               "models: MA1 MA2 MB1 MB2 MC1 MC2 (default MC1)\n");
+               "                     [--faults SPEC] [--fault-seed N]\n"
+               "models: MA1 MA2 MB1 MB2 MC1 MC2 (default MC1)\n"
+               "fault spec: name:rate[,name:rate...] over truncate nan_burst\n"
+               "            stuck duplicate out_of_order bitflip, or mix:R\n");
 }
 
 }  // namespace
@@ -30,6 +41,8 @@ void usage() {
 int main(int argc, char** argv) {
   std::string model = "MC1";
   std::string out_path;
+  std::string fault_spec;
+  std::uint64_t fault_seed = 0x5eedfau;
   smartsim::SimOptions opt;
   opt.num_drives = 1000;
   opt.num_days = 220;
@@ -58,6 +71,10 @@ int main(int argc, char** argv) {
       opt.afr_scale = v;
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--faults") {
+      fault_spec = next();
+    } else if (arg == "--fault-seed" && util::parse_double(next(), v)) {
+      fault_seed = static_cast<std::uint64_t>(v);
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -73,11 +90,31 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "generated %s: %zu drives, %zu failed, %d days, AFR %.2f%%\n",
                  fleet.model_name.c_str(), fleet.drives.size(), fleet.num_failed(),
                  fleet.num_days, fleet.afr_percent());
-    if (out_path.empty()) {
-      data::write_fleet_csv(fleet, std::cout);
+
+    const smartsim::FaultPlan plan = smartsim::parse_fault_plan(fault_spec);
+    if (plan.empty()) {
+      if (out_path.empty()) {
+        data::write_fleet_csv(fleet, std::cout);
+      } else {
+        data::write_fleet_csv(fleet, out_path);
+        std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+      }
     } else {
-      data::write_fleet_csv(fleet, out_path);
-      std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+      smartsim::FaultPlan seeded = plan;
+      seeded.seed = fault_seed;
+      std::ostringstream os;
+      data::write_fleet_csv(fleet, os);
+      smartsim::FaultLog log;
+      const std::string corrupted = smartsim::corrupt_csv(os.str(), seeded, &log);
+      std::fprintf(stderr, "%s\n", log.summary().c_str());
+      if (out_path.empty()) {
+        std::cout << corrupted;
+      } else {
+        std::ofstream ofs(out_path);
+        if (!ofs) throw std::runtime_error("cannot open " + out_path);
+        ofs << corrupted;
+        std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
