@@ -1,11 +1,14 @@
-// Hot-path benchmark for the PR-1 performance work: histogram vs exact
-// split finding when fitting the prediction forest, parallel vs serial
-// fleet scoring, and the precision cost (if any) of the quantized
-// splitter at the paper's fixed-recall operating point.
+// Hot-path benchmark: histogram vs exact split finding when fitting the
+// prediction forest, parallel vs serial fleet scoring, the precision
+// cost (if any) of the quantized splitter at the paper's fixed-recall
+// operating point, streaming vs naive rolling-feature expansion, and
+// the merge-sort vs pair-scan Kendall ranking kernel.
 //
 // Prints a human-readable report and writes machine-readable
-// BENCH_hotpath.json into the working directory. Honors the usual
-// WEFR_BENCH_* knobs (see bench_common.h).
+// BENCH_hotpath.json into the working directory (schema documented in
+// README.md, "Performance"). Honors the usual WEFR_BENCH_* knobs (see
+// bench_common.h).
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <numeric>
@@ -13,7 +16,11 @@
 
 #include "bench_common.h"
 #include "core/pipeline.h"
+#include "core/wefr.h"
+#include "data/window_features.h"
 #include "ml/random_forest.h"
+#include "stats/kendall.h"
+#include "stats/ranking.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -142,10 +149,122 @@ int main() {
               serial.size(), score_serial_s, hw_threads, score_parallel_s, score_speedup,
               identical ? "identical" : "DIFFER");
 
+  // --- 4. Rolling-feature expansion: streaming kernels vs the naive
+  // per-day window rescan, full fleet, windows {7, 14, 30}. The
+  // monotonic-deque stats (max/min/range) must match bitwise; the
+  // running-sum stats to rounding.
+  data::WindowFeatureConfig fg_cfg;
+  fg_cfg.windows = {7, 14, 30};
+  std::vector<std::size_t> fg_cols(fleet.num_features());
+  std::iota(fg_cols.begin(), fg_cols.end(), std::size_t{0});
+  const std::size_t fg_factor = data::expansion_factor(fg_cfg);
+
+  double fg_naive_s = 0.0, fg_stream_s = 0.0, fg_max_rel = 0.0;
+  bool fg_exact_bitwise = true;
+  std::size_t fg_days_total = 0;
+  for (const auto& drive : fleet.drives) {
+    if (drive.num_days() == 0) continue;
+    fg_days_total += drive.num_days();
+    sw.reset();
+    const data::Matrix ref = data::expand_series_naive(drive.values, fg_cols, fg_cfg);
+    fg_naive_s += sw.seconds();
+    sw.reset();
+    const data::Matrix fast = data::expand_series(drive.values, fg_cols, fg_cfg);
+    fg_stream_s += sw.seconds();
+    // Per-base-column value scale: the documented tolerance for the
+    // sum-based stats is relative to the column magnitude (the
+    // sum2/n - mean^2 cancellation quantizes near-zero stds at
+    // ~sqrt(ulp) of the scale), so normalize by |ref| + scale rather
+    // than |ref| alone — a near-constant column's std of ~0 would
+    // otherwise report the cancellation noise as O(1) relative error.
+    std::vector<double> fg_scale(fg_cols.size(), 1.0);
+    for (std::size_t b = 0; b < fg_cols.size(); ++b) {
+      for (std::size_t d = 0; d < drive.num_days(); ++d) {
+        const double v = std::abs(drive.values(d, fg_cols[b]));
+        if (std::isfinite(v)) fg_scale[b] = std::max(fg_scale[b], v);
+      }
+    }
+    for (std::size_t d = 0; d < ref.rows(); ++d) {
+      for (std::size_t c = 0; c < ref.cols(); ++c) {
+        const std::size_t within = c % fg_factor;
+        const std::size_t stat = within == 0 ? 0 : (within - 1) % 6;
+        const double f = fast(d, c), r = ref(d, c);
+        if (within == 0 || stat == 0 || stat == 1 || stat == 4) {
+          // identity / max / min / range: bit-exact contract.
+          fg_exact_bitwise = fg_exact_bitwise && (f == r || (std::isnan(f) && std::isnan(r)));
+        } else if (std::isfinite(f) && std::isfinite(r)) {
+          fg_max_rel = std::max(fg_max_rel, std::abs(f - r) /
+                                                (std::abs(r) + fg_scale[c / fg_factor]));
+        }
+      }
+    }
+  }
+  const double fg_speedup = fg_stream_s > 0.0 ? fg_naive_s / fg_stream_s : 0.0;
+  std::printf("rolling-feature expansion, %zu drive-days x %zu base features,"
+              " windows {7,14,30}:\n  naive:     %8.3f s\n"
+              "  streaming: %8.3f s   (speedup %.2fx, exact stats %s,"
+              " max scaled err %.2e)\n\n",
+              fg_days_total, fg_cols.size(), fg_naive_s, fg_stream_s, fg_speedup,
+              fg_exact_bitwise ? "bitwise" : "DIFFER", fg_max_rel);
+
+  // --- 5. Ranking hot path. (a) The Kendall-tau distance kernel on
+  // tied rankings at window-expanded-scale n, merge-sort vs pair scan.
+  const std::size_t kd_n = 4000;
+  std::vector<double> kd_scores_a(kd_n), kd_scores_b(kd_n);
+  util::Rng kd_rng(5150);
+  for (std::size_t i = 0; i < kd_n; ++i) {
+    kd_scores_a[i] = static_cast<double>(kd_rng.uniform_int(0, 500));
+    kd_scores_b[i] = kd_scores_a[i] + kd_rng.normal(0.0, 50.0);
+  }
+  const auto kd_a = stats::ranking_from_scores(kd_scores_a);
+  const auto kd_b = stats::ranking_from_scores(kd_scores_b);
+  sw.reset();
+  const std::size_t kd_ref = stats::kendall_tau_distance_naive(kd_a, kd_b);
+  const double kd_naive_s = sw.seconds();
+  const int kd_reps = 20;
+  std::size_t kd_fast_dist = 0;
+  sw.reset();
+  for (int rep = 0; rep < kd_reps; ++rep)
+    kd_fast_dist = stats::kendall_tau_distance(kd_a, kd_b);
+  const double kd_fast_s = sw.seconds() / kd_reps;
+  const double kd_speedup = kd_fast_s > 0.0 ? kd_naive_s / kd_fast_s : 0.0;
+  const bool kd_identical = kd_fast_dist == kd_ref;
+  std::printf("kendall tau distance, n=%zu tied rankings:\n"
+              "  pair scan:  %8.4f s\n  merge sort: %8.4f s   (speedup %.1fx,"
+              " counts %s)\n\n",
+              kd_n, kd_naive_s, kd_fast_s, kd_speedup,
+              kd_identical ? "identical" : "DIFFER");
+
+  // (b) Full ensemble ranking + automated selection, sequential vs the
+  // thread-pool fan-out at 8 threads, identical-output check. The
+  // speedup scales with physical cores (the stage is dominated by the
+  // embarrassingly-parallel per-feature/per-tree work); on a
+  // single-core host the parallel arm only measures pool overhead, so
+  // read this number against "hw_threads" in the JSON. The tests prove
+  // thread-count invariance either way.
+  const std::size_t ens_threads = 8;
+  core::WefrOptions wopt;
+  wopt.update_with_wearout = false;
+  sw.reset();
+  const auto ens_serial = core::select_features_for(ds, wopt);
+  const double ens_serial_s = sw.seconds();
+  wopt.num_threads = ens_threads;
+  sw.reset();
+  const auto ens_parallel = core::select_features_for(ds, wopt);
+  const double ens_parallel_s = sw.seconds();
+  const double ens_speedup = ens_parallel_s > 0.0 ? ens_serial_s / ens_parallel_s : 0.0;
+  const bool ens_identical = ens_serial.ensemble.order == ens_parallel.ensemble.order &&
+                             ens_serial.selected == ens_parallel.selected;
+  std::printf("ensemble ranking + auto-select, %zu samples x %zu features:\n"
+              "  serial:               %8.3f s\n"
+              "  parallel (%zu threads): %8.3f s   (speedup %.2fx, selection %s)\n\n",
+              ds.size(), ds.num_features(), ens_serial_s, ens_threads, ens_parallel_s,
+              ens_speedup, ens_identical ? "identical" : "DIFFER");
+
   // --- machine-readable summary.
   {
     std::ofstream js("BENCH_hotpath.json");
-    char buf[2048];
+    char buf[4096];
     std::snprintf(
         buf, sizeof(buf),
         "{\n"
@@ -158,14 +277,36 @@ int main() {
         "              \"precision_histogram\": %.5f, \"precision_diff\": %.5f},\n"
         "  \"score\": {\"drives\": %zu, \"threads\": %zu,\n"
         "            \"serial_seconds\": %.4f, \"parallel_seconds\": %.4f,\n"
-        "            \"speedup\": %.3f, \"outputs_identical\": %s}\n"
+        "            \"speedup\": %.3f, \"outputs_identical\": %s},\n"
+        "  \"featuregen\": {\"drive_days\": %zu, \"base_features\": %zu,\n"
+        "                 \"windows\": [7, 14, 30],\n"
+        "                 \"naive_seconds\": %.4f, \"streaming_seconds\": %.4f,\n"
+        "                 \"speedup\": %.3f, \"exact_stats_bitwise\": %s,\n"
+        "                 \"max_scaled_err\": %.3e},\n"
+        "  \"ranking\": {\"hw_threads\": %zu,\n"
+        "              \"kendall_n\": %zu, \"kendall_naive_seconds\": %.5f,\n"
+        "              \"kendall_fast_seconds\": %.5f, \"kendall_speedup\": %.2f,\n"
+        "              \"kendall_identical\": %s,\n"
+        "              \"ensemble_samples\": %zu, \"ensemble_features\": %zu,\n"
+        "              \"ensemble_serial_seconds\": %.4f,\n"
+        "              \"ensemble_threads\": %zu,\n"
+        "              \"ensemble_parallel_seconds\": %.4f,\n"
+        "              \"ensemble_speedup\": %.3f, \"ensemble_identical\": %s}\n"
         "}\n",
         model.c_str(), scale.total_drives, scale.num_days, scale.trees, ds.size(),
         ds.num_features(), fit_exact_s, fit_hist_s, fit_speedup, target_recall, prec_exact,
         prec_hist, prec_hist - prec_exact, serial.size(), hw_threads, score_serial_s,
-        score_parallel_s, score_speedup, identical ? "true" : "false");
+        score_parallel_s, score_speedup, identical ? "true" : "false", fg_days_total,
+        fg_cols.size(), fg_naive_s, fg_stream_s, fg_speedup,
+        fg_exact_bitwise ? "true" : "false", fg_max_rel, hw_threads, kd_n, kd_naive_s,
+        kd_fast_s,
+        kd_speedup, kd_identical ? "true" : "false", ds.size(), ds.num_features(),
+        ens_serial_s, ens_threads, ens_parallel_s, ens_speedup,
+        ens_identical ? "true" : "false");
     js << buf;
   }
   std::printf("wrote BENCH_hotpath.json\n");
-  return identical ? 0 : 1;
+  const bool all_equivalent = identical && fg_exact_bitwise && fg_max_rel < 1e-6 &&
+                              kd_identical && ens_identical;
+  return all_equivalent ? 0 : 1;
 }

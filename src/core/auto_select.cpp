@@ -20,7 +20,7 @@ AutoSelectResult auto_select(const data::Matrix& x, std::span<const int> y,
   // under consideration), evaluated on the columns in scan order.
   std::vector<std::vector<double>> columns(nf);
   for (std::size_t i = 0; i < nf; ++i) columns[i] = x.column(order[i]);
-  const auto f_measure = stats::ensemble_complexity(columns, y);
+  const auto f_measure = stats::ensemble_complexity(columns, y, opt.num_threads);
 
   AutoSelectResult out;
   out.complexity.resize(nf);

@@ -30,6 +30,10 @@ struct AutoSelectOptions {
   /// documentation of why a faithful-in-spirit rule is used instead.
   enum class Rule { kComplexityMeanCut, kPaperLiteral };
   Rule rule = Rule::kComplexityMeanCut;
+
+  /// Worker threads for the per-feature F1/F2/F3 complexity scan; 0 =
+  /// sequential. The selected features are identical for any value.
+  std::size_t num_threads = 0;
 };
 
 /// Output of automated feature selection.

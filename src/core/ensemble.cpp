@@ -84,15 +84,19 @@ EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> ran
 
   // Pairwise Kendall-tau distances and per-ranker mean distance D-bar,
   // over the live rankers only (a failed ranker's neutral ranking would
-  // otherwise drag the distance statistics).
+  // otherwise drag the distance statistics). Sort cache: each live
+  // ranking is argsorted once and the order is shared across its k-1
+  // pairings (the merge-sort tau itself is O(n log n) per pair).
   out.mean_distance.assign(k, 0.0);
   if (live.size() > 1) {
+    std::vector<std::vector<std::size_t>> sorted(k);
+    for (std::size_t a : live) sorted[a] = stats::argsort_ascending(out.rankings[a]);
     std::vector<std::vector<double>> dist(k, std::vector<double>(k, 0.0));
     for (std::size_t ia = 0; ia < live.size(); ++ia) {
       for (std::size_t ib = ia + 1; ib < live.size(); ++ib) {
         const std::size_t a = live[ia], b = live[ib];
-        const double d = static_cast<double>(
-            stats::kendall_tau_distance(out.rankings[a], out.rankings[b]));
+        const double d = static_cast<double>(stats::kendall_tau_distance_presorted(
+            out.rankings[a], out.rankings[b], sorted[a]));
         dist[a][b] = dist[b][a] = d;
       }
     }

@@ -36,6 +36,14 @@ std::vector<std::size_t> top_fraction(const std::vector<std::size_t>& order, dou
   return {order.begin(), order.begin() + static_cast<std::ptrdiff_t>(std::min(k, order.size()))};
 }
 
+/// WEFR options with the experiment-level thread knob applied when the
+/// selection-level knob is unset (mirrors forest_options_for).
+WefrOptions wefr_options_for(const CompareConfig& cfg) {
+  WefrOptions opt = cfg.wefr;
+  if (opt.num_threads == 0) opt.num_threads = cfg.exp.num_threads;
+  return opt;
+}
+
 }  // namespace
 
 std::vector<PhaseSpec> standard_phases(int num_days, int num_phases, int phase_len) {
@@ -82,7 +90,7 @@ CompareOutcome compare_methods(const data::FleetData& fleet, const PhaseSpec& ph
   }
 
   // --- five single selectors, fraction tuned on the validation period ---
-  const auto rankers = make_standard_rankers(cfg.wefr.ranker_seed);
+  const auto rankers = make_standard_rankers(cfg.wefr.ranker_seed, cfg.exp.num_threads);
   for (const auto& ranker : rankers) {
     const auto scores_vec = ranker->score(selection.x, selection.y);
     const auto order = stats::order_by_score(scores_vec);
@@ -109,7 +117,7 @@ CompareOutcome compare_methods(const data::FleetData& fleet, const PhaseSpec& ph
 
   // --- WEFR ---
   {
-    out.wefr = run_wefr(fleet, selection, days.train_end, cfg.wefr);
+    out.wefr = run_wefr(fleet, selection, days.train_end, wefr_options_for(cfg));
     const WefrPredictor pred =
         train_predictor(fleet, out.wefr, 0, days.train_end, cfg.exp);
     MethodEval me;
@@ -130,7 +138,7 @@ AutoSweepOutcome sweep_fixed_fractions(const data::FleetData& fleet, const Phase
 
   // Fixed fractions cut the WEFR final ranking; updating is irrelevant
   // to the count question, so both arms run without wear grouping.
-  WefrOptions wopt = cfg.wefr;
+  WefrOptions wopt = wefr_options_for(cfg);
   wopt.update_with_wearout = false;
   const WefrResult sel = run_wefr(fleet, selection, days.train_end, wopt);
   const auto& order = sel.all.ensemble.order;
@@ -164,9 +172,9 @@ UpdateComparison compare_update(const data::FleetData& fleet, const PhaseSpec& p
   const DayLayout days = layout_for(phase, cfg.exp.train_frac);
   const data::Dataset selection = build_selection_samples(fleet, 0, days.train_end, cfg.exp);
 
-  WefrOptions with = cfg.wefr;
+  WefrOptions with = wefr_options_for(cfg);
   with.update_with_wearout = true;
-  WefrOptions without = cfg.wefr;
+  WefrOptions without = wefr_options_for(cfg);
   without.update_with_wearout = false;
 
   const WefrResult sel_with = run_wefr(fleet, selection, days.train_end, with);

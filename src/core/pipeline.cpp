@@ -141,9 +141,6 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
 
   const bool routed = predictor.wear_threshold.has_value() && predictor.mwi_col >= 0;
 
-  int max_win = 1;
-  for (int w : cfg.windows.windows) max_win = std::max(max_win, w);
-
   // Collect drives with observations in [t0, t1] first so the parallel
   // fan-out below writes each drive's scores into a fixed slot — output
   // order (and every value) matches the sequential run.
@@ -165,19 +162,16 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
     const int lo = std::max(t0, drive.first_day);
     const int hi = std::min(t1, drive.last_day());
 
-    // Slice to the scored range plus trailing-window history, then
-    // expand once per needed bundle.
-    const std::size_t history =
-        cfg.expand_windows ? static_cast<std::size_t>(max_win - 1) : 0;
-    const std::size_t lo_local = static_cast<std::size_t>(lo - drive.first_day);
-    const std::size_t slice_begin = lo_local >= history ? lo_local - history : 0;
-    const std::size_t slice_count =
-        static_cast<std::size_t>(hi - drive.first_day) - slice_begin + 1;
-    const data::Matrix sliced = drive.values.slice_rows(slice_begin, slice_count);
-
+    // Expand the drive's full history once per needed bundle. The
+    // streaming kernels make that O(1) per day, and full-history
+    // expansion keeps scores bit-identical no matter how the scored
+    // range is chunked (running sums would otherwise drift ~1e-15
+    // relative depending on where a slice started — enough to flip a
+    // discrete alarm near a threshold).
     auto expand_for = [&](const PredictorBundle& b) {
-      return cfg.expand_windows ? data::expand_series(sliced, b.base_cols, cfg.windows)
-                                : sliced.select_columns(b.base_cols);
+      return cfg.expand_windows
+                 ? data::expand_series(drive.values, b.base_cols, cfg.windows)
+                 : drive.values.select_columns(b.base_cols);
     };
 
     const data::Matrix all_feats = expand_for(predictor.all);
@@ -190,11 +184,10 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
     ds.first_day = lo;
     ds.scores.reserve(static_cast<std::size_t>(hi - lo + 1));
     for (int day = lo; day <= hi; ++day) {
-      const std::size_t local =
-          static_cast<std::size_t>(day - drive.first_day) - slice_begin;
+      const std::size_t local = static_cast<std::size_t>(day - drive.first_day);
       double score;
       if (routed) {
-        const double mwi = sliced(local, static_cast<std::size_t>(predictor.mwi_col));
+        const double mwi = drive.values(local, static_cast<std::size_t>(predictor.mwi_col));
         if (std::isnan(mwi)) {
           // Unroutable wear indicator: score with the whole-model bundle
           // rather than silently landing in the high-wear group.
@@ -217,9 +210,14 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
     }
   };
 
-  if (cfg.num_threads > 1 && eligible.size() > 1) {
+  // One task per drive drowned the pool in atomic traffic and task
+  // dispatch for short test windows (each drive scores only a few
+  // days): batch drives per worker instead, and stay serial outright
+  // when the fleet is too small to cover even two batches.
+  constexpr std::size_t kDriveChunk = 16;
+  if (cfg.num_threads > 1 && eligible.size() >= 2 * kDriveChunk) {
     util::ThreadPool pool(cfg.num_threads);
-    pool.parallel_for(eligible.size(), score_drive);
+    pool.parallel_for_chunked(eligible.size(), kDriveChunk, score_drive);
   } else {
     for (std::size_t slot = 0; slot < eligible.size(); ++slot) score_drive(slot);
   }

@@ -1,12 +1,14 @@
 #include "core/ranker.h"
 
 #include <cmath>
+#include <functional>
 
 #include "ml/linear.h"
 #include "stats/correlation.h"
 #include "stats/information.h"
 #include "stats/jindex.h"
 #include "stats/ranking.h"
+#include "util/thread_pool.h"
 
 namespace wefr::core {
 
@@ -15,6 +17,22 @@ namespace {
 std::vector<double> labels_as_double(std::span<const int> y) {
   std::vector<double> out(y.size());
   for (std::size_t i = 0; i < y.size(); ++i) out[i] = static_cast<double>(y[i]);
+  return out;
+}
+
+/// Per-feature fan-out shared by the statistical rankers: runs
+/// `score_col(c)` for every column, over a ThreadPool when asked. Each
+/// column writes its own slot, so output is thread-count invariant.
+std::vector<double> score_per_column(const data::Matrix& x, std::size_t num_threads,
+                                     const std::function<double(std::size_t)>& score_col) {
+  std::vector<double> out(x.cols());
+  auto run_one = [&](std::size_t c) { out[c] = score_col(c); };
+  if (num_threads > 1 && x.cols() > 1) {
+    util::ThreadPool pool(std::min(num_threads, x.cols()));
+    pool.parallel_for_chunked(x.cols(), 4, run_one);
+  } else {
+    for (std::size_t c = 0; c < x.cols(); ++c) run_one(c);
+  }
   return out;
 }
 
@@ -28,30 +46,26 @@ std::vector<double> FeatureRanker::ranking(const data::Matrix& x,
 std::vector<double> PearsonRanker::score(const data::Matrix& x,
                                          std::span<const int> y) const {
   const auto yd = labels_as_double(y);
-  std::vector<double> out(x.cols());
-  for (std::size_t c = 0; c < x.cols(); ++c) {
-    out[c] = std::abs(stats::pearson(x.column(c), yd));
-  }
-  return out;
+  return score_per_column(x, num_threads_, [&](std::size_t c) {
+    return std::abs(stats::pearson(x.column(c), yd));
+  });
 }
 
 std::vector<double> SpearmanRanker::score(const data::Matrix& x,
                                           std::span<const int> y) const {
-  const auto yd = labels_as_double(y);
-  std::vector<double> out(x.cols());
-  for (std::size_t c = 0; c < x.cols(); ++c) {
-    out[c] = std::abs(stats::spearman(x.column(c), yd));
-  }
-  return out;
+  // Rank cache: the label vector is rank-transformed once, not once per
+  // feature column (the column itself is ranked inside the scan).
+  const auto yr = stats::fractional_ranks(labels_as_double(y));
+  return score_per_column(x, num_threads_, [&](std::size_t c) {
+    return std::abs(stats::spearman_with_ranks(x.column(c), yr));
+  });
 }
 
 std::vector<double> JIndexRanker::score(const data::Matrix& x,
                                         std::span<const int> y) const {
-  std::vector<double> out(x.cols());
-  for (std::size_t c = 0; c < x.cols(); ++c) {
-    out[c] = stats::youden_j_index(x.column(c), y);
-  }
-  return out;
+  return score_per_column(x, num_threads_, [&](std::size_t c) {
+    return stats::youden_j_index(x.column(c), y);
+  });
 }
 
 ml::ForestOptions RandomForestRanker::default_options() {
@@ -65,9 +79,12 @@ ml::ForestOptions RandomForestRanker::default_options() {
 std::vector<double> RandomForestRanker::score(const data::Matrix& x,
                                               std::span<const int> y) const {
   util::Rng rng(seed_);
+  ml::ForestOptions opt = opt_;
+  if (opt.num_threads == 0) opt.num_threads = num_threads_;
   ml::RandomForest forest;
-  forest.fit(x, y, opt_, rng);
-  if (use_permutation_) return forest.permutation_importance(x, y, rng);
+  forest.fit(x, y, opt, rng);
+  if (use_permutation_)
+    return forest.permutation_importance(x, y, rng, /*repeats=*/1, num_threads_);
   return forest.impurity_importance();
 }
 
@@ -90,20 +107,16 @@ std::vector<double> XgboostRanker::score(const data::Matrix& x,
 
 std::vector<double> MutualInformationRanker::score(const data::Matrix& x,
                                                    std::span<const int> y) const {
-  std::vector<double> out(x.cols());
-  for (std::size_t c = 0; c < x.cols(); ++c) {
-    out[c] = stats::mutual_information(x.column(c), y, bins_);
-  }
-  return out;
+  return score_per_column(x, num_threads_, [&](std::size_t c) {
+    return stats::mutual_information(x.column(c), y, bins_);
+  });
 }
 
 std::vector<double> ChiSquareRanker::score(const data::Matrix& x,
                                            std::span<const int> y) const {
-  std::vector<double> out(x.cols());
-  for (std::size_t c = 0; c < x.cols(); ++c) {
-    out[c] = stats::chi_square_statistic(x.column(c), y, bins_);
-  }
-  return out;
+  return score_per_column(x, num_threads_, [&](std::size_t c) {
+    return stats::chi_square_statistic(x.column(c), y, bins_);
+  });
 }
 
 std::vector<double> LogisticRanker::score(const data::Matrix& x,
@@ -116,7 +129,8 @@ std::vector<double> LogisticRanker::score(const data::Matrix& x,
   return out;
 }
 
-std::vector<std::unique_ptr<FeatureRanker>> make_standard_rankers(std::uint64_t seed) {
+std::vector<std::unique_ptr<FeatureRanker>> make_standard_rankers(std::uint64_t seed,
+                                                                  std::size_t num_threads) {
   std::vector<std::unique_ptr<FeatureRanker>> out;
   out.push_back(std::make_unique<PearsonRanker>());
   out.push_back(std::make_unique<SpearmanRanker>());
@@ -124,14 +138,17 @@ std::vector<std::unique_ptr<FeatureRanker>> make_standard_rankers(std::uint64_t 
   out.push_back(std::make_unique<RandomForestRanker>(RandomForestRanker::default_options(),
                                                      /*use_permutation=*/false, seed));
   out.push_back(std::make_unique<XgboostRanker>(XgboostRanker::default_options(), seed + 4));
+  for (auto& r : out) r->set_num_threads(num_threads);
   return out;
 }
 
-std::vector<std::unique_ptr<FeatureRanker>> make_extended_rankers(std::uint64_t seed) {
-  auto out = make_standard_rankers(seed);
+std::vector<std::unique_ptr<FeatureRanker>> make_extended_rankers(std::uint64_t seed,
+                                                                  std::size_t num_threads) {
+  auto out = make_standard_rankers(seed, num_threads);
   out.push_back(std::make_unique<MutualInformationRanker>());
   out.push_back(std::make_unique<ChiSquareRanker>());
   out.push_back(std::make_unique<LogisticRanker>(seed + 12));
+  for (auto& r : out) r->set_num_threads(num_threads);
   return out;
 }
 

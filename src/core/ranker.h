@@ -28,6 +28,16 @@ class FeatureRanker {
   /// 1-based fractional ranking derived from score() (rank 1 = most
   /// important; ties averaged).
   std::vector<double> ranking(const data::Matrix& x, std::span<const int> y) const;
+
+  /// Worker threads for this ranker's internal per-feature (statistical
+  /// rankers) or per-tree (forest ranker) fan-out; 0 = sequential. Every
+  /// ranker writes per-feature slots or pre-forks RNG streams, so scores
+  /// are identical for any thread count.
+  void set_num_threads(std::size_t n) { num_threads_ = n; }
+  std::size_t num_threads() const { return num_threads_; }
+
+ protected:
+  std::size_t num_threads_ = 0;
 };
 
 /// |Pearson correlation| between each feature and the target.
@@ -129,11 +139,15 @@ class LogisticRanker final : public FeatureRanker {
 };
 
 /// The paper's five preliminary approaches, in Section II-C order.
-std::vector<std::unique_ptr<FeatureRanker>> make_standard_rankers(std::uint64_t seed = 7);
+/// `num_threads` is applied to every ranker's internal fan-out (see
+/// FeatureRanker::set_num_threads); results are thread-count invariant.
+std::vector<std::unique_ptr<FeatureRanker>> make_standard_rankers(std::uint64_t seed = 7,
+                                                                  std::size_t num_threads = 0);
 
 /// The five plus three further common approaches (mutual information,
 /// chi-square, logistic coefficients) — demonstrates that WEFR's
 /// ensemble is open to any preliminary selector set.
-std::vector<std::unique_ptr<FeatureRanker>> make_extended_rankers(std::uint64_t seed = 7);
+std::vector<std::unique_ptr<FeatureRanker>> make_extended_rankers(std::uint64_t seed = 7,
+                                                                  std::size_t num_threads = 0);
 
 }  // namespace wefr::core

@@ -71,9 +71,17 @@ GroupSelection select_features_for(const data::Dataset& samples, const WefrOptio
     }
   }
 
-  const auto rankers = make_standard_rankers(opt.ranker_seed);
-  out.ensemble = ensemble_rank(rankers, samples.x, samples.y, opt.ensemble, diag);
-  out.selection = auto_select(samples.x, samples.y, out.ensemble.order, opt.auto_select);
+  // The experiment-level thread knob flows into every stage that is
+  // left at its sequential default (ranker internals, ranker-level
+  // fan-out, complexity scan); per-wear-group re-selection re-enters
+  // here, so Lines 9-15 parallelize the same way.
+  const auto rankers = make_standard_rankers(opt.ranker_seed, opt.num_threads);
+  EnsembleOptions ens_opt = opt.ensemble;
+  if (ens_opt.num_threads == 0) ens_opt.num_threads = opt.num_threads;
+  AutoSelectOptions sel_opt = opt.auto_select;
+  if (sel_opt.num_threads == 0) sel_opt.num_threads = opt.num_threads;
+  out.ensemble = ensemble_rank(rankers, samples.x, samples.y, ens_opt, diag);
+  out.selection = auto_select(samples.x, samples.y, out.ensemble.order, sel_opt);
   out.selected = out.selection.selected;
   out.selected_names.reserve(out.selected.size());
   for (std::size_t c : out.selected) out.selected_names.push_back(samples.feature_names[c]);

@@ -28,6 +28,13 @@ struct WefrOptions {
   std::size_t min_group_positives = 30;
   /// Seed for the stochastic rankers (Random Forest / XGBoost).
   std::uint64_t ranker_seed = 7;
+  /// Worker threads for the whole selection hot path: ranker-level
+  /// fan-out, each ranker's internal per-feature/per-tree fan-out, and
+  /// the F1/F2/F3 complexity scan — including the per-wear-group
+  /// re-selection of Lines 9-15. Applied wherever the nested
+  /// `ensemble.num_threads` / `auto_select.num_threads` knobs are left
+  /// at 0; results are identical for any thread count. 0 = sequential.
+  std::size_t num_threads = 0;
   /// Survival-curve construction for change-point detection: minimum
   /// drives per MWI_N bucket, and bucket width (1 = per integer value
   /// as in the paper; wider stabilizes small fleets).

@@ -30,9 +30,6 @@ Dataset build_samples(const FleetData& fleet, std::span<const std::size_t> base_
                           : base_names;
   out.x = Matrix(0, out.feature_names.size());
 
-  int max_win = 1;
-  for (int w : opt.window_config.windows) max_win = std::max(max_win, w);
-
   for (std::size_t di = 0; di < fleet.drives.size(); ++di) {
     const DriveSeries& drive = fleet.drives[di];
     if (drive.num_days() == 0) continue;
@@ -41,22 +38,18 @@ Dataset build_samples(const FleetData& fleet, std::span<const std::size_t> base_
     const int hi = std::min(day_hi, drive.last_day());
     if (lo > hi) continue;
 
-    // Expand only the needed day range (plus trailing-window history) —
-    // a big win when sampling a short window of a long series.
-    const std::size_t history = opt.expand_windows ? static_cast<std::size_t>(max_win - 1) : 0;
-    const std::size_t lo_local = static_cast<std::size_t>(lo - drive.first_day);
-    const std::size_t slice_begin = lo_local >= history ? lo_local - history : 0;
-    const std::size_t slice_count =
-        static_cast<std::size_t>(hi - drive.first_day) - slice_begin + 1;
-    const Matrix sliced = drive.values.slice_rows(slice_begin, slice_count);
+    // Expand the whole series: the streaming kernels make this O(1) per
+    // day, and full-history expansion keeps every sampled sub-range
+    // bit-identical to the whole-history features (running sums would
+    // otherwise drift ~1e-15 relative depending on where a slice
+    // started).
     const Matrix features = opt.expand_windows
-                                ? expand_series(sliced, base_cols, opt.window_config)
-                                : sliced.select_columns(base_cols);
+                                ? expand_series(drive.values, base_cols, opt.window_config)
+                                : drive.values.select_columns(base_cols);
 
     for (int day = lo; day <= hi; ++day) {
       if (opt.keep && !opt.keep(di, day)) continue;
-      const std::size_t local =
-          static_cast<std::size_t>(day - drive.first_day) - slice_begin;
+      const std::size_t local = static_cast<std::size_t>(day - drive.first_day);
       const bool positive =
           drive.failed() && drive.fail_day > day && drive.fail_day <= day + opt.horizon_days;
       if (!positive && opt.negative_keep_prob < 1.0 && !rng->bernoulli(opt.negative_keep_prob))

@@ -1,11 +1,41 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace wefr::data {
+
+namespace detail {
+
+/// Allocator whose plain construct() default-initializes — i.e. leaves
+/// trivially-constructible elements uninitialized. Lets
+/// Matrix::uninitialized() skip the zero fill for buffers the caller is
+/// about to overwrite entirely (the rolling-feature expansion writes
+/// every cell; zeroing 1+ MB per drive first is pure write traffic).
+/// Fill- and copy-construction are unchanged.
+template <typename T>
+class DefaultInitAllocator : public std::allocator<T> {
+ public:
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  using std::allocator<T>::allocator;
+  template <typename U>
+  void construct(U* p) noexcept(std::is_nothrow_default_constructible_v<U>) {
+    ::new (static_cast<void*>(p)) U;
+  }
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+  }
+};
+
+}  // namespace detail
 
 /// Dense row-major matrix of doubles.
 ///
@@ -19,6 +49,13 @@ class Matrix {
   /// Creates a `rows x cols` matrix initialized to `fill`.
   Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
       : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Creates a `rows x cols` matrix with UNINITIALIZED contents; the
+  /// caller must write every cell before reading any. For hot paths
+  /// that fully overwrite the matrix anyway (e.g. window expansion).
+  static Matrix uninitialized(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols, UninitTag{});
+  }
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -99,13 +136,21 @@ class Matrix {
   std::span<const double> raw() const { return data_; }
 
  private:
+  struct UninitTag {};
+
+  Matrix(std::size_t rows, std::size_t cols, UninitTag)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
   void check(std::size_t r, std::size_t c) const {
     if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
   }
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  // DefaultInitAllocator: vector(count) leaves doubles uninitialized
+  // (UninitTag path); fill/copy construction behaves exactly like
+  // std::vector<double>.
+  std::vector<double, detail::DefaultInitAllocator<double>> data_;
 };
 
 }  // namespace wefr::data

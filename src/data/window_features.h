@@ -34,7 +34,38 @@ std::size_t expansion_factor(const WindowFeatureConfig& cfg = {});
 /// features), restricted to the base columns `base_cols`, into the
 /// day-major expanded matrix (rows = days, cols = base_cols.size() *
 /// expansion_factor()).
+///
+/// Streaming implementation, O(1) per day per window stat, organized as
+/// branchless element-wise passes (auto-vectorized, with AVX2 clones on
+/// x86-64):
+///  - max/min/range from a sparse table: per column, log2(max window)
+///    levels of running extrema over trailing power-of-two spans; each
+///    full window is then the extremum of two overlapping spans.
+///    Value-identical to the naive rescans and bit-identical in
+///    practice (the only caveat is which representative of a mixed
+///    +/-0.0 tie survives).
+///  - mean/std/wma from three shared prefix sums (x, x*x, (t+1)*x) as
+///    prefix differences in one fused loop. While a window is still
+///    growing these replay the naive folds bit-for-bit; once it slides
+///    they agree to ~1e-9 relative: the prefix forms round differently,
+///    std carries the sum2/n - mean^2 cancellation both kernels share
+///    (quantizing near-zero standard deviations at ~sqrt(ulp) of the
+///    value scale), and the wma closed form cancels terms of magnitude
+///    ~days^2 * scale (absolute error ~eps * days^2 * scale).
+/// Each base column is staged through contiguous scratch buffers so
+/// neither the strided input column nor the strided output columns are
+/// walked in the inner loop, and the output matrix is allocated
+/// uninitialized since every cell is overwritten. A column containing
+/// any non-finite value (NaN holes from recover-mode ingestion) falls
+/// back to the naive kernel for that column, preserving its exact
+/// semantics.
 Matrix expand_series(const Matrix& series, std::span<const std::size_t> base_cols,
                      const WindowFeatureConfig& cfg = {});
+
+/// The original O(days * window) reference implementation, retained as
+/// the equivalence oracle for `expand_series` (see tests/test_perf_kernels
+/// and the featuregen section of bench_hotpath).
+Matrix expand_series_naive(const Matrix& series, std::span<const std::size_t> base_cols,
+                           const WindowFeatureConfig& cfg = {});
 
 }  // namespace wefr::data

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/thread_pool.h"
+
 namespace wefr::stats {
 
 ComplexityMeasures feature_complexity(std::span<const double> x, std::span<const int> y) {
@@ -77,15 +79,22 @@ ComplexityMeasures feature_complexity(std::span<const double> x, std::span<const
 }
 
 std::vector<double> ensemble_complexity(std::span<const std::vector<double>> columns,
-                                        std::span<const int> y) {
+                                        std::span<const int> y,
+                                        std::size_t num_threads) {
   const std::size_t nf = columns.size();
   std::vector<double> inv_f1(nf), f2(nf), inv_f3(nf);
   constexpr double kEps = 1e-12;
-  for (std::size_t i = 0; i < nf; ++i) {
+  auto scan_one = [&](std::size_t i) {
     const auto cm = feature_complexity(columns[i], y);
     inv_f1[i] = 1.0 / (cm.fisher_ratio + kEps);
     f2[i] = cm.overlap_volume;
     inv_f3[i] = 1.0 / (cm.feature_efficiency + kEps);
+  };
+  if (num_threads > 1 && nf > 1) {
+    util::ThreadPool pool(std::min(num_threads, nf));
+    pool.parallel_for(nf, scan_one);
+  } else {
+    for (std::size_t i = 0; i < nf; ++i) scan_one(i);
   }
   auto minmax_normalize = [](std::vector<double>& v) {
     if (v.empty()) return;

@@ -34,7 +34,12 @@ ComplexityMeasures feature_complexity(std::span<const double> x, std::span<const
 /// used in the automated threshold.
 ///
 /// `columns[i]` is the i-th feature's values (all the same length as `y`).
+///
+/// `num_threads > 1` fans the per-feature F1/F2/F3 computation over a
+/// util::ThreadPool; each feature writes its own slot, so the result is
+/// identical for any thread count.
 std::vector<double> ensemble_complexity(std::span<const std::vector<double>> columns,
-                                        std::span<const int> y);
+                                        std::span<const int> y,
+                                        std::size_t num_threads = 0);
 
 }  // namespace wefr::stats

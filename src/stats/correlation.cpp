@@ -38,4 +38,11 @@ double spearman(std::span<const double> x, std::span<const double> y) {
   return pearson(rx, ry);
 }
 
+double spearman_with_ranks(std::span<const double> x, std::span<const double> y_ranks) {
+  if (x.size() != y_ranks.size())
+    throw std::invalid_argument("spearman_with_ranks: length mismatch");
+  const auto rx = fractional_ranks(x);
+  return pearson(rx, y_ranks);
+}
+
 }  // namespace wefr::stats

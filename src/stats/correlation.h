@@ -12,4 +12,11 @@ double pearson(std::span<const double> x, std::span<const double> y);
 /// Spearman rank correlation: Pearson on fractional ranks (tie-aware).
 double spearman(std::span<const double> x, std::span<const double> y);
 
+/// Spearman against an already rank-transformed second argument
+/// (`y_ranks` = fractional_ranks(y)). Ranking one side of a correlation
+/// scan against a fixed target is the hot case — the ensemble's
+/// Spearman ranker ranks the label vector once instead of once per
+/// feature column.
+double spearman_with_ranks(std::span<const double> x, std::span<const double> y_ranks);
+
 }  // namespace wefr::stats

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <span>
+#include <vector>
 
 namespace wefr::stats {
 
@@ -10,11 +12,31 @@ namespace wefr::stats {
 /// between ranking A and ranking B. Rankings are "rank position per
 /// feature" vectors (smaller = more important); fractional tied ranks
 /// are allowed, and a pair tied in either ranking counts as concordant
-/// (theta = 0), matching the paper's definition of "same order".
+/// (theta = 0), matching the paper's definition of "same order". A pair
+/// involving a NaN rank is never discordant (NaN comparisons are false),
+/// matching the naive reference.
 ///
-/// O(n^2); rankings here have tens of features, so this is plenty.
+/// O(n log n): sort by (rank_a, rank_b), then count the strict
+/// inversions of the rank_b sequence with a merge sort — rankings over
+/// window-expanded feature sets reach thousands of entries, and the
+/// ensemble computes one distance per ranker pair per wear group.
 std::size_t kendall_tau_distance(std::span<const double> rank_a,
                                  std::span<const double> rank_b);
+
+/// The original O(n^2) pair-scan reference, retained as the equivalence
+/// oracle for the merge-sort path (tests/test_perf_kernels, and the
+/// ranking section of bench_hotpath).
+std::size_t kendall_tau_distance_naive(std::span<const double> rank_a,
+                                       std::span<const double> rank_b);
+
+/// As `kendall_tau_distance`, but reusing a precomputed ascending
+/// argsort of `rank_a` (ties in any relative order) — the sort cache the
+/// ensemble shares across a ranker's pairwise distances, so each ranking
+/// is argsorted exactly once. Both rankings must be NaN-free (ensemble
+/// rankings are: they come from sanitized scores).
+std::size_t kendall_tau_distance_presorted(std::span<const double> rank_a,
+                                           std::span<const double> rank_b,
+                                           std::span<const std::size_t> order_a);
 
 /// Normalized distance in [0, 1]: distance / C(n, 2). Returns 0 for
 /// rankings with fewer than two items.

@@ -22,7 +22,11 @@ std::vector<std::size_t> argsort_descending(std::span<const double> xs) {
 }
 
 std::vector<double> fractional_ranks(std::span<const double> xs) {
-  const auto order = argsort_ascending(xs);
+  return fractional_ranks_from_order(xs, argsort_ascending(xs));
+}
+
+std::vector<double> fractional_ranks_from_order(std::span<const double> xs,
+                                                std::span<const std::size_t> order) {
   std::vector<double> ranks(xs.size(), 0.0);
   std::size_t i = 0;
   while (i < order.size()) {

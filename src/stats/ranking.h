@@ -15,6 +15,12 @@ std::vector<std::size_t> argsort_descending(std::span<const double> xs);
 /// transform used by the Spearman correlation.
 std::vector<double> fractional_ranks(std::span<const double> xs);
 
+/// As `fractional_ranks`, reusing a precomputed ascending argsort of
+/// `xs` — the rank-cache primitive: callers that need both the order and
+/// the ranks (or rank several views of one column) sort exactly once.
+std::vector<double> fractional_ranks_from_order(std::span<const double> xs,
+                                                std::span<const std::size_t> order);
+
 /// Converts importance scores (higher = more important) into a ranking:
 /// `result[i]` is the 1-based rank position of feature i (1 = most
 /// important). Ties receive averaged (fractional) positions so that two

@@ -51,6 +51,18 @@ class ThreadPool {
   /// first one encountered).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// As `parallel_for`, but workers claim contiguous batches of at
+  /// least `min_chunk` iterations from the shared counter instead of
+  /// one index at a time. For many small iterations (scoring one drive,
+  /// ranking one feature) this amortizes the atomic traffic and keeps
+  /// each worker on a contiguous slice of the output. The chunk size
+  /// grows to n / (4 * workers) when that is larger, so big inputs
+  /// still balance across the pool. Iteration order within a chunk is
+  /// ascending; results must not depend on cross-chunk ordering (ours
+  /// never do — every iteration writes its own slot).
+  void parallel_for_chunked(std::size_t n, std::size_t min_chunk,
+                            const std::function<void(std::size_t)>& fn);
+
  private:
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

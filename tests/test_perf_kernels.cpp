@@ -1,0 +1,345 @@
+// Equivalence tests for the streaming hot-path kernels: every fast path
+// introduced by the perf work is checked against its retained naive
+// reference on randomized inputs — bit-exact for the monotonic-deque and
+// merge-sort kernels, 1e-9 relative for the running-sum kernels — plus
+// thread-count determinism for the parallel fan-outs. These carry the
+// `perf` ctest label (ctest -L perf) so the whole family runs as one
+// fast smoke.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/auto_select.h"
+#include "core/ensemble.h"
+#include "core/ranker.h"
+#include "data/window_features.h"
+#include "stats/complexity.h"
+#include "stats/kendall.h"
+#include "stats/ranking.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace wefr {
+namespace {
+
+// --- helpers -------------------------------------------------------------
+
+/// Bitwise double equality (NaN == NaN, distinguishes -0.0 from 0.0).
+bool bit_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+data::Matrix random_series(util::Rng& rng, std::size_t days, std::size_t cols) {
+  data::Matrix m(days, cols);
+  for (std::size_t d = 0; d < days; ++d)
+    for (std::size_t c = 0; c < cols; ++c) {
+      // Mix of scales plus repeated values so windows hit genuine ties.
+      const double v = rng.bernoulli(0.2) ? static_cast<double>(rng.uniform_int(-3, 3))
+                                          : rng.normal(0.0, 100.0);
+      m(d, c) = v;
+    }
+  return m;
+}
+
+/// Compares streaming vs naive expansion. Identity/max/min/range columns
+/// must be bit-identical; mean/wma within 1e-9 relative; std within 1e-9
+/// relative plus a scale-aware absolute term — both kernels compute
+/// variance as sum2/n - mean^2, whose cancellation quantizes near-zero
+/// variances at ~ulp(scale^2), so two correct implementations can land
+/// on different quanta (std differing by ~sqrt(ulp) * scale).
+void expect_expansion_equivalent(const data::Matrix& series,
+                                 const std::vector<std::size_t>& base_cols,
+                                 const data::WindowFeatureConfig& cfg) {
+  const data::Matrix fast = data::expand_series(series, base_cols, cfg);
+  const data::Matrix ref = data::expand_series_naive(series, base_cols, cfg);
+  ASSERT_EQ(fast.rows(), ref.rows());
+  ASSERT_EQ(fast.cols(), ref.cols());
+  const std::size_t factor = data::expansion_factor(cfg);
+  std::vector<double> scale(base_cols.size(), 0.0);
+  for (std::size_t b = 0; b < base_cols.size(); ++b)
+    for (std::size_t d = 0; d < series.rows(); ++d)
+      scale[b] = std::max(scale[b], std::abs(series(d, base_cols[b])));
+  for (std::size_t d = 0; d < ref.rows(); ++d) {
+    for (std::size_t c = 0; c < ref.cols(); ++c) {
+      // Column layout per base feature: identity, then per window
+      // {max, min, mean, std, range, wma}.
+      const std::size_t within = c % factor;
+      const std::size_t stat = within == 0 ? 0 : (within - 1) % 6;
+      const bool exact = within == 0 || stat == 0 || stat == 1 || stat == 4;
+      const double f = fast(d, c), r = ref(d, c);
+      const double s = scale[c / factor];
+      if (exact) {
+        EXPECT_TRUE(bit_equal(f, r)) << "day " << d << " col " << c << ": streaming " << f
+                                     << " vs naive " << r;
+      } else if (stat == 3) {  // std
+        const double tol = 1e-9 * std::max(1.0, std::abs(r)) + 1e-7 * s;
+        EXPECT_NEAR(f, r, tol) << "day " << d << " col " << c;
+      } else {  // mean, wma
+        const double tol = 1e-9 * std::max(1.0, std::abs(r)) + 1e-12 * s;
+        EXPECT_NEAR(f, r, tol) << "day " << d << " col " << c;
+      }
+    }
+  }
+}
+
+// --- streaming rolling-window kernels ------------------------------------
+
+TEST(PerfKernels, StreamingExpansionMatchesNaiveAcrossWindowSizes) {
+  util::Rng rng(20260806);
+  // Window sets deliberately include w == 1 (degenerate), the defaults,
+  // overlapping larger windows, and w > days (never slides).
+  const std::vector<std::vector<int>> window_sets = {
+      {1}, {3, 7}, {7, 14, 30}, {1, 2, 64}, {200}};
+  for (const auto& windows : window_sets) {
+    for (const std::size_t days : {1u, 2u, 7u, 40u, 150u}) {
+      data::WindowFeatureConfig cfg;
+      cfg.windows = windows;
+      const data::Matrix series = random_series(rng, days, 4);
+      const std::vector<std::size_t> base_cols = {0, 2, 3};
+      SCOPED_TRACE("days=" + std::to_string(days) +
+                   " first_window=" + std::to_string(windows[0]));
+      expect_expansion_equivalent(series, base_cols, cfg);
+    }
+  }
+}
+
+TEST(PerfKernels, StreamingExpansionConstantAndAdversarialColumns) {
+  data::WindowFeatureConfig cfg;
+  cfg.windows = {3, 7};
+  data::Matrix series(60, 3);
+  util::Rng rng(7);
+  for (std::size_t d = 0; d < series.rows(); ++d) {
+    series(d, 0) = 42.0;                                  // constant
+    series(d, 1) = (d % 2 == 0) ? 1e12 : -1e12;           // alternating extremes
+    series(d, 2) = static_cast<double>(series.rows() - d);  // strictly decreasing
+  }
+  const std::vector<std::size_t> base_cols = {0, 1, 2};
+  expect_expansion_equivalent(series, base_cols, cfg);
+}
+
+TEST(PerfKernels, NanHoleColumnsFallBackToNaiveBitwise) {
+  util::Rng rng(99);
+  data::Matrix series = random_series(rng, 50, 3);
+  // Poke NaN holes into column 1 only; columns 0 and 2 stay streaming.
+  for (const std::size_t d : {0u, 13u, 14u, 49u})
+    series(d, 1) = std::numeric_limits<double>::quiet_NaN();
+  data::WindowFeatureConfig cfg;
+  cfg.windows = {3, 7};
+  const std::vector<std::size_t> base_cols = {0, 1, 2};
+  const data::Matrix fast = data::expand_series(series, base_cols, cfg);
+  const data::Matrix ref = data::expand_series_naive(series, base_cols, cfg);
+  ASSERT_EQ(fast.rows(), ref.rows());
+  ASSERT_EQ(fast.cols(), ref.cols());
+  const std::size_t factor = data::expansion_factor(cfg);
+  // The NaN column (base index 1 -> expanded columns [factor, 2*factor))
+  // must match the naive kernel bit for bit, NaNs included.
+  for (std::size_t d = 0; d < ref.rows(); ++d)
+    for (std::size_t c = factor; c < 2 * factor; ++c)
+      EXPECT_TRUE(bit_equal(fast(d, c), ref(d, c)))
+          << "day " << d << " col " << c << ": " << fast(d, c) << " vs " << ref(d, c);
+}
+
+TEST(PerfKernels, ExpansionOfSuffixSliceMatchesFullHistoryWhereWindowsFull) {
+  // Sanity for the system-level invariance fix: once every window is
+  // full, a slice carrying max_win-1 days of history reproduces the
+  // full-history values to rounding; build_samples/score_fleet go
+  // further and always expand the full history for bit-exactness.
+  util::Rng rng(1234);
+  const data::Matrix series = random_series(rng, 80, 2);
+  data::WindowFeatureConfig cfg;
+  cfg.windows = {3, 7};
+  const std::vector<std::size_t> base_cols = {0, 1};
+  const data::Matrix full = data::expand_series(series, base_cols, cfg);
+  const std::size_t begin = 30;
+  const data::Matrix sliced = series.slice_rows(begin - 6, series.rows() - (begin - 6));
+  const data::Matrix part = data::expand_series(sliced, base_cols, cfg);
+  for (std::size_t d = begin; d < series.rows(); ++d)
+    for (std::size_t c = 0; c < full.cols(); ++c)
+      EXPECT_NEAR(part(d - (begin - 6), c), full(d, c),
+                  1e-9 * std::max(1.0, std::abs(full(d, c))));
+}
+
+// --- merge-sort Kendall tau ----------------------------------------------
+
+std::vector<double> random_ranking(util::Rng& rng, std::size_t n, bool with_nan) {
+  // Scores drawn from a small integer range produce heavy ties, which
+  // ranking_from_scores turns into fractional tied ranks.
+  std::vector<double> scores(n);
+  for (auto& s : scores) s = static_cast<double>(rng.uniform_int(0, 6));
+  auto ranks = stats::ranking_from_scores(scores);
+  if (with_nan)
+    for (auto& r : ranks)
+      if (rng.bernoulli(0.1)) r = std::numeric_limits<double>::quiet_NaN();
+  return ranks;
+}
+
+TEST(PerfKernels, MergeSortKendallMatchesNaiveWithTies) {
+  util::Rng rng(555);
+  for (int rep = 0; rep < 40; ++rep) {
+    const std::size_t n = 1 + rng.uniform_index(120);
+    const auto a = random_ranking(rng, n, /*with_nan=*/false);
+    const auto b = random_ranking(rng, n, /*with_nan=*/false);
+    EXPECT_EQ(stats::kendall_tau_distance(a, b), stats::kendall_tau_distance_naive(a, b))
+        << "rep " << rep << " n " << n;
+    // The shared-sort-cache variant must agree too.
+    const auto order_a = stats::argsort_ascending(a);
+    EXPECT_EQ(stats::kendall_tau_distance_presorted(a, b, order_a),
+              stats::kendall_tau_distance_naive(a, b));
+  }
+}
+
+TEST(PerfKernels, MergeSortKendallMatchesNaiveWithNanHoles) {
+  util::Rng rng(777);
+  for (int rep = 0; rep < 40; ++rep) {
+    const std::size_t n = 1 + rng.uniform_index(80);
+    const auto a = random_ranking(rng, n, /*with_nan=*/true);
+    const auto b = random_ranking(rng, n, /*with_nan=*/true);
+    EXPECT_EQ(stats::kendall_tau_distance(a, b), stats::kendall_tau_distance_naive(a, b))
+        << "rep " << rep << " n " << n;
+  }
+}
+
+TEST(PerfKernels, KendallKnownValuesAndEdgeCases) {
+  const std::vector<double> empty;
+  EXPECT_EQ(stats::kendall_tau_distance(empty, empty), 0u);
+  const std::vector<double> one = {1.0};
+  EXPECT_EQ(stats::kendall_tau_distance(one, one), 0u);
+  const std::vector<double> asc = {1, 2, 3, 4};
+  const std::vector<double> desc = {4, 3, 2, 1};
+  EXPECT_EQ(stats::kendall_tau_distance(asc, desc), 6u);  // all C(4,2) pairs flip
+  EXPECT_EQ(stats::kendall_tau_distance(asc, asc), 0u);
+}
+
+TEST(PerfKernels, RankCachePrimitivesMatchDirectComputation) {
+  util::Rng rng(31337);
+  std::vector<double> xs(200);
+  for (auto& x : xs) x = static_cast<double>(rng.uniform_int(0, 9));
+  const auto order = stats::argsort_ascending(xs);
+  const auto direct = stats::fractional_ranks(xs);
+  const auto cached = stats::fractional_ranks_from_order(xs, order);
+  ASSERT_EQ(direct.size(), cached.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) EXPECT_DOUBLE_EQ(direct[i], cached[i]);
+}
+
+// --- thread-count determinism --------------------------------------------
+
+/// Small but non-degenerate selection problem: a few informative
+/// columns, a few noise columns, heavy-tailed scales.
+struct RankerProblem {
+  data::Matrix x;
+  std::vector<int> y;
+};
+
+RankerProblem make_problem(std::uint64_t seed, std::size_t rows = 240,
+                           std::size_t cols = 12) {
+  util::Rng rng(seed);
+  RankerProblem p;
+  p.x = data::Matrix(rows, cols);
+  p.y.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const int label = rng.bernoulli(0.3) ? 1 : 0;
+    p.y[r] = label;
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double signal = c < 4 ? 2.0 * label * static_cast<double>(c + 1) : 0.0;
+      p.x(r, c) = signal + rng.normal(0.0, 1.0 + static_cast<double>(c));
+    }
+  }
+  return p;
+}
+
+TEST(PerfKernels, RankerScoresInvariantAcrossThreadCounts) {
+  const RankerProblem p = make_problem(42);
+  const auto base = core::make_standard_rankers(/*seed=*/7, /*num_threads=*/0);
+  std::vector<std::vector<double>> reference;
+  for (const auto& r : base) reference.push_back(r->score(p.x, p.y));
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const auto rankers = core::make_standard_rankers(/*seed=*/7, threads);
+    ASSERT_EQ(rankers.size(), base.size());
+    for (std::size_t i = 0; i < rankers.size(); ++i) {
+      const auto got = rankers[i]->score(p.x, p.y);
+      ASSERT_EQ(got.size(), reference[i].size()) << rankers[i]->name();
+      for (std::size_t c = 0; c < got.size(); ++c)
+        EXPECT_TRUE(bit_equal(got[c], reference[i][c]))
+            << rankers[i]->name() << " col " << c << " at " << threads << " threads: "
+            << got[c] << " vs " << reference[i][c];
+    }
+  }
+}
+
+TEST(PerfKernels, EnsembleAndSelectionInvariantAcrossThreadCounts) {
+  const RankerProblem p = make_problem(4242);
+  core::EnsembleOptions ens;
+  core::AutoSelectOptions sel;
+  const auto run = [&](std::size_t threads) {
+    const auto rankers = core::make_standard_rankers(/*seed=*/7, threads);
+    ens.num_threads = threads;
+    sel.num_threads = threads;
+    const auto ranked = core::ensemble_rank(rankers, p.x, p.y, ens);
+    const auto chosen = core::auto_select(p.x, p.y, ranked.order, sel);
+    return std::make_pair(ranked, chosen);
+  };
+  const auto [ranked1, chosen1] = run(1);
+  for (const std::size_t threads : {2u, 8u}) {
+    const auto [ranked, chosen] = run(threads);
+    EXPECT_EQ(ranked.order, ranked1.order) << threads << " threads";
+    EXPECT_EQ(ranked.final_ranking, ranked1.final_ranking) << threads << " threads";
+    EXPECT_EQ(ranked.discarded, ranked1.discarded) << threads << " threads";
+    EXPECT_EQ(chosen.selected, chosen1.selected) << threads << " threads";
+    EXPECT_EQ(chosen.complexity, chosen1.complexity) << threads << " threads";
+  }
+}
+
+TEST(PerfKernels, ComplexityScanInvariantAcrossThreadCounts) {
+  const RankerProblem p = make_problem(2026);
+  std::vector<std::vector<double>> columns;
+  for (std::size_t c = 0; c < p.x.cols(); ++c) columns.push_back(p.x.column(c));
+  const auto serial = stats::ensemble_complexity(columns, p.y, 0);
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const auto got = stats::ensemble_complexity(columns, p.y, threads);
+    ASSERT_EQ(got.size(), serial.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_TRUE(bit_equal(got[i], serial[i])) << "feature " << i;
+  }
+}
+
+// --- chunked parallel_for ------------------------------------------------
+
+TEST(PerfKernels, ParallelForChunkedCoversEveryIndexExactlyOnce) {
+  for (const std::size_t n : {0u, 1u, 7u, 16u, 100u, 1000u}) {
+    for (const std::size_t min_chunk : {1u, 4u, 16u, 2048u}) {
+      for (const std::size_t threads : {1u, 3u, 8u}) {
+        util::ThreadPool pool(threads);
+        std::vector<std::atomic<int>> hits(n);
+        for (auto& h : hits) h.store(0);
+        pool.parallel_for_chunked(n, min_chunk,
+                                  [&](std::size_t i) { hits[i].fetch_add(1); });
+        for (std::size_t i = 0; i < n; ++i)
+          ASSERT_EQ(hits[i].load(), 1)
+              << "n=" << n << " min_chunk=" << min_chunk << " threads=" << threads
+              << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(PerfKernels, ParallelForChunkedPropagatesExceptions) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for_chunked(100, 8,
+                                         [](std::size_t i) {
+                                           if (i == 57) throw std::runtime_error("boom");
+                                         }),
+               std::runtime_error);
+  // Pool still usable afterwards.
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for_chunked(10, 2, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+}  // namespace
+}  // namespace wefr
