@@ -4,10 +4,15 @@
 // operating point, streaming vs naive rolling-feature expansion, and
 // the merge-sort vs pair-scan Kendall ranking kernel.
 //
+// Also gates the wefr::obs zero-overhead contract: scoring with tracing
+// and metrics enabled must stay within 5% of the disabled run, or the
+// bench exits non-zero.
+//
 // Prints a human-readable report and writes machine-readable
 // BENCH_hotpath.json into the working directory (schema documented in
 // README.md, "Performance"). Honors the usual WEFR_BENCH_* knobs (see
 // bench_common.h).
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -19,6 +24,10 @@
 #include "core/wefr.h"
 #include "data/window_features.h"
 #include "ml/random_forest.h"
+#include "obs/context.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/kendall.h"
 #include "stats/ranking.h"
 #include "util/rng.h"
@@ -261,52 +270,88 @@ int main() {
               ds.size(), ds.num_features(), ens_serial_s, ens_threads, ens_parallel_s,
               ens_speedup, ens_identical ? "identical" : "DIFFER");
 
+  // --- 6. obs overhead gate: scoring with a live Tracer + Registry
+  // must cost at most 5% over the disabled (null Context) run. Reps are
+  // interleaved and the minimum kept on each side — the stable estimate
+  // of intrinsic cost under scheduler noise — with a small absolute
+  // escape hatch so a micro-scale run (sub-10ms totals) cannot fail the
+  // gate on timer granularity alone.
+  cfg_score.num_threads = 1;
+  const int obs_reps = 3;
+  double obs_off_s = 1e300, obs_on_s = 1e300;
+  std::size_t obs_spans = 0;
+  for (int rep = 0; rep < obs_reps; ++rep) {
+    sw.reset();
+    const auto off = core::score_fleet(fleet, predictor, phase.test_start,
+                                       phase.test_end, cfg_score);
+    obs_off_s = std::min(obs_off_s, sw.seconds());
+
+    obs::Tracer tracer;
+    obs::Registry registry;
+    obs::Context ctx{&tracer, &registry};
+    sw.reset();
+    const auto on = core::score_fleet(fleet, predictor, phase.test_start,
+                                      phase.test_end, cfg_score, nullptr, &ctx);
+    obs_on_s = std::min(obs_on_s, sw.seconds());
+    obs_spans = tracer.size();
+    if (rep == 0 && !(off.size() == on.size())) break;  // shape mismatch: gate fails below
+  }
+  const double obs_ratio = obs_off_s > 0.0 ? obs_on_s / obs_off_s : 1.0;
+  const bool obs_gate_pass = obs_ratio <= 1.05 || obs_on_s - obs_off_s < 0.005;
+  std::printf("obs overhead gate (score_fleet, min of %d reps):\n"
+              "  disabled: %8.3f s\n"
+              "  enabled:  %8.3f s   (ratio %.3f, %zu spans; gate %s)\n\n",
+              obs_reps, obs_off_s, obs_on_s, obs_ratio, obs_spans,
+              obs_gate_pass ? "PASS" : "FAIL");
+
   // --- machine-readable summary.
   {
     std::ofstream js("BENCH_hotpath.json");
-    char buf[4096];
-    std::snprintf(
-        buf, sizeof(buf),
-        "{\n"
-        "  \"model\": \"%s\",\n"
-        "  \"scale\": {\"drives\": %zu, \"days\": %d, \"trees\": %zu},\n"
-        "  \"fit\": {\"samples\": %zu, \"features\": %zu,\n"
-        "          \"exact_seconds\": %.4f, \"histogram_seconds\": %.4f,\n"
-        "          \"speedup\": %.3f},\n"
-        "  \"quality\": {\"target_recall\": %.3f, \"precision_exact\": %.5f,\n"
-        "              \"precision_histogram\": %.5f, \"precision_diff\": %.5f},\n"
-        "  \"score\": {\"drives\": %zu, \"threads\": %zu,\n"
-        "            \"serial_seconds\": %.4f, \"parallel_seconds\": %.4f,\n"
-        "            \"speedup\": %.3f, \"outputs_identical\": %s},\n"
-        "  \"featuregen\": {\"drive_days\": %zu, \"base_features\": %zu,\n"
-        "                 \"windows\": [7, 14, 30],\n"
-        "                 \"naive_seconds\": %.4f, \"streaming_seconds\": %.4f,\n"
-        "                 \"speedup\": %.3f, \"exact_stats_bitwise\": %s,\n"
-        "                 \"max_scaled_err\": %.3e},\n"
-        "  \"ranking\": {\"hw_threads\": %zu,\n"
-        "              \"kendall_n\": %zu, \"kendall_naive_seconds\": %.5f,\n"
-        "              \"kendall_fast_seconds\": %.5f, \"kendall_speedup\": %.2f,\n"
-        "              \"kendall_identical\": %s,\n"
-        "              \"ensemble_samples\": %zu, \"ensemble_features\": %zu,\n"
-        "              \"ensemble_serial_seconds\": %.4f,\n"
-        "              \"ensemble_threads\": %zu,\n"
-        "              \"ensemble_parallel_seconds\": %.4f,\n"
-        "              \"ensemble_speedup\": %.3f, \"ensemble_identical\": %s}\n"
-        "}\n",
-        model.c_str(), scale.total_drives, scale.num_days, scale.trees, ds.size(),
-        ds.num_features(), fit_exact_s, fit_hist_s, fit_speedup, target_recall, prec_exact,
-        prec_hist, prec_hist - prec_exact, serial.size(), hw_threads, score_serial_s,
-        score_parallel_s, score_speedup, identical ? "true" : "false", fg_days_total,
-        fg_cols.size(), fg_naive_s, fg_stream_s, fg_speedup,
-        fg_exact_bitwise ? "true" : "false", fg_max_rel, hw_threads, kd_n, kd_naive_s,
-        kd_fast_s,
-        kd_speedup, kd_identical ? "true" : "false", ds.size(), ds.num_features(),
-        ens_serial_s, ens_threads, ens_parallel_s, ens_speedup,
-        ens_identical ? "true" : "false");
-    js << buf;
+    obs::json::Writer w(js);
+    w.begin_object();
+    w.field("model", model);
+    w.key("scale").begin_object();
+    w.field("drives", scale.total_drives).field("days", scale.num_days);
+    w.field("trees", scale.trees).end_object();
+    w.key("fit").begin_object();
+    w.field("samples", ds.size()).field("features", ds.num_features());
+    w.field("exact_seconds", fit_exact_s).field("histogram_seconds", fit_hist_s);
+    w.field("speedup", fit_speedup).end_object();
+    w.key("quality").begin_object();
+    w.field("target_recall", target_recall).field("precision_exact", prec_exact);
+    w.field("precision_histogram", prec_hist);
+    w.field("precision_diff", prec_hist - prec_exact).end_object();
+    w.key("score").begin_object();
+    w.field("drives", serial.size()).field("threads", hw_threads);
+    w.field("serial_seconds", score_serial_s).field("parallel_seconds", score_parallel_s);
+    w.field("speedup", score_speedup).field("outputs_identical", identical).end_object();
+    w.key("featuregen").begin_object();
+    w.field("drive_days", fg_days_total).field("base_features", fg_cols.size());
+    w.key("windows").begin_array().value(7).value(14).value(30).end_array();
+    w.field("naive_seconds", fg_naive_s).field("streaming_seconds", fg_stream_s);
+    w.field("speedup", fg_speedup).field("exact_stats_bitwise", fg_exact_bitwise);
+    w.field("max_scaled_err", fg_max_rel).end_object();
+    w.key("ranking").begin_object();
+    w.field("hw_threads", hw_threads);
+    w.field("kendall_n", kd_n).field("kendall_naive_seconds", kd_naive_s);
+    w.field("kendall_fast_seconds", kd_fast_s).field("kendall_speedup", kd_speedup);
+    w.field("kendall_identical", kd_identical);
+    w.field("ensemble_samples", ds.size()).field("ensemble_features", ds.num_features());
+    w.field("ensemble_serial_seconds", ens_serial_s);
+    w.field("ensemble_threads", ens_threads);
+    w.field("ensemble_parallel_seconds", ens_parallel_s);
+    w.field("ensemble_speedup", ens_speedup);
+    w.field("ensemble_identical", ens_identical).end_object();
+    w.key("obs").begin_object();
+    w.field("reps", obs_reps).field("spans", obs_spans);
+    w.field("disabled_seconds", obs_off_s).field("enabled_seconds", obs_on_s);
+    w.field("overhead_ratio", obs_ratio).field("max_ratio", 1.05);
+    w.field("gate_pass", obs_gate_pass).end_object();
+    w.end_object();
+    js << '\n';
   }
   std::printf("wrote BENCH_hotpath.json\n");
   const bool all_equivalent = identical && fg_exact_bitwise && fg_max_rel < 1e-6 &&
                               kd_identical && ens_identical;
-  return all_equivalent ? 0 : 1;
+  return all_equivalent && obs_gate_pass ? 0 : 1;
 }

@@ -6,9 +6,11 @@
 // the full WEFR pipeline (selection, training, drive-level evaluation
 // at fixed recall) runs on whatever survived. Reported per rate: ingest
 // losses, wall-clock ingest time, and test precision/recall/F0.5 —
-// the clean row (rate 0) is the reference.
-#include <chrono>
+// the clean row (rate 0) is the reference. A machine-readable
+// BENCH_robustness.json (one entry per rate) lands in the working
+// directory.
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "bench_common.h"
@@ -16,7 +18,9 @@
 #include "core/wefr.h"
 #include "data/csv.h"
 #include "data/preprocess.h"
+#include "obs/json.h"
 #include "smartsim/faultsim.h"
+#include "util/stopwatch.h"
 
 using namespace wefr;
 
@@ -42,6 +46,14 @@ int main() {
               fleet.drives.size(), fleet.num_failed(), fleet.num_days, train_end);
   std::printf("  rate   rows-lost  cells-nan  ingest-ms  precision  recall  F0.5\n");
 
+  struct RateRow {
+    double rate = 0.0;
+    std::size_t rows_lost = 0, cells_nan = 0;
+    double ingest_ms = 0.0, precision = 0.0, recall = 0.0, f05 = 0.0;
+    std::size_t diag_events = 0;
+  };
+  std::vector<RateRow> rows;
+
   for (const double rate : rates) {
     smartsim::FaultPlan plan;
     if (rate > 0.0) {
@@ -54,13 +66,11 @@ int main() {
     data::ReadOptions ropt;
     ropt.policy = data::ParsePolicy::kRecover;
     data::IngestReport rep;
-    const auto t0 = std::chrono::steady_clock::now();
+    util::Stopwatch ingest_sw;
     std::istringstream is(csv);
     data::FleetData damaged = data::read_fleet_csv(is, model, ropt, &rep);
     data::forward_fill(damaged, 0.0, &rep.fill);
-    const auto t1 = std::chrono::steady_clock::now();
-    const double ingest_ms =
-        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double ingest_ms = ingest_sw.millis();
 
     core::PipelineDiagnostics diag;
     const auto train = core::build_selection_samples(damaged, 0, train_end, cfg.exp);
@@ -78,8 +88,33 @@ int main() {
     if (!diag.empty()) {
       std::printf("         diagnostics: %s\n", diag.summary().c_str());
     }
+    rows.push_back({rate, rep.rows_quarantined, rep.cells_recovered, ingest_ms,
+                    eval.precision, eval.recall, eval.f05, diag.events.size()});
   }
-  std::printf("\nHigher corruption should cost precision gradually — a cliff "
+
+  {
+    std::ofstream js("BENCH_robustness.json");
+    obs::json::Writer w(js);
+    w.begin_object();
+    w.field("model", model);
+    w.key("scale").begin_object();
+    w.field("drives", fleet.drives.size()).field("days", fleet.num_days);
+    w.field("train_end", train_end).field("target_recall", target_recall).end_object();
+    w.key("rates").begin_array();
+    for (const RateRow& r : rows) {
+      w.begin_object();
+      w.field("rate", r.rate).field("rows_lost", r.rows_lost);
+      w.field("cells_nan", r.cells_nan).field("ingest_ms", r.ingest_ms);
+      w.field("precision", r.precision).field("recall", r.recall).field("f05", r.f05);
+      w.field("diagnostic_events", r.diag_events);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    js << '\n';
+  }
+  std::printf("\nwrote BENCH_robustness.json\n");
+  std::printf("Higher corruption should cost precision gradually — a cliff "
               "indicates the degraded mode is dropping more than it quarantines.\n");
   return 0;
 }

@@ -6,6 +6,10 @@
 //   4. retrains the predictor and emits decommission alarms for the
 //      coming week.
 //
+// Each weekly pass is instrumented through wefr::obs: a live progress
+// line reports how long selection / training / scoring took (per-stage
+// Stopwatch laps) and how many trace spans the week produced.
+//
 //   ./examples/fleet_monitor [model=MC1] [drives=500]
 #include <cmath>
 #include <cstdio>
@@ -13,7 +17,11 @@
 
 #include "core/pipeline.h"
 #include "core/wefr.h"
+#include "obs/context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "smartsim/generator.h"
+#include "util/stopwatch.h"
 
 using namespace wefr;
 
@@ -46,10 +54,22 @@ int main(int argc, char** argv) {
   std::size_t alarms_total = 0, alarms_correct = 0;
   std::vector<bool> decommissioned(fleet.drives.size(), false);
 
+  // One tracer/registry across the whole monitoring run; the lap clock
+  // splits each weekly pass into its select / train / score stages.
+  obs::Tracer tracer;
+  obs::Registry registry;
+  obs::Context ctx{&tracer, &registry};
+  const obs::Context* obs = &ctx;
+  util::Stopwatch lap_clock;
+
   for (int today = warmup; today + week <= fleet.num_days; today += week) {
+    lap_clock.lap();
+    const std::size_t spans_before = tracer.size();
+
     // -- re-check the wear-out change point on data up to 'today' --
-    const auto selection = core::build_selection_samples(fleet, 0, today - 1, cfg);
-    const auto sel = core::run_wefr(fleet, selection, today - 1, wopt);
+    const auto selection = core::build_selection_samples(fleet, 0, today - 1, cfg, obs);
+    const auto sel = core::run_wefr(fleet, selection, today - 1, wopt, nullptr, obs);
+    const double select_s = lap_clock.lap();
 
     const double thr = sel.change_point.has_value() ? sel.change_point->mwi_threshold : -1.0;
     if (thr != last_threshold) {
@@ -67,9 +87,13 @@ int main(int argc, char** argv) {
     }
 
     // -- retrain and score the coming week --
-    const auto predictor = core::train_predictor(fleet, sel, 0, today - 1, cfg);
+    const auto predictor = core::train_predictor(fleet, sel, 0, today - 1, cfg, obs);
+    const double train_s = lap_clock.lap();
     const auto scores =
-        core::score_fleet(fleet, predictor, today, today + week - 1, cfg);
+        core::score_fleet(fleet, predictor, today, today + week - 1, cfg, nullptr, obs);
+    const double score_s = lap_clock.lap();
+    std::printf("[day %3d] select %.2fs, train %.2fs, score %.2fs (%zu spans)\n",
+                today, select_s, train_s, score_s, tracer.size() - spans_before);
 
     for (const auto& ds : scores) {
       if (decommissioned[ds.drive_index]) continue;  // already pulled
@@ -91,10 +115,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("\nsummary: %zu alarms, %zu correct (precision %.1f%%)\n", alarms_total,
-              alarms_correct,
+  std::printf("\nsummary: %zu alarms, %zu correct (precision %.1f%%); %zu trace "
+              "spans collected\n",
+              alarms_total, alarms_correct,
               alarms_total == 0 ? 0.0
                                 : 100.0 * static_cast<double>(alarms_correct) /
-                                      static_cast<double>(alarms_total));
+                                      static_cast<double>(alarms_total),
+              tracer.size());
   return 0;
 }

@@ -3,13 +3,16 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/context.h"
+#include "obs/trace.h"
 #include "stats/complexity.h"
 
 namespace wefr::core {
 
 AutoSelectResult auto_select(const data::Matrix& x, std::span<const int> y,
                              std::span<const std::size_t> order,
-                             const AutoSelectOptions& opt) {
+                             const AutoSelectOptions& opt, const obs::Context* obs) {
+  obs::Span span(obs, "auto_select");
   if (order.empty()) throw std::invalid_argument("auto_select: empty feature order");
   if (opt.alpha < 0.0 || opt.alpha > 1.0)
     throw std::invalid_argument("auto_select: alpha outside [0,1]");
@@ -60,6 +63,10 @@ AutoSelectResult auto_select(const data::Matrix& x, std::span<const int> y,
 
   out.count = count;
   out.selected.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(count));
+  if (obs != nullptr) {
+    obs::add_counter(obs, "wefr_features_scanned_total", nf);
+    obs::add_counter(obs, "wefr_features_selected_total", count);
+  }
   return out;
 }
 

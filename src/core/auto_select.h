@@ -5,6 +5,10 @@
 
 #include "data/matrix.h"
 
+namespace wefr::obs {
+struct Context;
+}
+
 namespace wefr::core {
 
 /// Controls for WEFR's automated feature-count selection (Section IV-C).
@@ -52,8 +56,12 @@ struct AutoSelectResult {
 /// blending it with the scan fraction, and determines the cut-off
 /// count automatically. The top log2(#features) features are always
 /// selected (the paper's initialization).
+///
+/// `obs` (nullable) wraps the scan in an "auto_select" span and counts
+/// features scanned / selected.
 AutoSelectResult auto_select(const data::Matrix& x, std::span<const int> y,
                              std::span<const std::size_t> order,
-                             const AutoSelectOptions& opt = {});
+                             const AutoSelectOptions& opt = {},
+                             const obs::Context* obs = nullptr);
 
 }  // namespace wefr::core

@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/report.h"
+
 namespace wefr::core {
 
 std::string PipelineDiagnostics::summary() const {
@@ -13,6 +16,25 @@ std::string PipelineDiagnostics::summary() const {
     if (!events[i].detail.empty()) os << ": " << events[i].detail;
   }
   return os.str();
+}
+
+void PipelineDiagnostics::bump(const std::string& code) const {
+  registry_->counter("wefr_diag_events_total").add(1);
+  registry_->counter("wefr_diag_" + code + "_total").add(1);
+}
+
+void PipelineDiagnostics::fill_run_report(obs::RunReport& report) const {
+  for (const auto& e : events) {
+    report.diagnostics.push_back({e.stage, e.code, e.detail});
+  }
+  auto& out = report.diagnostic_counters;
+  out["rankers_failed"] = static_cast<double>(rankers_failed);
+  out["scores_sanitized"] = static_cast<double>(scores_sanitized);
+  out["constant_features"] = static_cast<double>(constant_features);
+  out["survival_drives_skipped"] = static_cast<double>(survival_drives_skipped);
+  out["score_days_rerouted"] = static_cast<double>(score_days_rerouted);
+  out["selection_degraded"] = selection_degraded ? 1.0 : 0.0;
+  out["wearout_skipped"] = wearout_skipped ? 1.0 : 0.0;
 }
 
 }  // namespace wefr::core

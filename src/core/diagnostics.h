@@ -5,6 +5,11 @@
 #include <string_view>
 #include <vector>
 
+namespace wefr::obs {
+class Registry;
+struct RunReport;
+}
+
 namespace wefr::core {
 
 /// One degraded-mode event recorded while the pipeline ran: a stage hit
@@ -38,9 +43,20 @@ struct PipelineDiagnostics {
   bool wearout_skipped = false;          ///< Lines 9-15 skipped entirely
 
   void note(std::string stage, std::string code, std::string detail = {}) {
+    if (registry_ != nullptr) bump(code);
     events.push_back({std::move(stage), std::move(code), std::move(detail)});
   }
   bool empty() const { return events.empty(); }
+
+  /// Bridges future note() calls into `registry` as live counters:
+  /// every event increments wefr_diag_events_total plus a per-code
+  /// wefr_diag_<code>_total. Pass nullptr to detach. Events recorded
+  /// before attaching are not replayed.
+  void attach(obs::Registry* registry) { registry_ = registry; }
+
+  /// Copies the events and structured counters into `report`
+  /// (report.diagnostics / report.diagnostic_counters).
+  void fill_run_report(obs::RunReport& report) const;
 
   /// Events recorded for one stage (prefix match, so "group" covers
   /// "group:low" and "group:high").
@@ -60,6 +76,11 @@ struct PipelineDiagnostics {
 
   /// "stage/code: detail; ..." one-liner for CLI output and logs.
   std::string summary() const;
+
+ private:
+  void bump(const std::string& code) const;
+
+  obs::Registry* registry_ = nullptr;
 };
 
 }  // namespace wefr::core

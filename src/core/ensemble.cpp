@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/context.h"
+#include "obs/trace.h"
 #include "stats/descriptive.h"
 #include "stats/kendall.h"
 #include "stats/ranking.h"
@@ -12,7 +14,9 @@ namespace wefr::core {
 
 EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> rankers,
                              const data::Matrix& x, std::span<const int> y,
-                             const EnsembleOptions& opt, PipelineDiagnostics* diag) {
+                             const EnsembleOptions& opt, PipelineDiagnostics* diag,
+                             const obs::Context* obs) {
+  obs::Span ensemble_span(obs, "ensemble");
   if (rankers.empty()) throw std::invalid_argument("ensemble_rank: no rankers");
   if (x.rows() != y.size()) throw std::invalid_argument("ensemble_rank: shape mismatch");
 
@@ -32,8 +36,13 @@ EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> ran
   std::vector<std::string> failure_reason(k);
   std::vector<std::size_t> sanitized(k, 0);
 
+  // Ranker spans are parented on the ensemble span explicitly: in
+  // threaded mode the pool workers have no open-span stack of their
+  // own, so implicit (thread-local) parentage would orphan them.
+  const std::uint64_t ensemble_id = ensemble_span.id();
   auto run_one = [&](std::size_t i) {
     out.ranker_names[i] = rankers[i]->name();
+    obs::Span ranker_span(obs, ("ranker:" + out.ranker_names[i]).c_str(), ensemble_id);
     try {
       out.scores[i] = rankers[i]->score(x, y);
       if (out.scores[i].size() != nf)
@@ -160,6 +169,13 @@ EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> ran
   std::vector<double> neg(nf);
   for (std::size_t f = 0; f < nf; ++f) neg[f] = -out.final_ranking[f];
   out.order = stats::order_by_score(neg);
+
+  if (obs != nullptr) {
+    obs::add_counter(obs, "wefr_rankers_run_total", k);
+    std::size_t discarded = 0;
+    for (std::size_t a = 0; a < k; ++a) discarded += out.discarded[a] ? 1 : 0;
+    obs::add_counter(obs, "wefr_rankers_discarded_total", discarded);
+  }
   return out;
 }
 

@@ -8,6 +8,10 @@
 #include "core/ranker.h"
 #include "data/matrix.h"
 
+namespace wefr::obs {
+struct Context;
+}
+
 namespace wefr::core {
 
 /// Controls for WEFR's robust ensemble ranking (Section IV-B).
@@ -57,9 +61,15 @@ struct EnsembleResult {
 /// is recorded as failed (neutral ranking, excluded from the average),
 /// non-finite scores are zeroed, and when every ranker fails the final
 /// ranking is neutral. Each fallback is noted in `diag` when given.
+///
+/// `obs` (nullable) wraps the step in an "ensemble" span with one
+/// "ranker:<name>" child per ranker (children are parented explicitly,
+/// so the tree is correct in threaded mode too) and counts rankers run
+/// and discarded.
 EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> rankers,
                              const data::Matrix& x, std::span<const int> y,
                              const EnsembleOptions& opt = {},
-                             PipelineDiagnostics* diag = nullptr);
+                             PipelineDiagnostics* diag = nullptr,
+                             const obs::Context* obs = nullptr);
 
 }  // namespace wefr::core

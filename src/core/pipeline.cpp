@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "data/window_features.h"
+#include "obs/context.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -36,7 +38,7 @@ data::SamplingOptions sampling_for(const ExperimentConfig& cfg, int day_lo, int 
 }  // namespace
 
 data::Dataset build_selection_samples(const data::FleetData& fleet, int day_lo, int day_hi,
-                                      const ExperimentConfig& cfg) {
+                                      const ExperimentConfig& cfg, const obs::Context* obs) {
   util::Rng rng(cfg.seed ^ 0x5e1ec7104b15ULL);
   data::SamplingOptions opt;
   opt.horizon_days = cfg.horizon_days;
@@ -44,41 +46,46 @@ data::Dataset build_selection_samples(const data::FleetData& fleet, int day_lo, 
   opt.day_hi = day_hi;
   opt.negative_keep_prob = cfg.negative_keep_prob;
   opt.expand_windows = false;  // selection operates on the original features
-  return data::build_samples(fleet, opt, &rng);
+  return data::build_samples(fleet, opt, &rng, obs);
 }
 
 PredictorBundle train_bundle(const data::FleetData& fleet,
                              std::span<const std::size_t> base_cols, int day_lo, int day_hi,
                              const ExperimentConfig& cfg,
-                             const std::function<bool(std::size_t, int)>& sample_filter) {
+                             const std::function<bool(std::size_t, int)>& sample_filter,
+                             const obs::Context* obs) {
+  obs::Span span(obs, "train_bundle");
   if (base_cols.empty()) throw std::invalid_argument("train_bundle: no base features");
   util::Rng rng(cfg.seed ^ (0x9e3779b9ULL + base_cols.size() * 131 + base_cols[0]));
 
   data::SamplingOptions opt = sampling_for(cfg, day_lo, day_hi, /*downsample=*/true);
   opt.keep = sample_filter;
-  data::Dataset train = data::build_samples(fleet, base_cols, opt, &rng);
+  data::Dataset train = data::build_samples(fleet, base_cols, opt, &rng, obs);
   if (train.size() == 0) throw std::runtime_error("train_bundle: no training samples");
 
   PredictorBundle bundle;
   bundle.base_cols.assign(base_cols.begin(), base_cols.end());
-  bundle.forest.fit(train.x, train.y, forest_options_for(cfg), rng);
+  bundle.forest.fit(train.x, train.y, forest_options_for(cfg), rng, obs);
   return bundle;
 }
 
 WefrPredictor train_predictor(const data::FleetData& fleet,
                               std::span<const std::size_t> base_cols, int day_lo, int day_hi,
-                              const ExperimentConfig& cfg) {
+                              const ExperimentConfig& cfg, const obs::Context* obs) {
+  obs::Span span(obs, "train_predictor");
   WefrPredictor pred;
-  pred.all = train_bundle(fleet, base_cols, day_lo, day_hi, cfg);
+  pred.all = train_bundle(fleet, base_cols, day_lo, day_hi, cfg, {}, obs);
   pred.mwi_col = fleet.feature_index("MWI_N");
   return pred;
 }
 
 WefrPredictor train_predictor(const data::FleetData& fleet, const WefrResult& sel,
-                              int day_lo, int day_hi, const ExperimentConfig& cfg) {
+                              int day_lo, int day_hi, const ExperimentConfig& cfg,
+                              const obs::Context* obs) {
+  obs::Span span(obs, "train_predictor");
   WefrPredictor pred;
   pred.mwi_col = fleet.feature_index("MWI_N");
-  pred.all = train_bundle(fleet, sel.all.selected, day_lo, day_hi, cfg);
+  pred.all = train_bundle(fleet, sel.all.selected, day_lo, day_hi, cfg, {}, obs);
 
   if (!sel.change_point.has_value() || !sel.low.has_value() || !sel.high.has_value() ||
       pred.mwi_col < 0) {
@@ -114,13 +121,13 @@ WefrPredictor train_predictor(const data::FleetData& fleet, const WefrResult& se
       util::Rng rng(cfg.seed ^ (want_low ? 0xa5a5ULL : 0x5a5aULL));
       data::SamplingOptions opt = sampling_for(cfg, day_lo, day_hi, /*downsample=*/true);
       opt.keep = group_filter(want_low);
-      data::Dataset train = data::build_samples(fleet, gs.selected, opt, &rng);
+      data::Dataset train = data::build_samples(fleet, gs.selected, opt, &rng, obs);
       // A specialized model must beat the whole-model bundle it replaces;
       // starved groups (few positives) reliably do worse, so fall back.
       if (train.size() < 400 || train.num_positive() < 25) return std::nullopt;
       PredictorBundle bundle;
       bundle.base_cols = gs.selected;
-      bundle.forest.fit(train.x, train.y, forest_options_for(cfg), rng);
+      bundle.forest.fit(train.x, train.y, forest_options_for(cfg), rng, obs);
       return bundle;
     } catch (const std::exception&) {
       return std::nullopt;
@@ -136,7 +143,8 @@ WefrPredictor train_predictor(const data::FleetData& fleet, const WefrResult& se
 std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
                                         const WefrPredictor& predictor, int t0, int t1,
                                         const ExperimentConfig& cfg,
-                                        PipelineDiagnostics* diag) {
+                                        PipelineDiagnostics* diag, const obs::Context* obs) {
+  obs::Span span(obs, "score_fleet");
   if (t0 > t1) throw std::invalid_argument("score_fleet: t0 > t1");
 
   const bool routed = predictor.wear_threshold.has_value() && predictor.mwi_col >= 0;
@@ -170,7 +178,7 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
     // discrete alarm near a threshold).
     auto expand_for = [&](const PredictorBundle& b) {
       return cfg.expand_windows
-                 ? data::expand_series(drive.values, b.base_cols, cfg.windows)
+                 ? data::expand_series(drive.values, b.base_cols, cfg.windows, obs)
                  : drive.values.select_columns(b.base_cols);
     };
 
@@ -221,14 +229,26 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
   } else {
     for (std::size_t slot = 0; slot < eligible.size(); ++slot) score_drive(slot);
   }
-  if (diag != nullptr) {
-    std::size_t total_rerouted = 0;
-    for (std::size_t n : rerouted) total_rerouted += n;
-    if (total_rerouted > 0) {
-      diag->score_days_rerouted += total_rerouted;
-      diag->note("score", "days_rerouted_nan_mwi",
-                 std::to_string(total_rerouted) + " drive-days -> whole-model bundle");
+  std::size_t total_rerouted = 0;
+  for (std::size_t n : rerouted) total_rerouted += n;
+  if (diag != nullptr && total_rerouted > 0) {
+    diag->score_days_rerouted += total_rerouted;
+    diag->note("score", "days_rerouted_nan_mwi",
+               std::to_string(total_rerouted) + " drive-days -> whole-model bundle");
+  }
+  if (obs != nullptr) {
+    // Tallied once here (not in the per-day loop) so tracing adds no
+    // work to the scoring hot path.
+    std::size_t total_days = 0;
+    auto* hist = obs::histogram_or_null(obs, "wefr_score_days_per_drive",
+                                        {1.0, 7.0, 30.0, 90.0, 365.0, 1825.0});
+    for (const auto& ds : out) {
+      total_days += ds.scores.size();
+      if (hist != nullptr) hist->observe(static_cast<double>(ds.scores.size()));
     }
+    obs::add_counter(obs, "wefr_score_drives_total", out.size());
+    obs::add_counter(obs, "wefr_score_days_total", total_days);
+    obs::add_counter(obs, "wefr_score_days_rerouted_total", total_rerouted);
   }
   return out;
 }

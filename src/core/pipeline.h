@@ -59,22 +59,27 @@ struct WefrPredictor {
 /// Trains one bundle on fleet days [day_lo, day_hi] using the given base
 /// features. `sample_filter` (optional) keeps only sample rows for which
 /// it returns true (used to train per-wear-group bundles); it receives
-/// (drive_index, day).
+/// (drive_index, day). `obs` (nullable) wraps sampling and forest
+/// fitting in a "train_bundle" span.
 PredictorBundle train_bundle(const data::FleetData& fleet,
                              std::span<const std::size_t> base_cols, int day_lo, int day_hi,
                              const ExperimentConfig& cfg,
-                             const std::function<bool(std::size_t, int)>& sample_filter = {});
+                             const std::function<bool(std::size_t, int)>& sample_filter = {},
+                             const obs::Context* obs = nullptr);
 
 /// Trains the predictor corresponding to a WEFR selection result:
 /// whole-model bundle from `sel.all`, and per-group bundles when the
-/// selection has a change point with per-group features.
+/// selection has a change point with per-group features. `obs`
+/// (nullable) wraps the whole step in a "train_predictor" span.
 WefrPredictor train_predictor(const data::FleetData& fleet, const WefrResult& sel,
-                              int day_lo, int day_hi, const ExperimentConfig& cfg);
+                              int day_lo, int day_hi, const ExperimentConfig& cfg,
+                              const obs::Context* obs = nullptr);
 
 /// Convenience: predictor over a fixed feature set (no wear routing).
 WefrPredictor train_predictor(const data::FleetData& fleet,
                               std::span<const std::size_t> base_cols, int day_lo,
-                              int day_hi, const ExperimentConfig& cfg);
+                              int day_hi, const ExperimentConfig& cfg,
+                              const obs::Context* obs = nullptr);
 
 /// Daily failure-probability scores for one drive over a day window.
 struct DriveDayScores {
@@ -91,10 +96,17 @@ struct DriveDayScores {
 /// independent, so `cfg.num_threads > 1` fans drives out over a
 /// ThreadPool; output order and values are identical to the sequential
 /// run.
+///
+/// `obs` (nullable) wraps the sweep in a "score_fleet" span, counts
+/// drives and drive-days scored (plus NaN-MWI days rerouted), and
+/// records per-drive day counts in the wefr_score_days_per_drive
+/// histogram. Counters are tallied once after the fan-out, so the
+/// scoring inner loop is untouched.
 std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
                                         const WefrPredictor& predictor, int t0, int t1,
                                         const ExperimentConfig& cfg,
-                                        PipelineDiagnostics* diag = nullptr);
+                                        PipelineDiagnostics* diag = nullptr,
+                                        const obs::Context* obs = nullptr);
 
 /// Drive-level evaluation result at one operating point.
 struct DriveLevelEval {
@@ -122,6 +134,7 @@ DriveLevelEval evaluate_fixed_recall(const data::FleetData& fleet,
 /// Builds the base-feature training sample set for WEFR selection
 /// (no window expansion, negatives downsampled).
 data::Dataset build_selection_samples(const data::FleetData& fleet, int day_lo, int day_hi,
-                                      const ExperimentConfig& cfg);
+                                      const ExperimentConfig& cfg,
+                                      const obs::Context* obs = nullptr);
 
 }  // namespace wefr::core

@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "obs/context.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
 namespace wefr::core {
 
 namespace {
@@ -35,7 +39,9 @@ std::size_t count_constant_columns(const data::Dataset& samples) {
 }  // namespace
 
 GroupSelection select_features_for(const data::Dataset& samples, const WefrOptions& opt,
-                                   const std::string& label, PipelineDiagnostics* diag) {
+                                   const std::string& label, PipelineDiagnostics* diag,
+                                   const obs::Context* obs) {
+  obs::Span span(obs, ("select:" + label).c_str());
   if (samples.size() == 0 && diag == nullptr)
     throw std::invalid_argument("select_features_for: empty sample set");
 
@@ -80,8 +86,8 @@ GroupSelection select_features_for(const data::Dataset& samples, const WefrOptio
   if (ens_opt.num_threads == 0) ens_opt.num_threads = opt.num_threads;
   AutoSelectOptions sel_opt = opt.auto_select;
   if (sel_opt.num_threads == 0) sel_opt.num_threads = opt.num_threads;
-  out.ensemble = ensemble_rank(rankers, samples.x, samples.y, ens_opt, diag);
-  out.selection = auto_select(samples.x, samples.y, out.ensemble.order, sel_opt);
+  out.ensemble = ensemble_rank(rankers, samples.x, samples.y, ens_opt, diag, obs);
+  out.selection = auto_select(samples.x, samples.y, out.ensemble.order, sel_opt, obs);
   out.selected = out.selection.selected;
   out.selected_names.reserve(out.selected.size());
   for (std::size_t c : out.selected) out.selected_names.push_back(samples.feature_names[c]);
@@ -90,14 +96,15 @@ GroupSelection select_features_for(const data::Dataset& samples, const WefrOptio
 
 WefrResult run_wefr(const data::FleetData& fleet, const data::Dataset& train,
                     int train_day_end, const WefrOptions& opt,
-                    PipelineDiagnostics* diag) {
+                    PipelineDiagnostics* diag, const obs::Context* obs) {
+  obs::Span run_span(obs, "run_wefr");
   if (train.feature_names != fleet.feature_names)
     throw std::invalid_argument(
         "run_wefr: train dataset must carry the fleet's base features");
 
   WefrResult out;
   // Lines 1-8: ensemble ranking + automated selection on all samples.
-  out.all = select_features_for(train, opt, "all", diag);
+  out.all = select_features_for(train, opt, "all", diag, obs);
 
   if (!opt.update_with_wearout) return out;
   if (out.all.degraded) {
@@ -123,14 +130,20 @@ WefrResult run_wefr(const data::FleetData& fleet, const data::Dataset& train,
     return out;
   }
 
-  out.survival = survival_vs_mwi(fleet, train_day_end, opt.survival_min_count,
-                                 opt.survival_bucket_width);
+  {
+    obs::Span survival_span(obs, "survival");
+    out.survival = survival_vs_mwi(fleet, train_day_end, opt.survival_min_count,
+                                   opt.survival_bucket_width);
+  }
   if (diag != nullptr && out.survival.drives_skipped_nan > 0) {
     diag->survival_drives_skipped += out.survival.drives_skipped_nan;
     diag->note("survival", "drives_skipped_nan_mwi",
                std::to_string(out.survival.drives_skipped_nan) + " drives");
   }
-  out.change_point = detect_wear_change_point(out.survival, opt.cpd);
+  {
+    obs::Span cpd_span(obs, "cpd");
+    out.change_point = detect_wear_change_point(out.survival, opt.cpd);
+  }
   if (!out.change_point.has_value()) {
     if (diag != nullptr) {
       diag->wearout_skipped = true;
@@ -165,7 +178,7 @@ WefrResult run_wefr(const data::FleetData& fleet, const data::Dataset& train,
     if (!idx.empty()) {
       const data::Dataset group = data::subset(train, idx);
       if (group.num_positive() >= opt.min_group_positives) {
-        gs = select_features_for(group, opt, label, diag);
+        gs = select_features_for(group, opt, label, diag, obs);
         // A single-class group (all positives) degrades inside
         // select_features_for; inherit the whole-model set instead of
         // keeping every feature for just one wear regime.
@@ -190,6 +203,26 @@ WefrResult run_wefr(const data::FleetData& fleet, const data::Dataset& train,
   out.low = select_group(low_idx, "low");
   out.high = select_group(high_idx, "high");
   return out;
+}
+
+void fill_run_report(const WefrResult& result, obs::RunReport& report) {
+  const auto add_group = [&report](const GroupSelection& gs) {
+    obs::RunReport::Group g;
+    g.label = gs.label;
+    g.features = gs.selected_names;
+    g.num_samples = gs.num_samples;
+    g.num_positives = gs.num_positives;
+    g.fallback = gs.fallback;
+    g.degraded = gs.degraded;
+    report.selection.push_back(std::move(g));
+  };
+  add_group(result.all);
+  if (result.low.has_value()) add_group(*result.low);
+  if (result.high.has_value()) add_group(*result.high);
+  if (result.change_point.has_value()) {
+    report.change_point_mwi = result.change_point->mwi_threshold;
+    report.change_point_z = result.change_point->zscore;
+  }
 }
 
 }  // namespace wefr::core

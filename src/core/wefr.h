@@ -12,6 +12,11 @@
 #include "data/dataset.h"
 #include "data/fleet.h"
 
+namespace wefr::obs {
+struct Context;
+struct RunReport;
+}
+
 namespace wefr::core {
 
 /// Controls for the full WEFR algorithm (Algorithm 1 of the paper).
@@ -78,9 +83,13 @@ struct WefrResult {
 /// sink opts into full degraded-mode semantics; without one an empty
 /// sample set still throws std::invalid_argument (the historical
 /// strict contract for programmatic callers).
+///
+/// `obs` (nullable) wraps the call in a "select:<label>" span and flows
+/// into the ensemble and auto_select stages beneath it.
 GroupSelection select_features_for(const data::Dataset& samples, const WefrOptions& opt,
                                    const std::string& label = "all",
-                                   PipelineDiagnostics* diag = nullptr);
+                                   PipelineDiagnostics* diag = nullptr,
+                                   const obs::Context* obs = nullptr);
 
 /// Runs full WEFR (Algorithm 1). `train` must be a base-feature sample
 /// set (no window expansion) whose feature names match `fleet`'s; the
@@ -94,8 +103,19 @@ GroupSelection select_features_for(const data::Dataset& samples, const WefrOptio
 /// for change-point detection): the affected stage substitutes a tagged
 /// fallback — neutral ranking, keep-everything selection, skipped
 /// wear-out split — and records it in `diag` when given.
+///
+/// `obs` (nullable) wraps the run in a "run_wefr" span with children
+/// for the whole-model selection ("select:all"), the survival-curve
+/// construction ("survival"), change-point detection ("cpd"), and the
+/// per-group re-selections ("select:low" / "select:high").
 WefrResult run_wefr(const data::FleetData& fleet, const data::Dataset& train,
                     int train_day_end, const WefrOptions& opt = {},
-                    PipelineDiagnostics* diag = nullptr);
+                    PipelineDiagnostics* diag = nullptr,
+                    const obs::Context* obs = nullptr);
+
+/// Copies the selection outcome into `report`: one selection group per
+/// population ranked ("all" plus "low"/"high" when the wear-out update
+/// ran) and the detected change point, if any.
+void fill_run_report(const WefrResult& result, obs::RunReport& report);
 
 }  // namespace wefr::core

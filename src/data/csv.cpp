@@ -9,6 +9,7 @@
 #include <unordered_set>
 
 #include "data/preprocess.h"
+#include "obs/context.h"
 #include "util/strings.h"
 
 namespace wefr::data {
@@ -227,11 +228,16 @@ FleetData parse_fleet_csv(std::istream& is, const std::string& model_name,
 }  // namespace
 
 FleetData read_fleet_csv(std::istream& is, const std::string& model_name,
-                         const ReadOptions& opt, IngestReport* report) {
+                         const ReadOptions& opt, IngestReport* report,
+                         const obs::Context* obs) {
   IngestReport local;
   IngestReport& rep = report != nullptr ? *report : local;
   rep = IngestReport{};
-  return parse_fleet_csv(is, model_name, opt, rep);
+  obs::Span span(obs, "ingest:read_csv");
+  FleetData fleet = parse_fleet_csv(is, model_name, opt, rep);
+  span.finish();
+  if (obs != nullptr && obs->metrics != nullptr) rep.export_counters(*obs->metrics);
+  return fleet;
 }
 
 FleetData read_fleet_csv(std::istream& is, const std::string& model_name) {
@@ -239,10 +245,12 @@ FleetData read_fleet_csv(std::istream& is, const std::string& model_name) {
 }
 
 FleetData read_fleet_csv(const std::string& path, const std::string& model_name,
-                         const ReadOptions& opt, IngestReport* report) {
+                         const ReadOptions& opt, IngestReport* report,
+                         const obs::Context* obs) {
   IngestReport local;
   IngestReport& rep = report != nullptr ? *report : local;
 
+  obs::Span span(obs, "ingest:read_csv");
   const std::size_t attempts = std::max<std::size_t>(1, opt.max_io_attempts);
   std::string open_error;
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
@@ -262,6 +270,8 @@ FleetData read_fleet_csv(const std::string& path, const std::string& model_name,
       continue;
     }
     rep = pass;
+    span.finish();
+    if (obs != nullptr && obs->metrics != nullptr) rep.export_counters(*obs->metrics);
     return fleet;
   }
 
@@ -271,6 +281,8 @@ FleetData read_fleet_csv(const std::string& path, const std::string& model_name,
   ++rep.error_counts[static_cast<std::size_t>(RowError::kIoFailure)];
   rep.fatal = true;
   rep.fatal_detail = open_error;
+  span.finish();
+  if (obs != nullptr && obs->metrics != nullptr) rep.export_counters(*obs->metrics);
   { FleetData empty; empty.model_name = model_name; return empty; }
 }
 
@@ -281,11 +293,18 @@ FleetData read_fleet_csv(const std::string& path, const std::string& model_name)
 }
 
 FleetData load_fleet_csv(const std::string& path, const std::string& model_name,
-                         const ReadOptions& opt, IngestReport* report) {
+                         const ReadOptions& opt, IngestReport* report,
+                         const obs::Context* obs) {
   IngestReport local;
   IngestReport& rep = report != nullptr ? *report : local;
-  FleetData fleet = read_fleet_csv(path, model_name, opt, &rep);
-  if (!rep.fatal) forward_fill(fleet, 0.0, &rep.fill);
+  obs::Span span(obs, "ingest");
+  FleetData fleet = read_fleet_csv(path, model_name, opt, &rep, obs);
+  if (!rep.fatal) {
+    obs::Span fill_span(obs, "ingest:forward_fill");
+    forward_fill(fleet, 0.0, &rep.fill);
+    fill_span.finish();
+    obs::add_counter(obs, "wefr_ingest_cells_filled_total", rep.fill.cells_filled);
+  }
   return fleet;
 }
 

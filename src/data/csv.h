@@ -6,6 +6,10 @@
 #include "data/fleet.h"
 #include "data/ingest.h"
 
+namespace wefr::obs {
+struct Context;
+}
+
 namespace wefr::data {
 
 /// CSV serialization of fleets in the long format used by the released
@@ -33,21 +37,28 @@ FleetData read_fleet_csv(const std::string& path, const std::string& model_name)
 /// (no header) yields an empty fleet with `report->fatal` set instead
 /// of a throw. `report` may be null when the caller only wants the
 /// tolerant behavior.
+///
+/// `obs` (nullable) traces the parse as an "ingest:read_csv" span and
+/// exports the report tallies as wefr_ingest_* counters.
 FleetData read_fleet_csv(std::istream& is, const std::string& model_name,
-                         const ReadOptions& opt, IngestReport* report = nullptr);
+                         const ReadOptions& opt, IngestReport* report = nullptr,
+                         const obs::Context* obs = nullptr);
 
 /// Path variant with bounded-retry I/O: opening or reading the file is
 /// attempted up to `opt.max_io_attempts` times before the failure is
 /// reported (thrown in strict mode; `report->fatal` otherwise).
 /// Retries performed are counted in `report->io_retries`.
 FleetData read_fleet_csv(const std::string& path, const std::string& model_name,
-                         const ReadOptions& opt, IngestReport* report = nullptr);
+                         const ReadOptions& opt, IngestReport* report = nullptr,
+                         const obs::Context* obs = nullptr);
 
 /// Convenience one-call ingestion: policy-aware read (with retry I/O)
 /// followed by forward_fill of the surviving fleet; the fill counters
 /// land in `report->fill`. This is the entry point production loaders
-/// should use on real, noisy SMART dumps.
+/// should use on real, noisy SMART dumps. With `obs`, the read and the
+/// repair each get a span under an "ingest" parent.
 FleetData load_fleet_csv(const std::string& path, const std::string& model_name,
-                         const ReadOptions& opt, IngestReport* report = nullptr);
+                         const ReadOptions& opt, IngestReport* report = nullptr,
+                         const obs::Context* obs = nullptr);
 
 }  // namespace wefr::data

@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/report.h"
+
 namespace wefr::data {
 
 const char* to_string(RowError e) {
@@ -48,6 +51,46 @@ std::string IngestReport::summary() const {
       os << ", " << fill.cells_left_missing << " left missing";
   }
   return os.str();
+}
+
+void IngestReport::export_counters(obs::Registry& registry) const {
+  const auto bump = [&registry](const char* name, std::size_t n) {
+    if (n > 0) registry.counter(name).add(n);
+  };
+  bump("wefr_ingest_rows_total", rows_total);
+  bump("wefr_ingest_rows_ok_total", rows_ok);
+  bump("wefr_ingest_rows_quarantined_total", rows_quarantined);
+  bump("wefr_ingest_cells_recovered_total", cells_recovered);
+  bump("wefr_ingest_gap_days_bridged_total", gap_days_bridged);
+  bump("wefr_ingest_drives_quarantined_total", drives_quarantined);
+  bump("wefr_ingest_io_retries_total", io_retries);
+  if (fatal) registry.counter("wefr_ingest_fatal_total").add(1);
+  for (std::size_t i = 0; i < error_counts.size(); ++i) {
+    if (error_counts[i] == 0) continue;
+    registry
+        .counter(std::string("wefr_ingest_errors_") +
+                 to_string(static_cast<RowError>(i)) + "_total")
+        .add(error_counts[i]);
+  }
+}
+
+void IngestReport::fill_run_report(obs::RunReport& report) const {
+  auto& out = report.ingest;
+  out["rows_total"] = static_cast<double>(rows_total);
+  out["rows_ok"] = static_cast<double>(rows_ok);
+  out["rows_quarantined"] = static_cast<double>(rows_quarantined);
+  out["cells_recovered"] = static_cast<double>(cells_recovered);
+  out["gap_days_bridged"] = static_cast<double>(gap_days_bridged);
+  out["drives_quarantined"] = static_cast<double>(drives_quarantined);
+  out["io_retries"] = static_cast<double>(io_retries);
+  out["fatal"] = fatal ? 1.0 : 0.0;
+  out["cells_filled"] = static_cast<double>(fill.cells_filled);
+  out["cells_left_missing"] = static_cast<double>(fill.cells_left_missing);
+  for (std::size_t i = 0; i < error_counts.size(); ++i) {
+    if (error_counts[i] == 0) continue;
+    out[std::string("errors_") + to_string(static_cast<RowError>(i))] =
+        static_cast<double>(error_counts[i]);
+  }
 }
 
 }  // namespace wefr::data

@@ -6,6 +6,11 @@
 #include <string>
 #include <vector>
 
+namespace wefr::obs {
+class Registry;
+struct RunReport;
+}
+
 namespace wefr::data {
 
 /// How read_fleet_csv reacts to malformed input.
@@ -111,6 +116,15 @@ struct IngestReport {
   /// One-line "rows 980/1000 ok, 20 quarantined (wrong_field_count x12,
   /// ...)" summary for CLI output and logs.
   std::string summary() const;
+
+  /// Adds the report tallies to `registry` as wefr_ingest_* counters
+  /// (rows/cells totals plus one wefr_ingest_errors_<class>_total per
+  /// non-zero error class). Call once per ingestion pass — counters
+  /// accumulate, so re-exporting the same report double-counts.
+  void export_counters(obs::Registry& registry) const;
+
+  /// Copies the tallies into `report.ingest` for the run report.
+  void fill_run_report(obs::RunReport& report) const;
 };
 
 }  // namespace wefr::data

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/context.h"
+#include "obs/trace.h"
+
 namespace wefr::data {
 
 std::vector<std::size_t> all_feature_columns(const FleetData& fleet) {
@@ -11,7 +14,8 @@ std::vector<std::size_t> all_feature_columns(const FleetData& fleet) {
 }
 
 Dataset build_samples(const FleetData& fleet, std::span<const std::size_t> base_cols,
-                      const SamplingOptions& opt, util::Rng* rng) {
+                      const SamplingOptions& opt, util::Rng* rng, const obs::Context* obs) {
+  obs::Span span(obs, "build_samples");
   if (opt.horizon_days < 1) throw std::invalid_argument("build_samples: horizon_days < 1");
   if (opt.negative_keep_prob < 1.0 && rng == nullptr)
     throw std::invalid_argument("build_samples: negative downsampling requires an Rng");
@@ -43,9 +47,10 @@ Dataset build_samples(const FleetData& fleet, std::span<const std::size_t> base_
     // bit-identical to the whole-history features (running sums would
     // otherwise drift ~1e-15 relative depending on where a slice
     // started).
-    const Matrix features = opt.expand_windows
-                                ? expand_series(drive.values, base_cols, opt.window_config)
-                                : drive.values.select_columns(base_cols);
+    const Matrix features =
+        opt.expand_windows
+            ? expand_series(drive.values, base_cols, opt.window_config, obs)
+            : drive.values.select_columns(base_cols);
 
     for (int day = lo; day <= hi; ++day) {
       if (opt.keep && !opt.keep(di, day)) continue;
@@ -61,12 +66,17 @@ Dataset build_samples(const FleetData& fleet, std::span<const std::size_t> base_
     }
   }
   out.validate();
+  if (obs != nullptr) {
+    obs::add_counter(obs, "wefr_samples_total", out.size());
+    obs::add_counter(obs, "wefr_samples_positive_total", out.num_positive());
+  }
   return out;
 }
 
-Dataset build_samples(const FleetData& fleet, const SamplingOptions& opt, util::Rng* rng) {
+Dataset build_samples(const FleetData& fleet, const SamplingOptions& opt, util::Rng* rng,
+                      const obs::Context* obs) {
   const auto cols = all_feature_columns(fleet);
-  return build_samples(fleet, cols, opt, rng);
+  return build_samples(fleet, cols, opt, rng, obs);
 }
 
 }  // namespace wefr::data

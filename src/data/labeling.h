@@ -38,12 +38,17 @@ struct SamplingOptions {
 /// expands into 13 learning features (Section V-A of the paper).
 ///
 /// `rng` is required only when `opt.negative_keep_prob < 1`.
+///
+/// `obs` (nullable) wraps the pass in a "build_samples" span, forwards
+/// to expand_series, and tallies wefr_samples_total /
+/// wefr_samples_positive_total counters.
 Dataset build_samples(const FleetData& fleet, std::span<const std::size_t> base_cols,
-                      const SamplingOptions& opt, util::Rng* rng = nullptr);
+                      const SamplingOptions& opt, util::Rng* rng = nullptr,
+                      const obs::Context* obs = nullptr);
 
 /// Convenience overload using every fleet feature as a base column.
 Dataset build_samples(const FleetData& fleet, const SamplingOptions& opt,
-                      util::Rng* rng = nullptr);
+                      util::Rng* rng = nullptr, const obs::Context* obs = nullptr);
 
 /// All column indices [0, fleet.num_features()).
 std::vector<std::size_t> all_feature_columns(const FleetData& fleet);

@@ -1,5 +1,7 @@
 #include "data/window_features.h"
 
+#include "obs/context.h"
+
 #include <algorithm>
 #include <bit>
 #include <cmath>
@@ -298,10 +300,15 @@ std::vector<std::string> expanded_feature_names(std::span<const std::string> bas
 }
 
 Matrix expand_series(const Matrix& series, std::span<const std::size_t> base_cols,
-                     const WindowFeatureConfig& cfg) {
+                     const WindowFeatureConfig& cfg, const obs::Context* obs) {
   check_inputs(series, base_cols, cfg);
   const std::size_t days = series.rows();
   const std::size_t factor = expansion_factor(cfg);
+  if (obs != nullptr) {
+    obs::add_counter(obs, "wefr_featuregen_rows_total", days);
+    obs::add_counter(obs, "wefr_featuregen_cells_total",
+                     days * base_cols.size() * factor);
+  }
   // Every cell is written below (identity + all stats for all windows),
   // so skip the zero fill — it is ~1 MB of pure write traffic per drive.
   Matrix out = Matrix::uninitialized(days, base_cols.size() * factor);

@@ -6,6 +6,10 @@
 
 #include "data/matrix.h"
 
+namespace wefr::obs {
+struct Context;
+}
+
 namespace wefr::data {
 
 /// Rolling-window statistical feature generation.
@@ -59,8 +63,12 @@ std::size_t expansion_factor(const WindowFeatureConfig& cfg = {});
 /// any non-finite value (NaN holes from recover-mode ingestion) falls
 /// back to the naive kernel for that column, preserving its exact
 /// semantics.
+///
+/// `obs` (nullable) tallies wefr_featuregen_rows/cells counters; the
+/// kernel is too hot for per-call spans, so callers wrap it instead.
 Matrix expand_series(const Matrix& series, std::span<const std::size_t> base_cols,
-                     const WindowFeatureConfig& cfg = {});
+                     const WindowFeatureConfig& cfg = {},
+                     const obs::Context* obs = nullptr);
 
 /// The original O(days * window) reference implementation, retained as
 /// the equivalence oracle for `expand_series` (see tests/test_perf_kernels

@@ -8,11 +8,16 @@
 #include <string>
 
 #include "ml/quantize.h"
+#include "obs/context.h"
+#include "obs/trace.h"
+#include "util/stopwatch.h"
 
 namespace wefr::ml {
 
 void RandomForest::fit(const data::Matrix& x, std::span<const int> y, const ForestOptions& opt,
-                       util::Rng& rng) {
+                       util::Rng& rng, const obs::Context* obs) {
+  obs::Span span(obs, "forest:fit");
+  util::Stopwatch timer;
   if (x.rows() == 0 || x.rows() != y.size())
     throw std::invalid_argument("RandomForest::fit: shape mismatch or empty data");
   if (opt.num_trees == 0) throw std::invalid_argument("RandomForest::fit: num_trees == 0");
@@ -63,6 +68,15 @@ void RandomForest::fit(const data::Matrix& x, std::span<const int> y, const Fore
   } else {
     for (std::size_t t = 0; t < opt.num_trees; ++t) fit_tree(t);
   }
+
+  if (obs != nullptr) {
+    obs::add_counter(obs, "wefr_forest_trees_fitted_total", opt.num_trees);
+    if (auto* hist = obs::histogram_or_null(
+            obs, "wefr_forest_fit_seconds",
+            {0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0})) {
+      hist->observe(timer.seconds());
+    }
+  }
 }
 
 double RandomForest::predict_proba(std::span<const double> row) const {
@@ -73,8 +87,10 @@ double RandomForest::predict_proba(std::span<const double> row) const {
 }
 
 std::vector<double> RandomForest::predict_proba(const data::Matrix& x,
-                                                std::size_t num_threads) const {
+                                                std::size_t num_threads,
+                                                const obs::Context* obs) const {
   if (trees_.empty()) throw std::logic_error("RandomForest::predict_proba: not trained");
+  obs::add_counter(obs, "wefr_forest_rows_scored_total", x.rows());
   std::vector<double> out(x.rows());
   auto score_rows = [&](std::size_t begin, std::size_t end) {
     for (std::size_t r = begin; r < end; ++r) out[r] = predict_proba(x.row(r));

@@ -9,6 +9,10 @@
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
+namespace wefr::obs {
+struct Context;
+}
+
 namespace wefr::ml {
 
 /// Random-Forest training controls. Defaults follow the paper's
@@ -37,16 +41,23 @@ class RandomForest {
   /// tree gets its own pre-forked stream). When histogram splitting is
   /// in effect (see TreeOptions::split_method) the dataset is quantized
   /// once here and shared read-only by every tree.
+  ///
+  /// `obs` (nullable) wraps the fit in a "forest:fit" span, counts the
+  /// trees fitted, and records the wall time in the
+  /// wefr_forest_fit_seconds histogram.
   void fit(const data::Matrix& x, std::span<const int> y, const ForestOptions& opt,
-           util::Rng& rng);
+           util::Rng& rng, const obs::Context* obs = nullptr);
 
   /// Mean positive-class probability across trees for a single row.
   double predict_proba(std::span<const double> row) const;
 
   /// Probabilities for every row of `x`. `num_threads > 1` fans the rows
   /// out over a ThreadPool; results are identical to the serial path.
+  /// `obs` (nullable) counts the rows scored
+  /// (wefr_forest_rows_scored_total).
   std::vector<double> predict_proba(const data::Matrix& x,
-                                    std::size_t num_threads = 0) const;
+                                    std::size_t num_threads = 0,
+                                    const obs::Context* obs = nullptr) const;
 
   /// Normalized mean impurity-decrease importance (sums to 1 unless all
   /// zero). Length = number of training features.

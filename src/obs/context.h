@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wefr::obs {
+
+/// Nullable observability handle threaded through the pipeline (null
+/// pointer = observability off). Either member may be null on its own:
+/// a metrics-only run skips span bookkeeping and vice versa.
+///
+/// Contract: a stage given a null Context (or null members) must do no
+/// observability work at all — no clock reads, no allocations, no
+/// atomic traffic. The bench_hotpath "obs" gate holds the enabled path
+/// to within 5% of the disabled one end-to-end.
+struct Context {
+  Tracer* tracer = nullptr;
+  Registry* metrics = nullptr;
+};
+
+/// Counter bump that is a no-op on a null/metrics-less context. For
+/// per-stage tallies; hot loops should resolve the Counter once via
+/// counter_or_null and increment through the pointer instead.
+inline void add_counter(const Context* ctx, const char* name, std::uint64_t n = 1) {
+  if (ctx != nullptr && ctx->metrics != nullptr && n > 0) ctx->metrics->counter(name).add(n);
+}
+
+inline Counter* counter_or_null(const Context* ctx, const char* name) {
+  if (ctx == nullptr || ctx->metrics == nullptr) return nullptr;
+  return &ctx->metrics->counter(name);
+}
+
+inline Histogram* histogram_or_null(const Context* ctx, const char* name,
+                                    std::vector<double> upper_bounds) {
+  if (ctx == nullptr || ctx->metrics == nullptr) return nullptr;
+  return &ctx->metrics->histogram(name, std::move(upper_bounds));
+}
+
+}  // namespace wefr::obs

@@ -1,0 +1,173 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+
+namespace wefr::obs::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+Writer::Writer(std::ostream& os, int indent) : os_(os), indent_(indent) {}
+
+void Writer::write_indent() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_); ++i)
+    os_ << ' ';
+}
+
+void Writer::before_value() {
+  if (stack_.empty()) {
+    if (wrote_top_level_) throw std::logic_error("json::Writer: second top-level value");
+    return;
+  }
+  if (stack_.back() == Frame::kObject) {
+    if (!key_pending_) throw std::logic_error("json::Writer: value in object without key");
+    key_pending_ = false;
+    return;  // key() already handled comma + indent
+  }
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  write_indent();
+}
+
+Writer& Writer::key(std::string_view k) {
+  if (stack_.empty() || stack_.back() != Frame::kObject)
+    throw std::logic_error("json::Writer: key outside object");
+  if (key_pending_) throw std::logic_error("json::Writer: two keys in a row");
+  if (has_items_.back()) os_ << ',';
+  has_items_.back() = true;
+  write_indent();
+  write_string(k);
+  os_ << (indent_ > 0 ? ": " : ":");
+  key_pending_ = true;
+  return *this;
+}
+
+Writer& Writer::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.push_back(Frame::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  if (stack_.empty() || stack_.back() != Frame::kObject || key_pending_)
+    throw std::logic_error("json::Writer: unbalanced end_object");
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) write_indent();
+  os_ << '}';
+  if (stack_.empty()) {
+    wrote_top_level_ = true;
+    if (indent_ > 0) os_ << '\n';
+  }
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.push_back(Frame::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  if (stack_.empty() || stack_.back() != Frame::kArray)
+    throw std::logic_error("json::Writer: unbalanced end_array");
+  const bool had = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had) write_indent();
+  os_ << ']';
+  if (stack_.empty()) {
+    wrote_top_level_ = true;
+    if (indent_ > 0) os_ << '\n';
+  }
+  return *this;
+}
+
+void Writer::write_string(std::string_view s) { os_ << '"' << escape(s) << '"'; }
+
+Writer& Writer::value(std::string_view v) {
+  before_value();
+  write_string(v);
+  return *this;
+}
+
+Writer& Writer::value(const char* v) {
+  if (v == nullptr) return null();
+  return value(std::string_view(v));
+}
+
+Writer& Writer::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  before_value();
+  os_ << format_double(v);
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+Writer& Writer::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+}  // namespace wefr::obs::json

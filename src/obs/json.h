@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wefr::obs::json {
+
+/// Escapes `s` for embedding inside a JSON string literal (the
+/// surrounding quotes are not included): quote, backslash, and control
+/// characters become their \-escapes (\uXXXX for the rest of C0).
+std::string escape(std::string_view s);
+
+/// Streaming JSON writer shared by every machine-readable emitter in
+/// the repo (Chrome traces, metrics snapshots, run reports, the bench
+/// JSON summaries). Replaces the ad-hoc snprintf blobs the benches used
+/// to hand-roll.
+///
+/// Usage follows the document structure:
+///
+///   Writer w(os);
+///   w.begin_object();
+///   w.field("model", "MC1");
+///   w.key("scale").begin_object();
+///   w.field("drives", 3500).field("days", 220);
+///   w.end_object();
+///   w.end_object();   // emits pretty-printed, valid JSON
+///
+/// Doubles print with the shortest representation that round-trips
+/// (non-finite values become null, which is what JSON can carry).
+/// Structural misuse (value without a key inside an object, unbalanced
+/// end_*) throws std::logic_error rather than emitting broken output.
+class Writer {
+ public:
+  /// Writes to `os`; `indent` spaces per nesting level (0 = compact).
+  explicit Writer(std::ostream& os, int indent = 2);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+
+  /// Emits the key of the next object member.
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view v);
+  Writer& value(const char* v);  ///< nullptr serializes as null
+  Writer& value(bool v);
+  Writer& value(double v);
+  Writer& value(std::int64_t v);
+  Writer& value(std::uint64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  Writer& null();
+
+  /// key(k) + value(v) in one call.
+  template <typename T>
+  Writer& field(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once every begin_* has been matched by its end_*.
+  bool complete() const { return stack_.empty() && wrote_top_level_; }
+
+ private:
+  enum class Frame : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void write_indent();
+  void write_string(std::string_view s);
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_items_;  ///< parallel to stack_
+  bool key_pending_ = false;
+  bool wrote_top_level_ = false;
+};
+
+/// Formats `v` with the shortest precision that parses back bit-equal
+/// (non-finite values format as "null"). Shared by the writer and the
+/// Prometheus exporter.
+std::string format_double(double v);
+
+}  // namespace wefr::obs::json

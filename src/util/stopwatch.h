@@ -4,13 +4,18 @@
 
 namespace wefr::util {
 
-/// Monotonic wall-clock stopwatch used by the runtime experiment (Exp#4).
+/// Monotonic stopwatch (std::chrono::steady_clock — never the wall
+/// clock, which can step backwards under NTP) used by the runtime
+/// experiment (Exp#4), the benches, and as the span clock of obs::Tracer.
 class Stopwatch {
  public:
-  Stopwatch() : start_(clock::now()) {}
+  Stopwatch() : start_(clock::now()), lap_(start_) {}
 
-  /// Restarts the stopwatch.
-  void reset() { start_ = clock::now(); }
+  /// Restarts the stopwatch (and the lap interval).
+  void reset() {
+    start_ = clock::now();
+    lap_ = start_;
+  }
 
   /// Elapsed time since construction or the last reset, in seconds.
   double seconds() const {
@@ -20,9 +25,23 @@ class Stopwatch {
   /// Elapsed time in milliseconds.
   double millis() const { return seconds() * 1e3; }
 
+  /// Elapsed time in microseconds.
+  double micros() const { return seconds() * 1e6; }
+
+  /// Seconds since the last lap() (or construction/reset), restarting
+  /// the lap interval. The total elapsed time is unaffected, so
+  /// seconds() keeps measuring the whole run while lap() splits it.
+  double lap() {
+    const clock::time_point now = clock::now();
+    const double s = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return s;
+  }
+
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+  clock::time_point lap_;
 };
 
 }  // namespace wefr::util

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "util/rng.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -376,6 +377,42 @@ TEST(AsciiTable, SeparatorRenders) {
   int rules = 0;
   for (std::size_t pos = 0; (pos = s.find("+--", pos)) != std::string::npos; ++pos) ++rules;
   EXPECT_GE(rules, 4);
+}
+
+// ---------- Stopwatch ----------
+
+TEST(Stopwatch, LapSplitsWithoutResettingTotal) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double first = sw.lap();
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double second = sw.lap();
+  const double total = sw.seconds();
+  EXPECT_GT(first, 0.0);
+  EXPECT_GT(second, 0.0);
+  // Laps partition the run: the total keeps counting across lap() calls.
+  EXPECT_GE(total, first + second - 1e-9);
+}
+
+TEST(Stopwatch, ResetRestartsBothClocks) {
+  Stopwatch sw;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  const double before = sw.seconds();
+  sw.reset();
+  EXPECT_LT(sw.seconds(), before);
+  EXPECT_GE(sw.lap(), 0.0);
+}
+
+TEST(Stopwatch, UnitsAreConsistent) {
+  Stopwatch sw;
+  const double s = sw.seconds();
+  const double ms = sw.millis();
+  const double us = sw.micros();
+  // Later reads can only be larger (monotonic clock).
+  EXPECT_GE(ms, s * 1e3);
+  EXPECT_GE(us, s * 1e6);
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 //   wefr_select --in fleet.csv --model MC1 [--train-end DAY]
 //               [--horizon 30] [--no-update] [--save-model model.txt]
 //               [--policy strict|recover|skip-drive]
+//               [--trace-out trace.json] [--metrics-out metrics.prom]
+//               [--report-out report.json]
 //
 // Prints the ensemble diagnostics (per-ranker outlier status), the final
 // selection per wear group, and optionally trains and serializes the
@@ -12,14 +14,31 @@
 // parser: malformed rows are quarantined instead of fatal, the ingest
 // report is printed, and the pipeline runs in degraded mode with its
 // diagnostics echoed at the end.
+//
+// Any of --trace-out / --metrics-out / --report-out enables the obs
+// instrumentation: the whole run is traced (Chrome trace-event JSON,
+// loadable in chrome://tracing), stage counters are collected (JSON, or
+// Prometheus text when the path ends in .prom/.txt), and a
+// schema-versioned run report merging span tree + metrics + diagnostics
+// + selection + scoring is written. With instrumentation on, the tool
+// also trains the predictor and scores the post-training window so the
+// report covers ingestion -> selection -> scoring end to end.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/pipeline.h"
 #include "core/wefr.h"
 #include "data/csv.h"
+#include "ml/metrics.h"
+#include "obs/context.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "util/strings.h"
 
 using namespace wefr;
@@ -30,7 +49,22 @@ void usage() {
   std::fprintf(stderr,
                "usage: wefr_select --in FILE [--model NAME] [--train-end DAY]\n"
                "                   [--horizon N] [--no-update] [--save-model FILE]\n"
-               "                   [--policy strict|recover|skip-drive]\n");
+               "                   [--policy strict|recover|skip-drive]\n"
+               "                   [--trace-out FILE] [--metrics-out FILE]\n"
+               "                   [--report-out FILE]\n");
+}
+
+/// Metrics go out as Prometheus text exposition when the file name says
+/// so, JSON otherwise.
+bool wants_prometheus(const std::string& path) {
+  const std::string_view p = path;
+  return p.ends_with(".prom") || p.ends_with(".txt");
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream ofs(path);
+  if (!ofs) throw std::runtime_error("cannot open " + path);
+  return ofs;
 }
 
 void print_group(const core::GroupSelection& g) {
@@ -46,6 +80,7 @@ void print_group(const core::GroupSelection& g) {
 
 int main(int argc, char** argv) {
   std::string in_path, model = "fleet", save_model;
+  std::string trace_out, metrics_out, report_out;
   int train_end = -1;
   core::ExperimentConfig cfg;
   core::WefrOptions wopt;
@@ -73,6 +108,12 @@ int main(int argc, char** argv) {
       wopt.update_with_wearout = false;
     } else if (arg == "--save-model") {
       save_model = next();
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--report-out") {
+      report_out = next();
     } else if (arg == "--policy") {
       const std::string p = next();
       if (p == "strict") {
@@ -100,9 +141,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const bool obs_enabled =
+      !trace_out.empty() || !metrics_out.empty() || !report_out.empty();
+  obs::Tracer tracer;
+  obs::Registry registry;
+  obs::Context ctx{&tracer, &registry};
+  const obs::Context* obs = obs_enabled ? &ctx : nullptr;
+
   try {
+    obs::RunReport run_report;
+    run_report.tool = "wefr_select";
+    core::PipelineDiagnostics diag;
+    if (obs_enabled) diag.attach(&registry);
+    obs::Span root(obs, "wefr_select");
+
     data::IngestReport report;
-    const auto fleet = data::load_fleet_csv(in_path, model, ropt, &report);
+    const auto fleet = data::load_fleet_csv(in_path, model, ropt, &report, obs);
     if (ropt.policy != data::ParsePolicy::kStrict || !report.clean()) {
       std::printf("ingest: %s\n", report.summary().c_str());
     }
@@ -117,12 +171,11 @@ int main(int argc, char** argv) {
                 fleet.num_days, fleet.num_features(), train_end);
 
     cfg.negative_keep_prob = 0.15;
-    const auto samples = core::build_selection_samples(fleet, 0, train_end, cfg);
+    const auto samples = core::build_selection_samples(fleet, 0, train_end, cfg, obs);
     std::printf("selection samples: %zu (%zu positive)\n", samples.size(),
                 samples.num_positive());
 
-    core::PipelineDiagnostics diag;
-    const auto result = core::run_wefr(fleet, samples, train_end, wopt, &diag);
+    const auto result = core::run_wefr(fleet, samples, train_end, wopt, &diag, obs);
 
     std::printf("\npreliminary rankings (Kendall-tau mean distance; * = discarded):\n");
     const auto& ens = result.all.ensemble;
@@ -145,15 +198,110 @@ int main(int argc, char** argv) {
       std::printf("\npipeline diagnostics: %s\n", diag.summary().c_str());
     }
 
-    if (!save_model.empty()) {
+    if (obs_enabled || !save_model.empty()) {
       std::printf("\ntraining Random Forest (%zu trees, depth %d) on selected "
                   "features...\n",
                   cfg.forest.num_trees, cfg.forest.tree.max_depth);
-      const auto predictor = core::train_predictor(fleet, result, 0, train_end, cfg);
-      std::ofstream ofs(save_model);
-      if (!ofs) throw std::runtime_error("cannot open " + save_model);
-      predictor.all.forest.save(ofs);
-      std::printf("saved whole-model forest to %s\n", save_model.c_str());
+      const auto predictor = core::train_predictor(fleet, result, 0, train_end, cfg, obs);
+      if (!save_model.empty()) {
+        std::ofstream ofs = open_or_throw(save_model);
+        predictor.all.forest.save(ofs);
+        std::printf("saved whole-model forest to %s\n", save_model.c_str());
+      }
+
+      if (obs_enabled) {
+        // Score the held-out window so the report and trace cover the
+        // whole ingestion -> selection -> scoring pipeline. When
+        // training consumed every day, score the last 30 days instead
+        // and flag the result as in-sample.
+        int t1 = fleet.num_days - 1;
+        int t0 = train_end + 1;
+        bool in_sample = false;
+        if (t0 > t1) {
+          t0 = std::max(0, t1 - 29);
+          in_sample = true;
+        }
+        const auto scores =
+            core::score_fleet(fleet, predictor, t0, t1, cfg, &diag, obs);
+
+        obs::RunReport::Scoring sc;
+        sc.drives = scores.size();
+        sc.day_lo = t0;
+        sc.day_hi = t1;
+        sc.in_sample = in_sample;
+        std::vector<double> flat;
+        std::vector<int> labels;
+        for (const auto& ds : scores) {
+          const auto& drive = fleet.drives[ds.drive_index];
+          for (std::size_t i = 0; i < ds.scores.size(); ++i) {
+            const int day = ds.first_day + static_cast<int>(i);
+            flat.push_back(ds.scores[i]);
+            labels.push_back(drive.failed() && drive.fail_day > day &&
+                                     drive.fail_day <= day + cfg.horizon_days
+                                 ? 1
+                                 : 0);
+          }
+        }
+        sc.drive_days = flat.size();
+        bool has_pos = false, has_neg = false;
+        for (int l : labels) {
+          if (l != 0) has_pos = true;
+          else has_neg = true;
+        }
+        if (has_pos && has_neg) sc.auc = ml::auc(flat, labels);
+        const auto eval = core::evaluate_fixed_recall(fleet, scores, t0, t1,
+                                                      cfg.horizon_days, 0.3);
+        sc.precision = eval.precision;
+        sc.recall = eval.recall;
+        sc.f05 = eval.f05;
+        sc.threshold = eval.threshold;
+        run_report.scoring = sc;
+
+        std::printf("\nscored days %d-%d%s: %zu drives, %zu drive-days", t0, t1,
+                    in_sample ? " (in-sample)" : "", scores.size(), flat.size());
+        if (sc.auc.has_value()) std::printf(", day-level AUC %.4f", *sc.auc);
+        std::printf("\n");
+      }
+    }
+
+    if (obs_enabled) {
+      root.finish();
+      if (!trace_out.empty()) {
+        auto ofs = open_or_throw(trace_out);
+        tracer.write_chrome_trace(ofs);
+        std::printf("wrote %zu trace spans to %s\n", tracer.size(), trace_out.c_str());
+      }
+      if (!metrics_out.empty()) {
+        auto ofs = open_or_throw(metrics_out);
+        if (wants_prometheus(metrics_out)) {
+          registry.write_prometheus(ofs);
+        } else {
+          registry.write_json(ofs);
+        }
+        std::printf("wrote metrics to %s\n", metrics_out.c_str());
+      }
+      if (!report_out.empty()) {
+        run_report.model = fleet.model_name;
+        run_report.run_info["drives"] = static_cast<double>(fleet.drives.size());
+        run_report.run_info["drives_failed"] = static_cast<double>(fleet.num_failed());
+        run_report.run_info["days"] = static_cast<double>(fleet.num_days);
+        run_report.run_info["features"] = static_cast<double>(fleet.num_features());
+        run_report.run_info["train_end"] = static_cast<double>(train_end);
+        run_report.params["policy"] =
+            ropt.policy == data::ParsePolicy::kStrict
+                ? "strict"
+                : (ropt.policy == data::ParsePolicy::kRecover ? "recover" : "skip-drive");
+        run_report.params["horizon_days"] = std::to_string(cfg.horizon_days);
+        run_report.params["update_with_wearout"] =
+            wopt.update_with_wearout ? "true" : "false";
+        report.fill_run_report(run_report);
+        diag.fill_run_report(run_report);
+        core::fill_run_report(result, run_report);
+        run_report.tracer = &tracer;
+        run_report.metrics = &registry;
+        run_report.write_json_file(report_out);
+        std::printf("wrote run report to %s\n", report_out.c_str());
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -10,14 +10,22 @@
 // tolerant ingestion path): a comma-separated name:rate list over
 // truncate, nan_burst, stuck, duplicate, out_of_order, bitflip, or
 // "mix:R" for a blend of all six.
+//
+// --trace-out / --metrics-out / --report-out mirror wefr_select's obs
+// outputs for the generate -> corrupt -> write stages.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "data/csv.h"
+#include "obs/context.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "smartsim/faultsim.h"
 #include "smartsim/generator.h"
 #include "util/strings.h"
@@ -31,9 +39,16 @@ void usage() {
                "usage: wefr_simulate [--model NAME] [--drives N] [--days N]\n"
                "                     [--seed N] [--afr-scale X] [--out FILE]\n"
                "                     [--faults SPEC] [--fault-seed N]\n"
+               "                     [--trace-out FILE] [--metrics-out FILE]\n"
+               "                     [--report-out FILE]\n"
                "models: MA1 MA2 MB1 MB2 MC1 MC2 (default MC1)\n"
                "fault spec: name:rate[,name:rate...] over truncate nan_burst\n"
                "            stuck duplicate out_of_order bitflip, or mix:R\n");
+}
+
+bool wants_prometheus(const std::string& path) {
+  const std::string_view p = path;
+  return p.ends_with(".prom") || p.ends_with(".txt");
 }
 
 }  // namespace
@@ -42,6 +57,7 @@ int main(int argc, char** argv) {
   std::string model = "MC1";
   std::string out_path;
   std::string fault_spec;
+  std::string trace_out, metrics_out, report_out;
   std::uint64_t fault_seed = 0x5eedfau;
   smartsim::SimOptions opt;
   opt.num_drives = 1000;
@@ -75,6 +91,12 @@ int main(int argc, char** argv) {
       fault_spec = next();
     } else if (arg == "--fault-seed" && util::parse_double(next(), v)) {
       fault_seed = static_cast<std::uint64_t>(v);
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--report-out") {
+      report_out = next();
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -85,14 +107,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  const bool obs_enabled =
+      !trace_out.empty() || !metrics_out.empty() || !report_out.empty();
+  obs::Tracer tracer;
+  obs::Registry registry;
+  obs::Context ctx{&tracer, &registry};
+  const obs::Context* obs = obs_enabled ? &ctx : nullptr;
+
   try {
-    const auto fleet = generate_fleet(smartsim::profile_by_name(model), opt);
+    obs::Span root(obs, "wefr_simulate");
+
+    data::FleetData fleet;
+    {
+      obs::Span gen_span(obs, "simulate:generate");
+      fleet = generate_fleet(smartsim::profile_by_name(model), opt);
+    }
     std::fprintf(stderr, "generated %s: %zu drives, %zu failed, %d days, AFR %.2f%%\n",
                  fleet.model_name.c_str(), fleet.drives.size(), fleet.num_failed(),
                  fleet.num_days, fleet.afr_percent());
+    if (obs_enabled) {
+      obs::add_counter(obs, "wefr_sim_drives_total", fleet.drives.size());
+      obs::add_counter(obs, "wefr_sim_drives_failed_total", fleet.num_failed());
+      std::size_t drive_days = 0;
+      for (const auto& d : fleet.drives) drive_days += d.num_days();
+      obs::add_counter(obs, "wefr_sim_drive_days_total", drive_days);
+    }
 
+    smartsim::FaultLog log;
     const smartsim::FaultPlan plan = smartsim::parse_fault_plan(fault_spec);
     if (plan.empty()) {
+      obs::Span write_span(obs, "simulate:write");
       if (out_path.empty()) {
         data::write_fleet_csv(fleet, std::cout);
       } else {
@@ -104,9 +148,18 @@ int main(int argc, char** argv) {
       seeded.seed = fault_seed;
       std::ostringstream os;
       data::write_fleet_csv(fleet, os);
-      smartsim::FaultLog log;
-      const std::string corrupted = smartsim::corrupt_csv(os.str(), seeded, &log);
+      std::string corrupted;
+      {
+        obs::Span corrupt_span(obs, "simulate:corrupt");
+        corrupted = smartsim::corrupt_csv(os.str(), seeded, &log);
+      }
       std::fprintf(stderr, "%s\n", log.summary().c_str());
+      if (obs_enabled) {
+        obs::add_counter(obs, "wefr_sim_faults_applied_total", log.total_applied());
+        obs::add_counter(obs, "wefr_sim_fault_rows_touched_total", log.rows_touched);
+        obs::add_counter(obs, "wefr_sim_nonfinite_flips_total", log.nonfinite_flips);
+      }
+      obs::Span write_span(obs, "simulate:write");
       if (out_path.empty()) {
         std::cout << corrupted;
       } else {
@@ -114,6 +167,46 @@ int main(int argc, char** argv) {
         if (!ofs) throw std::runtime_error("cannot open " + out_path);
         ofs << corrupted;
         std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+      }
+    }
+
+    if (obs_enabled) {
+      root.finish();
+      if (!trace_out.empty()) {
+        std::ofstream ofs(trace_out);
+        if (!ofs) throw std::runtime_error("cannot open " + trace_out);
+        tracer.write_chrome_trace(ofs);
+        std::fprintf(stderr, "wrote %zu trace spans to %s\n", tracer.size(),
+                     trace_out.c_str());
+      }
+      if (!metrics_out.empty()) {
+        std::ofstream ofs(metrics_out);
+        if (!ofs) throw std::runtime_error("cannot open " + metrics_out);
+        if (wants_prometheus(metrics_out)) {
+          registry.write_prometheus(ofs);
+        } else {
+          registry.write_json(ofs);
+        }
+        std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+      }
+      if (!report_out.empty()) {
+        obs::RunReport run_report;
+        run_report.tool = "wefr_simulate";
+        run_report.model = fleet.model_name;
+        run_report.run_info["drives"] = static_cast<double>(fleet.drives.size());
+        run_report.run_info["drives_failed"] = static_cast<double>(fleet.num_failed());
+        run_report.run_info["days"] = static_cast<double>(fleet.num_days);
+        run_report.run_info["features"] = static_cast<double>(fleet.num_features());
+        run_report.params["seed"] = std::to_string(opt.seed);
+        run_report.params["afr_scale"] = std::to_string(opt.afr_scale);
+        if (!fault_spec.empty()) {
+          run_report.params["faults"] = fault_spec;
+          run_report.params["fault_seed"] = std::to_string(fault_seed);
+        }
+        run_report.tracer = &tracer;
+        run_report.metrics = &registry;
+        run_report.write_json_file(report_out);
+        std::fprintf(stderr, "wrote run report to %s\n", report_out.c_str());
       }
     }
   } catch (const std::exception& e) {
