@@ -10,31 +10,60 @@
 // line reports how long selection / training / scoring took (per-stage
 // Stopwatch laps) and how many trace spans the week produced.
 //
-//   ./examples/fleet_monitor [model=MC1] [drives=500]
+//   ./examples/fleet_monitor [MODEL] [DRIVES] [CSV] [CACHE_DIR]
+//
+// All arguments are positional; defaults are MC1 / 500 / simulate.
+// With a CSV path the fleet is loaded from that file (tolerant parse,
+// forward-filled) instead of simulated; a CACHE_DIR on top turns
+// repeat runs into a single mapped read of the binary columnar
+// snapshot.
 #include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "core/pipeline.h"
 #include "core/wefr.h"
+#include "data/cache.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "smartsim/generator.h"
 #include "util/stopwatch.h"
+#include "util/strings.h"
 
 using namespace wefr;
 
 int main(int argc, char** argv) {
   const std::string model = argc > 1 ? argv[1] : "MC1";
-  const std::size_t drives = argc > 2 ? std::stoul(argv[2]) : 500;
+  std::size_t drives = 500;
+  if (argc > 2 && !util::parse_int_as(argv[2], drives)) {
+    std::fprintf(stderr, "bad drive count: %s\n", argv[2]);
+    return 2;
+  }
+  const std::string csv_path = argc > 3 ? argv[3] : "";
+  const std::string cache_dir = argc > 4 ? argv[4] : "";
 
-  smartsim::SimOptions sim;
-  sim.num_drives = drives;
-  sim.num_days = 220;
-  sim.seed = 11;
-  sim.afr_scale = 30.0;
-  const auto fleet = generate_fleet(smartsim::profile_by_name(model), sim);
+  data::FleetData fleet;
+  if (csv_path.empty()) {
+    smartsim::SimOptions sim;
+    sim.num_drives = drives;
+    sim.num_days = 220;
+    sim.seed = 11;
+    sim.afr_scale = 30.0;
+    fleet = generate_fleet(smartsim::profile_by_name(model), sim);
+  } else {
+    data::ReadOptions ropt;
+    ropt.policy = data::ParsePolicy::kRecover;
+    data::CacheOptions cache;
+    cache.dir = cache_dir;
+    data::IngestReport report;
+    fleet = data::load_fleet_csv_cached(csv_path, model, ropt, cache, &report);
+    std::printf("ingest %s: %s\n", csv_path.c_str(), report.summary().c_str());
+    if (report.fatal) {
+      std::fprintf(stderr, "unusable input: %s\n", report.fatal_detail.c_str());
+      return 1;
+    }
+  }
   std::printf("monitoring %s fleet: %zu drives (%zu will fail)\n\n",
               fleet.model_name.c_str(), fleet.drives.size(), fleet.num_failed());
 

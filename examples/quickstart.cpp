@@ -10,12 +10,17 @@
 #include "core/pipeline.h"
 #include "core/wefr.h"
 #include "smartsim/generator.h"
+#include "util/strings.h"
 
 using namespace wefr;
 
 int main(int argc, char** argv) {
   const std::string model = argc > 1 ? argv[1] : "MC1";
-  const std::size_t drives = argc > 2 ? std::stoul(argv[2]) : 800;
+  std::size_t drives = 800;
+  if (argc > 2 && !util::parse_int_as(argv[2], drives)) {
+    std::fprintf(stderr, "bad drive count: %s\n", argv[2]);
+    return 2;
+  }
 
   // 1. Simulate a fleet of one drive model (stand-in for SMART logs +
   //    trouble tickets; see DESIGN.md for the substitution rationale).

@@ -51,7 +51,11 @@ double hit_rate(const std::vector<std::size_t>& order,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t drives = argc > 1 ? std::stoul(argv[1]) : 600;
+  std::size_t drives = 600;
+  if (argc > 1 && !util::parse_int_as(argv[1], drives)) {
+    std::fprintf(stderr, "bad drive count: %s\n", argv[1]);
+    return 2;
+  }
   std::printf("selector-vs-ground-truth comparison (%zu drives per model)\n\n", drives);
 
   core::ExperimentConfig cfg;

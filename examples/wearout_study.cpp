@@ -12,12 +12,17 @@
 #include "core/survival.h"
 #include "smartsim/generator.h"
 #include "stats/ranking.h"
+#include "util/strings.h"
 
 using namespace wefr;
 
 int main(int argc, char** argv) {
   const std::string model = argc > 1 ? argv[1] : "MC2";
-  const std::size_t drives = argc > 2 ? std::stoul(argv[2]) : 900;
+  std::size_t drives = 900;
+  if (argc > 2 && !util::parse_int_as(argv[2], drives)) {
+    std::fprintf(stderr, "bad drive count: %s\n", argv[2]);
+    return 2;
+  }
 
   smartsim::SimOptions sim;
   sim.num_drives = drives;

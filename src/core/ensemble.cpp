@@ -65,7 +65,13 @@ EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> ran
       out.rankings[i].assign(nf, neutral_rank);
     }
   };
-  if (opt.num_threads > 1 && k > 1) {
+  // Fan out only when the pool can actually win: on a single hardware
+  // thread the workers just take turns (BENCH_hotpath measured a ~2%
+  // *slowdown* from pool overhead), and for tiny sample matrices the
+  // per-ranker work is smaller than the thread handoff it would buy.
+  const bool pool_can_win =
+      util::default_thread_count() > 1 && x.rows() * x.cols() >= 4096;
+  if (opt.num_threads > 1 && k > 1 && pool_can_win) {
     util::ThreadPool pool(std::min(opt.num_threads, k));
     pool.parallel_for(k, run_one);
   } else {

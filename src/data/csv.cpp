@@ -6,11 +6,14 @@
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <unordered_set>
 
+#include "data/mmap_file.h"
 #include "data/preprocess.h"
 #include "obs/context.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace wefr::data {
 
@@ -49,180 +52,396 @@ void write_fleet_csv(const FleetData& fleet, const std::string& path) {
 
 namespace {
 
-/// Shared parser behind every read_fleet_csv overload. In strict mode
-/// anomalies throw (identical messages to the historical parser); in
-/// the tolerant modes they are tallied into `rep` and the parse keeps
-/// going, so the function is total on arbitrary row corruption.
-FleetData parse_fleet_csv(std::istream& is, const std::string& model_name,
-                          const ReadOptions& opt, IngestReport& rep) {
-  const bool strict = opt.policy == ParsePolicy::kStrict;
-  const bool skip_drive = opt.policy == ParsePolicy::kSkipDrive;
+/// One tokenized data row: zero-copy field views plus pre-parsed
+/// numerics, produced by tokenize_row on the serial path and by the
+/// parallel chunk workers on the mmap path. Everything order-dependent
+/// (drive grouping, contiguity, quarantine policy) happens later, in
+/// RowAssembler, which consumes RawRows strictly in file order — that
+/// is what makes the parallel parse byte-identical to the serial one.
+struct RawRow {
+  std::string_view id;            ///< first field of the (line-trimmed) row
+  std::size_t line_no = 0;        ///< 1-based file line (header = line 1)
+  bool fields_ok = false;         ///< exactly kMetaCols + nf fields
+  bool meta_ok = false;           ///< day/failed/fail_day all parsed
+  int day = 0;                    ///< valid iff meta_ok
+  int fail_day = 0;               ///< valid iff meta_ok
+  std::size_t values_off = 0;     ///< nf doubles in the side buffer, iff fields_ok
+  std::uint32_t missing_cells = 0;  ///< empty / "nan" feature fields
+  std::uint32_t bad_cells = 0;      ///< otherwise-unparseable feature fields
+};
 
-  FleetData fleet;
-  fleet.model_name = model_name;
+/// Tokenizes one non-empty, line-trimmed data row. Splits on ',' with
+/// util::split semantics (empty fields kept) but without allocating,
+/// and parses every numeric through util::parse_double — the shared
+/// std::from_chars fast path — so the bits of every accepted value are
+/// identical to the historical istream parser's. Feature values (NaN
+/// holes included) are appended to `values` only when the field count
+/// is exactly right; a malformed count rolls the appends back.
+void tokenize_row(std::string_view row_text, std::size_t nf,
+                  std::vector<double>& values, RawRow& row) {
+  const std::size_t values_off = values.size();
+  std::string_view meta[kMetaCols];
+  std::size_t field_index = 0;
+  std::uint32_t missing = 0, bad = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= row_text.size(); ++i) {
+    if (i != row_text.size() && row_text[i] != ',') continue;
+    const std::string_view field = row_text.substr(start, i - start);
+    start = i + 1;
+    if (field_index < kMetaCols) {
+      meta[field_index] = field;
+    } else if (field_index - kMetaCols < nf) {
+      const std::string_view cell = util::trim(field);
+      double v = 0.0;
+      if (util::parse_double(cell, v)) {
+        values.push_back(v);
+      } else {
+        values.push_back(kNaN);
+        if (cell.empty() || is_nan_token(cell)) {
+          ++missing;
+        } else {
+          ++bad;
+        }
+      }
+    }
+    ++field_index;
+  }
+  row.id = meta[0];
+  row.fields_ok = field_index == kMetaCols + nf;
+  if (!row.fields_ok) {
+    values.resize(values_off);  // reclaim a partial row
+    return;
+  }
+  row.values_off = values_off;
+  row.missing_cells = missing;
+  row.bad_cells = bad;
+  double day_d = 0.0, failed_d = 0.0, fail_day_d = 0.0;
+  // fail_day may be -1 for healthy drives.
+  row.meta_ok = util::parse_double(meta[1], day_d) &&
+                util::parse_double(meta[2], failed_d) &&
+                util::parse_double(meta[3], fail_day_d);
+  if (row.meta_ok) {
+    row.day = static_cast<int>(day_d);
+    row.fail_day = static_cast<int>(fail_day_d);
+  }
+}
 
-  auto tally = [&rep](RowError e) {
-    ++rep.error_counts[static_cast<std::size_t>(e)];
-  };
-  auto fatal = [&](RowError e, const std::string& msg) -> FleetData {
-    if (strict) throw std::runtime_error(msg);
-    tally(e);
-    rep.fatal = true;
-    rep.fatal_detail = msg;
-    { FleetData empty; empty.model_name = model_name; return empty; }
-  };
+/// The order-dependent half of the parser: drive grouping, day
+/// contiguity, ParsePolicy strict/recover/skip-drive semantics, and
+/// every IngestReport tally, consuming tokenized rows in file order.
+/// Shared verbatim between the serial istream parser (the equivalence
+/// oracle) and the parallel mmap parser, so the two cannot drift.
+///
+/// In strict mode anomalies throw (identical messages to the
+/// historical parser); in the tolerant modes they are tallied into
+/// `rep` and assembly keeps going, so consumption is total on
+/// arbitrary row corruption.
+class RowAssembler {
+ public:
+  RowAssembler(const ReadOptions& opt, const std::string& model_name, IngestReport& rep)
+      : opt_(opt),
+        strict_(opt.policy == ParsePolicy::kStrict),
+        skip_drive_(opt.policy == ParsePolicy::kSkipDrive),
+        rep_(rep) {
+    fleet_.model_name = model_name;
+  }
 
-  std::string line;
-  if (!std::getline(is, line))
-    return fatal(RowError::kEmptyInput, "read_fleet_csv: empty input");
-  auto header = util::split(util::trim(line), ',');
-  if (header.size() < kMetaCols + 1)
-    return fatal(RowError::kBadHeader, "read_fleet_csv: header too short");
-  if (header[0] != "drive_id" || header[1] != "day" || header[2] != "failed" ||
-      header[3] != "fail_day")
-    return fatal(RowError::kBadHeader, "read_fleet_csv: unexpected header");
-  fleet.feature_names.assign(header.begin() + kMetaCols, header.end());
-  const std::size_t nf = fleet.feature_names.size();
+  /// Records an unusable-input condition (no header at all, header too
+  /// short/wrong): throws in strict mode, sets rep.fatal otherwise.
+  void input_fatal(RowError e, const char* msg) {
+    if (strict_) throw std::runtime_error(msg);
+    ++rep_.error_counts[static_cast<std::size_t>(e)];
+    rep_.fatal = true;
+    rep_.fatal_detail = msg;
+  }
 
-  std::unordered_set<std::string> seen_ids;      // every drive id started
-  std::unordered_set<std::string> poisoned_ids;  // kSkipDrive casualties
-  std::unordered_set<std::string> flagged_ids;   // ids in quarantined_drive_ids
-  std::vector<std::size_t> ok_rows_per_drive;    // parallel to fleet.drives
+  /// Parses the header line (content of file line 1, untrimmed).
+  /// False = unusable input already recorded via input_fatal.
+  bool header(std::string_view line) {
+    const auto fields = util::split(util::trim(line), ',');
+    if (fields.size() < kMetaCols + 1) {
+      input_fatal(RowError::kBadHeader, "read_fleet_csv: header too short");
+      return false;
+    }
+    if (fields[0] != "drive_id" || fields[1] != "day" || fields[2] != "failed" ||
+        fields[3] != "fail_day") {
+      input_fatal(RowError::kBadHeader, "read_fleet_csv: unexpected header");
+      return false;
+    }
+    fleet_.feature_names.assign(fields.begin() + kMetaCols, fields.end());
+    nf_ = fleet_.feature_names.size();
+    nan_row_.assign(nf_, kNaN);
+    return true;
+  }
 
-  auto flag_drive = [&](const std::string& id) {
-    if (id.empty() || flagged_ids.count(id) > 0) return;
-    flagged_ids.insert(id);
-    if (rep.quarantined_drive_ids.size() < opt.max_quarantined_ids)
-      rep.quarantined_drive_ids.push_back(id);
-  };
+  std::size_t nf() const { return nf_; }
+
+  /// Consumes one tokenized row; `vals` points at its nf feature
+  /// doubles (only dereferenced when row.fields_ok).
+  void consume(const RawRow& row, const double* vals) {
+    ++rep_.rows_total;
+    const std::string row_id(row.id);
+
+    if (!row_id.empty() && poisoned_ids_.count(row_id) > 0) {
+      ++rep_.rows_quarantined;  // rest of an already-poisoned drive
+      return;
+    }
+    if (!row.fields_ok) {
+      if (strict_)
+        throw std::runtime_error("read_fleet_csv: wrong field count at line " +
+                                 std::to_string(row.line_no));
+      quarantine_row(RowError::kWrongFieldCount, row_id);
+      return;
+    }
+    if (!row.meta_ok) {
+      if (strict_)
+        throw std::runtime_error("read_fleet_csv: bad day/failed/fail_day at line " +
+                                 std::to_string(row.line_no));
+      quarantine_row(RowError::kBadMetaField, row_id);
+      return;
+    }
+    const int day = row.day;
+
+    if (current_ == nullptr || current_->drive_id != row_id) {
+      if (seen_ids_.count(row_id) > 0) {
+        // A drive restarting after other drives: its rows are no longer
+        // contiguous, so its series cannot be trusted.
+        if (strict_)
+          throw std::runtime_error("read_fleet_csv: drive " + row_id +
+                                   " reappears at line " + std::to_string(row.line_no));
+        quarantine_row(RowError::kReappearingDrive, row_id);
+        return;
+      }
+      seen_ids_.insert(row_id);
+      fleet_.drives.emplace_back();
+      ok_rows_per_drive_.push_back(0);
+      current_ = &fleet_.drives.back();
+      current_->drive_id = row_id;
+      current_->first_day = day;
+      current_->fail_day = row.fail_day;
+      current_->values = Matrix(0, nf_);
+    } else if (day != current_->last_day() + 1) {
+      if (strict_)
+        throw std::runtime_error("read_fleet_csv: non-contiguous days for drive " +
+                                 row_id + " at line " + std::to_string(row.line_no));
+      const int gap = day - current_->last_day() - 1;
+      if (gap > 0 && gap <= opt_.max_gap_days) {
+        // A short observation gap: bridge it with all-NaN days so the
+        // series stays contiguous; forward_fill repairs them later.
+        for (int g = 0; g < gap; ++g) current_->values.push_row(nan_row_);
+        rep_.gap_days_bridged += static_cast<std::size_t>(gap);
+      } else {
+        // Duplicate, out-of-order, or an implausibly large jump.
+        quarantine_row(RowError::kNonContiguousDay, row_id);
+        if (poisoned_ids_.count(row_id) > 0) current_ = nullptr;
+        return;
+      }
+    }
+
+    if (row.bad_cells + row.missing_cells > 0) {
+      if (strict_)
+        throw std::runtime_error("read_fleet_csv: bad value at line " +
+                                 std::to_string(row.line_no));
+      // Cell-level recovery: the row survives with NaN holes.
+      rep_.cells_recovered += row.bad_cells + row.missing_cells;
+      rep_.error_counts[static_cast<std::size_t>(RowError::kBadValue)] += row.bad_cells;
+      rep_.error_counts[static_cast<std::size_t>(RowError::kMissingValue)] +=
+          row.missing_cells;
+    }
+    current_->values.push_row({vals, nf_});
+    ++rep_.rows_ok;
+    ++ok_rows_per_drive_[fleet_.drives.size() - 1];
+    max_day_ = std::max(max_day_, day);
+  }
+
+  /// Stream went bad mid-read (istream path only).
+  void io_failure() {
+    if (strict_) throw std::runtime_error("read_fleet_csv: stream read failed");
+    ++rep_.error_counts[static_cast<std::size_t>(RowError::kIoFailure)];
+  }
+
+  /// Returns the (empty) fleet after an unusable-input condition.
+  FleetData abandon() { return std::move(fleet_); }
+
+  /// Final sweep: drop poisoned drives (kSkipDrive), reclaim their
+  /// already-accepted rows into the quarantine tallies, fix num_days.
+  FleetData finish() {
+    if (!poisoned_ids_.empty()) {
+      std::vector<DriveSeries> kept;
+      kept.reserve(fleet_.drives.size());
+      for (std::size_t i = 0; i < fleet_.drives.size(); ++i) {
+        if (poisoned_ids_.count(fleet_.drives[i].drive_id) > 0) {
+          rep_.rows_ok -= ok_rows_per_drive_[i];
+          rep_.rows_quarantined += ok_rows_per_drive_[i];
+          ++rep_.drives_quarantined;
+        } else {
+          kept.push_back(std::move(fleet_.drives[i]));
+        }
+      }
+      fleet_.drives = std::move(kept);
+      max_day_ = -1;
+      for (const auto& d : fleet_.drives)
+        if (d.num_days() > 0) max_day_ = std::max(max_day_, d.last_day());
+    }
+    fleet_.num_days = max_day_ + 1;
+    return std::move(fleet_);
+  }
+
+ private:
+  void flag_drive(const std::string& id) {
+    if (id.empty() || flagged_ids_.count(id) > 0) return;
+    flagged_ids_.insert(id);
+    if (rep_.quarantined_drive_ids.size() < opt_.max_quarantined_ids)
+      rep_.quarantined_drive_ids.push_back(id);
+  }
 
   /// Quarantines one row; in kSkipDrive mode the whole drive goes with
   /// it (rows already parsed are reclaimed during the final sweep).
-  auto quarantine_row = [&](RowError e, const std::string& id) {
-    tally(e);
-    ++rep.rows_quarantined;
+  void quarantine_row(RowError e, const std::string& id) {
+    ++rep_.error_counts[static_cast<std::size_t>(e)];
+    ++rep_.rows_quarantined;
     flag_drive(id);
-    if (skip_drive && !id.empty()) poisoned_ids.insert(id);
-  };
+    if (skip_drive_ && !id.empty()) poisoned_ids_.insert(id);
+  }
 
-  DriveSeries* current = nullptr;
-  int max_day = -1;
+  const ReadOptions& opt_;
+  const bool strict_;
+  const bool skip_drive_;
+  IngestReport& rep_;
+
+  FleetData fleet_;
+  std::size_t nf_ = 0;
+  std::vector<double> nan_row_;
+  std::unordered_set<std::string> seen_ids_;      // every drive id started
+  std::unordered_set<std::string> poisoned_ids_;  // kSkipDrive casualties
+  std::unordered_set<std::string> flagged_ids_;   // ids in quarantined_drive_ids
+  std::vector<std::size_t> ok_rows_per_drive_;    // parallel to fleet_.drives
+  DriveSeries* current_ = nullptr;
+  int max_day_ = -1;
+};
+
+/// Serial reference parser behind the istream overloads: getline +
+/// tokenize + assemble, one row at a time. This is the equivalence
+/// oracle the parallel mmap parser is tested against.
+FleetData parse_fleet_csv(std::istream& is, const std::string& model_name,
+                          const ReadOptions& opt, IngestReport& rep) {
+  RowAssembler assembler(opt, model_name, rep);
+  std::string line;
+  if (!std::getline(is, line)) {
+    assembler.input_fatal(RowError::kEmptyInput, "read_fleet_csv: empty input");
+    return assembler.abandon();
+  }
+  if (!assembler.header(line)) return assembler.abandon();
+
+  std::vector<double> scratch;
   std::size_t line_no = 1;
   while (std::getline(is, line)) {
     ++line_no;
     const auto trimmed = util::trim(line);
     if (trimmed.empty()) continue;
-    ++rep.rows_total;
-    auto fields = util::split(trimmed, ',');
-    const std::string row_id = fields.empty() ? std::string() : fields[0];
-
-    if (!row_id.empty() && poisoned_ids.count(row_id) > 0) {
-      ++rep.rows_quarantined;  // rest of an already-poisoned drive
-      continue;
-    }
-    if (fields.size() != kMetaCols + nf) {
-      if (strict)
-        throw std::runtime_error("read_fleet_csv: wrong field count at line " +
-                                 std::to_string(line_no));
-      quarantine_row(RowError::kWrongFieldCount, row_id);
-      continue;
-    }
-    double day_d, failed_d, fail_day_d;
-    // fail_day may be -1 for healthy drives.
-    if (!util::parse_double(fields[1], day_d) || !util::parse_double(fields[2], failed_d) ||
-        !util::parse_double(fields[3], fail_day_d)) {
-      if (strict)
-        throw std::runtime_error("read_fleet_csv: bad day/failed/fail_day at line " +
-                                 std::to_string(line_no));
-      quarantine_row(RowError::kBadMetaField, row_id);
-      continue;
-    }
-    const int day = static_cast<int>(day_d);
-
-    if (current == nullptr || current->drive_id != row_id) {
-      if (seen_ids.count(row_id) > 0) {
-        // A drive restarting after other drives: its rows are no longer
-        // contiguous, so its series cannot be trusted.
-        if (strict)
-          throw std::runtime_error("read_fleet_csv: drive " + row_id +
-                                   " reappears at line " + std::to_string(line_no));
-        quarantine_row(RowError::kReappearingDrive, row_id);
-        continue;
-      }
-      seen_ids.insert(row_id);
-      fleet.drives.emplace_back();
-      ok_rows_per_drive.push_back(0);
-      current = &fleet.drives.back();
-      current->drive_id = row_id;
-      current->first_day = day;
-      current->fail_day = static_cast<int>(fail_day_d);
-      current->values = Matrix(0, nf);
-    } else if (day != current->last_day() + 1) {
-      if (strict)
-        throw std::runtime_error("read_fleet_csv: non-contiguous days for drive " +
-                                 row_id + " at line " + std::to_string(line_no));
-      const int gap = day - current->last_day() - 1;
-      if (gap > 0 && gap <= opt.max_gap_days) {
-        // A short observation gap: bridge it with all-NaN days so the
-        // series stays contiguous; forward_fill repairs them later.
-        const std::vector<double> nan_row(nf, kNaN);
-        for (int g = 0; g < gap; ++g) current->values.push_row(nan_row);
-        rep.gap_days_bridged += static_cast<std::size_t>(gap);
-      } else {
-        // Duplicate, out-of-order, or an implausibly large jump.
-        quarantine_row(RowError::kNonContiguousDay, row_id);
-        if (poisoned_ids.count(row_id) > 0) current = nullptr;
-        continue;
-      }
-    }
-
-    std::vector<double> row(nf);
-    for (std::size_t i = 0; i < nf; ++i) {
-      const std::string_view field = util::trim(fields[kMetaCols + i]);
-      if (util::parse_double(field, row[i])) continue;
-      if (strict) {
-        throw std::runtime_error("read_fleet_csv: bad value at line " +
-                                 std::to_string(line_no));
-      }
-      // Cell-level recovery: the row survives with a NaN hole.
-      row[i] = kNaN;
-      ++rep.cells_recovered;
-      tally(field.empty() || is_nan_token(field) ? RowError::kMissingValue
-                                                 : RowError::kBadValue);
-    }
-    current->values.push_row(row);
-    ++rep.rows_ok;
-    ++ok_rows_per_drive[fleet.drives.size() - 1];
-    max_day = std::max(max_day, day);
+    scratch.clear();
+    RawRow row;
+    row.line_no = line_no;
+    tokenize_row(trimmed, assembler.nf(), scratch, row);
+    assembler.consume(row, scratch.data());
   }
+  if (is.bad()) assembler.io_failure();
+  return assembler.finish();
+}
 
-  if (is.bad()) {
-    if (strict) throw std::runtime_error("read_fleet_csv: stream read failed");
-    tally(RowError::kIoFailure);
+/// One newline-aligned slice of the data region, tokenized by one
+/// worker. `lines` counts every line in the slice (blank ones
+/// included) so global line numbers rebase by prefix sum.
+struct ParsedChunk {
+  std::size_t lines = 0;
+  std::vector<RawRow> rows;
+  std::vector<double> values;
+};
+
+void tokenize_chunk(std::string_view data, std::size_t nf, ParsedChunk& out) {
+  std::size_t pos = 0;
+  std::size_t line_index = 0;
+  while (pos < data.size()) {
+    const std::size_t eol = data.find('\n', pos);
+    const std::size_t end = eol == std::string_view::npos ? data.size() : eol;
+    const std::string_view line = data.substr(pos, end - pos);
+    pos = eol == std::string_view::npos ? data.size() : eol + 1;
+    ++line_index;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    RawRow row;
+    row.line_no = line_index;  // chunk-relative; rebased during merge
+    tokenize_row(trimmed, nf, out.values, row);
+    out.rows.push_back(row);
   }
+  out.lines = line_index;
+}
 
-  // Final sweep: drop poisoned drives (kSkipDrive) and reclaim their
-  // already-accepted rows into the quarantine tallies.
-  if (!poisoned_ids.empty()) {
-    std::vector<DriveSeries> kept;
-    kept.reserve(fleet.drives.size());
-    for (std::size_t i = 0; i < fleet.drives.size(); ++i) {
-      if (poisoned_ids.count(fleet.drives[i].drive_id) > 0) {
-        rep.rows_ok -= ok_rows_per_drive[i];
-        rep.rows_quarantined += ok_rows_per_drive[i];
-        ++rep.drives_quarantined;
-      } else {
-        kept.push_back(std::move(fleet.drives[i]));
-      }
+/// Parallel buffer parser: newline-aligned chunks tokenized on a
+/// ThreadPool (the expensive part — field splitting and from_chars),
+/// then merged in file order through the same RowAssembler the serial
+/// parser uses. Output is byte-identical to parse_fleet_csv on the
+/// same bytes at any thread count and any chunk size.
+FleetData parse_fleet_buffer(std::string_view text, const std::string& model_name,
+                             const ReadOptions& opt, IngestReport& rep,
+                             const obs::Context* obs) {
+  RowAssembler assembler(opt, model_name, rep);
+  if (text.empty()) {
+    assembler.input_fatal(RowError::kEmptyInput, "read_fleet_csv: empty input");
+    return assembler.abandon();
+  }
+  const std::size_t header_eol = text.find('\n');
+  const std::string_view header_line =
+      text.substr(0, header_eol == std::string_view::npos ? text.size() : header_eol);
+  if (!assembler.header(header_line)) return assembler.abandon();
+  const std::string_view data =
+      header_eol == std::string_view::npos ? std::string_view{}
+                                           : text.substr(header_eol + 1);
+
+  const std::size_t threads =
+      opt.num_threads == 0 ? util::default_thread_count() : opt.num_threads;
+  const std::size_t chunk_bytes = std::max<std::size_t>(1, opt.parallel_chunk_bytes);
+  // Enough chunks to fill the pool with headroom for stragglers, but
+  // never smaller than the target chunk size.
+  std::size_t num_chunks =
+      std::min(data.size() / chunk_bytes + 1, std::max<std::size_t>(1, threads * 4));
+
+  std::vector<std::size_t> bounds{0};
+  for (std::size_t c = 1; c < num_chunks; ++c) {
+    const std::size_t nominal = std::max(data.size() * c / num_chunks, bounds.back());
+    const std::size_t nl = data.find('\n', nominal);
+    const std::size_t b = nl == std::string_view::npos ? data.size() : nl + 1;
+    if (b > bounds.back() && b < data.size()) bounds.push_back(b);
+  }
+  bounds.push_back(data.size());
+  const std::size_t n_chunks = bounds.size() - 1;
+
+  std::vector<ParsedChunk> chunks(n_chunks);
+  const std::size_t nf = assembler.nf();
+  auto run_chunk = [&](std::size_t c) {
+    tokenize_chunk(data.substr(bounds[c], bounds[c + 1] - bounds[c]), nf, chunks[c]);
+  };
+  {
+    obs::Span tokenize_span(obs, "ingest:tokenize");
+    if (threads > 1 && n_chunks > 1) {
+      util::ThreadPool pool(std::min(threads, n_chunks));
+      pool.parallel_for(n_chunks, run_chunk);
+    } else {
+      for (std::size_t c = 0; c < n_chunks; ++c) run_chunk(c);
     }
-    fleet.drives = std::move(kept);
-    max_day = -1;
-    for (const auto& d : fleet.drives)
-      if (d.num_days() > 0) max_day = std::max(max_day, d.last_day());
   }
+  obs::add_counter(obs, "wefr_ingest_parse_chunks_total", n_chunks);
 
-  fleet.num_days = max_day + 1;
-  return fleet;
+  obs::Span merge_span(obs, "ingest:merge");
+  std::size_t line_base = 1;  // the header is line 1
+  for (auto& chunk : chunks) {
+    for (auto& row : chunk.rows) {
+      row.line_no += line_base;
+      assembler.consume(row, chunk.values.data() + row.values_off);
+    }
+    line_base += chunk.lines;
+  }
+  return assembler.finish();
 }
 
 }  // namespace
@@ -244,31 +463,39 @@ FleetData read_fleet_csv(std::istream& is, const std::string& model_name) {
   return read_fleet_csv(is, model_name, ReadOptions{});
 }
 
+FleetData read_fleet_csv_buffer(std::string_view text, const std::string& model_name,
+                                const ReadOptions& opt, IngestReport* report,
+                                const obs::Context* obs) {
+  IngestReport local;
+  IngestReport& rep = report != nullptr ? *report : local;
+  rep = IngestReport{};
+  obs::Span span(obs, "ingest:read_csv");
+  FleetData fleet = parse_fleet_buffer(text, model_name, opt, rep, obs);
+  span.finish();
+  if (obs != nullptr && obs->metrics != nullptr) rep.export_counters(*obs->metrics);
+  return fleet;
+}
+
 FleetData read_fleet_csv(const std::string& path, const std::string& model_name,
                          const ReadOptions& opt, IngestReport* report,
                          const obs::Context* obs) {
   IngestReport local;
   IngestReport& rep = report != nullptr ? *report : local;
+  rep = IngestReport{};
 
   obs::Span span(obs, "ingest:read_csv");
   const std::size_t attempts = std::max<std::size_t>(1, opt.max_io_attempts);
   std::string open_error;
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) ++rep.io_retries;
-    std::ifstream ifs(path);
-    if (!ifs) {
+    MappedFile file;
+    if (!file.open(path)) {
       open_error = "read_fleet_csv: cannot open " + path;
       continue;
     }
     IngestReport pass;
     pass.io_retries = rep.io_retries;
-    FleetData fleet = parse_fleet_csv(ifs, model_name, opt, pass);
-    // A stream that went bad mid-read is a transient fault worth another
-    // attempt (tolerant modes only; strict throws inside the parser).
-    if (pass.errors(RowError::kIoFailure) > 0 && attempt + 1 < attempts) {
-      rep.io_retries = pass.io_retries;
-      continue;
-    }
+    FleetData fleet = parse_fleet_buffer(file.view(), model_name, opt, pass, obs);
     rep = pass;
     span.finish();
     if (obs != nullptr && obs->metrics != nullptr) rep.export_counters(*obs->metrics);

@@ -2,6 +2,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "data/fleet.h"
 #include "data/ingest.h"
@@ -44,10 +45,23 @@ FleetData read_fleet_csv(std::istream& is, const std::string& model_name,
                          const ReadOptions& opt, IngestReport* report = nullptr,
                          const obs::Context* obs = nullptr);
 
-/// Path variant with bounded-retry I/O: opening or reading the file is
-/// attempted up to `opt.max_io_attempts` times before the failure is
-/// reported (thrown in strict mode; `report->fatal` otherwise).
-/// Retries performed are counted in `report->io_retries`.
+/// In-memory variant: parses a whole CSV buffer with the parallel
+/// chunked fast path (newline-aligned chunks tokenized on a thread
+/// pool, merged in file order). Results — fleet, report tallies, and
+/// strict-mode exception messages — are byte-identical to the istream
+/// overloads on the same bytes, at any `opt.num_threads` and any
+/// `opt.parallel_chunk_bytes`.
+FleetData read_fleet_csv_buffer(std::string_view text, const std::string& model_name,
+                                const ReadOptions& opt, IngestReport* report = nullptr,
+                                const obs::Context* obs = nullptr);
+
+/// Path variant with bounded-retry I/O: opening the file is attempted
+/// up to `opt.max_io_attempts` times before the failure is reported
+/// (thrown in strict mode; `report->fatal` otherwise). Retries
+/// performed are counted in `report->io_retries`. The file is
+/// memory-mapped (with a portable read-whole-file fallback) and parsed
+/// through the same parallel chunked fast path as
+/// read_fleet_csv_buffer.
 FleetData read_fleet_csv(const std::string& path, const std::string& model_name,
                          const ReadOptions& opt, IngestReport* report = nullptr,
                          const obs::Context* obs = nullptr);

@@ -35,6 +35,9 @@ std::string IngestReport::summary() const {
   if (cells_recovered > 0) os << ", " << cells_recovered << " cells -> NaN";
   if (gap_days_bridged > 0) os << ", " << gap_days_bridged << " gap days bridged";
   if (io_retries > 0) os << ", " << io_retries << " I/O retries";
+  if (cache_hits > 0) os << " (columnar cache hit)";
+  else if (cache_invalidations > 0) os << " (cache invalidated, reparsed)";
+  else if (cache_misses > 0) os << " (cache miss, snapshot written)";
   bool first = true;
   for (std::size_t i = 0; i < error_counts.size(); ++i) {
     if (error_counts[i] == 0) continue;
@@ -64,6 +67,9 @@ void IngestReport::export_counters(obs::Registry& registry) const {
   bump("wefr_ingest_gap_days_bridged_total", gap_days_bridged);
   bump("wefr_ingest_drives_quarantined_total", drives_quarantined);
   bump("wefr_ingest_io_retries_total", io_retries);
+  bump("wefr_ingest_cache_hit_total", cache_hits);
+  bump("wefr_ingest_cache_miss_total", cache_misses);
+  bump("wefr_ingest_cache_invalidate_total", cache_invalidations);
   if (fatal) registry.counter("wefr_ingest_fatal_total").add(1);
   for (std::size_t i = 0; i < error_counts.size(); ++i) {
     if (error_counts[i] == 0) continue;
@@ -84,6 +90,11 @@ void IngestReport::fill_run_report(obs::RunReport& report) const {
   out["drives_quarantined"] = static_cast<double>(drives_quarantined);
   out["io_retries"] = static_cast<double>(io_retries);
   out["fatal"] = fatal ? 1.0 : 0.0;
+  if (cache_hits + cache_misses > 0) {
+    out["cache_hits"] = static_cast<double>(cache_hits);
+    out["cache_misses"] = static_cast<double>(cache_misses);
+    out["cache_invalidations"] = static_cast<double>(cache_invalidations);
+  }
   out["cells_filled"] = static_cast<double>(fill.cells_filled);
   out["cells_left_missing"] = static_cast<double>(fill.cells_left_missing);
   for (std::size_t i = 0; i < error_counts.size(); ++i) {

@@ -58,6 +58,16 @@ struct ReadOptions {
   /// all-NaN rows (repaired later by forward_fill); larger jumps
   /// quarantine the row instead.
   int max_gap_days = 30;
+  /// Worker threads for the mmap/buffer parse fast path (path- and
+  /// buffer-based overloads only; istream parsing is always serial).
+  /// 0 = one per hardware thread. Results are byte-identical to the
+  /// serial parser at every thread count — chunk partials merge in
+  /// file order through the same row-assembly state machine.
+  std::size_t num_threads = 0;
+  /// Target bytes per parse chunk. Chunks are newline-aligned, so the
+  /// real sizes vary by a row; tests shrink this to force chunk
+  /// boundaries inside tiny inputs.
+  std::size_t parallel_chunk_bytes = std::size_t{1} << 20;
 };
 
 /// Missing-data repair counters (forward_fill). Split out so ingestion
@@ -91,6 +101,16 @@ struct IngestReport {
   std::size_t io_retries = 0;        ///< transient I/O failures retried
   bool fatal = false;                ///< unusable input (empty/bad header)
   std::string fatal_detail;
+
+  /// Columnar-cache outcome for this ingestion (load_fleet_csv_cached
+  /// only; all zero for direct parses). A hit means the parse was
+  /// skipped entirely and the row/cell tallies above were restored
+  /// from the snapshot taken when the cache was written.
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  /// Subset of cache_misses where an entry existed but failed
+  /// validation (stale schema, truncation, checksum, policy mismatch).
+  std::size_t cache_invalidations = 0;
 
   /// Per-error-class tallies, indexed by RowError.
   std::array<std::size_t, static_cast<std::size_t>(RowError::kCount)> error_counts{};

@@ -1,0 +1,104 @@
+#include "data/mmap_file.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define WEFR_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define WEFR_HAVE_MMAP 0
+#endif
+
+namespace wefr::data {
+
+MappedFile::MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this == &other) return *this;
+  close();
+  fallback_ = std::move(other.fallback_);
+  mapped_ = other.mapped_;
+  open_ = other.open_;
+  size_ = other.size_;
+  data_ = mapped_ ? other.data_ : fallback_.data();
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.open_ = other.mapped_ = false;
+  return *this;
+}
+
+MappedFile::~MappedFile() { close(); }
+
+void MappedFile::close() {
+#if WEFR_HAVE_MMAP
+  if (mapped_ && data_ != nullptr)
+    ::munmap(const_cast<char*>(data_), size_);
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  open_ = mapped_ = false;
+  fallback_.clear();
+  fallback_.shrink_to_fit();
+}
+
+namespace {
+
+bool read_whole_file(const std::string& path, std::string& out, std::string* error) {
+  std::ifstream ifs(path, std::ios::binary);
+  if (!ifs) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream os;
+  os << ifs.rdbuf();
+  if (ifs.bad()) {
+    if (error != nullptr) *error = "read failed for " + path;
+    return false;
+  }
+  out = std::move(os).str();
+  return true;
+}
+
+}  // namespace
+
+bool MappedFile::open(const std::string& path, std::string* error) {
+  close();
+#if WEFR_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st{};
+    if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+      if (st.st_size == 0) {
+        ::close(fd);
+        open_ = true;  // empty file: valid, empty view
+        return true;
+      }
+      void* p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                       MAP_PRIVATE, fd, 0);
+      ::close(fd);
+      if (p != MAP_FAILED) {
+        data_ = static_cast<const char*>(p);
+        size_ = static_cast<std::size_t>(st.st_size);
+        open_ = mapped_ = true;
+        return true;
+      }
+      // mmap refused (e.g. a filesystem without mapping support):
+      // fall through to the portable read below.
+    } else {
+      ::close(fd);
+    }
+  }
+#endif
+  if (!read_whole_file(path, fallback_, error)) return false;
+  data_ = fallback_.data();
+  size_ = fallback_.size();
+  open_ = true;
+  return true;
+}
+
+}  // namespace wefr::data

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace wefr::data {
+
+/// Read-only view of a whole file, memory-mapped when the platform
+/// allows it and read into an owned buffer otherwise. The ingestion
+/// fast path parses straight out of this view with zero-copy
+/// string_view tokenization, so the kernel's page cache — not a
+/// user-space copy — backs the bytes on the mmap path.
+///
+/// Move-only; the view stays valid for the lifetime of the object.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// Opens `path` read-only. On POSIX the file is mmap'd (private,
+  /// read-only); anywhere mmap is unavailable or fails — non-regular
+  /// files, exotic filesystems — the contents are read into a heap
+  /// buffer instead, so callers never need to care which happened.
+  /// Returns false (and fills `error` when non-null) when the file
+  /// cannot be opened or read at all.
+  bool open(const std::string& path, std::string* error = nullptr);
+
+  /// Releases the mapping / buffer; the object can be reused.
+  void close();
+
+  /// The file contents. Empty for an unopened object or an empty file.
+  std::string_view view() const { return {data_, size_}; }
+
+  std::size_t size() const { return size_; }
+  bool is_open() const { return open_; }
+  /// True when view() is backed by a real memory map (false = the
+  /// read-whole-file fallback owns a copy).
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool open_ = false;
+  bool mapped_ = false;
+  std::string fallback_;  ///< owns the bytes when !mapped_
+};
+
+}  // namespace wefr::data

@@ -54,4 +54,21 @@ bool parse_double(std::string_view s, double& out) {
   return ec == std::errc{} && ptr == end && std::isfinite(out);
 }
 
+bool parse_int(std::string_view s, long long& out) {
+  s = trim(s);
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec == std::errc{} && ptr == end) return true;
+  if (ec == std::errc::result_out_of_range) return false;
+  // Fallback: a double-rendered integer ("42.0", "1e3"). Truncates
+  // toward zero, matching the cast the call sites used historically.
+  double v = 0.0;
+  if (!parse_double(s, v)) return false;
+  if (v <= -9.3e18 || v >= 9.3e18) return false;  // outside long long
+  out = static_cast<long long>(v);
+  return true;
+}
+
 }  // namespace wefr::util

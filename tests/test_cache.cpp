@@ -1,0 +1,314 @@
+// Columnar fleet cache suite: a warm hit must restore the exact
+// FleetData + IngestReport the first parse produced, and every
+// invalidation class — stale schema knobs, changed source file,
+// truncated snapshot, flipped byte, mismatched parse policy — must
+// fall back to a clean reparse (never crash), tallied as a
+// cache_invalidation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "data/cache.h"
+#include "data/csv.h"
+
+namespace wefr::data {
+namespace {
+
+/// Messy but usable input: bad cells (NaN recovery + forward_fill
+/// work), a bridged gap, and a quarantined row, so the cached report
+/// has non-trivial tallies in every section.
+std::string messy_csv() {
+  return "drive_id,day,failed,fail_day,f0,f1\n"
+         "a,0,0,-1,1,10\n"
+         "a,1,0,-1,,20\n"       // missing cell -> NaN -> forward-filled
+         "a,2,0,-1,3,bad\n"     // bad cell
+         "a,5,0,-1,4,40\n"      // gap of 2 bridged
+         "b,0,1,2,5,50\n"
+         "b,1,1,2,6\n"          // wrong field count -> quarantined
+         "b,0,1,2,7,70\n"       // duplicate day -> quarantined
+         "c,0,0,-1,8,80\n";
+}
+
+struct Env {
+  std::string dir;
+  std::string csv;
+
+  explicit Env(const std::string& tag) {
+    dir = ::testing::TempDir() + "wefr_cache_" + tag;
+    std::filesystem::remove_all(dir);
+    csv = ::testing::TempDir() + "wefr_cache_" + tag + ".csv";
+    write(messy_csv());
+  }
+  void write(const std::string& text) const {
+    std::ofstream ofs(csv, std::ios::binary | std::ios::trunc);
+    ofs << text;
+  }
+  ~Env() {
+    std::filesystem::remove_all(dir);
+    std::remove(csv.c_str());
+  }
+};
+
+ReadOptions recover() {
+  ReadOptions opt;
+  opt.policy = ParsePolicy::kRecover;
+  return opt;
+}
+
+void expect_same_fleet(const FleetData& a, const FleetData& b) {
+  EXPECT_EQ(a.model_name, b.model_name);
+  EXPECT_EQ(a.feature_names, b.feature_names);
+  EXPECT_EQ(a.num_days, b.num_days);
+  ASSERT_EQ(a.drives.size(), b.drives.size());
+  for (std::size_t i = 0; i < a.drives.size(); ++i) {
+    EXPECT_EQ(a.drives[i].drive_id, b.drives[i].drive_id);
+    EXPECT_EQ(a.drives[i].first_day, b.drives[i].first_day);
+    EXPECT_EQ(a.drives[i].fail_day, b.drives[i].fail_day);
+    const auto ra = a.drives[i].values.raw();
+    const auto rb = b.drives[i].values.raw();
+    ASSERT_EQ(ra.size(), rb.size());
+    EXPECT_EQ(std::memcmp(ra.data(), rb.data(), ra.size() * sizeof(double)), 0)
+        << "drive " << i << " values differ bitwise";
+  }
+}
+
+void expect_same_parse_tallies(const IngestReport& a, const IngestReport& b) {
+  EXPECT_EQ(a.rows_total, b.rows_total);
+  EXPECT_EQ(a.rows_ok, b.rows_ok);
+  EXPECT_EQ(a.rows_quarantined, b.rows_quarantined);
+  EXPECT_EQ(a.cells_recovered, b.cells_recovered);
+  EXPECT_EQ(a.gap_days_bridged, b.gap_days_bridged);
+  EXPECT_EQ(a.drives_quarantined, b.drives_quarantined);
+  EXPECT_EQ(a.error_counts, b.error_counts);
+  EXPECT_EQ(a.quarantined_drive_ids, b.quarantined_drive_ids);
+  EXPECT_EQ(a.fill.cells_filled, b.fill.cells_filled);
+  EXPECT_EQ(a.fill.leading_backfilled, b.fill.leading_backfilled);
+  EXPECT_EQ(a.fill.all_nan_columns, b.fill.all_nan_columns);
+  EXPECT_EQ(a.fill.cells_left_missing, b.fill.cells_left_missing);
+}
+
+std::string snapshot_path(const Env& env) {
+  return fleet_cache_path(env.dir, env.csv, "M");
+}
+
+TEST(Cache, WarmHitRestoresParseExactly) {
+  Env env("hit");
+  CacheOptions cache;
+  cache.dir = env.dir;
+
+  IngestReport cold_rep;
+  CacheOutcome outcome = CacheOutcome::kDisabled;
+  const FleetData cold =
+      load_fleet_csv_cached(env.csv, "M", recover(), cache, &cold_rep, nullptr, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(cold_rep.cache_misses, 1u);
+  EXPECT_EQ(cold_rep.cache_hits, 0u);
+  ASSERT_FALSE(cold_rep.fatal);
+  EXPECT_GT(cold_rep.cells_recovered, 0u);
+  EXPECT_GT(cold_rep.fill.cells_filled, 0u);
+  ASSERT_TRUE(std::filesystem::exists(snapshot_path(env)));
+
+  IngestReport warm_rep;
+  const FleetData warm =
+      load_fleet_csv_cached(env.csv, "M", recover(), cache, &warm_rep, nullptr, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::kHit);
+  EXPECT_EQ(warm_rep.cache_hits, 1u);
+  EXPECT_EQ(warm_rep.cache_misses, 0u);
+  expect_same_fleet(cold, warm);
+  expect_same_parse_tallies(cold_rep, warm_rep);
+}
+
+TEST(Cache, ChangedSourceInvalidates) {
+  Env env("source");
+  CacheOptions cache;
+  cache.dir = env.dir;
+  load_fleet_csv_cached(env.csv, "M", recover(), cache);
+
+  env.write(messy_csv() + "c,1,0,-1,9,90\n");
+  IngestReport rep;
+  CacheOutcome outcome = CacheOutcome::kDisabled;
+  const FleetData fleet =
+      load_fleet_csv_cached(env.csv, "M", recover(), cache, &rep, nullptr, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::kInvalidated);
+  EXPECT_EQ(rep.cache_invalidations, 1u);
+  EXPECT_EQ(rep.cache_misses, 1u);
+  // The reparse saw the new row...
+  EXPECT_EQ(fleet.drives.back().num_days(), 2u);
+  // ...and rewrote the snapshot: next load hits again.
+  IngestReport rep2;
+  load_fleet_csv_cached(env.csv, "M", recover(), cache, &rep2, nullptr, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::kHit);
+}
+
+TEST(Cache, StaleSchemaKnobInvalidates) {
+  Env env("schema");
+  CacheOptions cache;
+  cache.dir = env.dir;
+  load_fleet_csv_cached(env.csv, "M", recover(), cache);
+
+  ReadOptions changed = recover();
+  changed.max_gap_days = 1;  // the bridged gap now quarantines instead
+  IngestReport rep;
+  CacheOutcome outcome = CacheOutcome::kDisabled;
+  load_fleet_csv_cached(env.csv, "M", changed, cache, &rep, nullptr, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::kInvalidated);
+  EXPECT_EQ(rep.gap_days_bridged, 0u);
+  EXPECT_GT(rep.errors(RowError::kNonContiguousDay), 0u);
+}
+
+TEST(Cache, PolicyMismatchInvalidates) {
+  Env env("policy");
+  CacheOptions cache;
+  cache.dir = env.dir;
+  load_fleet_csv_cached(env.csv, "M", recover(), cache);
+
+  ReadOptions skip = recover();
+  skip.policy = ParsePolicy::kSkipDrive;
+  IngestReport rep;
+  CacheOutcome outcome = CacheOutcome::kDisabled;
+  const FleetData fleet =
+      load_fleet_csv_cached(env.csv, "M", skip, cache, &rep, nullptr, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::kInvalidated);
+  // skip-drive semantics actually applied by the reparse: b is gone.
+  EXPECT_GT(rep.drives_quarantined, 0u);
+  for (const auto& d : fleet.drives) EXPECT_NE(d.drive_id, "b");
+}
+
+TEST(Cache, TruncatedSnapshotInvalidates) {
+  Env env("trunc");
+  CacheOptions cache;
+  cache.dir = env.dir;
+  IngestReport cold_rep;
+  const FleetData cold = load_fleet_csv_cached(env.csv, "M", recover(), cache, &cold_rep);
+
+  const std::string snap = snapshot_path(env);
+  const auto full = std::filesystem::file_size(snap);
+  std::filesystem::resize_file(snap, full / 2);
+
+  IngestReport rep;
+  CacheOutcome outcome = CacheOutcome::kDisabled;
+  const FleetData fleet =
+      load_fleet_csv_cached(env.csv, "M", recover(), cache, &rep, nullptr, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::kInvalidated);
+  expect_same_fleet(cold, fleet);
+  expect_same_parse_tallies(cold_rep, rep);
+}
+
+TEST(Cache, FlippedByteInvalidates) {
+  Env env("bitrot");
+  CacheOptions cache;
+  cache.dir = env.dir;
+  IngestReport cold_rep;
+  const FleetData cold = load_fleet_csv_cached(env.csv, "M", recover(), cache, &cold_rep);
+
+  const std::string snap = snapshot_path(env);
+  std::string bytes;
+  {
+    std::ifstream ifs(snap, std::ios::binary);
+    std::ostringstream os;
+    os << ifs.rdbuf();
+    bytes = os.str();
+  }
+  ASSERT_GT(bytes.size(), 64u);
+  bytes[bytes.size() / 2] ^= 0x40;  // payload corruption, not the header
+  {
+    std::ofstream ofs(snap, std::ios::binary | std::ios::trunc);
+    ofs << bytes;
+  }
+
+  std::string why;
+  bool existed = false;
+  FleetData fleet;
+  IngestReport rep;
+  EXPECT_FALSE(
+      read_fleet_cache(snap, env.csv, "M", recover(), fleet, rep, &why, &existed));
+  EXPECT_TRUE(existed);
+  EXPECT_EQ(why, "checksum mismatch");
+
+  CacheOutcome outcome = CacheOutcome::kDisabled;
+  const FleetData reparsed =
+      load_fleet_csv_cached(env.csv, "M", recover(), cache, &rep, nullptr, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::kInvalidated);
+  expect_same_fleet(cold, reparsed);
+  expect_same_parse_tallies(cold_rep, rep);
+}
+
+TEST(Cache, GarbageSnapshotNeverCrashes) {
+  Env env("garbage");
+  CacheOptions cache;
+  cache.dir = env.dir;
+  const std::string snap = snapshot_path(env);
+  std::filesystem::create_directories(env.dir);
+  for (const std::string& junk :
+       {std::string("x"), std::string("WEFRFC01"), std::string(4096, '\xff'),
+        std::string(64, '\0')}) {
+    std::ofstream(snap, std::ios::binary | std::ios::trunc) << junk;
+    CacheOutcome outcome = CacheOutcome::kDisabled;
+    IngestReport rep;
+    const FleetData fleet =
+        load_fleet_csv_cached(env.csv, "M", recover(), cache, &rep, nullptr, &outcome);
+    EXPECT_EQ(outcome, CacheOutcome::kInvalidated);
+    EXPECT_FALSE(rep.fatal);
+    EXPECT_EQ(fleet.drives.size(), 3u);
+  }
+}
+
+TEST(Cache, RefreshBypassesValidSnapshot) {
+  Env env("refresh");
+  CacheOptions cache;
+  cache.dir = env.dir;
+  load_fleet_csv_cached(env.csv, "M", recover(), cache);
+
+  cache.refresh = true;
+  IngestReport rep;
+  CacheOutcome outcome = CacheOutcome::kDisabled;
+  load_fleet_csv_cached(env.csv, "M", recover(), cache, &rep, nullptr, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(rep.cache_hits, 0u);
+  EXPECT_EQ(rep.cache_misses, 1u);
+}
+
+TEST(Cache, FatalParseWritesNoSnapshot) {
+  Env env("fatal");
+  env.write("not,a,fleet\n");
+  CacheOptions cache;
+  cache.dir = env.dir;
+  IngestReport rep;
+  CacheOutcome outcome = CacheOutcome::kDisabled;
+  load_fleet_csv_cached(env.csv, "M", recover(), cache, &rep, nullptr, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::kMiss);
+  EXPECT_TRUE(rep.fatal);
+  EXPECT_FALSE(std::filesystem::exists(snapshot_path(env)));
+}
+
+TEST(Cache, DistinctSourcesDoNotCollide) {
+  Env env("collide");
+  const std::string other_csv = ::testing::TempDir() + "wefr_cache_collide_other.csv";
+  {
+    std::ofstream ofs(other_csv);
+    ofs << "drive_id,day,failed,fail_day,f0\nz,0,0,-1,1\n";
+  }
+  EXPECT_NE(fleet_cache_path(env.dir, env.csv, "M"),
+            fleet_cache_path(env.dir, other_csv, "M"));
+  EXPECT_NE(fleet_cache_path(env.dir, env.csv, "M"),
+            fleet_cache_path(env.dir, env.csv, "M2"));
+  std::remove(other_csv.c_str());
+}
+
+TEST(Cache, EmptyDirDisablesCaching) {
+  Env env("disabled");
+  CacheOptions cache;  // dir empty
+  IngestReport rep;
+  CacheOutcome outcome = CacheOutcome::kHit;
+  load_fleet_csv_cached(env.csv, "M", recover(), cache, &rep, nullptr, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::kDisabled);
+  EXPECT_EQ(rep.cache_hits + rep.cache_misses, 0u);
+}
+
+}  // namespace
+}  // namespace wefr::data

@@ -1,0 +1,273 @@
+// Equivalence suite for the parallel mmap/buffer CSV parser: on the
+// same bytes, read_fleet_csv_buffer (chunked, multi-threaded) and the
+// path overload (memory-mapped) must be BIT-IDENTICAL to the serial
+// istream oracle — fleet contents, every IngestReport tally, and
+// strict-mode exception messages — at every thread count and chunk
+// size, over clean input, structural edge cases (CRLF, no trailing
+// newline, blank lines, chunk boundaries landing mid-row or
+// mid-quarantined-drive), and all six smartsim fault kinds under all
+// three parse policies.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "data/csv.h"
+#include "smartsim/faultsim.h"
+#include "smartsim/generator.h"
+
+namespace wefr::data {
+namespace {
+
+struct ParseResult {
+  bool threw = false;
+  std::string what;
+  FleetData fleet;
+  IngestReport rep;
+};
+
+ParseResult run_serial(const std::string& text, const ReadOptions& opt) {
+  ParseResult r;
+  std::istringstream is(text);
+  try {
+    r.fleet = read_fleet_csv(is, "M", opt, &r.rep);
+  } catch (const std::runtime_error& e) {
+    r.threw = true;
+    r.what = e.what();
+  }
+  return r;
+}
+
+ParseResult run_buffer(const std::string& text, ReadOptions opt,
+                       std::size_t threads, std::size_t chunk_bytes) {
+  ParseResult r;
+  opt.num_threads = threads;
+  opt.parallel_chunk_bytes = chunk_bytes;
+  try {
+    r.fleet = read_fleet_csv_buffer(text, "M", opt, &r.rep);
+  } catch (const std::runtime_error& e) {
+    r.threw = true;
+    r.what = e.what();
+  }
+  return r;
+}
+
+void expect_fleet_equal(const FleetData& a, const FleetData& b,
+                        const std::string& ctx) {
+  EXPECT_EQ(a.model_name, b.model_name) << ctx;
+  EXPECT_EQ(a.feature_names, b.feature_names) << ctx;
+  EXPECT_EQ(a.num_days, b.num_days) << ctx;
+  ASSERT_EQ(a.drives.size(), b.drives.size()) << ctx;
+  for (std::size_t i = 0; i < a.drives.size(); ++i) {
+    const auto& da = a.drives[i];
+    const auto& db = b.drives[i];
+    EXPECT_EQ(da.drive_id, db.drive_id) << ctx << " drive " << i;
+    EXPECT_EQ(da.first_day, db.first_day) << ctx << " drive " << i;
+    EXPECT_EQ(da.fail_day, db.fail_day) << ctx << " drive " << i;
+    const auto ra = da.values.raw();
+    const auto rb = db.values.raw();
+    ASSERT_EQ(ra.size(), rb.size()) << ctx << " drive " << i;
+    // memcmp, not ==: NaN holes must survive in the exact same cells.
+    EXPECT_EQ(std::memcmp(ra.data(), rb.data(), ra.size() * sizeof(double)), 0)
+        << ctx << " drive " << i << " values differ bitwise";
+  }
+}
+
+void expect_report_equal(const IngestReport& a, const IngestReport& b,
+                         const std::string& ctx) {
+  EXPECT_EQ(a.rows_total, b.rows_total) << ctx;
+  EXPECT_EQ(a.rows_ok, b.rows_ok) << ctx;
+  EXPECT_EQ(a.rows_quarantined, b.rows_quarantined) << ctx;
+  EXPECT_EQ(a.cells_recovered, b.cells_recovered) << ctx;
+  EXPECT_EQ(a.gap_days_bridged, b.gap_days_bridged) << ctx;
+  EXPECT_EQ(a.drives_quarantined, b.drives_quarantined) << ctx;
+  EXPECT_EQ(a.fatal, b.fatal) << ctx;
+  EXPECT_EQ(a.fatal_detail, b.fatal_detail) << ctx;
+  EXPECT_EQ(a.error_counts, b.error_counts) << ctx;
+  EXPECT_EQ(a.quarantined_drive_ids, b.quarantined_drive_ids) << ctx;
+}
+
+constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+constexpr std::size_t kChunkBytes[] = {1, 7, 64, std::size_t{1} << 20};
+
+/// The workhorse: serial oracle vs every (threads, chunk) combination.
+void expect_equivalent(const std::string& text, const ReadOptions& opt,
+                       const std::string& label) {
+  const ParseResult oracle = run_serial(text, opt);
+  for (std::size_t threads : kThreadCounts) {
+    for (std::size_t chunk : kChunkBytes) {
+      const std::string ctx = label + " [threads=" + std::to_string(threads) +
+                              " chunk=" + std::to_string(chunk) + "]";
+      const ParseResult got = run_buffer(text, opt, threads, chunk);
+      ASSERT_EQ(oracle.threw, got.threw) << ctx;
+      EXPECT_EQ(oracle.what, got.what) << ctx;
+      expect_report_equal(oracle.rep, got.rep, ctx);
+      if (!oracle.threw) expect_fleet_equal(oracle.fleet, got.fleet, ctx);
+    }
+  }
+}
+
+void expect_equivalent_all_policies(const std::string& text, const std::string& label) {
+  for (const auto policy :
+       {ParsePolicy::kStrict, ParsePolicy::kRecover, ParsePolicy::kSkipDrive}) {
+    ReadOptions opt;
+    opt.policy = policy;
+    expect_equivalent(text, opt,
+                      label + "/policy=" + std::to_string(static_cast<int>(policy)));
+  }
+}
+
+std::string baseline_csv() {
+  return "drive_id,day,failed,fail_day,f0,f1\n"
+         "a,0,0,-1,1,10\n"
+         "a,1,0,-1,2,20\n"
+         "a,2,0,-1,3,30\n"
+         "b,1,1,2,4,40\n"
+         "b,2,1,2,5,50\n";
+}
+
+TEST(IngestParallel, CleanBaseline) {
+  expect_equivalent_all_policies(baseline_csv(), "clean");
+}
+
+TEST(IngestParallel, CrlfLineEndings) {
+  std::string text = baseline_csv();
+  std::string crlf;
+  for (char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  expect_equivalent_all_policies(crlf, "crlf");
+}
+
+TEST(IngestParallel, MissingTrailingNewline) {
+  std::string text = baseline_csv();
+  text.pop_back();
+  expect_equivalent_all_policies(text, "no-trailing-newline");
+}
+
+TEST(IngestParallel, EmptyInputAndHeaderOnly) {
+  expect_equivalent_all_policies("", "empty");
+  expect_equivalent_all_policies("drive_id,day,failed,fail_day,f0\n", "header-only");
+  expect_equivalent_all_policies("drive_id,day,failed,fail_day,f0", "header-no-nl");
+  expect_equivalent_all_policies("drive_id,day\nx,0\n", "short-header");
+}
+
+TEST(IngestParallel, BlankLinesEverywhere) {
+  // Blank and whitespace-only lines between rows shift line numbers
+  // (and thus strict error messages) without being rows themselves.
+  expect_equivalent_all_policies(
+      "drive_id,day,failed,fail_day,f0,f1\n"
+      "\n"
+      "a,0,0,-1,1,10\n"
+      "   \n"
+      "a,1,0,-1,2,20\n"
+      "\n\n"
+      "b,1,1,2,4,40\n"
+      "b,2,1,2,bad,50\n"
+      "\n",
+      "blank-lines");
+}
+
+TEST(IngestParallel, CorruptRowsEveryClass) {
+  // One specimen of every row-level anomaly, so chunk boundaries can
+  // land before/inside/after each under the tiny chunk sizes.
+  expect_equivalent_all_policies(
+      baseline_csv() +
+          "c,0,0,-1,7\n"              // wrong field count
+          "c,1,0,-1,8,80\n"           // (c poisoned under skip-drive)
+          "d,zero,0,-1,9,90\n"        // bad meta
+          "e,0,0,-1,10,100\n"
+          "e,5,0,-1,11,110\n"         // gap bridged (4 NaN days)
+          "e,200,0,-1,12,120\n"       // gap too large -> quarantined
+          "a,3,0,-1,13,130\n"         // reappearing drive
+          "f,0,0,-1,,140\n"           // missing cell
+          "f,1,0,-1,nan,150\n"        // nan token cell
+          "f,2,0,-1,x,160\n",         // bad cell
+      "corrupt-classes");
+}
+
+TEST(IngestParallel, SixFaultKindsOnGeneratedFleet) {
+  smartsim::SimOptions sim;
+  sim.num_drives = 12;
+  sim.num_days = 80;
+  sim.seed = 99;
+  const auto fleet =
+      smartsim::generate_fleet(smartsim::profile_by_name("MC1"), sim);
+  std::ostringstream os;
+  write_fleet_csv(fleet, os);
+  const std::string clean = os.str();
+
+  const smartsim::FaultKind kinds[] = {
+      smartsim::FaultKind::kTruncateRow,  smartsim::FaultKind::kNanBurst,
+      smartsim::FaultKind::kStuckSensor,  smartsim::FaultKind::kDuplicateRow,
+      smartsim::FaultKind::kOutOfOrderDay, smartsim::FaultKind::kBitFlip,
+  };
+  for (const auto kind : kinds) {
+    smartsim::FaultPlan plan;
+    plan.faults.push_back({kind, 0.08});
+    plan.seed = 0xfeedu + static_cast<std::uint64_t>(kind);
+    smartsim::FaultLog log;
+    const std::string corrupted = smartsim::corrupt_csv(clean, plan, &log);
+    ASSERT_GT(log.total_applied(), 0u) << smartsim::to_string(kind);
+    expect_equivalent_all_policies(
+        corrupted, std::string("fault=") + smartsim::to_string(kind));
+  }
+
+  // And the full blend at once.
+  smartsim::FaultPlan mix;
+  for (const auto kind : kinds) mix.faults.push_back({kind, 0.03});
+  mix.seed = 0xc0ffee;
+  expect_equivalent_all_policies(smartsim::corrupt_csv(clean, mix), "fault=mix");
+}
+
+TEST(IngestParallel, PathOverloadMatchesSerialOracle) {
+  // The mmap-backed path overload (parallel parse) against the serial
+  // istream oracle on the same bytes.
+  const std::string text = baseline_csv() + "c,0,0,-1,bad,1\n";
+  const std::string path = ::testing::TempDir() + "wefr_parallel_path.csv";
+  {
+    std::ofstream ofs(path, std::ios::binary);
+    ofs << text;
+  }
+  for (const auto policy : {ParsePolicy::kRecover, ParsePolicy::kSkipDrive}) {
+    ReadOptions opt;
+    opt.policy = policy;
+    const ParseResult oracle = run_serial(text, opt);
+    for (std::size_t threads : kThreadCounts) {
+      opt.num_threads = threads;
+      opt.parallel_chunk_bytes = 16;
+      IngestReport rep;
+      const FleetData fleet = read_fleet_csv(path, "M", opt, &rep);
+      const std::string ctx = "path[threads=" + std::to_string(threads) + "]";
+      expect_report_equal(oracle.rep, rep, ctx);
+      expect_fleet_equal(oracle.fleet, fleet, ctx);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IngestParallel, StrictErrorMessagesCarryGlobalLineNumbers) {
+  // Line numbers in strict throws must be file-global even when the
+  // offending row sits in a late chunk.
+  std::string text = "drive_id,day,failed,fail_day,f0\n";
+  for (int d = 0; d < 50; ++d)
+    text += "a," + std::to_string(d) + ",0,-1," + std::to_string(d) + "\n";
+  text += "a,50,0,-1,bogus\n";  // line 52
+  ReadOptions opt;
+  opt.num_threads = 8;
+  opt.parallel_chunk_bytes = 32;
+  try {
+    read_fleet_csv_buffer(text, "M", opt);
+    FAIL() << "expected strict throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "read_fleet_csv: bad value at line 52");
+  }
+}
+
+}  // namespace
+}  // namespace wefr::data

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 #include <set>
 
@@ -330,6 +332,63 @@ TEST(Strings, ParseDoubleInvalid) {
   EXPECT_FALSE(parse_double("", v));
   EXPECT_FALSE(parse_double("abc", v));
   EXPECT_FALSE(parse_double("1.5x", v));
+}
+
+TEST(Strings, ParseIntRoundTrip) {
+  // Every integer the CLIs accept must survive to_string -> parse_int
+  // unchanged, including the extremes.
+  for (long long x : {0ll, 1ll, -1ll, 42ll, -365ll, 1ll << 40,
+                      std::numeric_limits<long long>::max(),
+                      std::numeric_limits<long long>::min()}) {
+    long long out = 0;
+    ASSERT_TRUE(parse_int(std::to_string(x), out)) << x;
+    EXPECT_EQ(out, x);
+  }
+}
+
+TEST(Strings, ParseIntAcceptsDoubleRenderings) {
+  // Historical call sites parsed via parse_double + cast; the helper
+  // keeps accepting those spellings with the same truncation.
+  long long v = 0;
+  EXPECT_TRUE(parse_int("  42 ", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int("42.0", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_int("42.9", v));
+  EXPECT_EQ(v, 42);  // truncates toward zero, like static_cast<int>
+  EXPECT_TRUE(parse_int("-42.9", v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(parse_int("1e3", v));
+  EXPECT_EQ(v, 1000);
+}
+
+TEST(Strings, ParseIntInvalid) {
+  long long v = 0;
+  EXPECT_FALSE(parse_int("", v));
+  EXPECT_FALSE(parse_int("   ", v));
+  EXPECT_FALSE(parse_int("abc", v));
+  EXPECT_FALSE(parse_int("12x", v));
+  EXPECT_FALSE(parse_int("nan", v));
+  EXPECT_FALSE(parse_int("inf", v));
+  EXPECT_FALSE(parse_int("1e300", v));  // outside long long
+}
+
+TEST(Strings, ParseIntAsRangeChecks) {
+  int i = 0;
+  EXPECT_TRUE(parse_int_as("2147483647", i));
+  EXPECT_EQ(i, std::numeric_limits<int>::max());
+  EXPECT_FALSE(parse_int_as("2147483648", i));  // overflows int
+  EXPECT_TRUE(parse_int_as("-5", i));
+  EXPECT_EQ(i, -5);
+
+  std::size_t u = 0;
+  EXPECT_TRUE(parse_int_as("800", u));
+  EXPECT_EQ(u, 800u);
+  EXPECT_FALSE(parse_int_as("-1", u));  // negative into unsigned
+
+  std::uint64_t seed = 0;
+  EXPECT_TRUE(parse_int_as("42", seed));
+  EXPECT_EQ(seed, 42u);
 }
 
 // ---------- AsciiTable ----------

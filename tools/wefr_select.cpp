@@ -3,6 +3,7 @@
 //   wefr_select --in fleet.csv --model MC1 [--train-end DAY]
 //               [--horizon 30] [--no-update] [--save-model model.txt]
 //               [--policy strict|recover|skip-drive]
+//               [--cache-dir DIR]
 //               [--trace-out trace.json] [--metrics-out metrics.prom]
 //               [--report-out report.json]
 //
@@ -14,6 +15,12 @@
 // parser: malformed rows are quarantined instead of fatal, the ingest
 // report is printed, and the pipeline runs in degraded mode with its
 // diagnostics echoed at the end.
+//
+// --cache-dir points at a directory for binary columnar fleet
+// snapshots: the first run parses the CSV (in parallel, via mmap) and
+// writes a snapshot there; later runs replace the parse with a single
+// mapped read as long as the source file and parse options are
+// unchanged.
 //
 // Any of --trace-out / --metrics-out / --report-out enables the obs
 // instrumentation: the whole run is traced (Chrome trace-event JSON,
@@ -33,6 +40,7 @@
 
 #include "core/pipeline.h"
 #include "core/wefr.h"
+#include "data/cache.h"
 #include "data/csv.h"
 #include "ml/metrics.h"
 #include "obs/context.h"
@@ -50,6 +58,7 @@ void usage() {
                "usage: wefr_select --in FILE [--model NAME] [--train-end DAY]\n"
                "                   [--horizon N] [--no-update] [--save-model FILE]\n"
                "                   [--policy strict|recover|skip-drive]\n"
+               "                   [--cache-dir DIR]\n"
                "                   [--trace-out FILE] [--metrics-out FILE]\n"
                "                   [--report-out FILE]\n");
 }
@@ -79,7 +88,7 @@ void print_group(const core::GroupSelection& g) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string in_path, model = "fleet", save_model;
+  std::string in_path, model = "fleet", save_model, cache_dir;
   std::string trace_out, metrics_out, report_out;
   int train_end = -1;
   core::ExperimentConfig cfg;
@@ -95,15 +104,16 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    double v = 0.0;
     if (arg == "--in") {
       in_path = next();
     } else if (arg == "--model") {
       model = next();
-    } else if (arg == "--train-end" && util::parse_double(next(), v)) {
-      train_end = static_cast<int>(v);
-    } else if (arg == "--horizon" && util::parse_double(next(), v)) {
-      cfg.horizon_days = static_cast<int>(v);
+    } else if (arg == "--train-end" && util::parse_int_as(next(), train_end)) {
+      // parsed in the condition
+    } else if (arg == "--horizon" && util::parse_int_as(next(), cfg.horizon_days)) {
+      // parsed in the condition
+    } else if (arg == "--cache-dir") {
+      cache_dir = next();
     } else if (arg == "--no-update") {
       wopt.update_with_wearout = false;
     } else if (arg == "--save-model") {
@@ -156,8 +166,12 @@ int main(int argc, char** argv) {
     obs::Span root(obs, "wefr_select");
 
     data::IngestReport report;
-    const auto fleet = data::load_fleet_csv(in_path, model, ropt, &report, obs);
-    if (ropt.policy != data::ParsePolicy::kStrict || !report.clean()) {
+    data::CacheOptions cache;
+    cache.dir = cache_dir;
+    const auto fleet =
+        data::load_fleet_csv_cached(in_path, model, ropt, cache, &report, obs);
+    if (!cache_dir.empty() || ropt.policy != data::ParsePolicy::kStrict ||
+        !report.clean()) {
       std::printf("ingest: %s\n", report.summary().c_str());
     }
     if (report.fatal) {

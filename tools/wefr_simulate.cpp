@@ -11,6 +11,11 @@
 // truncate, nan_burst, stuck, duplicate, out_of_order, bitflip, or
 // "mix:R" for a blend of all six.
 //
+// --cache-dir warms the binary columnar fleet cache right after the
+// CSV is written (uncorrupted output only): the snapshot is parsed
+// once here so the first wefr_select run against the file starts from
+// a cache hit instead of a full parse.
+//
 // --trace-out / --metrics-out / --report-out mirror wefr_select's obs
 // outputs for the generate -> corrupt -> write stages.
 #include <cstdio>
@@ -21,6 +26,7 @@
 #include <string>
 #include <string_view>
 
+#include "data/cache.h"
 #include "data/csv.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
@@ -39,6 +45,7 @@ void usage() {
                "usage: wefr_simulate [--model NAME] [--drives N] [--days N]\n"
                "                     [--seed N] [--afr-scale X] [--out FILE]\n"
                "                     [--faults SPEC] [--fault-seed N]\n"
+               "                     [--cache-dir DIR]\n"
                "                     [--trace-out FILE] [--metrics-out FILE]\n"
                "                     [--report-out FILE]\n"
                "models: MA1 MA2 MB1 MB2 MC1 MC2 (default MC1)\n"
@@ -57,6 +64,7 @@ int main(int argc, char** argv) {
   std::string model = "MC1";
   std::string out_path;
   std::string fault_spec;
+  std::string cache_dir;
   std::string trace_out, metrics_out, report_out;
   std::uint64_t fault_seed = 0x5eedfau;
   smartsim::SimOptions opt;
@@ -77,20 +85,22 @@ int main(int argc, char** argv) {
     double v = 0.0;
     if (arg == "--model") {
       model = next();
-    } else if (arg == "--drives" && util::parse_double(next(), v)) {
-      opt.num_drives = static_cast<std::size_t>(v);
-    } else if (arg == "--days" && util::parse_double(next(), v)) {
-      opt.num_days = static_cast<int>(v);
-    } else if (arg == "--seed" && util::parse_double(next(), v)) {
-      opt.seed = static_cast<std::uint64_t>(v);
+    } else if (arg == "--drives" && util::parse_int_as(next(), opt.num_drives)) {
+      // parsed in the condition
+    } else if (arg == "--days" && util::parse_int_as(next(), opt.num_days)) {
+      // parsed in the condition
+    } else if (arg == "--seed" && util::parse_int_as(next(), opt.seed)) {
+      // parsed in the condition
     } else if (arg == "--afr-scale" && util::parse_double(next(), v)) {
       opt.afr_scale = v;
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--faults") {
       fault_spec = next();
-    } else if (arg == "--fault-seed" && util::parse_double(next(), v)) {
-      fault_seed = static_cast<std::uint64_t>(v);
+    } else if (arg == "--fault-seed" && util::parse_int_as(next(), fault_seed)) {
+      // parsed in the condition
+    } else if (arg == "--cache-dir") {
+      cache_dir = next();
     } else if (arg == "--trace-out") {
       trace_out = next();
     } else if (arg == "--metrics-out") {
@@ -168,6 +178,25 @@ int main(int argc, char** argv) {
         ofs << corrupted;
         std::fprintf(stderr, "wrote %s\n", out_path.c_str());
       }
+    }
+
+    // Warm the columnar cache for the file just written (clean output
+    // only: corrupted CSVs are meant to exercise the parser, not skip
+    // it). Snapshots are keyed by parse policy; recover is what the
+    // production loaders use, so pair it with
+    // `wefr_select --policy recover --cache-dir ...` for a first-run
+    // cache hit.
+    if (!cache_dir.empty() && !out_path.empty() && plan.empty()) {
+      obs::Span warm_span(obs, "simulate:warm_cache");
+      data::ReadOptions ropt;
+      ropt.policy = data::ParsePolicy::kRecover;
+      data::CacheOptions cache;
+      cache.dir = cache_dir;
+      cache.refresh = true;
+      data::IngestReport report;
+      data::load_fleet_csv_cached(out_path, model, ropt, cache, &report, obs);
+      std::fprintf(stderr, "warmed fleet cache in %s (%s)\n", cache_dir.c_str(),
+                   report.summary().c_str());
     }
 
     if (obs_enabled) {
