@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <numeric>
 #include <stdexcept>
 
 #include "data/window_features.h"
@@ -190,32 +191,64 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
     DriveDayScores& ds = out[slot];
     ds.drive_index = di;
     ds.first_day = lo;
-    ds.scores.reserve(static_cast<std::size_t>(hi - lo + 1));
+    const std::size_t num_days = static_cast<std::size_t>(hi - lo + 1);
+    ds.scores.assign(num_days, 0.0);
+
+    // Batch the drive's scored days through the flattened engine: one
+    // contiguous batch when unrouted, otherwise one batch per bundle
+    // with the per-day routing decision (NaN wear indicator -> the
+    // whole-model bundle, as before) deciding which list a day joins.
+    // Scores are scattered back by day position, and each probability
+    // is bit-identical to the historical per-day recursive walk.
+    // Workers pass obs = nullptr: inference rows are tallied once after
+    // the fan-out so tracing adds no work to the scoring hot path.
+    if (!routed) {
+      std::vector<std::size_t> rows(num_days);
+      std::iota(rows.begin(), rows.end(), static_cast<std::size_t>(lo - drive.first_day));
+      predictor.all.forest.predict_proba(all_feats, rows, ds.scores);
+      return;
+    }
+
+    std::vector<std::size_t> rows_all, rows_low, rows_high;
+    std::vector<std::size_t> pos_all, pos_low, pos_high;
     for (int day = lo; day <= hi; ++day) {
       const std::size_t local = static_cast<std::size_t>(day - drive.first_day);
-      double score;
-      if (routed) {
-        const double mwi = drive.values(local, static_cast<std::size_t>(predictor.mwi_col));
-        if (std::isnan(mwi)) {
-          // Unroutable wear indicator: score with the whole-model bundle
-          // rather than silently landing in the high-wear group.
-          ++rerouted[slot];
-          ds.scores.push_back(predictor.all.forest.predict_proba(all_feats.row(local)));
-          continue;
-        }
-        const bool is_low = mwi <= *predictor.wear_threshold;
-        if (is_low && predictor.low.has_value()) {
-          score = predictor.low->forest.predict_proba(low_feats.row(local));
-        } else if (!is_low && predictor.high.has_value()) {
-          score = predictor.high->forest.predict_proba(high_feats.row(local));
-        } else {
-          score = predictor.all.forest.predict_proba(all_feats.row(local));
-        }
-      } else {
-        score = predictor.all.forest.predict_proba(all_feats.row(local));
+      const std::size_t pos = static_cast<std::size_t>(day - lo);
+      const double mwi = drive.values(local, static_cast<std::size_t>(predictor.mwi_col));
+      if (std::isnan(mwi)) {
+        // Unroutable wear indicator: score with the whole-model bundle
+        // rather than silently landing in the high-wear group.
+        ++rerouted[slot];
+        rows_all.push_back(local);
+        pos_all.push_back(pos);
+        continue;
       }
-      ds.scores.push_back(score);
+      const bool is_low = mwi <= *predictor.wear_threshold;
+      if (is_low && predictor.low.has_value()) {
+        rows_low.push_back(local);
+        pos_low.push_back(pos);
+      } else if (!is_low && predictor.high.has_value()) {
+        rows_high.push_back(local);
+        pos_high.push_back(pos);
+      } else {
+        rows_all.push_back(local);
+        pos_all.push_back(pos);
+      }
     }
+
+    std::vector<double> batch;
+    auto score_bundle = [&](const PredictorBundle& bundle, const data::Matrix& feats,
+                            const std::vector<std::size_t>& rows,
+                            const std::vector<std::size_t>& pos) {
+      if (rows.empty()) return;
+      batch.assign(rows.size(), 0.0);
+      bundle.forest.predict_proba(feats, rows, batch);
+      for (std::size_t i = 0; i < pos.size(); ++i) ds.scores[pos[i]] = batch[i];
+    };
+    score_bundle(predictor.all, all_feats, rows_all, pos_all);
+    if (predictor.low.has_value()) score_bundle(*predictor.low, low_feats, rows_low, pos_low);
+    if (predictor.high.has_value())
+      score_bundle(*predictor.high, high_feats, rows_high, pos_high);
   };
 
   // One task per drive drowned the pool in atomic traffic and task
@@ -249,6 +282,7 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
     obs::add_counter(obs, "wefr_score_drives_total", out.size());
     obs::add_counter(obs, "wefr_score_days_total", total_days);
     obs::add_counter(obs, "wefr_score_days_rerouted_total", total_rerouted);
+    obs::add_counter(obs, "wefr_inference_rows_total", total_days);
   }
   return out;
 }

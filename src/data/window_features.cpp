@@ -14,10 +14,15 @@
 // where available. Only avx2 is enabled (no FMA target), so every op is
 // IEEE-exact at any vector width and results are bit-identical across
 // the clones.
+// Under TSan the clones are disabled: target_clones dispatches through
+// an IFUNC whose resolver runs before the TSan runtime initializes,
+// which segfaults at process start (forest_infer.cpp avoids this by
+// dispatching through an atomic instead).
 #ifndef __has_attribute
 #define __has_attribute(x) 0
 #endif
-#if defined(__x86_64__) && defined(__gnu_linux__) && __has_attribute(target_clones)
+#if defined(__x86_64__) && defined(__gnu_linux__) && __has_attribute(target_clones) && \
+    !defined(__SANITIZE_THREAD__)
 #define WEFR_SIMD_CLONES __attribute__((target_clones("avx2", "default")))
 #else
 #define WEFR_SIMD_CLONES

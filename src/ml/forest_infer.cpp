@@ -1,0 +1,701 @@
+#include "ml/forest_infer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "ml/gbdt.h"
+#include "ml/random_forest.h"
+#include "ml/tree.h"
+#include "obs/context.h"
+#include "obs/trace.h"
+
+// The traversal kernels are branchless gather/select loops over a
+// staged row block; like the rolling-feature kernels (window_features.cpp)
+// they are compiled twice on x86-64 — an AVX2 clone and a baseline one
+// — and dispatched at runtime. Only avx2 is targeted (no FMA, and the
+// kernels contain no contractible arithmetic anyway), so the clones
+// are bit-identical; a process-wide pin lets the bench time each clone.
+#ifndef __has_attribute
+#define __has_attribute(x) 0
+#endif
+#if defined(__x86_64__) && defined(__gnu_linux__) && __has_attribute(target)
+#define WEFR_INFER_AVX2 1
+#else
+#define WEFR_INFER_AVX2 0
+#endif
+
+namespace wefr::ml {
+
+namespace {
+
+/// Rows per staged block. Every block streams the whole ensemble's
+/// node records once, so the block must be wide enough to amortize
+/// that traffic (a 25-tree depth-13 forest is multiple MB); 512 rows
+/// keeps the double stage at 512 * (slots + 1) * 8 bytes — L2-resident
+/// for dozens of features — while cutting per-row node traffic 8x over
+/// a 64-row block. (256 and 1024 both measured slower: halving the
+/// block doubles cold node reloads, doubling it starts evicting staged
+/// columns between trees.)
+constexpr std::size_t kBlockRows = 512;
+
+/// Element stride between staged columns. Deliberately NOT kBlockRows:
+/// a 2 KB power-of-two column stride maps a fixed row's reads across
+/// all features into the same two L1 sets (set = (col*32 + r/8) mod 64),
+/// so a 16-row group walking ~30 active features contends for ~4 sets'
+/// worth of ways. One extra cache line of padding per column makes the
+/// column->set mapping coprime with the set count and spreads the
+/// group's working set across all 64 sets. Baked into FlatNode::slot_off
+/// at build time, so the kernels never see the distinction.
+constexpr std::size_t kSlotStride = kBlockRows + 8;
+
+/// Everything one block traversal reads, gathered so the kernel clones
+/// share a single signature.
+struct BlockArgs {
+  const double* stage = nullptr;        ///< [slot][kSlotStride] raw values
+  const std::uint8_t* codes = nullptr;  ///< [slot][kSlotStride] codec ranks
+  std::size_t rows = 0;                 ///< occupied rows in the block
+  const FlatNode* node = nullptr;       ///< packed nodes, BFS order
+  const WideNode* wide = nullptr;       ///< raw-path nodes with packed child refs
+  const std::uint64_t* root_packed = nullptr;  ///< per-tree packed root ref
+  const std::uint8_t* cut = nullptr;    ///< per node: codec threshold rank
+  const std::int32_t* tree_first = nullptr;
+  const std::int32_t* tree_depth = nullptr;
+  std::size_t tree_begin = 0;
+  std::size_t tree_end = 0;
+  double* acc = nullptr;  ///< [rows] per-row leaf-value accumulator
+};
+
+/// Batched traversal: a group of rows advances through one tree in
+/// lockstep, one level per pass; leaves self-loop (-inf stage column,
+/// payload in the threshold field, child == self), so no per-row
+/// termination test exists, and the `code > cut` outcome feeds straight
+/// into `child + go_right` — no branch for the predictor to miss. The
+/// raw comparison is false for NaN, which routes NaN right — exactly
+/// the recursive walk's behaviour. The end-of-tree accumulate reads the
+/// payload off the leaf record itself, which the last level visit just
+/// pulled into L1.
+///
+/// Each step of a chain is a load dependency (node -> slot -> staged
+/// value -> child), so one chain is latency-bound; kGroup independent
+/// chains in flight turn the walk throughput-bound. Written as an
+/// explicit inner group (indices in registers, level loop outside the
+/// group loop) so the compiler cannot interchange the loops back into
+/// one long serial chain per row — GCC does exactly that to a plain
+/// `for (level) for (row in 0..64)` nest. Walks groups of exactly
+/// kGroup rows through one tree, starting at `r` and advancing it past
+/// every full group consumed; the driver cascades group sizes (24,
+/// then 8, then single rows) so almost no row falls through to the
+/// serial walk.
+template <bool kQuantized, std::size_t kGroup>
+[[gnu::always_inline]] inline void walk_groups(const BlockArgs& a, std::int32_t root,
+                                               std::int32_t depth, std::size_t& r) {
+  const std::uint8_t* const codes = a.codes;
+  const FlatNode* const node = a.node;
+  const std::uint8_t* const cut = a.cut;
+  const std::size_t n = a.rows;
+  for (; r + kGroup <= n; r += kGroup) {
+    // Hoisting the block-row base into the stage pointer lets the
+    // lane index j below fold into the load's constant displacement:
+    // without it GCC materializes the per-lane r+j offsets on the
+    // stack and reloads one per step, an extra load on a port-bound
+    // loop.
+    const double* const gstage = a.stage + r;
+    const std::uint8_t* const gcodes = codes + r;
+    std::int32_t idx[kGroup];
+    if (depth > 0) {
+      // Level 0 specialised: every lane is at the root, so its fields
+      // load once for the whole group instead of once per lane.
+      const FlatNode rn = node[static_cast<std::size_t>(root)];
+      const std::size_t rslot = static_cast<std::size_t>(rn.slot_off);
+#pragma GCC unroll 32
+      for (std::size_t j = 0; j < kGroup; ++j) {
+        std::int32_t go_right;
+        if constexpr (kQuantized) {
+          go_right = gcodes[rslot + j] > cut[static_cast<std::size_t>(root)] ? 1 : 0;
+        } else {
+          go_right = gstage[rslot + j] <= rn.threshold ? 0 : 1;
+        }
+        idx[j] = rn.child + go_right;
+      }
+    } else {
+      for (std::size_t j = 0; j < kGroup; ++j) idx[j] = root;
+    }
+    auto one_step = [&](std::int32_t cur, std::size_t j) {
+      const std::size_t i = static_cast<std::size_t>(cur);
+      const FlatNode& nd = node[i];
+      const std::size_t slot = static_cast<std::size_t>(nd.slot_off);
+      const std::int32_t child = nd.child;
+      const double thr = nd.threshold;
+      std::int32_t go_right;
+      if constexpr (kQuantized) {
+        go_right = gcodes[slot + j] > cut[i] ? 1 : 0;
+      } else {
+        go_right = gstage[slot + j] <= thr ? 0 : 1;
+      }
+      return child + go_right;
+    };
+    for (std::int32_t level = 1; level < depth; ++level) {
+      std::int32_t moved = 0;
+#pragma GCC unroll 32
+      for (std::size_t j = 0; j < kGroup; ++j) {
+        const std::int32_t next = one_step(idx[j], j);
+        moved |= next ^ idx[j];
+        idx[j] = next;
+      }
+      // All chains parked on leaf self-loops: the remaining levels are
+      // no-ops. Real forests are unbalanced, so the deepest leaf is
+      // far deeper than the typical one — without this check every
+      // row would pay for the deepest path in the tree.
+      if (moved == 0) break;
+    }
+    for (std::size_t j = 0; j < kGroup; ++j) {
+      a.acc[r + j] += node[static_cast<std::size_t>(idx[j])].threshold;
+    }
+  }
+}
+
+/// `v <= thr ? l : r`, with NaN `v` selecting `r` — the split rule of
+/// the recursive walk. On x86-64 this is pinned to comisd + cmovae by
+/// inline asm: the pure ternary is at GCC's mercy, and whether
+/// if-conversion fires turned out to depend on surrounding inlining —
+/// one build produced cmov, the next sank the child loads back into a
+/// data-dependent branch that mispredicts ~every other level and made
+/// the whole walk 2.5x slower. (comisd thr, v sets CF when thr < v and
+/// on unordered, so cmovae — CF clear — takes `l` exactly when
+/// v <= thr and never for NaN.)
+[[gnu::always_inline]] inline std::uint64_t select_le(double v, double thr,
+                                                      std::uint64_t l, std::uint64_t r) {
+#if defined(__x86_64__) && defined(__GNUC__)
+  asm("comisd %[v], %[t]\n\t"
+      "cmovae %[l], %[r]"
+      : [r] "+r"(r)
+      : [t] "x"(thr), [v] "x"(v), [l] "r"(l)
+      : "cc");
+  return r;
+#else
+  return v <= thr ? l : r;
+#endif
+}
+
+/// Raw-threshold walk over WideNode records (see forest_infer.h): the
+/// packed child word carries the destination's stage byte offset, so a
+/// step's staged-value load depends only on the previous packed word,
+/// never on this step's node-record load — the two cache accesses issue
+/// in parallel and the per-level chain shrinks from
+/// node -> slot -> stage -> compare to max(node, stage) -> compare.
+/// Both child words load unconditionally and the compare selects with a
+/// cmov, so there is still no data-dependent branch.
+///
+/// The group walks the full tree depth with no parked-lane bookkeeping:
+/// with 16 chains in flight a group's deepest lane is usually near the
+/// tree's own depth, so an early-exit check costs more in per-step
+/// tracking (xor/or per lane per level, measured ~15% on this loop)
+/// than the few spare levels it skips — the opposite trade from the
+/// quantized kernel's 24-lane walk below. 16 lanes beat 8/10/12/20/24
+/// here: enough independent chains to cover the ~18-cycle per-step
+/// chain and the L2 latency of stage/node lines, while the lane state
+/// still fits registers without heavy spilling.
+template <std::size_t kGroup>
+[[gnu::always_inline]] inline void walk_wide(const BlockArgs& a, std::uint64_t root_pk,
+                                             std::int32_t depth, std::size_t& r) {
+  const char* const nbase = reinterpret_cast<const char*>(a.wide);
+  const std::size_t n = a.rows;
+  for (; r + kGroup <= n; r += kGroup) {
+    const char* const sbase = reinterpret_cast<const char*>(a.stage + r);
+    std::uint64_t pk[kGroup];
+    if (depth > 0) {
+      // Level 0 specialised: every lane is at the root, so its record
+      // loads once for the whole group.
+      const WideNode& rn =
+          *reinterpret_cast<const WideNode*>(nbase + static_cast<std::uint32_t>(root_pk));
+      const std::size_t roff = static_cast<std::size_t>(root_pk >> 32);
+      const double rthr = rn.thr;
+      const std::uint64_t rl = rn.left, rr = rn.right;
+#pragma GCC unroll 16
+      for (std::size_t j = 0; j < kGroup; ++j) {
+        double v;
+        std::memcpy(&v, sbase + roff + 8 * j, sizeof v);
+        pk[j] = select_le(v, rthr, rl, rr);
+      }
+      for (std::int32_t level = 1; level < depth; ++level) {
+#pragma GCC unroll 16
+        for (std::size_t j = 0; j < kGroup; ++j) {
+          const std::uint64_t p = pk[j];
+          const WideNode& nd =
+              *reinterpret_cast<const WideNode*>(nbase + static_cast<std::uint32_t>(p));
+          double v;
+          std::memcpy(&v, sbase + (p >> 32) + 8 * j, sizeof v);
+          pk[j] = select_le(v, nd.thr, nd.left, nd.right);
+        }
+      }
+    } else {
+      for (std::size_t j = 0; j < kGroup; ++j) pk[j] = root_pk;
+    }
+#pragma GCC unroll 16
+    for (std::size_t j = 0; j < kGroup; ++j) {
+      double payload;
+      std::memcpy(&payload, nbase + static_cast<std::uint32_t>(pk[j]), sizeof payload);
+      a.acc[r + j] += payload;
+    }
+  }
+}
+
+template <std::size_t kGroup>
+[[gnu::always_inline]] inline void run_trees_wide(const BlockArgs& a) {
+  const char* const nbase = reinterpret_cast<const char*>(a.wide);
+  const std::size_t n = a.rows;
+  for (std::size_t t = a.tree_begin; t < a.tree_end; ++t) {
+    const std::uint64_t root_pk = a.root_packed[t];
+    const std::int32_t depth = a.tree_depth[t];
+    std::size_t r = 0;
+    walk_wide<kGroup>(a, root_pk, depth, r);
+    for (; r < n; ++r) {  // last rows walk one chain at a time
+      const char* const sb = reinterpret_cast<const char*>(a.stage + r);
+      std::uint64_t p = root_pk;
+      for (std::int32_t level = 0; level < depth; ++level) {
+        const WideNode& nd =
+            *reinterpret_cast<const WideNode*>(nbase + static_cast<std::uint32_t>(p));
+        double v;
+        std::memcpy(&v, sb + (p >> 32), sizeof v);
+        const std::uint64_t next = select_le(v, nd.thr, nd.left, nd.right);
+        if (next == p) break;  // parked on a leaf self-loop
+        p = next;
+      }
+      double payload;
+      std::memcpy(&payload, nbase + static_cast<std::uint32_t>(p), sizeof payload);
+      a.acc[r] += payload;
+    }
+  }
+}
+
+template <bool kQuantized, std::size_t kGroup>
+[[gnu::always_inline]] inline void run_trees_impl(const BlockArgs& a) {
+  const std::uint8_t* const codes = a.codes;
+  const FlatNode* const node = a.node;
+  const std::uint8_t* const cut = a.cut;
+  const std::size_t n = a.rows;
+  for (std::size_t t = a.tree_begin; t < a.tree_end; ++t) {
+    const std::int32_t root = a.tree_first[t];
+    const std::int32_t depth = a.tree_depth[t];
+    std::size_t r = 0;
+    walk_groups<kQuantized, kGroup>(a, root, depth, r);
+    // A 512-row block is not a multiple of 24; mop up with a group
+    // size that divides the remainder (512 = 21*24 + 1*8) instead of
+    // dropping up to 23 rows onto the serial walk below.
+    if constexpr (kGroup > 8) walk_groups<kQuantized, 8>(a, root, depth, r);
+    for (; r < n; ++r) {  // last rows walk one chain at a time
+      std::size_t i = static_cast<std::size_t>(root);
+      for (std::int32_t level = 0; level < depth; ++level) {
+        const FlatNode& nd = node[i];
+        const std::size_t col = static_cast<std::size_t>(nd.slot_off) + r;
+        std::int32_t go_right;
+        if constexpr (kQuantized) {
+          go_right = codes[col] > cut[i] ? 1 : 0;
+        } else {
+          go_right = a.stage[col] <= nd.threshold ? 0 : 1;
+        }
+        const std::size_t next = static_cast<std::size_t>(nd.child + go_right);
+        if (next == i) break;  // parked on a leaf self-loop
+        i = next;
+      }
+      a.acc[r] += node[i].threshold;
+    }
+  }
+}
+
+void run_trees_double_base(const BlockArgs& a) { run_trees_wide<16>(a); }
+void run_trees_quant_base(const BlockArgs& a) { run_trees_impl<true, 24>(a); }
+
+#if WEFR_INFER_AVX2
+[[gnu::target("avx2")]] void run_trees_double_avx2(const BlockArgs& a) {
+  run_trees_wide<16>(a);
+}
+[[gnu::target("avx2")]] void run_trees_quant_avx2(const BlockArgs& a) {
+  run_trees_impl<true, 24>(a);
+}
+bool cpu_has_avx2() { return __builtin_cpu_supports("avx2") != 0; }
+#else
+bool cpu_has_avx2() { return false; }
+#endif
+
+std::atomic<bool> g_avx2_enabled{cpu_has_avx2()};
+
+/// Neutral node form both learners flatten through.
+struct RawNode {
+  std::int32_t feature = -1;  // < 0 = leaf
+  double threshold = 0.0;
+  std::int32_t left = -1;
+  std::int32_t right = -1;
+  double value = 0.0;  // leaf payload
+};
+
+/// Codec rank of `v` among the sorted thresholds [first, first + len):
+/// the number of thresholds strictly below v, so that `v <= thrs[i]`
+/// iff `rank(v) <= i` for every i. NaN maps past the last rank (always
+/// routes right), mirroring the raw comparison; the isnan test is the
+/// only branch — a `std::lower_bound` here costs ~8 mispredicts per
+/// value on real data and dominated the whole quantized path, so the
+/// search is a branchless cmov ladder instead.
+std::uint8_t code_of(const double* first, std::size_t len, double v) {
+  if (std::isnan(v)) [[unlikely]]
+    return static_cast<std::uint8_t>(len);
+  const double* base = first;
+  std::size_t n = len;
+  while (n > 1) {
+    const std::size_t half = n / 2;
+    base = base[half] < v ? base + half : base;  // compiles to cmov
+    n -= half;
+  }
+  const std::size_t rank =
+      static_cast<std::size_t>(base - first) + (len != 0 && *base < v ? 1 : 0);
+  return static_cast<std::uint8_t>(rank);
+}
+
+}  // namespace
+
+void FlatForest::set_avx2_enabled(bool on) {
+  g_avx2_enabled.store(on && cpu_has_avx2(), std::memory_order_relaxed);
+}
+bool FlatForest::avx2_enabled() { return g_avx2_enabled.load(std::memory_order_relaxed); }
+bool FlatForest::avx2_available() { return cpu_has_avx2(); }
+
+/// Friend of FlatForest (see forest_infer.h): fills the SoA arrays from
+/// the neutral node form both learners lower into.
+struct FlatBuilder {
+  static FlatForest build(std::span<const std::vector<RawNode>> trees,
+                          std::size_t num_features, const obs::Context* obs);
+};
+
+FlatForest FlatForest::from(const RandomForest& forest, const obs::Context* obs) {
+  if (!forest.trained()) throw std::logic_error("FlatForest::from: forest not trained");
+  std::vector<std::vector<RawNode>> raw;
+  raw.reserve(forest.trees_.size());
+  for (const DecisionTree& tree : forest.trees_) {
+    std::vector<RawNode>& nodes = raw.emplace_back();
+    nodes.reserve(tree.nodes_.size());
+    for (const auto& nd : tree.nodes_) {
+      RawNode rn;
+      rn.feature = nd.feature;
+      rn.threshold = nd.threshold;
+      rn.left = nd.left;
+      rn.right = nd.right;
+      if (nd.feature < 0) rn.value = nd.prob;
+      nodes.push_back(rn);
+    }
+  }
+  return FlatBuilder::build(raw, forest.num_features(), obs);
+}
+
+FlatForest FlatForest::from(const Gbdt& model, const obs::Context* obs) {
+  if (!model.trained()) throw std::logic_error("FlatForest::from: model not trained");
+  std::vector<std::vector<RawNode>> raw;
+  raw.reserve(model.trees_.size());
+  for (const auto& tree : model.trees_) {
+    std::vector<RawNode>& nodes = raw.emplace_back();
+    nodes.reserve(tree.nodes.size());
+    for (const auto& nd : tree.nodes) {
+      RawNode rn;
+      rn.feature = nd.feature;
+      rn.threshold = nd.threshold;
+      rn.left = nd.left;
+      rn.right = nd.right;
+      if (nd.feature < 0) rn.value = nd.weight;
+      nodes.push_back(rn);
+    }
+  }
+  return FlatBuilder::build(raw, model.num_features_, obs);
+}
+
+FlatForest FlatBuilder::build(std::span<const std::vector<RawNode>> trees,
+                              std::size_t num_features, const obs::Context* obs) {
+  obs::Span span(obs, "forest:flatten");
+  FlatForest flat;
+  flat.num_features_ = num_features;
+
+  // Pass 1: which columns are split on, and every distinct threshold
+  // per column (the codec).
+  std::vector<std::vector<double>> per_feature(num_features);
+  std::size_t total_nodes = 0;
+  for (const auto& tree : trees) {
+    total_nodes += tree.size();
+    for (const RawNode& nd : tree) {
+      if (nd.feature < 0) continue;
+      if (static_cast<std::size_t>(nd.feature) >= num_features)
+        throw std::logic_error("FlatForest: split feature out of range");
+      per_feature[static_cast<std::size_t>(nd.feature)].push_back(nd.threshold);
+    }
+  }
+
+  flat.feature_slot_.assign(num_features, -1);
+  flat.quantized_ = true;
+  flat.codec_first_.push_back(0);
+  for (std::size_t f = 0; f < num_features; ++f) {
+    auto& thrs = per_feature[f];
+    if (thrs.empty()) continue;
+    std::sort(thrs.begin(), thrs.end());
+    thrs.erase(std::unique(thrs.begin(), thrs.end()), thrs.end());
+    flat.feature_slot_[f] = static_cast<std::int32_t>(flat.active_.size());
+    flat.active_.push_back(static_cast<std::int32_t>(f));
+    flat.codec_values_.insert(flat.codec_values_.end(), thrs.begin(), thrs.end());
+    flat.codec_first_.push_back(static_cast<std::int32_t>(flat.codec_values_.size()));
+    // Codec ranks run [0, count] (count = "above every threshold"), so
+    // uint8 coverage needs count <= 255.
+    if (thrs.size() > 255) flat.quantized_ = false;
+  }
+
+  // Pass 2: emit the packed nodes, one contiguous BFS run per tree.
+  // BFS order makes every interior node's children adjacent (the
+  // traversal steps with `child + go_right`) and keeps each level's
+  // nodes on neighbouring cache lines — the top of a tree, which every
+  // row visits, packs into a handful of lines.
+  flat.node_.reserve(total_nodes);
+  flat.cut_.reserve(total_nodes);
+  flat.tree_first_.reserve(trees.size());
+  flat.tree_depth_.reserve(trees.size());
+
+  std::vector<std::int32_t> order;  // original ids, BFS
+  for (const auto& tree : trees) {
+    if (tree.empty()) throw std::logic_error("FlatForest: empty tree");
+    const std::int32_t base = static_cast<std::int32_t>(flat.node_.size());
+    flat.tree_first_.push_back(base);
+    const auto n_local = static_cast<std::int32_t>(tree.size());
+
+    order.assign(1, 0);
+    std::vector<std::int32_t> newid(tree.size(), -1);
+    newid[0] = 0;
+    for (std::size_t q = 0; q < order.size(); ++q) {
+      const RawNode& nd = tree[static_cast<std::size_t>(order[q])];
+      if (nd.feature < 0) continue;
+      if (nd.left < 0 || nd.left >= n_local || nd.right < 0 || nd.right >= n_local)
+        throw std::logic_error("FlatForest: child index out of range");
+      newid[static_cast<std::size_t>(nd.left)] = static_cast<std::int32_t>(order.size());
+      order.push_back(nd.left);
+      newid[static_cast<std::size_t>(nd.right)] = static_cast<std::int32_t>(order.size());
+      order.push_back(nd.right);
+    }
+    if (order.size() != tree.size())
+      throw std::logic_error("FlatForest: tree nodes unreachable from root");
+
+    for (std::size_t q = 0; q < order.size(); ++q) {
+      const RawNode& nd = tree[static_cast<std::size_t>(order[q])];
+      const std::int32_t me = base + static_cast<std::int32_t>(q);
+      if (nd.feature < 0) {
+        // Leaf: payload overlays the threshold field, parked on the
+        // -inf stage column (-inf <= any finite payload, and code 0 is
+        // never > cut 255), so go_right stays 0 and child == self. A
+        // NaN payload would compare false and walk the row off the
+        // leaf, so reject it here (training never produces one).
+        if (std::isnan(nd.value))
+          throw std::logic_error("FlatForest: NaN leaf payload");
+        flat.node_.push_back(FlatNode{nd.value, 0, me});
+        flat.cut_.push_back(255);
+        continue;
+      }
+      const std::int32_t s = flat.feature_slot_[static_cast<std::size_t>(nd.feature)];
+      const std::int32_t left = base + newid[static_cast<std::size_t>(nd.left)];
+      flat.node_.push_back(FlatNode{
+          nd.threshold, (s + 1) * static_cast<std::int32_t>(kSlotStride), left});
+      // BFS pushes the two children back to back.
+      if (base + newid[static_cast<std::size_t>(nd.right)] != left + 1)
+        throw std::logic_error("FlatForest: BFS children not adjacent");
+      // Exact rank lookup: the threshold came from this list.
+      const double* first = flat.codec_values_.data() + flat.codec_first_[s];
+      const double* last = flat.codec_values_.data() + flat.codec_first_[s + 1];
+      const double* pos = std::lower_bound(first, last, nd.threshold);
+      flat.cut_.push_back(static_cast<std::uint8_t>(std::min<std::ptrdiff_t>(pos - first, 255)));
+    }
+
+    // Tree depth = deepest leaf, via an explicit (node, depth) stack.
+    std::int32_t depth = 0;
+    std::vector<std::pair<std::int32_t, std::int32_t>> stack{{0, 0}};
+    while (!stack.empty()) {
+      const auto [i, d] = stack.back();
+      stack.pop_back();
+      const RawNode& nd = tree[static_cast<std::size_t>(i)];
+      if (nd.feature < 0) {
+        depth = std::max(depth, d);
+        continue;
+      }
+      stack.emplace_back(nd.left, d + 1);
+      stack.emplace_back(nd.right, d + 1);
+    }
+    flat.tree_depth_.push_back(depth);
+    flat.max_depth_ = std::max(flat.max_depth_, static_cast<int>(depth));
+  }
+
+  // WideNode mirror for the raw-threshold batch kernel (see
+  // forest_infer.h): each child reference packs the child's node byte
+  // offset with the byte offset of the child's own staged column.
+  const auto packed = [&flat](std::int32_t k) {
+    const auto i = static_cast<std::uint64_t>(static_cast<std::uint32_t>(k));
+    const auto slot =
+        static_cast<std::uint64_t>(static_cast<std::uint32_t>(flat.node_[i].slot_off));
+    return i * sizeof(WideNode) | (slot * sizeof(double)) << 32;
+  };
+  flat.wide_.resize(flat.node_.size());
+  for (std::size_t i = 0; i < flat.node_.size(); ++i) {
+    const FlatNode& nd = flat.node_[i];
+    WideNode& w = flat.wide_[i];
+    w.thr = nd.threshold;
+    const bool leaf = nd.child == static_cast<std::int32_t>(i);
+    w.left = packed(leaf ? static_cast<std::int32_t>(i) : nd.child);
+    w.right = packed(leaf ? static_cast<std::int32_t>(i) : nd.child + 1);
+  }
+  flat.root_packed_.reserve(flat.tree_first_.size());
+  for (const std::int32_t rt : flat.tree_first_) flat.root_packed_.push_back(packed(rt));
+
+  if (obs != nullptr) {
+    obs::add_counter(obs, "wefr_forest_flattened_total", 1);
+    obs::add_counter(obs, "wefr_forest_flattened_nodes_total", total_nodes);
+  }
+  return flat;
+}
+
+void FlatForest::accumulate(const data::Matrix& x, std::span<const std::size_t> rows,
+                            std::span<double> out, const ColumnOverride* override_col,
+                            InferencePath path) const {
+  if (out.size() != rows.size())
+    throw std::invalid_argument("FlatForest::accumulate: out/rows size mismatch");
+  accumulate_range(x, rows.data(), 0, rows.size(), out, 0, tree_first_.size(),
+                   override_col, path);
+}
+
+void FlatForest::accumulate(const data::Matrix& x, std::size_t row_begin,
+                            std::size_t row_end, std::span<double> out,
+                            InferencePath path) const {
+  if (row_begin > row_end || row_end > x.rows())
+    throw std::invalid_argument("FlatForest::accumulate: bad row range");
+  if (out.size() != row_end - row_begin)
+    throw std::invalid_argument("FlatForest::accumulate: out/range size mismatch");
+  accumulate_range(x, nullptr, row_begin, row_end - row_begin, out, 0,
+                   tree_first_.size(), nullptr, path);
+}
+
+void FlatForest::accumulate_tree(std::size_t tree, const data::Matrix& x,
+                                 std::span<const std::size_t> rows, std::span<double> out,
+                                 const ColumnOverride* override_col) const {
+  if (tree >= tree_first_.size())
+    throw std::invalid_argument("FlatForest::accumulate_tree: tree out of range");
+  if (out.size() != rows.size())
+    throw std::invalid_argument("FlatForest::accumulate_tree: out/rows size mismatch");
+  accumulate_range(x, rows.data(), 0, rows.size(), out, tree, tree + 1, override_col,
+                   InferencePath::kAuto);
+}
+
+void FlatForest::accumulate_range(const data::Matrix& x, const std::size_t* rows,
+                                  std::size_t row_begin, std::size_t n,
+                                  std::span<double> out, std::size_t tree_begin,
+                                  std::size_t tree_end,
+                                  const ColumnOverride* override_col,
+                                  InferencePath path) const {
+  if (empty()) throw std::logic_error("FlatForest::accumulate: empty forest");
+  if (x.cols() != num_features_)
+    throw std::invalid_argument("FlatForest::accumulate: feature count mismatch");
+  if (override_col != nullptr && override_col->feature >= num_features_)
+    throw std::invalid_argument("FlatForest::accumulate: override feature out of range");
+
+  // kAuto picks by measured staging economics: a double stages as one
+  // plain strided load, a code as a ~log2(K) cmov ladder on top of it,
+  // and in-cache traversal reads byte vs double equally fast — so the
+  // codes only pay for themselves once the double stage outgrows L2
+  // (hundreds of active features). kQuantized stays an explicit knob so
+  // the bench and the equivalence tests can pin that path directly.
+  constexpr std::size_t kQuantAutoStageBytes = 256 * 1024;
+  const bool use_quantized =
+      path == InferencePath::kDouble
+          ? false
+          : quantized_ && (path == InferencePath::kQuantized ||
+                           active_.size() * kSlotStride * sizeof(double) >
+                               kQuantAutoStageBytes);
+  // Column 0 of the stage is the reserved parking column leaves point
+  // at (see FlatNode): -inf on the double path (-inf <= any finite
+  // leaf payload), value-initialized zero codes on the quantized path
+  // (0 is never > cut 255). Active feature `s` stages at column
+  // `s + 1`.
+  const std::size_t slots = active_.size() + 1;
+
+  std::vector<double> stage;
+  std::vector<std::uint8_t> codes;
+  if (use_quantized) {
+    codes.resize(slots * kSlotStride);
+  } else {
+    stage.resize(slots * kSlotStride);
+    std::fill(stage.begin(), stage.begin() + kBlockRows,
+              -std::numeric_limits<double>::infinity());
+  }
+
+  BlockArgs args;
+  args.stage = stage.data();
+  args.codes = codes.data();
+  args.node = node_.data();
+  args.wide = wide_.data();
+  args.root_packed = root_packed_.data();
+  args.cut = cut_.data();
+  args.tree_first = tree_first_.data();
+  args.tree_depth = tree_depth_.data();
+  args.tree_begin = tree_begin;
+  args.tree_end = tree_end;
+
+  using Kernel = void (*)(const BlockArgs&);
+  Kernel kernel;
+#if WEFR_INFER_AVX2
+  if (g_avx2_enabled.load(std::memory_order_relaxed)) {
+    kernel = use_quantized ? run_trees_quant_avx2 : run_trees_double_avx2;
+  } else
+#endif
+  {
+    kernel = use_quantized ? run_trees_quant_base : run_trees_double_base;
+  }
+
+  const std::int32_t override_slot =
+      override_col != nullptr ? feature_slot_[override_col->feature] : -1;
+
+  for (std::size_t begin = 0; begin < n; begin += kBlockRows) {
+    const std::size_t count = std::min(kBlockRows, n - begin);
+    auto src_row = [&](std::size_t r) {
+      return rows != nullptr ? rows[begin + r] : row_begin + begin + r;
+    };
+    // Stage the block column-major: one contiguous kBlockRows run per
+    // active feature, so every tree's gathers hit the same hot scratch.
+    if (use_quantized) {
+      for (std::size_t s = 0; s < active_.size(); ++s) {
+        const std::size_t f = static_cast<std::size_t>(active_[s]);
+        const bool overridden = static_cast<std::int32_t>(s) == override_slot;
+        const double* first = codec_values_.data() + codec_first_[s];
+        const std::size_t len =
+            static_cast<std::size_t>(codec_first_[s + 1] - codec_first_[s]);
+        std::uint8_t* dst = codes.data() + (s + 1) * kSlotStride;
+        for (std::size_t r = 0; r < count; ++r) {
+          const double v = overridden ? override_col->values[begin + r]
+                                      : x(src_row(r), f);
+          dst[r] = code_of(first, len, v);
+        }
+      }
+    } else {
+      // Feature-outer: sequential stores into each column run, short
+      // strided reads across the block's rows. (The row-outer
+      // transpose — sequential reads, strided stores — measured no
+      // faster even with the padded stride, and 3x slower at a 2 KB
+      // power-of-two stride where every store landed in the same few
+      // L1 sets.)
+      for (std::size_t s = 0; s < active_.size(); ++s) {
+        const std::size_t f = static_cast<std::size_t>(active_[s]);
+        const bool overridden = static_cast<std::int32_t>(s) == override_slot;
+        double* dst = stage.data() + (s + 1) * kSlotStride;
+        for (std::size_t r = 0; r < count; ++r) {
+          dst[r] = overridden ? override_col->values[begin + r] : x(src_row(r), f);
+        }
+      }
+    }
+    args.rows = count;
+    args.acc = out.data() + begin;
+    kernel(args);
+  }
+}
+
+}  // namespace wefr::ml

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <istream>
+#include <numeric>
 #include <ostream>
 #include <stdexcept>
 #include <string>
 
+#include "ml/forest_infer.h"
 #include "ml/quantize.h"
 #include "obs/context.h"
 #include "obs/trace.h"
@@ -69,6 +71,10 @@ void RandomForest::fit(const data::Matrix& x, std::span<const int> y, const Fore
     for (std::size_t t = 0; t < opt.num_trees; ++t) fit_tree(t);
   }
 
+  // Compile the fitted trees into the flattened SoA inference engine;
+  // every batch scorer below routes through it.
+  flat_ = std::make_shared<const FlatForest>(FlatForest::from(*this, obs));
+
   if (obs != nullptr) {
     obs::add_counter(obs, "wefr_forest_trees_fitted_total", opt.num_trees);
     if (auto* hist = obs::histogram_or_null(
@@ -77,6 +83,12 @@ void RandomForest::fit(const data::Matrix& x, std::span<const int> y, const Fore
       hist->observe(timer.seconds());
     }
   }
+}
+
+const FlatForest& RandomForest::flat_ref() const {
+  if (flat_ == nullptr)
+    throw std::logic_error("RandomForest: no flattened engine (not trained?)");
+  return *flat_;
 }
 
 double RandomForest::predict_proba(std::span<const double> row) const {
@@ -90,10 +102,20 @@ std::vector<double> RandomForest::predict_proba(const data::Matrix& x,
                                                 std::size_t num_threads,
                                                 const obs::Context* obs) const {
   if (trees_.empty()) throw std::logic_error("RandomForest::predict_proba: not trained");
+  obs::Span span(obs, "forest:predict_batch");
   obs::add_counter(obs, "wefr_forest_rows_scored_total", x.rows());
-  std::vector<double> out(x.rows());
+  obs::add_counter(obs, "wefr_inference_rows_total", x.rows());
+  const FlatForest& flat = flat_ref();
+  const double count = static_cast<double>(trees_.size());
+  std::vector<double> out(x.rows(), 0.0);
+  // Each block accumulates leaf probabilities through the flattened
+  // engine and divides by the tree count afterwards — the same sum
+  // order and division the recursive per-row walk performs, so the
+  // scores are bit-identical at any block boundary or thread count.
   auto score_rows = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t r = begin; r < end; ++r) out[r] = predict_proba(x.row(r));
+    std::span<double> chunk(out.data() + begin, end - begin);
+    flat.accumulate(x, begin, end, chunk);
+    for (double& v : chunk) v /= count;
   };
   if (num_threads > 1 && x.rows() > 1) {
     // Block per task so each iteration amortizes the pool's dispatch.
@@ -107,6 +129,21 @@ std::vector<double> RandomForest::predict_proba(const data::Matrix& x,
     score_rows(0, x.rows());
   }
   return out;
+}
+
+void RandomForest::predict_proba(const data::Matrix& x, std::span<const std::size_t> rows,
+                                 std::span<double> out, const obs::Context* obs) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest::predict_proba: not trained");
+  if (out.size() != rows.size())
+    throw std::invalid_argument("RandomForest::predict_proba: out/rows size mismatch");
+  obs::Span span(obs, "forest:predict_batch");
+  obs::add_counter(obs, "wefr_forest_rows_scored_total", rows.size());
+  obs::add_counter(obs, "wefr_inference_rows_total", rows.size());
+  const FlatForest& flat = flat_ref();
+  const double count = static_cast<double>(trees_.size());
+  std::fill(out.begin(), out.end(), 0.0);
+  flat.accumulate(x, rows, out);
+  for (double& v : out) v /= count;
 }
 
 std::vector<double> RandomForest::impurity_importance() const {
@@ -151,22 +188,29 @@ std::vector<double> RandomForest::permutation_importance(const data::Matrix& x,
   streams.reserve(num_features_);
   for (std::size_t f = 0; f < num_features_; ++f) streams.push_back(rng.fork());
 
+  const FlatForest& flat = flat_ref();
+  const double count = static_cast<double>(trees_.size());
+  std::vector<std::size_t> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), 0);
+
   std::vector<double> imp(num_features_, 0.0);
   auto score_feature = [&](std::size_t f) {
     util::Rng& local = streams[f];
-    std::vector<double> row(num_features_);
+    std::vector<double> shuffled(n);
     std::vector<double> probs(n);
     std::vector<std::size_t> perm(n);
     double drop_sum = 0.0;
     for (int rep = 0; rep < repeats; ++rep) {
       for (std::size_t i = 0; i < n; ++i) perm[i] = i;
       local.shuffle(perm);
-      for (std::size_t i = 0; i < n; ++i) {
-        auto src = x.row(i);
-        std::copy(src.begin(), src.end(), row.begin());
-        row[f] = x(perm[i], f);
-        probs[i] = predict_proba(row);
-      }
+      // Batch-score all rows with the shuffled column substituted in
+      // via ColumnOverride — no matrix or row copies, same shuffles and
+      // bit-identical probabilities as the historical per-row walk.
+      for (std::size_t i = 0; i < n; ++i) shuffled[i] = x(perm[i], f);
+      const ColumnOverride override_col{f, shuffled};
+      std::fill(probs.begin(), probs.end(), 0.0);
+      flat.accumulate(x, all_rows, probs, &override_col);
+      for (double& p : probs) p /= count;
       drop_sum += baseline - accuracy_of(probs);
     }
     imp[f] = std::max(0.0, drop_sum / static_cast<double>(repeats));
@@ -194,11 +238,17 @@ std::vector<double> RandomForest::oob_permutation_importance(const data::Matrix&
 
   const std::size_t n = x.rows();
 
+  const FlatForest& flat = flat_ref();
+
   // OOB rows (complement of the sorted in-bag list) and baseline OOB
-  // accuracy per tree, computed once and shared by every feature.
+  // accuracy per tree, computed once and shared by every feature. Each
+  // tree scores its own OOB rows in one flattened batch
+  // (accumulate_tree); a single tree's accumulated value is its exact
+  // leaf probability, so the 0.5 cut matches the recursive walk.
   std::vector<std::vector<std::size_t>> oob(trees_.size());
   std::vector<double> base_acc(trees_.size(), 0.0);
   std::size_t trees_with_oob = 0;
+  std::vector<double> tree_probs;
   for (std::size_t t = 0; t < trees_.size(); ++t) {
     const auto& inbag = inbag_[t];
     std::size_t k = 0;
@@ -208,9 +258,11 @@ std::vector<double> RandomForest::oob_permutation_importance(const data::Matrix&
     }
     if (oob[t].empty()) continue;
     ++trees_with_oob;
+    tree_probs.assign(oob[t].size(), 0.0);
+    flat.accumulate_tree(t, x, oob[t], tree_probs);
     std::size_t correct = 0;
-    for (std::size_t i : oob[t]) {
-      correct += ((trees_[t].predict_proba(x.row(i)) >= 0.5 ? 1 : 0) == y[i]) ? 1 : 0;
+    for (std::size_t i = 0; i < oob[t].size(); ++i) {
+      correct += ((tree_probs[i] >= 0.5 ? 1 : 0) == y[oob[t][i]]) ? 1 : 0;
     }
     base_acc[t] = static_cast<double>(correct) / static_cast<double>(oob[t].size());
   }
@@ -222,20 +274,22 @@ std::vector<double> RandomForest::oob_permutation_importance(const data::Matrix&
   std::vector<double> imp(num_features_, 0.0);
   auto score_feature = [&](std::size_t f) {
     util::Rng& local = streams[f];
-    std::vector<double> row(num_features_);
+    std::vector<double> shuffled;
+    std::vector<double> probs;
     std::vector<std::size_t> perm;
     double drop_sum = 0.0;
     for (std::size_t t = 0; t < trees_.size(); ++t) {
       if (oob[t].empty()) continue;
       perm.assign(oob[t].begin(), oob[t].end());
       local.shuffle(perm);
+      shuffled.resize(oob[t].size());
+      for (std::size_t i = 0; i < oob[t].size(); ++i) shuffled[i] = x(perm[i], f);
+      const ColumnOverride override_col{f, shuffled};
+      probs.assign(oob[t].size(), 0.0);
+      flat.accumulate_tree(t, x, oob[t], probs, &override_col);
       std::size_t correct = 0;
       for (std::size_t i = 0; i < oob[t].size(); ++i) {
-        auto src = x.row(oob[t][i]);
-        std::copy(src.begin(), src.end(), row.begin());
-        row[f] = x(perm[i], f);
-        correct +=
-            ((trees_[t].predict_proba(row) >= 0.5 ? 1 : 0) == y[oob[t][i]]) ? 1 : 0;
+        correct += ((probs[i] >= 0.5 ? 1 : 0) == y[oob[t][i]]) ? 1 : 0;
       }
       drop_sum +=
           base_acc[t] - static_cast<double>(correct) / static_cast<double>(oob[t].size());
@@ -274,6 +328,7 @@ void RandomForest::load(std::istream& is) {
   trees_ = std::move(trees);
   num_features_ = n_features;
   inbag_.clear();  // OOB information is not serialized
+  flat_ = std::make_shared<const FlatForest>(FlatForest::from(*this));
 }
 
 }  // namespace wefr::ml

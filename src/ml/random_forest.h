@@ -1,6 +1,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -14,6 +15,8 @@ struct Context;
 }
 
 namespace wefr::ml {
+
+class FlatForest;
 
 /// Random-Forest training controls. Defaults follow the paper's
 /// prediction-model setting (100 trees, max depth 13).
@@ -51,13 +54,24 @@ class RandomForest {
   /// Mean positive-class probability across trees for a single row.
   double predict_proba(std::span<const double> row) const;
 
-  /// Probabilities for every row of `x`. `num_threads > 1` fans the rows
-  /// out over a ThreadPool; results are identical to the serial path.
-  /// `obs` (nullable) counts the rows scored
-  /// (wefr_forest_rows_scored_total).
+  /// Probabilities for every row of `x`, scored through the flattened
+  /// SoA engine (ml::FlatForest) built at fit/load time — bit-identical
+  /// to the per-row recursive walk. `num_threads > 1` fans row blocks
+  /// out over a ThreadPool; results are identical at any thread count.
+  /// `obs` (nullable) wraps the call in a "forest:predict_batch" span
+  /// and counts the rows scored (wefr_forest_rows_scored_total,
+  /// wefr_inference_rows_total).
   std::vector<double> predict_proba(const data::Matrix& x,
                                     std::size_t num_threads = 0,
                                     const obs::Context* obs = nullptr) const;
+
+  /// Batch scoring of selected rows: `out[i]` receives the forest
+  /// probability of row `rows[i]` of `x` (out.size() == rows.size()).
+  /// Same flattened engine and bit-identity guarantee as the Matrix
+  /// overload; used by core::score_fleet to score each drive's
+  /// drive-days in one pass.
+  void predict_proba(const data::Matrix& x, std::span<const std::size_t> rows,
+                     std::span<double> out, const obs::Context* obs = nullptr) const;
 
   /// Normalized mean impurity-decrease importance (sums to 1 unless all
   /// zero). Length = number of training features.
@@ -97,11 +111,23 @@ class RandomForest {
   bool trained() const { return !trees_.empty(); }
   std::size_t num_features() const { return num_features_; }
 
+  /// The flattened inference engine compiled from this forest at
+  /// fit/load time (null before either). Exposed for benches and tests
+  /// that exercise specific kernel paths.
+  const FlatForest* flat() const { return flat_.get(); }
+
  private:
+  friend class FlatForest;
+
+  const FlatForest& flat_ref() const;
+
   std::vector<DecisionTree> trees_;
   /// Per tree: sorted unique in-bag row indices (for OOB importance).
   std::vector<std::vector<std::size_t>> inbag_;
   std::size_t num_features_ = 0;
+  /// SoA-compiled twin of trees_, rebuilt at the end of fit()/load();
+  /// shared so copies of a fitted forest share one flat image.
+  std::shared_ptr<const FlatForest> flat_;
 };
 
 }  // namespace wefr::ml

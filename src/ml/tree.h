@@ -10,6 +10,7 @@
 
 namespace wefr::ml {
 
+class FlatForest;
 class QuantizedDataset;
 
 /// How a tree searches for split thresholds.
@@ -90,6 +91,10 @@ class DecisionTree {
   struct BuildContext;
 
  private:
+  /// The flattening pass (ml::FlatForest) recompiles nodes_ into SoA
+  /// form; the recursive walk above stays the equivalence oracle.
+  friend class FlatForest;
+
   struct Node {
     // Leaf when feature < 0.
     std::int32_t feature = -1;
