@@ -11,30 +11,113 @@
 // Stopwatch laps) and how many trace spans the week produced.
 //
 //   ./examples/fleet_monitor [MODEL] [DRIVES] [CSV] [CACHE_DIR]
+//   ./examples/fleet_monitor --churn [DRIVES] [MIX] [CHURN]
 //
 // All arguments are positional; defaults are MC1 / 500 / simulate.
 // With a CSV path the fleet is loaded from that file (tolerant parse,
 // forward-filled) instead of simulated; a CACHE_DIR on top turns
 // repeat runs into a single mapped read of the binary columnar
 // snapshot.
+//
+// The --churn mode runs the heterogeneous-fleet scenario instead: a
+// mixed-model pool (MIX, parse_mix_spec syntax, default
+// "MC1:0.6,MA2:0.4") hit by a churn schedule (CHURN, parse_churn_spec
+// syntax, default a half-fleet replacement with a hot-wear cohort) is
+// monitored by core::FleetMonitor with the online change-point drift
+// watch enabled, and the re-check lag behind the planted population
+// change is printed.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
 
+#include "core/monitor.h"
 #include "core/pipeline.h"
 #include "core/wefr.h"
 #include "data/cache.h"
+#include "data/preprocess.h"
 #include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "smartsim/generator.h"
+#include "smartsim/mixed_fleet.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 
 using namespace wefr;
 
+namespace {
+
+/// The --churn scenario: mixed fleet + churn schedule + FleetMonitor
+/// with the online drift watch, reporting the re-check lag behind each
+/// planted population change.
+int run_churn_scenario(std::size_t drives, const std::string& mix_spec,
+                       const std::string& churn_spec) {
+  smartsim::MixedFleetSpec spec;
+  spec.shares = smartsim::parse_mix_spec(mix_spec);
+  spec.sim.num_drives = drives;
+  spec.sim.num_days = 220;
+  spec.sim.seed = 11;
+  spec.sim.afr_scale = 11.0;
+  spec.churn = smartsim::parse_churn_spec(churn_spec, drives);
+
+  auto res = smartsim::generate_mixed_fleet(spec);
+  std::printf("mixed fleet %s: %zu drives (%zu will fail), %zu features\n",
+              res.fleet.model_name.c_str(), res.fleet.drives.size(),
+              res.fleet.num_failed(), res.fleet.num_features());
+  std::printf("schema: %s\n", res.schema.summary().c_str());
+  for (const auto& d : res.diagnostics) std::printf("degraded: %s\n", d.c_str());
+  for (int d : res.churn_days)
+    std::printf("churn day %d (%s)\n", d,
+                std::count(res.drift_days.begin(), res.drift_days.end(), d) > 0
+                    ? "with wear-distribution drift"
+                    : "population only");
+  data::forward_fill(res.fleet, 0.0);
+
+  core::MonitorOptions mo;
+  mo.experiment.forest.num_trees = 25;
+  mo.experiment.negative_keep_prob = 0.08;
+  mo.online_drift_check = true;
+  mo.check_interval_days = 28;  // slow cadence: the drift watch must beat it
+  mo.retrain_every_check = false;
+  core::FleetMonitor monitor(res.fleet, mo);
+  const auto alarms = monitor.run_to_end();
+
+  std::printf("\n%zu alarms; %zu re-checks, %zu drift detections\n", alarms.size(),
+              monitor.updates().size(), monitor.drift_detections().size());
+  for (const auto& det : monitor.drift_detections())
+    std::printf("drift detected day %d (p=%.2f)\n", det.day, det.probability);
+  for (const auto& up : monitor.updates()) {
+    if (!up.drift_triggered) continue;
+    // Re-check lag: days between the most recent planted churn and the
+    // drift-triggered re-check that responded to it.
+    int planted = -1;
+    for (int d : res.churn_days) {
+      if (d <= up.day) planted = d;
+    }
+    if (planted >= 0)
+      std::printf("drift-triggered re-check day %d: lag %d days behind churn day %d\n",
+                  up.day, up.day - planted, planted);
+  }
+  if (monitor.drift_detections().empty())
+    std::printf("no drift detections (nothing planted, or watch outpaced by cadence)\n");
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const std::string model = argc > 1 ? argv[1] : "MC1";
+  if (model == "--churn") {
+    std::size_t churn_drives = 600;
+    if (argc > 2 && !util::parse_int_as(argv[2], churn_drives)) {
+      std::fprintf(stderr, "bad drive count: %s\n", argv[2]);
+      return 2;
+    }
+    const std::string mix = argc > 3 ? argv[3] : "MC1:0.6,MA2:0.4";
+    const std::string churn = argc > 4 ? argv[4] : "replace@146:0.5:MC1:3.0";
+    return run_churn_scenario(churn_drives, mix, churn);
+  }
   std::size_t drives = 500;
   if (argc > 2 && !util::parse_int_as(argv[2], drives)) {
     std::fprintf(stderr, "bad drive count: %s\n", argv[2]);

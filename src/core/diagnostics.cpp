@@ -33,6 +33,8 @@ void PipelineDiagnostics::fill_run_report(obs::RunReport& report) const {
   out["constant_features"] = static_cast<double>(constant_features);
   out["survival_drives_skipped"] = static_cast<double>(survival_drives_skipped);
   out["score_days_rerouted"] = static_cast<double>(score_days_rerouted);
+  out["score_drives_missing_features"] =
+      static_cast<double>(score_drives_missing_features);
   out["selection_degraded"] = selection_degraded ? 1.0 : 0.0;
   out["wearout_skipped"] = wearout_skipped ? 1.0 : 0.0;
 }

@@ -39,6 +39,9 @@ struct PipelineDiagnostics {
   std::size_t survival_drives_skipped = 0;  ///< drives without usable MWI_N
   std::size_t score_days_rerouted = 0;   ///< NaN-MWI days routed to the
                                          ///< whole-model bundle
+  std::size_t score_drives_missing_features = 0;  ///< scored drives whose
+                                                  ///< model lacks >=1
+                                                  ///< selected feature
   bool selection_degraded = false;       ///< a selection fell back wholesale
   bool wearout_skipped = false;          ///< Lines 9-15 skipped entirely
 

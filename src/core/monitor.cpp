@@ -1,6 +1,7 @@
 #include "core/monitor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace wefr::core {
@@ -16,9 +17,27 @@ FleetMonitor::FleetMonitor(const data::FleetData& fleet, MonitorOptions options)
     throw std::invalid_argument("FleetMonitor: target_recall outside [0,1]");
   if (opt_.validation_frac <= 0.0 || opt_.validation_frac >= 1.0)
     throw std::invalid_argument("FleetMonitor: validation_frac outside (0,1)");
+  if (opt_.drift_cooldown_days < 1)
+    throw std::invalid_argument("FleetMonitor: drift_cooldown_days < 1");
   current_day_ = opt_.warmup_days;
   next_check_day_ = opt_.warmup_days;
   threshold_ = opt_.alarm_threshold;
+  mwi_col_ = fleet_.feature_index("MWI_N");
+  drift_cpd_ = changepoint::OnlineChangePointDetector(opt_.drift_cpd);
+}
+
+double FleetMonitor::active_mean_mwi(int day) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  const auto col = static_cast<std::size_t>(mwi_col_);
+  for (const auto& drive : fleet_.drives) {
+    if (drive.first_day > day || drive.last_day() < day) continue;
+    const double v = drive.values(static_cast<std::size_t>(day - drive.first_day), col);
+    if (std::isnan(v)) continue;
+    sum += v;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : std::nan("");
 }
 
 void FleetMonitor::run_check(int day) {
@@ -38,6 +57,8 @@ void FleetMonitor::run_check(int day) {
       !selection_.has_value() ||
       selection_->all.selected != sel.all.selected ||
       selection_->change_point.has_value() != sel.change_point.has_value();
+  ev.drift_triggered = drift_pending_;
+  ev.change_probability = drift_probability_;
   updates_.push_back(ev);
 
   const bool need_retrain =
@@ -73,9 +94,46 @@ std::vector<Alarm> FleetMonitor::advance_to(int day) {
     if (current_day_ >= next_check_day_) {
       run_check(current_day_);
       next_check_day_ = current_day_ + opt_.check_interval_days;
+      drift_pending_ = false;
+      drift_probability_ = 0.0;
     }
     // Score the interval until the next check (or the advance target).
-    const int until = std::min(day, next_check_day_) - 1;
+    int until = std::min(day, next_check_day_) - 1;
+
+    // Online drift watch: walk the interval's days through the
+    // detector before scoring. On a detection, cut the interval at the
+    // triggering day and pull the re-check to the next one — the loop's
+    // next iteration runs it, so re-check lag behind a population
+    // change is bounded by the detector's own lag instead of the weekly
+    // cadence. Only days inside the advanced window are read (d <=
+    // until < day), preserving the no-lookahead contract.
+    if (opt_.online_drift_check && mwi_col_ >= 0) {
+      for (int d = current_day_; d <= until; ++d) {
+        const double m = active_mean_mwi(d);
+        if (std::isnan(m)) continue;
+        double prob = -1.0;
+        if (have_last_mwi_) prob = drift_cpd_.observe(m - last_mean_mwi_);
+        last_mean_mwi_ = m;
+        have_last_mwi_ = true;
+        const bool cooled =
+            last_drift_day_ < 0 || d - last_drift_day_ >= opt_.drift_cooldown_days;
+        // Burn-in: with only a handful of observations the posterior is
+        // trivially concentrated on short run lengths (every stream
+        // "just changed" at t=0), so the first week of deltas can never
+        // fire a detection.
+        const bool burned_in =
+            drift_cpd_.time() > changepoint::OnlineChangePointDetector::kShortRunWindow + 4;
+        if (prob >= opt_.drift_probability_threshold && cooled && burned_in) {
+          last_drift_day_ = d;
+          drift_detections_.push_back(DriftDetection{d, prob});
+          drift_pending_ = true;
+          drift_probability_ = prob;
+          next_check_day_ = d + 1;
+          until = d;
+          break;
+        }
+      }
+    }
     if (predictor_.has_value()) {
       const auto scores =
           score_fleet(fleet_, *predictor_, current_day_, until, opt_.experiment);

@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "changepoint/online_cpd.h"
 #include "core/pipeline.h"
 #include "core/wefr.h"
 #include "data/fleet.h"
@@ -31,6 +32,21 @@ struct MonitorOptions {
   /// the paper's "subject to a fixed recall" deployment policy.
   double target_recall = 0.0;
   double validation_frac = 0.2;
+  /// Online drift watch: stream the day-over-day delta of the active
+  /// fleet's mean MWI_N through an OnlineChangePointDetector every day
+  /// the monitor advances. The level series drifts slowly under normal
+  /// wear, so its first difference is near-stationary — a population
+  /// change (churn wave, cohort with a shifted wear distribution)
+  /// shows up as a level jump in the delta stream. A detection pulls
+  /// the next scheduled re-check forward to the following day instead
+  /// of waiting out the weekly cadence.
+  bool online_drift_check = false;
+  /// Detection fires when P(run length <= 3) reaches this value.
+  double drift_probability_threshold = 0.6;
+  /// Minimum days between drift-triggered re-checks (the posterior
+  /// keeps short-run mass for a few days after a real change).
+  int drift_cooldown_days = 14;
+  changepoint::CpdOptions drift_cpd;
   ExperimentConfig experiment;
   WefrOptions wefr;
 };
@@ -50,6 +66,16 @@ struct UpdateEvent {
   std::vector<std::string> selected_low;
   std::vector<std::string> selected_high;
   bool features_changed = false;
+  /// True when the online drift watch pulled this check forward.
+  bool drift_triggered = false;
+  /// The detector's change probability at the triggering observation.
+  double change_probability = 0.0;
+};
+
+/// One firing of the online drift watch.
+struct DriftDetection {
+  int day = 0;
+  double probability = 0.0;
 };
 
 /// The paper's deployment loop as a reusable component: feed it a fleet
@@ -87,8 +113,15 @@ class FleetMonitor {
   /// `target_recall` is set).
   double active_threshold() const { return threshold_; }
 
+  /// Firings of the online drift watch (empty unless
+  /// `online_drift_check` is set), in day order.
+  const std::vector<DriftDetection>& drift_detections() const {
+    return drift_detections_;
+  }
+
  private:
   void run_check(int day);
+  double active_mean_mwi(int day) const;
 
   const data::FleetData& fleet_;
   MonitorOptions opt_;
@@ -99,6 +132,15 @@ class FleetMonitor {
   std::optional<WefrPredictor> predictor_;
   std::vector<UpdateEvent> updates_;
   std::vector<bool> alarmed_;
+  // Online drift watch state.
+  int mwi_col_ = -1;
+  changepoint::OnlineChangePointDetector drift_cpd_;
+  double last_mean_mwi_ = 0.0;
+  bool have_last_mwi_ = false;
+  int last_drift_day_ = -1;
+  bool drift_pending_ = false;
+  double drift_probability_ = 0.0;
+  std::vector<DriftDetection> drift_detections_;
 };
 
 }  // namespace wefr::core

@@ -165,11 +165,28 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
   // Per-slot tallies folded into `diag` after the (possibly parallel)
   // loop, so the sink is never written concurrently.
   std::vector<std::size_t> rerouted(eligible.size(), 0);
+  std::vector<std::size_t> missing_feats(eligible.size(), 0);
   auto score_drive = [&](std::size_t slot) {
     const std::size_t di = eligible[slot];
     const auto& drive = fleet.drives[di];
     const int lo = std::max(t0, drive.first_day);
     const int hi = std::min(t1, drive.last_day());
+
+    // Heterogeneous-fleet degradation check: in a schema-reconciled
+    // pool, a column the drive's model never reports is NaN over its
+    // whole series (forward_fill leaves all-NaN columns untouched), so
+    // first-and-last-row NaN detects it in O(base_cols). Such drives
+    // still score — tree splits send NaN down the right child, a
+    // deterministic neutral path — but the degradation is tallied so
+    // callers know which scores rest on a partial feature set.
+    if (drive.num_days() > 0) {
+      for (std::size_t c : predictor.all.base_cols) {
+        if (std::isnan(drive.values(0, c)) &&
+            std::isnan(drive.values(drive.num_days() - 1, c))) {
+          ++missing_feats[slot];
+        }
+      }
+    }
 
     // Expand the drive's full history once per needed bundle. The
     // streaming kernels make that O(1) per day, and full-history
@@ -268,6 +285,17 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
     diag->score_days_rerouted += total_rerouted;
     diag->note("score", "days_rerouted_nan_mwi",
                std::to_string(total_rerouted) + " drive-days -> whole-model bundle");
+  }
+  std::size_t drives_partial = 0, cols_missing = 0;
+  for (std::size_t n : missing_feats) {
+    drives_partial += n > 0 ? 1 : 0;
+    cols_missing += n;
+  }
+  if (diag != nullptr && drives_partial > 0) {
+    diag->score_drives_missing_features += drives_partial;
+    diag->note("score", "drives_missing_features",
+               std::to_string(drives_partial) + " drives scored without " +
+                   std::to_string(cols_missing) + " selected feature columns");
   }
   if (obs != nullptr) {
     // Tallied once here (not in the per-day loop) so tracing adds no

@@ -1,0 +1,159 @@
+#include "core/transfer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ml/metrics.h"
+#include "obs/trace.h"
+
+namespace wefr::core {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Normalized Kendall distance between two rank-value vectors over the
+/// same items: discordant pairs / all pairs. Ties (either side) are
+/// neither concordant nor discordant. NaN for fewer than two items.
+double kendall_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  const std::size_t n = a.size();
+  if (n < 2) return kNaN;
+  std::size_t discordant = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if ((a[i] - a[j]) * (b[i] - b[j]) < 0.0) ++discordant;
+    }
+  }
+  return static_cast<double>(discordant) / (static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+/// Day-level test AUC on `fleet` of a forest trained on days
+/// [0, train_day_end] over `base_cols`. NaN (with a tagged note) when
+/// training or evaluation is impossible.
+double day_level_auc(const data::FleetData& fleet, const std::vector<std::size_t>& base_cols,
+                     int train_day_end, const ExperimentConfig& cfg, const char* what,
+                     PipelineDiagnostics* diag, const obs::Context* obs) {
+  if (base_cols.empty()) {
+    if (diag != nullptr)
+      diag->note("transfer", "no_features", std::string(what) + ": empty feature set");
+    return kNaN;
+  }
+  try {
+    const WefrPredictor pred =
+        train_predictor(fleet, base_cols, 0, train_day_end, cfg, obs);
+    int t1 = fleet.num_days - 1;
+    int t0 = train_day_end + 1;
+    if (t0 > t1) {
+      t0 = std::max(0, t1 - 29);
+      if (diag != nullptr)
+        diag->note("transfer", "in_sample_auc",
+                   std::string(what) + ": no test days after " +
+                       std::to_string(train_day_end));
+    }
+    const auto scores = score_fleet(fleet, pred, t0, t1, cfg, diag, obs);
+    std::vector<double> flat;
+    std::vector<int> labels;
+    for (const auto& ds : scores) {
+      const auto& drive = fleet.drives[ds.drive_index];
+      for (std::size_t i = 0; i < ds.scores.size(); ++i) {
+        const int day = ds.first_day + static_cast<int>(i);
+        flat.push_back(ds.scores[i]);
+        labels.push_back(drive.failed() && drive.fail_day > day &&
+                                 drive.fail_day <= day + cfg.horizon_days
+                             ? 1
+                             : 0);
+      }
+    }
+    bool has_pos = false, has_neg = false;
+    for (int l : labels) (l != 0 ? has_pos : has_neg) = true;
+    if (!has_pos || !has_neg) {
+      if (diag != nullptr)
+        diag->note("transfer", "single_class_test",
+                   std::string(what) + ": test window has one label class");
+      return kNaN;
+    }
+    return ml::auc(flat, labels);
+  } catch (const std::exception& e) {
+    if (diag != nullptr)
+      diag->note("transfer", "train_failed", std::string(what) + ": " + e.what());
+    return kNaN;
+  }
+}
+
+}  // namespace
+
+RankingTransferResult evaluate_ranking_transfer(
+    const data::FleetData& source, const WefrResult& source_sel,
+    const data::FleetData& target, const WefrResult& target_sel, int train_day_end,
+    const ExperimentConfig& cfg, PipelineDiagnostics* diag, const obs::Context* obs) {
+  obs::Span span(obs, "ranking_transfer");
+  RankingTransferResult out;
+  out.source_model = source.model_name;
+  out.target_model = target.model_name;
+  out.kendall_distance = kNaN;
+  out.auc_native = out.auc_transferred = out.auc_delta = kNaN;
+
+  // Shared namespace + rank vectors for the Kendall agreement. Both
+  // ensembles rank base columns, so final_ranking is indexed by the
+  // fleet's feature order.
+  std::vector<double> src_ranks, tgt_ranks;
+  for (std::size_t si = 0; si < source.feature_names.size(); ++si) {
+    const int ti = target.feature_index(source.feature_names[si]);
+    if (ti < 0) continue;
+    if (si >= source_sel.all.ensemble.final_ranking.size() ||
+        static_cast<std::size_t>(ti) >= target_sel.all.ensemble.final_ranking.size())
+      continue;
+    out.shared_features.push_back(source.feature_names[si]);
+    src_ranks.push_back(source_sel.all.ensemble.final_ranking[si]);
+    tgt_ranks.push_back(target_sel.all.ensemble.final_ranking[ti]);
+  }
+  if (out.shared_features.size() < 2) {
+    out.degraded = true;
+    if (diag != nullptr)
+      diag->note("transfer", "too_few_shared",
+                 out.source_model + "->" + out.target_model + ": " +
+                     std::to_string(out.shared_features.size()) + " shared features");
+  } else {
+    out.kendall_distance = kendall_distance(src_ranks, tgt_ranks);
+  }
+
+  // Map the source's selection onto the target schema by name.
+  std::vector<std::size_t> mapped;
+  std::string missing_names;
+  for (const std::string& name : source_sel.all.selected_names) {
+    const int ti = target.feature_index(name);
+    if (ti < 0) {
+      ++out.missing_on_target;
+      if (!missing_names.empty()) missing_names += ",";
+      missing_names += name;
+      continue;
+    }
+    mapped.push_back(static_cast<std::size_t>(ti));
+  }
+  out.transferred_features = mapped.size();
+  if (out.missing_on_target > 0 && diag != nullptr) {
+    diag->note("transfer", "features_missing_on_target",
+               out.source_model + "->" + out.target_model + ": " + missing_names);
+  }
+  if (mapped.empty()) {
+    out.degraded = true;
+    if (diag != nullptr)
+      diag->note("transfer", "no_transferable_features",
+                 out.source_model + "->" + out.target_model);
+    return out;
+  }
+
+  out.auc_native = day_level_auc(target, target_sel.all.selected, train_day_end, cfg,
+                                 "native", diag, obs);
+  out.auc_transferred =
+      day_level_auc(target, mapped, train_day_end, cfg, "transferred", diag, obs);
+  if (std::isnan(out.auc_native) || std::isnan(out.auc_transferred)) {
+    out.degraded = true;
+  } else {
+    out.auc_delta = out.auc_native - out.auc_transferred;
+  }
+  return out;
+}
+
+}  // namespace wefr::core

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/wefr.h"
+
+namespace wefr::core {
+
+/// Cross-model ranking-transfer evaluation: how well does one drive
+/// model's WEFR feature selection carry over to another model?
+///
+/// The paper selects features per drive model; a heterogeneous fleet
+/// raises the operational question of whether a new (or
+/// under-represented) model can borrow an established model's
+/// selection. Two measurements answer it:
+///
+///  - ranking agreement: the normalized Kendall distance between the
+///    two models' ensemble rankings restricted to their shared feature
+///    namespace (0 = identical order, 1 = reversed);
+///  - predictive transfer: the day-level test AUC on the target fleet
+///    of a model trained with the SOURCE's selected features
+///    (name-mapped onto the target schema) versus one trained with the
+///    target's own selection. `auc_delta = native - transferred`; small
+///    deltas mean the selection transfers.
+struct RankingTransferResult {
+  std::string source_model;
+  std::string target_model;
+  /// Feature names present on both models, in source order.
+  std::vector<std::string> shared_features;
+  /// Normalized Kendall distance over shared_features; NaN when fewer
+  /// than two features are shared.
+  double kendall_distance = 0.0;
+  /// Source-selected features with no column on the target (these
+  /// simply cannot transfer; each is tagged in the diagnostics).
+  std::size_t missing_on_target = 0;
+  /// Source-selected features that did map onto the target schema.
+  std::size_t transferred_features = 0;
+  /// Day-level test AUC of the target's own selection on the target.
+  double auc_native = 0.0;
+  /// Day-level test AUC of the source's selection on the target.
+  double auc_transferred = 0.0;
+  /// auc_native - auc_transferred (positive = transfer costs accuracy).
+  double auc_delta = 0.0;
+  /// True when any measurement had to be skipped (no shared features,
+  /// single-class test labels, ...); the reasons are in the diag sink.
+  bool degraded = false;
+};
+
+/// Evaluates how `source_sel` (WEFR output on `source`) transfers to
+/// `target`. Both fleets must carry their own day windows; training
+/// uses target days [0, train_day_end], AUC the days after it (falling
+/// back, tagged, to the last 30 in-sample days when no test days
+/// remain). Total on degenerate inputs: unmappable selections,
+/// single-class test windows, and failed trainings degrade to NaN
+/// metrics with `degraded` set and the reason noted in `diag` —
+/// never an exception.
+RankingTransferResult evaluate_ranking_transfer(
+    const data::FleetData& source, const WefrResult& source_sel,
+    const data::FleetData& target, const WefrResult& target_sel,
+    int train_day_end, const ExperimentConfig& cfg,
+    PipelineDiagnostics* diag = nullptr, const obs::Context* obs = nullptr);
+
+}  // namespace wefr::core

@@ -16,7 +16,10 @@ namespace wefr::data {
 namespace {
 
 constexpr char kMagic[8] = {'W', 'E', 'F', 'R', 'F', 'C', '0', '1'};
-constexpr std::uint32_t kFormatVersion = 1;
+// v2: report carries the mixed-schema padding tallies
+// (rows_padded/cells_padded); v1 snapshots invalidate cleanly through
+// the version check and reparse once.
+constexpr std::uint32_t kFormatVersion = 2;
 constexpr std::uint32_t kEndianSentinel = 0x01020304u;
 
 std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
@@ -64,10 +67,12 @@ std::uint64_t schema_hash(const ReadOptions& opt, const std::string& model_name)
   const std::uint32_t policy = static_cast<std::uint32_t>(opt.policy);
   const std::int64_t max_gap = opt.max_gap_days;
   const std::uint64_t max_ids = opt.max_quarantined_ids;
+  const std::uint32_t pad = opt.pad_missing_columns ? 1u : 0u;
   h = fnv1a(h, &version, sizeof(version));
   h = fnv1a(h, &policy, sizeof(policy));
   h = fnv1a(h, &max_gap, sizeof(max_gap));
   h = fnv1a(h, &max_ids, sizeof(max_ids));
+  h = fnv1a(h, &pad, sizeof(pad));
   h = fnv1a(h, model_name.data(), model_name.size());
   return h;
 }
@@ -154,6 +159,8 @@ void serialize_report(BufWriter& w, const IngestReport& rep) {
   w.scalar<std::uint64_t>(rep.gap_days_bridged);
   w.scalar<std::uint64_t>(rep.drives_quarantined);
   w.scalar<std::uint64_t>(rep.io_retries);
+  w.scalar<std::uint64_t>(rep.rows_padded);
+  w.scalar<std::uint64_t>(rep.cells_padded);
   for (std::size_t c : rep.error_counts) w.scalar<std::uint64_t>(c);
   w.scalar<std::uint64_t>(rep.quarantined_drive_ids.size());
   for (const auto& id : rep.quarantined_drive_ids) w.str(id);
@@ -173,7 +180,8 @@ bool deserialize_report(BufReader& r, IngestReport& rep) {
   };
   if (!u64(rep.rows_total) || !u64(rep.rows_ok) || !u64(rep.rows_quarantined) ||
       !u64(rep.cells_recovered) || !u64(rep.gap_days_bridged) ||
-      !u64(rep.drives_quarantined) || !u64(rep.io_retries))
+      !u64(rep.drives_quarantined) || !u64(rep.io_retries) ||
+      !u64(rep.rows_padded) || !u64(rep.cells_padded))
     return false;
   for (auto& c : rep.error_counts)
     if (!u64(c)) return false;
@@ -347,6 +355,12 @@ bool read_fleet_cache(const std::string& cache_path, const std::string& csv_path
   out.feature_names.resize(nf);
   for (auto& name : out.feature_names)
     if (!r.str(name)) return invalid("corrupt payload");
+  // Mix-change guard: a caller who states the feature layout it needs
+  // (mixed-fleet loaders do) must never be served a snapshot written
+  // under a different one — a stale single-model layout would
+  // misalign every column downstream.
+  if (!opt.expected_features.empty() && opt.expected_features != out.feature_names)
+    return invalid("feature schema mismatch");
   if (!r.scalar(n_drives) || n_drives > (1u << 26)) return invalid("corrupt payload");
   out.drives.resize(static_cast<std::size_t>(n_drives));
   std::vector<std::uint64_t> drive_rows(out.drives.size());

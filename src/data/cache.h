@@ -37,7 +37,10 @@ namespace wefr::data {
 /// validation layer fails, each tracked as a distinct invalidation
 /// reason: wrong magic/version, foreign endianness, parse-policy
 /// mismatch, source file size/mtime change, schema-hash change
-/// (max_gap_days, quarantine-sample cap, model name), or checksum
+/// (max_gap_days, quarantine-sample cap, pad_missing_columns, model
+/// name), feature-schema mismatch (the stored feature names differ
+/// from ReadOptions::expected_features — the guard against a stale
+/// single-model layout after the fleet mix changed), or checksum
 /// mismatch (truncation, bit rot). Snapshots are only written for
 /// non-fatal parses, and are written atomically (temp file + rename).
 struct CacheOptions {

@@ -68,6 +68,7 @@ struct RawRow {
   std::size_t values_off = 0;     ///< nf doubles in the side buffer, iff fields_ok
   std::uint32_t missing_cells = 0;  ///< empty / "nan" feature fields
   std::uint32_t bad_cells = 0;      ///< otherwise-unparseable feature fields
+  std::uint32_t padded_cells = 0;   ///< NaN-padded tail (pad_missing_columns)
 };
 
 /// Tokenizes one non-empty, line-trimmed data row. Splits on ',' with
@@ -76,8 +77,13 @@ struct RawRow {
 /// std::from_chars fast path — so the bits of every accepted value are
 /// identical to the historical istream parser's. Feature values (NaN
 /// holes included) are appended to `values` only when the field count
-/// is exactly right; a malformed count rolls the appends back.
-void tokenize_row(std::string_view row_text, std::size_t nf,
+/// is exactly right; a malformed count rolls the appends back. With
+/// `pad_missing` (ReadOptions::pad_missing_columns) a row whose meta
+/// fields are complete but whose feature tail is short is accepted
+/// instead: the missing cells become NaN and are counted in
+/// `row.padded_cells` (schema tolerance, distinct from the
+/// missing/bad-cell corruption tallies).
+void tokenize_row(std::string_view row_text, std::size_t nf, bool pad_missing,
                   std::vector<double>& values, RawRow& row) {
   const std::size_t values_off = values.size();
   std::string_view meta[kMetaCols];
@@ -108,6 +114,13 @@ void tokenize_row(std::string_view row_text, std::size_t nf,
   }
   row.id = meta[0];
   row.fields_ok = field_index == kMetaCols + nf;
+  if (!row.fields_ok && pad_missing && field_index >= kMetaCols &&
+      field_index < kMetaCols + nf) {
+    const std::size_t pad = kMetaCols + nf - field_index;
+    values.insert(values.end(), pad, kNaN);
+    row.padded_cells = static_cast<std::uint32_t>(pad);
+    row.fields_ok = true;
+  }
   if (!row.fields_ok) {
     values.resize(values_off);  // reclaim a partial row
     return;
@@ -248,6 +261,12 @@ class RowAssembler {
       rep_.error_counts[static_cast<std::size_t>(RowError::kMissingValue)] +=
           row.missing_cells;
     }
+    if (row.padded_cells > 0) {
+      // Mixed-schema tail pad: a schema statement, not corruption — no
+      // error class, no strict throw, just the dedicated tallies.
+      ++rep_.rows_padded;
+      rep_.cells_padded += row.padded_cells;
+    }
     current_->values.push_row({vals, nf_});
     ++rep_.rows_ok;
     ++ok_rows_per_drive_[fleet_.drives.size() - 1];
@@ -342,7 +361,7 @@ FleetData parse_fleet_csv(std::istream& is, const std::string& model_name,
     scratch.clear();
     RawRow row;
     row.line_no = line_no;
-    tokenize_row(trimmed, assembler.nf(), scratch, row);
+    tokenize_row(trimmed, assembler.nf(), opt.pad_missing_columns, scratch, row);
     assembler.consume(row, scratch.data());
   }
   if (is.bad()) assembler.io_failure();
@@ -358,7 +377,8 @@ struct ParsedChunk {
   std::vector<double> values;
 };
 
-void tokenize_chunk(std::string_view data, std::size_t nf, ParsedChunk& out) {
+void tokenize_chunk(std::string_view data, std::size_t nf, bool pad_missing,
+                    ParsedChunk& out) {
   std::size_t pos = 0;
   std::size_t line_index = 0;
   while (pos < data.size()) {
@@ -371,7 +391,7 @@ void tokenize_chunk(std::string_view data, std::size_t nf, ParsedChunk& out) {
     if (trimmed.empty()) continue;
     RawRow row;
     row.line_no = line_index;  // chunk-relative; rebased during merge
-    tokenize_row(trimmed, nf, out.values, row);
+    tokenize_row(trimmed, nf, pad_missing, out.values, row);
     out.rows.push_back(row);
   }
   out.lines = line_index;
@@ -419,7 +439,8 @@ FleetData parse_fleet_buffer(std::string_view text, const std::string& model_nam
   std::vector<ParsedChunk> chunks(n_chunks);
   const std::size_t nf = assembler.nf();
   auto run_chunk = [&](std::size_t c) {
-    tokenize_chunk(data.substr(bounds[c], bounds[c + 1] - bounds[c]), nf, chunks[c]);
+    tokenize_chunk(data.substr(bounds[c], bounds[c + 1] - bounds[c]), nf,
+                   opt.pad_missing_columns, chunks[c]);
   };
   {
     obs::Span tokenize_span(obs, "ingest:tokenize");

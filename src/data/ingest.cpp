@@ -34,6 +34,8 @@ std::string IngestReport::summary() const {
   if (drives_quarantined > 0) os << ", " << drives_quarantined << " drives dropped";
   if (cells_recovered > 0) os << ", " << cells_recovered << " cells -> NaN";
   if (gap_days_bridged > 0) os << ", " << gap_days_bridged << " gap days bridged";
+  if (rows_padded > 0)
+    os << ", " << rows_padded << " rows padded (" << cells_padded << " cells)";
   if (io_retries > 0) os << ", " << io_retries << " I/O retries";
   if (cache_hits > 0) os << " (columnar cache hit)";
   else if (cache_invalidations > 0) os << " (cache invalidated, reparsed)";
@@ -65,6 +67,8 @@ void IngestReport::export_counters(obs::Registry& registry) const {
   bump("wefr_ingest_rows_quarantined_total", rows_quarantined);
   bump("wefr_ingest_cells_recovered_total", cells_recovered);
   bump("wefr_ingest_gap_days_bridged_total", gap_days_bridged);
+  bump("wefr_ingest_rows_padded_total", rows_padded);
+  bump("wefr_ingest_cells_padded_total", cells_padded);
   bump("wefr_ingest_drives_quarantined_total", drives_quarantined);
   bump("wefr_ingest_io_retries_total", io_retries);
   bump("wefr_ingest_cache_hit_total", cache_hits);
@@ -87,6 +91,8 @@ void IngestReport::fill_run_report(obs::RunReport& report) const {
   out["rows_quarantined"] = static_cast<double>(rows_quarantined);
   out["cells_recovered"] = static_cast<double>(cells_recovered);
   out["gap_days_bridged"] = static_cast<double>(gap_days_bridged);
+  out["rows_padded"] = static_cast<double>(rows_padded);
+  out["cells_padded"] = static_cast<double>(cells_padded);
   out["drives_quarantined"] = static_cast<double>(drives_quarantined);
   out["io_retries"] = static_cast<double>(io_retries);
   out["fatal"] = fatal ? 1.0 : 0.0;

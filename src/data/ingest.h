@@ -68,6 +68,22 @@ struct ReadOptions {
   /// real sizes vary by a row; tests shrink this to force chunk
   /// boundaries inside tiny inputs.
   std::size_t parallel_chunk_bytes = std::size_t{1} << 20;
+  /// Mixed-schema tolerance: accept data rows with complete meta fields
+  /// but FEWER feature fields than the header and pad the missing tail
+  /// with NaN (tallied as rows_padded / cells_padded). This is how a
+  /// pooled CSV whose header is the union schema ingests rows written
+  /// by a model that lacks the trailing columns — under EVERY policy,
+  /// strict included (the knob is an explicit schema statement, not a
+  /// corruption pardon; rows with too MANY fields stay structurally
+  /// invalid). Off by default: without it a short row is
+  /// kWrongFieldCount, exactly as before.
+  bool pad_missing_columns = false;
+  /// When non-empty, a columnar-cache snapshot whose stored feature
+  /// names differ from this list is invalidated ("feature schema
+  /// mismatch") and the CSV reparsed — the guard that keeps a stale
+  /// single-model snapshot from silently serving an old layout after
+  /// the fleet mix changed. Ignored by the parser itself.
+  std::vector<std::string> expected_features;
 };
 
 /// Missing-data repair counters (forward_fill). Split out so ingestion
@@ -99,6 +115,10 @@ struct IngestReport {
   std::size_t gap_days_bridged = 0;  ///< synthetic all-NaN days inserted
   std::size_t drives_quarantined = 0;
   std::size_t io_retries = 0;        ///< transient I/O failures retried
+  /// Mixed-schema padding (ReadOptions::pad_missing_columns): rows
+  /// accepted with a NaN-padded feature tail, and the cells padded.
+  std::size_t rows_padded = 0;
+  std::size_t cells_padded = 0;
   bool fatal = false;                ///< unusable input (empty/bad header)
   std::string fatal_detail;
 

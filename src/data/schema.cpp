@@ -1,0 +1,232 @@
+#include "data/schema.h"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace wefr::data {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Vendor alias table: spellings seen in real SMART dumps for columns
+/// the canonical namespace writes differently. Checked after an
+/// uppercase fold, so "mwi_norm" and "MWI_NORM" both land on "MWI_N".
+const std::unordered_map<std::string, std::string>& alias_table() {
+  static const std::unordered_map<std::string, std::string> table = {
+      {"MWI_NORM", "MWI_N"},          {"MWI_RAW", "MWI_R"},
+      {"WEAROUT_N", "MWI_N"},         {"WEAROUT_R", "MWI_R"},
+      {"POWER_ON_HOURS_R", "POH_R"},  {"POWER_ON_HOURS_N", "POH_N"},
+      {"REALLOC_SECTORS_R", "RSC_R"}, {"REALLOC_SECTORS_N", "RSC_N"},
+  };
+  return table;
+}
+
+std::string upper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(SchemaPolicy p) {
+  switch (p) {
+    case SchemaPolicy::kUnion: return "union";
+    case SchemaPolicy::kIntersect: return "intersect";
+  }
+  return "unknown";
+}
+
+std::string SchemaReconciliation::summary() const {
+  std::ostringstream os;
+  os << sources << " sources -> " << columns.size() << " columns ("
+     << data::to_string(policy) << ")";
+  if (trivial()) {
+    os << ": schemas already aligned";
+    return os.str();
+  }
+  os << ":";
+  if (!nan_filled.empty()) os << " " << nan_filled.size() << " nan-filled,";
+  if (!dropped.empty()) os << " " << dropped.size() << " dropped,";
+  if (!renamed.empty()) os << " " << renamed.size() << " renamed,";
+  std::string s = os.str();
+  s.pop_back();  // trailing comma (or the ':' when all three are empty)
+  return s;
+}
+
+std::string canonical_feature_name(const std::string& name) {
+  const std::string trimmed{util::trim(name)};
+  const std::string folded = upper(trimmed);
+  const auto it = alias_table().find(folded);
+  if (it != alias_table().end()) return it->second;
+  // Names already shaped like the canonical "<ATTR>_R"/"<ATTR>_N"
+  // namespace fold case; anything else passes through untouched so
+  // genuinely foreign columns stay distinguishable.
+  if (folded.size() > 2 && (folded.ends_with("_R") || folded.ends_with("_N")))
+    return folded;
+  return trimmed;
+}
+
+FleetData reconcile_fleets(const std::vector<FleetData>& fleets, SchemaPolicy policy,
+                           SchemaReconciliation* recon,
+                           std::vector<std::string>* drive_model) {
+  SchemaReconciliation local;
+  SchemaReconciliation& rec = recon != nullptr ? *recon : local;
+  rec = SchemaReconciliation{};
+  rec.policy = policy;
+  rec.sources = fleets.size();
+  if (drive_model != nullptr) drive_model->clear();
+
+  FleetData out;
+  if (fleets.empty()) {
+    out.model_name = "mixed()";
+    return out;
+  }
+
+  // Canonicalize every source's columns once, recording renames.
+  std::vector<std::vector<std::string>> names(fleets.size());
+  for (std::size_t s = 0; s < fleets.size(); ++s) {
+    names[s].reserve(fleets[s].feature_names.size());
+    for (const auto& n : fleets[s].feature_names) {
+      std::string canon = canonical_feature_name(n);
+      if (canon != n)
+        rec.renamed.push_back(fleets[s].model_name + ":" + n + "->" + canon);
+      names[s].push_back(std::move(canon));
+    }
+  }
+
+  // Final namespace: union in first-seen order, or its subset present
+  // in every source (intersect), preserving the same order.
+  std::vector<std::string> all_columns;
+  std::unordered_map<std::string, std::size_t> seen_in;  // column -> source count
+  for (const auto& src : names) {
+    std::unordered_set<std::string> in_this(src.begin(), src.end());
+    for (const auto& n : in_this) ++seen_in[n];
+    for (const auto& n : src) {
+      if (std::find(all_columns.begin(), all_columns.end(), n) == all_columns.end())
+        all_columns.push_back(n);
+    }
+  }
+  if (policy == SchemaPolicy::kUnion) {
+    rec.columns = all_columns;
+  } else {
+    for (const auto& n : all_columns) {
+      if (seen_in[n] == fleets.size()) rec.columns.push_back(n);
+    }
+  }
+
+  // Report what each source loses or gains against the final schema.
+  for (std::size_t s = 0; s < fleets.size(); ++s) {
+    const std::unordered_set<std::string> in_this(names[s].begin(), names[s].end());
+    for (const auto& n : rec.columns) {
+      if (in_this.count(n) == 0)
+        rec.nan_filled.push_back(fleets[s].model_name + ":" + n);
+    }
+    for (const auto& n : names[s]) {
+      if (std::find(rec.columns.begin(), rec.columns.end(), n) == rec.columns.end())
+        rec.dropped.push_back(fleets[s].model_name + ":" + n);
+    }
+  }
+
+  std::string pool_name = "mixed(";
+  for (std::size_t s = 0; s < fleets.size(); ++s) {
+    if (s > 0) pool_name += "+";
+    pool_name += fleets[s].model_name;
+  }
+  pool_name += ")";
+  out.model_name = std::move(pool_name);
+  out.feature_names = rec.columns;
+
+  const std::size_t nf = rec.columns.size();
+  std::size_t total_drives = 0;
+  for (const auto& f : fleets) total_drives += f.drives.size();
+  out.drives.reserve(total_drives);
+  if (drive_model != nullptr) drive_model->reserve(total_drives);
+
+  for (std::size_t s = 0; s < fleets.size(); ++s) {
+    const FleetData& src = fleets[s];
+    out.num_days = std::max(out.num_days, src.num_days);
+    // Map final column -> source column (-1 = NaN-fill).
+    std::vector<int> from(nf, -1);
+    for (std::size_t c = 0; c < nf; ++c) {
+      for (std::size_t sc = 0; sc < names[s].size(); ++sc) {
+        if (names[s][sc] == rec.columns[c]) {
+          from[c] = static_cast<int>(sc);
+          break;
+        }
+      }
+    }
+    const bool identity = [&] {
+      if (names[s].size() != nf) return false;
+      for (std::size_t c = 0; c < nf; ++c)
+        if (from[c] != static_cast<int>(c)) return false;
+      return true;
+    }();
+
+    for (const auto& d : src.drives) {
+      DriveSeries nd;
+      nd.drive_id = d.drive_id;
+      nd.first_day = d.first_day;
+      nd.fail_day = d.fail_day;
+      if (identity) {
+        nd.values = d.values;
+      } else {
+        const std::size_t rows = d.num_days();
+        nd.values = Matrix::uninitialized(rows, nf);
+        for (std::size_t r = 0; r < rows; ++r) {
+          for (std::size_t c = 0; c < nf; ++c) {
+            if (from[c] >= 0) {
+              nd.values(r, c) = d.values(r, static_cast<std::size_t>(from[c]));
+            } else {
+              nd.values(r, c) = kNaN;
+              ++rec.cells_nan_filled;
+            }
+          }
+        }
+      }
+      out.drives.push_back(std::move(nd));
+      if (drive_model != nullptr) drive_model->push_back(src.model_name);
+    }
+  }
+  return out;
+}
+
+FleetData load_mixed_fleet_csvs(const std::vector<std::string>& paths,
+                                const std::vector<std::string>& models,
+                                const ReadOptions& opt, const CacheOptions& cache,
+                                SchemaPolicy policy, SchemaReconciliation* recon,
+                                std::vector<IngestReport>* reports,
+                                std::vector<std::string>* drive_model,
+                                const obs::Context* obs) {
+  std::vector<IngestReport> local_reports;
+  std::vector<IngestReport>& reps = reports != nullptr ? *reports : local_reports;
+  reps.assign(paths.size(), IngestReport{});
+
+  std::vector<FleetData> fleets;
+  fleets.reserve(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::string model;
+    if (i < models.size() && !models[i].empty()) {
+      model = models[i];
+    } else {
+      model = std::filesystem::path(paths[i]).stem().string();
+    }
+    FleetData f = load_fleet_csv_cached(paths[i], model, opt, cache, &reps[i], obs);
+    if (reps[i].fatal) continue;  // reported; the pool just shrinks
+    if (f.model_name.empty()) f.model_name = model;
+    fleets.push_back(std::move(f));
+  }
+  return reconcile_fleets(fleets, policy, recon, drive_model);
+}
+
+}  // namespace wefr::data

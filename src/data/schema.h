@@ -1,0 +1,99 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/cache.h"
+#include "data/fleet.h"
+#include "data/ingest.h"
+
+namespace wefr::obs {
+struct Context;
+}
+
+namespace wefr::data {
+
+/// Per-model schema reconciliation for heterogeneous fleets.
+///
+/// Different drive models expose different SMART attribute sets (Table
+/// I of the paper), and real deployments mix models in one pool. These
+/// helpers align several per-model fleets onto one feature namespace so
+/// the pooled fleet can flow through the unchanged WEFR stack:
+///
+///  - kUnion keeps every column appearing in any source; columns a
+///    model lacks are NaN-filled for its drives (forward_fill leaves
+///    never-observed columns NaN, and the learning stack already
+///    survives them — constant/NaN columns rank neutrally).
+///  - kIntersect keeps only columns present in every source; the rest
+///    are dropped (the conservative mode when NaN-heavy columns would
+///    dilute ranking).
+///
+/// Before alignment, column names pass through canonical_feature_name,
+/// which folds known vendor spellings ("MWI_NORM", lowercase names, …)
+/// onto the canonical "<ATTR>_R"/"<ATTR>_N" namespace; every applied
+/// rename is reported.
+enum class SchemaPolicy { kUnion, kIntersect };
+
+const char* to_string(SchemaPolicy p);
+
+/// Explicit record of everything reconciliation did — the ledger the
+/// robustness acceptance gates read. One entry strings are
+/// "model:column" (dropped / nan_filled) or "model:old->new" (renamed).
+struct SchemaReconciliation {
+  SchemaPolicy policy = SchemaPolicy::kUnion;
+  /// The final aligned feature namespace, in first-seen source order.
+  std::vector<std::string> columns;
+  std::size_t sources = 0;
+  std::vector<std::string> dropped;     ///< intersect-dropped columns
+  std::vector<std::string> nan_filled;  ///< union NaN-filled columns
+  std::vector<std::string> renamed;     ///< alias-canonicalized columns
+  /// Cells materialized as NaN for models lacking a union column.
+  std::size_t cells_nan_filled = 0;
+
+  bool trivial() const {
+    return dropped.empty() && nan_filled.empty() && renamed.empty();
+  }
+  /// "3 sources -> 44 columns (union): 6 nan-filled, 2 renamed" line.
+  std::string summary() const;
+};
+
+/// Canonical spelling of a feature column: trims whitespace and folds
+/// known vendor aliases (e.g. "MWI_NORM" -> "MWI_N", "mwi_n" ->
+/// "MWI_N"). Unknown names pass through unchanged.
+std::string canonical_feature_name(const std::string& name);
+
+/// Aligns per-model fleets onto one schema and pools their drives into
+/// a single FleetData (model_name "mixed(<m1>+<m2>+...)", num_days =
+/// max over sources). Drive order is source order, preserving each
+/// source's internal order, so the result is deterministic. `recon`
+/// (nullable) receives the full reconciliation ledger; `drive_model`
+/// (nullable) receives one source model name per pooled drive, aligned
+/// with the result's drives vector.
+///
+/// Degenerate inputs degrade instead of throwing: an empty source list
+/// yields an empty fleet, a source without drives still contributes
+/// its columns, and an empty intersection yields a fleet whose drives
+/// carry zero-column matrices (the selection stack's degraded mode
+/// takes it from there).
+FleetData reconcile_fleets(const std::vector<FleetData>& fleets, SchemaPolicy policy,
+                           SchemaReconciliation* recon = nullptr,
+                           std::vector<std::string>* drive_model = nullptr);
+
+/// Loads several per-model CSVs (each through the cache-aware fast
+/// path) and reconciles them into one pooled fleet. `models[i]` names
+/// the fleet in `paths[i]`; when `models` is shorter than `paths` the
+/// missing names default to the CSV stem. Per-source IngestReports
+/// land in `reports` (resized to match) and the reconciliation ledger
+/// in `recon`. Sources whose parse was fatal are skipped and reported
+/// via their IngestReport only — the pooled load never throws under
+/// the tolerant policies.
+FleetData load_mixed_fleet_csvs(const std::vector<std::string>& paths,
+                                const std::vector<std::string>& models,
+                                const ReadOptions& opt, const CacheOptions& cache,
+                                SchemaPolicy policy,
+                                SchemaReconciliation* recon = nullptr,
+                                std::vector<IngestReport>* reports = nullptr,
+                                std::vector<std::string>* drive_model = nullptr,
+                                const obs::Context* obs = nullptr);
+
+}  // namespace wefr::data

@@ -1,5 +1,6 @@
 #include "smartsim/faultsim.h"
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
@@ -40,6 +41,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kDuplicateRow: return "duplicate";
     case FaultKind::kOutOfOrderDay: return "out_of_order";
     case FaultKind::kBitFlip: return "bitflip";
+    case FaultKind::kMissingColumn: return "missing_column";
     case FaultKind::kCount: break;
   }
   return "unknown";
@@ -53,11 +55,14 @@ std::size_t FaultLog::total_applied() const {
 
 bool FaultLog::strict_rejectable() const {
   // Structural faults always break strict parsing; bit flips only when
-  // they produced a non-finite value. Stuck sensors never do.
+  // they produced a non-finite value. Stuck sensors never do. Missing
+  // columns are rejectable under default options, though
+  // pad_missing_columns can legitimize them.
   return applied_to(FaultKind::kTruncateRow) > 0 ||
          applied_to(FaultKind::kNanBurst) > 0 ||
          applied_to(FaultKind::kDuplicateRow) > 0 ||
-         applied_to(FaultKind::kOutOfOrderDay) > 0 || nonfinite_flips > 0;
+         applied_to(FaultKind::kOutOfOrderDay) > 0 ||
+         applied_to(FaultKind::kMissingColumn) > 0 || nonfinite_flips > 0;
 }
 
 std::string FaultLog::summary() const {
@@ -78,6 +83,8 @@ std::string corrupt_csv(const std::string& csv, const FaultPlan& plan, FaultLog*
 
   util::Rng rng(plan.seed);
   std::unordered_map<std::string, StuckState> stuck;  // drive_id -> freeze
+  // drive_id -> trailing feature fields this drive's model "lacks".
+  std::unordered_map<std::string, std::size_t> short_schema;
 
   std::vector<std::string> out;
   std::istringstream is(csv);
@@ -170,7 +177,28 @@ std::string corrupt_csv(const std::string& csv, const FaultPlan& plan, FaultLog*
           tally(FaultKind::kOutOfOrderDay);
           break;
         }
+        case FaultKind::kMissingColumn: {
+          // Persistent per drive, like a stuck sensor: once a drive's
+          // model "loses" its trailing columns, all its later rows are
+          // short too.
+          if (nf < 2 || short_schema.count(fields[0]) > 0) break;
+          short_schema.emplace(fields[0],
+                               1 + rng.uniform_index(std::min<std::size_t>(3, nf - 1)));
+          tally(FaultKind::kMissingColumn);
+          break;
+        }
         case FaultKind::kCount: break;
+      }
+    }
+
+    // Drop the short-schema drive's trailing fields after every other
+    // fault has seen the full-width row (and never on a truncated row,
+    // which is already structurally broken on its own).
+    if (!truncated && nf > 0) {
+      if (auto it = short_schema.find(fields[0]); it != short_schema.end()) {
+        const std::size_t drop =
+            std::min(it->second, fields.size() - kMetaCols - 1);
+        fields.resize(fields.size() - drop);
       }
     }
 

@@ -24,7 +24,15 @@ namespace wefr::smartsim {
 ///  - kBitFlip: one bit of a numeric cell flipped. Usually yields a
 ///    plausible-but-wrong finite value (valid CSV); exponent-bit flips
 ///    can yield inf/nan, which strict parsing rejects — those are
-///    counted separately in FaultLog::nonfinite_flips.
+///    counted separately in FaultLog::nonfinite_flips;
+///  - kMissingColumn: a mixed-schema fleet file — once a drive rolls
+///    this fault, every one of its rows from then on drops its 1-3
+///    trailing feature fields. The columns stay in the header but are
+///    simply absent for that drive's model (an exporter that unioned
+///    schemas across models without padding the short ones). Strict
+///    parsing rejects the short rows unless
+///    ReadOptions::pad_missing_columns is set; recover quarantines
+///    them; skip-drive sheds the whole drive.
 enum class FaultKind : std::size_t {
   kTruncateRow = 0,
   kNanBurst,
@@ -32,6 +40,7 @@ enum class FaultKind : std::size_t {
   kDuplicateRow,
   kOutOfOrderDay,
   kBitFlip,
+  kMissingColumn,
   kCount,
 };
 
@@ -39,8 +48,8 @@ inline constexpr std::size_t kFaultKindCount =
     static_cast<std::size_t>(FaultKind::kCount);
 
 /// Stable snake_case name ("truncate", "nan_burst", "stuck",
-/// "duplicate", "out_of_order", "bitflip") — the same spelling
-/// parse_fault_plan() accepts.
+/// "duplicate", "out_of_order", "bitflip", "missing_column") — the
+/// same spelling parse_fault_plan() accepts.
 const char* to_string(FaultKind kind);
 
 /// One corruption class with its per-row firing probability.

@@ -1,0 +1,328 @@
+#include "smartsim/mixed_fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace wefr::smartsim {
+
+const char* to_string(ChurnKind k) {
+  switch (k) {
+    case ChurnKind::kRetire: return "retire";
+    case ChurnKind::kAdd: return "add";
+    case ChurnKind::kReplace: return "replace";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Largest-remainder apportionment of `total` drives across normalized
+/// shares. Every share gets floor(share * total); leftover units go to
+/// the largest fractional remainders (ties to the earlier share), so
+/// the split is deterministic and sums exactly to `total`.
+std::vector<std::size_t> apportion(const std::vector<double>& shares,
+                                   std::size_t total) {
+  double sum = 0.0;
+  for (double s : shares) sum += s;
+  std::vector<std::size_t> counts(shares.size(), 0);
+  if (sum <= 0.0 || total == 0) return counts;
+
+  std::vector<double> frac(shares.size());
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const double exact = shares[i] / sum * static_cast<double>(total);
+    counts[i] = static_cast<std::size_t>(exact);
+    frac[i] = exact - static_cast<double>(counts[i]);
+    assigned += counts[i];
+  }
+  std::vector<std::size_t> order(shares.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return frac[a] > frac[b]; });
+  for (std::size_t i = 0; assigned < total; ++i) {
+    counts[order[i % order.size()]] += 1;
+    ++assigned;
+  }
+  return counts;
+}
+
+/// Truncates a drive's observation series at fleet day `day`: the drive
+/// leaves the window healthy (decommissioned, not failed), so any
+/// planted failure at or after `day` is censored away.
+void retire_drive(data::DriveSeries& d, int day) {
+  const auto keep = static_cast<std::size_t>(day - d.first_day);
+  data::Matrix trimmed = data::Matrix::uninitialized(keep, d.values.cols());
+  for (std::size_t r = 0; r < keep; ++r) {
+    const auto src = d.values.row(r);
+    std::copy(src.begin(), src.end(), trimmed.row(r).begin());
+  }
+  d.values = std::move(trimmed);
+  if (d.fail_day >= day) d.fail_day = -1;
+}
+
+}  // namespace
+
+MixedFleetResult generate_mixed_fleet(const MixedFleetSpec& spec) {
+  MixedFleetResult out;
+  util::Rng master(spec.sim.seed);
+
+  // Resolve the mix: drop unknown models and non-positive shares with a
+  // tag instead of throwing — a degenerate spec degrades to an empty
+  // fleet the caller can inspect.
+  std::vector<const DriveModelProfile*> mix_profiles;
+  std::vector<double> mix_shares;
+  for (const auto& s : spec.shares) {
+    if (!(s.share > 0.0)) {
+      out.diagnostics.push_back("empty_share:" + s.model);
+      continue;
+    }
+    const DriveModelProfile* p = nullptr;
+    try {
+      p = &profile_by_name(s.model);
+    } catch (const std::out_of_range&) {
+      out.diagnostics.push_back("unknown_model:" + s.model);
+      continue;
+    }
+    mix_profiles.push_back(p);
+    mix_shares.push_back(s.share);
+  }
+  if (mix_profiles.empty()) {
+    out.diagnostics.push_back("empty_mix");
+    out.fleet.model_name = "mixed()";
+    out.fleet.num_days = spec.sim.num_days;
+    return out;
+  }
+
+  // Day-0 sub-fleets, one per share, each with a forked seed. The fork
+  // order is fixed by the (filtered) share order, so the whole recipe is
+  // a pure function of spec.sim.seed.
+  std::vector<data::FleetData> pieces;
+  std::vector<std::string> piece_model;
+  const std::vector<std::size_t> counts =
+      apportion(mix_shares, spec.sim.num_drives);
+  for (std::size_t i = 0; i < mix_profiles.size(); ++i) {
+    if (counts[i] == 0) {
+      out.diagnostics.push_back("share_rounded_to_zero:" + mix_profiles[i]->name);
+      continue;
+    }
+    SimOptions o = spec.sim;
+    o.num_drives = counts[i];
+    o.seed = master.next_u64();
+    pieces.push_back(generate_fleet(*mix_profiles[i], o));
+    piece_model.push_back(mix_profiles[i]->name);
+  }
+  if (pieces.empty()) {
+    out.diagnostics.push_back("empty_mix");
+    out.fleet.model_name = "mixed()";
+    out.fleet.num_days = spec.sim.num_days;
+    return out;
+  }
+
+  // Churn schedule, in day order (stable for same-day events).
+  std::vector<ChurnEvent> events = spec.churn;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ChurnEvent& a, const ChurnEvent& b) { return a.day < b.day; });
+
+  for (std::size_t ev_idx = 0; ev_idx < events.size(); ++ev_idx) {
+    const ChurnEvent& ev = events[ev_idx];
+    if (ev.day <= 0 || ev.day >= spec.sim.num_days) {
+      out.diagnostics.push_back("event_out_of_window@" + std::to_string(ev.day));
+      continue;
+    }
+
+    bool applied = false;
+    std::size_t retired_now = 0;
+
+    if (ev.kind != ChurnKind::kAdd && ev.retire_fraction > 0.0) {
+      // Drives active at ev.day: observed before it (so truncation
+      // leaves at least one row) and still under observation on it.
+      std::vector<std::pair<std::size_t, std::size_t>> active;
+      for (std::size_t pi = 0; pi < pieces.size(); ++pi) {
+        for (std::size_t di = 0; di < pieces[pi].drives.size(); ++di) {
+          const auto& d = pieces[pi].drives[di];
+          if (d.first_day < ev.day && d.last_day() >= ev.day) active.emplace_back(pi, di);
+        }
+      }
+      const double frac = std::min(ev.retire_fraction, 1.0);
+      std::size_t k = static_cast<std::size_t>(
+          std::floor(frac * static_cast<double>(active.size()) + 1e-9));
+      if (ev.retire_fraction >= 1.0) k = active.size();
+      if (k > 0) {
+        for (std::size_t vi : master.sample_without_replacement(active.size(), k)) {
+          retire_drive(pieces[active[vi].first].drives[active[vi].second], ev.day);
+        }
+        retired_now = k;
+        out.drives_retired += k;
+        applied = true;
+        if (k == active.size()) out.diagnostics.push_back("all_churned");
+      } else if (active.empty()) {
+        out.diagnostics.push_back("retire_no_active@" + std::to_string(ev.day));
+      }
+    }
+
+    if (ev.kind != ChurnKind::kRetire) {
+      std::size_t count = ev.add_count;
+      if (ev.kind == ChurnKind::kReplace && count == 0) count = retired_now;
+      if (count > 0) {
+        const std::string model =
+            ev.add_model.empty() ? piece_model.front() : ev.add_model;
+        const DriveModelProfile* base = nullptr;
+        try {
+          base = &profile_by_name(model);
+        } catch (const std::out_of_range&) {
+          out.diagnostics.push_back("unknown_model:" + model);
+          base = nullptr;
+        }
+        const int remaining = spec.sim.num_days - ev.day;
+        // generate_fleet needs min_fail_day + 10 days of window; a
+        // cohort added too late can't be simulated — skip with a tag.
+        const int cohort_min_fail = std::max(5, std::min(spec.sim.min_fail_day, remaining / 4));
+        if (base != nullptr && remaining < cohort_min_fail + 10) {
+          out.diagnostics.push_back("late_add_skipped@" + std::to_string(ev.day));
+          base = nullptr;
+        }
+        if (base != nullptr) {
+          DriveModelProfile drifted = *base;
+          drifted.wear_rate_lo *= ev.wear_rate_mult;
+          drifted.wear_rate_hi *= ev.wear_rate_mult;
+          drifted.mwi_start_lo = std::max(1.0, drifted.mwi_start_lo - ev.mwi_start_shift);
+          drifted.mwi_start_hi =
+              std::max(drifted.mwi_start_lo + 1.0, drifted.mwi_start_hi - ev.mwi_start_shift);
+
+          SimOptions o = spec.sim;
+          o.num_drives = count;
+          o.num_days = remaining;
+          o.min_fail_day = cohort_min_fail;
+          o.seed = master.next_u64();
+          data::FleetData cohort = generate_fleet(drifted, o);
+          // Shift the cohort into fleet-global time and rename its
+          // drives so ids never collide with the day-0 sub-fleet of the
+          // same model.
+          for (std::size_t i = 0; i < cohort.drives.size(); ++i) {
+            auto& d = cohort.drives[i];
+            d.first_day += ev.day;
+            if (d.fail_day >= 0) d.fail_day += ev.day;
+            d.drive_id = drifted.name + "_c" + std::to_string(ev_idx) + "_" +
+                         std::to_string(i);
+          }
+          cohort.num_days = spec.sim.num_days;
+          pieces.push_back(std::move(cohort));
+          piece_model.push_back(drifted.name);
+          out.drives_added += count;
+          applied = true;
+          if (ev.wear_rate_mult != 1.0 || ev.mwi_start_shift != 0.0) {
+            out.drift_days.push_back(ev.day);
+          }
+        }
+      } else if (ev.kind == ChurnKind::kAdd) {
+        out.diagnostics.push_back("empty_add@" + std::to_string(ev.day));
+      }
+    }
+
+    if (applied) out.churn_days.push_back(ev.day);
+  }
+  out.churn_days.erase(std::unique(out.churn_days.begin(), out.churn_days.end()),
+                       out.churn_days.end());
+
+  out.fleet = data::reconcile_fleets(pieces, spec.schema, &out.schema, &out.drive_model);
+  out.fleet.num_days = std::max(out.fleet.num_days, spec.sim.num_days);
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+double parse_double(const std::string& tok, const std::string& what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(tok, &pos);
+    if (pos != tok.size()) throw std::invalid_argument(tok);
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad " + what + " '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+std::vector<ModelShare> parse_mix_spec(const std::string& spec) {
+  std::vector<ModelShare> out;
+  if (spec.empty()) return out;
+  for (const std::string& tok : split(spec, ',')) {
+    if (tok.empty()) continue;
+    const std::size_t colon = tok.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw std::invalid_argument("parse_mix_spec: expected MODEL:SHARE, got '" +
+                                  tok + "'");
+    }
+    ModelShare s;
+    s.model = tok.substr(0, colon);
+    s.share = parse_double(tok.substr(colon + 1), "share");
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<ChurnEvent> parse_churn_spec(const std::string& spec,
+                                         std::size_t fleet_size) {
+  std::vector<ChurnEvent> out;
+  if (spec.empty()) return out;
+  for (const std::string& tok : split(spec, ',')) {
+    if (tok.empty()) continue;
+    const std::size_t at = tok.find('@');
+    if (at == std::string::npos || at == 0) {
+      throw std::invalid_argument(
+          "parse_churn_spec: expected kind@day:fraction[:model[:wear_mult]], got '" +
+          tok + "'");
+    }
+    ChurnEvent ev;
+    const std::string kind = tok.substr(0, at);
+    if (kind == "retire") {
+      ev.kind = ChurnKind::kRetire;
+    } else if (kind == "add") {
+      ev.kind = ChurnKind::kAdd;
+    } else if (kind == "replace") {
+      ev.kind = ChurnKind::kReplace;
+    } else {
+      throw std::invalid_argument("parse_churn_spec: unknown kind '" + kind + "'");
+    }
+    const std::vector<std::string> parts = split(tok.substr(at + 1), ':');
+    if (parts.size() < 2 || parts.size() > 4) {
+      throw std::invalid_argument(
+          "parse_churn_spec: expected kind@day:fraction[:model[:wear_mult]], got '" +
+          tok + "'");
+    }
+    ev.day = static_cast<int>(parse_double(parts[0], "day"));
+    const double frac = parse_double(parts[1], "fraction");
+    if (ev.kind == ChurnKind::kAdd) {
+      ev.add_count = static_cast<std::size_t>(
+          std::llround(frac * static_cast<double>(fleet_size)));
+    } else {
+      ev.retire_fraction = frac;
+    }
+    if (parts.size() >= 3 && !parts[2].empty()) ev.add_model = parts[2];
+    if (parts.size() == 4) ev.wear_rate_mult = parse_double(parts[3], "wear_mult");
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+}  // namespace wefr::smartsim

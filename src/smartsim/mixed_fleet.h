@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+#include "smartsim/generator.h"
+#include "smartsim/profiles.h"
+
+namespace wefr::smartsim {
+
+/// One model's slice of a heterogeneous fleet.
+struct ModelShare {
+  std::string model;   ///< profile name (profile_by_name namespace)
+  double share = 0.0;  ///< fraction of the day-0 fleet; normalized
+};
+
+/// Population-churn event kinds, modeled on how real fleets evolve
+/// (PS-WL's array-scaling scenarios): drives leave (decommission
+/// waves), arrive (capacity adds), or both at once (hardware refresh).
+enum class ChurnKind { kRetire, kAdd, kReplace };
+
+const char* to_string(ChurnKind k);
+
+/// One scheduled churn event. Retirement truncates the observation
+/// series of surviving drives at `day` (censored, not failed — a drive
+/// that would have failed later leaves the window healthy). Additions
+/// generate a fresh cohort observed from `day` on, optionally with a
+/// shifted wear distribution — the planted change point the online
+/// re-check is expected to track.
+struct ChurnEvent {
+  int day = 0;
+  ChurnKind kind = ChurnKind::kReplace;
+  /// Fraction of the drives active at `day` to retire
+  /// (kRetire/kReplace). 1.0 retires everything active.
+  double retire_fraction = 0.0;
+  /// Cohort size for kAdd; for kReplace, 0 means "as many as retired".
+  std::size_t add_count = 0;
+  /// Model of the added cohort; "" = the first mix share's model.
+  /// A model outside the original mix shifts the model mix (its columns
+  /// join the union schema).
+  std::string add_model;
+  /// Drift magnitude: wear-rate multiplier for the added cohort
+  /// (values > 1 plant a wear-distribution change point at `day`).
+  double wear_rate_mult = 1.0;
+  /// Additional drift: shifts the cohort's initial-MWI range down.
+  double mwi_start_shift = 0.0;
+};
+
+/// A heterogeneous fleet recipe: per-model shares at day 0 plus a
+/// seeded churn schedule. Everything is deterministic in `sim.seed`.
+struct MixedFleetSpec {
+  std::vector<ModelShare> shares;
+  std::vector<ChurnEvent> churn;
+  /// Base simulation controls; num_drives is the day-0 fleet total
+  /// (split across shares by largest remainder), num_days the window.
+  SimOptions sim;
+  /// How the per-model schemas are aligned into the pooled namespace.
+  data::SchemaPolicy schema = data::SchemaPolicy::kUnion;
+};
+
+/// Everything generate_mixed_fleet produced, with a full ledger.
+struct MixedFleetResult {
+  data::FleetData fleet;                 ///< pooled, schema-reconciled
+  std::vector<std::string> drive_model;  ///< source model per pooled drive
+  data::SchemaReconciliation schema;     ///< what reconciliation did
+  std::size_t drives_retired = 0;
+  std::size_t drives_added = 0;
+  /// Days on which an applied churn event changed the population.
+  std::vector<int> churn_days;
+  /// Subset of churn_days whose added cohort carries a shifted wear
+  /// distribution (wear_rate_mult != 1 or mwi_start_shift != 0) — the
+  /// planted change points a drift monitor should detect.
+  std::vector<int> drift_days;
+  /// Degraded-input tags ("empty_mix", "empty_share:MB1",
+  /// "all_churned", "late_add_skipped@230", ...). Degenerate specs
+  /// degrade — empty fleet, skipped event — and are tagged here; the
+  /// generator itself never throws on them.
+  std::vector<std::string> diagnostics;
+
+  bool degraded() const { return !diagnostics.empty(); }
+};
+
+/// Generates a heterogeneous fleet: one sub-fleet per (positive-share,
+/// known) model, schema-reconciled into a single pool, then the churn
+/// schedule applied in day order. Deterministic in `spec.sim.seed` —
+/// per-model generation, victim sampling, and cohort generation all
+/// draw forked streams from it.
+///
+/// Degenerate specs never throw: unknown models and non-positive
+/// shares are skipped with a diagnostic tag (an entirely empty mix
+/// yields an empty fleet), events too close to the window end are
+/// skipped, and retiring every active drive leaves a valid all-censored
+/// fleet tagged "all_churned".
+MixedFleetResult generate_mixed_fleet(const MixedFleetSpec& spec);
+
+/// Parses a mix spec "MA1:0.5,MC1:0.3,HDD1:0.2" into shares. Throws
+/// std::invalid_argument on malformed tokens (unknown model names are
+/// deferred to generate_mixed_fleet's degraded handling).
+std::vector<ModelShare> parse_mix_spec(const std::string& spec);
+
+/// Parses a churn spec: comma-separated events
+/// "kind@day:fraction[:model[:wear_mult]]", e.g.
+/// "replace@120:0.3:MC2:2.0,add@180:0.1". For kAdd the fraction is the
+/// cohort size as a fraction of sim.num_drives. Throws
+/// std::invalid_argument on malformed tokens.
+std::vector<ChurnEvent> parse_churn_spec(const std::string& spec,
+                                         std::size_t fleet_size);
+
+}  // namespace wefr::smartsim

@@ -200,11 +200,55 @@ const std::vector<DriveModelProfile>& standard_profiles() {
   return profiles;
 }
 
+const DriveModelProfile& hdd_profile() {
+  static const DriveModelProfile profile = [] {
+    DriveModelProfile p;
+    // Attribute set typical of enterprise HDD SMART: the mechanical
+    // reallocation chain plus environment/usage counters — none of the
+    // flash-wear attributes (MWI, EFC, PFC, ARS, PLP, TLW/TLR), which
+    // is what makes a pooled SSD+HDD fleet genuinely mixed-schema.
+    p.name = "HDD1";
+    p.flash = "HDD";
+    p.population_share = 0.0;  // not part of the paper's six-model fleet
+    p.target_afr = 1.40;
+    p.attributes = {Attr::RER, Attr::RSC, Attr::POH, Attr::PCC, Attr::UCE,
+                    Attr::CMDT, Attr::ET, Attr::AFT, Attr::REC, Attr::PSC,
+                    Attr::OCE, Attr::CEC};
+    p.signature_attrs = {Attr::RSC, Attr::PSC, Attr::REC};
+    p.unstable_attrs = {Attr::CMDT};
+    // Inert wear band: the latent wear process exists (it correlates
+    // POH) but never produces a change point or wear-out failures, and
+    // no MWI attribute ever reaches the emitted features.
+    p.mwi_start_lo = 97.0;
+    p.mwi_start_hi = 100.0;
+    p.wear_rate_lo = 0.0005;
+    p.wear_rate_hi = 0.002;
+    p.wear_change_point = 0.0;
+    return p;
+  }();
+  return profile;
+}
+
+const std::vector<DriveModelProfile>& all_profiles() {
+  static const std::vector<DriveModelProfile> profiles = [] {
+    std::vector<DriveModelProfile> out = standard_profiles();
+    out.push_back(hdd_profile());
+    return out;
+  }();
+  return profiles;
+}
+
 const DriveModelProfile& profile_by_name(const std::string& name) {
-  for (const auto& p : standard_profiles()) {
+  for (const auto& p : all_profiles()) {
     if (p.name == name) return p;
   }
-  throw std::out_of_range("profile_by_name: unknown drive model " + name);
+  std::string available;
+  for (const auto& p : all_profiles()) {
+    if (!available.empty()) available += ", ";
+    available += p.name;
+  }
+  throw std::out_of_range("profile_by_name: unknown drive model '" + name +
+                          "' (available: " + available + ")");
 }
 
 }  // namespace wefr::smartsim

@@ -103,7 +103,20 @@ struct DriveModelProfile {
 /// MC2) with planted ground truth chosen to reproduce Tables I-V.
 const std::vector<DriveModelProfile>& standard_profiles();
 
-/// Profile lookup by name; throws std::out_of_range on unknown names.
+/// An HDD-like profile ("HDD1") for heterogeneous-fleet scenarios, after
+/// "The Life and Death of SSDs and HDDs": no flash-wear attributes at
+/// all (no MWI/EFC/PFC/ARS/PLP/volume counters), failures driven by the
+/// mechanical reallocation chain (RSC/PSC/REC), and no wear-out change
+/// point. Pooling it with SSD models forces schema reconciliation and
+/// exercises every "selected feature missing on this model" degradation
+/// path downstream.
+const DriveModelProfile& hdd_profile();
+
+/// Every known profile: the six standard SSD models plus HDD1.
+const std::vector<DriveModelProfile>& all_profiles();
+
+/// Profile lookup by name over all_profiles(); throws std::out_of_range
+/// naming the unknown model and listing every available profile name.
 const DriveModelProfile& profile_by_name(const std::string& name);
 
 }  // namespace wefr::smartsim

@@ -300,6 +300,45 @@ TEST(Cache, DistinctSourcesDoNotCollide) {
   std::remove(other_csv.c_str());
 }
 
+TEST(Cache, ExpectedFeatureMismatchInvalidatesWithNewReason) {
+  // Mixed-fleet loaders state the feature layout they need via
+  // ReadOptions::expected_features; a snapshot written under a
+  // different layout (e.g. before the fleet mix changed) must be
+  // invalidated, never silently served.
+  Env env("schema_mix");
+  CacheOptions cache;
+  cache.dir = env.dir;
+
+  ReadOptions opt = recover();
+  IngestReport rep;
+  CacheOutcome outcome = CacheOutcome::kDisabled;
+  load_fleet_csv_cached(env.csv, "M", opt, cache, &rep, nullptr, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::kMiss);
+
+  // Stating the layout the snapshot actually has still hits.
+  opt.expected_features = {"f0", "f1"};
+  rep = IngestReport{};
+  load_fleet_csv_cached(env.csv, "M", opt, cache, &rep, nullptr, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::kHit);
+
+  // A different layout — the mix changed — must miss with the
+  // dedicated invalidation reason.
+  opt.expected_features = {"f0", "f1", "f2"};
+  std::string why;
+  bool existed = false;
+  FleetData fleet;
+  IngestReport probe;
+  EXPECT_FALSE(read_fleet_cache(snapshot_path(env), env.csv, "M", opt, fleet, probe,
+                                &why, &existed));
+  EXPECT_TRUE(existed);
+  EXPECT_EQ(why, "feature schema mismatch");
+
+  rep = IngestReport{};
+  load_fleet_csv_cached(env.csv, "M", opt, cache, &rep, nullptr, &outcome);
+  EXPECT_EQ(outcome, CacheOutcome::kInvalidated);
+  EXPECT_EQ(rep.cache_invalidations, 1u);
+}
+
 TEST(Cache, EmptyDirDisablesCaching) {
   Env env("disabled");
   CacheOptions cache;  // dir empty

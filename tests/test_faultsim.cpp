@@ -175,6 +175,64 @@ TEST(FaultSim, ParsePlanMixExpandsAllKinds) {
   EXPECT_NEAR(total, 0.12, 1e-12);
 }
 
+TEST(FaultSim, MissingColumnDropsTrailingFieldsFromOneDriveOn) {
+  // The mixed-schema fault: once a drive rolls it, every later row of
+  // that drive loses 1-3 trailing feature fields while the header keeps
+  // the full column list — a per-model schema gap inside one CSV.
+  const std::string csv = small_fleet_csv();
+  FaultLog log;
+  const std::string bad =
+      corrupt_csv(csv, one_fault(FaultKind::kMissingColumn, 0.05), &log);
+  ASSERT_GT(log.applied_to(FaultKind::kMissingColumn), 0u);
+  EXPECT_TRUE(log.strict_rejectable());
+
+  // The header survives with every column.
+  EXPECT_EQ(bad.substr(0, bad.find('\n')), csv.substr(0, csv.find('\n')));
+
+  // Default strict: short rows are structural corruption.
+  std::istringstream strict_is(bad);
+  EXPECT_THROW(data::read_fleet_csv(strict_is, "M"), std::runtime_error);
+
+  // Recover: short rows quarantined as wrong_field_count, the rest of
+  // the fleet survives.
+  data::ReadOptions opt;
+  opt.policy = data::ParsePolicy::kRecover;
+  data::IngestReport rep;
+  std::istringstream recover_is(bad);
+  const data::FleetData recovered = data::read_fleet_csv(recover_is, "M", opt, &rep);
+  EXPECT_GT(rep.errors(data::RowError::kWrongFieldCount), 0u);
+  EXPECT_FALSE(recovered.drives.empty());
+
+  // Skip-drive: the affected drives are shed whole.
+  opt.policy = data::ParsePolicy::kSkipDrive;
+  data::IngestReport skip_rep;
+  std::istringstream skip_is(bad);
+  data::read_fleet_csv(skip_is, "M", opt, &skip_rep);
+  EXPECT_GT(skip_rep.drives_quarantined, 0u);
+}
+
+TEST(FaultSim, MissingColumnLegitimizedByPadOption) {
+  // pad_missing_columns turns the same bytes into a schema statement:
+  // even strict accepts them, with the short tails NaN-padded.
+  const std::string csv = small_fleet_csv();
+  FaultLog log;
+  const std::string bad =
+      corrupt_csv(csv, one_fault(FaultKind::kMissingColumn, 0.05), &log);
+  ASSERT_GT(log.applied_to(FaultKind::kMissingColumn), 0u);
+
+  data::ReadOptions opt;
+  opt.policy = data::ParsePolicy::kStrict;
+  opt.pad_missing_columns = true;
+  data::IngestReport rep;
+  std::istringstream is(bad);
+  data::FleetData fleet;
+  ASSERT_NO_THROW(fleet = data::read_fleet_csv(is, "M", opt, &rep));
+  EXPECT_GT(rep.rows_padded, 0u);
+  EXPECT_GT(rep.cells_padded, 0u);
+  EXPECT_EQ(rep.rows_quarantined, 0u);
+  EXPECT_FALSE(fleet.drives.empty());
+}
+
 TEST(FaultSim, ParsePlanRejectsGarbage) {
   EXPECT_THROW(parse_fault_plan("gremlins:0.1"), std::invalid_argument);
   EXPECT_THROW(parse_fault_plan("nan_burst"), std::invalid_argument);

@@ -1,0 +1,264 @@
+// Heterogeneous-fleet generator suite: share apportionment,
+// determinism in the spec seed, churn semantics (retirement truncates
+// and censors, additions plant drifted cohorts), degenerate-spec
+// degradation (tags, never throws), and the mix/churn spec parsers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "smartsim/mixed_fleet.h"
+
+namespace wefr::smartsim {
+namespace {
+
+MixedFleetSpec base_spec() {
+  MixedFleetSpec spec;
+  spec.shares = {{"MC1", 0.5}, {"MA1", 0.5}};
+  spec.sim.num_drives = 120;
+  spec.sim.num_days = 160;
+  spec.sim.seed = 99;
+  spec.sim.afr_scale = 10.0;
+  return spec;
+}
+
+bool has_tag_prefix(const MixedFleetResult& res, const std::string& prefix) {
+  for (const auto& d : res.diagnostics) {
+    if (d.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+void expect_same_fleet(const data::FleetData& a, const data::FleetData& b) {
+  ASSERT_EQ(a.drives.size(), b.drives.size());
+  EXPECT_EQ(a.feature_names, b.feature_names);
+  for (std::size_t i = 0; i < a.drives.size(); ++i) {
+    EXPECT_EQ(a.drives[i].drive_id, b.drives[i].drive_id);
+    EXPECT_EQ(a.drives[i].first_day, b.drives[i].first_day);
+    EXPECT_EQ(a.drives[i].fail_day, b.drives[i].fail_day);
+    const auto ra = a.drives[i].values.raw();
+    const auto rb = b.drives[i].values.raw();
+    ASSERT_EQ(ra.size(), rb.size());
+    EXPECT_EQ(std::memcmp(ra.data(), rb.data(), ra.size() * sizeof(double)), 0)
+        << "drive " << i << " diverged bitwise";
+  }
+}
+
+TEST(MixedFleet, SharesApportionByLargestRemainder) {
+  MixedFleetSpec spec = base_spec();
+  spec.shares = {{"MC1", 0.5}, {"MA1", 0.3}, {"MB1", 0.2}};
+  spec.sim.num_drives = 100;
+  const auto res = generate_mixed_fleet(spec);
+  EXPECT_FALSE(res.degraded());
+  ASSERT_EQ(res.fleet.drives.size(), 100u);
+  ASSERT_EQ(res.drive_model.size(), 100u);
+  std::size_t mc1 = 0, ma1 = 0, mb1 = 0;
+  for (const auto& m : res.drive_model) {
+    mc1 += m == "MC1";
+    ma1 += m == "MA1";
+    mb1 += m == "MB1";
+  }
+  EXPECT_EQ(mc1, 50u);
+  EXPECT_EQ(ma1, 30u);
+  EXPECT_EQ(mb1, 20u);
+  EXPECT_EQ(res.fleet.model_name, "mixed(MC1+MA1+MB1)");
+}
+
+TEST(MixedFleet, SharesNormalizeAndRoundDeterministically) {
+  // Shares that don't sum to 1 and don't divide evenly: every drive is
+  // still assigned and the split is stable across runs.
+  MixedFleetSpec spec = base_spec();
+  spec.shares = {{"MC1", 2.0}, {"MA1", 1.0}};
+  spec.sim.num_drives = 101;
+  const auto a = generate_mixed_fleet(spec);
+  const auto b = generate_mixed_fleet(spec);
+  ASSERT_EQ(a.fleet.drives.size(), 101u);
+  expect_same_fleet(a.fleet, b.fleet);
+  EXPECT_EQ(a.drive_model, b.drive_model);
+}
+
+TEST(MixedFleet, DeterministicInSeedAndSensitiveToIt) {
+  MixedFleetSpec spec = base_spec();
+  spec.churn = {{100, ChurnKind::kReplace, 0.3, 0, "MA1", 2.0, 0.0}};
+  const auto a = generate_mixed_fleet(spec);
+  const auto b = generate_mixed_fleet(spec);
+  expect_same_fleet(a.fleet, b.fleet);
+  EXPECT_EQ(a.drives_retired, b.drives_retired);
+  EXPECT_EQ(a.drives_added, b.drives_added);
+
+  spec.sim.seed = 100;
+  const auto c = generate_mixed_fleet(spec);
+  bool diverged = c.fleet.drives.size() != a.fleet.drives.size();
+  for (std::size_t i = 0; !diverged && i < a.fleet.drives.size(); ++i) {
+    const auto ra = a.fleet.drives[i].values.raw();
+    const auto rc = c.fleet.drives[i].values.raw();
+    diverged = ra.size() != rc.size() ||
+               std::memcmp(ra.data(), rc.data(), ra.size() * sizeof(double)) != 0;
+  }
+  EXPECT_TRUE(diverged) << "seed change did not move the fleet";
+}
+
+TEST(MixedFleet, UnionSchemaCoversEveryShare) {
+  MixedFleetSpec spec = base_spec();
+  spec.shares = {{"MC1", 0.6}, {"HDD1", 0.4}};
+  const auto res = generate_mixed_fleet(spec);
+  EXPECT_EQ(res.schema.sources, 2u);
+  EXPECT_GT(res.schema.cells_nan_filled, 0u);
+  EXPECT_FALSE(res.schema.nan_filled.empty());
+  // The HDD share lacks the NAND-wear columns: its drives carry NaN
+  // there while SSD drives carry values.
+  const int mwi = res.fleet.feature_index("MWI_N");
+  ASSERT_GE(mwi, 0);
+  bool hdd_nan = false, ssd_value = false;
+  for (std::size_t i = 0; i < res.fleet.drives.size(); ++i) {
+    const double v = res.fleet.drives[i].values(0, static_cast<std::size_t>(mwi));
+    if (res.drive_model[i] == "HDD1") hdd_nan = hdd_nan || std::isnan(v);
+    if (res.drive_model[i] == "MC1") ssd_value = ssd_value || !std::isnan(v);
+  }
+  EXPECT_TRUE(hdd_nan);
+  EXPECT_TRUE(ssd_value);
+}
+
+TEST(MixedFleet, RetireTruncatesAndCensors) {
+  MixedFleetSpec spec = base_spec();
+  const int churn_day = 100;
+  spec.churn = {{churn_day, ChurnKind::kRetire, 0.4, 0, "", 1.0, 0.0}};
+  const auto res = generate_mixed_fleet(spec);
+
+  EXPECT_GT(res.drives_retired, 0u);
+  EXPECT_EQ(res.drives_added, 0u);
+  EXPECT_EQ(res.churn_days, std::vector<int>{churn_day});
+  EXPECT_TRUE(res.drift_days.empty());
+
+  // Retired drives are truncated at the churn day AND censored: only
+  // drives still active then were eligible, and any fail_day past the
+  // cut is forgotten. (A drive that naturally failed ON the churn day
+  // also ends at churn_day - 1 — observation stops at fail_day - 1 —
+  // but it keeps its fail_day, which tells the two apart.)
+  std::size_t truncated = 0;
+  for (const auto& d : res.fleet.drives) {
+    if (d.first_day == 0 && d.last_day() == churn_day - 1 && !d.failed()) ++truncated;
+    // Nobody's series extends past the window.
+    EXPECT_LT(d.last_day(), spec.sim.num_days);
+  }
+  EXPECT_EQ(truncated, res.drives_retired);
+}
+
+TEST(MixedFleet, ReplacePlantsDriftedCohort) {
+  MixedFleetSpec spec = base_spec();
+  const int churn_day = 100;
+  spec.churn = {{churn_day, ChurnKind::kReplace, 0.5, 0, "MC2", 2.5, 10.0}};
+  const auto res = generate_mixed_fleet(spec);
+
+  EXPECT_GT(res.drives_retired, 0u);
+  EXPECT_EQ(res.drives_added, res.drives_retired);  // replace: one for one
+  EXPECT_EQ(res.drift_days, std::vector<int>{churn_day});
+
+  // The cohort: id-tagged, observed from the churn day on, model
+  // outside the original mix joining the pool.
+  std::size_t cohort = 0;
+  bool cohort_model_seen = false;
+  for (std::size_t i = 0; i < res.fleet.drives.size(); ++i) {
+    const auto& d = res.fleet.drives[i];
+    if (d.drive_id.find("_c0_") == std::string::npos) continue;
+    ++cohort;
+    EXPECT_EQ(d.first_day, churn_day);
+    EXPECT_LT(d.last_day(), spec.sim.num_days);
+    if (d.failed()) EXPECT_GT(d.fail_day, churn_day);
+    cohort_model_seen = cohort_model_seen || res.drive_model[i] == "MC2";
+  }
+  EXPECT_EQ(cohort, res.drives_added);
+  EXPECT_TRUE(cohort_model_seen);
+}
+
+TEST(MixedFleet, DegenerateSpecsDegradeWithoutThrowing) {
+  // Entirely empty mix.
+  MixedFleetSpec spec;
+  spec.sim.num_drives = 10;
+  spec.sim.num_days = 60;
+  auto res = generate_mixed_fleet(spec);
+  EXPECT_TRUE(res.fleet.drives.empty());
+  EXPECT_TRUE(has_tag_prefix(res, "empty_mix"));
+
+  // Unknown model and a zero share: both tagged, the rest generated.
+  spec = base_spec();
+  spec.shares = {{"MC1", 1.0}, {"NOPE", 0.5}, {"MA1", 0.0}};
+  res = generate_mixed_fleet(spec);
+  EXPECT_TRUE(has_tag_prefix(res, "unknown_model:NOPE"));
+  EXPECT_TRUE(has_tag_prefix(res, "empty_share:MA1"));
+  EXPECT_EQ(res.fleet.drives.size(), 120u);
+
+  // Retiring everything leaves a valid all-censored fleet.
+  spec = base_spec();
+  spec.churn = {{100, ChurnKind::kRetire, 1.0, 0, "", 1.0, 0.0}};
+  res = generate_mixed_fleet(spec);
+  EXPECT_TRUE(has_tag_prefix(res, "all_churned"));
+  for (const auto& d : res.fleet.drives) EXPECT_LE(d.last_day(), 100);
+
+  // An addition too close to the window end is skipped, not planted.
+  spec = base_spec();
+  spec.churn = {{spec.sim.num_days - 2, ChurnKind::kAdd, 0.0, 10, "", 1.0, 0.0}};
+  res = generate_mixed_fleet(spec);
+  EXPECT_TRUE(has_tag_prefix(res, "late_add_skipped@"));
+  EXPECT_EQ(res.drives_added, 0u);
+
+  // An event outside the window is skipped with a tag.
+  spec = base_spec();
+  spec.churn = {{spec.sim.num_days + 50, ChurnKind::kRetire, 0.5, 0, "", 1.0, 0.0}};
+  res = generate_mixed_fleet(spec);
+  EXPECT_TRUE(has_tag_prefix(res, "event_out_of_window@"));
+  EXPECT_EQ(res.drives_retired, 0u);
+}
+
+TEST(MixedFleet, ChurnEventsApplyInDayOrder) {
+  MixedFleetSpec spec = base_spec();
+  // Deliberately unsorted schedule; churn_days must come out ordered.
+  spec.churn = {{120, ChurnKind::kAdd, 0.0, 10, "MC1", 1.0, 0.0},
+                {80, ChurnKind::kRetire, 0.2, 0, "", 1.0, 0.0}};
+  const auto res = generate_mixed_fleet(spec);
+  ASSERT_EQ(res.churn_days.size(), 2u);
+  EXPECT_EQ(res.churn_days[0], 80);
+  EXPECT_EQ(res.churn_days[1], 120);
+  EXPECT_GT(res.drives_retired, 0u);
+  EXPECT_EQ(res.drives_added, 10u);
+}
+
+TEST(ParseMixSpec, ParsesSharesAndRejectsGarbage) {
+  const auto shares = parse_mix_spec("MC1:0.5,HDD1:0.3,MA2:0.2");
+  ASSERT_EQ(shares.size(), 3u);
+  EXPECT_EQ(shares[0].model, "MC1");
+  EXPECT_DOUBLE_EQ(shares[0].share, 0.5);
+  EXPECT_EQ(shares[1].model, "HDD1");
+  EXPECT_EQ(shares[2].model, "MA2");
+
+  EXPECT_THROW(parse_mix_spec("MC1"), std::invalid_argument);
+  EXPECT_THROW(parse_mix_spec("MC1:abc"), std::invalid_argument);
+  EXPECT_THROW(parse_mix_spec(":0.5"), std::invalid_argument);
+}
+
+TEST(ParseChurnSpec, ParsesEventsAndRejectsGarbage) {
+  const auto events =
+      parse_churn_spec("replace@120:0.3:MC2:2.0,add@180:0.1,retire@60:0.5", 200);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, ChurnKind::kReplace);
+  EXPECT_EQ(events[0].day, 120);
+  EXPECT_DOUBLE_EQ(events[0].retire_fraction, 0.3);
+  EXPECT_EQ(events[0].add_model, "MC2");
+  EXPECT_DOUBLE_EQ(events[0].wear_rate_mult, 2.0);
+  EXPECT_EQ(events[1].kind, ChurnKind::kAdd);
+  // kAdd: the fraction scales the fleet size into a cohort count.
+  EXPECT_EQ(events[1].add_count, 20u);
+  EXPECT_EQ(events[2].kind, ChurnKind::kRetire);
+
+  EXPECT_THROW(parse_churn_spec("replace@120", 200), std::invalid_argument);
+  EXPECT_THROW(parse_churn_spec("explode@120:0.3", 200), std::invalid_argument);
+  EXPECT_THROW(parse_churn_spec("replace:120:0.3", 200), std::invalid_argument);
+  EXPECT_TRUE(parse_churn_spec("", 200).empty());
+}
+
+}  // namespace
+}  // namespace wefr::smartsim

@@ -3,7 +3,9 @@
 #include <set>
 
 #include "core/monitor.h"
+#include "data/preprocess.h"
 #include "smartsim/generator.h"
+#include "smartsim/mixed_fleet.h"
 
 namespace wefr::core {
 namespace {
@@ -139,6 +141,96 @@ TEST(FleetMonitor, AdvanceClampsToWindow) {
   FleetMonitor monitor(monitor_fleet(), light_monitor());
   monitor.advance_to(100000);
   EXPECT_EQ(monitor.current_day(), monitor_fleet().num_days);
+}
+
+// ---------------------------------------------------------------------------
+// Online drift watch: BOCPD over the day-over-day delta of the active
+// fleet's mean MWI_N, pulling the next re-check to the day after a
+// detected population change.
+
+constexpr int kChurnDay = 146;
+
+/// The heterogeneous scenario the drift watch exists for: half the
+/// fleet replaced mid-window by a hot-wear cohort.
+data::FleetData churned_fleet(bool with_churn) {
+  smartsim::MixedFleetSpec spec;
+  spec.shares = smartsim::parse_mix_spec("MC1:0.6,MA2:0.4");
+  spec.sim.num_drives = 400;
+  spec.sim.num_days = 220;
+  spec.sim.seed = 11;
+  spec.sim.afr_scale = 11.0;
+  if (with_churn) {
+    spec.churn = smartsim::parse_churn_spec("replace@146:0.5:MC1:3.0", 400);
+  }
+  auto res = smartsim::generate_mixed_fleet(spec);
+  data::forward_fill(res.fleet, 0.0);
+  return std::move(res.fleet);
+}
+
+MonitorOptions drift_monitor() {
+  MonitorOptions opt = light_monitor();
+  opt.warmup_days = 120;
+  opt.check_interval_days = 28;  // slow cadence the watch must beat
+  opt.retrain_every_check = false;
+  opt.online_drift_check = true;
+  return opt;
+}
+
+TEST(FleetMonitor, DriftWatchTracksPlantedChurnWithBoundedLag) {
+  static const data::FleetData fleet = churned_fleet(true);
+  FleetMonitor monitor(fleet, drift_monitor());
+  monitor.run_to_end();
+
+  const auto& detections = monitor.drift_detections();
+  ASSERT_FALSE(detections.empty());
+  // Every detection tracks the planted change point with bounded lag —
+  // no spurious alarms before it (the burn-in guard holds the first
+  // post-warmup deltas back) and none long after.
+  for (const auto& det : detections) {
+    EXPECT_GE(det.day, kChurnDay);
+    EXPECT_LE(det.day, kChurnDay + 10);
+    EXPECT_GE(det.probability, drift_monitor().drift_probability_threshold);
+  }
+
+  // The detection pulled the next re-check off the 28-day cadence to
+  // the day right after, and the update is tagged as drift-triggered.
+  bool triggered = false;
+  for (const auto& up : monitor.updates()) {
+    if (!up.drift_triggered) continue;
+    triggered = true;
+    EXPECT_EQ(up.day, detections.front().day + 1);
+    EXPECT_GE(up.change_probability, drift_monitor().drift_probability_threshold);
+  }
+  EXPECT_TRUE(triggered);
+}
+
+TEST(FleetMonitor, DriftWatchQuietWithoutChurn) {
+  static const data::FleetData fleet = churned_fleet(false);
+  MonitorOptions opt = drift_monitor();
+  opt.check_interval_days = 45;  // fewer re-checks; the watch runs every day
+  FleetMonitor monitor(fleet, opt);
+  monitor.run_to_end();
+  EXPECT_TRUE(monitor.drift_detections().empty());
+  for (const auto& up : monitor.updates()) EXPECT_FALSE(up.drift_triggered);
+}
+
+TEST(FleetMonitor, DriftWatchOffByDefault) {
+  static const data::FleetData fleet = churned_fleet(true);
+  MonitorOptions opt = drift_monitor();
+  opt.online_drift_check = false;
+  FleetMonitor monitor(fleet, opt);
+  monitor.run_to_end();
+  EXPECT_TRUE(monitor.drift_detections().empty());
+  // Checks stay on the plain cadence: warmup 120, interval 28 -> 120,
+  // 148, 176, 204.
+  for (std::size_t i = 0; i < monitor.updates().size(); ++i)
+    EXPECT_EQ(monitor.updates()[i].day, 120 + 28 * static_cast<int>(i));
+}
+
+TEST(FleetMonitor, RejectsBadDriftCooldown) {
+  MonitorOptions opt = drift_monitor();
+  opt.drift_cooldown_days = 0;
+  EXPECT_THROW(FleetMonitor(monitor_fleet(), opt), std::invalid_argument);
 }
 
 }  // namespace

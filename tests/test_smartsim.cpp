@@ -247,5 +247,27 @@ TEST(Generator, RejectsBadOptions) {
   EXPECT_THROW(generate_fleet(profile_by_name("MA1"), opt), std::invalid_argument);
 }
 
+TEST(Profiles, AllProfilesAddHddToStandardSix) {
+  const auto& all = all_profiles();
+  ASSERT_EQ(all.size(), standard_profiles().size() + 1);
+  EXPECT_EQ(all.back().name, "HDD1");
+  EXPECT_EQ(profile_by_name("HDD1").name, "HDD1");
+  // The HDD-like profile has no NAND wear indicator: that's what makes
+  // it schema-heterogeneous in a mixed pool.
+  EXPECT_FALSE(profile_by_name("HDD1").has_attr(Attr::MWI));
+}
+
+TEST(Profiles, UnknownModelErrorNamesItAndListsAvailable) {
+  try {
+    profile_by_name("XX9");
+    FAIL() << "unknown model did not throw";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("XX9"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("MA1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("HDD1"), std::string::npos) << msg;
+  }
+}
+
 }  // namespace
 }  // namespace wefr::smartsim

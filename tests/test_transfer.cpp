@@ -1,0 +1,188 @@
+// Cross-model ranking-transfer suite: Kendall agreement over the
+// shared feature namespace, source-selection mapping with
+// missing-on-target accounting, degraded-never-throws behavior on
+// disjoint schemas, and the churn-aware score_fleet diagnostic for
+// drives whose model lacks a selected feature column.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/transfer.h"
+#include "core/wefr.h"
+#include "data/schema.h"
+#include "smartsim/generator.h"
+#include "smartsim/profiles.h"
+
+namespace wefr::core {
+namespace {
+
+ExperimentConfig light_cfg() {
+  ExperimentConfig cfg;
+  cfg.forest.num_trees = 10;
+  cfg.forest.tree.max_depth = 8;
+  cfg.negative_keep_prob = 0.1;
+  return cfg;
+}
+
+data::FleetData small_fleet(const std::string& model, std::uint64_t seed) {
+  smartsim::SimOptions opt;
+  opt.num_drives = 220;
+  opt.num_days = 160;
+  opt.seed = seed;
+  opt.afr_scale = 25.0;
+  return generate_fleet(smartsim::profile_by_name(model), opt);
+}
+
+/// Selection + ranking for one fleet over its prefix window.
+WefrResult select_on(const data::FleetData& fleet, int train_end,
+                     const ExperimentConfig& cfg) {
+  const auto samples = build_selection_samples(fleet, 0, train_end, cfg);
+  return run_wefr(fleet, samples, train_end, WefrOptions{});
+}
+
+TEST(RankingTransfer, SameModelPairTransfersCleanly) {
+  const ExperimentConfig cfg = light_cfg();
+  const int train_end = 119;
+  const auto src = small_fleet("MC1", 21);
+  const auto tgt = small_fleet("MC1", 22);
+  const auto src_sel = select_on(src, train_end, cfg);
+  const auto tgt_sel = select_on(tgt, train_end, cfg);
+
+  PipelineDiagnostics diag;
+  const auto res =
+      evaluate_ranking_transfer(src, src_sel, tgt, tgt_sel, train_end, cfg, &diag);
+
+  EXPECT_EQ(res.source_model, "MC1");
+  EXPECT_EQ(res.target_model, "MC1");
+  // Identical schemas: everything shared, nothing missing.
+  EXPECT_EQ(res.shared_features.size(), src.num_features());
+  EXPECT_EQ(res.missing_on_target, 0u);
+  EXPECT_EQ(res.transferred_features, src_sel.all.selected_names.size());
+  EXPECT_FALSE(res.degraded);
+  ASSERT_FALSE(std::isnan(res.kendall_distance));
+  EXPECT_GE(res.kendall_distance, 0.0);
+  EXPECT_LE(res.kendall_distance, 1.0);
+  // Both AUC legs evaluated on real test days.
+  EXPECT_FALSE(std::isnan(res.auc_native));
+  EXPECT_FALSE(std::isnan(res.auc_transferred));
+  EXPECT_NEAR(res.auc_delta, res.auc_native - res.auc_transferred, 1e-12);
+}
+
+TEST(RankingTransfer, CrossModelCountsMissingFeatures) {
+  // MC1 -> HDD1: the SSD selection includes NAND-wear columns the
+  // HDD-like schema doesn't have; they must be counted and tagged, and
+  // the transfer evaluated over what survives.
+  const ExperimentConfig cfg = light_cfg();
+  const int train_end = 119;
+  const auto src = small_fleet("MC1", 31);
+  const auto tgt = small_fleet("HDD1", 32);
+  const auto src_sel = select_on(src, train_end, cfg);
+  const auto tgt_sel = select_on(tgt, train_end, cfg);
+
+  // Only meaningful when the source selection picked a column the
+  // target lacks; MWI features dominate MC1 selections, so it does.
+  bool src_selected_missing = false;
+  for (const auto& name : src_sel.all.selected_names)
+    src_selected_missing = src_selected_missing || tgt.feature_index(name) < 0;
+  ASSERT_TRUE(src_selected_missing)
+      << "MC1 selection unexpectedly fit inside the HDD1 schema";
+
+  PipelineDiagnostics diag;
+  const auto res =
+      evaluate_ranking_transfer(src, src_sel, tgt, tgt_sel, train_end, cfg, &diag);
+
+  EXPECT_GT(res.missing_on_target, 0u);
+  EXPECT_TRUE(diag.has("features_missing_on_target"));
+  EXPECT_EQ(res.transferred_features + res.missing_on_target,
+            src_sel.all.selected_names.size());
+  // The shared namespace (POH, RSC, ...) still yields a Kendall score.
+  EXPECT_GE(res.shared_features.size(), 2u);
+  EXPECT_FALSE(std::isnan(res.kendall_distance));
+}
+
+TEST(RankingTransfer, DisjointSchemasDegradeWithoutThrowing) {
+  const ExperimentConfig cfg = light_cfg();
+  const auto src = small_fleet("MC1", 41);
+  auto tgt = small_fleet("MC1", 42);
+  // Rename every target column out of the shared namespace.
+  for (auto& name : tgt.feature_names) name = "ALIEN_" + name;
+
+  const int train_end = 119;
+  const auto src_sel = select_on(src, train_end, cfg);
+  const auto tgt_sel = select_on(tgt, train_end, cfg);
+
+  PipelineDiagnostics diag;
+  RankingTransferResult res;
+  ASSERT_NO_THROW(res = evaluate_ranking_transfer(src, src_sel, tgt, tgt_sel,
+                                                  train_end, cfg, &diag));
+  EXPECT_TRUE(res.degraded);
+  EXPECT_TRUE(res.shared_features.empty());
+  EXPECT_TRUE(std::isnan(res.kendall_distance));
+  EXPECT_EQ(res.transferred_features, 0u);
+  EXPECT_EQ(res.missing_on_target, src_sel.all.selected_names.size());
+  EXPECT_TRUE(diag.has("too_few_shared"));
+  EXPECT_TRUE(diag.has("no_transferable_features"));
+  EXPECT_TRUE(std::isnan(res.auc_native));
+}
+
+TEST(RankingTransfer, EmptySelectionsDegradeWithoutThrowing) {
+  const ExperimentConfig cfg = light_cfg();
+  const auto src = small_fleet("MC1", 51);
+  WefrResult empty_sel;  // no ranking, no selection at all
+
+  PipelineDiagnostics diag;
+  RankingTransferResult res;
+  ASSERT_NO_THROW(res = evaluate_ranking_transfer(src, empty_sel, src, empty_sel, 119,
+                                                  cfg, &diag));
+  EXPECT_TRUE(res.degraded);
+  EXPECT_EQ(res.transferred_features, 0u);
+  EXPECT_TRUE(std::isnan(res.kendall_distance));
+}
+
+TEST(ScoreFleet, TagsDrivesMissingSelectedFeatures) {
+  // Churn-aware degradation: pool an SSD fleet with an HDD-like fleet
+  // WITHOUT zero-filling, so HDD drives carry all-NaN columns for the
+  // NAND features the predictor selects. Scoring must complete for
+  // every drive and tag the gap instead of throwing.
+  const ExperimentConfig cfg = light_cfg();
+  const auto ssd = small_fleet("MC1", 61);
+  smartsim::SimOptions hopt;
+  hopt.num_drives = 40;
+  hopt.num_days = 160;
+  hopt.seed = 62;
+  hopt.afr_scale = 25.0;
+  const auto hdd = generate_fleet(smartsim::profile_by_name("HDD1"), hopt);
+
+  const auto pooled = data::reconcile_fleets({ssd, hdd}, data::SchemaPolicy::kUnion);
+
+  const int train_end = 119;
+  const auto samples = build_selection_samples(pooled, 0, train_end, cfg);
+  const auto sel = run_wefr(pooled, samples, train_end, WefrOptions{});
+  // The scenario needs a selected feature the HDD schema lacks.
+  bool selected_nand = false;
+  for (const auto& name : sel.all.selected_names)
+    selected_nand = selected_nand || hdd.feature_index(name) < 0;
+  if (!selected_nand) GTEST_SKIP() << "selection fit inside the HDD schema";
+
+  const auto pred = train_predictor(pooled, sel, 0, train_end, cfg);
+  PipelineDiagnostics diag;
+  std::vector<DriveDayScores> scores;
+  ASSERT_NO_THROW(scores = score_fleet(pooled, pred, train_end + 1,
+                                       pooled.num_days - 1, cfg, &diag));
+  EXPECT_FALSE(scores.empty());
+  EXPECT_GT(diag.score_drives_missing_features, 0u);
+  EXPECT_TRUE(diag.has("drives_missing_features"));
+  // Every scored value is still a probability.
+  for (const auto& ds : scores) {
+    for (double s : ds.scores) {
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wefr::core

@@ -6,10 +6,15 @@
 // The CSV is the long format read back by wefr_select / read_fleet_csv:
 //   drive_id,day,failed,fail_day,<feature...>
 //
+// --mix replaces the single-model fleet with a heterogeneous pool
+// ("MC1:0.5,MA1:0.3,HDD1:0.2"): one sub-fleet per share, schemas
+// reconciled into one union namespace. --churn layers a population
+// schedule on top ("replace@120:0.3:MC2:2.0" — see parse_churn_spec).
+//
 // --faults injects seeded corruption into the emitted CSV (testing the
 // tolerant ingestion path): a comma-separated name:rate list over
-// truncate, nan_burst, stuck, duplicate, out_of_order, bitflip, or
-// "mix:R" for a blend of all six.
+// truncate, nan_burst, stuck, duplicate, out_of_order, bitflip,
+// missing_column, or "mix:R" for a blend of all seven.
 //
 // --cache-dir warms the binary columnar fleet cache right after the
 // CSV is written (uncorrupted output only): the snapshot is parsed
@@ -34,6 +39,7 @@
 #include "obs/trace.h"
 #include "smartsim/faultsim.h"
 #include "smartsim/generator.h"
+#include "smartsim/mixed_fleet.h"
 #include "util/strings.h"
 
 using namespace wefr;
@@ -44,13 +50,18 @@ void usage() {
   std::fprintf(stderr,
                "usage: wefr_simulate [--model NAME] [--drives N] [--days N]\n"
                "                     [--seed N] [--afr-scale X] [--out FILE]\n"
+               "                     [--mix SPEC] [--churn SPEC]\n"
                "                     [--faults SPEC] [--fault-seed N]\n"
                "                     [--cache-dir DIR]\n"
                "                     [--trace-out FILE] [--metrics-out FILE]\n"
                "                     [--report-out FILE]\n"
-               "models: MA1 MA2 MB1 MB2 MC1 MC2 (default MC1)\n"
+               "models: MA1 MA2 MB1 MB2 MC1 MC2 HDD1 (default MC1)\n"
+               "mix spec: MODEL:SHARE[,MODEL:SHARE...], e.g. MC1:0.6,HDD1:0.4\n"
+               "churn spec: kind@day:fraction[:model[:wear_mult]] with kind\n"
+               "            in retire/add/replace, e.g. replace@120:0.3:MC2:2.0\n"
                "fault spec: name:rate[,name:rate...] over truncate nan_burst\n"
-               "            stuck duplicate out_of_order bitflip, or mix:R\n");
+               "            stuck duplicate out_of_order bitflip missing_column,\n"
+               "            or mix:R\n");
 }
 
 bool wants_prometheus(const std::string& path) {
@@ -62,6 +73,7 @@ bool wants_prometheus(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::string model = "MC1";
+  std::string mix_spec, churn_spec;
   std::string out_path;
   std::string fault_spec;
   std::string cache_dir;
@@ -95,6 +107,10 @@ int main(int argc, char** argv) {
       opt.afr_scale = v;
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--mix") {
+      mix_spec = next();
+    } else if (arg == "--churn") {
+      churn_spec = next();
     } else if (arg == "--faults") {
       fault_spec = next();
     } else if (arg == "--fault-seed" && util::parse_int_as(next(), fault_seed)) {
@@ -128,9 +144,28 @@ int main(int argc, char** argv) {
     obs::Span root(obs, "wefr_simulate");
 
     data::FleetData fleet;
-    {
+    if (mix_spec.empty()) {
+      if (!churn_spec.empty()) {
+        std::fprintf(stderr, "--churn requires --mix\n");
+        return 2;
+      }
       obs::Span gen_span(obs, "simulate:generate");
       fleet = generate_fleet(smartsim::profile_by_name(model), opt);
+    } else {
+      obs::Span gen_span(obs, "simulate:generate_mixed");
+      smartsim::MixedFleetSpec spec;
+      spec.shares = smartsim::parse_mix_spec(mix_spec);
+      spec.churn = smartsim::parse_churn_spec(churn_spec, opt.num_drives);
+      spec.sim = opt;
+      auto mixed = smartsim::generate_mixed_fleet(spec);
+      std::fprintf(stderr, "schema: %s\n", mixed.schema.summary().c_str());
+      for (const auto& d : mixed.diagnostics)
+        std::fprintf(stderr, "degraded: %s\n", d.c_str());
+      if (mixed.drives_retired + mixed.drives_added > 0)
+        std::fprintf(stderr, "churn: %zu drives retired, %zu added\n",
+                     mixed.drives_retired, mixed.drives_added);
+      fleet = std::move(mixed.fleet);
+      model = fleet.model_name;  // cache key below follows the pool name
     }
     std::fprintf(stderr, "generated %s: %zu drives, %zu failed, %d days, AFR %.2f%%\n",
                  fleet.model_name.c_str(), fleet.drives.size(), fleet.num_failed(),
