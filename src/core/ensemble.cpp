@@ -12,57 +12,34 @@
 
 namespace wefr::core {
 
-EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> rankers,
-                             const data::Matrix& x, std::span<const int> y,
-                             const EnsembleOptions& opt, PipelineDiagnostics* diag,
-                             const obs::Context* obs) {
-  obs::Span ensemble_span(obs, "ensemble");
-  if (rankers.empty()) throw std::invalid_argument("ensemble_rank: no rankers");
-  if (x.rows() != y.size()) throw std::invalid_argument("ensemble_rank: shape mismatch");
-
+RankerRawScores ensemble_score_rankers(std::span<const std::unique_ptr<FeatureRanker>> rankers,
+                                       const data::Matrix& x, std::span<const int> y,
+                                       const EnsembleOptions& opt, const obs::Context* obs,
+                                       std::uint64_t parent_span) {
   const std::size_t k = rankers.size();
   const std::size_t nf = x.cols();
-  const double neutral_rank = (static_cast<double>(nf) + 1.0) / 2.0;
 
-  EnsembleResult out;
-  out.ranker_names.resize(k);
-  out.rankings.resize(k);
-  out.scores.resize(k);
-  out.failed.assign(k, false);
+  RankerRawScores raw;
+  raw.names.resize(k);
+  raw.scores.resize(k);
+  raw.failed.assign(k, 0);
+  raw.failure_reasons.resize(k);
 
-  // Collected per ranker inside the (possibly parallel) loop and folded
-  // into the diagnostics afterwards, so `diag` is never touched
-  // concurrently.
-  std::vector<std::string> failure_reason(k);
-  std::vector<std::size_t> sanitized(k, 0);
-
-  // Ranker spans are parented on the ensemble span explicitly: in
+  // Ranker spans are parented on the caller's span explicitly: in
   // threaded mode the pool workers have no open-span stack of their
   // own, so implicit (thread-local) parentage would orphan them.
-  const std::uint64_t ensemble_id = ensemble_span.id();
   auto run_one = [&](std::size_t i) {
-    out.ranker_names[i] = rankers[i]->name();
-    obs::Span ranker_span(obs, ("ranker:" + out.ranker_names[i]).c_str(), ensemble_id);
+    raw.names[i] = rankers[i]->name();
+    obs::Span ranker_span(obs, ("ranker:" + raw.names[i]).c_str(), parent_span);
     try {
-      out.scores[i] = rankers[i]->score(x, y);
-      if (out.scores[i].size() != nf)
-        throw std::runtime_error("returned " + std::to_string(out.scores[i].size()) +
+      raw.scores[i] = rankers[i]->score(x, y);
+      if (raw.scores[i].size() != nf)
+        throw std::runtime_error("returned " + std::to_string(raw.scores[i].size()) +
                                  " scores for " + std::to_string(nf) + " features");
-      // Degenerate inputs can yield NaN/inf importances (zero-variance
-      // columns, vanishing denominators); zero them so the fractional
-      // ranking stays well ordered.
-      for (double& s : out.scores[i]) {
-        if (!std::isfinite(s)) {
-          s = 0.0;
-          ++sanitized[i];
-        }
-      }
-      out.rankings[i] = stats::ranking_from_scores(out.scores[i]);
     } catch (const std::exception& e) {
-      out.failed[i] = true;
-      failure_reason[i] = e.what();
-      out.scores[i].assign(nf, 0.0);
-      out.rankings[i].assign(nf, neutral_rank);
+      raw.failed[i] = 1;
+      raw.failure_reasons[i] = e.what();
+      raw.scores[i].assign(nf, 0.0);
     }
   };
   // Fan out only when the pool can actually win: on a single hardware
@@ -77,14 +54,51 @@ EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> ran
   } else {
     for (std::size_t i = 0; i < k; ++i) run_one(i);
   }
+  return raw;
+}
+
+EnsembleResult ensemble_rank_from_scores(RankerRawScores raw, std::size_t num_features,
+                                         const EnsembleOptions& opt,
+                                         PipelineDiagnostics* diag,
+                                         const obs::Context* obs) {
+  const std::size_t k = raw.names.size();
+  if (k == 0) throw std::invalid_argument("ensemble_rank_from_scores: no rankers");
+  if (raw.scores.size() != k || raw.failed.size() != k || raw.failure_reasons.size() != k)
+    throw std::invalid_argument("ensemble_rank_from_scores: ragged raw scores");
+
+  const std::size_t nf = num_features;
+  const double neutral_rank = (static_cast<double>(nf) + 1.0) / 2.0;
+
+  EnsembleResult out;
+  out.ranker_names = std::move(raw.names);
+  out.scores = std::move(raw.scores);
+  out.rankings.resize(k);
+  out.failed.assign(k, false);
 
   for (std::size_t i = 0; i < k; ++i) {
-    out.sanitized_scores += sanitized[i];
-    if (out.failed[i] && diag != nullptr) {
-      ++diag->rankers_failed;
-      diag->note("ensemble", "ranker_failed",
-                 out.ranker_names[i] + ": " + failure_reason[i]);
+    if (raw.failed[i] != 0) {
+      out.failed[i] = true;
+      out.scores[i].assign(nf, 0.0);
+      out.rankings[i].assign(nf, neutral_rank);
+      if (diag != nullptr) {
+        ++diag->rankers_failed;
+        diag->note("ensemble", "ranker_failed",
+                   out.ranker_names[i] + ": " + raw.failure_reasons[i]);
+      }
+      continue;
     }
+    if (out.scores[i].size() != nf)
+      throw std::invalid_argument("ensemble_rank_from_scores: score length mismatch");
+    // Degenerate inputs can yield NaN/inf importances (zero-variance
+    // columns, vanishing denominators); zero them so the fractional
+    // ranking stays well ordered.
+    for (double& s : out.scores[i]) {
+      if (!std::isfinite(s)) {
+        s = 0.0;
+        ++out.sanitized_scores;
+      }
+    }
+    out.rankings[i] = stats::ranking_from_scores(out.scores[i]);
   }
   if (out.sanitized_scores > 0 && diag != nullptr) {
     diag->scores_sanitized += out.sanitized_scores;
@@ -183,6 +197,19 @@ EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> ran
     obs::add_counter(obs, "wefr_rankers_discarded_total", discarded);
   }
   return out;
+}
+
+EnsembleResult ensemble_rank(std::span<const std::unique_ptr<FeatureRanker>> rankers,
+                             const data::Matrix& x, std::span<const int> y,
+                             const EnsembleOptions& opt, PipelineDiagnostics* diag,
+                             const obs::Context* obs) {
+  obs::Span ensemble_span(obs, "ensemble");
+  if (rankers.empty()) throw std::invalid_argument("ensemble_rank: no rankers");
+  if (x.rows() != y.size()) throw std::invalid_argument("ensemble_rank: shape mismatch");
+
+  RankerRawScores raw =
+      ensemble_score_rankers(rankers, x, y, opt, obs, ensemble_span.id());
+  return ensemble_rank_from_scores(std::move(raw), x.cols(), opt, diag, obs);
 }
 
 }  // namespace wefr::core

@@ -47,6 +47,8 @@ data::Dataset build_selection_samples(const data::FleetData& fleet, int day_lo, 
   opt.day_hi = day_hi;
   opt.negative_keep_prob = cfg.negative_keep_prob;
   opt.expand_windows = false;  // selection operates on the original features
+  opt.per_drive_rng = cfg.per_drive_sampling;
+  opt.per_drive_seed = cfg.seed ^ 0x5e1ec7104b15ULL;
   return data::build_samples(fleet, opt, &rng, obs);
 }
 
@@ -145,16 +147,28 @@ std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
                                         const WefrPredictor& predictor, int t0, int t1,
                                         const ExperimentConfig& cfg,
                                         PipelineDiagnostics* diag, const obs::Context* obs) {
+  std::vector<std::size_t> all(fleet.drives.size());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  return score_fleet(fleet, predictor, all, t0, t1, cfg, diag, obs);
+}
+
+std::vector<DriveDayScores> score_fleet(const data::FleetData& fleet,
+                                        const WefrPredictor& predictor,
+                                        std::span<const std::size_t> drives, int t0, int t1,
+                                        const ExperimentConfig& cfg,
+                                        PipelineDiagnostics* diag, const obs::Context* obs) {
   obs::Span span(obs, "score_fleet");
   if (t0 > t1) throw std::invalid_argument("score_fleet: t0 > t1");
 
   const bool routed = predictor.wear_threshold.has_value() && predictor.mwi_col >= 0;
 
-  // Collect drives with observations in [t0, t1] first so the parallel
-  // fan-out below writes each drive's scores into a fixed slot — output
-  // order (and every value) matches the sequential run.
+  // Collect candidate drives with observations in [t0, t1] first so the
+  // parallel fan-out below writes each drive's scores into a fixed slot
+  // — output order (and every value) matches the sequential run.
   std::vector<std::size_t> eligible;
-  for (std::size_t di = 0; di < fleet.drives.size(); ++di) {
+  for (std::size_t di : drives) {
+    if (di >= fleet.drives.size())
+      throw std::invalid_argument("score_fleet: drive index out of range");
     const auto& drive = fleet.drives[di];
     if (drive.num_days() == 0) continue;
     if (std::max(t0, drive.first_day) > std::min(t1, drive.last_day())) continue;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "data/mmap_file.h"
+#include "data/serialize.h"
 #include "obs/context.h"
 
 namespace wefr::data {
@@ -21,41 +22,6 @@ constexpr char kMagic[8] = {'W', 'E', 'F', 'R', 'F', 'C', '0', '1'};
 // the version check and reparse once.
 constexpr std::uint32_t kFormatVersion = 2;
 constexpr std::uint32_t kEndianSentinel = 0x01020304u;
-
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-std::uint64_t fnv1a(std::string_view s) {
-  return fnv1a(14695981039346656037ull, s.data(), s.size());
-}
-
-/// Trailing snapshot digest: FNV-1a folded over 8-byte words, tail
-/// bytes one at a time. Any flipped byte still changes the digest, but
-/// the word loop runs ~8x faster than the byte loop — the digest scans
-/// the entire multi-MB payload on every warm load, so it sits directly
-/// on the cache-hit hot path.
-std::uint64_t snapshot_digest(const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 14695981039346656037ull;
-  std::size_t i = 0;
-  for (; i + sizeof(std::uint64_t) <= n; i += sizeof(std::uint64_t)) {
-    std::uint64_t word;
-    std::memcpy(&word, p + i, sizeof(word));
-    h ^= word;
-    h *= 1099511628211ull;
-  }
-  for (; i < n; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 /// Hash of everything that changes the *meaning* of a parse without
 /// changing the source bytes. Thread count and chunk size are excluded
@@ -92,64 +58,12 @@ bool source_identity(const std::string& csv_path, std::uint64_t& size,
   return true;
 }
 
-// --- byte-buffer serialization -------------------------------------
-// Native-endianness memcpy of scalar fields; the endian sentinel in
-// the fixed header rejects foreign snapshots, and the trailing FNV-1a
-// checksum rejects any byte-level damage the field validation missed.
-
-class BufWriter {
- public:
-  template <typename T>
-  void scalar(T v) {
-    const auto* p = reinterpret_cast<const char*>(&v);
-    buf_.append(p, sizeof(T));
-  }
-  void bytes(const void* p, std::size_t n) {
-    buf_.append(static_cast<const char*>(p), n);
-  }
-  void str(std::string_view s) {
-    scalar(static_cast<std::uint32_t>(s.size()));
-    bytes(s.data(), s.size());
-  }
-  std::string& buf() { return buf_; }
-
- private:
-  std::string buf_;
-};
-
-/// Bounds-checked reader over the mapped snapshot: every read that
-/// would run past the end fails instead of faulting, so truncated or
-/// hostile files degrade to a clean invalidation.
-class BufReader {
- public:
-  explicit BufReader(std::string_view buf) : buf_(buf) {}
-
-  template <typename T>
-  bool scalar(T& out) {
-    if (buf_.size() - pos_ < sizeof(T)) return false;
-    std::memcpy(&out, buf_.data() + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return true;
-  }
-  bool str(std::string& out, std::size_t max_len = 1u << 20) {
-    std::uint32_t n = 0;
-    if (!scalar(n) || n > max_len || buf_.size() - pos_ < n) return false;
-    out.assign(buf_.data() + pos_, n);
-    pos_ += n;
-    return true;
-  }
-  const char* raw(std::size_t n) {
-    if (buf_.size() - pos_ < n) return nullptr;
-    const char* p = buf_.data() + pos_;
-    pos_ += n;
-    return p;
-  }
-  std::size_t pos() const { return pos_; }
-
- private:
-  std::string_view buf_;
-  std::size_t pos_ = 0;
-};
+// Serialization runs through the shared data/serialize.h
+// ByteWriter/ByteReader pair: the endian sentinel in the fixed header
+// rejects foreign snapshots, and the trailing FNV-1a checksum rejects
+// any byte-level damage the field validation missed.
+using BufWriter = ByteWriter;
+using BufReader = ByteReader;
 
 void serialize_report(BufWriter& w, const IngestReport& rep) {
   w.scalar<std::uint64_t>(rep.rows_total);
@@ -440,6 +354,109 @@ FleetData load_fleet_csv_cached(const std::string& path, const std::string& mode
   if (outcome != nullptr)
     *outcome = invalidated ? CacheOutcome::kInvalidated : CacheOutcome::kMiss;
   return fleet;
+}
+
+// --- WEFRSH01 shard-partial records --------------------------------
+
+namespace {
+
+constexpr char kShardMagic[8] = {'W', 'E', 'F', 'R', 'S', 'H', '0', '1'};
+constexpr std::uint32_t kShardFormatVersion = 1;
+
+}  // namespace
+
+std::string encode_shard_record(ShardRecordKind kind, std::uint32_t shard_index,
+                                std::uint32_t shard_count, std::string_view payload) {
+  ByteWriter w;
+  w.bytes(kShardMagic, sizeof(kShardMagic));
+  w.scalar(kShardFormatVersion);
+  w.scalar(kEndianSentinel);
+  w.scalar(static_cast<std::uint32_t>(kind));
+  w.scalar(shard_index);
+  w.scalar(shard_count);
+  w.scalar(std::uint32_t{0});  // reserved
+  w.scalar(static_cast<std::uint64_t>(payload.size()));
+  w.bytes(payload.data(), payload.size());
+  w.scalar(snapshot_digest(w.buf().data(), w.buf().size()));
+  return std::move(w.buf());
+}
+
+bool decode_shard_record(std::string_view bytes, ShardRecordKind kind,
+                         std::uint32_t expect_index, std::uint32_t expect_count,
+                         std::string& payload, std::string* why) {
+  const auto invalid = [&](const char* reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  ByteReader r(bytes);
+  const char* magic = r.raw(sizeof(kShardMagic));
+  if (magic == nullptr) return invalid("truncated header");
+  if (std::memcmp(magic, kShardMagic, sizeof(kShardMagic)) != 0)
+    return invalid("bad magic");
+  std::uint32_t version = 0, endian = 0, rkind = 0, idx = 0, count = 0, reserved = 0;
+  std::uint64_t payload_size = 0;
+  if (!r.scalar(version) || !r.scalar(endian) || !r.scalar(rkind) ||
+      !r.scalar(idx) || !r.scalar(count) || !r.scalar(reserved) ||
+      !r.scalar(payload_size))
+    return invalid("truncated header");
+  if (version != kShardFormatVersion) return invalid("format version mismatch");
+  if (endian != kEndianSentinel) return invalid("endianness mismatch");
+  if (rkind != static_cast<std::uint32_t>(kind)) return invalid("record kind mismatch");
+  if (idx != expect_index) return invalid("shard index mismatch");
+  if (count != expect_count) return invalid("shard count mismatch");
+  if (r.remaining() < sizeof(std::uint64_t) ||
+      payload_size != r.remaining() - sizeof(std::uint64_t))
+    return invalid("payload size mismatch");
+  const std::size_t body = bytes.size() - sizeof(std::uint64_t);
+  std::uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, bytes.data() + body, sizeof(stored_sum));
+  if (snapshot_digest(bytes.data(), body) != stored_sum)
+    return invalid("checksum mismatch");
+  const char* p = r.raw(static_cast<std::size_t>(payload_size));
+  if (p == nullptr) return invalid("truncated payload");
+  payload.assign(p, static_cast<std::size_t>(payload_size));
+  return true;
+}
+
+bool write_shard_record(const std::string& path, ShardRecordKind kind,
+                        std::uint32_t shard_index, std::uint32_t shard_count,
+                        std::string_view payload, std::string* error) {
+  const std::string record = encode_shard_record(kind, shard_index, shard_count, payload);
+  std::error_code ec;
+  const std::filesystem::path target(path);
+  if (target.has_parent_path())
+    std::filesystem::create_directories(target.parent_path(), ec);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream ofs(tmp, std::ios::binary | std::ios::trunc);
+    if (!ofs) {
+      if (error != nullptr) *error = "cannot open " + tmp;
+      return false;
+    }
+    ofs.write(record.data(), static_cast<std::streamsize>(record.size()));
+    if (!ofs) {
+      if (error != nullptr) *error = "write failed for " + tmp;
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    if (error != nullptr) *error = "cannot rename into " + path;
+    return false;
+  }
+  return true;
+}
+
+bool read_shard_record(const std::string& path, ShardRecordKind kind,
+                       std::uint32_t expect_index, std::uint32_t expect_count,
+                       std::string& payload, std::string* why) {
+  MappedFile file;
+  if (!file.open(path) || file.size() == 0) {
+    if (why != nullptr) *why = "cannot read " + path;
+    return false;
+  }
+  return decode_shard_record(file.view(), kind, expect_index, expect_count, payload, why);
 }
 
 }  // namespace wefr::data

@@ -98,4 +98,49 @@ FleetData load_fleet_csv_cached(const std::string& path, const std::string& mode
                                 const obs::Context* obs = nullptr,
                                 CacheOutcome* outcome = nullptr);
 
+/// WEFRSH01 shard-partial record: the exchange format sharded WEFR
+/// workers use to hand their partial sketches back to the merging
+/// parent. Same discipline as the WEFRFC01 fleet snapshot — versioned
+/// magic, endian sentinel, bounds-checked reads, trailing word-wise
+/// FNV-1a digest — but the payload is caller-defined bytes (the shard
+/// driver serializes its own partial structures through ByteWriter):
+///
+///   magic "WEFRSH01" | u32 record version | u32 endian sentinel
+///   | u32 record kind | u32 shard index | u32 shard count
+///   | u32 reserved | u64 payload size | payload
+///   | u64 FNV-1a digest (8-byte words) of everything before it
+///
+/// The (kind, shard index, shard count) triple is validated on read so
+/// a worker's record can never be merged into the wrong slot or the
+/// wrong run shape; any mismatch or damage fails with a reason instead
+/// of faulting.
+enum class ShardRecordKind : std::uint32_t {
+  kWefrPartial = 1,   ///< selection-stage partial (samples + tallies)
+  kRankerScores = 2,  ///< raw ranker score vectors for one worker
+  kScorePartial = 3,  ///< fleet-scoring partial (drive scores + AUC tallies)
+};
+
+/// Frames `payload` as a WEFRSH01 record (header + digest appended).
+std::string encode_shard_record(ShardRecordKind kind, std::uint32_t shard_index,
+                                std::uint32_t shard_count, std::string_view payload);
+
+/// Validates the framing of `bytes` and extracts the payload. Returns
+/// false (with the first failed layer in `why` when non-null) on any
+/// mismatch: magic/version/endianness, wrong kind, wrong shard index
+/// or count, truncation, or digest mismatch.
+bool decode_shard_record(std::string_view bytes, ShardRecordKind kind,
+                         std::uint32_t expect_index, std::uint32_t expect_count,
+                         std::string& payload, std::string* why = nullptr);
+
+/// encode_shard_record + atomic write (temp file + rename), mirroring
+/// write_fleet_cache. Returns false and fills `error` on I/O failure.
+bool write_shard_record(const std::string& path, ShardRecordKind kind,
+                        std::uint32_t shard_index, std::uint32_t shard_count,
+                        std::string_view payload, std::string* error = nullptr);
+
+/// Maps `path` and decodes it as a WEFRSH01 record.
+bool read_shard_record(const std::string& path, ShardRecordKind kind,
+                       std::uint32_t expect_index, std::uint32_t expect_count,
+                       std::string& payload, std::string* why = nullptr);
+
 }  // namespace wefr::data

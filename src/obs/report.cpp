@@ -150,6 +150,24 @@ void RunReport::write_json(std::ostream& os) const {
     w.null();
   }
 
+  w.key("sharding");
+  if (sharding.has_value()) {
+    w.begin_object();
+    w.field("shards", sharding->shards);
+    w.field("forked", sharding->forked);
+    w.key("shard_drives").begin_array();
+    for (const std::uint64_t n : sharding->shard_drives) w.value(n);
+    w.end_array();
+    w.key("shard_samples").begin_array();
+    for (const std::uint64_t n : sharding->shard_samples) w.value(n);
+    w.end_array();
+    w.field("partial_seconds", sharding->partial_seconds);
+    w.field("merge_seconds", sharding->merge_seconds);
+    w.end_object();
+  } else {
+    w.null();
+  }
+
   w.key("metrics");
   if (metrics != nullptr) {
     metrics->write_json(w);

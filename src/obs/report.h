@@ -24,8 +24,9 @@ class Tracer;
 /// stays at the bottom of the dependency stack.
 struct RunReport {
   /// Bumped whenever the JSON layout changes incompatibly. Emitted as
-  /// the top-level "schema_version" field.
-  static constexpr int kSchemaVersion = 1;
+  /// the top-level "schema_version" field. v2 added the "sharding"
+  /// block (null for single-process runs).
+  static constexpr int kSchemaVersion = 2;
 
   std::string tool;   ///< producing binary ("wefr_select", ...)
   std::string model;  ///< drive model the run operated on
@@ -72,6 +73,19 @@ struct RunReport {
     std::optional<double> precision, recall, f05, threshold;
   };
   std::optional<Scoring> scoring;
+
+  /// Shard-driver outcome for a `--shards N` run: how the fleet was
+  /// partitioned and what the partial build + merge cost. Absent
+  /// (JSON null) for single-process runs.
+  struct Sharding {
+    std::uint64_t shards = 0;        ///< worker count requested
+    bool forked = false;             ///< false = in-process fallback
+    std::vector<std::uint64_t> shard_drives;   ///< drives owned per shard
+    std::vector<std::uint64_t> shard_samples;  ///< selection samples per shard
+    double partial_seconds = 0.0;    ///< slowest worker's partial build
+    double merge_seconds = 0.0;      ///< shard-index-ordered merge
+  };
+  std::optional<Sharding> sharding;
 
   /// Optional sources merged in at write time. Both must outlive
   /// write_json.

@@ -1,0 +1,619 @@
+#include "shard/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "data/cache.h"
+#include "data/labeling.h"
+#include "obs/context.h"
+#include "obs/trace.h"
+#include "shard/hashring.h"
+#include "shard/partials.h"
+#include "util/subprocess.h"
+
+namespace wefr::shard {
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+std::uint64_t micros_since(Clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - t0).count());
+}
+
+/// Scratch directory for WEFRSH01 exchange files, removed on scope
+/// exit. Only the forked driver needs one; the in-process driver
+/// round-trips records in memory.
+class ExchangeDir {
+ public:
+  explicit ExchangeDir(const std::string& configured) {
+    if (!configured.empty()) {
+      fs::create_directories(configured);
+      path_ = configured;
+      owned_ = false;
+      return;
+    }
+    static std::atomic<std::uint64_t> seq{0};
+    const auto tag = std::to_string(Clock::now().time_since_epoch().count()) + "_" +
+                     std::to_string(seq.fetch_add(1));
+    path_ = (fs::temp_directory_path() / ("wefr_shard_" + tag)).string();
+    fs::create_directories(path_);
+    owned_ = true;
+  }
+  ~ExchangeDir() {
+    if (owned_) {
+      std::error_code ec;
+      fs::remove_all(path_, ec);  // best effort; a leak is not a failure
+    }
+  }
+  std::string file(const char* kind, std::size_t index) const {
+    return (fs::path(path_) / (std::string(kind) + "_" + std::to_string(index) + ".bin"))
+        .string();
+  }
+
+ private:
+  std::string path_;
+  bool owned_ = false;
+};
+
+/// The oracle's sampling options with a shard-ownership row filter.
+/// Must mirror core::build_selection_samples exactly (same keep
+/// probability, same per-drive seed derivation) — the per-drive RNG is
+/// what makes the kept rows a pure function of the drive, so owned
+/// subsets of the fleet sample identically to the whole fleet.
+data::SamplingOptions selection_sampling(const core::ExperimentConfig& cfg, int day_lo,
+                                         int day_hi) {
+  data::SamplingOptions opt;
+  opt.horizon_days = cfg.horizon_days;
+  opt.day_lo = day_lo;
+  opt.day_hi = day_hi;
+  opt.negative_keep_prob = cfg.negative_keep_prob;
+  opt.expand_windows = false;
+  opt.per_drive_rng = true;
+  opt.per_drive_seed = cfg.seed ^ 0x5e1ec7104b15ULL;
+  return opt;
+}
+
+WefrPartial build_wefr_partial(const data::FleetData& fleet,
+                               std::span<const std::size_t> owned, int day_lo, int day_hi,
+                               int train_day_end, const core::ExperimentConfig& cfg,
+                               const core::WefrOptions& wopt, int mwi_col) {
+  const auto t0 = Clock::now();
+  WefrPartial p;
+  p.drives_owned = owned.size();
+
+  std::vector<char> mask(fleet.drives.size(), 0);
+  for (const std::size_t di : owned) mask[di] = 1;
+  data::SamplingOptions sopt = selection_sampling(cfg, day_lo, day_hi);
+  sopt.keep = [&mask](std::size_t di, int) { return mask[di] != 0; };
+  p.samples = data::build_samples(fleet, sopt, nullptr, nullptr);
+
+  p.survival = core::SurvivalTally(wopt.survival_bucket_width);
+  if (mwi_col >= 0) {
+    for (const std::size_t di : owned) {
+      p.survival.add_drive(fleet.drives[di], static_cast<std::size_t>(mwi_col),
+                           train_day_end);
+    }
+  }
+
+  p.sketches.resize(p.samples.num_features());
+  for (std::size_t r = 0; r < p.samples.size(); ++r) {
+    for (std::size_t f = 0; f < p.samples.num_features(); ++f) {
+      p.sketches[f].add(p.samples.x(r, f), p.samples.y[r]);
+    }
+  }
+  p.build_micros = micros_since(t0);
+  return p;
+}
+
+/// Merges shard sample sets into the canonical training population:
+/// all rows, ordered by global (drive_index, day) — exactly the order
+/// the oracle's single fleet pass emits, whatever the shard count.
+data::Dataset merge_samples(std::vector<WefrPartial>& partials) {
+  data::Dataset merged;
+  merged.feature_names = partials.front().samples.feature_names;
+  const std::size_t nf = merged.feature_names.size();
+  std::size_t total = 0;
+  for (const auto& p : partials) total += p.samples.size();
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> order;  // (shard, row)
+  order.reserve(total);
+  for (std::uint32_t s = 0; s < partials.size(); ++s) {
+    for (std::uint32_t r = 0; r < partials[s].samples.size(); ++r) order.emplace_back(s, r);
+  }
+  std::sort(order.begin(), order.end(), [&](const auto& a, const auto& b) {
+    const auto& da = partials[a.first].samples;
+    const auto& db = partials[b.first].samples;
+    const auto ka = std::make_pair(da.drive_index[a.second], da.day[a.second]);
+    const auto kb = std::make_pair(db.drive_index[b.second], db.day[b.second]);
+    return ka < kb;  // (drive, day) pairs are unique across shards
+  });
+
+  merged.x = data::Matrix::uninitialized(total, nf);
+  merged.y.reserve(total);
+  merged.drive_index.reserve(total);
+  merged.day.reserve(total);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto& src = partials[order[i].first].samples;
+    const std::size_t r = order[i].second;
+    std::copy(src.x.row(r).begin(), src.x.row(r).end(), merged.x.row(i).begin());
+    merged.y.push_back(src.y[r]);
+    merged.drive_index.push_back(src.drive_index[r]);
+    merged.day.push_back(src.day[r]);
+  }
+  return merged;
+}
+
+/// One scoring population Phase B fans ranker jobs over.
+struct Population {
+  std::string label;
+  const data::Dataset* ds = nullptr;
+};
+
+void tally_shard_counters(const obs::Context* obs, const ShardRunStats& stats) {
+  if (obs == nullptr) return;
+  obs::add_counter(obs, "wefr_shard_workers_total", stats.num_shards);
+  std::uint64_t drives = 0, samples = 0;
+  for (const std::uint64_t n : stats.shard_drives) drives += n;
+  for (const std::uint64_t n : stats.shard_samples) samples += n;
+  obs::add_counter(obs, "wefr_shard_drives_total", drives);
+  obs::add_counter(obs, "wefr_shard_samples_total", samples);
+  obs::add_counter(obs, "wefr_shard_partial_micros_total",
+                   static_cast<std::uint64_t>(stats.partial_seconds * 1e6));
+  obs::add_counter(obs, "wefr_shard_merge_micros_total",
+                   static_cast<std::uint64_t>(stats.merge_seconds * 1e6));
+  obs::add_counter(obs, "wefr_shard_forked_runs_total", stats.forked ? 1 : 0);
+}
+
+}  // namespace
+
+core::WefrResult run_wefr_sharded(const data::FleetData& fleet, int day_lo, int day_hi,
+                                  int train_day_end, const core::WefrOptions& wopt,
+                                  const core::ExperimentConfig& cfg,
+                                  const ShardOptions& shards,
+                                  core::PipelineDiagnostics* diag, const obs::Context* obs,
+                                  ShardRunStats* stats, data::Dataset* merged_train) {
+  obs::Span span(obs, "run_wefr_sharded");
+  const std::size_t num_shards = shards.num_shards;
+  if (num_shards == 0) throw std::invalid_argument("run_wefr_sharded: num_shards == 0");
+
+  ShardRunStats local_stats;
+  ShardRunStats& st = stats != nullptr ? *stats : local_stats;
+  st = ShardRunStats{};
+  st.num_shards = num_shards;
+  st.forked = num_shards > 1 && !shards.force_in_process && util::fork_supported();
+
+  const int mwi_col = fleet.feature_index("MWI_N");
+  const auto partition = partition_fleet(fleet, num_shards, shards.vnodes_per_shard);
+
+  // The whole-fleet in-process oracle, also the safety valve: any
+  // worker or exchange failure redoes everything here rather than
+  // returning a partial result.
+  const auto fallback = [&](const std::string& reason) {
+    if (diag != nullptr) diag->note("shard", "in_process_fallback", reason);
+    st.forked = false;
+    core::ExperimentConfig cfg2 = cfg;
+    cfg2.per_drive_sampling = true;
+    data::Dataset samples = core::build_selection_samples(fleet, day_lo, day_hi, cfg2, obs);
+    auto result = run_wefr(fleet, samples, train_day_end, wopt, diag, obs);
+    if (merged_train != nullptr) *merged_train = std::move(samples);
+    return result;
+  };
+
+  // --- Phase A: per-shard partials ---------------------------------
+  auto phase_start = Clock::now();
+  std::vector<WefrPartial> partials(num_shards);
+  if (st.forked) {
+    const ExchangeDir exchange(shards.exchange_dir);
+    const auto outcomes = util::run_forked(num_shards, [&](std::size_t s) -> int {
+      const WefrPartial p = build_wefr_partial(fleet, partition[s], day_lo, day_hi,
+                                               train_day_end, cfg, wopt, mwi_col);
+      const std::string payload = serialize_wefr_partial(p);
+      return data::write_shard_record(exchange.file("wefr_partial", s),
+                                      data::ShardRecordKind::kWefrPartial,
+                                      static_cast<std::uint32_t>(s),
+                                      static_cast<std::uint32_t>(num_shards), payload)
+                 ? 0
+                 : 3;
+    });
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (!outcomes[s].ok || outcomes[s].exit_code != 0)
+        return fallback("phase A worker " + std::to_string(s) + " failed: " +
+                        (outcomes[s].error.empty() ? "nonzero exit" : outcomes[s].error));
+      std::string payload, why;
+      if (!data::read_shard_record(exchange.file("wefr_partial", s),
+                                   data::ShardRecordKind::kWefrPartial,
+                                   static_cast<std::uint32_t>(s),
+                                   static_cast<std::uint32_t>(num_shards), payload, &why) ||
+          !deserialize_wefr_partial(payload, partials[s], &why))
+        return fallback("phase A record " + std::to_string(s) + ": " + why);
+    }
+  } else {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const WefrPartial p = build_wefr_partial(fleet, partition[s], day_lo, day_hi,
+                                               train_day_end, cfg, wopt, mwi_col);
+      // In-memory WEFRSH01 roundtrip: the serial driver exercises the
+      // same wire path the forked one ships through files.
+      const std::string record = data::encode_shard_record(
+          data::ShardRecordKind::kWefrPartial, static_cast<std::uint32_t>(s),
+          static_cast<std::uint32_t>(num_shards), serialize_wefr_partial(p));
+      std::string payload, why;
+      if (!data::decode_shard_record(record, data::ShardRecordKind::kWefrPartial,
+                                     static_cast<std::uint32_t>(s),
+                                     static_cast<std::uint32_t>(num_shards), payload,
+                                     &why) ||
+          !deserialize_wefr_partial(payload, partials[s], &why))
+        return fallback("in-process record " + std::to_string(s) + ": " + why);
+    }
+  }
+  st.partial_seconds += seconds_since(phase_start);
+
+  // --- Merge, strictly in shard-index order ------------------------
+  const auto merge_start = Clock::now();
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    if (partials[s].samples.feature_names != fleet.feature_names)
+      return fallback("shard " + std::to_string(s) + " feature schema mismatch");
+    st.shard_drives.push_back(partials[s].drives_owned);
+    st.shard_samples.push_back(partials[s].samples.size());
+  }
+
+  data::Dataset merged = merge_samples(partials);
+
+  core::SurvivalTally tally(wopt.survival_bucket_width);
+  for (const auto& p : partials) tally.merge(p.survival);
+  const core::SurvivalCurve curve = tally.finalize(wopt.survival_min_count);
+
+  // Merge-integrity cross-check: the complexity sketches count every
+  // row a shard contributed, independently of the sample merge. A
+  // mismatch means rows were lost or duplicated somewhere on the wire.
+  std::vector<stats::ComplexitySketch> sketches(merged.num_features());
+  for (const auto& p : partials) {
+    if (p.sketches.size() != sketches.size())
+      return fallback("sketch count mismatch");
+    for (std::size_t f = 0; f < sketches.size(); ++f) sketches[f].merge(p.sketches[f]);
+  }
+  const std::size_t pos = merged.num_positive();
+  for (std::size_t f = 0; f < sketches.size(); ++f) {
+    if (sketches[f].count(0) != merged.size() - pos || sketches[f].count(1) != pos)
+      return fallback("merge integrity: sketch row counts disagree with merged samples");
+  }
+  st.merge_seconds += seconds_since(merge_start);
+
+  // --- Phase B: fan ranker-score jobs over the populations ----------
+  // Mirrors run_wefr's own control flow (degenerate populations, wear
+  // split, min-positives guard) to predict which populations will be
+  // ranked; the hook below re-validates, so a miss only costs an
+  // in-process re-score, never a wrong answer.
+  const bool all_degenerate = merged.size() == 0 || pos == 0 || pos == merged.size();
+  std::vector<Population> pops;
+  data::Dataset low_ds, high_ds;
+  if (!all_degenerate) {
+    pops.push_back({"all", &merged});
+    if (wopt.update_with_wearout && mwi_col >= 0) {
+      const auto cp = core::detect_wear_change_point(curve, wopt.cpd);
+      if (cp.has_value()) {
+        const double thr = cp->mwi_threshold;
+        const auto mwi = static_cast<std::size_t>(mwi_col);
+        std::vector<std::size_t> low_idx, high_idx;
+        for (std::size_t i = 0; i < merged.size(); ++i) {
+          const double v = merged.x(i, mwi);
+          if (v != v) continue;  // NaN wear: unroutable, as in run_wefr
+          (v <= thr ? low_idx : high_idx).push_back(i);
+        }
+        const auto add_group = [&](const std::vector<std::size_t>& idx,
+                                   data::Dataset& slot, const char* label) {
+          if (idx.empty()) return;
+          slot = data::subset(merged, idx);
+          const std::size_t gpos = slot.num_positive();
+          // Jobs only for groups run_wefr will actually rank: big
+          // enough, and not single-class (those degrade before the
+          // ensemble and would just waste worker time).
+          if (gpos >= wopt.min_group_positives && gpos > 0 && gpos < slot.size())
+            pops.push_back({label, &slot});
+        };
+        add_group(low_idx, low_ds, "low");
+        add_group(high_idx, high_ds, "high");
+      }
+    }
+  }
+
+  core::EnsembleOptions ens_opt = wopt.ensemble;
+  if (ens_opt.num_threads == 0) ens_opt.num_threads = wopt.num_threads;
+  const auto proto_rankers = core::make_standard_rankers(wopt.ranker_seed, wopt.num_threads);
+  const std::size_t num_rankers = proto_rankers.size();
+
+  struct Job {
+    std::size_t pop, ranker;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t p = 0; p < pops.size(); ++p) {
+    for (std::size_t k = 0; k < num_rankers; ++k) jobs.push_back({p, k});
+  }
+
+  // Worker w scores jobs j with j % W == w; populations and the
+  // ranker construction are identical to what select_features_for
+  // would run in-process, so every score vector is bit-reproducible.
+  const auto score_jobs = [&](std::size_t w) -> std::vector<RankerJobResult> {
+    const auto rankers = core::make_standard_rankers(wopt.ranker_seed, wopt.num_threads);
+    std::vector<RankerJobResult> results;
+    for (std::size_t j = w; j < jobs.size(); j += num_shards) {
+      const Population& pop = pops[jobs[j].pop];
+      const auto one = core::ensemble_score_rankers(
+          std::span<const std::unique_ptr<core::FeatureRanker>>(&rankers[jobs[j].ranker],
+                                                                1),
+          pop.ds->x, pop.ds->y, ens_opt, nullptr, 0);
+      RankerJobResult res;
+      res.population = pop.label;
+      res.ranker_index = static_cast<std::uint32_t>(jobs[j].ranker);
+      res.ranker_name = one.names[0];
+      res.failed = one.failed[0];
+      res.failure_reason = one.failure_reasons[0];
+      res.scores = one.scores[0];
+      results.push_back(std::move(res));
+    }
+    return results;
+  };
+
+  phase_start = Clock::now();
+  std::vector<std::vector<RankerJobResult>> worker_results(num_shards);
+  if (!jobs.empty()) {
+    if (st.forked) {
+      const ExchangeDir exchange(shards.exchange_dir);
+      const auto outcomes = util::run_forked(num_shards, [&](std::size_t w) -> int {
+        const auto t0 = Clock::now();
+        const auto results = score_jobs(w);
+        const std::string payload = serialize_ranker_jobs(results, micros_since(t0));
+        return data::write_shard_record(exchange.file("ranker_scores", w),
+                                        data::ShardRecordKind::kRankerScores,
+                                        static_cast<std::uint32_t>(w),
+                                        static_cast<std::uint32_t>(num_shards), payload)
+                   ? 0
+                   : 3;
+      });
+      for (std::size_t w = 0; w < num_shards; ++w) {
+        if (!outcomes[w].ok || outcomes[w].exit_code != 0)
+          return fallback("phase B worker " + std::to_string(w) + " failed: " +
+                          (outcomes[w].error.empty() ? "nonzero exit" : outcomes[w].error));
+        std::string payload, why;
+        if (!data::read_shard_record(exchange.file("ranker_scores", w),
+                                     data::ShardRecordKind::kRankerScores,
+                                     static_cast<std::uint32_t>(w),
+                                     static_cast<std::uint32_t>(num_shards), payload,
+                                     &why) ||
+            !deserialize_ranker_jobs(payload, worker_results[w], nullptr, &why))
+          return fallback("phase B record " + std::to_string(w) + ": " + why);
+      }
+    } else {
+      for (std::size_t w = 0; w < num_shards; ++w) {
+        const auto t0 = Clock::now();
+        const std::string record = data::encode_shard_record(
+            data::ShardRecordKind::kRankerScores, static_cast<std::uint32_t>(w),
+            static_cast<std::uint32_t>(num_shards),
+            serialize_ranker_jobs(score_jobs(w), micros_since(t0)));
+        std::string payload, why;
+        if (!data::decode_shard_record(record, data::ShardRecordKind::kRankerScores,
+                                       static_cast<std::uint32_t>(w),
+                                       static_cast<std::uint32_t>(num_shards), payload,
+                                       &why) ||
+            !deserialize_ranker_jobs(payload, worker_results[w], nullptr, &why))
+          return fallback("in-process ranker record " + std::to_string(w) + ": " + why);
+      }
+    }
+  }
+  st.partial_seconds += seconds_since(phase_start);
+
+  // Assemble per-population raw score sets, workers in index order.
+  const auto assemble_start = Clock::now();
+  std::map<std::string, core::RankerRawScores> raw_by_label;
+  std::map<std::string, std::size_t> pop_rows;
+  for (const Population& pop : pops) {
+    auto& raw = raw_by_label[pop.label];
+    raw.names.resize(num_rankers);
+    raw.scores.resize(num_rankers);
+    raw.failed.assign(num_rankers, 0);
+    raw.failure_reasons.resize(num_rankers);
+    pop_rows[pop.label] = pop.ds->size();
+  }
+  std::size_t delivered = 0;
+  for (const auto& results : worker_results) {
+    for (const auto& res : results) {
+      const auto it = raw_by_label.find(res.population);
+      if (it == raw_by_label.end() || res.ranker_index >= num_rankers)
+        return fallback("ranker job for unknown population/slot");
+      it->second.names[res.ranker_index] = res.ranker_name;
+      it->second.scores[res.ranker_index] = res.scores;
+      it->second.failed[res.ranker_index] = res.failed;
+      it->second.failure_reasons[res.ranker_index] = res.failure_reason;
+      ++delivered;
+    }
+  }
+  if (delivered != jobs.size()) return fallback("ranker jobs lost in exchange");
+  st.merge_seconds += seconds_since(assemble_start);
+
+  // --- Phase C: finalize through run_wefr itself --------------------
+  core::WefrRunHooks hooks;
+  hooks.survival = mwi_col >= 0 ? &curve : nullptr;
+  hooks.ranker_scores = [&](const std::string& label,
+                            const data::Dataset& ds) -> const core::RankerRawScores* {
+    const auto it = raw_by_label.find(label);
+    if (it == raw_by_label.end()) return nullptr;
+    // Safety valve: if run_wefr's population disagrees with the one the
+    // workers scored (it cannot, by construction — but a wrong score
+    // set would silently corrupt the selection), score in-process.
+    const auto rows = pop_rows.find(label);
+    if (rows == pop_rows.end() || rows->second != ds.size()) return nullptr;
+    return &it->second;
+  };
+
+  auto result = run_wefr(fleet, merged, train_day_end, wopt, diag, obs, &hooks);
+  tally_shard_counters(obs, st);
+  if (merged_train != nullptr) *merged_train = std::move(merged);
+  return result;
+}
+
+std::vector<core::DriveDayScores> score_fleet_sharded(
+    const data::FleetData& fleet, const core::WefrPredictor& predictor, int t0, int t1,
+    const core::ExperimentConfig& cfg, const ShardOptions& shards,
+    core::PipelineDiagnostics* diag, const obs::Context* obs, ShardRunStats* stats,
+    ml::AucPartial* auc_out) {
+  obs::Span span(obs, "score_fleet_sharded");
+  const std::size_t num_shards = shards.num_shards;
+  if (num_shards == 0) throw std::invalid_argument("score_fleet_sharded: num_shards == 0");
+
+  ShardRunStats local_stats;
+  ShardRunStats& st = stats != nullptr ? *stats : local_stats;
+  st = ShardRunStats{};
+  st.num_shards = num_shards;
+  st.forked = num_shards > 1 && !shards.force_in_process && util::fork_supported();
+
+  const auto partition = partition_fleet(fleet, num_shards, shards.vnodes_per_shard);
+
+  const auto build_score_partial = [&](std::size_t s) -> ScorePartial {
+    const auto start = Clock::now();
+    ScorePartial p;
+    core::PipelineDiagnostics ldiag;
+    p.blocks = score_fleet(fleet, predictor, partition[s], t0, t1, cfg, &ldiag, nullptr);
+    p.days_rerouted = ldiag.score_days_rerouted;
+    p.drives_missing_features = ldiag.score_drives_missing_features;
+    for (const auto& b : p.blocks) {
+      const auto& drive = fleet.drives[b.drive_index];
+      for (std::size_t i = 0; i < b.scores.size(); ++i) {
+        const int day = b.first_day + static_cast<int>(i);
+        const bool positive = drive.failed() && drive.fail_day > day &&
+                              drive.fail_day <= day + cfg.horizon_days;
+        p.auc.add(b.scores[i], positive ? 1 : 0);
+      }
+    }
+    p.build_micros = micros_since(start);
+    return p;
+  };
+
+  const auto fallback = [&](const std::string& reason) {
+    if (diag != nullptr) diag->note("shard", "in_process_fallback", reason);
+    st.forked = false;
+    auto blocks = score_fleet(fleet, predictor, t0, t1, cfg, diag, obs);
+    if (auc_out != nullptr) {
+      *auc_out = ml::AucPartial();
+      for (const auto& b : blocks) {
+        const auto& drive = fleet.drives[b.drive_index];
+        for (std::size_t i = 0; i < b.scores.size(); ++i) {
+          const int day = b.first_day + static_cast<int>(i);
+          const bool positive = drive.failed() && drive.fail_day > day &&
+                                drive.fail_day <= day + cfg.horizon_days;
+          auc_out->add(b.scores[i], positive ? 1 : 0);
+        }
+      }
+    }
+    return blocks;
+  };
+
+  auto phase_start = Clock::now();
+  std::vector<ScorePartial> partials(num_shards);
+  if (st.forked) {
+    const ExchangeDir exchange(shards.exchange_dir);
+    const auto outcomes = util::run_forked(num_shards, [&](std::size_t s) -> int {
+      const std::string payload = serialize_score_partial(build_score_partial(s));
+      return data::write_shard_record(exchange.file("score_partial", s),
+                                      data::ShardRecordKind::kScorePartial,
+                                      static_cast<std::uint32_t>(s),
+                                      static_cast<std::uint32_t>(num_shards), payload)
+                 ? 0
+                 : 3;
+    });
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (!outcomes[s].ok || outcomes[s].exit_code != 0)
+        return fallback("score worker " + std::to_string(s) + " failed: " +
+                        (outcomes[s].error.empty() ? "nonzero exit" : outcomes[s].error));
+      std::string payload, why;
+      if (!data::read_shard_record(exchange.file("score_partial", s),
+                                   data::ShardRecordKind::kScorePartial,
+                                   static_cast<std::uint32_t>(s),
+                                   static_cast<std::uint32_t>(num_shards), payload, &why) ||
+          !deserialize_score_partial(payload, partials[s], &why))
+        return fallback("score record " + std::to_string(s) + ": " + why);
+    }
+  } else {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      const std::string record = data::encode_shard_record(
+          data::ShardRecordKind::kScorePartial, static_cast<std::uint32_t>(s),
+          static_cast<std::uint32_t>(num_shards),
+          serialize_score_partial(build_score_partial(s)));
+      std::string payload, why;
+      if (!data::decode_shard_record(record, data::ShardRecordKind::kScorePartial,
+                                     static_cast<std::uint32_t>(s),
+                                     static_cast<std::uint32_t>(num_shards), payload,
+                                     &why) ||
+          !deserialize_score_partial(payload, partials[s], &why))
+        return fallback("in-process score record " + std::to_string(s) + ": " + why);
+    }
+  }
+  st.partial_seconds += seconds_since(phase_start);
+
+  const auto merge_start = Clock::now();
+  std::vector<core::DriveDayScores> merged;
+  ml::AucPartial auc;
+  std::uint64_t rerouted = 0, drives_missing = 0;
+  for (std::size_t s = 0; s < num_shards; ++s) {  // strict shard-index order
+    auto& p = partials[s];
+    st.shard_drives.push_back(partition[s].size());
+    std::uint64_t days = 0;
+    for (auto& b : p.blocks) {
+      days += b.scores.size();
+      merged.push_back(std::move(b));
+    }
+    st.shard_samples.push_back(days);
+    auc.merge(p.auc);
+    rerouted += p.days_rerouted;
+    drives_missing += p.drives_missing_features;
+  }
+  // Ascending drive index = the order the unsharded sweep's eligible
+  // list walks the fleet; one block per drive, so the sort is total.
+  std::sort(merged.begin(), merged.end(),
+            [](const core::DriveDayScores& a, const core::DriveDayScores& b) {
+              return a.drive_index < b.drive_index;
+            });
+  st.merge_seconds += seconds_since(merge_start);
+
+  if (diag != nullptr && rerouted > 0) {
+    diag->score_days_rerouted += rerouted;
+    diag->note("score", "days_rerouted_nan_mwi",
+               std::to_string(rerouted) + " drive-days -> whole-model bundle");
+  }
+  if (diag != nullptr && drives_missing > 0) {
+    diag->score_drives_missing_features += drives_missing;
+    diag->note("score", "drives_missing_features",
+               std::to_string(drives_missing) +
+                   " drives scored with missing selected feature columns");
+  }
+  if (obs != nullptr) {
+    std::size_t total_days = 0;
+    auto* hist = obs::histogram_or_null(obs, "wefr_score_days_per_drive",
+                                        {1.0, 7.0, 30.0, 90.0, 365.0, 1825.0});
+    for (const auto& ds : merged) {
+      total_days += ds.scores.size();
+      if (hist != nullptr) hist->observe(static_cast<double>(ds.scores.size()));
+    }
+    obs::add_counter(obs, "wefr_score_drives_total", merged.size());
+    obs::add_counter(obs, "wefr_score_days_total", total_days);
+    obs::add_counter(obs, "wefr_score_days_rerouted_total", rerouted);
+    obs::add_counter(obs, "wefr_inference_rows_total", total_days);
+  }
+  tally_shard_counters(obs, st);
+  if (auc_out != nullptr) *auc_out = std::move(auc);
+  return merged;
+}
+
+}  // namespace wefr::shard

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/wefr.h"
+#include "data/fleet.h"
+#include "ml/metrics.h"
+
+namespace wefr::obs {
+struct Context;
+}
+
+namespace wefr::shard {
+
+/// Controls for the multi-worker shard driver.
+struct ShardOptions {
+  /// Worker count. 1 runs the same partial/merge machinery on a single
+  /// shard (the equivalence anchor), still through the WEFRSH01 wire
+  /// format.
+  std::size_t num_shards = 1;
+  /// Force the serial in-process driver even when fork() is available
+  /// (sanitizer builds set this through util::fork_supported()).
+  bool force_in_process = false;
+  /// Directory for WEFRSH01 exchange files in forked mode; empty uses
+  /// a fresh directory under the system temp dir, removed afterwards.
+  std::string exchange_dir;
+  /// Hashring vnodes per shard (partition granularity).
+  std::size_t vnodes_per_shard = 64;
+};
+
+/// What the driver did, for reports and benches.
+struct ShardRunStats {
+  std::size_t num_shards = 0;
+  bool forked = false;  ///< false = serial in-process driver ran
+  std::vector<std::uint64_t> shard_drives;   ///< drives owned per shard
+  std::vector<std::uint64_t> shard_samples;  ///< rows contributed per shard
+  double partial_seconds = 0.0;  ///< worker fan-outs, wall clock
+  double merge_seconds = 0.0;    ///< shard-index-ordered merges
+};
+
+/// Sharded run_wefr: partitions drives across `shards.num_shards`
+/// workers by consistent-hashing their drive ids, builds per-shard
+/// partials (selection-sample rows with partition-invariant per-drive
+/// downsampling, survival tallies, complexity sketches), merges them
+/// strictly in shard-index order into the canonical training
+/// population, fans the per-population ranker scoring jobs back out,
+/// and finalizes through run_wefr itself via WefrRunHooks.
+///
+/// Bit-determinism contract: the returned WefrResult is identical —
+/// every selected feature, ranking, survival point, and change point,
+/// bit for bit — to
+///
+///   cfg2 = cfg; cfg2.per_drive_sampling = true;
+///   run_wefr(fleet, build_selection_samples(fleet, day_lo, day_hi, cfg2),
+///            train_day_end, wopt)
+///
+/// for ANY shard count, thread count, or fork/in-process mode: sample
+/// rows re-sort into global (drive_index, day) order, integer tallies
+/// and ExactSum limbs merge exactly, and ranker scores finalize
+/// through the same ensemble_rank_from_scores code path the oracle
+/// uses. Workers exchange WEFRSH01 records (fork() + files when
+/// available, an in-memory roundtrip otherwise); any worker failure or
+/// merge-integrity mismatch falls back to the full in-process oracle,
+/// noted in `diag`, so the call never returns a partial result.
+///
+/// `train_day_end` is the survival-curve cut-off (usually day_hi).
+/// `stats` (nullable) receives the shard plan and timings;
+/// `merged_train` (nullable) receives the merged training population
+/// (what the oracle's build_selection_samples would have returned).
+core::WefrResult run_wefr_sharded(const data::FleetData& fleet, int day_lo, int day_hi,
+                                  int train_day_end, const core::WefrOptions& wopt,
+                                  const core::ExperimentConfig& cfg,
+                                  const ShardOptions& shards,
+                                  core::PipelineDiagnostics* diag = nullptr,
+                                  const obs::Context* obs = nullptr,
+                                  ShardRunStats* stats = nullptr,
+                                  data::Dataset* merged_train = nullptr);
+
+/// Sharded score_fleet: each worker scores its owned drives through
+/// the drive-subset score_fleet overload and ships back a ScorePartial
+/// (score blocks + AUC rank tallies + degraded-mode counters); the
+/// parent concatenates blocks in ascending drive-index order — the
+/// exact order the unsharded sweep emits — and merges the AUC tallies
+/// in shard-index order. Per-drive scoring never reads another drive,
+/// so the merged blocks are bit-identical to score_fleet over the
+/// whole fleet at any shard count.
+///
+/// `auc_out` (nullable) receives the merged day-level AUC tallies,
+/// labeled with cfg.horizon_days ("fails within the horizon after the
+/// scored day"). Emits the same wefr_score_* counters score_fleet
+/// would, plus the wefr_shard_* counters.
+std::vector<core::DriveDayScores> score_fleet_sharded(
+    const data::FleetData& fleet, const core::WefrPredictor& predictor, int t0, int t1,
+    const core::ExperimentConfig& cfg, const ShardOptions& shards,
+    core::PipelineDiagnostics* diag = nullptr, const obs::Context* obs = nullptr,
+    ShardRunStats* stats = nullptr, ml::AucPartial* auc_out = nullptr);
+
+}  // namespace wefr::shard

@@ -1,0 +1,64 @@
+#include "shard/hashring.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "data/serialize.h"
+
+namespace wefr::shard {
+
+namespace {
+
+/// Final avalanche of splitmix64: FNV-1a alone clusters short similar
+/// keys (sequential drive ids differ in one byte), and clustered ring
+/// points would skew shard ownership; the mix spreads them uniformly.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t num_shards, std::size_t vnodes_per_shard)
+    : num_shards_(num_shards) {
+  if (num_shards == 0) throw std::invalid_argument("HashRing: num_shards == 0");
+  if (vnodes_per_shard == 0) throw std::invalid_argument("HashRing: vnodes == 0");
+  ring_.reserve(num_shards * vnodes_per_shard);
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    for (std::size_t v = 0; v < vnodes_per_shard; ++v) {
+      const std::string key =
+          "shard-" + std::to_string(s) + "-vnode-" + std::to_string(v);
+      ring_.emplace_back(mix64(data::fnv1a(key)), static_cast<std::uint32_t>(s));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t HashRing::shard_for(std::string_view key) const {
+  const std::uint64_t h = mix64(data::fnv1a(key));
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<std::uint64_t, std::uint32_t>& p, std::uint64_t v) {
+        return p.first < v;
+      });
+  if (it == ring_.end()) it = ring_.begin();  // wrap past the last point
+  return it->second;
+}
+
+std::vector<std::vector<std::size_t>> partition_fleet(const data::FleetData& fleet,
+                                                      std::size_t num_shards,
+                                                      std::size_t vnodes_per_shard) {
+  const HashRing ring(num_shards, vnodes_per_shard);
+  std::vector<std::vector<std::size_t>> owned(num_shards);
+  for (std::size_t di = 0; di < fleet.drives.size(); ++di) {
+    owned[ring.shard_for(fleet.drives[di].drive_id)].push_back(di);
+  }
+  return owned;
+}
+
+}  // namespace wefr::shard

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "data/fleet.h"
+
+namespace wefr::shard {
+
+/// Consistent-hash ring assigning string keys (drive ids) to shards.
+///
+/// Each shard owns `vnodes_per_shard` points on a 64-bit ring; a key
+/// maps to the shard owning the first point at or clockwise after the
+/// key's hash. The construction is fully deterministic — vnode points
+/// are splitmix64-dispersed FNV-1a hashes of "shard-<s>-vnode-<v>",
+/// never std::hash — so the same (num_shards, vnodes) always yields
+/// the same assignment on every build and platform, which is what lets
+/// shard plans be checked into tests.
+///
+/// Consistency under fleet churn: a drive's shard depends only on its
+/// own id and the ring shape, never on which other drives exist, so
+/// adding or retiring drives moves nothing. Growing the ring from N to
+/// N+1 shards relocates only the keys captured by the new shard's
+/// vnodes (~1/(N+1) of them) — the hashring property, pinned by the
+/// stability-under-growth test.
+class HashRing {
+ public:
+  /// Throws std::invalid_argument when num_shards or vnodes is 0.
+  explicit HashRing(std::size_t num_shards, std::size_t vnodes_per_shard = 64);
+
+  std::size_t num_shards() const { return num_shards_; }
+  std::size_t shard_for(std::string_view key) const;
+
+ private:
+  std::size_t num_shards_;
+  /// (ring point, shard), sorted ascending by point (ties by shard).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+};
+
+/// Partitions a fleet's drive indices across `num_shards` shards by
+/// drive id through a HashRing. Result[s] holds the fleet drive
+/// indices owned by shard s, ascending (fleet iteration order), every
+/// drive in exactly one shard.
+std::vector<std::vector<std::size_t>> partition_fleet(const data::FleetData& fleet,
+                                                      std::size_t num_shards,
+                                                      std::size_t vnodes_per_shard = 64);
+
+}  // namespace wefr::shard

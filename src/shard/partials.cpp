@@ -1,0 +1,276 @@
+#include "shard/partials.h"
+
+#include <cstring>
+
+#include "data/serialize.h"
+#include "util/exact_sum.h"
+
+namespace wefr::shard {
+
+namespace {
+
+using data::ByteReader;
+using data::ByteWriter;
+
+bool fail(std::string* why, const char* reason) {
+  if (why != nullptr) *why = reason;
+  return false;
+}
+
+// Payloads are produced by a cooperating worker process behind the
+// WEFRSH01 digest, so damage is already caught by the framing; these
+// caps only keep a logic bug from turning into a giant allocation.
+constexpr std::uint64_t kMaxFeatures = 1u << 20;
+constexpr std::uint64_t kMaxRows = 1ull << 40;
+
+void write_doubles(ByteWriter& w, std::span<const double> v) {
+  w.scalar(static_cast<std::uint64_t>(v.size()));
+  w.bytes(v.data(), v.size() * sizeof(double));
+}
+
+bool read_doubles(ByteReader& r, std::vector<double>& out, std::uint64_t max_n) {
+  std::uint64_t n = 0;
+  if (!r.scalar(n) || n > max_n || r.remaining() < n * sizeof(double)) return false;
+  out.resize(static_cast<std::size_t>(n));
+  const char* p = r.raw(static_cast<std::size_t>(n) * sizeof(double));
+  if (p == nullptr) return false;
+  std::memcpy(out.data(), p, n * sizeof(double));
+  return true;
+}
+
+void write_exact_sum(ByteWriter& w, const util::ExactSum& s) {
+  s.normalize();  // normalized limbs are the canonical wire form
+  for (int l = 0; l < util::ExactSum::kNumLimbs; ++l) w.scalar(s.limb(l));
+  w.scalar(s.nonfinite_count());
+}
+
+bool read_exact_sum(ByteReader& r, util::ExactSum& s) {
+  for (int l = 0; l < util::ExactSum::kNumLimbs; ++l) {
+    std::int64_t v = 0;
+    if (!r.scalar(v)) return false;
+    s.set_limb(l, v);
+  }
+  std::uint64_t nf = 0;
+  if (!r.scalar(nf)) return false;
+  s.set_nonfinite_count(nf);
+  return true;
+}
+
+void write_dataset(ByteWriter& w, const data::Dataset& ds) {
+  w.scalar(static_cast<std::uint32_t>(ds.feature_names.size()));
+  for (const auto& name : ds.feature_names) w.str(name);
+  w.scalar(static_cast<std::uint64_t>(ds.size()));
+  for (const int v : ds.y) w.scalar(static_cast<std::int32_t>(v));
+  for (const std::int32_t v : ds.drive_index) w.scalar(v);
+  for (const std::int32_t v : ds.day) w.scalar(v);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto row = ds.x.row(i);
+    w.bytes(row.data(), row.size() * sizeof(double));
+  }
+}
+
+bool read_dataset(ByteReader& r, data::Dataset& ds) {
+  std::uint32_t nf = 0;
+  if (!r.scalar(nf) || nf > kMaxFeatures) return false;
+  ds.feature_names.resize(nf);
+  for (auto& name : ds.feature_names) {
+    if (!r.str(name)) return false;
+  }
+  std::uint64_t rows = 0;
+  if (!r.scalar(rows) || rows > kMaxRows) return false;
+  // Per row: 3 int32 provenance fields + nf doubles; reject before
+  // allocating when the buffer cannot possibly hold that much.
+  const std::uint64_t per_row = 3 * sizeof(std::int32_t) +
+                                static_cast<std::uint64_t>(nf) * sizeof(double);
+  if (per_row > 0 && rows > r.remaining() / per_row) return false;
+  const auto n = static_cast<std::size_t>(rows);
+  ds.y.resize(n);
+  ds.drive_index.resize(n);
+  ds.day.resize(n);
+  for (auto& v : ds.y) {
+    std::int32_t t = 0;
+    if (!r.scalar(t)) return false;
+    v = t;
+  }
+  for (auto& v : ds.drive_index) {
+    if (!r.scalar(v)) return false;
+  }
+  for (auto& v : ds.day) {
+    if (!r.scalar(v)) return false;
+  }
+  ds.x = data::Matrix::uninitialized(n, nf);
+  for (std::size_t i = 0; i < n; ++i) {
+    const char* p = r.raw(nf * sizeof(double));
+    if (p == nullptr) return false;
+    std::memcpy(ds.x.row(i).data(), p, nf * sizeof(double));
+  }
+  return true;
+}
+
+void write_survival_tally(ByteWriter& w, const core::SurvivalTally& t) {
+  w.scalar(static_cast<std::int32_t>(t.bucket_width()));
+  w.scalar(t.drives_skipped_nan());
+  w.scalar(static_cast<std::uint64_t>(t.buckets().size()));
+  for (const auto& [lower, tally] : t.buckets()) {
+    w.scalar(static_cast<std::int32_t>(lower));
+    w.scalar(tally.first);
+    w.scalar(tally.second);
+  }
+}
+
+bool read_survival_tally(ByteReader& r, core::SurvivalTally& out) {
+  std::int32_t width = 0;
+  std::uint64_t skipped = 0, nbuckets = 0;
+  if (!r.scalar(width) || width < 1 || !r.scalar(skipped) || !r.scalar(nbuckets))
+    return false;
+  if (nbuckets > r.remaining() / (sizeof(std::int32_t) + 2 * sizeof(std::uint64_t)))
+    return false;
+  out = core::SurvivalTally(width);
+  out.set_drives_skipped_nan(skipped);
+  for (std::uint64_t b = 0; b < nbuckets; ++b) {
+    std::int32_t lower = 0;
+    std::uint64_t total = 0, failed = 0;
+    if (!r.scalar(lower) || !r.scalar(total) || !r.scalar(failed)) return false;
+    out.set_bucket(lower, total, failed);
+  }
+  return true;
+}
+
+void write_sketch(ByteWriter& w, const stats::ComplexitySketch& s) {
+  write_doubles(w, s.bin_uppers());
+  for (int cls = 0; cls < 2; ++cls) {
+    const auto& c = s.class_sketch(cls);
+    w.scalar(c.count);
+    w.scalar(c.min);
+    w.scalar(c.max);
+    write_exact_sum(w, c.sum);
+    write_exact_sum(w, c.sum2);
+    for (const std::uint64_t h : c.hist) w.scalar(h);
+  }
+}
+
+bool read_sketch(ByteReader& r, stats::ComplexitySketch& out) {
+  std::vector<double> bins;
+  if (!read_doubles(r, bins, 256)) return false;
+  out = bins.empty() ? stats::ComplexitySketch()
+                     : stats::ComplexitySketch(std::move(bins));
+  const std::size_t nbins = out.bin_uppers().size();
+  for (int cls = 0; cls < 2; ++cls) {
+    auto& c = out.mutable_class_sketch(cls);
+    if (!r.scalar(c.count) || !r.scalar(c.min) || !r.scalar(c.max)) return false;
+    if (!read_exact_sum(r, c.sum) || !read_exact_sum(r, c.sum2)) return false;
+    c.hist.assign(nbins, 0);
+    for (auto& h : c.hist) {
+      if (!r.scalar(h)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_wefr_partial(const WefrPartial& p) {
+  ByteWriter w;
+  w.scalar(p.drives_owned);
+  w.scalar(p.build_micros);
+  write_dataset(w, p.samples);
+  write_survival_tally(w, p.survival);
+  w.scalar(static_cast<std::uint64_t>(p.sketches.size()));
+  for (const auto& s : p.sketches) write_sketch(w, s);
+  return std::move(w.buf());
+}
+
+bool deserialize_wefr_partial(std::string_view payload, WefrPartial& out,
+                              std::string* why) {
+  ByteReader r(payload);
+  if (!r.scalar(out.drives_owned) || !r.scalar(out.build_micros))
+    return fail(why, "truncated partial header");
+  if (!read_dataset(r, out.samples)) return fail(why, "bad sample payload");
+  if (!read_survival_tally(r, out.survival)) return fail(why, "bad survival tally");
+  std::uint64_t nsketch = 0;
+  if (!r.scalar(nsketch) || nsketch > kMaxFeatures)
+    return fail(why, "bad sketch count");
+  out.sketches.resize(static_cast<std::size_t>(nsketch));
+  for (auto& s : out.sketches) {
+    if (!read_sketch(r, s)) return fail(why, "bad complexity sketch");
+  }
+  if (r.remaining() != 0) return fail(why, "trailing bytes");
+  return true;
+}
+
+std::string serialize_ranker_jobs(std::span<const RankerJobResult> jobs,
+                                  std::uint64_t build_micros) {
+  ByteWriter w;
+  w.scalar(build_micros);
+  w.scalar(static_cast<std::uint64_t>(jobs.size()));
+  for (const auto& j : jobs) {
+    w.str(j.population);
+    w.scalar(j.ranker_index);
+    w.str(j.ranker_name);
+    w.scalar(j.failed);
+    w.str(j.failure_reason);
+    write_doubles(w, j.scores);
+  }
+  return std::move(w.buf());
+}
+
+bool deserialize_ranker_jobs(std::string_view payload, std::vector<RankerJobResult>& out,
+                             std::uint64_t* build_micros, std::string* why) {
+  ByteReader r(payload);
+  std::uint64_t micros = 0, njobs = 0;
+  if (!r.scalar(micros) || !r.scalar(njobs) || njobs > kMaxFeatures)
+    return fail(why, "truncated job header");
+  if (build_micros != nullptr) *build_micros = micros;
+  out.resize(static_cast<std::size_t>(njobs));
+  for (auto& j : out) {
+    if (!r.str(j.population) || !r.scalar(j.ranker_index) || !r.str(j.ranker_name) ||
+        !r.scalar(j.failed) || !r.str(j.failure_reason) ||
+        !read_doubles(r, j.scores, kMaxFeatures))
+      return fail(why, "bad ranker job");
+  }
+  if (r.remaining() != 0) return fail(why, "trailing bytes");
+  return true;
+}
+
+std::string serialize_score_partial(const ScorePartial& p) {
+  ByteWriter w;
+  w.scalar(p.build_micros);
+  w.scalar(p.days_rerouted);
+  w.scalar(p.drives_missing_features);
+  w.scalar(static_cast<std::uint64_t>(p.blocks.size()));
+  for (const auto& b : p.blocks) {
+    w.scalar(static_cast<std::uint64_t>(b.drive_index));
+    w.scalar(static_cast<std::int32_t>(b.first_day));
+    write_doubles(w, b.scores);
+  }
+  write_doubles(w, p.auc.pos_scores());
+  write_doubles(w, p.auc.neg_scores());
+  return std::move(w.buf());
+}
+
+bool deserialize_score_partial(std::string_view payload, ScorePartial& out,
+                               std::string* why) {
+  ByteReader r(payload);
+  std::uint64_t nblocks = 0;
+  if (!r.scalar(out.build_micros) || !r.scalar(out.days_rerouted) ||
+      !r.scalar(out.drives_missing_features) || !r.scalar(nblocks) ||
+      nblocks > kMaxRows)
+    return fail(why, "truncated score header");
+  out.blocks.resize(static_cast<std::size_t>(nblocks));
+  for (auto& b : out.blocks) {
+    std::uint64_t di = 0;
+    std::int32_t first = 0;
+    if (!r.scalar(di) || !r.scalar(first) || !read_doubles(r, b.scores, kMaxRows))
+      return fail(why, "bad score block");
+    b.drive_index = static_cast<std::size_t>(di);
+    b.first_day = first;
+  }
+  std::vector<double> pos, neg;
+  if (!read_doubles(r, pos, kMaxRows) || !read_doubles(r, neg, kMaxRows))
+    return fail(why, "bad auc tallies");
+  out.auc.set_scores(std::move(pos), std::move(neg));
+  if (r.remaining() != 0) return fail(why, "trailing bytes");
+  return true;
+}
+
+}  // namespace wefr::shard

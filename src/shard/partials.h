@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/survival.h"
+#include "data/dataset.h"
+#include "ml/metrics.h"
+#include "stats/complexity.h"
+
+namespace wefr::shard {
+
+// The three shard-partial payloads workers exchange with the merging
+// parent, each framed on the wire as a WEFRSH01 record (data/cache.h).
+// Serialization goes through data::ByteWriter / ByteReader — native
+// endianness behind the record's endian sentinel, bounds-checked reads
+// — and every deserialize returns false with a reason instead of
+// faulting on damage. The partial forms are chosen so that merging in
+// shard-index order is bit-deterministic: integer tallies and ExactSum
+// limbs merge exactly, sample rows re-sort into the canonical global
+// (drive_index, day) order, and per-class AUC tallies merge as sorted
+// multisets.
+
+/// Selection-stage partial: everything shard s contributes to building
+/// the training population and the survival curve.
+struct WefrPartial {
+  /// Selection-sample rows for the shard's owned drives only, built
+  /// with partition-invariant per-drive downsampling.
+  data::Dataset samples;
+  /// Per-bucket (total, failed) drive tallies for the owned drives.
+  core::SurvivalTally survival;
+  /// Per-base-feature moment/overlap sketches over `samples` — the
+  /// merge-integrity cross-check: merged per-class sketch counts must
+  /// equal the merged sample set's class counts.
+  std::vector<stats::ComplexitySketch> sketches;
+  std::uint64_t drives_owned = 0;
+  std::uint64_t build_micros = 0;
+};
+
+std::string serialize_wefr_partial(const WefrPartial& p);
+bool deserialize_wefr_partial(std::string_view payload, WefrPartial& out,
+                              std::string* why = nullptr);
+
+/// One worker-scored ranker job: raw importance scores for one
+/// (population, ranker) pair, with the same failure capture semantics
+/// as core::ensemble_score_rankers (which the worker runs verbatim).
+struct RankerJobResult {
+  std::string population;  ///< "all" / "low" / "high"
+  std::uint32_t ranker_index = 0;
+  std::string ranker_name;
+  std::uint8_t failed = 0;
+  std::string failure_reason;
+  std::vector<double> scores;
+};
+
+std::string serialize_ranker_jobs(std::span<const RankerJobResult> jobs,
+                                  std::uint64_t build_micros);
+bool deserialize_ranker_jobs(std::string_view payload, std::vector<RankerJobResult>& out,
+                             std::uint64_t* build_micros = nullptr,
+                             std::string* why = nullptr);
+
+/// Fleet-scoring partial: the shard's per-drive score blocks plus its
+/// AUC rank tallies and degraded-mode counters.
+struct ScorePartial {
+  std::vector<core::DriveDayScores> blocks;
+  ml::AucPartial auc;
+  std::uint64_t days_rerouted = 0;
+  std::uint64_t drives_missing_features = 0;
+  std::uint64_t build_micros = 0;
+};
+
+std::string serialize_score_partial(const ScorePartial& p);
+bool deserialize_score_partial(std::string_view payload, ScorePartial& out,
+                               std::string* why = nullptr);
+
+}  // namespace wefr::shard

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+namespace wefr::util {
+
+/// Exact fixed-point accumulator for doubles (a superaccumulator in
+/// the Kulisch style): the running sum is held as integer limbs of a
+/// single fixed-point number wide enough for the entire double range,
+/// so addition is *exactly* associative and commutative — the core
+/// requirement for bit-deterministic shard merges. Per-shard moment
+/// sums folded through ExactSum and merged limb-wise give the same
+/// finalized double no matter how rows were partitioned, which is not
+/// true of a plain double accumulator (FP addition does not
+/// reassociate).
+///
+/// Representation: 32-bit digits stored in int64 limbs, covering bit
+/// positions [-1138, 32*kLimbs - 1138) relative to 2^0 — 64 guard bits
+/// below the smallest subnormal and headroom above DBL_MAX. add()
+/// splits the 53-bit mantissa across three adjacent limbs; carries are
+/// deferred and propagated in normalize(), which runs automatically
+/// before limbs could overflow (every add contributes < 2^33 per limb,
+/// so 2^30 deferred adds keep |limb| < 2^63). merge() is a limb-wise
+/// integer add.
+///
+/// finalize() converts top-down in fixed limb order with ldexp — a
+/// deterministic rule (same limbs -> same double on every platform),
+/// accurate to ~1 ulp. Non-finite inputs poison the sum: finalize()
+/// returns NaN, matching what a plain double sum would converge to.
+class ExactSum {
+ public:
+  ExactSum() { reset(); }
+
+  void reset() {
+    std::memset(limb_, 0, sizeof(limb_));
+    pending_ = 0;
+    nonfinite_ = 0;
+  }
+
+  void add(double v) {
+    if (!std::isfinite(v)) {
+      ++nonfinite_;
+      return;
+    }
+    if (v == 0.0) return;
+    int e = 0;
+    const double mant = std::frexp(v, &e);  // v = mant * 2^e, |mant| in [0.5, 1)
+    const auto m53 = static_cast<std::int64_t>(std::ldexp(mant, 53));  // exact
+    // v = m53 * 2^(e - 53); bit offset of 2^(e-53) from the base 2^-1138.
+    const int offset = e - 53 + kBaseBits;
+    const int l = offset >> 5;
+    const int shift = offset & 31;
+    const __int128 t = static_cast<__int128>(m53) << shift;
+    limb_[l] += static_cast<std::int64_t>(t & 0xffffffffu);
+    limb_[l + 1] += static_cast<std::int64_t>((t >> 32) & 0xffffffffu);
+    limb_[l + 2] += static_cast<std::int64_t>(t >> 64);
+    if (++pending_ >= (std::int64_t{1} << 30)) normalize();
+  }
+
+  /// Folds `other` in: exactly the sum of both input streams, in any
+  /// merge order or grouping.
+  void merge(const ExactSum& other) {
+    normalize();
+    other.normalize();
+    for (int l = 0; l < kLimbs; ++l) limb_[l] += other.limb_[l];
+    nonfinite_ += other.nonfinite_;
+    pending_ = 1;  // force renormalization before the next batch
+  }
+
+  double finalize() const {
+    if (nonfinite_ != 0) return std::numeric_limits<double>::quiet_NaN();
+    normalize();
+    double r = 0.0;
+    for (int l = kLimbs - 1; l >= 0; --l)
+      if (limb_[l] != 0)
+        r += std::ldexp(static_cast<double>(limb_[l]), 32 * l - kBaseBits);
+    return r;
+  }
+
+  std::uint64_t nonfinite_count() const { return nonfinite_; }
+
+  // Serialization access (normalized form is canonical).
+  static constexpr int kNumLimbs = 70;
+  void normalize() const {
+    if (pending_ == 0) return;
+    // Carry-propagate upward; every limb but the top lands in
+    // [0, 2^32). The top limb keeps the sign of the whole sum.
+    for (int l = 0; l < kLimbs - 1; ++l) {
+      const std::int64_t carry = limb_[l] >> 32;  // arithmetic: floor div 2^32
+      limb_[l] -= carry << 32;
+      limb_[l + 1] += carry;
+    }
+    pending_ = 0;
+  }
+  std::int64_t limb(int l) const { return limb_[l]; }
+  void set_limb(int l, std::int64_t v) { limb_[l] = v; }
+  void set_nonfinite_count(std::uint64_t n) { nonfinite_ = n; }
+
+ private:
+  // Base 2^-1138 (64 guard bits under 2^-1074); DBL_MAX's mantissa top
+  // bit sits at 2^1023 -> bit offset 2109 -> limbs 65..67.
+  static constexpr int kBaseBits = 1138;
+  static constexpr int kLimbs = kNumLimbs;
+  mutable std::int64_t limb_[kLimbs];
+  mutable std::int64_t pending_ = 0;
+  std::uint64_t nonfinite_ = 0;
+};
+
+}  // namespace wefr::util

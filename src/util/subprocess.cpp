@@ -1,0 +1,86 @@
+#include "util/subprocess.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+#define WEFR_HAVE_FORK 1
+#endif
+
+namespace wefr::util {
+
+bool fork_supported() {
+#if !defined(WEFR_HAVE_FORK) || defined(WEFR_FORCE_INPROCESS_SHARDS) || \
+    defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return false;
+#else
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+  return false;
+#endif
+#endif
+  const char* env = std::getenv("WEFR_SHARD_FORCE_INPROCESS");
+  if (env != nullptr && std::strcmp(env, "0") != 0) return false;
+  return true;
+#endif
+}
+
+std::vector<ForkOutcome> run_forked(std::size_t n,
+                                    const std::function<int(std::size_t)>& fn) {
+  std::vector<ForkOutcome> out(n);
+#if !defined(WEFR_HAVE_FORK)
+  for (auto& o : out) o.error = "fork not supported on this platform";
+  return out;
+#else
+  std::vector<pid_t> pids(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Flush before forking: both processes would otherwise own (and
+    // eventually flush) the same buffered stdio bytes.
+    std::fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid < 0) {
+      out[i].error = "fork failed";
+      continue;
+    }
+    if (pid == 0) {
+      // Child: run the job, then leave without unwinding the parent's
+      // state (no atexit handlers, no static destructors — _Exit).
+      int rc = 121;
+      try {
+        rc = fn(i);
+      } catch (...) {
+        rc = 121;
+      }
+      std::fflush(nullptr);
+      std::_Exit(rc);
+    }
+    pids[i] = pid;
+  }
+  // Wait in index order: completion order must never influence the
+  // caller's merge order.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pids[i] < 0) continue;
+    int status = 0;
+    if (waitpid(pids[i], &status, 0) < 0) {
+      out[i].error = "waitpid failed";
+      continue;
+    }
+    if (WIFEXITED(status)) {
+      out[i].exit_code = WEXITSTATUS(status);
+      out[i].ok = out[i].exit_code == 0;
+      if (!out[i].ok)
+        out[i].error = "worker exited with code " + std::to_string(out[i].exit_code);
+    } else if (WIFSIGNALED(status)) {
+      out[i].error = "worker killed by signal " + std::to_string(WTERMSIG(status));
+    } else {
+      out[i].error = "worker ended abnormally";
+    }
+  }
+  return out;
+#endif
+}
+
+}  // namespace wefr::util

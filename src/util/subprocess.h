@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace wefr::util {
+
+/// Whether this build/host can run fork() worker processes. False on
+/// non-POSIX hosts, under sanitizer builds (fork + TSan/ASan runtimes
+/// interact badly — the CMake WEFR_SANITIZE option compiles in
+/// WEFR_FORCE_INPROCESS_SHARDS), and when the WEFR_SHARD_FORCE_INPROCESS
+/// environment variable is set to a non-"0" value (runtime override for
+/// debugging). Callers fall back to an in-process driver that produces
+/// byte-identical results.
+bool fork_supported();
+
+/// Outcome of one forked worker.
+struct ForkOutcome {
+  bool ok = false;        ///< child was forked and exited with status 0
+  int exit_code = -1;     ///< raw exit status (-1 when never started)
+  std::string error;      ///< why the worker failed, when !ok
+};
+
+/// Runs `fn(i)` for i in [0, n) each in its own forked child process;
+/// the callable's return value is the child's exit code (0 = success).
+/// Children that throw exit with code 121. stdio is flushed before
+/// every fork so buffered output is not duplicated; the parent waits
+/// for all children in index order. Exceptions must not escape to the
+/// caller — failures are reported through the outcome vector so the
+/// caller can decide to retry in-process.
+std::vector<ForkOutcome> run_forked(std::size_t n,
+                                    const std::function<int(std::size_t)>& fn);
+
+}  // namespace wefr::util

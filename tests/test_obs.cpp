@@ -418,18 +418,41 @@ TEST(RunReport, SchemaVersionAndSectionsPresent) {
   report.scoring = sc;
   report.tracer = &tracer;
   report.metrics = &registry;
+  obs::RunReport::Sharding sh;
+  sh.shards = 4;
+  sh.forked = true;
+  sh.shard_drives = {3, 2, 3, 2};
+  sh.shard_samples = {30, 20, 28, 22};
+  sh.partial_seconds = 0.5;
+  sh.merge_seconds = 0.01;
+  report.sharding = sh;
 
   std::ostringstream os;
   report.write_json(os);
   const std::string doc = os.str();
   expect_valid_json(doc);
-  EXPECT_NE(doc.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\": 2"), std::string::npos);
   for (const char* key : {"\"tool\"", "\"model\"", "\"run_info\"", "\"params\"",
                           "\"diagnostics\"", "\"ingest\"", "\"selection\"",
-                          "\"scoring\"", "\"spans\"", "\"metrics\""}) {
+                          "\"scoring\"", "\"sharding\"", "\"spans\"", "\"metrics\""}) {
     EXPECT_NE(doc.find(key), std::string::npos) << "missing " << key;
   }
   EXPECT_NE(doc.find("\"pe_cycles\""), std::string::npos);
+  // The sharding block carries the shard plan and merge timings.
+  for (const char* key : {"\"shards\": 4", "\"forked\": true", "\"shard_drives\"",
+                          "\"shard_samples\"", "\"partial_seconds\"",
+                          "\"merge_seconds\""}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << "missing sharding " << key;
+  }
+}
+
+TEST(RunReport, ShardingBlockNullForSingleProcessRuns) {
+  obs::RunReport report;
+  report.tool = "t";
+  std::ostringstream os;
+  report.write_json(os);
+  expect_valid_json(os.str());
+  EXPECT_NE(os.str().find("\"sharding\": null"), std::string::npos);
 }
 
 TEST(RunReport, MinimalReportStillValid) {

@@ -1,0 +1,607 @@
+// Shard-invariance suite: the bit-determinism contract of the
+// src/shard/ scale-out driver. Every mergeable partial (survival
+// tallies, ExactSum moments, complexity sketches, AUC rank tallies,
+// sample sets) must finalize to exactly the same bits at any shard
+// count, any thread count, forked or in-process — sharded(N) ==
+// sharded(1) == the per-drive-sampling single-process oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <set>
+#include <tuple>
+
+#include "core/pipeline.h"
+#include "core/survival.h"
+#include "core/wefr.h"
+#include "data/cache.h"
+#include "data/labeling.h"
+#include "ml/metrics.h"
+#include "shard/driver.h"
+#include "shard/hashring.h"
+#include "shard/partials.h"
+#include "smartsim/generator.h"
+#include "stats/complexity.h"
+#include "util/exact_sum.h"
+
+namespace wefr::shard {
+namespace {
+
+data::FleetData mc1_fleet(std::uint64_t seed = 31, std::size_t drives = 300,
+                          int days = 120, double afr_scale = 30.0) {
+  smartsim::SimOptions opt;
+  opt.num_drives = drives;
+  opt.num_days = days;
+  opt.seed = seed;
+  opt.afr_scale = afr_scale;
+  return generate_fleet(smartsim::profile_by_name("MC1"), opt);
+}
+
+core::ExperimentConfig light_cfg() {
+  core::ExperimentConfig cfg;
+  cfg.forest.num_trees = 10;
+  cfg.forest.tree.max_depth = 7;
+  cfg.negative_keep_prob = 0.10;
+  return cfg;
+}
+
+bool bits_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+void expect_same_dataset(const data::Dataset& a, const data::Dataset& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.feature_names, b.feature_names);
+  EXPECT_EQ(a.y, b.y);
+  EXPECT_EQ(a.drive_index, b.drive_index);
+  EXPECT_EQ(a.day, b.day);
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    const auto ra = a.x.row(r);
+    const auto rb = b.x.row(r);
+    ASSERT_EQ(0, std::memcmp(ra.data(), rb.data(), ra.size() * sizeof(double)))
+        << "row " << r;
+  }
+}
+
+void expect_same_group(const core::GroupSelection& a, const core::GroupSelection& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.selected_names, b.selected_names);
+  EXPECT_EQ(a.fallback, b.fallback);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.num_samples, b.num_samples);
+  EXPECT_EQ(a.num_positives, b.num_positives);
+  ASSERT_EQ(a.ensemble.final_ranking.size(), b.ensemble.final_ranking.size());
+  for (std::size_t i = 0; i < a.ensemble.final_ranking.size(); ++i) {
+    EXPECT_TRUE(bits_equal(a.ensemble.final_ranking[i], b.ensemble.final_ranking[i]))
+        << "final_ranking[" << i << "]";
+  }
+  EXPECT_EQ(a.ensemble.order, b.ensemble.order);
+  EXPECT_EQ(a.ensemble.discarded, b.ensemble.discarded);
+  EXPECT_EQ(a.ensemble.failed, b.ensemble.failed);
+}
+
+void expect_same_result(const core::WefrResult& a, const core::WefrResult& b) {
+  expect_same_group(a.all, b.all);
+  ASSERT_EQ(a.survival.mwi.size(), b.survival.mwi.size());
+  for (std::size_t i = 0; i < a.survival.mwi.size(); ++i) {
+    EXPECT_TRUE(bits_equal(a.survival.mwi[i], b.survival.mwi[i]));
+    EXPECT_TRUE(bits_equal(a.survival.rate[i], b.survival.rate[i]));
+    EXPECT_EQ(a.survival.total[i], b.survival.total[i]);
+  }
+  ASSERT_EQ(a.change_point.has_value(), b.change_point.has_value());
+  if (a.change_point.has_value()) {
+    EXPECT_TRUE(bits_equal(a.change_point->mwi_threshold, b.change_point->mwi_threshold));
+    EXPECT_TRUE(bits_equal(a.change_point->zscore, b.change_point->zscore));
+  }
+  ASSERT_EQ(a.low.has_value(), b.low.has_value());
+  if (a.low.has_value()) expect_same_group(*a.low, *b.low);
+  ASSERT_EQ(a.high.has_value(), b.high.has_value());
+  if (a.high.has_value()) expect_same_group(*a.high, *b.high);
+}
+
+// ---------------------------------------------------------------- hashring
+
+TEST(HashRing, DeterministicAcrossInstances) {
+  const HashRing a(8), b(8);
+  for (int i = 0; i < 500; ++i) {
+    const std::string key = "drive-" + std::to_string(i);
+    EXPECT_EQ(a.shard_for(key), b.shard_for(key));
+  }
+}
+
+TEST(HashRing, RoughlyBalanced) {
+  const HashRing ring(8);
+  std::vector<std::size_t> counts(8, 0);
+  for (int i = 0; i < 4000; ++i) ++counts[ring.shard_for("drive-" + std::to_string(i))];
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_GT(counts[s], 100u) << "shard " << s << " nearly starved";
+    EXPECT_LT(counts[s], 1400u) << "shard " << s << " owns too much";
+  }
+}
+
+TEST(HashRing, StableUnderShardGrowth) {
+  // Consistent hashing's point: adding a shard moves only the keys the
+  // new shard takes over (~1/(N+1)), not a full reshuffle.
+  const HashRing before(4), after(5);
+  int moved = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const std::string key = "drive-" + std::to_string(i);
+    if (before.shard_for(key) != after.shard_for(key)) ++moved;
+  }
+  EXPECT_LT(moved, n / 2) << "growth reshuffled half the fleet";
+  EXPECT_GT(moved, 0) << "new shard owns nothing";
+}
+
+TEST(HashRing, RejectsDegenerateConfig) {
+  EXPECT_THROW(HashRing(0), std::invalid_argument);
+  EXPECT_THROW(HashRing(2, 0), std::invalid_argument);
+}
+
+TEST(HashRing, PartitionCoversFleetExactlyOnce) {
+  const auto fleet = mc1_fleet(7, 120, 60);
+  const auto parts = partition_fleet(fleet, 5);
+  std::vector<int> seen(fleet.drives.size(), 0);
+  for (const auto& part : parts) {
+    for (std::size_t di : part) ++seen[di];
+    EXPECT_TRUE(std::is_sorted(part.begin(), part.end()));
+  }
+  for (std::size_t di = 0; di < seen.size(); ++di) EXPECT_EQ(seen[di], 1) << di;
+}
+
+// ---------------------------------------------------------------- exact sum
+
+TEST(ExactSum, IntegersExact) {
+  util::ExactSum s;
+  for (int i = 1; i <= 100000; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.finalize(), 100000.0 * 100001.0 / 2.0);
+}
+
+TEST(ExactSum, CancellationSurvives) {
+  util::ExactSum s;
+  s.add(1e16);
+  s.add(1.0);
+  s.add(-1e16);
+  EXPECT_EQ(s.finalize(), 1.0);  // a double accumulator loses the 1.0
+}
+
+TEST(ExactSum, PermutationAndMergeGroupingBitwiseInvariant) {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> mag(-1e12, 1e12);
+  std::vector<double> vals(5000);
+  for (auto& v : vals) v = mag(rng) * std::pow(10.0, static_cast<int>(rng() % 25) - 12);
+
+  util::ExactSum forward;
+  for (double v : vals) forward.add(v);
+  const double want = forward.finalize();
+
+  std::shuffle(vals.begin(), vals.end(), rng);
+  util::ExactSum shuffled;
+  for (double v : vals) shuffled.add(v);
+  EXPECT_TRUE(bits_equal(want, shuffled.finalize()));
+
+  for (const std::size_t cuts : {2u, 3u, 7u}) {
+    std::vector<util::ExactSum> parts(cuts);
+    for (std::size_t i = 0; i < vals.size(); ++i) parts[i % cuts].add(vals[i]);
+    util::ExactSum merged;
+    for (const auto& p : parts) merged.merge(p);
+    EXPECT_TRUE(bits_equal(want, merged.finalize())) << cuts << " way merge";
+  }
+}
+
+TEST(ExactSum, NonfinitePoisonsAcrossMerge) {
+  util::ExactSum a, b;
+  a.add(1.0);
+  b.add(std::numeric_limits<double>::quiet_NaN());
+  a.merge(b);
+  EXPECT_TRUE(std::isnan(a.finalize()));
+}
+
+// ------------------------------------------------------------- survival tally
+
+TEST(SurvivalTally, ShardMergeMatchesDirectCurve) {
+  const auto fleet = mc1_fleet(11, 400, 150);
+  const int mwi_col = fleet.feature_index("MWI_N");
+  ASSERT_GE(mwi_col, 0);
+  const auto direct = core::survival_vs_mwi(fleet, 149, 5, 1);
+
+  for (const std::size_t shards : {1u, 3u, 8u}) {
+    const auto parts = partition_fleet(fleet, shards);
+    core::SurvivalTally merged(1);
+    for (const auto& part : parts) {
+      core::SurvivalTally t(1);
+      for (std::size_t di : part) {
+        t.add_drive(fleet.drives[di], static_cast<std::size_t>(mwi_col), 149);
+      }
+      merged.merge(t);
+    }
+    const auto curve = merged.finalize(5);
+    ASSERT_EQ(curve.mwi.size(), direct.mwi.size()) << shards;
+    for (std::size_t i = 0; i < curve.mwi.size(); ++i) {
+      EXPECT_TRUE(bits_equal(curve.mwi[i], direct.mwi[i]));
+      EXPECT_TRUE(bits_equal(curve.rate[i], direct.rate[i]));
+      EXPECT_EQ(curve.total[i], direct.total[i]);
+    }
+    EXPECT_EQ(curve.drives_skipped_nan, direct.drives_skipped_nan);
+  }
+}
+
+TEST(SurvivalTally, MergeRejectsWidthMismatchAndHandlesEmpty) {
+  core::SurvivalTally a(1), b(2), empty(1);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  a.set_bucket(10, 20, 3);
+  a.merge(empty);  // merging a shard that owned no drives is a no-op
+  const auto curve = a.finalize(1);
+  ASSERT_EQ(curve.mwi.size(), 1u);
+  EXPECT_EQ(curve.total[0], 20u);
+}
+
+// ------------------------------------------------------------------- auc
+
+TEST(AucPartial, MatchesReferenceAucAndShardInvariant) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<double> scores(3000);
+  std::vector<int> labels(3000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = u(rng) < 0.1 ? 1 : 0;
+    scores[i] = u(rng) * 0.7 + 0.3 * labels[i];
+    if (i % 13 == 0) scores[i] = 0.5;  // tie groups exercise midranks
+  }
+  ml::AucPartial whole;
+  for (std::size_t i = 0; i < scores.size(); ++i) whole.add(scores[i], labels[i]);
+  const double reference = ml::auc(scores, labels);
+  EXPECT_NEAR(whole.finalize(), reference, 1e-12);
+
+  for (const std::size_t shards : {2u, 5u}) {
+    std::vector<ml::AucPartial> parts(shards);
+    for (std::size_t i = 0; i < scores.size(); ++i)
+      parts[i % shards].add(scores[i], labels[i]);
+    ml::AucPartial merged;
+    for (const auto& p : parts) merged.merge(p);
+    EXPECT_TRUE(bits_equal(whole.finalize(), merged.finalize())) << shards;
+  }
+}
+
+TEST(AucPartial, SingleClassIsNaN) {
+  ml::AucPartial p;
+  p.add(0.5, 1);
+  p.add(0.9, 1);
+  EXPECT_TRUE(std::isnan(p.finalize()));
+}
+
+// ----------------------------------------------------------- complexity sketch
+
+TEST(ComplexitySketch, ShardMergeBitIdenticalToSinglePass) {
+  std::mt19937_64 rng(17);
+  std::normal_distribution<double> n0(0.0, 1.0), n1(0.8, 1.3);
+  std::vector<double> x(4000);
+  std::vector<int> y(4000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = i % 5 == 0 ? 1 : 0;
+    x[i] = y[i] != 0 ? n1(rng) : n0(rng);
+  }
+
+  stats::ComplexitySketch whole;
+  for (std::size_t i = 0; i < x.size(); ++i) whole.add(x[i], y[i]);
+  const auto want = whole.finalize();
+
+  for (const std::size_t shards : {2u, 3u, 8u}) {
+    std::vector<stats::ComplexitySketch> parts(shards);
+    for (std::size_t i = 0; i < x.size(); ++i) parts[i % shards].add(x[i], y[i]);
+    stats::ComplexitySketch merged;
+    for (const auto& p : parts) merged.merge(p);
+    const auto got = merged.finalize();
+    EXPECT_TRUE(bits_equal(want.fisher_ratio, got.fisher_ratio)) << shards;
+    EXPECT_TRUE(bits_equal(want.overlap_volume, got.overlap_volume)) << shards;
+    EXPECT_TRUE(bits_equal(want.feature_efficiency, got.feature_efficiency)) << shards;
+  }
+}
+
+TEST(ComplexitySketch, CodecExactOnCoarseFeature) {
+  // Integer-valued feature with one bin per distinct value: the sketch
+  // F3 must be exact, not just bin-resolution bounded.
+  std::mt19937_64 rng(23);
+  std::vector<double> x(2000);
+  std::vector<int> y(2000);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    y[i] = i % 4 == 0 ? 1 : 0;
+    x[i] = static_cast<double>(rng() % 32) + (y[i] != 0 ? 8.0 : 0.0);
+  }
+  std::vector<double> bins;
+  for (int v = 0; v < 40; ++v) bins.push_back(static_cast<double>(v));
+
+  stats::ComplexitySketch sk(bins);
+  for (std::size_t i = 0; i < x.size(); ++i) sk.add(x[i], y[i]);
+  const auto got = sk.finalize();
+  const auto want = stats::feature_complexity(x, y);
+  EXPECT_TRUE(bits_equal(want.overlap_volume, got.overlap_volume));
+  EXPECT_NEAR(got.fisher_ratio, want.fisher_ratio, 1e-9 * std::abs(want.fisher_ratio));
+  EXPECT_DOUBLE_EQ(got.feature_efficiency, want.feature_efficiency);
+}
+
+// ------------------------------------------------------------ wire format
+
+TEST(ShardRecord, RoundtripAndTamperDetection) {
+  const std::string payload = "binary\0payload\x7f with bytes";
+  const auto rec = data::encode_shard_record(data::ShardRecordKind::kRankerScores, 2, 8,
+                                             payload);
+  std::string out, why;
+  ASSERT_TRUE(data::decode_shard_record(rec, data::ShardRecordKind::kRankerScores, 2, 8,
+                                        out, &why))
+      << why;
+  EXPECT_EQ(out, payload);
+
+  // Wrong kind, wrong slot, wrong run shape, damaged byte: all refused.
+  EXPECT_FALSE(data::decode_shard_record(rec, data::ShardRecordKind::kWefrPartial, 2, 8,
+                                         out, &why));
+  EXPECT_FALSE(data::decode_shard_record(rec, data::ShardRecordKind::kRankerScores, 3, 8,
+                                         out, &why));
+  EXPECT_FALSE(data::decode_shard_record(rec, data::ShardRecordKind::kRankerScores, 2, 4,
+                                         out, &why));
+  std::string damaged = rec;
+  damaged[damaged.size() / 2] ^= 0x20;
+  EXPECT_FALSE(data::decode_shard_record(damaged, data::ShardRecordKind::kRankerScores, 2,
+                                         8, out, &why));
+  EXPECT_FALSE(data::decode_shard_record(rec.substr(0, rec.size() - 3),
+                                         data::ShardRecordKind::kRankerScores, 2, 8, out,
+                                         &why));
+}
+
+TEST(Partials, WefrPartialSerializationRoundtrip) {
+  const auto fleet = mc1_fleet(3, 60, 60);
+  core::ExperimentConfig cfg = light_cfg();
+  cfg.per_drive_sampling = true;
+  data::SamplingOptions sopt;
+  sopt.horizon_days = cfg.horizon_days;
+  sopt.day_lo = 0;
+  sopt.day_hi = 49;
+  sopt.negative_keep_prob = cfg.negative_keep_prob;
+  sopt.per_drive_rng = true;
+  sopt.per_drive_seed = cfg.seed ^ 0x5e1ec7104b15ULL;
+
+  WefrPartial p;
+  p.samples = data::build_samples(fleet, sopt);
+  p.drives_owned = fleet.drives.size();
+  p.build_micros = 1234;
+  p.survival = core::SurvivalTally(1);
+  const int mwi_col = fleet.feature_index("MWI_N");
+  for (const auto& d : fleet.drives)
+    p.survival.add_drive(d, static_cast<std::size_t>(mwi_col), 49);
+  p.sketches.resize(p.samples.num_features());
+  for (std::size_t r = 0; r < p.samples.size(); ++r)
+    for (std::size_t f = 0; f < p.samples.num_features(); ++f)
+      p.sketches[f].add(p.samples.x(r, f), p.samples.y[r]);
+
+  WefrPartial q;
+  std::string why;
+  ASSERT_TRUE(deserialize_wefr_partial(serialize_wefr_partial(p), q, &why)) << why;
+  EXPECT_EQ(q.drives_owned, p.drives_owned);
+  EXPECT_EQ(q.build_micros, p.build_micros);
+  expect_same_dataset(p.samples, q.samples);
+  EXPECT_EQ(p.survival.buckets(), q.survival.buckets());
+  ASSERT_EQ(p.sketches.size(), q.sketches.size());
+  for (std::size_t f = 0; f < p.sketches.size(); ++f) {
+    const auto a = p.sketches[f].finalize();
+    const auto b = q.sketches[f].finalize();
+    EXPECT_TRUE(bits_equal(a.fisher_ratio, b.fisher_ratio)) << f;
+    EXPECT_TRUE(bits_equal(a.overlap_volume, b.overlap_volume)) << f;
+    EXPECT_TRUE(bits_equal(a.feature_efficiency, b.feature_efficiency)) << f;
+  }
+
+  // Truncated payloads fail with a reason instead of faulting.
+  const std::string whole = serialize_wefr_partial(p);
+  WefrPartial r;
+  EXPECT_FALSE(deserialize_wefr_partial(
+      std::string_view(whole).substr(0, whole.size() / 2), r, &why));
+  EXPECT_FALSE(why.empty());
+}
+
+// ------------------------------------------------------ sampling invariance
+
+TEST(PerDriveSampling, KeptRowsInvariantToPartitioning) {
+  const auto fleet = mc1_fleet(13, 150, 80);
+  data::SamplingOptions sopt;
+  sopt.day_lo = 0;
+  sopt.day_hi = 79;
+  sopt.negative_keep_prob = 0.2;
+  sopt.per_drive_rng = true;
+  sopt.per_drive_seed = 0xfeedULL;
+
+  const auto full = data::build_samples(fleet, sopt);
+  std::set<std::pair<std::int32_t, std::int32_t>> full_rows;
+  for (std::size_t r = 0; r < full.size(); ++r)
+    full_rows.insert({full.drive_index[r], full.day[r]});
+
+  const auto parts = partition_fleet(fleet, 4);
+  std::set<std::pair<std::int32_t, std::int32_t>> union_rows;
+  for (const auto& part : parts) {
+    std::vector<char> mask(fleet.drives.size(), 0);
+    for (std::size_t di : part) mask[di] = 1;
+    data::SamplingOptions shard_opt = sopt;
+    shard_opt.keep = [&mask](std::size_t di, int) { return mask[di] != 0; };
+    const auto ds = data::build_samples(fleet, shard_opt);
+    for (std::size_t r = 0; r < ds.size(); ++r) {
+      const auto inserted = union_rows.insert({ds.drive_index[r], ds.day[r]});
+      EXPECT_TRUE(inserted.second) << "row owned by two shards";
+    }
+  }
+  EXPECT_EQ(full_rows, union_rows);
+}
+
+// ------------------------------------------------------------ the driver
+
+TEST(RunWefrSharded, BitIdenticalToOracleAcrossShardAndThreadCounts) {
+  const auto fleet = mc1_fleet(31, 300, 120);
+  core::ExperimentConfig cfg = light_cfg();
+  core::WefrOptions wopt;
+  wopt.update_with_wearout = true;
+
+  // The oracle: single-process run_wefr over the per-drive-sampled
+  // population. Thread-count invariance of the oracle itself is pinned
+  // by the ensemble suite; everything below must match these bits.
+  core::ExperimentConfig oracle_cfg = cfg;
+  oracle_cfg.per_drive_sampling = true;
+  const auto oracle_samples = core::build_selection_samples(fleet, 0, 119, oracle_cfg);
+  core::PipelineDiagnostics oracle_diag;
+  const auto oracle =
+      core::run_wefr(fleet, oracle_samples, 119, wopt, &oracle_diag);
+
+  for (const std::size_t shards : {1u, 2u, 3u, 8u}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      core::WefrOptions w = wopt;
+      w.num_threads = threads;
+      ShardOptions sopt;
+      sopt.num_shards = shards;
+      core::PipelineDiagnostics diag;
+      ShardRunStats stats;
+      data::Dataset merged;
+      const auto got =
+          run_wefr_sharded(fleet, 0, 119, 119, w, cfg, sopt, &diag, nullptr, &stats,
+                           &merged);
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " threads=" + std::to_string(threads));
+      EXPECT_FALSE(diag.has("in_process_fallback"));
+      expect_same_dataset(oracle_samples, merged);
+      expect_same_result(oracle, got);
+      EXPECT_EQ(stats.num_shards, shards);
+      ASSERT_EQ(stats.shard_samples.size(), shards);
+      std::uint64_t total = 0;
+      for (auto n : stats.shard_samples) total += n;
+      EXPECT_EQ(total, merged.size());
+    }
+  }
+}
+
+TEST(RunWefrSharded, ForkedAndInProcessAgree) {
+  const auto fleet = mc1_fleet(37, 200, 100);
+  const core::ExperimentConfig cfg = light_cfg();
+  core::WefrOptions wopt;
+
+  ShardOptions forked;
+  forked.num_shards = 3;
+  ShardOptions inproc = forked;
+  inproc.force_in_process = true;
+
+  core::PipelineDiagnostics d1, d2;
+  const auto a = run_wefr_sharded(fleet, 0, 99, 99, wopt, cfg, forked, &d1);
+  const auto b = run_wefr_sharded(fleet, 0, 99, 99, wopt, cfg, inproc, &d2);
+  expect_same_result(a, b);
+}
+
+TEST(RunWefrSharded, DegenerateShardsMoreShardsThanDrives) {
+  const auto fleet = mc1_fleet(41, 3, 80);  // 8 shards, 3 drives: empties
+  const core::ExperimentConfig cfg = light_cfg();
+  core::WefrOptions wopt;
+
+  core::ExperimentConfig oracle_cfg = cfg;
+  oracle_cfg.per_drive_sampling = true;
+  const auto oracle_samples = core::build_selection_samples(fleet, 0, 79, oracle_cfg);
+  core::PipelineDiagnostics oracle_diag;
+  const auto oracle = core::run_wefr(fleet, oracle_samples, 79, wopt, &oracle_diag);
+
+  ShardOptions sopt;
+  sopt.num_shards = 8;
+  core::PipelineDiagnostics diag;
+  const auto got = run_wefr_sharded(fleet, 0, 79, 79, wopt, cfg, sopt, &diag);
+  expect_same_result(oracle, got);
+}
+
+TEST(RunWefrSharded, SingleDriveFleet) {
+  const auto fleet = mc1_fleet(43, 1, 60);
+  const core::ExperimentConfig cfg = light_cfg();
+  core::WefrOptions wopt;
+
+  core::ExperimentConfig oracle_cfg = cfg;
+  oracle_cfg.per_drive_sampling = true;
+  const auto oracle_samples = core::build_selection_samples(fleet, 0, 59, oracle_cfg);
+  core::PipelineDiagnostics oracle_diag;
+  const auto oracle = core::run_wefr(fleet, oracle_samples, 59, wopt, &oracle_diag);
+
+  ShardOptions sopt;
+  sopt.num_shards = 4;
+  core::PipelineDiagnostics diag;
+  const auto got = run_wefr_sharded(fleet, 0, 59, 59, wopt, cfg, sopt, &diag);
+  expect_same_result(oracle, got);
+}
+
+TEST(RunWefrSharded, AllNegativeFleetDegradesIdentically) {
+  auto fleet = mc1_fleet(47, 80, 60);
+  for (auto& d : fleet.drives) d.fail_day = -1;  // no positives anywhere
+  ASSERT_EQ(fleet.num_failed(), 0u);
+  const core::ExperimentConfig cfg = light_cfg();
+  core::WefrOptions wopt;
+
+  core::ExperimentConfig oracle_cfg = cfg;
+  oracle_cfg.per_drive_sampling = true;
+  const auto oracle_samples = core::build_selection_samples(fleet, 0, 59, oracle_cfg);
+  core::PipelineDiagnostics oracle_diag;
+  const auto oracle = core::run_wefr(fleet, oracle_samples, 59, wopt, &oracle_diag);
+  ASSERT_TRUE(oracle.all.degraded);
+
+  ShardOptions sopt;
+  sopt.num_shards = 3;
+  core::PipelineDiagnostics diag;
+  const auto got = run_wefr_sharded(fleet, 0, 59, 59, wopt, cfg, sopt, &diag);
+  EXPECT_TRUE(got.all.degraded);
+  expect_same_result(oracle, got);
+  EXPECT_TRUE(diag.has("single_class"));
+}
+
+TEST(ScoreFleetSharded, BitIdenticalToScoreFleet) {
+  const auto fleet = mc1_fleet(53, 250, 120);
+  core::ExperimentConfig cfg = light_cfg();
+  cfg.per_drive_sampling = true;
+  core::WefrOptions wopt;
+  const auto samples = core::build_selection_samples(fleet, 0, 89, cfg);
+  core::PipelineDiagnostics diag;
+  const auto result = core::run_wefr(fleet, samples, 89, wopt, &diag);
+  const auto predictor = core::train_predictor(fleet, result, 0, 89, cfg);
+
+  const auto direct = core::score_fleet(fleet, predictor, 90, 119, cfg, &diag);
+  std::vector<double> flat;
+  std::vector<int> labels;
+  for (const auto& b : direct) {
+    const auto& drive = fleet.drives[b.drive_index];
+    for (std::size_t i = 0; i < b.scores.size(); ++i) {
+      const int day = b.first_day + static_cast<int>(i);
+      flat.push_back(b.scores[i]);
+      labels.push_back(drive.failed() && drive.fail_day > day &&
+                               drive.fail_day <= day + cfg.horizon_days
+                           ? 1
+                           : 0);
+    }
+  }
+
+  for (const std::size_t shards : {1u, 2u, 8u}) {
+    ShardOptions sopt;
+    sopt.num_shards = shards;
+    core::PipelineDiagnostics sdiag;
+    ShardRunStats stats;
+    ml::AucPartial auc;
+    const auto got = score_fleet_sharded(fleet, predictor, 90, 119, cfg, sopt, &sdiag,
+                                         nullptr, &stats, &auc);
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    EXPECT_FALSE(sdiag.has("in_process_fallback"));
+    ASSERT_EQ(got.size(), direct.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].drive_index, direct[i].drive_index);
+      EXPECT_EQ(got[i].first_day, direct[i].first_day);
+      ASSERT_EQ(got[i].scores.size(), direct[i].scores.size());
+      ASSERT_EQ(0, std::memcmp(got[i].scores.data(), direct[i].scores.data(),
+                               got[i].scores.size() * sizeof(double)))
+          << "drive block " << i;
+    }
+    bool has_pos = false, has_neg = false;
+    for (int l : labels) (l != 0 ? has_pos : has_neg) = true;
+    if (has_pos && has_neg) {
+      EXPECT_NEAR(auc.finalize(), ml::auc(flat, labels), 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wefr::shard

@@ -47,6 +47,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "shard/driver.h"
 #include "util/strings.h"
 
 using namespace wefr;
@@ -58,7 +59,7 @@ void usage() {
                "usage: wefr_select --in FILE [--model NAME] [--train-end DAY]\n"
                "                   [--horizon N] [--no-update] [--save-model FILE]\n"
                "                   [--policy strict|recover|skip-drive]\n"
-               "                   [--cache-dir DIR]\n"
+               "                   [--cache-dir DIR] [--shards N]\n"
                "                   [--trace-out FILE] [--metrics-out FILE]\n"
                "                   [--report-out FILE]\n");
 }
@@ -91,6 +92,7 @@ int main(int argc, char** argv) {
   std::string in_path, model = "fleet", save_model, cache_dir;
   std::string trace_out, metrics_out, report_out;
   int train_end = -1;
+  int shards = 0;  // 0 = the historical single-process path
   core::ExperimentConfig cfg;
   core::WefrOptions wopt;
   data::ReadOptions ropt;
@@ -114,6 +116,11 @@ int main(int argc, char** argv) {
       // parsed in the condition
     } else if (arg == "--cache-dir") {
       cache_dir = next();
+    } else if (arg == "--shards" && util::parse_int_as(next(), shards)) {
+      if (shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return 2;
+      }
     } else if (arg == "--no-update") {
       wopt.update_with_wearout = false;
     } else if (arg == "--save-model") {
@@ -185,11 +192,30 @@ int main(int argc, char** argv) {
                 fleet.num_days, fleet.num_features(), train_end);
 
     cfg.negative_keep_prob = 0.15;
-    const auto samples = core::build_selection_samples(fleet, 0, train_end, cfg, obs);
-    std::printf("selection samples: %zu (%zu positive)\n", samples.size(),
-                samples.num_positive());
-
-    const auto result = core::run_wefr(fleet, samples, train_end, wopt, &diag, obs);
+    shard::ShardOptions shard_opt;
+    shard_opt.num_shards = shards > 0 ? static_cast<std::size_t>(shards) : 1;
+    shard::ShardRunStats shard_stats, score_stats;
+    core::WefrResult result;
+    data::Dataset samples;
+    if (shards > 0) {
+      result = shard::run_wefr_sharded(fleet, 0, train_end, train_end, wopt, cfg,
+                                       shard_opt, &diag, obs, &shard_stats, &samples);
+      std::printf("shard plan (%zu workers, %s):", shard_stats.num_shards,
+                  shard_stats.forked ? "forked" : "in-process");
+      for (std::size_t s = 0; s < shard_stats.shard_drives.size(); ++s) {
+        std::printf(" s%zu=%llu drives/%llu samples", s,
+                    static_cast<unsigned long long>(shard_stats.shard_drives[s]),
+                    static_cast<unsigned long long>(shard_stats.shard_samples[s]));
+      }
+      std::printf("\n");
+      std::printf("selection samples: %zu (%zu positive)\n", samples.size(),
+                  samples.num_positive());
+    } else {
+      samples = core::build_selection_samples(fleet, 0, train_end, cfg, obs);
+      std::printf("selection samples: %zu (%zu positive)\n", samples.size(),
+                  samples.num_positive());
+      result = core::run_wefr(fleet, samples, train_end, wopt, &diag, obs);
+    }
 
     std::printf("\npreliminary rankings (Kendall-tau mean distance; * = discarded):\n");
     const auto& ens = result.all.ensemble;
@@ -235,8 +261,14 @@ int main(int argc, char** argv) {
           t0 = std::max(0, t1 - 29);
           in_sample = true;
         }
-        const auto scores =
-            core::score_fleet(fleet, predictor, t0, t1, cfg, &diag, obs);
+        std::vector<core::DriveDayScores> scores;
+        ml::AucPartial auc_partial;
+        if (shards > 0) {
+          scores = shard::score_fleet_sharded(fleet, predictor, t0, t1, cfg, shard_opt,
+                                              &diag, obs, &score_stats, &auc_partial);
+        } else {
+          scores = core::score_fleet(fleet, predictor, t0, t1, cfg, &diag, obs);
+        }
 
         obs::RunReport::Scoring sc;
         sc.drives = scores.size();
@@ -262,7 +294,12 @@ int main(int argc, char** argv) {
           if (l != 0) has_pos = true;
           else has_neg = true;
         }
-        if (has_pos && has_neg) sc.auc = ml::auc(flat, labels);
+        if (has_pos && has_neg) {
+          // Sharded runs report the AUC finalized from the merged
+          // per-shard rank tallies (the mergeable form); it agrees with
+          // ml::auc over the flattened scores.
+          sc.auc = shards > 0 ? auc_partial.finalize() : ml::auc(flat, labels);
+        }
         const auto eval = core::evaluate_fixed_recall(fleet, scores, t0, t1,
                                                       cfg.horizon_days, 0.3);
         sc.precision = eval.precision;
@@ -308,6 +345,17 @@ int main(int argc, char** argv) {
         run_report.params["horizon_days"] = std::to_string(cfg.horizon_days);
         run_report.params["update_with_wearout"] =
             wopt.update_with_wearout ? "true" : "false";
+        if (shards > 0) {
+          run_report.params["shards"] = std::to_string(shards);
+          obs::RunReport::Sharding sh;
+          sh.shards = shard_stats.num_shards;
+          sh.forked = shard_stats.forked;
+          sh.shard_drives = shard_stats.shard_drives;
+          sh.shard_samples = shard_stats.shard_samples;
+          sh.partial_seconds = shard_stats.partial_seconds + score_stats.partial_seconds;
+          sh.merge_seconds = shard_stats.merge_seconds + score_stats.merge_seconds;
+          run_report.sharding = sh;
+        }
         report.fill_run_report(run_report);
         diag.fill_run_report(run_report);
         core::fill_run_report(result, run_report);

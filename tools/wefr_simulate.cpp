@@ -37,6 +37,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "shard/hashring.h"
 #include "smartsim/faultsim.h"
 #include "smartsim/generator.h"
 #include "smartsim/mixed_fleet.h"
@@ -52,7 +53,7 @@ void usage() {
                "                     [--seed N] [--afr-scale X] [--out FILE]\n"
                "                     [--mix SPEC] [--churn SPEC]\n"
                "                     [--faults SPEC] [--fault-seed N]\n"
-               "                     [--cache-dir DIR]\n"
+               "                     [--cache-dir DIR] [--shards N]\n"
                "                     [--trace-out FILE] [--metrics-out FILE]\n"
                "                     [--report-out FILE]\n"
                "models: MA1 MA2 MB1 MB2 MC1 MC2 HDD1 (default MC1)\n"
@@ -79,6 +80,7 @@ int main(int argc, char** argv) {
   std::string cache_dir;
   std::string trace_out, metrics_out, report_out;
   std::uint64_t fault_seed = 0x5eedfau;
+  int shards = 0;  // 0 = no shard-plan preview
   smartsim::SimOptions opt;
   opt.num_drives = 1000;
   opt.num_days = 220;
@@ -117,6 +119,11 @@ int main(int argc, char** argv) {
       // parsed in the condition
     } else if (arg == "--cache-dir") {
       cache_dir = next();
+    } else if (arg == "--shards" && util::parse_int_as(next(), shards)) {
+      if (shards < 1) {
+        std::fprintf(stderr, "--shards must be >= 1\n");
+        return 2;
+      }
     } else if (arg == "--trace-out") {
       trace_out = next();
     } else if (arg == "--metrics-out") {
@@ -170,6 +177,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "generated %s: %zu drives, %zu failed, %d days, AFR %.2f%%\n",
                  fleet.model_name.c_str(), fleet.drives.size(), fleet.num_failed(),
                  fleet.num_days, fleet.afr_percent());
+    if (shards > 0) {
+      // Preview of how wefr_select --shards N would own this fleet:
+      // the hashring is keyed purely on drive ids, so the plan printed
+      // here is exactly the selection-time partition.
+      const auto plan =
+          shard::partition_fleet(fleet, static_cast<std::size_t>(shards));
+      std::fprintf(stderr, "shard plan (%d workers):", shards);
+      for (std::size_t s = 0; s < plan.size(); ++s)
+        std::fprintf(stderr, " s%zu=%zu drives", s, plan[s].size());
+      std::fprintf(stderr, "\n");
+    }
     if (obs_enabled) {
       obs::add_counter(obs, "wefr_sim_drives_total", fleet.drives.size());
       obs::add_counter(obs, "wefr_sim_drives_failed_total", fleet.num_failed());
