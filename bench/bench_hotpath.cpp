@@ -15,7 +15,11 @@
 //
 // Also gates the wefr::obs zero-overhead contract: scoring with tracing
 // and metrics enabled must stay within 5% of the disabled run, or the
-// bench exits non-zero.
+// bench exits non-zero. The same contract covers the cross-process
+// path: an obs-enabled sharded scoring run (worker span/metric
+// capture, WEFROB01 sidecar exchange, parent-side merge) must stay
+// within 5% of the obs-disabled sharded run, and the merged fleet
+// trace must contain a "shard:k" container span for every worker.
 //
 // Prints a human-readable report and writes machine-readable
 // BENCH_hotpath.json into the working directory (schema documented in
@@ -651,6 +655,63 @@ int main() {
               shard_speedup_armed ? "armed" : "recorded only", shard_ok ? "PASS" : "FAIL");
   std::fflush(stdout);
 
+  // --- 10. Sharded obs gate: cross-process observability (worker-local
+  // tracing + metrics, WEFROB01 sidecar serialization, parent-side
+  // trace/metric merge) must cost at most 5% over the obs-disabled
+  // sharded run. Same protocol as the in-process gate: interleaved
+  // reps, minimum kept per side, small absolute escape hatch for
+  // micro-scale runs. The merged trace is also sanity-checked — one
+  // "shard:k" container span per worker must survive the merge — and
+  // both checks fold into the exit gate.
+  const std::size_t sobs_shards = 2;
+  double sobs_off_s = 1e300, sobs_on_s = 1e300;
+  std::size_t sobs_spans = 0;
+  std::uint64_t sobs_partials = 0;
+  bool sobs_trace_ok = false;
+  for (int rep = 0; rep < obs_reps; ++rep) {
+    shard::ShardOptions sopt;
+    sopt.num_shards = sobs_shards;
+    core::PipelineDiagnostics d_off;
+    sw.reset();
+    const auto off = shard::score_fleet_sharded(fleet, predictor, phase.test_start,
+                                                phase.test_end, cfg_score, sopt, &d_off,
+                                                nullptr, nullptr, nullptr);
+    sobs_off_s = std::min(sobs_off_s, sw.seconds());
+
+    obs::Tracer tracer;
+    obs::Registry registry;
+    obs::Context ctx{&tracer, &registry};
+    core::PipelineDiagnostics d_on;
+    shard::ShardRunStats sstats;
+    sw.reset();
+    const auto on = shard::score_fleet_sharded(fleet, predictor, phase.test_start,
+                                               phase.test_end, cfg_score, sopt, &d_on,
+                                               &ctx, &sstats, nullptr);
+    sobs_on_s = std::min(sobs_on_s, sw.seconds());
+    sobs_spans = tracer.size();
+    sobs_partials = sstats.obs_partials_merged;
+    const auto spans = tracer.snapshot();
+    bool trace_ok = sstats.fallback_reason.empty() && off.size() == on.size();
+    for (std::size_t k = 0; k < sobs_shards; ++k) {
+      bool found = false;
+      for (const auto& s : spans) found = found || s.name == "shard:" + std::to_string(k);
+      trace_ok = trace_ok && found;
+    }
+    sobs_trace_ok = trace_ok;
+  }
+  const double sobs_ratio = sobs_off_s > 0.0 ? sobs_on_s / sobs_off_s : 1.0;
+  const bool sobs_gate_pass =
+      sobs_trace_ok && (sobs_ratio <= 1.05 || sobs_on_s - sobs_off_s < 0.005);
+  std::printf("sharded obs gate (score_fleet_sharded, %zu workers, min of %d reps):\n"
+              "  disabled: %8.3f s\n"
+              "  enabled:  %8.3f s   (ratio %.3f, %zu merged spans, %llu obs partials,"
+              " trace %s; gate %s)\n\n",
+              sobs_shards, obs_reps, sobs_off_s, sobs_on_s, sobs_ratio, sobs_spans,
+              static_cast<unsigned long long>(sobs_partials),
+              sobs_trace_ok ? "complete" : "INCOMPLETE",
+              sobs_gate_pass ? "PASS" : "FAIL");
+  std::fflush(stdout);
+
   // --- machine-readable summary.
   {
     std::ofstream js("BENCH_hotpath.json");
@@ -748,6 +809,14 @@ int main() {
     w.field("disabled_seconds", obs_off_s).field("enabled_seconds", obs_on_s);
     w.field("overhead_ratio", obs_ratio).field("max_ratio", 1.05);
     w.field("gate_pass", obs_gate_pass).end_object();
+    w.key("obs_sharded").begin_object();
+    w.field("workers", sobs_shards).field("reps", obs_reps);
+    w.field("disabled_seconds", sobs_off_s).field("enabled_seconds", sobs_on_s);
+    w.field("overhead_ratio", sobs_ratio).field("max_ratio", 1.05);
+    w.field("merged_spans", sobs_spans);
+    w.field("obs_partials_merged", sobs_partials);
+    w.field("merged_trace_ok", sobs_trace_ok);
+    w.field("gate_pass", sobs_gate_pass).end_object();
     w.end_object();
     js << '\n';
   }
@@ -755,5 +824,7 @@ int main() {
   const bool all_equivalent = identical && fg_exact_bitwise && fg_max_rel < 1e-6 &&
                               kd_identical && ens_identical && ingest_identical &&
                               inf_identical;
-  return all_equivalent && obs_gate_pass && inf_gate_pass && shard_ok ? 0 : 1;
+  return all_equivalent && obs_gate_pass && sobs_gate_pass && inf_gate_pass && shard_ok
+             ? 0
+             : 1;
 }

@@ -356,22 +356,28 @@ FleetData load_fleet_csv_cached(const std::string& path, const std::string& mode
   return fleet;
 }
 
-// --- WEFRSH01 shard-partial records --------------------------------
+// --- WEFRSH01 / WEFROB01 framed exchange records -------------------
+// One framing implementation behind two magics: WEFRSH01 carries the
+// shard-partial payloads the merge depends on, WEFROB01 carries the
+// best-effort observability sidecars. Keeping the validation machinery
+// shared means a new record family can never drift from the
+// magic/version/endian/kind/index/count/digest discipline.
 
 namespace {
 
 constexpr char kShardMagic[8] = {'W', 'E', 'F', 'R', 'S', 'H', '0', '1'};
+constexpr char kObsMagic[8] = {'W', 'E', 'F', 'R', 'O', 'B', '0', '1'};
 constexpr std::uint32_t kShardFormatVersion = 1;
+constexpr std::uint32_t kObsFormatVersion = 1;
 
-}  // namespace
-
-std::string encode_shard_record(ShardRecordKind kind, std::uint32_t shard_index,
-                                std::uint32_t shard_count, std::string_view payload) {
+std::string encode_framed_record(const char (&magic)[8], std::uint32_t version,
+                                 std::uint32_t kind, std::uint32_t shard_index,
+                                 std::uint32_t shard_count, std::string_view payload) {
   ByteWriter w;
-  w.bytes(kShardMagic, sizeof(kShardMagic));
-  w.scalar(kShardFormatVersion);
+  w.bytes(magic, sizeof(magic));
+  w.scalar(version);
   w.scalar(kEndianSentinel);
-  w.scalar(static_cast<std::uint32_t>(kind));
+  w.scalar(kind);
   w.scalar(shard_index);
   w.scalar(shard_count);
   w.scalar(std::uint32_t{0});  // reserved
@@ -381,17 +387,18 @@ std::string encode_shard_record(ShardRecordKind kind, std::uint32_t shard_index,
   return std::move(w.buf());
 }
 
-bool decode_shard_record(std::string_view bytes, ShardRecordKind kind,
-                         std::uint32_t expect_index, std::uint32_t expect_count,
-                         std::string& payload, std::string* why) {
+bool decode_framed_record(const char (&expect_magic)[8], std::uint32_t expect_version,
+                          std::string_view bytes, std::uint32_t kind,
+                          std::uint32_t expect_index, std::uint32_t expect_count,
+                          std::string& payload, std::string* why) {
   const auto invalid = [&](const char* reason) {
     if (why != nullptr) *why = reason;
     return false;
   };
   ByteReader r(bytes);
-  const char* magic = r.raw(sizeof(kShardMagic));
+  const char* magic = r.raw(sizeof(expect_magic));
   if (magic == nullptr) return invalid("truncated header");
-  if (std::memcmp(magic, kShardMagic, sizeof(kShardMagic)) != 0)
+  if (std::memcmp(magic, expect_magic, sizeof(expect_magic)) != 0)
     return invalid("bad magic");
   std::uint32_t version = 0, endian = 0, rkind = 0, idx = 0, count = 0, reserved = 0;
   std::uint64_t payload_size = 0;
@@ -399,9 +406,9 @@ bool decode_shard_record(std::string_view bytes, ShardRecordKind kind,
       !r.scalar(idx) || !r.scalar(count) || !r.scalar(reserved) ||
       !r.scalar(payload_size))
     return invalid("truncated header");
-  if (version != kShardFormatVersion) return invalid("format version mismatch");
+  if (version != expect_version) return invalid("format version mismatch");
   if (endian != kEndianSentinel) return invalid("endianness mismatch");
-  if (rkind != static_cast<std::uint32_t>(kind)) return invalid("record kind mismatch");
+  if (rkind != kind) return invalid("record kind mismatch");
   if (idx != expect_index) return invalid("shard index mismatch");
   if (count != expect_count) return invalid("shard count mismatch");
   if (r.remaining() < sizeof(std::uint64_t) ||
@@ -418,10 +425,8 @@ bool decode_shard_record(std::string_view bytes, ShardRecordKind kind,
   return true;
 }
 
-bool write_shard_record(const std::string& path, ShardRecordKind kind,
-                        std::uint32_t shard_index, std::uint32_t shard_count,
-                        std::string_view payload, std::string* error) {
-  const std::string record = encode_shard_record(kind, shard_index, shard_count, payload);
+bool write_record_file(const std::string& path, std::string_view record,
+                       std::string* error) {
   std::error_code ec;
   const std::filesystem::path target(path);
   if (target.has_parent_path())
@@ -448,6 +453,30 @@ bool write_shard_record(const std::string& path, ShardRecordKind kind,
   return true;
 }
 
+}  // namespace
+
+std::string encode_shard_record(ShardRecordKind kind, std::uint32_t shard_index,
+                                std::uint32_t shard_count, std::string_view payload) {
+  return encode_framed_record(kShardMagic, kShardFormatVersion,
+                              static_cast<std::uint32_t>(kind), shard_index, shard_count,
+                              payload);
+}
+
+bool decode_shard_record(std::string_view bytes, ShardRecordKind kind,
+                         std::uint32_t expect_index, std::uint32_t expect_count,
+                         std::string& payload, std::string* why) {
+  return decode_framed_record(kShardMagic, kShardFormatVersion, bytes,
+                              static_cast<std::uint32_t>(kind), expect_index,
+                              expect_count, payload, why);
+}
+
+bool write_shard_record(const std::string& path, ShardRecordKind kind,
+                        std::uint32_t shard_index, std::uint32_t shard_count,
+                        std::string_view payload, std::string* error) {
+  return write_record_file(path, encode_shard_record(kind, shard_index, shard_count, payload),
+                           error);
+}
+
 bool read_shard_record(const std::string& path, ShardRecordKind kind,
                        std::uint32_t expect_index, std::uint32_t expect_count,
                        std::string& payload, std::string* why) {
@@ -457,6 +486,39 @@ bool read_shard_record(const std::string& path, ShardRecordKind kind,
     return false;
   }
   return decode_shard_record(file.view(), kind, expect_index, expect_count, payload, why);
+}
+
+std::string encode_obs_record(ObsRecordKind kind, std::uint32_t shard_index,
+                              std::uint32_t shard_count, std::string_view payload) {
+  return encode_framed_record(kObsMagic, kObsFormatVersion,
+                              static_cast<std::uint32_t>(kind), shard_index, shard_count,
+                              payload);
+}
+
+bool decode_obs_record(std::string_view bytes, ObsRecordKind kind,
+                       std::uint32_t expect_index, std::uint32_t expect_count,
+                       std::string& payload, std::string* why) {
+  return decode_framed_record(kObsMagic, kObsFormatVersion, bytes,
+                              static_cast<std::uint32_t>(kind), expect_index,
+                              expect_count, payload, why);
+}
+
+bool write_obs_record(const std::string& path, ObsRecordKind kind,
+                      std::uint32_t shard_index, std::uint32_t shard_count,
+                      std::string_view payload, std::string* error) {
+  return write_record_file(path, encode_obs_record(kind, shard_index, shard_count, payload),
+                           error);
+}
+
+bool read_obs_record(const std::string& path, ObsRecordKind kind,
+                     std::uint32_t expect_index, std::uint32_t expect_count,
+                     std::string& payload, std::string* why) {
+  MappedFile file;
+  if (!file.open(path) || file.size() == 0) {
+    if (why != nullptr) *why = "cannot read " + path;
+    return false;
+  }
+  return decode_obs_record(file.view(), kind, expect_index, expect_count, payload, why);
 }
 
 }  // namespace wefr::data

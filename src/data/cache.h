@@ -143,4 +143,27 @@ bool read_shard_record(const std::string& path, ShardRecordKind kind,
                        std::uint32_t expect_index, std::uint32_t expect_count,
                        std::string& payload, std::string* why = nullptr);
 
+/// WEFROB01 observability sidecar record: identical framing discipline
+/// to WEFRSH01 (versioned magic, endian sentinel, kind/index/count
+/// validation, trailing word-wise FNV-1a digest — the same machinery,
+/// behind a different magic) wrapped around a serialized
+/// obs::ObsPartial. Workers ship one next to each shard-partial file;
+/// the sidecar is best-effort, so a damaged or stale record degrades to
+/// "obs partial dropped, run unaffected" — never to a wrong merge.
+enum class ObsRecordKind : std::uint32_t {
+  kWorkerObs = 1,  ///< one worker's spans + metrics + diagnostics for one phase
+};
+
+std::string encode_obs_record(ObsRecordKind kind, std::uint32_t shard_index,
+                              std::uint32_t shard_count, std::string_view payload);
+bool decode_obs_record(std::string_view bytes, ObsRecordKind kind,
+                       std::uint32_t expect_index, std::uint32_t expect_count,
+                       std::string& payload, std::string* why = nullptr);
+bool write_obs_record(const std::string& path, ObsRecordKind kind,
+                      std::uint32_t shard_index, std::uint32_t shard_count,
+                      std::string_view payload, std::string* error = nullptr);
+bool read_obs_record(const std::string& path, ObsRecordKind kind,
+                     std::uint32_t expect_index, std::uint32_t expect_count,
+                     std::string& payload, std::string* why = nullptr);
+
 }  // namespace wefr::data

@@ -1,0 +1,47 @@
+#include "obs/log.h"
+
+#include <cstdarg>
+
+namespace wefr::obs {
+
+bool parse_log_level(std::string_view text, LogLevel& out) {
+  if (text == "quiet") {
+    out = LogLevel::kQuiet;
+  } else if (text == "info") {
+    out = LogLevel::kInfo;
+  } else if (text == "debug") {
+    out = LogLevel::kDebug;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void Logger::write(LogLevel level, std::string_view stage, std::string_view msg) {
+  if (!enabled(level)) return;
+  std::fprintf(sink_, "[+%8.3fs] [%.*s] %.*s\n", epoch_.seconds(),
+               static_cast<int>(stage.size()), stage.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+void Logger::infof(const char* stage, const char* fmt, ...) {
+  if (!enabled(LogLevel::kInfo)) return;
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  write(LogLevel::kInfo, stage, buf);
+}
+
+void Logger::debugf(const char* stage, const char* fmt, ...) {
+  if (!enabled(LogLevel::kDebug)) return;
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  write(LogLevel::kDebug, stage, buf);
+}
+
+}  // namespace wefr::obs

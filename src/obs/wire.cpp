@@ -1,0 +1,150 @@
+#include "obs/wire.h"
+
+#include "data/serialize.h"
+
+namespace wefr::obs {
+
+namespace {
+
+constexpr std::uint32_t kObsPayloadVersion = 1;
+/// Caps on wire-declared element counts: a corrupted length prefix must
+/// fail cleanly, not drive a multi-gigabyte allocation.
+constexpr std::uint64_t kMaxSpans = 1u << 22;
+constexpr std::uint64_t kMaxSeries = 1u << 20;
+constexpr std::uint64_t kMaxBuckets = 1u << 12;
+
+bool fail(std::string* why, const char* reason) {
+  if (why != nullptr) *why = reason;
+  return false;
+}
+
+}  // namespace
+
+std::string serialize_obs_partial(const ObsPartial& p) {
+  data::ByteWriter w;
+  w.scalar(kObsPayloadVersion);
+  w.scalar(p.ctx.run_id);
+  w.scalar(p.ctx.parent_span);
+  w.scalar(p.shard_index);
+  w.str(p.phase);
+  w.scalar(p.wall_micros);
+  w.scalar(p.cpu_micros);
+
+  w.scalar(static_cast<std::uint64_t>(p.spans.size()));
+  for (const SpanRecord& s : p.spans) {
+    w.scalar(s.id);
+    w.scalar(s.parent);
+    w.str(s.name);
+    w.scalar(s.start_us);
+    w.scalar(s.dur_us);
+    w.scalar(s.tid);
+    w.scalar(s.pid);
+  }
+
+  w.scalar(static_cast<std::uint64_t>(p.metrics.counters.size()));
+  for (const auto& [name, v] : p.metrics.counters) {
+    w.str(name);
+    w.scalar(v);
+  }
+  w.scalar(static_cast<std::uint64_t>(p.metrics.gauges.size()));
+  for (const auto& [name, v] : p.metrics.gauges) {
+    w.str(name);
+    w.scalar(v);
+  }
+  w.scalar(static_cast<std::uint64_t>(p.metrics.histograms.size()));
+  for (const auto& [name, h] : p.metrics.histograms) {
+    w.str(name);
+    w.scalar(static_cast<std::uint64_t>(h.bounds.size()));
+    for (const double b : h.bounds) w.scalar(b);
+    w.scalar(static_cast<std::uint64_t>(h.counts.size()));
+    for (const std::uint64_t c : h.counts) w.scalar(c);
+    w.scalar(h.sum);
+    w.scalar(h.count);
+  }
+  w.scalar(static_cast<std::uint64_t>(p.metrics.help.size()));
+  for (const auto& [name, help] : p.metrics.help) {
+    w.str(name);
+    w.str(help);
+  }
+
+  w.scalar(static_cast<std::uint64_t>(p.events.size()));
+  for (const WireDiagEvent& e : p.events) {
+    w.str(e.stage);
+    w.str(e.code);
+    w.str(e.detail);
+  }
+  return std::move(w.buf());
+}
+
+bool deserialize_obs_partial(std::string_view payload, ObsPartial& out, std::string* why) {
+  out = ObsPartial{};
+  data::ByteReader r(payload);
+  std::uint32_t version = 0;
+  if (!r.scalar(version)) return fail(why, "truncated obs payload");
+  if (version != kObsPayloadVersion) return fail(why, "obs payload version mismatch");
+  if (!r.scalar(out.ctx.run_id) || !r.scalar(out.ctx.parent_span) ||
+      !r.scalar(out.shard_index) || !r.str(out.phase) || !r.scalar(out.wall_micros) ||
+      !r.scalar(out.cpu_micros))
+    return fail(why, "truncated obs header");
+
+  std::uint64_t n = 0;
+  if (!r.scalar(n) || n > kMaxSpans) return fail(why, "bad span count");
+  out.spans.resize(static_cast<std::size_t>(n));
+  for (SpanRecord& s : out.spans) {
+    if (!r.scalar(s.id) || !r.scalar(s.parent) || !r.str(s.name) ||
+        !r.scalar(s.start_us) || !r.scalar(s.dur_us) || !r.scalar(s.tid) ||
+        !r.scalar(s.pid))
+      return fail(why, "truncated span record");
+  }
+
+  if (!r.scalar(n) || n > kMaxSeries) return fail(why, "bad counter count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    std::uint64_t v = 0;
+    if (!r.str(name) || !r.scalar(v)) return fail(why, "truncated counter");
+    out.metrics.counters.emplace(std::move(name), v);
+  }
+  if (!r.scalar(n) || n > kMaxSeries) return fail(why, "bad gauge count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    double v = 0.0;
+    if (!r.str(name) || !r.scalar(v)) return fail(why, "truncated gauge");
+    out.metrics.gauges.emplace(std::move(name), v);
+  }
+  if (!r.scalar(n) || n > kMaxSeries) return fail(why, "bad histogram count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    Histogram::Snapshot h;
+    std::uint64_t m = 0;
+    if (!r.str(name) || !r.scalar(m) || m > kMaxBuckets)
+      return fail(why, "bad histogram bounds");
+    h.bounds.resize(static_cast<std::size_t>(m));
+    for (double& b : h.bounds) {
+      if (!r.scalar(b)) return fail(why, "truncated histogram bounds");
+    }
+    if (!r.scalar(m) || m > kMaxBuckets + 1) return fail(why, "bad histogram buckets");
+    h.counts.resize(static_cast<std::size_t>(m));
+    for (std::uint64_t& c : h.counts) {
+      if (!r.scalar(c)) return fail(why, "truncated histogram buckets");
+    }
+    if (!r.scalar(h.sum) || !r.scalar(h.count)) return fail(why, "truncated histogram");
+    out.metrics.histograms.emplace(std::move(name), std::move(h));
+  }
+  if (!r.scalar(n) || n > kMaxSeries) return fail(why, "bad help count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name, help;
+    if (!r.str(name) || !r.str(help)) return fail(why, "truncated help");
+    out.metrics.help.emplace(std::move(name), std::move(help));
+  }
+
+  if (!r.scalar(n) || n > kMaxSeries) return fail(why, "bad event count");
+  out.events.resize(static_cast<std::size_t>(n));
+  for (WireDiagEvent& e : out.events) {
+    if (!r.str(e.stage) || !r.str(e.code) || !r.str(e.detail))
+      return fail(why, "truncated event");
+  }
+  if (r.remaining() != 0) return fail(why, "trailing bytes in obs payload");
+  return true;
+}
+
+}  // namespace wefr::obs

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wefr::obs {
+
+// Cross-process observability exchange. A sharded run's workers each
+// collect spans, metrics, and diagnostics in a full local
+// Tracer/Registry; when the phase ends, that state is captured as an
+// ObsPartial, serialized with data/serialize.h's ByteWriter (a
+// header-only layer, so no dependency cycle), framed as a
+// digest-checked WEFROB01 record (data/cache.h), and shipped back to
+// the merging parent — over exchange files under fork() today, over a
+// socket for the distributed-transport roadmap item tomorrow. The
+// sidecar is best-effort by design: a damaged, stale, or missing
+// partial is dropped and counted, never allowed to fail the run.
+
+/// Trace context a sharded parent hands each worker: enough for the
+/// worker's locally collected observability to be tied back to the
+/// dispatching run. fork() propagates it by value today; it is also
+/// embedded in every serialized ObsPartial so (a) the parent can reject
+/// stale partials from a reused exchange directory by run id, and (b) a
+/// future socket transport propagates it with no format change.
+struct TraceContext {
+  std::uint64_t run_id = 0;       ///< per-run random id; mismatches are dropped
+  std::uint64_t parent_span = 0;  ///< dispatch span workers re-parent under
+};
+
+/// One worker diagnostics event in transit. Mirrors
+/// core::DiagnosticEvent without depending on core (obs stays at the
+/// bottom of the stack); the shard driver converts both ways.
+struct WireDiagEvent {
+  std::string stage, code, detail;
+};
+
+/// Everything one worker's local observability produced for one phase:
+/// the finished span set, the registry snapshot (counters, gauges, and
+/// the per-stage latency histograms), the bridged diagnostics events,
+/// and the worker's own wall/cpu accounting for the shard health
+/// ledger.
+struct ObsPartial {
+  TraceContext ctx;
+  std::uint32_t shard_index = 0;
+  std::string phase;  ///< "wefr_partial" / "ranker_scores" / "score_partial"
+  std::uint64_t wall_micros = 0;
+  std::uint64_t cpu_micros = 0;  ///< worker process CPU time for the phase
+  std::vector<SpanRecord> spans;
+  MetricsSnapshot metrics;
+  std::vector<WireDiagEvent> events;
+};
+
+/// ByteWriter image of an ObsPartial — the WEFROB01 record payload.
+std::string serialize_obs_partial(const ObsPartial& p);
+
+/// Bounds-checked inverse: returns false with the first failed field in
+/// `why` (when non-null) instead of faulting on truncated or hostile
+/// bytes.
+bool deserialize_obs_partial(std::string_view payload, ObsPartial& out,
+                             std::string* why = nullptr);
+
+}  // namespace wefr::obs

@@ -4,16 +4,22 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <stdexcept>
 #include <utility>
 
 #include "data/cache.h"
 #include "data/labeling.h"
+#include "data/mmap_file.h"
 #include "obs/context.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/wire.h"
 #include "shard/hashring.h"
 #include "shard/partials.h"
 #include "util/subprocess.h"
@@ -69,6 +75,150 @@ class ExchangeDir {
   bool owned_ = false;
 };
 
+/// Chaos hook: WEFR_SHARD_FAIL_WORKER=<k> makes shard k's worker fail
+/// (forked mode: nonzero exit; in-process mode: a synthetic failure
+/// before the partial builds), so tests exercise the fallback path
+/// deterministically whether or not fork() is available.
+bool worker_failure_injected(std::size_t shard) {
+  const char* env = std::getenv("WEFR_SHARD_FAIL_WORKER");
+  if (env == nullptr || *env == '\0') return false;
+  return std::strtoull(env, nullptr, 10) == shard;
+}
+
+/// Worker-side observability bundle: a full local tracer/registry/
+/// diagnostics ledger the worker's phase runs under, snapshotted into
+/// an ObsPartial when the phase ends. Only constructed when the parent
+/// run has obs enabled, so the zero-overhead-when-disabled contract
+/// extends across the fork boundary.
+struct WorkerObs {
+  obs::Tracer tracer;
+  obs::Registry registry;
+  obs::Context ctx{&tracer, &registry};
+  core::PipelineDiagnostics diag;
+  std::clock_t cpu0 = std::clock();
+  Clock::time_point t0 = Clock::now();
+
+  WorkerObs() { diag.attach(&registry); }
+
+  obs::ObsPartial finish(const obs::TraceContext& tctx, std::size_t shard,
+                         const char* phase) {
+    obs::ObsPartial p;
+    p.ctx = tctx;
+    p.shard_index = static_cast<std::uint32_t>(shard);
+    p.phase = phase;
+    p.wall_micros = micros_since(t0);
+    const std::clock_t cpu1 = std::clock();
+    if (cpu0 != static_cast<std::clock_t>(-1) && cpu1 != static_cast<std::clock_t>(-1))
+      p.cpu_micros =
+          static_cast<std::uint64_t>(static_cast<double>(cpu1 - cpu0) * 1e6 /
+                                     CLOCKS_PER_SEC);
+    p.spans = tracer.snapshot();
+    p.metrics = registry.snapshot();
+    p.events.reserve(diag.events.size());
+    for (const auto& e : diag.events) p.events.push_back({e.stage, e.code, e.detail});
+    return p;
+  }
+};
+
+/// Observes one worker-stage duration into the per-stage latency
+/// histogram (`wefr_worker_stage_seconds{stage="..."}`) that rides the
+/// obs partial back to the parent.
+void observe_stage(const obs::Context* obs, const char* stage, Clock::time_point t0) {
+  if (obs == nullptr || obs->metrics == nullptr) return;
+  obs->metrics
+      ->histogram(obs::labeled("wefr_worker_stage_seconds", "stage", stage),
+                  {0.001, 0.01, 0.1, 1.0, 10.0})
+      .observe(seconds_since(t0));
+}
+
+/// Parent-side merge state for one fan-out's WEFROB01 sidecars.
+struct ObsMerge {
+  const obs::Context* obs = nullptr;
+  core::PipelineDiagnostics* diag = nullptr;
+  obs::TraceContext tctx;
+  std::uint64_t dispatch_span = 0;   ///< phase's dispatch span to re-parent under
+  double dispatch_offset_us = 0.0;   ///< parent-clock instant the fan-out began
+};
+
+/// Decodes one worker's framed WEFROB01 sidecar and merges it into the
+/// parent obs state: spans land under a "shard:<k>" container in
+/// Chrome-trace lane 2+k, metrics absorb as `...{shard="k"}` series,
+/// and diagnostics events bridge with a "shard<k>:" stage prefix. A
+/// damaged, stale, or missing sidecar only bumps the dropped count —
+/// observability is best-effort and must never fail the run.
+void merge_obs_record(const ObsMerge& m, ShardRunStats& st, std::size_t s,
+                      std::uint32_t num_shards, std::string_view framed,
+                      const char* phase) {
+  std::string payload, why;
+  obs::ObsPartial p;
+  bool ok = data::decode_obs_record(framed, data::ObsRecordKind::kWorkerObs,
+                                    static_cast<std::uint32_t>(s), num_shards, payload,
+                                    &why) &&
+            obs::deserialize_obs_partial(payload, p, &why);
+  if (ok && p.ctx.run_id != m.tctx.run_id) {
+    ok = false;
+    why = "stale run id";
+  }
+  if (!ok) {
+    ++st.obs_partials_dropped;
+    if (m.diag != nullptr)
+      m.diag->note("shard", "obs_partial_dropped",
+                   std::string(phase) + " shard " + std::to_string(s) + ": " + why);
+    return;
+  }
+  ++st.obs_partials_merged;
+  if (s < st.health.size()) {
+    st.health[s].obs_merged = true;
+    st.health[s].cpu_seconds += static_cast<double>(p.cpu_micros) / 1e6;
+  }
+  if (m.obs != nullptr && m.obs->tracer != nullptr) {
+    m.obs->tracer->absorb(p.spans, m.dispatch_span, "shard:" + std::to_string(s),
+                          static_cast<std::uint32_t>(2 + s), m.dispatch_offset_us);
+    st.obs_spans_merged += p.spans.size();
+  }
+  if (m.obs != nullptr && m.obs->metrics != nullptr)
+    m.obs->metrics->absorb(p.metrics, "shard=\"" + std::to_string(s) + "\"");
+  if (m.diag != nullptr && !p.events.empty()) {
+    std::vector<core::DiagnosticEvent> events;
+    events.reserve(p.events.size());
+    for (const auto& e : p.events) events.push_back({e.stage, e.code, e.detail});
+    m.diag->bridge("shard" + std::to_string(s) + ":", events);
+  }
+}
+
+/// Merges the sidecar a forked worker left in the exchange directory.
+void merge_obs_file(const ObsMerge& m, ShardRunStats& st, std::size_t s,
+                    std::uint32_t num_shards, const std::string& path,
+                    const char* phase) {
+  data::MappedFile file;
+  if (!file.open(path) || file.size() == 0) {
+    ++st.obs_partials_dropped;
+    if (m.diag != nullptr)
+      m.diag->note("shard", "obs_partial_dropped",
+                   std::string(phase) + " shard " + std::to_string(s) +
+                       ": missing sidecar");
+    return;
+  }
+  if (s < st.health.size()) st.health[s].bytes += file.size();
+  merge_obs_record(m, st, s, num_shards, file.view(), phase);
+}
+
+/// Fills the derived straggler/imbalance summary from the per-shard
+/// wall clocks.
+void finalize_shard_stats(ShardRunStats& st) {
+  std::vector<double> walls;
+  walls.reserve(st.health.size());
+  for (const auto& h : st.health) walls.push_back(h.wall_seconds);
+  if (walls.empty()) return;
+  std::sort(walls.begin(), walls.end());
+  st.max_shard_seconds = walls.back();
+  const std::size_t n = walls.size();
+  st.median_shard_seconds =
+      n % 2 == 1 ? walls[n / 2] : 0.5 * (walls[n / 2 - 1] + walls[n / 2]);
+  st.imbalance_ratio =
+      st.median_shard_seconds > 0.0 ? st.max_shard_seconds / st.median_shard_seconds : 0.0;
+}
+
 /// The oracle's sampling options with a shard-ownership row filter.
 /// Must mirror core::build_selection_samples exactly (same keep
 /// probability, same per-drive seed derivation) — the per-drive RNG is
@@ -90,8 +240,11 @@ data::SamplingOptions selection_sampling(const core::ExperimentConfig& cfg, int 
 WefrPartial build_wefr_partial(const data::FleetData& fleet,
                                std::span<const std::size_t> owned, int day_lo, int day_hi,
                                int train_day_end, const core::ExperimentConfig& cfg,
-                               const core::WefrOptions& wopt, int mwi_col) {
+                               const core::WefrOptions& wopt, int mwi_col,
+                               const obs::Context* wobs = nullptr) {
+  obs::Span span(wobs, "worker:wefr_partial");
   const auto t0 = Clock::now();
+  auto stage_t = t0;
   WefrPartial p;
   p.drives_owned = owned.size();
 
@@ -99,8 +252,10 @@ WefrPartial build_wefr_partial(const data::FleetData& fleet,
   for (const std::size_t di : owned) mask[di] = 1;
   data::SamplingOptions sopt = selection_sampling(cfg, day_lo, day_hi);
   sopt.keep = [&mask](std::size_t di, int) { return mask[di] != 0; };
-  p.samples = data::build_samples(fleet, sopt, nullptr, nullptr);
+  p.samples = data::build_samples(fleet, sopt, nullptr, wobs);
+  observe_stage(wobs, "samples", stage_t);
 
+  stage_t = Clock::now();
   p.survival = core::SurvivalTally(wopt.survival_bucket_width);
   if (mwi_col >= 0) {
     for (const std::size_t di : owned) {
@@ -108,13 +263,18 @@ WefrPartial build_wefr_partial(const data::FleetData& fleet,
                            train_day_end);
     }
   }
+  observe_stage(wobs, "survival", stage_t);
 
+  stage_t = Clock::now();
   p.sketches.resize(p.samples.num_features());
   for (std::size_t r = 0; r < p.samples.size(); ++r) {
     for (std::size_t f = 0; f < p.samples.num_features(); ++f) {
       p.sketches[f].add(p.samples.x(r, f), p.samples.y[r]);
     }
   }
+  observe_stage(wobs, "sketches", stage_t);
+  obs::add_counter(wobs, "wefr_worker_drives_total", owned.size());
+  obs::add_counter(wobs, "wefr_worker_rows_total", p.samples.size());
   p.build_micros = micros_since(t0);
   return p;
 }
@@ -166,16 +326,42 @@ struct Population {
 void tally_shard_counters(const obs::Context* obs, const ShardRunStats& stats) {
   if (obs == nullptr) return;
   obs::add_counter(obs, "wefr_shard_workers_total", stats.num_shards);
-  std::uint64_t drives = 0, samples = 0;
+  std::uint64_t drives = 0, samples = 0, bytes = 0;
   for (const std::uint64_t n : stats.shard_drives) drives += n;
   for (const std::uint64_t n : stats.shard_samples) samples += n;
+  for (const auto& h : stats.health) bytes += h.bytes;
   obs::add_counter(obs, "wefr_shard_drives_total", drives);
   obs::add_counter(obs, "wefr_shard_samples_total", samples);
+  obs::add_counter(obs, "wefr_shard_bytes_total", bytes);
+  obs::add_counter(obs, "wefr_shard_records_verified_total", stats.records_verified);
+  obs::add_counter(obs, "wefr_shard_obs_partials_merged_total", stats.obs_partials_merged);
+  obs::add_counter(obs, "wefr_shard_obs_partials_dropped_total",
+                   stats.obs_partials_dropped);
+  obs::add_counter(obs, "wefr_shard_workers_failed_total", stats.workers_failed);
+  obs::add_counter(obs, "wefr_shard_fallback_total", stats.fallback_reason.empty() ? 0 : 1);
   obs::add_counter(obs, "wefr_shard_partial_micros_total",
                    static_cast<std::uint64_t>(stats.partial_seconds * 1e6));
   obs::add_counter(obs, "wefr_shard_merge_micros_total",
                    static_cast<std::uint64_t>(stats.merge_seconds * 1e6));
   obs::add_counter(obs, "wefr_shard_forked_runs_total", stats.forked ? 1 : 0);
+  if (obs->metrics == nullptr) return;
+  // Per-shard ledger gauges. Their values across shards sum exactly to
+  // the *_total counters this run added (integer sources on both
+  // sides) — the exact-sum contract the shard tests assert.
+  for (std::size_t s = 0; s < stats.health.size(); ++s) {
+    const ShardHealth& h = stats.health[s];
+    const std::string k = std::to_string(s);
+    obs->metrics->gauge(obs::labeled("wefr_shard_drives", "shard", k))
+        .set(static_cast<double>(h.drives));
+    obs->metrics->gauge(obs::labeled("wefr_shard_rows", "shard", k))
+        .set(static_cast<double>(h.rows));
+    obs->metrics->gauge(obs::labeled("wefr_shard_bytes", "shard", k))
+        .set(static_cast<double>(h.bytes));
+    obs->metrics->gauge(obs::labeled("wefr_shard_wall_seconds", "shard", k))
+        .set(h.wall_seconds);
+    obs->metrics->gauge(obs::labeled("wefr_shard_cpu_seconds", "shard", k))
+        .set(h.cpu_seconds);
+  }
 }
 
 }  // namespace
@@ -195,16 +381,37 @@ core::WefrResult run_wefr_sharded(const data::FleetData& fleet, int day_lo, int 
   st = ShardRunStats{};
   st.num_shards = num_shards;
   st.forked = num_shards > 1 && !shards.force_in_process && util::fork_supported();
+  st.health.assign(num_shards, ShardHealth{});
+
+  const bool obs_on = obs != nullptr && (obs->tracer != nullptr || obs->metrics != nullptr);
+  obs::TraceContext tctx;
+  if (obs_on) {
+    tctx.run_id = static_cast<std::uint64_t>(Clock::now().time_since_epoch().count()) ^
+                  0x9e3779b97f4a7c15ULL;
+    tctx.parent_span = span.id();
+  }
+  const auto num_shards_u32 = static_cast<std::uint32_t>(num_shards);
 
   const int mwi_col = fleet.feature_index("MWI_N");
   const auto partition = partition_fleet(fleet, num_shards, shards.vnodes_per_shard);
 
   // The whole-fleet in-process oracle, also the safety valve: any
   // worker or exchange failure redoes everything here rather than
-  // returning a partial result.
+  // returning a partial result. The per-shard ledger is zeroed — those
+  // numbers would describe work that was thrown away — and
+  // fallback_reason records why; only the failure accounting
+  // (workers_failed, obs drop counts) survives.
   const auto fallback = [&](const std::string& reason) {
     if (diag != nullptr) diag->note("shard", "in_process_fallback", reason);
     st.forked = false;
+    st.fallback_reason = reason;
+    st.shard_drives.clear();
+    st.shard_samples.clear();
+    st.health.clear();
+    st.partial_seconds = 0.0;
+    st.merge_seconds = 0.0;
+    st.max_shard_seconds = st.median_shard_seconds = st.imbalance_ratio = 0.0;
+    tally_shard_counters(obs, st);
     core::ExperimentConfig cfg2 = cfg;
     cfg2.per_drive_sampling = true;
     data::Dataset samples = core::build_selection_samples(fleet, day_lo, day_hi, cfg2, obs);
@@ -215,50 +422,101 @@ core::WefrResult run_wefr_sharded(const data::FleetData& fleet, int day_lo, int 
 
   // --- Phase A: per-shard partials ---------------------------------
   auto phase_start = Clock::now();
+  obs::Span dispatch_a(obs, "shard:dispatch:partials");
+  ObsMerge om_a;
+  om_a.obs = obs;
+  om_a.diag = diag;
+  om_a.tctx = tctx;
+  om_a.dispatch_span = dispatch_a.id();
+  om_a.dispatch_offset_us =
+      obs != nullptr && obs->tracer != nullptr ? obs->tracer->now_us() : 0.0;
   std::vector<WefrPartial> partials(num_shards);
   if (st.forked) {
     const ExchangeDir exchange(shards.exchange_dir);
     const auto outcomes = util::run_forked(num_shards, [&](std::size_t s) -> int {
-      const WefrPartial p = build_wefr_partial(fleet, partition[s], day_lo, day_hi,
-                                               train_day_end, cfg, wopt, mwi_col);
+      if (worker_failure_injected(s)) return 7;
+      std::unique_ptr<WorkerObs> wobs;
+      if (obs_on) wobs = std::make_unique<WorkerObs>();
+      const WefrPartial p =
+          build_wefr_partial(fleet, partition[s], day_lo, day_hi, train_day_end, cfg,
+                             wopt, mwi_col, wobs != nullptr ? &wobs->ctx : nullptr);
       const std::string payload = serialize_wefr_partial(p);
-      return data::write_shard_record(exchange.file("wefr_partial", s),
-                                      data::ShardRecordKind::kWefrPartial,
-                                      static_cast<std::uint32_t>(s),
-                                      static_cast<std::uint32_t>(num_shards), payload)
-                 ? 0
-                 : 3;
+      if (!data::write_shard_record(exchange.file("wefr_partial", s),
+                                    data::ShardRecordKind::kWefrPartial,
+                                    static_cast<std::uint32_t>(s), num_shards_u32,
+                                    payload))
+        return 3;
+      if (wobs != nullptr) {
+        // Best-effort sidecar: a failed write degrades to one dropped
+        // obs partial on the parent side, never a failed worker.
+        data::write_obs_record(
+            exchange.file("obs_wefr", s), data::ObsRecordKind::kWorkerObs,
+            static_cast<std::uint32_t>(s), num_shards_u32,
+            obs::serialize_obs_partial(wobs->finish(tctx, s, "wefr_partial")));
+      }
+      return 0;
     });
     for (std::size_t s = 0; s < num_shards; ++s) {
-      if (!outcomes[s].ok || outcomes[s].exit_code != 0)
+      if (!outcomes[s].ok || outcomes[s].exit_code != 0) {
+        ++st.workers_failed;
+        st.health[s].worker_exit = outcomes[s].exit_code != 0 ? outcomes[s].exit_code : -1;
         return fallback("phase A worker " + std::to_string(s) + " failed: " +
                         (outcomes[s].error.empty() ? "nonzero exit" : outcomes[s].error));
+      }
       std::string payload, why;
       if (!data::read_shard_record(exchange.file("wefr_partial", s),
                                    data::ShardRecordKind::kWefrPartial,
-                                   static_cast<std::uint32_t>(s),
-                                   static_cast<std::uint32_t>(num_shards), payload, &why) ||
+                                   static_cast<std::uint32_t>(s), num_shards_u32, payload,
+                                   &why) ||
           !deserialize_wefr_partial(payload, partials[s], &why))
         return fallback("phase A record " + std::to_string(s) + ": " + why);
+      ++st.records_verified;
+      ++st.health[s].records_verified;
+      std::error_code ec;
+      const auto fsize = fs::file_size(exchange.file("wefr_partial", s), ec);
+      if (!ec) st.health[s].bytes += fsize;
+      if (obs_on)
+        merge_obs_file(om_a, st, s, num_shards_u32, exchange.file("obs_wefr", s),
+                       "wefr_partial");
     }
   } else {
     for (std::size_t s = 0; s < num_shards; ++s) {
-      const WefrPartial p = build_wefr_partial(fleet, partition[s], day_lo, day_hi,
-                                               train_day_end, cfg, wopt, mwi_col);
+      if (worker_failure_injected(s)) {
+        ++st.workers_failed;
+        st.health[s].worker_exit = 7;
+        return fallback("phase A worker " + std::to_string(s) +
+                        " failed: injected failure");
+      }
+      std::unique_ptr<WorkerObs> wobs;
+      if (obs_on) wobs = std::make_unique<WorkerObs>();
+      const WefrPartial p =
+          build_wefr_partial(fleet, partition[s], day_lo, day_hi, train_day_end, cfg,
+                             wopt, mwi_col, wobs != nullptr ? &wobs->ctx : nullptr);
       // In-memory WEFRSH01 roundtrip: the serial driver exercises the
       // same wire path the forked one ships through files.
       const std::string record = data::encode_shard_record(
           data::ShardRecordKind::kWefrPartial, static_cast<std::uint32_t>(s),
-          static_cast<std::uint32_t>(num_shards), serialize_wefr_partial(p));
+          num_shards_u32, serialize_wefr_partial(p));
       std::string payload, why;
       if (!data::decode_shard_record(record, data::ShardRecordKind::kWefrPartial,
-                                     static_cast<std::uint32_t>(s),
-                                     static_cast<std::uint32_t>(num_shards), payload,
-                                     &why) ||
+                                     static_cast<std::uint32_t>(s), num_shards_u32,
+                                     payload, &why) ||
           !deserialize_wefr_partial(payload, partials[s], &why))
         return fallback("in-process record " + std::to_string(s) + ": " + why);
+      ++st.records_verified;
+      ++st.health[s].records_verified;
+      st.health[s].bytes += record.size();
+      if (wobs != nullptr) {
+        const std::string orec = data::encode_obs_record(
+            data::ObsRecordKind::kWorkerObs, static_cast<std::uint32_t>(s),
+            num_shards_u32,
+            obs::serialize_obs_partial(wobs->finish(tctx, s, "wefr_partial")));
+        st.health[s].bytes += orec.size();
+        merge_obs_record(om_a, st, s, num_shards_u32, orec, "wefr_partial");
+      }
     }
   }
+  dispatch_a.finish();
   st.partial_seconds += seconds_since(phase_start);
 
   // --- Merge, strictly in shard-index order ------------------------
@@ -268,6 +526,9 @@ core::WefrResult run_wefr_sharded(const data::FleetData& fleet, int day_lo, int 
       return fallback("shard " + std::to_string(s) + " feature schema mismatch");
     st.shard_drives.push_back(partials[s].drives_owned);
     st.shard_samples.push_back(partials[s].samples.size());
+    st.health[s].drives = partials[s].drives_owned;
+    st.health[s].rows = partials[s].samples.size();
+    st.health[s].wall_seconds += static_cast<double>(partials[s].build_micros) / 1e6;
   }
 
   data::Dataset merged = merge_samples(partials);
@@ -346,7 +607,9 @@ core::WefrResult run_wefr_sharded(const data::FleetData& fleet, int day_lo, int 
   // Worker w scores jobs j with j % W == w; populations and the
   // ranker construction are identical to what select_features_for
   // would run in-process, so every score vector is bit-reproducible.
-  const auto score_jobs = [&](std::size_t w) -> std::vector<RankerJobResult> {
+  const auto score_jobs = [&](std::size_t w,
+                              const obs::Context* wctx) -> std::vector<RankerJobResult> {
+    obs::Span wspan(wctx, "worker:ranker_scores");
     const auto rankers = core::make_standard_rankers(wopt.ranker_seed, wopt.num_threads);
     std::vector<RankerJobResult> results;
     for (std::size_t j = w; j < jobs.size(); j += num_shards) {
@@ -354,7 +617,7 @@ core::WefrResult run_wefr_sharded(const data::FleetData& fleet, int day_lo, int 
       const auto one = core::ensemble_score_rankers(
           std::span<const std::unique_ptr<core::FeatureRanker>>(&rankers[jobs[j].ranker],
                                                                 1),
-          pop.ds->x, pop.ds->y, ens_opt, nullptr, 0);
+          pop.ds->x, pop.ds->y, ens_opt, wctx, wspan.id());
       RankerJobResult res;
       res.population = pop.label;
       res.ranker_index = static_cast<std::uint32_t>(jobs[j].ranker);
@@ -368,51 +631,96 @@ core::WefrResult run_wefr_sharded(const data::FleetData& fleet, int day_lo, int 
   };
 
   phase_start = Clock::now();
+  obs::Span dispatch_b(obs, "shard:dispatch:rankers");
+  ObsMerge om_b;
+  om_b.obs = obs;
+  om_b.diag = diag;
+  om_b.tctx = tctx;
+  om_b.dispatch_span = dispatch_b.id();
+  om_b.dispatch_offset_us =
+      obs != nullptr && obs->tracer != nullptr ? obs->tracer->now_us() : 0.0;
   std::vector<std::vector<RankerJobResult>> worker_results(num_shards);
   if (!jobs.empty()) {
     if (st.forked) {
       const ExchangeDir exchange(shards.exchange_dir);
       const auto outcomes = util::run_forked(num_shards, [&](std::size_t w) -> int {
+        std::unique_ptr<WorkerObs> wobs;
+        if (obs_on) wobs = std::make_unique<WorkerObs>();
         const auto t0 = Clock::now();
-        const auto results = score_jobs(w);
+        const auto results = score_jobs(w, wobs != nullptr ? &wobs->ctx : nullptr);
         const std::string payload = serialize_ranker_jobs(results, micros_since(t0));
-        return data::write_shard_record(exchange.file("ranker_scores", w),
-                                        data::ShardRecordKind::kRankerScores,
-                                        static_cast<std::uint32_t>(w),
-                                        static_cast<std::uint32_t>(num_shards), payload)
-                   ? 0
-                   : 3;
+        if (!data::write_shard_record(exchange.file("ranker_scores", w),
+                                      data::ShardRecordKind::kRankerScores,
+                                      static_cast<std::uint32_t>(w), num_shards_u32,
+                                      payload))
+          return 3;
+        if (wobs != nullptr) {
+          data::write_obs_record(
+              exchange.file("obs_ranker", w), data::ObsRecordKind::kWorkerObs,
+              static_cast<std::uint32_t>(w), num_shards_u32,
+              obs::serialize_obs_partial(wobs->finish(tctx, w, "ranker_scores")));
+        }
+        return 0;
       });
       for (std::size_t w = 0; w < num_shards; ++w) {
-        if (!outcomes[w].ok || outcomes[w].exit_code != 0)
+        if (!outcomes[w].ok || outcomes[w].exit_code != 0) {
+          ++st.workers_failed;
+          st.health[w].worker_exit =
+              outcomes[w].exit_code != 0 ? outcomes[w].exit_code : -1;
           return fallback("phase B worker " + std::to_string(w) + " failed: " +
                           (outcomes[w].error.empty() ? "nonzero exit" : outcomes[w].error));
+        }
         std::string payload, why;
+        std::uint64_t job_micros = 0;
         if (!data::read_shard_record(exchange.file("ranker_scores", w),
                                      data::ShardRecordKind::kRankerScores,
-                                     static_cast<std::uint32_t>(w),
-                                     static_cast<std::uint32_t>(num_shards), payload,
-                                     &why) ||
-            !deserialize_ranker_jobs(payload, worker_results[w], nullptr, &why))
+                                     static_cast<std::uint32_t>(w), num_shards_u32,
+                                     payload, &why) ||
+            !deserialize_ranker_jobs(payload, worker_results[w], &job_micros, &why))
           return fallback("phase B record " + std::to_string(w) + ": " + why);
+        ++st.records_verified;
+        ++st.health[w].records_verified;
+        st.health[w].wall_seconds += static_cast<double>(job_micros) / 1e6;
+        std::error_code ec;
+        const auto fsize = fs::file_size(exchange.file("ranker_scores", w), ec);
+        if (!ec) st.health[w].bytes += fsize;
+        if (obs_on)
+          merge_obs_file(om_b, st, w, num_shards_u32, exchange.file("obs_ranker", w),
+                         "ranker_scores");
       }
     } else {
       for (std::size_t w = 0; w < num_shards; ++w) {
+        std::unique_ptr<WorkerObs> wobs;
+        if (obs_on) wobs = std::make_unique<WorkerObs>();
         const auto t0 = Clock::now();
         const std::string record = data::encode_shard_record(
             data::ShardRecordKind::kRankerScores, static_cast<std::uint32_t>(w),
-            static_cast<std::uint32_t>(num_shards),
-            serialize_ranker_jobs(score_jobs(w), micros_since(t0)));
+            num_shards_u32,
+            serialize_ranker_jobs(score_jobs(w, wobs != nullptr ? &wobs->ctx : nullptr),
+                                  micros_since(t0)));
         std::string payload, why;
+        std::uint64_t job_micros = 0;
         if (!data::decode_shard_record(record, data::ShardRecordKind::kRankerScores,
-                                       static_cast<std::uint32_t>(w),
-                                       static_cast<std::uint32_t>(num_shards), payload,
-                                       &why) ||
-            !deserialize_ranker_jobs(payload, worker_results[w], nullptr, &why))
+                                       static_cast<std::uint32_t>(w), num_shards_u32,
+                                       payload, &why) ||
+            !deserialize_ranker_jobs(payload, worker_results[w], &job_micros, &why))
           return fallback("in-process ranker record " + std::to_string(w) + ": " + why);
+        ++st.records_verified;
+        ++st.health[w].records_verified;
+        st.health[w].wall_seconds += static_cast<double>(job_micros) / 1e6;
+        st.health[w].bytes += record.size();
+        if (wobs != nullptr) {
+          const std::string orec = data::encode_obs_record(
+              data::ObsRecordKind::kWorkerObs, static_cast<std::uint32_t>(w),
+              num_shards_u32,
+              obs::serialize_obs_partial(wobs->finish(tctx, w, "ranker_scores")));
+          st.health[w].bytes += orec.size();
+          merge_obs_record(om_b, st, w, num_shards_u32, orec, "ranker_scores");
+        }
       }
     }
   }
+  dispatch_b.finish();
   st.partial_seconds += seconds_since(phase_start);
 
   // Assemble per-population raw score sets, workers in index order.
@@ -459,6 +767,7 @@ core::WefrResult run_wefr_sharded(const data::FleetData& fleet, int day_lo, int 
   };
 
   auto result = run_wefr(fleet, merged, train_day_end, wopt, diag, obs, &hooks);
+  finalize_shard_stats(st);
   tally_shard_counters(obs, st);
   if (merged_train != nullptr) *merged_train = std::move(merged);
   return result;
@@ -478,16 +787,29 @@ std::vector<core::DriveDayScores> score_fleet_sharded(
   st = ShardRunStats{};
   st.num_shards = num_shards;
   st.forked = num_shards > 1 && !shards.force_in_process && util::fork_supported();
+  st.health.assign(num_shards, ShardHealth{});
+
+  const bool obs_on = obs != nullptr && (obs->tracer != nullptr || obs->metrics != nullptr);
+  obs::TraceContext tctx;
+  if (obs_on) {
+    tctx.run_id = static_cast<std::uint64_t>(Clock::now().time_since_epoch().count()) ^
+                  0x9e3779b97f4a7c15ULL;
+    tctx.parent_span = span.id();
+  }
+  const auto num_shards_u32 = static_cast<std::uint32_t>(num_shards);
 
   const auto partition = partition_fleet(fleet, num_shards, shards.vnodes_per_shard);
 
-  const auto build_score_partial = [&](std::size_t s) -> ScorePartial {
+  const auto build_score_partial = [&](std::size_t s, WorkerObs* wobs) -> ScorePartial {
+    obs::Span wspan(wobs != nullptr ? &wobs->ctx : nullptr, "worker:score_partial");
     const auto start = Clock::now();
     ScorePartial p;
     core::PipelineDiagnostics ldiag;
-    p.blocks = score_fleet(fleet, predictor, partition[s], t0, t1, cfg, &ldiag, nullptr);
-    p.days_rerouted = ldiag.score_days_rerouted;
-    p.drives_missing_features = ldiag.score_drives_missing_features;
+    core::PipelineDiagnostics& d = wobs != nullptr ? wobs->diag : ldiag;
+    p.blocks = score_fleet(fleet, predictor, partition[s], t0, t1, cfg, &d,
+                           wobs != nullptr ? &wobs->ctx : nullptr);
+    p.days_rerouted = d.score_days_rerouted;
+    p.drives_missing_features = d.score_drives_missing_features;
     for (const auto& b : p.blocks) {
       const auto& drive = fleet.drives[b.drive_index];
       for (std::size_t i = 0; i < b.scores.size(); ++i) {
@@ -504,6 +826,14 @@ std::vector<core::DriveDayScores> score_fleet_sharded(
   const auto fallback = [&](const std::string& reason) {
     if (diag != nullptr) diag->note("shard", "in_process_fallback", reason);
     st.forked = false;
+    st.fallback_reason = reason;
+    st.shard_drives.clear();
+    st.shard_samples.clear();
+    st.health.clear();
+    st.partial_seconds = 0.0;
+    st.merge_seconds = 0.0;
+    st.max_shard_seconds = st.median_shard_seconds = st.imbalance_ratio = 0.0;
+    tally_shard_counters(obs, st);
     auto blocks = score_fleet(fleet, predictor, t0, t1, cfg, diag, obs);
     if (auc_out != nullptr) {
       *auc_out = ml::AucPartial();
@@ -521,45 +851,92 @@ std::vector<core::DriveDayScores> score_fleet_sharded(
   };
 
   auto phase_start = Clock::now();
+  obs::Span dispatch(obs, "shard:dispatch:score");
+  ObsMerge om;
+  om.obs = obs;
+  om.diag = diag;
+  om.tctx = tctx;
+  om.dispatch_span = dispatch.id();
+  om.dispatch_offset_us =
+      obs != nullptr && obs->tracer != nullptr ? obs->tracer->now_us() : 0.0;
   std::vector<ScorePartial> partials(num_shards);
   if (st.forked) {
     const ExchangeDir exchange(shards.exchange_dir);
     const auto outcomes = util::run_forked(num_shards, [&](std::size_t s) -> int {
-      const std::string payload = serialize_score_partial(build_score_partial(s));
-      return data::write_shard_record(exchange.file("score_partial", s),
-                                      data::ShardRecordKind::kScorePartial,
-                                      static_cast<std::uint32_t>(s),
-                                      static_cast<std::uint32_t>(num_shards), payload)
-                 ? 0
-                 : 3;
+      if (worker_failure_injected(s)) return 7;
+      std::unique_ptr<WorkerObs> wobs;
+      if (obs_on) wobs = std::make_unique<WorkerObs>();
+      const std::string payload =
+          serialize_score_partial(build_score_partial(s, wobs.get()));
+      if (!data::write_shard_record(exchange.file("score_partial", s),
+                                    data::ShardRecordKind::kScorePartial,
+                                    static_cast<std::uint32_t>(s), num_shards_u32,
+                                    payload))
+        return 3;
+      if (wobs != nullptr) {
+        data::write_obs_record(
+            exchange.file("obs_score", s), data::ObsRecordKind::kWorkerObs,
+            static_cast<std::uint32_t>(s), num_shards_u32,
+            obs::serialize_obs_partial(wobs->finish(tctx, s, "score_partial")));
+      }
+      return 0;
     });
     for (std::size_t s = 0; s < num_shards; ++s) {
-      if (!outcomes[s].ok || outcomes[s].exit_code != 0)
+      if (!outcomes[s].ok || outcomes[s].exit_code != 0) {
+        ++st.workers_failed;
+        st.health[s].worker_exit = outcomes[s].exit_code != 0 ? outcomes[s].exit_code : -1;
         return fallback("score worker " + std::to_string(s) + " failed: " +
                         (outcomes[s].error.empty() ? "nonzero exit" : outcomes[s].error));
+      }
       std::string payload, why;
       if (!data::read_shard_record(exchange.file("score_partial", s),
                                    data::ShardRecordKind::kScorePartial,
-                                   static_cast<std::uint32_t>(s),
-                                   static_cast<std::uint32_t>(num_shards), payload, &why) ||
+                                   static_cast<std::uint32_t>(s), num_shards_u32, payload,
+                                   &why) ||
           !deserialize_score_partial(payload, partials[s], &why))
         return fallback("score record " + std::to_string(s) + ": " + why);
+      ++st.records_verified;
+      ++st.health[s].records_verified;
+      std::error_code ec;
+      const auto fsize = fs::file_size(exchange.file("score_partial", s), ec);
+      if (!ec) st.health[s].bytes += fsize;
+      if (obs_on)
+        merge_obs_file(om, st, s, num_shards_u32, exchange.file("obs_score", s),
+                       "score_partial");
     }
   } else {
     for (std::size_t s = 0; s < num_shards; ++s) {
+      if (worker_failure_injected(s)) {
+        ++st.workers_failed;
+        st.health[s].worker_exit = 7;
+        return fallback("score worker " + std::to_string(s) +
+                        " failed: injected failure");
+      }
+      std::unique_ptr<WorkerObs> wobs;
+      if (obs_on) wobs = std::make_unique<WorkerObs>();
       const std::string record = data::encode_shard_record(
           data::ShardRecordKind::kScorePartial, static_cast<std::uint32_t>(s),
-          static_cast<std::uint32_t>(num_shards),
-          serialize_score_partial(build_score_partial(s)));
+          num_shards_u32, serialize_score_partial(build_score_partial(s, wobs.get())));
       std::string payload, why;
       if (!data::decode_shard_record(record, data::ShardRecordKind::kScorePartial,
-                                     static_cast<std::uint32_t>(s),
-                                     static_cast<std::uint32_t>(num_shards), payload,
-                                     &why) ||
+                                     static_cast<std::uint32_t>(s), num_shards_u32,
+                                     payload, &why) ||
           !deserialize_score_partial(payload, partials[s], &why))
         return fallback("in-process score record " + std::to_string(s) + ": " + why);
+      ++st.records_verified;
+      ++st.health[s].records_verified;
+      st.health[s].bytes += record.size();
+      if (wobs != nullptr) {
+        const std::string orec = data::encode_obs_record(
+            data::ObsRecordKind::kWorkerObs, static_cast<std::uint32_t>(s),
+            num_shards_u32,
+            obs::serialize_obs_partial(wobs->finish(tctx, s, "score_partial")));
+        st.health[s].bytes += orec.size();
+        merge_obs_record(om, st, s, num_shards_u32, orec, "score_partial");
+      }
     }
   }
+  dispatch.finish();
   st.partial_seconds += seconds_since(phase_start);
 
   const auto merge_start = Clock::now();
@@ -575,6 +952,9 @@ std::vector<core::DriveDayScores> score_fleet_sharded(
       merged.push_back(std::move(b));
     }
     st.shard_samples.push_back(days);
+    st.health[s].drives = partition[s].size();
+    st.health[s].rows = days;
+    st.health[s].wall_seconds += static_cast<double>(p.build_micros) / 1e6;
     auc.merge(p.auc);
     rerouted += p.days_rerouted;
     drives_missing += p.drives_missing_features;
@@ -611,6 +991,7 @@ std::vector<core::DriveDayScores> score_fleet_sharded(
     obs::add_counter(obs, "wefr_score_days_rerouted_total", rerouted);
     obs::add_counter(obs, "wefr_inference_rows_total", total_days);
   }
+  finalize_shard_stats(st);
   tally_shard_counters(obs, st);
   if (auc_out != nullptr) *auc_out = std::move(auc);
   return merged;

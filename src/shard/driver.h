@@ -31,6 +31,20 @@ struct ShardOptions {
   std::size_t vnodes_per_shard = 64;
 };
 
+/// One shard's row in the health ledger: what the worker did, what it
+/// cost, and whether its exchange records and obs sidecars arrived
+/// intact.
+struct ShardHealth {
+  std::uint64_t drives = 0;  ///< drives the shard owned
+  std::uint64_t rows = 0;    ///< sample rows (selection) / drive-days (scoring)
+  std::uint64_t bytes = 0;   ///< WEFRSH01 + WEFROB01 record bytes exchanged
+  std::uint64_t records_verified = 0;  ///< digest-checked records decoded
+  double wall_seconds = 0.0;  ///< worker wall clock summed over its phases
+  double cpu_seconds = 0.0;   ///< worker CPU clock (0 when obs was disabled)
+  bool obs_merged = false;    ///< >=1 obs sidecar from this shard merged
+  int worker_exit = 0;        ///< worker exit status (forked mode; 0 otherwise)
+};
+
 /// What the driver did, for reports and benches.
 struct ShardRunStats {
   std::size_t num_shards = 0;
@@ -39,6 +53,25 @@ struct ShardRunStats {
   std::vector<std::uint64_t> shard_samples;  ///< rows contributed per shard
   double partial_seconds = 0.0;  ///< worker fan-outs, wall clock
   double merge_seconds = 0.0;    ///< shard-index-ordered merges
+
+  /// Health ledger, one row per shard. Cleared (with the per-shard
+  /// vectors and timings above) when the run falls back to the
+  /// in-process oracle — the sharded numbers would describe work that
+  /// was thrown away; `fallback_reason` says why instead.
+  std::vector<ShardHealth> health;
+  std::string fallback_reason;  ///< "" = sharding held end to end
+
+  // Run-level exchange + worker-obs accounting.
+  std::uint64_t records_verified = 0;     ///< digest-checked records decoded
+  std::uint64_t obs_spans_merged = 0;     ///< worker spans re-parented in
+  std::uint64_t obs_partials_merged = 0;  ///< WEFROB01 sidecars merged
+  std::uint64_t obs_partials_dropped = 0; ///< damaged/stale sidecars dropped
+  std::uint64_t workers_failed = 0;       ///< forked workers that died/exited nonzero
+
+  // Derived straggler/imbalance summary over per-shard wall time.
+  double max_shard_seconds = 0.0;
+  double median_shard_seconds = 0.0;
+  double imbalance_ratio = 0.0;  ///< max / median (0 when undefined)
 };
 
 /// Sharded run_wefr: partitions drives across `shards.num_shards`

@@ -4,7 +4,9 @@
 #include <cctype>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -15,9 +17,11 @@
 #include "core/wefr.h"
 #include "obs/context.h"
 #include "obs/json.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "obs/wire.h"
 #include "smartsim/generator.h"
 #include "util/thread_pool.h"
 
@@ -389,6 +393,319 @@ TEST(Metrics, PrometheusExportShape) {
   EXPECT_NE(doc.find("wefr_lat_seconds_count 1"), std::string::npos);
 }
 
+TEST(Metrics, LabeledSeriesNamesAndEscaping) {
+  EXPECT_EQ(obs::labeled("wefr_x_total", "shard", "3"), "wefr_x_total{shard=\"3\"}");
+  // Appending into an existing label block keeps one block.
+  EXPECT_EQ(obs::labeled("wefr_x_total{a=\"1\"}", "shard", "3"),
+            "wefr_x_total{a=\"1\",shard=\"3\"}");
+  // Backslash, quote, and newline escape per the exposition format.
+  EXPECT_EQ(obs::escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  // sanitize_name cleans the base but leaves the label block verbatim.
+  EXPECT_EQ(obs::Registry::sanitize_name("bad-name{shard=\"0\"}"),
+            "bad_name{shard=\"0\"}");
+}
+
+TEST(Metrics, PrometheusHelpAndTypeForEveryFamily) {
+  obs::Registry registry;
+  registry.counter("wefr_with_help_total", "documented counter").add(1);
+  registry.counter("wefr_no_help_total").add(2);
+  registry.gauge("wefr_some_gauge").set(1.5);
+  registry.histogram("wefr_lat_seconds", {0.1, 1.0}).observe(0.2);
+  registry.counter(obs::labeled("wefr_sharded_total", "shard", "0")).add(3);
+  registry.counter(obs::labeled("wefr_sharded_total", "shard", "1")).add(4);
+  registry.histogram(obs::labeled("wefr_stage_seconds", "stage", "samples"), {1.0})
+      .observe(0.5);
+
+  std::ostringstream os;
+  registry.write_prometheus(os);
+  const std::string doc = os.str();
+
+  // Every sample line's family has exactly one HELP and one TYPE line,
+  // emitted before its samples.
+  std::set<std::string> helped, typed;
+  std::istringstream is(doc);
+  std::string line;
+  const auto strip_suffix = [](std::string base) {
+    for (const char* suf : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suf);
+      if (base.size() > s.size() && base.compare(base.size() - s.size(), s.size(), s) == 0)
+        return base.substr(0, base.size() - s.size());
+    }
+    return base;
+  };
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::string name = rest.substr(0, rest.find(' '));
+      EXPECT_TRUE(helped.insert(name).second) << "duplicate HELP for " << name;
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::string rest = line.substr(7);
+      const std::string name = rest.substr(0, rest.find(' '));
+      EXPECT_TRUE(typed.insert(name).second) << "duplicate TYPE for " << name;
+      continue;
+    }
+    const std::string base = line.substr(0, line.find_first_of("{ "));
+    const bool ok = helped.count(base) + helped.count(strip_suffix(base)) > 0 &&
+                    typed.count(base) + typed.count(strip_suffix(base)) > 0;
+    EXPECT_TRUE(ok) << "sample line before/without HELP+TYPE: " << line;
+  }
+  EXPECT_NE(doc.find("# HELP wefr_with_help_total documented counter"),
+            std::string::npos);
+  // Label-only families still get a family header on the base name and
+  // both labeled samples under it.
+  EXPECT_NE(doc.find("# TYPE wefr_sharded_total counter"), std::string::npos);
+  EXPECT_NE(doc.find("wefr_sharded_total{shard=\"0\"} 3"), std::string::npos);
+  EXPECT_NE(doc.find("wefr_sharded_total{shard=\"1\"} 4"), std::string::npos);
+  // Labeled histograms keep the series labels on every triple line and
+  // append le to the bucket lines.
+  EXPECT_NE(doc.find("wefr_stage_seconds_bucket{stage=\"samples\",le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(doc.find("wefr_stage_seconds_sum{stage=\"samples\"}"), std::string::npos);
+  EXPECT_NE(doc.find("wefr_stage_seconds_count{stage=\"samples\"} 1"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusLabelValueEscaping) {
+  obs::Registry registry;
+  registry.counter(obs::labeled("wefr_esc_total", "path", "a\\b\"c\nd")).add(1);
+  std::ostringstream os;
+  registry.write_prometheus(os);
+  EXPECT_NE(os.str().find("wefr_esc_total{path=\"a\\\\b\\\"c\\nd\"} 1"),
+            std::string::npos);
+}
+
+TEST(Metrics, SnapshotAbsorbMergesLabeledSeries) {
+  obs::Registry worker;
+  worker.counter("wefr_w_total", "worker rows").add(5);
+  worker.gauge("wefr_w_gauge").set(2.5);
+  worker.histogram("wefr_w_seconds", {1.0, 2.0}).observe(0.5);
+  worker.histogram("wefr_w_seconds", {1.0, 2.0}).observe(1.5);
+  const obs::MetricsSnapshot snap = worker.snapshot();
+
+  obs::Registry parent;
+  parent.counter("wefr_w_total").add(100);  // parent's own unlabeled tally
+  const std::size_t absorbed = parent.absorb(snap, "shard=\"0\"");
+  EXPECT_EQ(absorbed, 3u);
+  parent.absorb(snap, "shard=\"1\"");
+
+  // Labeled series land next to — never into — the unlabeled tally.
+  EXPECT_EQ(parent.counter("wefr_w_total").value(), 100u);
+  EXPECT_EQ(parent.counter("wefr_w_total{shard=\"0\"}").value(), 5u);
+  EXPECT_EQ(parent.counter("wefr_w_total{shard=\"1\"}").value(), 5u);
+  EXPECT_DOUBLE_EQ(parent.gauge("wefr_w_gauge{shard=\"0\"}").value(), 2.5);
+  const auto h = parent.histogram("wefr_w_seconds{shard=\"1\"}", {1.0, 2.0}).snapshot();
+  EXPECT_EQ(h.count, 2u);
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_EQ(h.counts[1], 1u);
+
+  // Absorbing the same shard twice adds exactly (integer counter and
+  // bucket arithmetic — the exact-sum contract).
+  parent.absorb(snap, "shard=\"0\"");
+  EXPECT_EQ(parent.counter("wefr_w_total{shard=\"0\"}").value(), 10u);
+  EXPECT_EQ(parent.histogram("wefr_w_seconds{shard=\"0\"}", {1.0, 2.0}).snapshot().count,
+            4u);
+}
+
+TEST(Metrics, HistogramAbsorbRejectsMismatchedBounds) {
+  obs::Histogram h({1.0, 2.0});
+  obs::Histogram other({1.0, 5.0});
+  h.observe(0.5);
+  other.observe(0.5);
+  EXPECT_FALSE(h.absorb(other.snapshot()));
+  EXPECT_EQ(h.snapshot().count, 1u);  // unchanged on rejection
+  EXPECT_TRUE(h.absorb(h.snapshot()));
+  EXPECT_EQ(h.snapshot().count, 2u);
+}
+
+// ---------- Cross-process merge ----------
+
+TEST(TraceAbsorb, ReparentsWorkerSpansUnderContainer) {
+  obs::Tracer parent;
+  obs::Span root(&parent, "shard:dispatch:partials");
+  const std::uint64_t root_id = root.id();
+
+  // A worker's local span set: a root, a child of it, and an orphan
+  // whose parent span never finished in the worker.
+  std::vector<obs::SpanRecord> worker;
+  obs::SpanRecord a;
+  a.id = 1;
+  a.name = "worker:wefr_partial";
+  a.start_us = 10.0;
+  a.dur_us = 50.0;
+  worker.push_back(a);
+  obs::SpanRecord b;
+  b.id = 2;
+  b.parent = 1;
+  b.name = "build_samples";
+  b.start_us = 12.0;
+  b.dur_us = 20.0;
+  worker.push_back(b);
+  obs::SpanRecord c;
+  c.id = 3;
+  c.parent = 99;  // never finished -> must re-parent under the container
+  c.name = "orphan";
+  worker.push_back(c);
+
+  const std::uint64_t container = parent.absorb(worker, root_id, "shard:3", 5, 1000.0);
+  ASSERT_NE(container, 0u);
+  root.finish();
+
+  const auto spans = parent.snapshot();
+  const obs::SpanRecord* cont = nullptr;
+  const obs::SpanRecord* wa = nullptr;
+  const obs::SpanRecord* wb = nullptr;
+  const obs::SpanRecord* orph = nullptr;
+  std::set<std::uint64_t> ids;
+  for (const auto& s : spans) {
+    EXPECT_TRUE(ids.insert(s.id).second) << "duplicate span id after merge";
+    if (s.id == container) cont = &s;
+    if (s.name == "worker:wefr_partial") wa = &s;
+    if (s.name == "build_samples") wb = &s;
+    if (s.name == "orphan") orph = &s;
+  }
+  ASSERT_NE(cont, nullptr);
+  ASSERT_NE(wa, nullptr);
+  ASSERT_NE(wb, nullptr);
+  ASSERT_NE(orph, nullptr);
+  // The container hangs off the dispatch span, carries the shard label
+  // as its name, and lives in the worker's Chrome lane.
+  EXPECT_EQ(cont->name, "shard:3");
+  EXPECT_EQ(cont->parent, root_id);
+  EXPECT_EQ(cont->pid, 5u);
+  // Worker roots and orphans re-parent under the container; the intact
+  // parent link is preserved through the id remap.
+  EXPECT_EQ(wa->parent, container);
+  EXPECT_EQ(orph->parent, container);
+  EXPECT_EQ(wb->parent, wa->id);
+  // Start times shift onto the parent clock; lanes follow the worker.
+  EXPECT_DOUBLE_EQ(wa->start_us, 1010.0);
+  EXPECT_DOUBLE_EQ(wb->start_us, 1012.0);
+  EXPECT_EQ(wa->pid, 5u);
+  EXPECT_EQ(wb->pid, 5u);
+
+  // The merged set still renders as a valid Chrome trace.
+  std::ostringstream os;
+  parent.write_chrome_trace(os);
+  expect_valid_json(os.str());
+}
+
+TEST(ObsWire, PartialRoundtripPreservesEverything) {
+  obs::ObsPartial p;
+  p.ctx.run_id = 0x1234abcdu;
+  p.ctx.parent_span = 7;
+  p.shard_index = 2;
+  p.phase = "wefr_partial";
+  p.wall_micros = 150000;
+  p.cpu_micros = 140000;
+  obs::SpanRecord s;
+  s.id = 1;
+  s.name = "worker:wefr_partial";
+  s.start_us = 5.0;
+  s.dur_us = 100.0;
+  s.tid = 0;
+  s.pid = 1;
+  p.spans.push_back(s);
+  obs::Registry reg;
+  reg.counter("wefr_worker_rows_total", "rows built").add(5);
+  reg.gauge("wefr_worker_gauge").set(2.5);
+  reg.histogram("wefr_worker_stage_seconds", {0.5, 1.0}).observe(0.7);
+  p.metrics = reg.snapshot();
+  p.events.push_back({"ensemble", "ranker_failed", "Pearson threw"});
+
+  const std::string payload = obs::serialize_obs_partial(p);
+  obs::ObsPartial out;
+  std::string why;
+  ASSERT_TRUE(obs::deserialize_obs_partial(payload, out, &why)) << why;
+  EXPECT_EQ(out.ctx.run_id, p.ctx.run_id);
+  EXPECT_EQ(out.ctx.parent_span, p.ctx.parent_span);
+  EXPECT_EQ(out.shard_index, 2u);
+  EXPECT_EQ(out.phase, "wefr_partial");
+  EXPECT_EQ(out.wall_micros, 150000u);
+  EXPECT_EQ(out.cpu_micros, 140000u);
+  ASSERT_EQ(out.spans.size(), 1u);
+  EXPECT_EQ(out.spans[0].name, "worker:wefr_partial");
+  EXPECT_DOUBLE_EQ(out.spans[0].dur_us, 100.0);
+  EXPECT_EQ(out.metrics.counters.at("wefr_worker_rows_total"), 5u);
+  EXPECT_DOUBLE_EQ(out.metrics.gauges.at("wefr_worker_gauge"), 2.5);
+  const auto& hs = out.metrics.histograms.at("wefr_worker_stage_seconds");
+  EXPECT_EQ(hs.count, 1u);
+  ASSERT_EQ(hs.bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(hs.bounds[1], 1.0);
+  EXPECT_EQ(out.metrics.help.at("wefr_worker_rows_total"), "rows built");
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_EQ(out.events[0].code, "ranker_failed");
+  EXPECT_EQ(out.events[0].detail, "Pearson threw");
+}
+
+TEST(ObsWire, TruncatedPayloadRejected) {
+  obs::ObsPartial p;
+  p.ctx.run_id = 99;
+  p.phase = "score_partial";
+  obs::SpanRecord s;
+  s.id = 1;
+  s.name = "worker:score_partial";
+  p.spans.push_back(s);
+  const std::string payload = obs::serialize_obs_partial(p);
+  for (const std::size_t keep : {std::size_t{0}, payload.size() / 2, payload.size() - 1}) {
+    obs::ObsPartial out;
+    EXPECT_FALSE(obs::deserialize_obs_partial(payload.substr(0, keep), out))
+        << "accepted a payload truncated to " << keep << " bytes";
+  }
+}
+
+// ---------- Structured logging ----------
+
+TEST(Log, ParseLogLevel) {
+  obs::LogLevel lvl = obs::LogLevel::kInfo;
+  EXPECT_TRUE(obs::parse_log_level("quiet", lvl));
+  EXPECT_EQ(lvl, obs::LogLevel::kQuiet);
+  EXPECT_TRUE(obs::parse_log_level("info", lvl));
+  EXPECT_EQ(lvl, obs::LogLevel::kInfo);
+  EXPECT_TRUE(obs::parse_log_level("debug", lvl));
+  EXPECT_EQ(lvl, obs::LogLevel::kDebug);
+  EXPECT_FALSE(obs::parse_log_level("verbose", lvl));
+  EXPECT_FALSE(obs::parse_log_level("", lvl));
+}
+
+TEST(Log, LevelGatingAndLineFormat) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  {
+    obs::Logger log(obs::LogLevel::kInfo, sink);
+    EXPECT_TRUE(log.enabled(obs::LogLevel::kInfo));
+    EXPECT_FALSE(log.enabled(obs::LogLevel::kDebug));
+    log.infof("ingest", "%d drives", 412);
+    log.debugf("shard", "hidden at info level");
+  }
+  std::fflush(sink);
+  std::rewind(sink);
+  std::string text;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), sink) != nullptr) text += buf;
+  std::fclose(sink);
+  // One timestamped, stage-tagged line; the debug line is gated out.
+  EXPECT_EQ(text.rfind("[+", 0), 0u) << text;
+  EXPECT_NE(text.find("s] [ingest] 412 drives"), std::string::npos) << text;
+  EXPECT_EQ(text.find("hidden"), std::string::npos) << text;
+}
+
+TEST(Log, QuietSuppressesEverything) {
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  {
+    obs::Logger log(obs::LogLevel::kQuiet, sink);
+    log.info("ingest", "nope");
+    log.infof("fleet", "also nope");
+  }
+  std::fflush(sink);
+  std::rewind(sink);
+  char buf[8];
+  EXPECT_EQ(std::fgets(buf, sizeof(buf), sink), nullptr);
+  std::fclose(sink);
+}
+
 // ---------- RunReport ----------
 
 TEST(RunReport, SchemaVersionAndSectionsPresent) {
@@ -425,25 +742,109 @@ TEST(RunReport, SchemaVersionAndSectionsPresent) {
   sh.shard_samples = {30, 20, 28, 22};
   sh.partial_seconds = 0.5;
   sh.merge_seconds = 0.01;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    obs::RunReport::Sharding::ShardHealth h;
+    h.wall_seconds = 0.1 * static_cast<double>(s + 1);
+    h.cpu_seconds = 0.05;
+    h.drives = 3;
+    h.rows = 25;
+    h.bytes = 1024;
+    h.records_verified = 2;
+    h.obs_merged = true;
+    sh.health.push_back(h);
+  }
+  sh.records_verified = 8;
+  sh.obs_spans_merged = 40;
+  sh.obs_partials_merged = 4;
+  sh.max_shard_seconds = 0.4;
+  sh.median_shard_seconds = 0.25;
+  sh.imbalance_ratio = 1.6;
   report.sharding = sh;
 
   std::ostringstream os;
   report.write_json(os);
   const std::string doc = os.str();
   expect_valid_json(doc);
-  EXPECT_NE(doc.find("\"schema_version\": 2"), std::string::npos);
+  EXPECT_NE(doc.find("\"schema_version\": 3"), std::string::npos);
   for (const char* key : {"\"tool\"", "\"model\"", "\"run_info\"", "\"params\"",
                           "\"diagnostics\"", "\"ingest\"", "\"selection\"",
                           "\"scoring\"", "\"sharding\"", "\"spans\"", "\"metrics\""}) {
     EXPECT_NE(doc.find(key), std::string::npos) << "missing " << key;
   }
   EXPECT_NE(doc.find("\"pe_cycles\""), std::string::npos);
-  // The sharding block carries the shard plan and merge timings.
-  for (const char* key : {"\"shards\": 4", "\"forked\": true", "\"shard_drives\"",
-                          "\"shard_samples\"", "\"partial_seconds\"",
-                          "\"merge_seconds\""}) {
+  // The sharding block carries the shard plan, merge timings, and the
+  // v3 health ledger with the straggler summary.
+  for (const char* key :
+       {"\"shards\": 4", "\"forked\": true", "\"shard_drives\"", "\"shard_samples\"",
+        "\"partial_seconds\"", "\"merge_seconds\"", "\"fallback_reason\": null",
+        "\"health\"", "\"wall_seconds\"", "\"cpu_seconds\"", "\"obs_merged\": true",
+        "\"worker_exit\": 0", "\"records_verified\": 8", "\"obs_spans_merged\": 40",
+        "\"obs_partials_merged\": 4", "\"obs_partials_dropped\": 0",
+        "\"workers_failed\": 0", "\"straggler\"", "\"max_shard_seconds\"",
+        "\"median_shard_seconds\"", "\"imbalance_ratio\""}) {
     EXPECT_NE(doc.find(key), std::string::npos) << "missing sharding " << key;
   }
+}
+
+TEST(RunReport, ShardingFallbackZeroesPerShardFields) {
+  // Satellite contract: a fallback run must not report timings as if
+  // sharding succeeded — the reason is recorded, the per-shard fields
+  // are empty, and only the failure accounting survives.
+  obs::RunReport report;
+  report.tool = "wefr_select";
+  obs::RunReport::Sharding sh;
+  sh.shards = 4;
+  sh.forked = false;
+  sh.fallback_reason = "selection: worker 2 exited with status 7";
+  sh.workers_failed = 1;
+  sh.records_verified = 2;  // records verified before the failure
+  report.sharding = sh;
+
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string doc = os.str();
+  expect_valid_json(doc);
+  EXPECT_NE(doc.find("\"fallback_reason\": \"selection: worker 2 exited with "
+                     "status 7\""),
+            std::string::npos);
+  EXPECT_NE(doc.find("\"health\": []"), std::string::npos);
+  EXPECT_NE(doc.find("\"shard_drives\": []"), std::string::npos);
+  EXPECT_NE(doc.find("\"workers_failed\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"imbalance_ratio\": 0"), std::string::npos);
+}
+
+TEST(RunReport, ShardingDegenerateSingleShard) {
+  // --shards 1 is a legal degenerate plan: one ledger row, straggler
+  // max == median, imbalance exactly 1.
+  obs::RunReport report;
+  report.tool = "wefr_select";
+  obs::RunReport::Sharding sh;
+  sh.shards = 1;
+  sh.forked = true;
+  sh.shard_drives = {10};
+  sh.shard_samples = {100};
+  obs::RunReport::Sharding::ShardHealth h;
+  h.wall_seconds = 0.3;
+  h.drives = 10;
+  h.rows = 100;
+  h.records_verified = 1;
+  sh.health = {h};
+  sh.records_verified = 1;
+  sh.max_shard_seconds = 0.3;
+  sh.median_shard_seconds = 0.3;
+  sh.imbalance_ratio = 1.0;
+  report.sharding = sh;
+
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string doc = os.str();
+  expect_valid_json(doc);
+  EXPECT_NE(doc.find("\"shards\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"imbalance_ratio\": 1"), std::string::npos);
+  // Exactly one health row.
+  const std::size_t first = doc.find("\"wall_seconds\"");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(doc.find("\"wall_seconds\"", first + 1), std::string::npos);
 }
 
 TEST(RunReport, ShardingBlockNullForSingleProcessRuns) {

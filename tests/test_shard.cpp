@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <random>
 #include <set>
@@ -19,6 +20,9 @@
 #include "data/cache.h"
 #include "data/labeling.h"
 #include "ml/metrics.h"
+#include "obs/context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "shard/driver.h"
 #include "shard/hashring.h"
 #include "shard/partials.h"
@@ -601,6 +605,269 @@ TEST(ScoreFleetSharded, BitIdenticalToScoreFleet) {
       EXPECT_NEAR(auc.finalize(), ml::auc(flat, labels), 1e-12);
     }
   }
+}
+
+// ------------------------------------------------------- cross-process obs
+
+/// Scoped chaos switch: makes the shard worker for `shard` fail, and
+/// guarantees the env var is cleared even when an assertion bails out.
+struct ChaosWorkerFailure {
+  explicit ChaosWorkerFailure(const char* shard) {
+    ::setenv("WEFR_SHARD_FAIL_WORKER", shard, 1);
+  }
+  ~ChaosWorkerFailure() { ::unsetenv("WEFR_SHARD_FAIL_WORKER"); }
+};
+
+TEST(ObsRecord, WefrOb01RoundtripAndTamperDetection) {
+  const std::string payload = "obs\0partial\x11 bytes";
+  const auto rec = data::encode_obs_record(data::ObsRecordKind::kWorkerObs, 1, 4, payload);
+  std::string out, why;
+  ASSERT_TRUE(data::decode_obs_record(rec, data::ObsRecordKind::kWorkerObs, 1, 4, out,
+                                      &why))
+      << why;
+  EXPECT_EQ(out, payload);
+  // Wrong slot, wrong run shape, damaged byte, truncation: all refused.
+  EXPECT_FALSE(data::decode_obs_record(rec, data::ObsRecordKind::kWorkerObs, 2, 4, out));
+  EXPECT_FALSE(data::decode_obs_record(rec, data::ObsRecordKind::kWorkerObs, 1, 8, out));
+  std::string damaged = rec;
+  damaged[damaged.size() - 1] ^= 0x01;
+  EXPECT_FALSE(data::decode_obs_record(damaged, data::ObsRecordKind::kWorkerObs, 1, 4, out));
+  EXPECT_FALSE(data::decode_obs_record(rec.substr(0, rec.size() / 2),
+                                       data::ObsRecordKind::kWorkerObs, 1, 4, out));
+}
+
+TEST(RunWefrSharded, MergedTraceAndHealthLedger) {
+  const auto fleet = mc1_fleet(61, 150, 80);
+  const core::ExperimentConfig cfg = light_cfg();
+  core::WefrOptions wopt;
+  const std::size_t shards = 3;
+
+  obs::Tracer tracer;
+  obs::Registry registry;
+  obs::Context ctx{&tracer, &registry};
+  ShardOptions sopt;
+  sopt.num_shards = shards;
+  core::PipelineDiagnostics diag;
+  ShardRunStats stats;
+  data::Dataset merged;
+  run_wefr_sharded(fleet, 0, 79, 79, wopt, cfg, sopt, &diag, &ctx, &stats, &merged);
+
+  ASSERT_TRUE(stats.fallback_reason.empty()) << stats.fallback_reason;
+  ASSERT_EQ(stats.health.size(), shards);
+  EXPECT_EQ(stats.workers_failed, 0u);
+  EXPECT_EQ(stats.obs_partials_dropped, 0u);
+  // Two phases (wefr partials + ranker scores) ship one obs partial per
+  // shard each.
+  EXPECT_EQ(stats.obs_partials_merged, 2 * shards);
+  EXPECT_EQ(stats.records_verified, 2 * shards);
+  EXPECT_GT(stats.obs_spans_merged, 0u);
+
+  // The merged fleet trace: every shard contributed a "shard:k"
+  // container span, re-parented under one of the dispatch spans, in
+  // Chrome lane 2+k; real worker spans hang under the containers.
+  const auto spans = tracer.snapshot();
+  std::set<std::uint64_t> dispatch_ids;
+  for (const auto& s : spans) {
+    if (s.name.rfind("shard:dispatch:", 0) == 0) dispatch_ids.insert(s.id);
+  }
+  EXPECT_EQ(dispatch_ids.size(), 2u);  // partials + rankers
+  std::vector<std::set<std::uint64_t>> containers(shards);
+  for (const auto& s : spans) {
+    for (std::size_t k = 0; k < shards; ++k) {
+      if (s.name != "shard:" + std::to_string(k)) continue;
+      EXPECT_EQ(dispatch_ids.count(s.parent), 1u)
+          << "container for shard " << k << " not under a dispatch span";
+      EXPECT_EQ(s.pid, 2u + k);
+      containers[k].insert(s.id);
+    }
+  }
+  for (std::size_t k = 0; k < shards; ++k) {
+    EXPECT_EQ(containers[k].size(), 2u) << "shard " << k << " missing a phase container";
+  }
+  std::size_t worker_roots = 0;
+  for (const auto& s : spans) {
+    if (s.name != "worker:wefr_partial" && s.name != "worker:ranker_scores") continue;
+    bool under_container = false;
+    for (std::size_t k = 0; k < shards; ++k)
+      under_container = under_container || containers[k].count(s.parent) > 0;
+    EXPECT_TRUE(under_container) << s.name << " not under a shard container";
+    ++worker_roots;
+  }
+  EXPECT_EQ(worker_roots, 2 * shards);
+
+  // The exact-sum contract: the per-shard ledger gauges sum to the
+  // *_total counters, and both match the ShardRunStats ledger.
+  std::uint64_t rows = 0, drives = 0, bytes = 0, verified = 0;
+  for (std::size_t k = 0; k < shards; ++k) {
+    const std::string ks = std::to_string(k);
+    const auto gauge = [&](const char* base) {
+      return static_cast<std::uint64_t>(
+          registry.gauge(obs::labeled(base, "shard", ks)).value());
+    };
+    EXPECT_EQ(gauge("wefr_shard_rows"), stats.health[k].rows) << k;
+    EXPECT_EQ(gauge("wefr_shard_drives"), stats.health[k].drives) << k;
+    EXPECT_EQ(gauge("wefr_shard_bytes"), stats.health[k].bytes) << k;
+    EXPECT_TRUE(stats.health[k].obs_merged) << k;
+    EXPECT_EQ(stats.health[k].worker_exit, 0) << k;
+    EXPECT_GT(stats.health[k].wall_seconds, 0.0) << k;
+    rows += stats.health[k].rows;
+    drives += stats.health[k].drives;
+    bytes += stats.health[k].bytes;
+    verified += stats.health[k].records_verified;
+  }
+  EXPECT_EQ(rows, registry.counter("wefr_shard_samples_total").value());
+  EXPECT_EQ(rows, merged.size());
+  EXPECT_EQ(drives, registry.counter("wefr_shard_drives_total").value());
+  EXPECT_EQ(drives, fleet.drives.size());
+  EXPECT_EQ(bytes, registry.counter("wefr_shard_bytes_total").value());
+  EXPECT_GT(bytes, 0u);
+  EXPECT_EQ(verified, registry.counter("wefr_shard_records_verified_total").value());
+  EXPECT_EQ(stats.obs_partials_merged,
+            registry.counter("wefr_shard_obs_partials_merged_total").value());
+  EXPECT_EQ(registry.counter("wefr_shard_fallback_total").value(), 0u);
+
+  // Worker counters arrive as shard-labeled series next to — never
+  // into — the parent's own unlabeled series.
+  std::uint64_t worker_rows = 0;
+  for (std::size_t k = 0; k < shards; ++k) {
+    worker_rows += registry
+                       .counter(obs::labeled("wefr_worker_rows_total", "shard",
+                                             std::to_string(k)))
+                       .value();
+  }
+  EXPECT_EQ(worker_rows, merged.size());
+
+  // Straggler summary is internally consistent.
+  EXPECT_GT(stats.max_shard_seconds, 0.0);
+  EXPECT_GE(stats.max_shard_seconds, stats.median_shard_seconds);
+  EXPECT_GE(stats.imbalance_ratio, 1.0);
+}
+
+TEST(RunWefrSharded, ChaosWorkerFailureFallsBackAndClearsLedger) {
+  const auto fleet = mc1_fleet(67, 100, 60);
+  const core::ExperimentConfig cfg = light_cfg();
+  core::WefrOptions wopt;
+
+  core::ExperimentConfig oracle_cfg = cfg;
+  oracle_cfg.per_drive_sampling = true;
+  const auto oracle_samples = core::build_selection_samples(fleet, 0, 59, oracle_cfg);
+  core::PipelineDiagnostics oracle_diag;
+  const auto oracle = core::run_wefr(fleet, oracle_samples, 59, wopt, &oracle_diag);
+
+  obs::Tracer tracer;
+  obs::Registry registry;
+  obs::Context ctx{&tracer, &registry};
+  ShardOptions sopt;
+  sopt.num_shards = 3;
+  core::PipelineDiagnostics diag;
+  ShardRunStats stats;
+  core::WefrResult got;
+  {
+    ChaosWorkerFailure chaos("1");
+    got = run_wefr_sharded(fleet, 0, 59, 59, wopt, cfg, sopt, &diag, &ctx, &stats);
+  }
+
+  // The run survives bit-identically through the in-process oracle.
+  expect_same_result(oracle, got);
+  EXPECT_TRUE(diag.has("in_process_fallback"));
+
+  // Satellite contract: the report must not describe the discarded
+  // sharded attempt as if it succeeded — reason set, per-shard ledger
+  // cleared, failure accounting kept.
+  EXPECT_FALSE(stats.fallback_reason.empty());
+  EXPECT_FALSE(stats.forked);
+  EXPECT_TRUE(stats.health.empty());
+  EXPECT_TRUE(stats.shard_drives.empty());
+  EXPECT_TRUE(stats.shard_samples.empty());
+  EXPECT_EQ(stats.partial_seconds, 0.0);
+  EXPECT_EQ(stats.merge_seconds, 0.0);
+  EXPECT_EQ(stats.max_shard_seconds, 0.0);
+  EXPECT_EQ(stats.imbalance_ratio, 0.0);
+  EXPECT_EQ(stats.workers_failed, 1u);
+  EXPECT_EQ(registry.counter("wefr_shard_fallback_total").value(), 1u);
+  EXPECT_EQ(registry.counter("wefr_shard_workers_failed_total").value(), 1u);
+  EXPECT_EQ(registry.counter("wefr_shard_samples_total").value(), 0u);
+}
+
+TEST(RunWefrSharded, DegenerateSingleShardLedger) {
+  const auto fleet = mc1_fleet(71, 60, 60);
+  const core::ExperimentConfig cfg = light_cfg();
+  core::WefrOptions wopt;
+
+  obs::Tracer tracer;
+  obs::Registry registry;
+  obs::Context ctx{&tracer, &registry};
+  ShardOptions sopt;
+  sopt.num_shards = 1;
+  core::PipelineDiagnostics diag;
+  ShardRunStats stats;
+  run_wefr_sharded(fleet, 0, 59, 59, wopt, cfg, sopt, &diag, &ctx, &stats);
+
+  ASSERT_TRUE(stats.fallback_reason.empty()) << stats.fallback_reason;
+  ASSERT_EQ(stats.health.size(), 1u);
+  EXPECT_EQ(stats.health[0].drives, fleet.drives.size());
+  // One shard: max == median, imbalance exactly 1.
+  EXPECT_DOUBLE_EQ(stats.max_shard_seconds, stats.median_shard_seconds);
+  EXPECT_DOUBLE_EQ(stats.imbalance_ratio, 1.0);
+}
+
+TEST(ScoreFleetSharded, MergedTraceAndHealthLedger) {
+  const auto fleet = mc1_fleet(73, 120, 100);
+  core::ExperimentConfig cfg = light_cfg();
+  cfg.per_drive_sampling = true;
+  core::WefrOptions wopt;
+  const auto samples = core::build_selection_samples(fleet, 0, 69, cfg);
+  core::PipelineDiagnostics diag;
+  const auto result = core::run_wefr(fleet, samples, 69, wopt, &diag);
+  const auto predictor = core::train_predictor(fleet, result, 0, 69, cfg);
+
+  obs::Tracer tracer;
+  obs::Registry registry;
+  obs::Context ctx{&tracer, &registry};
+  const std::size_t shards = 2;
+  ShardOptions sopt;
+  sopt.num_shards = shards;
+  core::PipelineDiagnostics sdiag;
+  ShardRunStats stats;
+  const auto scores =
+      score_fleet_sharded(fleet, predictor, 70, 99, cfg, sopt, &sdiag, &ctx, &stats,
+                          nullptr);
+  ASSERT_FALSE(scores.empty());
+
+  ASSERT_TRUE(stats.fallback_reason.empty()) << stats.fallback_reason;
+  ASSERT_EQ(stats.health.size(), shards);
+  EXPECT_EQ(stats.obs_partials_merged, shards);
+
+  // Ledger rows are scored drive-days; the whole fleet is covered.
+  std::uint64_t rows = 0, drives = 0;
+  for (const auto& h : stats.health) {
+    rows += h.rows;
+    drives += h.drives;
+    EXPECT_TRUE(h.obs_merged);
+  }
+  EXPECT_EQ(drives, fleet.drives.size());
+  std::uint64_t scored_days = 0;
+  for (const auto& b : scores) scored_days += b.scores.size();
+  EXPECT_EQ(rows, scored_days);
+
+  // One "shard:k" container per shard under the score dispatch span,
+  // holding the worker's score span.
+  const auto spans = tracer.snapshot();
+  std::uint64_t dispatch = 0;
+  for (const auto& s : spans) {
+    if (s.name == "shard:dispatch:score") dispatch = s.id;
+  }
+  ASSERT_NE(dispatch, 0u);
+  std::set<std::uint64_t> containers;
+  for (const auto& s : spans) {
+    if (s.name.rfind("shard:", 0) == 0 && s.parent == dispatch) containers.insert(s.id);
+  }
+  EXPECT_EQ(containers.size(), shards);
+  std::size_t worker_spans = 0;
+  for (const auto& s : spans) {
+    if (s.name == "worker:score_partial" && containers.count(s.parent) > 0) ++worker_spans;
+  }
+  EXPECT_EQ(worker_spans, shards);
 }
 
 }  // namespace

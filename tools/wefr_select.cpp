@@ -22,6 +22,11 @@
 // mapped read as long as the source file and parse options are
 // unchanged.
 //
+// --log-level {quiet,info,debug} controls the structured progress log
+// on stderr ([+elapsed] [stage] message lines); results always go to
+// stdout. Default is info; debug adds the per-shard health ledger and
+// obs-merge accounting.
+//
 // Any of --trace-out / --metrics-out / --report-out enables the obs
 // instrumentation: the whole run is traced (Chrome trace-event JSON,
 // loadable in chrome://tracing), stage counters are collected (JSON, or
@@ -30,6 +35,7 @@
 // + selection + scoring is written. With instrumentation on, the tool
 // also trains the predictor and scores the post-training window so the
 // report covers ingestion -> selection -> scoring end to end.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -44,6 +50,7 @@
 #include "data/csv.h"
 #include "ml/metrics.h"
 #include "obs/context.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -60,6 +67,7 @@ void usage() {
                "                   [--horizon N] [--no-update] [--save-model FILE]\n"
                "                   [--policy strict|recover|skip-drive]\n"
                "                   [--cache-dir DIR] [--shards N]\n"
+               "                   [--log-level quiet|info|debug]\n"
                "                   [--trace-out FILE] [--metrics-out FILE]\n"
                "                   [--report-out FILE]\n");
 }
@@ -75,6 +83,97 @@ std::ofstream open_or_throw(const std::string& path) {
   std::ofstream ofs(path);
   if (!ofs) throw std::runtime_error("cannot open " + path);
   return ofs;
+}
+
+/// Folds the selection-stage and scoring-stage driver stats into the
+/// report's v3 sharding block: per-shard ledger rows sum across the
+/// two runs, the straggler summary is recomputed over the combined
+/// wall clocks, and a fallback in either stage surfaces as a non-null
+/// fallback_reason (with the per-shard fields left zeroed, per the
+/// driver's contract).
+obs::RunReport::Sharding make_sharding_block(const shard::ShardRunStats& sel,
+                                             const shard::ShardRunStats* score) {
+  obs::RunReport::Sharding sh;
+  sh.shards = sel.num_shards;
+  sh.forked = sel.forked;
+  sh.fallback_reason = sel.fallback_reason.empty() ? "" : "selection: " + sel.fallback_reason;
+  if (score != nullptr && !score->fallback_reason.empty()) {
+    if (!sh.fallback_reason.empty()) sh.fallback_reason += "; ";
+    sh.fallback_reason += "scoring: " + score->fallback_reason;
+  }
+  sh.shard_drives = sel.shard_drives;
+  sh.shard_samples = sel.shard_samples;
+
+  const auto fold = [&sh](const shard::ShardRunStats& st) {
+    sh.partial_seconds += st.partial_seconds;
+    sh.merge_seconds += st.merge_seconds;
+    sh.records_verified += st.records_verified;
+    sh.obs_spans_merged += st.obs_spans_merged;
+    sh.obs_partials_merged += st.obs_partials_merged;
+    sh.obs_partials_dropped += st.obs_partials_dropped;
+    sh.workers_failed += st.workers_failed;
+    if (sh.health.size() < st.health.size()) sh.health.resize(st.health.size());
+    for (std::size_t s = 0; s < st.health.size(); ++s) {
+      auto& dst = sh.health[s];
+      const auto& src = st.health[s];
+      dst.wall_seconds += src.wall_seconds;
+      dst.cpu_seconds += src.cpu_seconds;
+      dst.drives = std::max(dst.drives, src.drives);  // same partition both runs
+      dst.rows += src.rows;
+      dst.bytes += src.bytes;
+      dst.records_verified += src.records_verified;
+      dst.obs_merged = dst.obs_merged || src.obs_merged;
+      if (src.worker_exit != 0) dst.worker_exit = src.worker_exit;
+    }
+  };
+  fold(sel);
+  if (score != nullptr) fold(*score);
+
+  std::vector<double> walls;
+  for (const auto& h : sh.health) walls.push_back(h.wall_seconds);
+  if (!walls.empty()) {
+    std::sort(walls.begin(), walls.end());
+    sh.max_shard_seconds = walls.back();
+    const std::size_t n = walls.size();
+    sh.median_shard_seconds =
+        n % 2 == 1 ? walls[n / 2] : 0.5 * (walls[n / 2 - 1] + walls[n / 2]);
+    sh.imbalance_ratio = sh.median_shard_seconds > 0.0
+                             ? sh.max_shard_seconds / sh.median_shard_seconds
+                             : 0.0;
+  }
+  return sh;
+}
+
+/// One info line + optional per-shard debug rows for a driver run.
+void log_shard_stats(obs::Logger& log, const char* what,
+                     const shard::ShardRunStats& st) {
+  if (!st.fallback_reason.empty()) {
+    log.infof("shard", "%s fell back to the in-process oracle: %s", what,
+              st.fallback_reason.c_str());
+    return;
+  }
+  log.infof("shard",
+            "%s: %zu workers (%s), %.3fs partials + %.3fs merge; straggler max/median "
+            "%.3fs/%.3fs (x%.2f); %llu records verified, %llu obs partials merged, "
+            "%llu dropped",
+            what, st.num_shards, st.forked ? "forked" : "in-process",
+            st.partial_seconds, st.merge_seconds, st.max_shard_seconds,
+            st.median_shard_seconds, st.imbalance_ratio,
+            static_cast<unsigned long long>(st.records_verified),
+            static_cast<unsigned long long>(st.obs_partials_merged),
+            static_cast<unsigned long long>(st.obs_partials_dropped));
+  for (std::size_t s = 0; s < st.health.size(); ++s) {
+    const auto& h = st.health[s];
+    log.debugf("shard",
+               "  s%zu: %llu drives, %llu rows, %llu bytes, wall %.3fs, cpu %.3fs, "
+               "%llu records, obs %s, exit %lld",
+               s, static_cast<unsigned long long>(h.drives),
+               static_cast<unsigned long long>(h.rows),
+               static_cast<unsigned long long>(h.bytes), h.wall_seconds, h.cpu_seconds,
+               static_cast<unsigned long long>(h.records_verified),
+               h.obs_merged ? "merged" : "none",
+               static_cast<long long>(h.worker_exit));
+  }
 }
 
 void print_group(const core::GroupSelection& g) {
@@ -93,6 +192,7 @@ int main(int argc, char** argv) {
   std::string trace_out, metrics_out, report_out;
   int train_end = -1;
   int shards = 0;  // 0 = the historical single-process path
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
   core::ExperimentConfig cfg;
   core::WefrOptions wopt;
   data::ReadOptions ropt;
@@ -119,6 +219,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--shards" && util::parse_int_as(next(), shards)) {
       if (shards < 1) {
         std::fprintf(stderr, "--shards must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--log-level") {
+      const std::string lv = next();
+      if (!obs::parse_log_level(lv, log_level)) {
+        std::fprintf(stderr, "unknown log level: %s\n", lv.c_str());
+        usage();
         return 2;
       }
     } else if (arg == "--no-update") {
@@ -164,6 +271,7 @@ int main(int argc, char** argv) {
   obs::Registry registry;
   obs::Context ctx{&tracer, &registry};
   const obs::Context* obs = obs_enabled ? &ctx : nullptr;
+  obs::Logger log(log_level);
 
   try {
     obs::RunReport run_report;
@@ -179,17 +287,17 @@ int main(int argc, char** argv) {
         data::load_fleet_csv_cached(in_path, model, ropt, cache, &report, obs);
     if (!cache_dir.empty() || ropt.policy != data::ParsePolicy::kStrict ||
         !report.clean()) {
-      std::printf("ingest: %s\n", report.summary().c_str());
+      log.infof("ingest", "%s", report.summary().c_str());
     }
     if (report.fatal) {
       std::fprintf(stderr, "error: unusable input: %s\n", report.fatal_detail.c_str());
       return 1;
     }
     if (train_end < 0) train_end = fleet.num_days - 1;
-    std::printf("fleet %s: %zu drives, %zu failed, %d days, %zu features; "
-                "selecting on days 0-%d\n",
-                fleet.model_name.c_str(), fleet.drives.size(), fleet.num_failed(),
-                fleet.num_days, fleet.num_features(), train_end);
+    log.infof("fleet",
+              "%s: %zu drives, %zu failed, %d days, %zu features; selecting on days 0-%d",
+              fleet.model_name.c_str(), fleet.drives.size(), fleet.num_failed(),
+              fleet.num_days, fleet.num_features(), train_end);
 
     cfg.negative_keep_prob = 0.15;
     shard::ShardOptions shard_opt;
@@ -200,20 +308,13 @@ int main(int argc, char** argv) {
     if (shards > 0) {
       result = shard::run_wefr_sharded(fleet, 0, train_end, train_end, wopt, cfg,
                                        shard_opt, &diag, obs, &shard_stats, &samples);
-      std::printf("shard plan (%zu workers, %s):", shard_stats.num_shards,
-                  shard_stats.forked ? "forked" : "in-process");
-      for (std::size_t s = 0; s < shard_stats.shard_drives.size(); ++s) {
-        std::printf(" s%zu=%llu drives/%llu samples", s,
-                    static_cast<unsigned long long>(shard_stats.shard_drives[s]),
-                    static_cast<unsigned long long>(shard_stats.shard_samples[s]));
-      }
-      std::printf("\n");
-      std::printf("selection samples: %zu (%zu positive)\n", samples.size(),
-                  samples.num_positive());
+      log_shard_stats(log, "selection", shard_stats);
+      log.infof("select", "samples: %zu (%zu positive)", samples.size(),
+                samples.num_positive());
     } else {
       samples = core::build_selection_samples(fleet, 0, train_end, cfg, obs);
-      std::printf("selection samples: %zu (%zu positive)\n", samples.size(),
-                  samples.num_positive());
+      log.infof("select", "samples: %zu (%zu positive)", samples.size(),
+                samples.num_positive());
       result = core::run_wefr(fleet, samples, train_end, wopt, &diag, obs);
     }
 
@@ -239,14 +340,13 @@ int main(int argc, char** argv) {
     }
 
     if (obs_enabled || !save_model.empty()) {
-      std::printf("\ntraining Random Forest (%zu trees, depth %d) on selected "
-                  "features...\n",
-                  cfg.forest.num_trees, cfg.forest.tree.max_depth);
+      log.infof("train", "Random Forest: %zu trees, depth %d, on selected features",
+                cfg.forest.num_trees, cfg.forest.tree.max_depth);
       const auto predictor = core::train_predictor(fleet, result, 0, train_end, cfg, obs);
       if (!save_model.empty()) {
         std::ofstream ofs = open_or_throw(save_model);
         predictor.all.forest.save(ofs);
-        std::printf("saved whole-model forest to %s\n", save_model.c_str());
+        log.infof("train", "saved whole-model forest to %s", save_model.c_str());
       }
 
       if (obs_enabled) {
@@ -266,6 +366,7 @@ int main(int argc, char** argv) {
         if (shards > 0) {
           scores = shard::score_fleet_sharded(fleet, predictor, t0, t1, cfg, shard_opt,
                                               &diag, obs, &score_stats, &auc_partial);
+          log_shard_stats(log, "scoring", score_stats);
         } else {
           scores = core::score_fleet(fleet, predictor, t0, t1, cfg, &diag, obs);
         }
@@ -320,7 +421,7 @@ int main(int argc, char** argv) {
       if (!trace_out.empty()) {
         auto ofs = open_or_throw(trace_out);
         tracer.write_chrome_trace(ofs);
-        std::printf("wrote %zu trace spans to %s\n", tracer.size(), trace_out.c_str());
+        log.infof("obs", "wrote %zu trace spans to %s", tracer.size(), trace_out.c_str());
       }
       if (!metrics_out.empty()) {
         auto ofs = open_or_throw(metrics_out);
@@ -329,7 +430,7 @@ int main(int argc, char** argv) {
         } else {
           registry.write_json(ofs);
         }
-        std::printf("wrote metrics to %s\n", metrics_out.c_str());
+        log.infof("obs", "wrote metrics to %s", metrics_out.c_str());
       }
       if (!report_out.empty()) {
         run_report.model = fleet.model_name;
@@ -347,14 +448,8 @@ int main(int argc, char** argv) {
             wopt.update_with_wearout ? "true" : "false";
         if (shards > 0) {
           run_report.params["shards"] = std::to_string(shards);
-          obs::RunReport::Sharding sh;
-          sh.shards = shard_stats.num_shards;
-          sh.forked = shard_stats.forked;
-          sh.shard_drives = shard_stats.shard_drives;
-          sh.shard_samples = shard_stats.shard_samples;
-          sh.partial_seconds = shard_stats.partial_seconds + score_stats.partial_seconds;
-          sh.merge_seconds = shard_stats.merge_seconds + score_stats.merge_seconds;
-          run_report.sharding = sh;
+          run_report.sharding = make_sharding_block(
+              shard_stats, score_stats.num_shards > 0 ? &score_stats : nullptr);
         }
         report.fill_run_report(run_report);
         diag.fill_run_report(run_report);
@@ -362,7 +457,7 @@ int main(int argc, char** argv) {
         run_report.tracer = &tracer;
         run_report.metrics = &registry;
         run_report.write_json_file(report_out);
-        std::printf("wrote run report to %s\n", report_out.c_str());
+        log.infof("obs", "wrote run report to %s", report_out.c_str());
       }
     }
   } catch (const std::exception& e) {

@@ -23,6 +23,11 @@
 //
 // --trace-out / --metrics-out / --report-out mirror wefr_select's obs
 // outputs for the generate -> corrupt -> write stages.
+//
+// --log-level {quiet,info,debug} controls the structured progress log
+// on stderr; the CSV itself (stdout when --out is omitted) is never
+// affected.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -30,10 +35,12 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "data/cache.h"
 #include "data/csv.h"
 #include "obs/context.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -54,6 +61,7 @@ void usage() {
                "                     [--mix SPEC] [--churn SPEC]\n"
                "                     [--faults SPEC] [--fault-seed N]\n"
                "                     [--cache-dir DIR] [--shards N]\n"
+               "                     [--log-level quiet|info|debug]\n"
                "                     [--trace-out FILE] [--metrics-out FILE]\n"
                "                     [--report-out FILE]\n"
                "models: MA1 MA2 MB1 MB2 MC1 MC2 HDD1 (default MC1)\n"
@@ -81,6 +89,7 @@ int main(int argc, char** argv) {
   std::string trace_out, metrics_out, report_out;
   std::uint64_t fault_seed = 0x5eedfau;
   int shards = 0;  // 0 = no shard-plan preview
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
   smartsim::SimOptions opt;
   opt.num_drives = 1000;
   opt.num_days = 220;
@@ -124,6 +133,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--shards must be >= 1\n");
         return 2;
       }
+    } else if (arg == "--log-level") {
+      const std::string lv = next();
+      if (!obs::parse_log_level(lv, log_level)) {
+        std::fprintf(stderr, "unknown log level: %s\n", lv.c_str());
+        usage();
+        return 2;
+      }
     } else if (arg == "--trace-out") {
       trace_out = next();
     } else if (arg == "--metrics-out") {
@@ -146,6 +162,7 @@ int main(int argc, char** argv) {
   obs::Registry registry;
   obs::Context ctx{&tracer, &registry};
   const obs::Context* obs = obs_enabled ? &ctx : nullptr;
+  obs::Logger logger(log_level);
 
   try {
     obs::Span root(obs, "wefr_simulate");
@@ -165,28 +182,43 @@ int main(int argc, char** argv) {
       spec.churn = smartsim::parse_churn_spec(churn_spec, opt.num_drives);
       spec.sim = opt;
       auto mixed = smartsim::generate_mixed_fleet(spec);
-      std::fprintf(stderr, "schema: %s\n", mixed.schema.summary().c_str());
+      logger.infof("generate", "schema: %s", mixed.schema.summary().c_str());
       for (const auto& d : mixed.diagnostics)
-        std::fprintf(stderr, "degraded: %s\n", d.c_str());
+        logger.infof("generate", "degraded: %s", d.c_str());
       if (mixed.drives_retired + mixed.drives_added > 0)
-        std::fprintf(stderr, "churn: %zu drives retired, %zu added\n",
+        logger.infof("generate", "churn: %zu drives retired, %zu added",
                      mixed.drives_retired, mixed.drives_added);
       fleet = std::move(mixed.fleet);
       model = fleet.model_name;  // cache key below follows the pool name
     }
-    std::fprintf(stderr, "generated %s: %zu drives, %zu failed, %d days, AFR %.2f%%\n",
+    logger.infof("generate", "%s: %zu drives, %zu failed, %d days, AFR %.2f%%",
                  fleet.model_name.c_str(), fleet.drives.size(), fleet.num_failed(),
                  fleet.num_days, fleet.afr_percent());
     if (shards > 0) {
       // Preview of how wefr_select --shards N would own this fleet:
       // the hashring is keyed purely on drive ids, so the plan printed
-      // here is exactly the selection-time partition.
+      // here is exactly the selection-time partition — including the
+      // imbalance a straggler-prone partition would show in the shard
+      // health ledger.
       const auto plan =
           shard::partition_fleet(fleet, static_cast<std::size_t>(shards));
-      std::fprintf(stderr, "shard plan (%d workers):", shards);
+      std::vector<std::size_t> sizes;
+      for (const auto& p : plan) sizes.push_back(p.size());
+      std::sort(sizes.begin(), sizes.end());
+      const std::size_t max_drives = sizes.empty() ? 0 : sizes.back();
+      const double median_drives =
+          sizes.empty() ? 0.0
+          : sizes.size() % 2 == 1
+              ? static_cast<double>(sizes[sizes.size() / 2])
+              : 0.5 * static_cast<double>(sizes[sizes.size() / 2 - 1] +
+                                          sizes[sizes.size() / 2]);
+      logger.infof("shard",
+                   "plan: %d workers, max/median %zu/%.1f drives (imbalance x%.2f)",
+                   shards, max_drives, median_drives,
+                   median_drives > 0.0 ? static_cast<double>(max_drives) / median_drives
+                                       : 0.0);
       for (std::size_t s = 0; s < plan.size(); ++s)
-        std::fprintf(stderr, " s%zu=%zu drives", s, plan[s].size());
-      std::fprintf(stderr, "\n");
+        logger.debugf("shard", "  s%zu: %zu drives", s, plan[s].size());
     }
     if (obs_enabled) {
       obs::add_counter(obs, "wefr_sim_drives_total", fleet.drives.size());
@@ -204,7 +236,7 @@ int main(int argc, char** argv) {
         data::write_fleet_csv(fleet, std::cout);
       } else {
         data::write_fleet_csv(fleet, out_path);
-        std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+        logger.infof("write", "wrote %s", out_path.c_str());
       }
     } else {
       smartsim::FaultPlan seeded = plan;
@@ -216,7 +248,7 @@ int main(int argc, char** argv) {
         obs::Span corrupt_span(obs, "simulate:corrupt");
         corrupted = smartsim::corrupt_csv(os.str(), seeded, &log);
       }
-      std::fprintf(stderr, "%s\n", log.summary().c_str());
+      logger.infof("corrupt", "%s", log.summary().c_str());
       if (obs_enabled) {
         obs::add_counter(obs, "wefr_sim_faults_applied_total", log.total_applied());
         obs::add_counter(obs, "wefr_sim_fault_rows_touched_total", log.rows_touched);
@@ -229,7 +261,7 @@ int main(int argc, char** argv) {
         std::ofstream ofs(out_path);
         if (!ofs) throw std::runtime_error("cannot open " + out_path);
         ofs << corrupted;
-        std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+        logger.infof("write", "wrote %s", out_path.c_str());
       }
     }
 
@@ -248,7 +280,7 @@ int main(int argc, char** argv) {
       cache.refresh = true;
       data::IngestReport report;
       data::load_fleet_csv_cached(out_path, model, ropt, cache, &report, obs);
-      std::fprintf(stderr, "warmed fleet cache in %s (%s)\n", cache_dir.c_str(),
+      logger.infof("cache", "warmed fleet cache in %s (%s)", cache_dir.c_str(),
                    report.summary().c_str());
     }
 
@@ -258,7 +290,7 @@ int main(int argc, char** argv) {
         std::ofstream ofs(trace_out);
         if (!ofs) throw std::runtime_error("cannot open " + trace_out);
         tracer.write_chrome_trace(ofs);
-        std::fprintf(stderr, "wrote %zu trace spans to %s\n", tracer.size(),
+        logger.infof("obs", "wrote %zu trace spans to %s", tracer.size(),
                      trace_out.c_str());
       }
       if (!metrics_out.empty()) {
@@ -269,7 +301,7 @@ int main(int argc, char** argv) {
         } else {
           registry.write_json(ofs);
         }
-        std::fprintf(stderr, "wrote metrics to %s\n", metrics_out.c_str());
+        logger.infof("obs", "wrote metrics to %s", metrics_out.c_str());
       }
       if (!report_out.empty()) {
         obs::RunReport run_report;
@@ -288,7 +320,7 @@ int main(int argc, char** argv) {
         run_report.tracer = &tracer;
         run_report.metrics = &registry;
         run_report.write_json_file(report_out);
-        std::fprintf(stderr, "wrote run report to %s\n", report_out.c_str());
+        logger.infof("obs", "wrote run report to %s", report_out.c_str());
       }
     }
   } catch (const std::exception& e) {
