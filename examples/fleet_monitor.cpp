@@ -12,6 +12,7 @@
 //
 //   ./examples/fleet_monitor [MODEL] [DRIVES] [CSV] [CACHE_DIR] [SHARDS]
 //   ./examples/fleet_monitor --churn [DRIVES] [MIX] [CHURN]
+//   ./examples/fleet_monitor --daemon [DRIVES]
 //
 // All arguments are positional; defaults are MC1 / 500 / simulate.
 // With a CSV path the fleet is loaded from that file (tolerant parse,
@@ -28,12 +29,25 @@
 // monitored by core::FleetMonitor with the online change-point drift
 // watch enabled, and the re-check lag behind the planted population
 // change is printed.
+//
+// The --daemon mode is the same weekly loop rebuilt as a wefrd client:
+// the fleet is streamed into a resident daemon::Engine one drive-day at
+// a time over the framed daemon protocol, the daemon runs the weekly
+// re-check and drift watch in-process, scoring touches only the drives
+// that changed, and the client survives a deliberate mid-stream
+// connection drop by transparently reconnecting.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
+
+#include <unistd.h>
 
 #include "core/monitor.h"
+#include "daemon/client.h"
+#include "daemon/engine.h"
+#include "daemon/server.h"
 #include "core/pipeline.h"
 #include "core/wefr.h"
 #include "data/cache.h"
@@ -107,10 +121,167 @@ int run_churn_scenario(std::size_t drives, const std::string& mix_spec,
   return 0;
 }
 
+/// The --daemon scenario: the weekly monitoring loop as a wefrd
+/// client. The daemon owns all state; this process only streams
+/// drive-days in and asks for scores back.
+int run_daemon_scenario(std::size_t drives) {
+  smartsim::SimOptions sim;
+  sim.num_drives = drives;
+  sim.num_days = 220;
+  sim.seed = 11;
+  sim.afr_scale = 30.0;
+  const auto fleet = generate_fleet(smartsim::profile_by_name("MC1"), sim);
+  std::printf("daemon-monitoring %s fleet: %zu drives (%zu will fail)\n\n",
+              fleet.model_name.c_str(), fleet.drives.size(), fleet.num_failed());
+
+  daemon::EngineOptions eopt;
+  eopt.experiment.forest.num_trees = 25;
+  eopt.experiment.negative_keep_prob = 0.08;
+  eopt.warmup_days = 150;
+  eopt.check_interval_days = 28;  // monthly re-check; drift can pull it in
+  eopt.online_drift_check = true;
+  // Retrain only when the selected feature set moves: a stable
+  // predictor is what lets the weekly rescore touch just the ~7 new
+  // days per drive instead of the whole history.
+  eopt.retrain_every_check = false;
+  daemon::Engine engine(eopt, eopt.experiment.windows);
+
+  daemon::ServerOptions sopt;
+  int loop_fd = -1;
+#ifdef WEFR_FORCE_LOOPBACK_DAEMON
+  // Sanitizer builds: same event loop over an in-process socketpair.
+  daemon::Server server(engine, sopt);
+  loop_fd = server.connect_loopback();
+  if (loop_fd < 0) {
+    std::fprintf(stderr, "loopback setup failed\n");
+    return 1;
+  }
+#else
+  sopt.socket_path = "/tmp/wefrd-example-" + std::to_string(::getpid()) + ".sock";
+  daemon::Server server(engine, sopt);
+  std::string lerr;
+  if (!server.listen_unix(&lerr)) {
+    std::fprintf(stderr, "listen failed: %s\n", lerr.c_str());
+    return 1;
+  }
+#endif
+  std::thread server_thread([&server] { server.run(); });
+
+  daemon::Client::Options copt;
+  copt.socket_path = sopt.socket_path;
+  copt.client_name = "fleet_monitor";
+  copt.model_name = fleet.model_name;
+  copt.feature_names = fleet.feature_names;
+  daemon::Client client(copt);
+  std::string cerr_msg;
+  const bool connected = loop_fd >= 0 ? client.adopt_fd(loop_fd, &cerr_msg)
+                                      : client.connect(&cerr_msg);
+  if (!connected) {
+    std::fprintf(stderr, "connect failed: %s\n", cerr_msg.c_str());
+    server.request_stop();
+    server_thread.join();
+    return 1;
+  }
+
+  const int week = 7;
+  const double alarm_threshold = 0.8;
+  std::size_t alarms_total = 0, alarms_correct = 0;
+  std::vector<bool> decommissioned(fleet.drives.size(), false);
+  bool dropped = false;
+  daemon::Msg reply;
+  std::string err;
+
+  for (int day = 0; day < fleet.num_days; ++day) {
+    if (!dropped && day == 180 && loop_fd < 0) {
+      // Simulated client crash: the next request redials and re-hellos
+      // behind the scenes — the daemon's resident state loses nothing.
+      client.drop_connection_for_test();
+      dropped = true;
+      std::printf("[day %3d] dropped the connection mid-stream (daemon keeps state)\n",
+                  day);
+    }
+    for (std::size_t i = 0; i < fleet.drives.size(); ++i) {
+      const auto& d = fleet.drives[i];
+      if (day < d.first_day || day > d.last_day()) continue;
+      const auto row = d.values.row(static_cast<std::size_t>(day - d.first_day));
+      if (!client.append_day(d.drive_id, day,
+                             std::vector<double>(row.begin(), row.end()), d.fail_day,
+                             reply, &err)) {
+        std::fprintf(stderr, "append failed: %s\n", err.c_str());
+        server.request_stop();
+        server_thread.join();
+        return 1;
+      }
+      if (reply.type == daemon::MsgType::kError) {
+        std::fprintf(stderr, "append refused: %s\n", reply.text.c_str());
+        server.request_stop();
+        server_thread.join();
+        return 1;
+      }
+    }
+
+    // -- weekly: ask the daemon for fresh scores; alarm like the batch
+    //    monitoring loop above --
+    if ((day + 1) % week != 0 || day < eopt.warmup_days) continue;
+    bool printed_week = false;
+    for (std::size_t i = 0; i < fleet.drives.size(); ++i) {
+      const auto& d = fleet.drives[i];
+      if (decommissioned[i] || day < d.first_day || day > d.last_day()) continue;
+      if (!client.score_drive(d.drive_id, reply, &err)) {
+        std::fprintf(stderr, "score failed: %s\n", err.c_str());
+        server.request_stop();
+        server_thread.join();
+        return 1;
+      }
+      if (reply.type == daemon::MsgType::kError) break;  // no predictor yet
+      if (!printed_week && reply.drives_rescored > 0) {
+        std::printf("[day %3d] rescore touched %llu drives / %llu drive-days\n", day,
+                    static_cast<unsigned long long>(reply.drives_rescored),
+                    static_cast<unsigned long long>(reply.days_scored));
+        printed_week = true;
+      }
+      if (!reply.found || reply.score < alarm_threshold) continue;
+      const bool correct = d.failed() && d.fail_day > reply.score_day &&
+                           d.fail_day <= reply.score_day + 30;
+      decommissioned[i] = true;
+      ++alarms_total;
+      alarms_correct += correct ? 1 : 0;
+      std::printf("[day %3d] ALARM %s score=%.2f (day %d) -> decommission (%s)\n", day,
+                  d.drive_id.c_str(), reply.score, reply.score_day,
+                  correct ? "fails within 30d"
+                          : (d.failed() ? "fails later" : "healthy"));
+    }
+  }
+
+  if (client.report(reply, &err) && reply.type == daemon::MsgType::kReportOk) {
+    std::printf("\ndaemon report: %s\n", reply.text.c_str());
+  }
+  client.shutdown_server(reply, &err);
+  server_thread.join();
+
+  std::printf("\nsummary: %zu alarms, %zu correct (precision %.1f%%); "
+              "%zu re-checks, %zu drift detections, %llu reconnects\n",
+              alarms_total, alarms_correct,
+              alarms_total == 0 ? 0.0
+                                : 100.0 * static_cast<double>(alarms_correct) /
+                                      static_cast<double>(alarms_total),
+              engine.checks().size(), engine.drift_detections().size(),
+              static_cast<unsigned long long>(client.reconnects()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string model = argc > 1 ? argv[1] : "MC1";
+  if (model == "--daemon") {
+    std::size_t daemon_drives = 400;
+    if (argc > 2 && !util::parse_int_as(argv[2], daemon_drives)) {
+      std::fprintf(stderr, "bad drive count: %s\n", argv[2]);
+      return 2;
+    }
+    return run_daemon_scenario(daemon_drives);
+  }
   if (model == "--churn") {
     std::size_t churn_drives = 600;
     if (argc > 2 && !util::parse_int_as(argv[2], churn_drives)) {

@@ -1,0 +1,394 @@
+#include "daemon/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/context.h"
+#include "obs/json.h"
+#include "obs/log.h"
+#include "util/thread_pool.h"
+
+namespace wefr::daemon {
+
+Engine::Engine(EngineOptions options, data::WindowFeatureConfig windows,
+               const obs::Context* obs, obs::Logger* log)
+    : opt_(std::move(options)), resident_(std::move(windows)), obs_(obs), log_(log) {
+  if (opt_.check_interval_days < 1)
+    throw std::invalid_argument("Engine: check_interval_days < 1");
+  if (opt_.warmup_days < 30) throw std::invalid_argument("Engine: warmup too short");
+  if (opt_.drift_cooldown_days < 1)
+    throw std::invalid_argument("Engine: drift_cooldown_days < 1");
+  next_check_day_ = opt_.warmup_days;
+  drift_cpd_ = changepoint::OnlineChangePointDetector(opt_.drift_cpd);
+  // The engine's experiment windows must match the resident kernels, or
+  // the batch oracle would expand different features than the tails.
+  opt_.experiment.windows = resident_.windows();
+}
+
+double Engine::active_mean_mwi(int day) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  const auto col = static_cast<std::size_t>(mwi_col_);
+  for (const auto& drive : fleet().drives) {
+    if (drive.first_day > day || drive.last_day() < day) continue;
+    const double v = drive.values(static_cast<std::size_t>(day - drive.first_day), col);
+    if (std::isnan(v)) continue;
+    sum += v;
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : std::nan("");
+}
+
+void Engine::observe_completed_days(int up_to_day) {
+  if (!opt_.online_drift_check) {
+    high_water_day_ = std::max(high_water_day_, up_to_day);
+    return;
+  }
+  if (mwi_col_ < 0) mwi_col_ = fleet().feature_index("MWI_N");
+  if (mwi_col_ < 0) {
+    high_water_day_ = std::max(high_water_day_, up_to_day);
+    return;
+  }
+  // Feed the delta of the active fleet's mean MWI_N through the online
+  // detector for every newly completed day — FleetMonitor's drift watch,
+  // driven by the append watermark instead of advance_to.
+  int d = high_water_day_;
+  for (; d < up_to_day; ++d) {
+    const double m = active_mean_mwi(d);
+    if (std::isnan(m)) continue;
+    double prob = -1.0;
+    if (have_last_mwi_) prob = drift_cpd_.observe(m - last_mean_mwi_);
+    last_mean_mwi_ = m;
+    have_last_mwi_ = true;
+    const bool cooled =
+        last_drift_day_ < 0 || d - last_drift_day_ >= opt_.drift_cooldown_days;
+    const bool burned_in =
+        drift_cpd_.time() > changepoint::OnlineChangePointDetector::kShortRunWindow + 4;
+    if (prob >= opt_.drift_probability_threshold && cooled && burned_in) {
+      last_drift_day_ = d;
+      drift_detections_.push_back(core::DriftDetection{d, prob});
+      drift_pending_ = true;
+      drift_probability_ = prob;
+      next_check_day_ = std::min(next_check_day_, d + 1);
+      if (log_ != nullptr)
+        log_->infof("daemon", "drift detected at day %d (p=%.3f); check pulled forward", d,
+                    prob);
+      obs::add_counter(obs_, "wefr_daemon_drift_detections_total");
+      ++d;
+      break;  // the pulled check runs before further observation
+    }
+  }
+  high_water_day_ = std::max(high_water_day_, d);
+}
+
+void Engine::run_check(int day) {
+  obs::Span span(obs_, "daemon:check");
+  const int train_end = day - 1;
+  CheckEvent ev;
+  ev.day = day;
+  ev.drift_triggered = drift_pending_;
+  const auto samples = core::build_selection_samples(fleet(), 0, train_end, opt_.experiment);
+  if (samples.num_positive() == 0) {
+    checks_.push_back(ev);  // nothing to learn from yet
+    return;
+  }
+  core::WefrResult sel = core::run_wefr(fleet(), samples, train_end, opt_.wefr);
+  if (sel.change_point.has_value()) ev.wear_threshold = sel.change_point->mwi_threshold;
+  ev.selected_all = sel.all.selected_names;
+  ev.features_changed = !selection_.has_value() ||
+                        selection_->all.selected != sel.all.selected ||
+                        selection_->change_point.has_value() != sel.change_point.has_value();
+  const bool need_retrain =
+      opt_.retrain_every_check || ev.features_changed || !predictor_.has_value();
+  selection_ = std::move(sel);
+  if (need_retrain) {
+    set_predictor(
+        core::train_predictor(fleet(), *selection_, 0, train_end, opt_.experiment));
+    ev.trained = true;
+  }
+  checks_.push_back(ev);
+  obs::add_counter(obs_, "wefr_daemon_checks_total");
+  if (log_ != nullptr)
+    log_->infof("daemon", "check at day %d: %zu features%s%s", day,
+                ev.selected_all.size(), ev.trained ? ", retrained" : "",
+                ev.drift_triggered ? " (drift-triggered)" : "");
+}
+
+AppendResult Engine::append_day(const std::string& drive_id, int day,
+                                std::span<const double> values, int fail_day) {
+  if (day > high_water_day_) observe_completed_days(day);
+  if (opt_.auto_check && resident_.has_schema() && day >= next_check_day_ &&
+      day >= opt_.warmup_days) {
+    run_check(day);
+    next_check_day_ = day + opt_.check_interval_days;
+    drift_pending_ = false;
+    drift_probability_ = 0.0;
+  }
+
+  AppendResult res = resident_.append_day(drive_id, day, values, fail_day);
+  if (res.new_drive) score_states_.emplace_back();
+  if (res.went_nonfinite) {
+    // The non-finite value retroactively rewrites this drive's feature
+    // semantics (see ResidentFleet), so its existing scores are stale.
+    ScoreState& ss = score_states_[res.drive_index];
+    ss.full_dirty = true;
+    ss.scored_until = -1;
+    ss.scores.clear();
+  }
+  obs::add_counter(obs_, "wefr_daemon_appends_total");
+  return res;
+}
+
+void Engine::set_predictor(core::WefrPredictor predictor) {
+  predictor_ = std::move(predictor);
+  mark_all_dirty();
+}
+
+void Engine::mark_all_dirty() {
+  for (auto& ss : score_states_) {
+    ss.scored_until = -1;
+    ss.full_dirty = false;  // rescore re-derives the cheapest valid path
+    ss.scores.clear();
+  }
+}
+
+std::size_t Engine::dirty_count() const {
+  std::size_t n = 0;
+  for (std::size_t di = 0; di < score_states_.size(); ++di) {
+    const auto& ss = score_states_[di];
+    if (ss.full_dirty || ss.scored_until < fleet().drives[di].last_day()) ++n;
+  }
+  return n;
+}
+
+void Engine::score_drive_incremental(std::size_t di, ScoreState& ss, std::size_t& rows) {
+  const data::DriveSeries& drive = fleet().drives[di];
+  const data::Matrix& tail = resident_.feature_tail(di);
+  const std::size_t n = tail.rows();
+  const int tail_first = resident_.tail_first_day(di);
+  const core::WefrPredictor& pred = *predictor_;
+  const bool routed = pred.wear_threshold.has_value() && pred.mwi_col >= 0;
+  const std::size_t factor = resident_.expansion_factor();
+
+  if (ss.scores.empty()) ss.first_day = drive.first_day;
+  const auto base = static_cast<std::size_t>(tail_first - ss.first_day);
+  ss.scores.resize(base + n, 0.0);
+
+  // Gather the tail rows listed in `tr` into the bundle's expanded
+  // layout: expansion is per-column independent, so a subset expansion
+  // is a column gather of the full one (bit-identical to what the
+  // batch oracle's expand_for(bundle) produces for the same days).
+  const auto gather = [&](const core::PredictorBundle& b,
+                          const std::vector<std::size_t>& tr) {
+    data::Matrix g = data::Matrix::uninitialized(tr.size(), b.base_cols.size() * factor);
+    for (std::size_t i = 0; i < tr.size(); ++i) {
+      const auto src = tail.row(tr[i]);
+      const auto dst = g.row(i);
+      for (std::size_t bi = 0; bi < b.base_cols.size(); ++bi) {
+        const std::size_t from = b.base_cols[bi] * factor;
+        for (std::size_t o = 0; o < factor; ++o) dst[bi * factor + o] = src[from + o];
+      }
+    }
+    return g;
+  };
+  std::vector<double> batch;
+  const auto score_bundle = [&](const core::PredictorBundle& b,
+                                const std::vector<std::size_t>& tr) {
+    if (tr.empty()) return;
+    const data::Matrix g = gather(b, tr);
+    std::vector<std::size_t> iota_rows(tr.size());
+    std::iota(iota_rows.begin(), iota_rows.end(), std::size_t{0});
+    batch.assign(tr.size(), 0.0);
+    b.forest.predict_proba(g, iota_rows, batch);
+    for (std::size_t i = 0; i < tr.size(); ++i) ss.scores[base + tr[i]] = batch[i];
+  };
+
+  if (!routed) {
+    std::vector<std::size_t> all_rows(n);
+    std::iota(all_rows.begin(), all_rows.end(), std::size_t{0});
+    score_bundle(pred.all, all_rows);
+  } else {
+    // Per-day routing on the drive's MWI_N — score_fleet's rules: NaN
+    // reroutes to the whole-model bundle, otherwise the wear threshold
+    // picks the group bundle when it exists.
+    std::vector<std::size_t> rows_all, rows_low, rows_high;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto local = static_cast<std::size_t>(tail_first + static_cast<int>(i) -
+                                                  drive.first_day);
+      const double mwi = drive.values(local, static_cast<std::size_t>(pred.mwi_col));
+      if (std::isnan(mwi)) {
+        rows_all.push_back(i);
+        continue;
+      }
+      const bool is_low = mwi <= *pred.wear_threshold;
+      if (is_low && pred.low.has_value()) {
+        rows_low.push_back(i);
+      } else if (!is_low && pred.high.has_value()) {
+        rows_high.push_back(i);
+      } else {
+        rows_all.push_back(i);
+      }
+    }
+    score_bundle(pred.all, rows_all);
+    if (pred.low.has_value()) score_bundle(*pred.low, rows_low);
+    if (pred.high.has_value()) score_bundle(*pred.high, rows_high);
+  }
+
+  ss.scored_until = tail_first + static_cast<int>(n) - 1;
+  rows += n;
+  resident_.drop_feature_tail(di);
+}
+
+RescoreStats Engine::rescore() {
+  RescoreStats stats;
+  if (!predictor_.has_value()) {
+    last_rescore_ = stats;
+    return stats;
+  }
+  obs::Span span(obs_, "daemon:rescore");
+
+  std::vector<std::size_t> full, incr;
+  for (std::size_t di = 0; di < score_states_.size(); ++di) {
+    ScoreState& ss = score_states_[di];
+    const data::DriveSeries& drive = fleet().drives[di];
+    if (!ss.full_dirty && ss.scored_until >= drive.last_day()) continue;
+    const int next_day = ss.scored_until < 0 ? drive.first_day : ss.scored_until + 1;
+    const bool tail_covers = resident_.streaming(di) &&
+                             resident_.feature_tail(di).rows() > 0 &&
+                             resident_.tail_first_day(di) == next_day;
+    if (!ss.full_dirty && tail_covers) {
+      incr.push_back(di);
+    } else {
+      full.push_back(di);
+    }
+  }
+
+  if (!full.empty()) {
+    // The batch oracle itself, on the drive subset — bit-identical by
+    // construction (score_fleet's subset overload is its own whole-
+    // fleet decomposition).
+    const auto res = core::score_fleet(fleet(), *predictor_, full, 0, resident_.max_day(),
+                                       opt_.experiment);
+    for (const auto& ds : res) {
+      ScoreState& ss = score_states_[ds.drive_index];
+      ss.first_day = ds.first_day;
+      ss.scores = ds.scores;
+      ss.scored_until = ds.first_day + static_cast<int>(ds.scores.size()) - 1;
+      ss.full_dirty = false;
+      stats.rows_scored += ds.scores.size();
+      resident_.drop_feature_tail(ds.drive_index);
+    }
+  }
+
+  if (!incr.empty()) {
+    constexpr std::size_t kDriveChunk = 16;
+    std::vector<std::size_t> rows_per(incr.size(), 0);
+    const auto work = [&](std::size_t slot) {
+      const std::size_t di = incr[slot];
+      score_drive_incremental(di, score_states_[di], rows_per[slot]);
+    };
+    if (opt_.experiment.num_threads > 1 && incr.size() >= 2 * kDriveChunk) {
+      util::ThreadPool pool(opt_.experiment.num_threads);
+      pool.parallel_for_chunked(incr.size(), kDriveChunk, work);
+    } else {
+      for (std::size_t slot = 0; slot < incr.size(); ++slot) work(slot);
+    }
+    for (std::size_t r : rows_per) stats.rows_scored += r;
+  }
+
+  stats.drives_full = full.size();
+  stats.drives_incremental = incr.size();
+  stats.drives_rescored = full.size() + incr.size();
+
+  if (opt_.oracle_check) {
+    stats.oracle_checked = true;
+    const auto oracle =
+        core::score_fleet(fleet(), *predictor_, 0, resident_.max_day(), opt_.experiment);
+    const auto mine = scores();
+    stats.oracle_match = oracle.size() == mine.size();
+    for (std::size_t i = 0; stats.oracle_match && i < oracle.size(); ++i) {
+      stats.oracle_match = oracle[i].drive_index == mine[i].drive_index &&
+                           oracle[i].first_day == mine[i].first_day &&
+                           oracle[i].scores.size() == mine[i].scores.size();
+      for (std::size_t d = 0; stats.oracle_match && d < oracle[i].scores.size(); ++d) {
+        // Bitwise, not ==: a 0.0 vs -0.0 or NaN divergence must fail.
+        stats.oracle_match =
+            std::memcmp(&oracle[i].scores[d], &mine[i].scores[d], sizeof(double)) == 0;
+      }
+    }
+    if (!stats.oracle_match && log_ != nullptr)
+      log_->infof("daemon", "ORACLE MISMATCH after rescore at day %d", resident_.max_day());
+  }
+
+  obs::add_counter(obs_, "wefr_daemon_rescores_total");
+  obs::add_counter(obs_, "wefr_daemon_drives_incremental_total", stats.drives_incremental);
+  obs::add_counter(obs_, "wefr_daemon_drives_full_total", stats.drives_full);
+  obs::add_counter(obs_, "wefr_daemon_rows_scored_total", stats.rows_scored);
+  last_rescore_ = stats;
+  return stats;
+}
+
+std::vector<core::DriveDayScores> Engine::scores() const {
+  std::vector<core::DriveDayScores> out;
+  out.reserve(score_states_.size());
+  for (std::size_t di = 0; di < score_states_.size(); ++di) {
+    const auto& ss = score_states_[di];
+    if (ss.scores.empty()) continue;
+    core::DriveDayScores ds;
+    ds.drive_index = di;
+    ds.first_day = ss.first_day;
+    ds.scores = ss.scores;
+    out.push_back(std::move(ds));
+  }
+  return out;
+}
+
+bool Engine::latest_score(const std::string& drive_id, int& day, double& score) const {
+  const std::size_t di = resident_.find_drive(drive_id);
+  if (di == ResidentFleet::npos || score_states_[di].scores.empty()) return false;
+  const auto& ss = score_states_[di];
+  day = ss.first_day + static_cast<int>(ss.scores.size()) - 1;
+  score = ss.scores.back();
+  return true;
+}
+
+bool Engine::load_snapshot(std::string_view payload, std::string* why) {
+  if (!resident_.load_snapshot(payload, why)) return false;
+  score_states_.assign(resident_.num_drives(), ScoreState{});
+  // The last day in the snapshot may have been mid-ingest when the
+  // previous process stopped; treat only earlier days as complete. The
+  // drift detector restarts cold (its stream state is not persisted).
+  high_water_day_ = std::max(0, resident_.max_day());
+  next_check_day_ = std::max(opt_.warmup_days, resident_.max_day() + 1);
+  return true;
+}
+
+std::string Engine::report_json() const {
+  std::ostringstream os;
+  obs::json::Writer w(os, 0);
+  w.begin_object();
+  w.field("model", fleet().model_name);
+  w.field("drives", static_cast<std::uint64_t>(resident_.num_drives()));
+  w.field("max_day", resident_.max_day());
+  w.field("dirty_drives", static_cast<std::uint64_t>(dirty_count()));
+  w.field("has_predictor", predictor_.has_value());
+  w.field("next_check_day", next_check_day_);
+  w.field("checks", static_cast<std::uint64_t>(checks_.size()));
+  w.field("drift_detections", static_cast<std::uint64_t>(drift_detections_.size()));
+  w.key("last_rescore").begin_object();
+  w.field("drives_rescored", static_cast<std::uint64_t>(last_rescore_.drives_rescored));
+  w.field("drives_incremental",
+          static_cast<std::uint64_t>(last_rescore_.drives_incremental));
+  w.field("drives_full", static_cast<std::uint64_t>(last_rescore_.drives_full));
+  w.field("rows_scored", static_cast<std::uint64_t>(last_rescore_.rows_scored));
+  if (last_rescore_.oracle_checked) w.field("oracle_match", last_rescore_.oracle_match);
+  w.end_object();
+  w.end_object();
+  return os.str();
+}
+
+}  // namespace wefr::daemon

@@ -1,0 +1,368 @@
+#include "daemon/resident.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "data/serialize.h"
+
+namespace wefr::daemon {
+
+namespace {
+constexpr std::size_t kStatsPerWindow = 6;  // max, min, mean, std, range, wma
+// Per-column scalar accumulators: prefix folds s/s2/sw, the growing-
+// phase running extrema rmx/rmn, and the fused level-2 head fold
+// rmx2/rmn2 (only touched when the level plan skips level 1).
+constexpr std::size_t kScalarsPerCol = 7;
+constexpr std::uint32_t kSnapshotPayloadVersion = 1;
+
+}  // namespace
+
+/// Per-drive streaming state. `rings` is one flat buffer indexed
+/// [col][field][day & mask]: field 0 = raw x, 1..3 = prefix sums after
+/// the day (prefix[d+1] at slot d), then lvmax_k / lvmin_k pairs for
+/// k = 1..kmax. Ring capacity covers the deepest lookback any fold or
+/// steady-state read performs (max window + 2), so state for the
+/// current day is always fully resident.
+struct ResidentFleet::DriveState {
+  bool streaming = true;
+  std::vector<double> scalars;  ///< kScalarsPerCol per column
+  std::vector<double> rings;
+  data::Matrix tail;
+  int tail_first = 0;
+};
+
+ResidentFleet::~ResidentFleet() = default;
+ResidentFleet::ResidentFleet(ResidentFleet&&) noexcept = default;
+ResidentFleet& ResidentFleet::operator=(ResidentFleet&&) noexcept = default;
+
+ResidentFleet::ResidentFleet(data::WindowFeatureConfig windows)
+    : windows_(std::move(windows)) {
+  std::size_t wmax = 1;
+  for (int w : windows_.windows) {
+    if (w < 1) throw std::invalid_argument("ResidentFleet: window must be >= 1");
+    wmax = std::max(wmax, static_cast<std::size_t>(w));
+    const auto wu = static_cast<std::size_t>(w);
+    // Level plan from the config alone: the batch kernel additionally
+    // requires w < days, but a level it thereby omits is never read by
+    // a window that has not reached steady state, so the plans agree on
+    // every element consumed (see the class comment).
+    if (wu >= 2) {
+      const auto k = static_cast<std::size_t>(std::bit_width(wu)) - 1;
+      kmax_ = std::max(kmax_, k);
+      need_level1_ = need_level1_ || k == 1;
+    }
+  }
+  factor_ = 1 + kStatsPerWindow * windows_.windows.size();
+  ring_ = std::bit_ceil(std::max<std::size_t>(8, wmax + 2));
+}
+
+void ResidentFleet::set_schema(std::string model_name,
+                               std::vector<std::string> feature_names) {
+  if (feature_names.empty())
+    throw std::invalid_argument("ResidentFleet::set_schema: no features");
+  if (has_schema()) {
+    if (fleet_.model_name != model_name || fleet_.feature_names != feature_names)
+      throw std::invalid_argument("ResidentFleet::set_schema: schema already set");
+    return;
+  }
+  fleet_.model_name = std::move(model_name);
+  fleet_.feature_names = std::move(feature_names);
+}
+
+std::size_t ResidentFleet::find_drive(const std::string& drive_id) const {
+  const auto it = id_index_.find(drive_id);
+  return it == id_index_.end() ? npos : it->second;
+}
+
+bool ResidentFleet::streaming(std::size_t drive_index) const {
+  return states_.at(drive_index).streaming;
+}
+
+const data::Matrix& ResidentFleet::feature_tail(std::size_t drive_index) const {
+  return states_.at(drive_index).tail;
+}
+
+int ResidentFleet::tail_first_day(std::size_t drive_index) const {
+  return states_.at(drive_index).tail_first;
+}
+
+void ResidentFleet::drop_feature_tail(std::size_t drive_index) {
+  states_.at(drive_index).tail = data::Matrix();
+}
+
+AppendResult ResidentFleet::append_day(const std::string& drive_id, int day,
+                                       std::span<const double> values, int fail_day) {
+  if (!has_schema()) throw std::logic_error("ResidentFleet::append_day: schema unset");
+  if (values.size() != fleet_.feature_names.size())
+    throw std::invalid_argument("ResidentFleet::append_day: row width mismatch");
+  if (day < 0) throw std::invalid_argument("ResidentFleet::append_day: negative day");
+
+  AppendResult res;
+  auto it = id_index_.find(drive_id);
+  if (it == id_index_.end()) {
+    res.drive_index = fleet_.drives.size();
+    res.new_drive = true;
+    id_index_.emplace(drive_id, res.drive_index);
+    data::DriveSeries drive;
+    drive.drive_id = drive_id;
+    drive.first_day = day;
+    fleet_.drives.push_back(std::move(drive));
+    DriveState st;
+    st.scalars.assign(fleet_.feature_names.size() * kScalarsPerCol, 0.0);
+    for (std::size_t c = 0; c < fleet_.feature_names.size(); ++c) {
+      double* sc = st.scalars.data() + c * kScalarsPerCol;
+      sc[3] = sc[5] = -INFINITY;  // rmx, rmx2
+      sc[4] = sc[6] = INFINITY;   // rmn, rmn2
+    }
+    st.rings.assign(fleet_.feature_names.size() * (4 + 2 * kmax_) * ring_, 0.0);
+    states_.push_back(std::move(st));
+  } else {
+    res.drive_index = it->second;
+    const auto& drive = fleet_.drives[res.drive_index];
+    if (day != drive.last_day() + 1)
+      throw std::invalid_argument("ResidentFleet::append_day: non-contiguous day for " +
+                                  drive_id);
+  }
+
+  data::DriveSeries& drive = fleet_.drives[res.drive_index];
+  DriveState& st = states_[res.drive_index];
+  if (fail_day >= 0) {
+    if (drive.fail_day >= 0 && drive.fail_day != fail_day)
+      throw std::invalid_argument("ResidentFleet::append_day: conflicting fail_day for " +
+                                  drive_id);
+    drive.fail_day = fail_day;
+  }
+  drive.values.push_row(values);
+  fleet_.num_days = std::max(fleet_.num_days, day + 1);
+
+  if (st.streaming) {
+    bool finite = true;
+    for (double v : values) finite = finite && std::isfinite(v);
+    if (!finite) {
+      // The batch kernel decides streaming-vs-naive per column over the
+      // WHOLE column, so this value retroactively rewrites the drive's
+      // earlier feature rows. Permanently hand the drive to the batch
+      // oracle; the streaming state is dead weight from here on.
+      st.streaming = false;
+      res.went_nonfinite = true;
+      st.tail = data::Matrix();
+      st.scalars.clear();
+      st.scalars.shrink_to_fit();
+      st.rings.clear();
+      st.rings.shrink_to_fit();
+      return res;
+    }
+    const std::size_t local = drive.num_days() - 1;
+    if (st.tail.rows() == 0) st.tail_first = day;
+    std::vector<double> row(fleet_.feature_names.size() * factor_);
+    append_streaming_row(st, drive, values, local, row);
+    st.tail.push_row(row);
+  }
+  return res;
+}
+
+void ResidentFleet::append_streaming_row(DriveState& st, const data::DriveSeries& drive,
+                                         std::span<const double> values,
+                                         std::size_t local_day, std::span<double> out_row) {
+  (void)drive;
+  const std::size_t ncols = fleet_.feature_names.size();
+  const std::size_t nfields = 4 + 2 * kmax_;
+  const std::size_t mask = ring_ - 1;
+  const std::size_t j = local_day;
+
+  for (std::size_t c = 0; c < ncols; ++c) {
+    const double x = values[c];
+    double* sc = st.scalars.data() + c * kScalarsPerCol;
+    double* base = st.rings.data() + c * nfields * ring_;
+    double* raw = base;
+    double* pr = base + ring_;       // prefix[d+1] at slot d
+    double* pr2 = base + 2 * ring_;  // prefix2[d+1] at slot d
+    double* prw = base + 3 * ring_;  // wprefix[d+1] at slot d
+    const auto lvmax = [&](std::size_t k) { return base + (4 + 2 * (k - 1)) * ring_; };
+    const auto lvmin = [&](std::size_t k) { return base + (5 + 2 * (k - 1)) * ring_; };
+
+    // Prefix folds, verbatim the batch kernel's left-to-right order.
+    sc[0] += x;
+    sc[1] += x * x;
+    sc[2] += static_cast<double>(j + 1) * x;
+    raw[j & mask] = x;
+    pr[j & mask] = sc[0];
+    pr2[j & mask] = sc[1];
+    prw[j & mask] = sc[2];
+    // Growing-phase running extrema over [0, j].
+    sc[3] = std::max(sc[3], x);
+    sc[4] = std::min(sc[4], x);
+
+    // Sparse-table levels for this day's element, same build plan as
+    // build_sparse_levels: either level 1 upward, or (when no window
+    // needs level 1) level 2 straight from the input with the fused
+    // 4-way extremum, then upward.
+    if (kmax_ > 0) {
+      std::size_t k_first = 1;
+      if (!need_level1_ && kmax_ >= 2) {
+        if (j < 3) {
+          sc[5] = std::max(sc[5], x);
+          sc[6] = std::min(sc[6], x);
+          lvmax(2)[j & mask] = sc[5];
+          lvmin(2)[j & mask] = sc[6];
+        } else {
+          lvmax(2)[j & mask] = std::max(std::max(raw[j & mask], raw[(j - 1) & mask]),
+                                        std::max(raw[(j - 2) & mask], raw[(j - 3) & mask]));
+          lvmin(2)[j & mask] = std::min(std::min(raw[j & mask], raw[(j - 1) & mask]),
+                                        std::min(raw[(j - 2) & mask], raw[(j - 3) & mask]));
+        }
+        k_first = 3;
+      }
+      for (std::size_t k = k_first; k <= kmax_; ++k) {
+        const std::size_t h = std::size_t{1} << (k - 1);
+        const double* smx = k == 1 ? raw : lvmax(k - 1);
+        const double* smn = k == 1 ? raw : lvmin(k - 1);
+        if (j < h) {
+          lvmax(k)[j & mask] = smx[j & mask];
+          lvmin(k)[j & mask] = smn[j & mask];
+        } else {
+          lvmax(k)[j & mask] = std::max(smx[j & mask], smx[(j - h) & mask]);
+          lvmin(k)[j & mask] = std::min(smn[j & mask], smn[(j - h) & mask]);
+        }
+      }
+    }
+
+    // Assemble the expanded row: identity, then per window the batch
+    // kernel's growing / steady expressions, operation for operation.
+    double* out = out_row.data() + c * factor_;
+    std::size_t o = 0;
+    out[o++] = x;
+    for (int w_signed : windows_.windows) {
+      const auto w = static_cast<std::size_t>(w_signed);
+      if (w == 1) {
+        out[o++] = x;    // max
+        out[o++] = x;    // min
+        out[o++] = x;    // mean
+        out[o++] = 0.0;  // std
+        out[o++] = 0.0;  // range
+        out[o++] = x;    // wma
+        continue;
+      }
+      if (j < w) {
+        const double n = static_cast<double>(j + 1);
+        const double mean = sc[0] / n;
+        const double var = std::max(0.0, sc[1] / n - mean * mean);
+        out[o++] = sc[3];
+        out[o++] = sc[4];
+        out[o++] = mean;
+        out[o++] = std::sqrt(var);
+        out[o++] = sc[3] - sc[4];
+        out[o++] = sc[2] / (n * (n + 1) * 0.5);
+        continue;
+      }
+      const std::size_t k = static_cast<std::size_t>(std::bit_width(w)) - 1;
+      const std::size_t shift = w - (std::size_t{1} << k);
+      const double* hi = lvmax(k);
+      const double* lo = lvmin(k);
+      const double mx = std::max(hi[j & mask], hi[(j - shift) & mask]);
+      const double mn = std::min(lo[j & mask], lo[(j - shift) & mask]);
+      const double wd = static_cast<double>(w);
+      const double inv_w = 1.0 / wd;
+      const double inv_den = 2.0 / (wd * (wd + 1.0));
+      const std::size_t s = j - w + 1;  // window is [s, j]; s >= 1 here
+      const double prefix_s = pr[(s - 1) & mask];
+      const double sum = sc[0] - prefix_s;
+      const double mean = sum * inv_w;
+      const double var = (sc[1] - pr2[(s - 1) & mask]) * inv_w - mean * mean;
+      out[o++] = mx;
+      out[o++] = mn;
+      out[o++] = mean;
+      out[o++] = std::sqrt(std::max(0.0, var));
+      out[o++] = mx - mn;
+      out[o++] = ((sc[2] - prw[(s - 1) & mask]) - static_cast<double>(s) * sum) * inv_den;
+    }
+  }
+}
+
+std::string ResidentFleet::save_snapshot() const {
+  data::ByteWriter w;
+  w.scalar(kSnapshotPayloadVersion);
+  w.str(fleet_.model_name);
+  w.scalar(static_cast<std::uint32_t>(windows_.windows.size()));
+  for (int win : windows_.windows) w.scalar(static_cast<std::int32_t>(win));
+  w.scalar(static_cast<std::uint32_t>(fleet_.feature_names.size()));
+  for (const auto& name : fleet_.feature_names) w.str(name);
+  w.scalar(static_cast<std::int32_t>(fleet_.num_days));
+  w.scalar(static_cast<std::uint64_t>(fleet_.drives.size()));
+  for (const auto& drive : fleet_.drives) {
+    w.str(drive.drive_id);
+    w.scalar(static_cast<std::int32_t>(drive.first_day));
+    w.scalar(static_cast<std::int32_t>(drive.fail_day));
+    w.scalar(static_cast<std::uint64_t>(drive.num_days()));
+    const auto raw = drive.values.raw();
+    w.bytes(raw.data(), raw.size() * sizeof(double));
+  }
+  return std::move(w.buf());
+}
+
+bool ResidentFleet::load_snapshot(std::string_view payload, std::string* why) {
+  const auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (has_schema() || !fleet_.drives.empty())
+    return fail("load into a non-empty ResidentFleet");
+
+  data::ByteReader r(payload);
+  std::uint32_t version = 0;
+  if (!r.scalar(version)) return fail("truncated snapshot payload");
+  if (version != kSnapshotPayloadVersion) return fail("snapshot payload version mismatch");
+  std::string model_name;
+  if (!r.str(model_name)) return fail("truncated snapshot payload");
+  std::uint32_t nwin = 0;
+  if (!r.scalar(nwin) || nwin > 64) return fail("truncated snapshot payload");
+  std::vector<int> wins(nwin);
+  for (auto& win : wins) {
+    std::int32_t v = 0;
+    if (!r.scalar(v)) return fail("truncated snapshot payload");
+    win = v;
+  }
+  if (wins != windows_.windows) return fail("window config mismatch");
+  std::uint32_t nfeat = 0;
+  if (!r.scalar(nfeat) || nfeat > (1u << 16)) return fail("truncated snapshot payload");
+  std::vector<std::string> names(nfeat);
+  for (auto& name : names) {
+    if (!r.str(name)) return fail("truncated snapshot payload");
+  }
+  std::int32_t num_days = 0;
+  std::uint64_t ndrives = 0;
+  if (!r.scalar(num_days) || !r.scalar(ndrives)) return fail("truncated snapshot payload");
+
+  // nfeat == 0 is the pre-schema empty state (a daemon that stopped
+  // before its first hello saves one); drives cannot exist without a
+  // schema, so any drive payload after it is damage, not data.
+  if (nfeat == 0 && ndrives != 0) return fail("snapshot has drives but no schema");
+  if (nfeat > 0) set_schema(std::move(model_name), std::move(names));
+  for (std::uint64_t i = 0; i < ndrives; ++i) {
+    std::string id;
+    std::int32_t first_day = 0, fail_day = -1;
+    std::uint64_t ndays = 0;
+    if (!r.str(id) || !r.scalar(first_day) || !r.scalar(fail_day) || !r.scalar(ndays))
+      return fail("truncated snapshot payload");
+    const std::size_t n = static_cast<std::size_t>(ndays) * nfeat;
+    const char* block = r.raw(n * sizeof(double));
+    if (block == nullptr) return fail("truncated snapshot payload");
+    // Replay the appends through the same fold code: the rebuilt
+    // streaming state (and any non-streaming downgrade) is exactly what
+    // the original process held.
+    std::vector<double> row(nfeat);
+    for (std::uint64_t d = 0; d < ndays; ++d) {
+      std::memcpy(row.data(), block + d * nfeat * sizeof(double), nfeat * sizeof(double));
+      append_day(id, first_day + static_cast<int>(d), row, fail_day);
+    }
+    if (i < states_.size()) drop_feature_tail(i);
+  }
+  if (r.remaining() != 0) return fail("trailing bytes in snapshot payload");
+  fleet_.num_days = std::max(fleet_.num_days, static_cast<int>(num_days));
+  return true;
+}
+
+}  // namespace wefr::daemon

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/fleet.h"
+#include "data/window_features.h"
+
+namespace wefr::daemon {
+
+/// Result of one ResidentFleet::append_day call.
+struct AppendResult {
+  std::size_t drive_index = 0;
+  /// First observation for this drive id.
+  bool new_drive = false;
+  /// This append carried a non-finite value, flipping the drive out of
+  /// streaming mode (see ResidentFleet). Already-false when the drive
+  /// was knocked out of streaming mode earlier.
+  bool went_nonfinite = false;
+};
+
+/// The daemon's per-drive resident state: raw history plus the
+/// streaming-kernel accumulators of data::expand_series (prefix sums of
+/// x, x^2 and (t+1)x; trailing power-of-two extrema levels), so one
+/// appended day yields that day's fully window-expanded feature row in
+/// O(columns * windows) — no re-expansion of history.
+///
+/// Bit-identity contract: for a drive whose history is entirely finite,
+/// the feature rows emitted at append time are bit-identical to the
+/// rows data::expand_series produces from the full history, at every
+/// history length. This holds because the batch kernel is causal and
+/// element-wise — every expression for day d reads only days <= d — and
+/// the per-day folds here are the same expressions in the same order.
+/// The sparse-level plan (which extremum levels exist and whether level
+/// 2 is built fused) is derived from the window config alone; the batch
+/// derives it from (config, days), but the two plans agree on every
+/// element a steady-state window ever reads, so the outputs match.
+///
+/// Non-finite values: the batch kernel classifies finiteness over the
+/// whole column, so the first NaN/inf appended to a drive retroactively
+/// changes the semantics of that column's earlier rows (they become the
+/// naive-kernel outputs). Patching that incrementally is not possible,
+/// so the drive permanently leaves streaming mode (`streaming(di)`
+/// false): its pending rows are discarded and the engine scores it
+/// through the batch oracle instead. Rare in practice (recover-mode
+/// ingestion holes), and exactness is preserved either way.
+///
+/// Feature rows accumulate in a per-drive tail matrix covering the days
+/// appended since the last drop_feature_tail() — the scorer consumes
+/// the tail and drops it, bounding resident memory to raw history plus
+/// a few pending rows per drive.
+class ResidentFleet {
+ public:
+  explicit ResidentFleet(data::WindowFeatureConfig windows = {});
+  ~ResidentFleet();
+  ResidentFleet(ResidentFleet&&) noexcept;
+  ResidentFleet& operator=(ResidentFleet&&) noexcept;
+
+  /// Declares the fleet schema. Must be called before the first append;
+  /// re-calling with a different schema throws.
+  void set_schema(std::string model_name, std::vector<std::string> feature_names);
+  bool has_schema() const { return !fleet_.feature_names.empty(); }
+
+  /// Appends one observed day for `drive_id`. A new id may start at any
+  /// day; an existing drive's `day` must be exactly last_day() + 1
+  /// (contiguous series, matching ingest's forward-filled output).
+  /// `fail_day` >= 0 records the drive's trouble ticket; conflicting
+  /// re-declarations throw. `values` must match the schema width.
+  AppendResult append_day(const std::string& drive_id, int day,
+                          std::span<const double> values, int fail_day = -1);
+
+  /// Raw resident fleet (the batch oracle's input). `num_days` tracks
+  /// the highest appended day + 1.
+  const data::FleetData& fleet() const { return fleet_; }
+
+  std::size_t num_drives() const { return fleet_.drives.size(); }
+  /// Highest appended day, or -1 before any append.
+  int max_day() const { return fleet_.num_days - 1; }
+  /// Drive index for an id, or npos.
+  std::size_t find_drive(const std::string& drive_id) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// False once the drive has seen a non-finite value (batch-oracle
+  /// scoring only from then on).
+  bool streaming(std::size_t drive_index) const;
+
+  /// Window-expanded rows for the days appended since the tail was last
+  /// dropped (empty for non-streaming drives). Row 0 is fleet-global
+  /// day tail_first_day(). Column layout matches data::expand_series
+  /// over ALL base columns: col b expands to [b*factor, (b+1)*factor).
+  const data::Matrix& feature_tail(std::size_t drive_index) const;
+  int tail_first_day(std::size_t drive_index) const;
+  void drop_feature_tail(std::size_t drive_index);
+
+  const data::WindowFeatureConfig& windows() const { return windows_; }
+  std::size_t expansion_factor() const { return factor_; }
+
+  /// Serializes schema, window config and every drive's raw history
+  /// (streaming state is rebuilt on load by replaying the same folds).
+  /// The payload is meant to travel inside a WEFRDS01 record
+  /// (data::write_daemon_snapshot).
+  std::string save_snapshot() const;
+
+  /// Restores a save_snapshot() payload into this (empty) instance.
+  /// Returns false with `why` on damage or a window-config mismatch.
+  /// Feature tails are empty after a load; the engine full-rescores.
+  bool load_snapshot(std::string_view payload, std::string* why = nullptr);
+
+ private:
+  struct DriveState;
+
+  void append_streaming_row(DriveState& st, const data::DriveSeries& drive,
+                            std::span<const double> values, std::size_t local_day,
+                            std::span<double> out_row);
+
+  data::WindowFeatureConfig windows_;
+  std::size_t factor_ = 0;
+  // Sparse-level plan, derived from the window config alone (see class
+  // comment for why this agrees with the batch per-length plan).
+  std::size_t kmax_ = 0;
+  bool need_level1_ = false;
+  std::size_t ring_ = 0;  ///< ring capacity (power of two)
+
+  data::FleetData fleet_;
+  std::vector<DriveState> states_;
+  std::unordered_map<std::string, std::size_t> id_index_;
+};
+
+}  // namespace wefr::daemon

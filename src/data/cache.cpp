@@ -367,8 +367,12 @@ namespace {
 
 constexpr char kShardMagic[8] = {'W', 'E', 'F', 'R', 'S', 'H', '0', '1'};
 constexpr char kObsMagic[8] = {'W', 'E', 'F', 'R', 'O', 'B', '0', '1'};
+constexpr char kDaemonMagic[8] = {'W', 'E', 'F', 'R', 'D', 'M', '0', '1'};
+constexpr char kDaemonSnapshotMagic[8] = {'W', 'E', 'F', 'R', 'D', 'S', '0', '1'};
 constexpr std::uint32_t kShardFormatVersion = 1;
 constexpr std::uint32_t kObsFormatVersion = 1;
+constexpr std::uint32_t kDaemonFormatVersion = 1;
+constexpr std::uint32_t kDaemonSnapshotFormatVersion = 1;
 
 std::string encode_framed_record(const char (&magic)[8], std::uint32_t version,
                                  std::uint32_t kind, std::uint32_t shard_index,
@@ -421,6 +425,50 @@ bool decode_framed_record(const char (&expect_magic)[8], std::uint32_t expect_ve
     return invalid("checksum mismatch");
   const char* p = r.raw(static_cast<std::size_t>(payload_size));
   if (p == nullptr) return invalid("truncated payload");
+  payload.assign(p, static_cast<std::size_t>(payload_size));
+  return true;
+}
+
+/// decode_framed_record with the index slot extracted instead of
+/// matched: the daemon wire reuses that slot as a request sequence
+/// number the reader cannot predict. Every other layer (magic,
+/// version, endianness, kind, count, payload size, digest) keeps the
+/// exact-match discipline.
+bool decode_framed_record_seq(const char (&expect_magic)[8], std::uint32_t expect_version,
+                              std::string_view bytes, std::uint32_t kind,
+                              std::uint32_t& index_out, std::uint32_t expect_count,
+                              const char* count_mismatch_reason, std::string& payload,
+                              std::string* why) {
+  const auto invalid = [&](const char* reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  ByteReader r(bytes);
+  const char* magic = r.raw(sizeof(expect_magic));
+  if (magic == nullptr) return invalid("truncated header");
+  if (std::memcmp(magic, expect_magic, sizeof(expect_magic)) != 0)
+    return invalid("bad magic");
+  std::uint32_t version = 0, endian = 0, rkind = 0, idx = 0, count = 0, reserved = 0;
+  std::uint64_t payload_size = 0;
+  if (!r.scalar(version) || !r.scalar(endian) || !r.scalar(rkind) ||
+      !r.scalar(idx) || !r.scalar(count) || !r.scalar(reserved) ||
+      !r.scalar(payload_size))
+    return invalid("truncated header");
+  if (version != expect_version) return invalid("format version mismatch");
+  if (endian != kEndianSentinel) return invalid("endianness mismatch");
+  if (rkind != kind) return invalid("record kind mismatch");
+  if (count != expect_count) return invalid(count_mismatch_reason);
+  if (r.remaining() < sizeof(std::uint64_t) ||
+      payload_size != r.remaining() - sizeof(std::uint64_t))
+    return invalid("payload size mismatch");
+  const std::size_t body = bytes.size() - sizeof(std::uint64_t);
+  std::uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, bytes.data() + body, sizeof(stored_sum));
+  if (snapshot_digest(bytes.data(), body) != stored_sum)
+    return invalid("checksum mismatch");
+  const char* p = r.raw(static_cast<std::size_t>(payload_size));
+  if (p == nullptr) return invalid("truncated payload");
+  index_out = idx;
   payload.assign(p, static_cast<std::size_t>(payload_size));
   return true;
 }
@@ -519,6 +567,79 @@ bool read_obs_record(const std::string& path, ObsRecordKind kind,
     return false;
   }
   return decode_obs_record(file.view(), kind, expect_index, expect_count, payload, why);
+}
+
+std::string encode_daemon_frame(DaemonFrameKind kind, std::uint32_t seq,
+                                std::string_view payload) {
+  return encode_framed_record(kDaemonMagic, kDaemonFormatVersion,
+                              static_cast<std::uint32_t>(kind), seq,
+                              kDaemonProtocolVersion, payload);
+}
+
+bool decode_daemon_frame(std::string_view bytes, DaemonFrameKind expect_kind,
+                         std::uint32_t& seq, std::string& payload, std::string* why) {
+  return decode_framed_record_seq(kDaemonMagic, kDaemonFormatVersion, bytes,
+                                  static_cast<std::uint32_t>(expect_kind), seq,
+                                  kDaemonProtocolVersion, "protocol version mismatch",
+                                  payload, why);
+}
+
+DaemonFramePeek peek_daemon_frame(std::string_view buf, std::size_t& total_size,
+                                  std::string* why) {
+  static_assert(kDaemonFrameHeaderSize ==
+                sizeof(kDaemonMagic) + 6 * sizeof(std::uint32_t) + sizeof(std::uint64_t));
+  if (buf.size() < kDaemonFrameHeaderSize) return DaemonFramePeek::kNeedMore;
+  const auto bad = [&](const char* reason) {
+    if (why != nullptr) *why = reason;
+    return DaemonFramePeek::kBad;
+  };
+  ByteReader r(buf);
+  const char* magic = r.raw(sizeof(kDaemonMagic));
+  if (std::memcmp(magic, kDaemonMagic, sizeof(kDaemonMagic)) != 0)
+    return bad("bad magic");
+  std::uint32_t version = 0, endian = 0, rkind = 0, idx = 0, count = 0, reserved = 0;
+  std::uint64_t payload_size = 0;
+  r.scalar(version);
+  r.scalar(endian);
+  r.scalar(rkind);
+  r.scalar(idx);
+  r.scalar(count);
+  r.scalar(reserved);
+  r.scalar(payload_size);
+  if (version != kDaemonFormatVersion) return bad("format version mismatch");
+  if (endian != kEndianSentinel) return bad("endianness mismatch");
+  if (payload_size > kDaemonMaxFramePayload) return bad("frame too large");
+  total_size = kDaemonFrameHeaderSize + static_cast<std::size_t>(payload_size) +
+               sizeof(std::uint64_t);
+  return DaemonFramePeek::kFrame;
+}
+
+std::string encode_daemon_snapshot(std::string_view payload) {
+  return encode_framed_record(
+      kDaemonSnapshotMagic, kDaemonSnapshotFormatVersion,
+      static_cast<std::uint32_t>(DaemonSnapshotKind::kResidentFleet), 0, 1, payload);
+}
+
+bool decode_daemon_snapshot(std::string_view bytes, std::string& payload,
+                            std::string* why) {
+  return decode_framed_record(
+      kDaemonSnapshotMagic, kDaemonSnapshotFormatVersion, bytes,
+      static_cast<std::uint32_t>(DaemonSnapshotKind::kResidentFleet), 0, 1, payload, why);
+}
+
+bool write_daemon_snapshot(const std::string& path, std::string_view payload,
+                           std::string* error) {
+  return write_record_file(path, encode_daemon_snapshot(payload), error);
+}
+
+bool read_daemon_snapshot(const std::string& path, std::string& payload,
+                          std::string* why) {
+  MappedFile file;
+  if (!file.open(path) || file.size() == 0) {
+    if (why != nullptr) *why = "cannot read " + path;
+    return false;
+  }
+  return decode_daemon_snapshot(file.view(), payload, why);
 }
 
 }  // namespace wefr::data

@@ -166,4 +166,64 @@ bool read_obs_record(const std::string& path, ObsRecordKind kind,
                      std::uint32_t expect_index, std::uint32_t expect_count,
                      std::string& payload, std::string* why = nullptr);
 
+/// WEFRDM01 daemon wire frame: the unit of exchange on the wefrd
+/// client socket. Same framing machinery as WEFRSH01/WEFROB01 — fixed
+/// 40-byte header (magic, version, endian sentinel, kind, two u32
+/// slots, u64 payload size), payload, trailing word-wise FNV-1a digest
+/// — but repurposed for a stream: the index slot carries the client's
+/// request sequence number (extracted by the reader rather than
+/// matched against an expectation, so responses can be paired with the
+/// request that caused them), and the count slot carries the protocol
+/// version (matched exactly, so a client and server from different
+/// protocol generations refuse each other's frames instead of
+/// misreading them). The fixed-size header lets a stream reader learn
+/// the full frame length before the payload arrives.
+enum class DaemonFrameKind : std::uint32_t {
+  kRequest = 1,   ///< client -> server
+  kResponse = 2,  ///< server -> client
+};
+
+/// Bumped when the daemon message vocabulary changes incompatibly.
+inline constexpr std::uint32_t kDaemonProtocolVersion = 1;
+/// Fixed frame header size: magic[8] + 6 u32 fields + u64 payload size.
+inline constexpr std::size_t kDaemonFrameHeaderSize = 40;
+/// Upper bound a reader accepts for one frame's payload; anything
+/// larger is treated as a corrupt length field, not an allocation.
+inline constexpr std::uint64_t kDaemonMaxFramePayload = 64ull << 20;
+
+std::string encode_daemon_frame(DaemonFrameKind kind, std::uint32_t seq,
+                                std::string_view payload);
+
+/// Validates one complete frame and extracts its payload and sequence
+/// number. Returns false (first failed layer in `why`) on any damage:
+/// magic/version/endianness/kind/protocol-version mismatch, payload
+/// size lie, digest mismatch, or truncation.
+bool decode_daemon_frame(std::string_view bytes, DaemonFrameKind expect_kind,
+                         std::uint32_t& seq, std::string& payload,
+                         std::string* why = nullptr);
+
+/// Incremental stream framing: inspects the start of a receive buffer.
+enum class DaemonFramePeek {
+  kNeedMore,  ///< not enough bytes for a verdict yet — keep reading
+  kFrame,     ///< header is plausible; `total_size` = full frame length
+  kBad,       ///< stream is not a valid frame — refuse and disconnect
+};
+DaemonFramePeek peek_daemon_frame(std::string_view buf, std::size_t& total_size,
+                                  std::string* why = nullptr);
+
+/// WEFRDS01 resident-fleet snapshot record: the daemon's warm-restart
+/// blob (ResidentFleet::save_snapshot payload framed with the shared
+/// record discipline). One record per file, written atomically.
+enum class DaemonSnapshotKind : std::uint32_t {
+  kResidentFleet = 1,  ///< serialized ResidentFleet state
+};
+
+std::string encode_daemon_snapshot(std::string_view payload);
+bool decode_daemon_snapshot(std::string_view bytes, std::string& payload,
+                            std::string* why = nullptr);
+bool write_daemon_snapshot(const std::string& path, std::string_view payload,
+                           std::string* error = nullptr);
+bool read_daemon_snapshot(const std::string& path, std::string& payload,
+                          std::string* why = nullptr);
+
 }  // namespace wefr::data

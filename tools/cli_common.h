@@ -1,0 +1,144 @@
+// Shared command-line plumbing for the wefr_* tools.
+//
+// Every tool speaks the same flag dialect: `--flag VALUE` pairs, a
+// missing value prints the tool's usage and exits 2, and the obs
+// triple --trace-out/--metrics-out/--report-out switches the run's
+// instrumentation on. This header holds the pieces that dialect
+// shares — the argv cursor, the small flag parsers, and the obs bundle
+// with its output writer — so the tools differ only in what they do,
+// not in how they are driven.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "data/csv.h"
+#include "obs/context.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace wefr::tools {
+
+/// Cursor over argv implementing the tools' flag conventions.
+///
+///   ArgCursor cur(argc, argv, usage);
+///   while (cur.take()) {
+///     const std::string& arg = cur.arg();
+///     if (arg == "--in") in_path = cur.value();
+///     ...
+///   }
+///
+/// value() consumes the current flag's argument; when it is missing the
+/// cursor prints the tool's usage and exits 2 (the historical behavior
+/// of every tool's `next` lambda).
+class ArgCursor {
+ public:
+  ArgCursor(int argc, char** argv, void (*usage)())
+      : argc_(argc), argv_(argv), usage_(usage) {}
+
+  /// Advances to the next argument; false once argv is exhausted.
+  bool take() {
+    if (i_ + 1 >= argc_) return false;
+    arg_ = argv_[++i_];
+    return true;
+  }
+
+  const std::string& arg() const { return arg_; }
+
+  /// The current flag's value argument.
+  const char* value() {
+    if (i_ + 1 >= argc_) {
+      usage_();
+      std::exit(2);
+    }
+    return argv_[++i_];
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  void (*usage_)();
+  int i_ = 0;
+  std::string arg_;
+};
+
+/// Metrics go out as Prometheus text exposition when the file name says
+/// so, JSON otherwise.
+inline bool wants_prometheus(const std::string& path) {
+  const std::string_view p = path;
+  return p.ends_with(".prom") || p.ends_with(".txt");
+}
+
+inline std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream ofs(path);
+  if (!ofs) throw std::runtime_error("cannot open " + path);
+  return ofs;
+}
+
+/// Parses a --policy argument (strict | recover | skip-drive). False
+/// with a message on stderr for anything else.
+inline bool parse_policy_flag(const std::string& name, data::ParsePolicy& policy) {
+  if (name == "strict") {
+    policy = data::ParsePolicy::kStrict;
+  } else if (name == "recover") {
+    policy = data::ParsePolicy::kRecover;
+  } else if (name == "skip-drive") {
+    policy = data::ParsePolicy::kSkipDrive;
+  } else {
+    std::fprintf(stderr, "unknown policy: %s\n", name.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Parses a --log-level argument. False with a message on stderr for an
+/// unknown level name.
+inline bool parse_log_level_flag(const std::string& name, obs::LogLevel& level) {
+  if (!obs::parse_log_level(name, level)) {
+    std::fprintf(stderr, "unknown log level: %s\n", name.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// The obs bundle behind --trace-out / --metrics-out / --report-out:
+/// instrumentation is enabled when any output path was given, and
+/// context() is what the pipeline entry points take (null = off).
+struct ToolObs {
+  std::string trace_out, metrics_out, report_out;
+
+  obs::Tracer tracer;
+  obs::Registry registry;
+  obs::Context ctx{&tracer, &registry};
+
+  bool enabled() const {
+    return !trace_out.empty() || !metrics_out.empty() || !report_out.empty();
+  }
+  const obs::Context* context() const { return enabled() ? &ctx : nullptr; }
+
+  /// Writes the trace and metrics outputs. Report writing stays with
+  /// the tool — each fills a RunReport of its own shape.
+  void write_outputs(obs::Logger& log) {
+    if (!trace_out.empty()) {
+      auto ofs = open_or_throw(trace_out);
+      tracer.write_chrome_trace(ofs);
+      log.infof("obs", "wrote %zu trace spans to %s", tracer.size(), trace_out.c_str());
+    }
+    if (!metrics_out.empty()) {
+      auto ofs = open_or_throw(metrics_out);
+      if (wants_prometheus(metrics_out)) {
+        registry.write_prometheus(ofs);
+      } else {
+        registry.write_json(ofs);
+      }
+      log.infof("obs", "wrote metrics to %s", metrics_out.c_str());
+    }
+  }
+};
+
+}  // namespace wefr::tools

@@ -44,6 +44,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cli_common.h"
 #include "core/pipeline.h"
 #include "core/wefr.h"
 #include "data/cache.h"
@@ -70,19 +71,6 @@ void usage() {
                "                   [--log-level quiet|info|debug]\n"
                "                   [--trace-out FILE] [--metrics-out FILE]\n"
                "                   [--report-out FILE]\n");
-}
-
-/// Metrics go out as Prometheus text exposition when the file name says
-/// so, JSON otherwise.
-bool wants_prometheus(const std::string& path) {
-  const std::string_view p = path;
-  return p.ends_with(".prom") || p.ends_with(".txt");
-}
-
-std::ofstream open_or_throw(const std::string& path) {
-  std::ofstream ofs(path);
-  if (!ofs) throw std::runtime_error("cannot open " + path);
-  return ofs;
 }
 
 /// Folds the selection-stage and scoring-stage driver stats into the
@@ -189,65 +177,49 @@ void print_group(const core::GroupSelection& g) {
 
 int main(int argc, char** argv) {
   std::string in_path, model = "fleet", save_model, cache_dir;
-  std::string trace_out, metrics_out, report_out;
   int train_end = -1;
   int shards = 0;  // 0 = the historical single-process path
   obs::LogLevel log_level = obs::LogLevel::kInfo;
   core::ExperimentConfig cfg;
   core::WefrOptions wopt;
   data::ReadOptions ropt;
+  tools::ToolObs tobs;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        usage();
-        std::exit(2);
-      }
-      return argv[++i];
-    };
+  tools::ArgCursor cur(argc, argv, usage);
+  while (cur.take()) {
+    const std::string& arg = cur.arg();
     if (arg == "--in") {
-      in_path = next();
+      in_path = cur.value();
     } else if (arg == "--model") {
-      model = next();
-    } else if (arg == "--train-end" && util::parse_int_as(next(), train_end)) {
+      model = cur.value();
+    } else if (arg == "--train-end" && util::parse_int_as(cur.value(), train_end)) {
       // parsed in the condition
-    } else if (arg == "--horizon" && util::parse_int_as(next(), cfg.horizon_days)) {
+    } else if (arg == "--horizon" && util::parse_int_as(cur.value(), cfg.horizon_days)) {
       // parsed in the condition
     } else if (arg == "--cache-dir") {
-      cache_dir = next();
-    } else if (arg == "--shards" && util::parse_int_as(next(), shards)) {
+      cache_dir = cur.value();
+    } else if (arg == "--shards" && util::parse_int_as(cur.value(), shards)) {
       if (shards < 1) {
         std::fprintf(stderr, "--shards must be >= 1\n");
         return 2;
       }
     } else if (arg == "--log-level") {
-      const std::string lv = next();
-      if (!obs::parse_log_level(lv, log_level)) {
-        std::fprintf(stderr, "unknown log level: %s\n", lv.c_str());
+      if (!tools::parse_log_level_flag(cur.value(), log_level)) {
         usage();
         return 2;
       }
     } else if (arg == "--no-update") {
       wopt.update_with_wearout = false;
     } else if (arg == "--save-model") {
-      save_model = next();
+      save_model = cur.value();
     } else if (arg == "--trace-out") {
-      trace_out = next();
+      tobs.trace_out = cur.value();
     } else if (arg == "--metrics-out") {
-      metrics_out = next();
+      tobs.metrics_out = cur.value();
     } else if (arg == "--report-out") {
-      report_out = next();
+      tobs.report_out = cur.value();
     } else if (arg == "--policy") {
-      const std::string p = next();
-      if (p == "strict") {
-        ropt.policy = data::ParsePolicy::kStrict;
-      } else if (p == "recover") {
-        ropt.policy = data::ParsePolicy::kRecover;
-      } else if (p == "skip-drive") {
-        ropt.policy = data::ParsePolicy::kSkipDrive;
-      } else {
-        std::fprintf(stderr, "unknown policy: %s\n", p.c_str());
+      if (!tools::parse_policy_flag(cur.value(), ropt.policy)) {
         usage();
         return 2;
       }
@@ -265,19 +237,15 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const bool obs_enabled =
-      !trace_out.empty() || !metrics_out.empty() || !report_out.empty();
-  obs::Tracer tracer;
-  obs::Registry registry;
-  obs::Context ctx{&tracer, &registry};
-  const obs::Context* obs = obs_enabled ? &ctx : nullptr;
+  const bool obs_enabled = tobs.enabled();
+  const obs::Context* obs = tobs.context();
   obs::Logger log(log_level);
 
   try {
     obs::RunReport run_report;
     run_report.tool = "wefr_select";
     core::PipelineDiagnostics diag;
-    if (obs_enabled) diag.attach(&registry);
+    if (obs_enabled) diag.attach(&tobs.registry);
     obs::Span root(obs, "wefr_select");
 
     data::IngestReport report;
@@ -344,7 +312,7 @@ int main(int argc, char** argv) {
                 cfg.forest.num_trees, cfg.forest.tree.max_depth);
       const auto predictor = core::train_predictor(fleet, result, 0, train_end, cfg, obs);
       if (!save_model.empty()) {
-        std::ofstream ofs = open_or_throw(save_model);
+        std::ofstream ofs = tools::open_or_throw(save_model);
         predictor.all.forest.save(ofs);
         log.infof("train", "saved whole-model forest to %s", save_model.c_str());
       }
@@ -418,21 +386,8 @@ int main(int argc, char** argv) {
 
     if (obs_enabled) {
       root.finish();
-      if (!trace_out.empty()) {
-        auto ofs = open_or_throw(trace_out);
-        tracer.write_chrome_trace(ofs);
-        log.infof("obs", "wrote %zu trace spans to %s", tracer.size(), trace_out.c_str());
-      }
-      if (!metrics_out.empty()) {
-        auto ofs = open_or_throw(metrics_out);
-        if (wants_prometheus(metrics_out)) {
-          registry.write_prometheus(ofs);
-        } else {
-          registry.write_json(ofs);
-        }
-        log.infof("obs", "wrote metrics to %s", metrics_out.c_str());
-      }
-      if (!report_out.empty()) {
+      tobs.write_outputs(log);
+      if (!tobs.report_out.empty()) {
         run_report.model = fleet.model_name;
         run_report.run_info["drives"] = static_cast<double>(fleet.drives.size());
         run_report.run_info["drives_failed"] = static_cast<double>(fleet.num_failed());
@@ -454,10 +409,10 @@ int main(int argc, char** argv) {
         report.fill_run_report(run_report);
         diag.fill_run_report(run_report);
         core::fill_run_report(result, run_report);
-        run_report.tracer = &tracer;
-        run_report.metrics = &registry;
-        run_report.write_json_file(report_out);
-        log.infof("obs", "wrote run report to %s", report_out.c_str());
+        run_report.tracer = &tobs.tracer;
+        run_report.metrics = &tobs.registry;
+        run_report.write_json_file(tobs.report_out);
+        log.infof("obs", "wrote run report to %s", tobs.report_out.c_str());
       }
     }
   } catch (const std::exception& e) {

@@ -37,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cli_common.h"
 #include "data/cache.h"
 #include "data/csv.h"
 #include "obs/context.h"
@@ -73,11 +74,6 @@ void usage() {
                "            or mix:R\n");
 }
 
-bool wants_prometheus(const std::string& path) {
-  const std::string_view p = path;
-  return p.ends_with(".prom") || p.ends_with(".txt");
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,7 +82,6 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string fault_spec;
   std::string cache_dir;
-  std::string trace_out, metrics_out, report_out;
   std::uint64_t fault_seed = 0x5eedfau;
   int shards = 0;  // 0 = no shard-plan preview
   obs::LogLevel log_level = obs::LogLevel::kInfo;
@@ -95,57 +90,50 @@ int main(int argc, char** argv) {
   opt.num_days = 220;
   opt.seed = 42;
   opt.afr_scale = 15.0;
+  tools::ToolObs tobs;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        usage();
-        std::exit(2);
-      }
-      return argv[++i];
-    };
+  tools::ArgCursor cur(argc, argv, usage);
+  while (cur.take()) {
+    const std::string& arg = cur.arg();
     double v = 0.0;
     if (arg == "--model") {
-      model = next();
-    } else if (arg == "--drives" && util::parse_int_as(next(), opt.num_drives)) {
+      model = cur.value();
+    } else if (arg == "--drives" && util::parse_int_as(cur.value(), opt.num_drives)) {
       // parsed in the condition
-    } else if (arg == "--days" && util::parse_int_as(next(), opt.num_days)) {
+    } else if (arg == "--days" && util::parse_int_as(cur.value(), opt.num_days)) {
       // parsed in the condition
-    } else if (arg == "--seed" && util::parse_int_as(next(), opt.seed)) {
+    } else if (arg == "--seed" && util::parse_int_as(cur.value(), opt.seed)) {
       // parsed in the condition
-    } else if (arg == "--afr-scale" && util::parse_double(next(), v)) {
+    } else if (arg == "--afr-scale" && util::parse_double(cur.value(), v)) {
       opt.afr_scale = v;
     } else if (arg == "--out") {
-      out_path = next();
+      out_path = cur.value();
     } else if (arg == "--mix") {
-      mix_spec = next();
+      mix_spec = cur.value();
     } else if (arg == "--churn") {
-      churn_spec = next();
+      churn_spec = cur.value();
     } else if (arg == "--faults") {
-      fault_spec = next();
-    } else if (arg == "--fault-seed" && util::parse_int_as(next(), fault_seed)) {
+      fault_spec = cur.value();
+    } else if (arg == "--fault-seed" && util::parse_int_as(cur.value(), fault_seed)) {
       // parsed in the condition
     } else if (arg == "--cache-dir") {
-      cache_dir = next();
-    } else if (arg == "--shards" && util::parse_int_as(next(), shards)) {
+      cache_dir = cur.value();
+    } else if (arg == "--shards" && util::parse_int_as(cur.value(), shards)) {
       if (shards < 1) {
         std::fprintf(stderr, "--shards must be >= 1\n");
         return 2;
       }
     } else if (arg == "--log-level") {
-      const std::string lv = next();
-      if (!obs::parse_log_level(lv, log_level)) {
-        std::fprintf(stderr, "unknown log level: %s\n", lv.c_str());
+      if (!tools::parse_log_level_flag(cur.value(), log_level)) {
         usage();
         return 2;
       }
     } else if (arg == "--trace-out") {
-      trace_out = next();
+      tobs.trace_out = cur.value();
     } else if (arg == "--metrics-out") {
-      metrics_out = next();
+      tobs.metrics_out = cur.value();
     } else if (arg == "--report-out") {
-      report_out = next();
+      tobs.report_out = cur.value();
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -156,12 +144,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const bool obs_enabled =
-      !trace_out.empty() || !metrics_out.empty() || !report_out.empty();
-  obs::Tracer tracer;
-  obs::Registry registry;
-  obs::Context ctx{&tracer, &registry};
-  const obs::Context* obs = obs_enabled ? &ctx : nullptr;
+  const bool obs_enabled = tobs.enabled();
+  const obs::Context* obs = tobs.context();
   obs::Logger logger(log_level);
 
   try {
@@ -286,24 +270,8 @@ int main(int argc, char** argv) {
 
     if (obs_enabled) {
       root.finish();
-      if (!trace_out.empty()) {
-        std::ofstream ofs(trace_out);
-        if (!ofs) throw std::runtime_error("cannot open " + trace_out);
-        tracer.write_chrome_trace(ofs);
-        logger.infof("obs", "wrote %zu trace spans to %s", tracer.size(),
-                     trace_out.c_str());
-      }
-      if (!metrics_out.empty()) {
-        std::ofstream ofs(metrics_out);
-        if (!ofs) throw std::runtime_error("cannot open " + metrics_out);
-        if (wants_prometheus(metrics_out)) {
-          registry.write_prometheus(ofs);
-        } else {
-          registry.write_json(ofs);
-        }
-        logger.infof("obs", "wrote metrics to %s", metrics_out.c_str());
-      }
-      if (!report_out.empty()) {
+      tobs.write_outputs(logger);
+      if (!tobs.report_out.empty()) {
         obs::RunReport run_report;
         run_report.tool = "wefr_simulate";
         run_report.model = fleet.model_name;
@@ -317,10 +285,10 @@ int main(int argc, char** argv) {
           run_report.params["faults"] = fault_spec;
           run_report.params["fault_seed"] = std::to_string(fault_seed);
         }
-        run_report.tracer = &tracer;
-        run_report.metrics = &registry;
-        run_report.write_json_file(report_out);
-        logger.infof("obs", "wrote run report to %s", report_out.c_str());
+        run_report.tracer = &tobs.tracer;
+        run_report.metrics = &tobs.registry;
+        run_report.write_json_file(tobs.report_out);
+        logger.infof("obs", "wrote run report to %s", tobs.report_out.c_str());
       }
     }
   } catch (const std::exception& e) {
